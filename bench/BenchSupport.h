@@ -1,0 +1,58 @@
+//===-- bench/BenchSupport.h - Shared benchmark plumbing -------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure-regeneration binaries: loads the four
+/// benchmark programs and captures their traces once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BENCH_BENCHSUPPORT_H
+#define SC_BENCH_BENCHSUPPORT_H
+
+#include "forth/Forth.h"
+#include "trace/Capture.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sc::bench {
+
+/// One loaded workload with its captured trace.
+struct LoadedWorkload {
+  std::string Name;
+  std::unique_ptr<forth::System> Sys;
+  trace::Trace T;
+};
+
+/// Loads all four benchmark programs and captures their traces.
+inline std::vector<LoadedWorkload> loadAllTraces() {
+  std::vector<LoadedWorkload> Out;
+  size_t N;
+  const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
+  for (size_t I = 0; I < N; ++I) {
+    LoadedWorkload L;
+    L.Name = W[I].Name;
+    L.Sys = forth::loadOrDie(W[I].Source);
+    L.T = trace::captureTrace(*L.Sys, W[I].Entry);
+    Out.push_back(std::move(L));
+  }
+  return Out;
+}
+
+/// Prints the standard header used by every figure binary.
+inline void printHeader(const char *Figure, const char *Claim) {
+  std::printf("==== %s ====\n", Figure);
+  std::printf("paper: %s\n\n", Claim);
+}
+
+} // namespace sc::bench
+
+#endif // SC_BENCH_BENCHSUPPORT_H

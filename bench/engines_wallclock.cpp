@@ -1,0 +1,124 @@
+//===-- bench/engines_wallclock.cpp - All engines, wall clock -------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end wall-clock comparison of every engine in the project on
+/// every workload: the three classic dispatch techniques, the TOS
+/// variant, the 3-state dynamically cached engine (Section 4) and the
+/// statically cached engine (Section 5). The paper's qualitative claims:
+/// threading beats switch and call threading; stack caching beats plain
+/// threading; static caching avoids dynamic caching's dispatch penalty.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dynamic/Dynamic3Engine.h"
+#include "forth/Forth.h"
+#include "staticcache/StaticEngine.h"
+#include "staticcache/StaticSpec.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace sc;
+using namespace sc::vm;
+
+namespace {
+
+struct Prepared {
+  std::unique_ptr<forth::System> Sys;
+  staticcache::SpecProgram SP;
+  uint32_t Entry;
+};
+
+std::vector<Prepared> &prepared() {
+  static auto Data = [] {
+    std::vector<Prepared> Out;
+    size_t N;
+    const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
+    for (size_t I = 0; I < N; ++I) {
+      Prepared P;
+      P.Sys = forth::loadOrDie(W[I].Source);
+      P.SP = staticcache::compileStatic(P.Sys->Prog);
+      P.Entry = P.Sys->entryOf("main");
+      Out.push_back(std::move(P));
+    }
+    return Out;
+  }();
+  return Data;
+}
+
+enum class Mode { Switch, Threaded, CallThreaded, Tos, Dynamic3, Static };
+
+void runMode(benchmark::State &State, size_t Idx, Mode M) {
+  Prepared &P = prepared()[Idx];
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    Vm Copy = P.Sys->Machine;
+    ExecContext Ctx(P.Sys->Prog, Copy);
+    RunOutcome O;
+    switch (M) {
+    case Mode::Switch:
+      O = dispatch::runSwitchEngine(Ctx, P.Entry);
+      break;
+    case Mode::Threaded:
+      O = dispatch::runThreadedEngine(Ctx, P.Entry);
+      break;
+    case Mode::CallThreaded:
+      O = dispatch::runCallThreadedEngine(Ctx, P.Entry);
+      break;
+    case Mode::Tos:
+      O = dispatch::runThreadedTosEngine(Ctx, P.Entry);
+      break;
+    case Mode::Dynamic3:
+      O = dynamic::runDynamic3Engine(Ctx, P.Entry);
+      break;
+    case Mode::Static:
+      O = staticcache::runStaticEngine(P.SP, Ctx, P.Entry);
+      break;
+    }
+    benchmark::DoNotOptimize(O.Steps);
+    Insts += O.Steps;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insts));
+}
+
+#define SC_WL_BENCH(Idx, Name)                                                 \
+  void BM_##Name##_switch(benchmark::State &S) {                              \
+    runMode(S, Idx, Mode::Switch);                                            \
+  }                                                                            \
+  void BM_##Name##_threaded(benchmark::State &S) {                            \
+    runMode(S, Idx, Mode::Threaded);                                          \
+  }                                                                            \
+  void BM_##Name##_callthreaded(benchmark::State &S) {                        \
+    runMode(S, Idx, Mode::CallThreaded);                                      \
+  }                                                                            \
+  void BM_##Name##_tos(benchmark::State &S) { runMode(S, Idx, Mode::Tos); }   \
+  void BM_##Name##_dynamic3(benchmark::State &S) {                            \
+    runMode(S, Idx, Mode::Dynamic3);                                          \
+  }                                                                            \
+  void BM_##Name##_static(benchmark::State &S) {                              \
+    runMode(S, Idx, Mode::Static);                                            \
+  }                                                                            \
+  BENCHMARK(BM_##Name##_switch)->MinTime(0.15);                               \
+  BENCHMARK(BM_##Name##_threaded)->MinTime(0.15);                             \
+  BENCHMARK(BM_##Name##_callthreaded)->MinTime(0.15);                         \
+  BENCHMARK(BM_##Name##_tos)->MinTime(0.15);                                  \
+  BENCHMARK(BM_##Name##_dynamic3)->MinTime(0.15);                             \
+  BENCHMARK(BM_##Name##_static)->MinTime(0.15);
+
+SC_WL_BENCH(0, compile)
+SC_WL_BENCH(1, gray)
+SC_WL_BENCH(2, prims2x)
+SC_WL_BENCH(3, cross)
+#undef SC_WL_BENCH
+
+} // namespace
+
+BENCHMARK_MAIN();

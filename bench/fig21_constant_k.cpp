@@ -1,0 +1,50 @@
+//===-- bench/fig21_constant_k.cpp - Figure 21: constant k items ----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+#include "support/Table.h"
+#include "trace/Simulators.h"
+
+using namespace sc;
+using namespace sc::bench;
+using namespace sc::cache;
+using namespace sc::trace;
+
+int main() {
+  printHeader(
+      "Figure 21: keeping a constant number of items in registers",
+      "loads+stores fall with k but moves rise sharply; keeping ONE item "
+      "is\nbest ('keeping one item in a register is never a disadvantage'); "
+      "sp\nupdates cannot be reduced by this technique.");
+
+  auto Loaded = loadAllTraces();
+
+  Table T;
+  T.addRow({"k", "loads+stores/i", "moves/i", "updates/i", "total cyc/i"});
+  double BestTotal = 1e30;
+  unsigned BestK = 0;
+  for (unsigned K = 0; K <= 6; ++K) {
+    Counts C;
+    for (const LoadedWorkload &L : Loaded)
+      C += simulateConstantK(L.T, K);
+    double N = static_cast<double>(C.Insts);
+    double Total = C.accessPerInst();
+    if (Total < BestTotal) {
+      BestTotal = Total;
+      BestK = K;
+    }
+    auto Row = T.row();
+    Row.integer(K)
+        .num(static_cast<double>(C.Loads + C.Stores) / N, 3)
+        .num(static_cast<double>(C.Moves) / N, 3)
+        .num(static_cast<double>(C.SpUpdates) / N, 3)
+        .num(Total, 3);
+  }
+  T.print();
+  std::printf("\nbest k = %u (paper: 1)\n", BestK);
+  return BestK == 1 ? 0 : 1;
+}

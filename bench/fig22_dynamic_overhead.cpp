@@ -1,0 +1,68 @@
+//===-- bench/fig22_dynamic_overhead.cpp - Figure 22 ----------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+#include "support/Table.h"
+#include "trace/Simulators.h"
+
+using namespace sc;
+using namespace sc::bench;
+using namespace sc::cache;
+using namespace sc::trace;
+
+int main() {
+  printHeader(
+      "Figure 22: dynamic stack caching, minimal organizations",
+      "argument access overhead (cycles/inst) vs overflow followup state, "
+      "one\nrow per register count; overhead roughly halves per added "
+      "register and\nthe optimal followup states are rather full.");
+
+  auto Loaded = loadAllTraces();
+
+  Table T;
+  {
+    auto Row = T.row();
+    Row.cell("regs\\followup");
+    for (int F = 0; F <= 10; ++F)
+      Row.integer(F);
+  }
+  for (unsigned R = 1; R <= 10; ++R) {
+    auto Row = T.row();
+    Row.cell(std::to_string(R));
+    double Best = 1e30;
+    for (unsigned F = 0; F <= 10; ++F) {
+      if (F > R) {
+        Row.cell("");
+        continue;
+      }
+      Counts C;
+      for (const LoadedWorkload &L : Loaded)
+        C += simulateDynamic(L.T, {R, F});
+      double V = C.accessPerInst();
+      Best = V < Best ? V : Best;
+      Row.num(V, 3);
+    }
+  }
+  T.print();
+
+  // The headline shape: best overhead roughly halves per register.
+  std::printf("\nbest overhead per register count:\n");
+  double Prev = -1;
+  for (unsigned R = 1; R <= 10; ++R) {
+    double Best = 1e30;
+    for (unsigned F = 0; F <= R; ++F) {
+      Counts C;
+      for (const LoadedWorkload &L : Loaded)
+        C += simulateDynamic(L.T, {R, F});
+      Best = std::min(Best, C.accessPerInst());
+    }
+    std::printf("  %2u regs: %.3f%s\n", R, Best,
+                Prev > 0 && Best < Prev * 0.75 ? "  (halving-ish)" : "");
+    Prev = Best;
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===-- bench/fig23_dynamic_components.cpp - Figure 23 --------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+#include "support/Table.h"
+#include "trace/Simulators.h"
+
+using namespace sc;
+using namespace sc::bench;
+using namespace sc::cache;
+using namespace sc::trace;
+
+int main() {
+  printHeader(
+      "Figure 23: dynamic caching components, 6 registers",
+      "the fuller the overflow followup state, the more overflows and "
+      "moves,\nbut the less memory traffic; sp updates decrease because "
+      "fewer\nunderflows outweigh the extra overflows.");
+
+  auto Loaded = loadAllTraces();
+
+  Table T;
+  T.addRow({"followup", "loads+stores/i", "moves/i", "updates/i",
+            "overflows", "underflows"});
+  uint64_t PrevOv = 0, PrevUn = 0;
+  bool MovesMonotone = true, OverflowsMonotone = true;
+  double PrevMoves = -1;
+  for (unsigned F = 0; F <= 6; ++F) {
+    Counts C;
+    for (const LoadedWorkload &L : Loaded)
+      C += simulateDynamic(L.T, {6, F});
+    double N = static_cast<double>(C.Insts);
+    double Moves = static_cast<double>(C.Moves) / N;
+    if (Moves < PrevMoves)
+      MovesMonotone = false;
+    if (F > 0 && C.Overflows < PrevOv)
+      OverflowsMonotone = false;
+    PrevMoves = Moves;
+    PrevOv = C.Overflows;
+    PrevUn = C.Underflows;
+    auto Row = T.row();
+    Row.integer(F)
+        .num(static_cast<double>(C.Loads + C.Stores) / N, 4)
+        .num(Moves, 4)
+        .num(static_cast<double>(C.SpUpdates) / N, 4)
+        .integer(static_cast<long long>(C.Overflows))
+        .integer(static_cast<long long>(C.Underflows));
+  }
+  (void)PrevUn;
+  T.print();
+  std::printf("\nmoves rise with fuller followup: %s; overflows rise: %s "
+              "(paper: both rise)\n",
+              MovesMonotone ? "yes" : "no", OverflowsMonotone ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,44 @@
+//===-- bench/fig25_static_components.cpp - Figure 25 ---------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+#include "support/Table.h"
+#include "trace/Simulators.h"
+
+using namespace sc;
+using namespace sc::bench;
+using namespace sc::cache;
+using namespace sc::trace;
+
+int main() {
+  printHeader(
+      "Figure 25: static caching components, 6 registers",
+      "memory accesses fall and moves rise toward fuller canonical "
+      "states;\nremaining dispatches are below 1/inst because stack "
+      "manipulations are\noptimized away.");
+
+  auto Loaded = loadAllTraces();
+
+  Table T;
+  T.addRow({"canonical", "loads+stores/i", "moves/i", "updates/i",
+            "dispatches/i", "removed manips/i"});
+  for (unsigned Cn = 0; Cn <= 6; ++Cn) {
+    Counts C;
+    for (const LoadedWorkload &L : Loaded)
+      C += simulateStatic(L.T, {6, Cn, true});
+    double N = static_cast<double>(C.Insts);
+    auto Row = T.row();
+    Row.integer(Cn)
+        .num(static_cast<double>(C.Loads + C.Stores) / N, 4)
+        .num(static_cast<double>(C.Moves) / N, 4)
+        .num(static_cast<double>(C.SpUpdates) / N, 4)
+        .num(static_cast<double>(C.Dispatches) / N, 4)
+        .num(static_cast<double>(C.Insts - C.Dispatches) / N, 4);
+  }
+  T.print();
+  return 0;
+}

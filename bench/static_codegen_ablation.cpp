@@ -1,0 +1,98 @@
+//===-- bench/static_codegen_ablation.cpp - Ablation: manip absorption ----===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the static pass's defining optimization: absorbing stack
+/// manipulations into compile-time state changes (Section 5: "stack
+/// manipulation instructions are optimized away"). Compares specialized
+/// code size, executed instructions and wall clock with absorption on
+/// and off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "forth/Forth.h"
+#include "staticcache/StaticEngine.h"
+#include "staticcache/StaticSpec.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace sc;
+using namespace sc::vm;
+
+namespace {
+
+double timeRun(const forth::System &Sys, const staticcache::SpecProgram &SP,
+               uint32_t Entry) {
+  double Best = 1e30;
+  for (int Rep = 0; Rep < 7; ++Rep) {
+    Vm Copy = Sys.Machine;
+    ExecContext Ctx(Sys.Prog, Copy);
+    auto T0 = std::chrono::steady_clock::now();
+    staticcache::runStaticEngine(SP, Ctx, Entry);
+    auto T1 = std::chrono::steady_clock::now();
+    Best = std::min(Best, std::chrono::duration<double>(T1 - T0).count());
+  }
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  std::printf("==== Ablation: stack-manipulation absorption in the static "
+              "pass ====\n\n");
+  Table T;
+  T.addRow({"program", "code(off)", "code(greedy)", "code(optimal)",
+            "steps(off)", "steps(greedy)", "steps(optimal)", "removed",
+            "time greedy/off", "time optimal/off"});
+  size_t N;
+  const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
+  for (size_t I = 0; I < N; ++I) {
+    auto Sys = forth::loadOrDie(W[I].Source);
+    uint32_t Entry = Sys->entryOf("main");
+    staticcache::StaticOptions Off;
+    Off.AbsorbManips = false;
+    staticcache::StaticOptions Optimal;
+    Optimal.TwoPassOptimal = true;
+    staticcache::SpecProgram SPOff =
+        staticcache::compileStatic(Sys->Prog, Off);
+    staticcache::SpecProgram SPOn = staticcache::compileStatic(Sys->Prog);
+    staticcache::SpecProgram SPOpt =
+        staticcache::compileStatic(Sys->Prog, Optimal);
+
+    Vm CopyOff = Sys->Machine;
+    ExecContext CtxOff(Sys->Prog, CopyOff);
+    RunOutcome OOff = staticcache::runStaticEngine(SPOff, CtxOff, Entry);
+    Vm CopyOn = Sys->Machine;
+    ExecContext CtxOn(Sys->Prog, CopyOn);
+    RunOutcome OOn = staticcache::runStaticEngine(SPOn, CtxOn, Entry);
+    Vm CopyOpt = Sys->Machine;
+    ExecContext CtxOpt(Sys->Prog, CopyOpt);
+    RunOutcome OOpt = staticcache::runStaticEngine(SPOpt, CtxOpt, Entry);
+
+    double TOff = timeRun(*Sys, SPOff, Entry);
+    double TOn = timeRun(*Sys, SPOn, Entry);
+    double TOpt = timeRun(*Sys, SPOpt, Entry);
+
+    auto Row = T.row();
+    Row.cell(W[I].Name)
+        .integer(static_cast<long long>(SPOff.Insts.size()))
+        .integer(static_cast<long long>(SPOn.Insts.size()))
+        .integer(static_cast<long long>(SPOpt.Insts.size()))
+        .integer(static_cast<long long>(OOff.Steps))
+        .integer(static_cast<long long>(OOn.Steps))
+        .integer(static_cast<long long>(OOpt.Steps))
+        .integer(static_cast<long long>(SPOn.ManipsRemoved))
+        .num(TOn / TOff, 3)
+        .num(TOpt / TOff, 3);
+  }
+  T.print();
+  std::printf("\n(time ratio < 1 means absorption makes execution faster)\n");
+  return 0;
+}

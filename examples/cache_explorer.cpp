@@ -1,0 +1,147 @@
+//===-- examples/cache_explorer.cpp - Organization explorer ----*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interactive-ish exploration of cache organizations (Section 3):
+///
+///   cache_explorer states <org> <regs>      list all states
+///   cache_explorer counts                   print Figure 18
+///   cache_explorer walk <regs> <followup> <effects...>
+///       simulate a sequence of stack effects ("2-1" means an
+///       instruction taking 2 items and producing 1) through the dynamic
+///       minimal-organization cache and show state + costs per step
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/Organization.h"
+#include "cache/Transition.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace sc;
+using namespace sc::cache;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: cache_explorer states <org> <regs>\n"
+               "       cache_explorer counts\n"
+               "       cache_explorer walk <regs> <followup> <in-out>...\n"
+               "  org: minimal | overflow | shuffle | nplus1 | onedup\n"
+               "  example: cache_explorer walk 2 1 0-1 0-1 2-1 1-0\n");
+  return 2;
+}
+
+static bool parseOrg(const char *S, OrgKind &K) {
+  if (!std::strcmp(S, "minimal"))
+    K = OrgKind::Minimal;
+  else if (!std::strcmp(S, "overflow"))
+    K = OrgKind::OverflowMoveOpt;
+  else if (!std::strcmp(S, "shuffle"))
+    K = OrgKind::ArbitraryShuffle;
+  else if (!std::strcmp(S, "nplus1"))
+    K = OrgKind::NPlusOneItems;
+  else if (!std::strcmp(S, "onedup"))
+    K = OrgKind::OneDuplication;
+  else
+    return false;
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+
+  if (!std::strcmp(Argv[1], "counts")) {
+    Table T;
+    {
+      auto Row = T.row();
+      Row.cell("registers");
+      for (int N = 1; N <= 8; ++N)
+        Row.integer(N);
+    }
+    for (OrgKind K :
+         {OrgKind::Minimal, OrgKind::OverflowMoveOpt,
+          OrgKind::ArbitraryShuffle, OrgKind::NPlusOneItems,
+          OrgKind::OneDuplication}) {
+      auto Row = T.row();
+      Row.cell(orgKindName(K));
+      for (unsigned N = 1; N <= 8; ++N)
+        Row.integer(static_cast<long long>(
+            makeOrganization(K, N)->countStates()));
+    }
+    {
+      auto Row = T.row();
+      Row.cell("two stacks");
+      for (unsigned N = 1; N <= 8; ++N)
+        Row.integer(static_cast<long long>(twoStackStateCount(N)));
+    }
+    T.print();
+    return 0;
+  }
+
+  if (!std::strcmp(Argv[1], "states")) {
+    if (Argc != 4)
+      return usage();
+    OrgKind K;
+    if (!parseOrg(Argv[2], K))
+      return usage();
+    unsigned Regs = static_cast<unsigned>(std::atoi(Argv[3]));
+    if (Regs < 1 || Regs > 6) {
+      std::fprintf(stderr, "cache_explorer: 1..6 registers, please\n");
+      return 2;
+    }
+    auto Org = makeOrganization(K, Regs);
+    std::printf("%s with %u registers: %llu states\n", Org->name(), Regs,
+                static_cast<unsigned long long>(Org->countStates()));
+    unsigned I = 0;
+    Org->enumerate([&I](const CacheState &S) {
+      std::printf("  %3u: %s\n", I++, S.str().c_str());
+    });
+    return 0;
+  }
+
+  if (!std::strcmp(Argv[1], "walk")) {
+    if (Argc < 4)
+      return usage();
+    MinimalPolicy P;
+    P.NumRegs = static_cast<unsigned>(std::atoi(Argv[2]));
+    P.OverflowFollowupDepth = static_cast<unsigned>(std::atoi(Argv[3]));
+    if (P.NumRegs < 1 || P.NumRegs > MaxCacheRegs ||
+        P.OverflowFollowupDepth > P.NumRegs)
+      return usage();
+    unsigned Depth = 0;
+    Counts Total;
+    std::printf("start: %s\n", CacheState::minimal(Depth).str().c_str());
+    for (int I = 4; I < Argc; ++I) {
+      int In, Out;
+      if (std::sscanf(Argv[I], "%d-%d", &In, &Out) != 2 || In < 0 ||
+          Out < 0 || In > 4 || Out > 4)
+        return usage();
+      Counts C = applyEffectMinimal(Depth, static_cast<unsigned>(In),
+                                    static_cast<unsigned>(Out), P);
+      Total += C;
+      std::printf("%d-%d -> %-18s loads=%llu stores=%llu moves=%llu "
+                  "updates=%llu%s%s\n",
+                  In, Out, CacheState::minimal(Depth).str().c_str(),
+                  static_cast<unsigned long long>(C.Loads),
+                  static_cast<unsigned long long>(C.Stores),
+                  static_cast<unsigned long long>(C.Moves),
+                  static_cast<unsigned long long>(C.SpUpdates),
+                  C.Overflows ? "  [overflow]" : "",
+                  C.Underflows ? "  [underflow]" : "");
+    }
+    std::printf("total access overhead: %llu cycles\n",
+                static_cast<unsigned long long>(Total.accessCycles()));
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,141 @@
+//===-- examples/forth_run.cpp - Forth runner CLI --------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A command line Forth runner:
+///
+///   forth_run [--engine E] [--word W] [--trace] file.fs
+///
+/// E is one of: switch, threaded, call-threaded, threaded-tos,
+/// dynamic3, static. W defaults to "main". With --trace, per-program
+/// Fig. 20-style statistics are printed after the run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dynamic/Dynamic3Engine.h"
+#include "forth/Forth.h"
+#include "staticcache/StaticEngine.h"
+#include "staticcache/StaticSpec.h"
+#include "trace/Capture.h"
+#include "trace/Simulators.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace sc;
+using namespace sc::vm;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: forth_run [--engine E] [--word W] [--trace] file.fs\n"
+               "  E: switch | threaded | call-threaded | threaded-tos |\n"
+               "     dynamic3 | static   (default: threaded)\n");
+  return 2;
+}
+
+int main(int Argc, char **Argv) {
+  std::string EngineName = "threaded";
+  std::string WordName = "main";
+  std::string FileName;
+  bool WantTrace = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--engine") && I + 1 < Argc)
+      EngineName = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--word") && I + 1 < Argc)
+      WordName = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--trace"))
+      WantTrace = true;
+    else if (Argv[I][0] == '-')
+      return usage();
+    else
+      FileName = Argv[I];
+  }
+  if (FileName.empty())
+    return usage();
+
+  std::ifstream In(FileName);
+  if (!In) {
+    std::fprintf(stderr, "forth_run: cannot open %s\n", FileName.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  forth::System Sys;
+  if (!Sys.load(Buf.str())) {
+    std::fprintf(stderr, "forth_run: %s: %s\n", FileName.c_str(),
+                 Sys.error().c_str());
+    return 1;
+  }
+  std::string VerifyErr;
+  if (!Sys.Prog.verify(&VerifyErr)) {
+    std::fprintf(stderr, "forth_run: %s: %s\n", FileName.c_str(),
+                 VerifyErr.c_str());
+    return 1;
+  }
+  if (!Sys.Prog.findWord(WordName)) {
+    std::fprintf(stderr, "forth_run: word '%s' is not defined\n",
+                 WordName.c_str());
+    return 1;
+  }
+
+  Vm Machine = Sys.Machine; // run against a copy, like runIsolated
+  Machine.resetOutput();
+  ExecContext Ctx(Sys.Prog, Machine);
+  RunOutcome O;
+  uint32_t Entry = Sys.entryOf(WordName);
+
+  if (EngineName == "dynamic3") {
+    O = dynamic::runDynamic3Engine(Ctx, Entry);
+  } else if (EngineName == "static") {
+    staticcache::SpecProgram SP = staticcache::compileStatic(Sys.Prog);
+    O = staticcache::runStaticEngine(SP, Ctx, Entry);
+  } else {
+    dispatch::EngineKind K;
+    if (EngineName == "switch")
+      K = dispatch::EngineKind::Switch;
+    else if (EngineName == "threaded")
+      K = dispatch::EngineKind::Threaded;
+    else if (EngineName == "call-threaded")
+      K = dispatch::EngineKind::CallThreaded;
+    else if (EngineName == "threaded-tos")
+      K = dispatch::EngineKind::ThreadedTos;
+    else
+      return usage();
+    O = dispatch::runEngine(K, Ctx, Entry);
+  }
+
+  std::fputs(Machine.Out.c_str(), stdout);
+  if (O.Status != RunStatus::Halted) {
+    std::fprintf(stderr, "forth_run: %s after %llu instructions\n",
+                 runStatusName(O.Status),
+                 static_cast<unsigned long long>(O.Steps));
+    return 1;
+  }
+  if (Ctx.DsDepth > 0) {
+    std::fprintf(stderr, "( stack:");
+    for (unsigned I = 0; I < Ctx.DsDepth; ++I)
+      std::fprintf(stderr, " %lld",
+                   static_cast<long long>(Ctx.DS[I]));
+    std::fprintf(stderr, " )\n");
+  }
+
+  if (WantTrace) {
+    trace::Trace T = trace::captureTrace(Sys, WordName);
+    trace::ProgramStats S = trace::fig20Stats(T);
+    std::fprintf(stderr,
+                 "instructions %llu, stack loads/inst %.2f, sp updates/inst "
+                 "%.2f, calls/inst %.3f\n",
+                 static_cast<unsigned long long>(S.Insts), S.LoadsPerInst,
+                 S.SpUpdatesPerInst, S.CallsPerInst);
+  }
+  return 0;
+}

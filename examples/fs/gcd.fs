@@ -1,0 +1,9 @@
+\ Euclid's algorithm and a small demonstration of stack words.
+: gcd ( a b -- g )  begin dup 0<> while tuck mod repeat drop ;
+: lcm ( a b -- l )  2dup gcd >r * abs r> / ;
+: main
+  48 18 gcd .
+  1071 462 gcd .
+  4 6 lcm .
+  21 6 lcm .
+  cr ;

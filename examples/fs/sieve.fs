@@ -1,0 +1,20 @@
+\ Sieve of Eratosthenes - the classic interpreter benchmark (the prior
+\ work [DV90] cited by the paper evaluated its caches on exactly this).
+8192 constant size
+create flags size allot
+
+: fill-flags  size 0 do 1 flags i + c! loop ;
+
+: sieve ( -- count )
+  fill-flags
+  0
+  size 2 do
+    flags i + c@ if
+      1+
+      i 2* size < if
+        size i 2* do 0 flags i + c! j +loop
+      then
+    then
+  loop ;
+
+: main  5 0 do sieve drop loop  sieve . cr ;

@@ -1,0 +1,219 @@
+//===-- examples/fuzz_engines.cpp - Differential fuzzer --------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Long-running differential fuzzer: generates random Forth programs
+/// (straight-line stack churn plus loops and conditionals) and requires
+/// all eight execution paths - four reference engines, the 3-state
+/// dynamic engine, the model interpreter with shadow checking, and the
+/// static engine under both code generators - to agree on status, stack,
+/// and output, with and without superinstruction fusion.
+///
+///   fuzz_engines [iterations] [seed]
+///
+/// Exit status 0 = no divergence found.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dynamic/Dynamic3Engine.h"
+#include "dynamic/ModelInterpreter.h"
+#include "forth/Forth.h"
+#include "staticcache/StaticEngine.h"
+#include "staticcache/StaticSpec.h"
+#include "superinst/Superinst.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace sc;
+using namespace sc::vm;
+
+namespace {
+
+struct Observed {
+  RunStatus Status;
+  std::vector<Cell> DS;
+  std::string Out;
+
+  bool operator==(const Observed &O) const {
+    return Status == O.Status && DS == O.DS && Out == O.Out;
+  }
+};
+
+std::string describe(const Observed &O) {
+  std::string S = runStatusName(O.Status);
+  S += " [";
+  for (Cell V : O.DS) {
+    S += std::to_string(V);
+    S += ' ';
+  }
+  S += "] out=\"";
+  S += O.Out;
+  S += '"';
+  return S;
+}
+
+std::string randomProgram(Rng &R) {
+  const char *Ops[] = {"+",    "-",    "*",   "dup",  "swap",  "over",
+                       "rot",  "nip",  "tuck", "drop", "max",   "min",
+                       "2dup", "2drop", "1+",  "1-",   "abs",   "negate",
+                       "xor",  "and",  "or",  "0=",   "<",     "=",
+                       "2*",   "2/",   "invert"};
+  std::string Src = "variable v : main ";
+  int Depth = static_cast<int>(R.range(0, 5));
+  for (int I = 0; I < Depth; ++I)
+    Src += std::to_string(R.range(-50, 50)) + " ";
+  int Len = static_cast<int>(R.range(5, 60));
+  int OpenLoops = 0, OpenIfs = 0;
+  for (int I = 0; I < Len; ++I) {
+    uint64_t Pick = R.below(100);
+    if (Pick < 25) {
+      Src += std::to_string(R.range(-9, 9)) + " ";
+    } else if (Pick < 30 && OpenLoops < 2) {
+      Src += std::to_string(R.range(1, 5)) + " 0 do ";
+      ++OpenLoops;
+    } else if (Pick < 33 && OpenLoops > 0) {
+      Src += "loop ";
+      --OpenLoops;
+    } else if (Pick < 37 && OpenIfs < 2) {
+      Src += std::to_string(R.range(-1, 1)) + " if ";
+      ++OpenIfs;
+    } else if (Pick < 40 && OpenIfs > 0) {
+      Src += R.chance(1, 2) ? "else 7 then " : "then ";
+      --OpenIfs;
+    } else if (Pick < 44) {
+      Src += R.chance(1, 2) ? "v ! " : "v @ ";
+    } else if (Pick < 46 && OpenLoops > 0) {
+      Src += "i + ";
+    } else {
+      Src += std::string(Ops[R.below(std::size(Ops))]) + " ";
+    }
+  }
+  while (OpenIfs-- > 0)
+    Src += "then ";
+  while (OpenLoops-- > 0)
+    Src += "loop ";
+  Src += ";";
+  return Src;
+}
+
+constexpr uint64_t FuzzStepBudget = 200000;
+
+Observed observe(const forth::System &Sys, const Code &Prog,
+                 uint32_t Entry, int Which) {
+  Vm Copy = Sys.Machine;
+  Copy.resetOutput();
+  ExecContext Ctx(Prog, Copy);
+  Ctx.MaxSteps = FuzzStepBudget;
+  RunOutcome O;
+  switch (Which) {
+  case 0:
+    O = dispatch::runSwitchEngine(Ctx, Entry);
+    break;
+  case 1:
+    O = dispatch::runThreadedEngine(Ctx, Entry);
+    break;
+  case 2:
+    O = dispatch::runCallThreadedEngine(Ctx, Entry);
+    break;
+  case 3:
+    O = dispatch::runThreadedTosEngine(Ctx, Entry);
+    break;
+  case 4:
+    O = dynamic::runDynamic3Engine(Ctx, Entry);
+    break;
+  case 5: {
+    dynamic::ModelConfig Cfg;
+    Cfg.Policy = {3, 2};
+    Cfg.VerifyShadow = true;
+    O = dynamic::runModelInterpreter(Ctx, Entry, Cfg).Outcome;
+    break;
+  }
+  case 6: {
+    staticcache::SpecProgram SP = staticcache::compileStatic(Prog);
+    O = staticcache::runStaticEngine(SP, Ctx, Entry);
+    break;
+  }
+  case 7: {
+    staticcache::StaticOptions Opts;
+    Opts.TwoPassOptimal = true;
+    staticcache::SpecProgram SP = staticcache::compileStatic(Prog, Opts);
+    O = staticcache::runStaticEngine(SP, Ctx, Entry);
+    break;
+  }
+  default:
+    sc::fatalError("bad engine id");
+  }
+  Observed Obs;
+  Obs.Status = O.Status;
+  Obs.DS.assign(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
+  Obs.Out = Copy.Out;
+  return Obs;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Iters = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 2000;
+  uint64_t Seed = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : 0x5eedf00d;
+  Rng R(Seed);
+  static const char *const Names[] = {
+      "switch",        "threaded", "call-threaded", "threaded-tos",
+      "dynamic3",      "model",    "static-greedy", "static-optimal"};
+
+  uint64_t Divergences = 0;
+  for (uint64_t Iter = 0; Iter < Iters; ++Iter) {
+    std::string Src = randomProgram(R);
+    forth::System Sys;
+    if (!Sys.load(Src))
+      continue; // stack-depth errors etc.: generator artifacts
+    std::string Err;
+    if (!Sys.Prog.verify(&Err)) {
+      std::printf("VERIFY FAILURE: %s\n  %s\n", Err.c_str(), Src.c_str());
+      return 1;
+    }
+    uint32_t Entry = Sys.entryOf("main");
+
+    Observed Ref = observe(Sys, Sys.Prog, Entry, 0);
+    for (int E = 1; E <= 7; ++E) {
+      Observed Got = observe(Sys, Sys.Prog, Entry, E);
+      if (!(Got == Ref)) {
+        std::printf("DIVERGENCE (%s vs switch):\n  %s\n  ref: %s\n  got: "
+                    "%s\n",
+                    Names[E], Src.c_str(), describe(Ref).c_str(),
+                    describe(Got).c_str());
+        ++Divergences;
+      }
+    }
+
+    // The superinstruction pass must preserve behaviour too.
+    superinst::CombineResult C =
+        superinst::combineSuperinstructions(Sys.Prog);
+    uint32_t CEntry = C.Combined.findWord("main")->Entry;
+    for (int E : {1, 4, 6}) {
+      Observed Got = observe(Sys, C.Combined, CEntry, E);
+      if (!(Got == Ref)) {
+        std::printf("DIVERGENCE (superinst, %s):\n  %s\n  ref: %s\n  got: "
+                    "%s\n",
+                    Names[E], Src.c_str(), describe(Ref).c_str(),
+                    describe(Got).c_str());
+        ++Divergences;
+      }
+    }
+    if ((Iter + 1) % 500 == 0)
+      std::printf("... %llu programs, %llu divergences\n",
+                  static_cast<unsigned long long>(Iter + 1),
+                  static_cast<unsigned long long>(Divergences));
+  }
+  std::printf("fuzz: %llu programs checked, %llu divergences\n",
+              static_cast<unsigned long long>(Iters),
+              static_cast<unsigned long long>(Divergences));
+  return Divergences == 0 ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+//===-- examples/tune_cache.cpp - Organization tuner -----------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper ends with "stack-based designs have to be evaluated
+/// empirically" - this tool does that for *your* program: it traces a
+/// Forth file and sweeps the cache design space (constant-k, dynamic
+/// minimal organizations, static canonical states, two-stack sharing),
+/// then reports the cheapest configuration of each kind under the
+/// paper's cost model.
+///
+///   tune_cache file.fs [word]
+///
+//===----------------------------------------------------------------------===//
+
+#include "forth/Forth.h"
+#include "support/Table.h"
+#include "trace/Capture.h"
+#include "trace/Simulators.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace sc;
+using namespace sc::cache;
+using namespace sc::trace;
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "usage: tune_cache file.fs [word]\n");
+    return 2;
+  }
+  std::ifstream In(Argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "tune_cache: cannot open %s\n", Argv[1]);
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  forth::System Sys;
+  if (!Sys.load(Buf.str())) {
+    std::fprintf(stderr, "tune_cache: %s\n", Sys.error().c_str());
+    return 1;
+  }
+  const char *Word = Argc > 2 ? Argv[2] : "main";
+  if (!Sys.Prog.findWord(Word)) {
+    std::fprintf(stderr, "tune_cache: word '%s' is not defined\n", Word);
+    return 1;
+  }
+
+  Trace T = captureTrace(Sys, Word);
+  ProgramStats S = fig20Stats(T);
+  std::printf("traced %llu instructions (%.2f stack loads/inst, %.3f "
+              "calls/inst)\n\n",
+              static_cast<unsigned long long>(S.Insts), S.LoadsPerInst,
+              S.CallsPerInst);
+
+  Table Out;
+  Out.addRow({"scheme", "best configuration", "overhead cyc/inst"});
+
+  { // constant-k
+    unsigned BestK = 0;
+    double Best = 1e30;
+    for (unsigned K = 0; K <= 8; ++K) {
+      double V = simulateConstantK(T, K).accessPerInst();
+      if (V < Best) {
+        Best = V;
+        BestK = K;
+      }
+    }
+    Out.row().cell("constant-k").cell("k = " + std::to_string(BestK)).num(
+        Best, 3);
+  }
+  { // dynamic minimal
+    unsigned BestR = 1, BestF = 0;
+    double Best = 1e30;
+    for (unsigned R = 1; R <= 8; ++R)
+      for (unsigned F = 0; F <= R; ++F) {
+        double V = simulateDynamic(T, {R, F}).accessPerInst();
+        if (V < Best) {
+          Best = V;
+          BestR = R;
+          BestF = F;
+        }
+      }
+    Out.row()
+        .cell("dynamic minimal")
+        .cell(std::to_string(BestR) + " regs, overflow followup " +
+              std::to_string(BestF))
+        .num(Best, 3);
+  }
+  { // static
+    unsigned BestR = 1, BestC = 0;
+    double Best = 1e30;
+    for (unsigned R = 1; R <= 8; ++R)
+      for (unsigned C = 0; C <= R; ++C) {
+        double V = simulateStatic(T, {R, C, true}).staticOverheadPerInst();
+        if (V < Best) {
+          Best = V;
+          BestR = R;
+          BestC = C;
+        }
+      }
+    Out.row()
+        .cell("static (disp saved)")
+        .cell(std::to_string(BestR) + " regs, canonical depth " +
+              std::to_string(BestC))
+        .num(Best, 3);
+  }
+  { // two-stack sharing
+    unsigned BestR = 2, BestF = 0, BestM = 0;
+    double Best = 1e30;
+    for (unsigned R = 2; R <= 8; ++R)
+      for (unsigned F = 0; F <= R; ++F)
+        for (unsigned M = 0; M <= 2; M += 2) {
+          double V = simulateTwoStack(T, {R, F, M}).accessPerInst();
+          if (V < Best) {
+            Best = V;
+            BestR = R;
+            BestF = F;
+            BestM = M;
+          }
+        }
+    Out.row()
+        .cell("two-stack (ret traffic incl.)")
+        .cell(std::to_string(BestR) + " regs, followup " +
+              std::to_string(BestF) +
+              (BestM ? ", 2 ret items shared" : ", data only"))
+        .num(Best, 3);
+  }
+  Out.print();
+  return 0;
+}

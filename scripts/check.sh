@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run all tests, run every benchmark.
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && "$b"
+done

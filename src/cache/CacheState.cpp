@@ -1,0 +1,69 @@
+//===-- cache/CacheState.cpp - Stack cache states -------------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheState.h"
+
+using namespace sc;
+using namespace sc::cache;
+
+CacheState CacheState::minimal(unsigned Depth) {
+  SC_ASSERT(Depth <= MaxCachedItems, "depth too large");
+  CacheState S;
+  S.Slots.resize(Depth);
+  for (unsigned I = 0; I < Depth; ++I)
+    S.Slots[I] = static_cast<RegId>(Depth - 1 - I);
+  return S;
+}
+
+CacheState CacheState::fromSlots(std::initializer_list<RegId> TosFirst) {
+  CacheState S;
+  for (RegId R : TosFirst)
+    S.Slots.push_back(R);
+  return S;
+}
+
+uint32_t CacheState::regMask() const {
+  uint32_t Mask = 0;
+  for (RegId R : Slots)
+    Mask |= 1u << R;
+  return Mask;
+}
+
+unsigned CacheState::regsUsed() const {
+  return static_cast<unsigned>(__builtin_popcount(regMask()));
+}
+
+bool CacheState::hasDuplicate() const { return regsUsed() != depth(); }
+
+bool CacheState::isMinimal() const {
+  for (unsigned I = 0; I < depth(); ++I)
+    if (Slots[I] != depth() - 1 - I)
+      return false;
+  return true;
+}
+
+uint64_t CacheState::encode() const {
+  static_assert(MaxCacheRegs <= 16, "4-bit slot encoding");
+  uint64_t E = depth();
+  for (unsigned I = 0; I < depth(); ++I)
+    E = (E << 4) | Slots[I];
+  return E;
+}
+
+std::string CacheState::str() const {
+  if (depth() == 0)
+    return "[]";
+  std::string S = "[t:";
+  for (unsigned I = 0; I < depth(); ++I) {
+    if (I)
+      S += ' ';
+    S += 'r';
+    S += std::to_string(Slots[I]);
+  }
+  S += ']';
+  return S;
+}

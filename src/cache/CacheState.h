@@ -1,0 +1,108 @@
+//===-- cache/CacheState.h - Stack cache states ----------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cache state is "an allowed mapping of stack items to machine
+/// registers" (Section 3). We represent it as a vector Slots where
+/// Slots[i] is the register holding the stack item at depth i (0 = top of
+/// stack); items at depth >= depth() live in memory. The same register
+/// appearing in several slots represents a duplicated stack item (Fig. 17
+/// organizations); non-canonical register orders represent shuffles.
+///
+/// The state implies the stack-pointer delta: following the paper's
+/// "good strategy that does not introduce additional states", the sp
+/// register differs from the true stack pointer by exactly depth() items,
+/// so sp updates are needed only when the cache <-> memory boundary moves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CACHE_CACHESTATE_H
+#define SC_CACHE_CACHESTATE_H
+
+#include "support/FixedVec.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sc::cache {
+
+/// Register index within the cache's register file.
+using RegId = uint8_t;
+
+/// Most registers any organization in this project uses; the paper
+/// evaluates up to 10, Fig. 18 tabulates up to 8.
+inline constexpr unsigned MaxCacheRegs = 12;
+
+/// Most stack items a state may cache (n+1-item organizations may exceed
+/// the register count by one; manip absorption may go a little further).
+inline constexpr unsigned MaxCachedItems = 14;
+
+/// One mapping of stack items to registers.
+class CacheState {
+  FixedVec<RegId, MaxCachedItems> Slots;
+
+public:
+  CacheState() = default;
+
+  /// The canonical ("minimal organization") state with \p Depth items:
+  /// the deepest cached item is in register 0, the TOS in register
+  /// Depth-1. Keeping the bottom fixed is the paper's arrangement that
+  /// avoids moves when only the top changes (Section 3.2).
+  static CacheState minimal(unsigned Depth);
+
+  /// Builds a state from TOS-first register ids.
+  static CacheState fromSlots(std::initializer_list<RegId> TosFirst);
+
+  /// Number of stack items held in registers.
+  unsigned depth() const { return Slots.size(); }
+
+  /// Register of the item at depth \p I (0 = TOS).
+  RegId reg(unsigned I) const { return Slots[I]; }
+
+  /// Mutators used by the simulators. pushReg caches one more item on
+  /// top; popTop uncaches the TOS; dropBottom flushes the deepest cached
+  /// item (its slot only - the store itself is the caller's business).
+  void pushReg(RegId R) { Slots.insert(0, R); }
+  void popTop() { Slots.erase(0); }
+  void dropBottom() { Slots.erase(Slots.size() - 1); }
+  void setReg(unsigned I, RegId R) { Slots[I] = R; }
+  void insertAt(unsigned I, RegId R) { Slots.insert(I, R); }
+  void eraseAt(unsigned I) { Slots.erase(I); }
+
+  /// Bitmask of registers used by any slot.
+  uint32_t regMask() const;
+
+  /// Number of distinct registers in use.
+  unsigned regsUsed() const;
+
+  /// True if some register holds more than one stack item.
+  bool hasDuplicate() const;
+
+  /// True if this is the canonical minimal-organization state.
+  bool isMinimal() const;
+
+  /// Dense encoding (4 bits per slot plus the depth); usable as a hash
+  /// key and total order. Requires MaxCacheRegs <= 16.
+  uint64_t encode() const;
+
+  /// Renders like "[t:r2 r1 r0]" (TOS first); "[]" when empty.
+  std::string str() const;
+
+  friend bool operator==(const CacheState &A, const CacheState &B) {
+    return A.Slots == B.Slots;
+  }
+  friend bool operator!=(const CacheState &A, const CacheState &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const CacheState &A, const CacheState &B) {
+    return A.encode() < B.encode();
+  }
+};
+
+} // namespace sc::cache
+
+#endif // SC_CACHE_CACHESTATE_H

@@ -1,0 +1,86 @@
+//===-- cache/CostModel.h - Overhead accounting ----------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's cost model (Section 6): "loads, stores, moves and stack
+/// pointer updates cost one cycle, instruction dispatches cost four
+/// cycles". Counts accumulates the events; CostModel weighs them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CACHE_COSTMODEL_H
+#define SC_CACHE_COSTMODEL_H
+
+#include <cstdint>
+
+namespace sc::cache {
+
+/// Cycle weights for the overhead components.
+struct CostModel {
+  unsigned LoadCost = 1;
+  unsigned StoreCost = 1;
+  unsigned MoveCost = 1;
+  unsigned SpUpdateCost = 1;
+  unsigned DispatchCost = 4;
+};
+
+/// Event counts accumulated by the simulators. "Insts" counts original
+/// virtual machine instructions; "Dispatches" may be lower under static
+/// caching because stack manipulations are optimized away.
+struct Counts {
+  uint64_t Loads = 0;     ///< stack-memory loads
+  uint64_t Stores = 0;    ///< stack-memory stores
+  uint64_t Moves = 0;     ///< register-to-register cache-management moves
+  uint64_t SpUpdates = 0; ///< stack pointer register updates
+  uint64_t Dispatches = 0;
+  uint64_t Insts = 0;
+  uint64_t Overflows = 0;  ///< cache overflow events (spills)
+  uint64_t Underflows = 0; ///< cache underflow events (fills)
+
+  Counts &operator+=(const Counts &O) {
+    Loads += O.Loads;
+    Stores += O.Stores;
+    Moves += O.Moves;
+    SpUpdates += O.SpUpdates;
+    Dispatches += O.Dispatches;
+    Insts += O.Insts;
+    Overflows += O.Overflows;
+    Underflows += O.Underflows;
+    return *this;
+  }
+
+  friend Counts operator+(Counts A, const Counts &B) { return A += B; }
+
+  /// Argument-access overhead in cycles (loads+stores+moves+updates).
+  uint64_t accessCycles(const CostModel &M = CostModel()) const {
+    return Loads * M.LoadCost + Stores * M.StoreCost + Moves * M.MoveCost +
+           SpUpdates * M.SpUpdateCost;
+  }
+
+  /// Argument-access overhead per executed instruction (the y axis of
+  /// Figs. 21-23 and 26).
+  double accessPerInst(const CostModel &M = CostModel()) const {
+    return Insts == 0 ? 0.0
+                      : static_cast<double>(accessCycles(M)) /
+                            static_cast<double>(Insts);
+  }
+
+  /// Static-caching overhead per original instruction with the dispatches
+  /// that were optimized away subtracted (the y axis of Fig. 24; can be
+  /// negative when dispatch is expensive).
+  double staticOverheadPerInst(const CostModel &M = CostModel()) const {
+    if (Insts == 0)
+      return 0.0;
+    double Saved = static_cast<double>(Insts - Dispatches) * M.DispatchCost;
+    return (static_cast<double>(accessCycles(M)) - Saved) /
+           static_cast<double>(Insts);
+  }
+};
+
+} // namespace sc::cache
+
+#endif // SC_CACHE_COSTMODEL_H

@@ -1,0 +1,94 @@
+//===-- cache/Reconcile.cpp - State-to-state transition costs -------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/Reconcile.h"
+
+#include "support/Assert.h"
+
+using namespace sc;
+using namespace sc::cache;
+
+Counts sc::cache::reconcile(const CacheState &From, const CacheState &To) {
+  SC_ASSERT(!To.hasDuplicate(), "reconcile target must be duplicate-free");
+  Counts C;
+  unsigned DF = From.depth(), DT = To.depth();
+  unsigned Common = DF < DT ? DF : DT;
+
+  // Items cached in From beyond To's depth must be flushed to memory.
+  C.Stores += DF > DT ? DF - DT : 0;
+  // Items cached in To beyond From's depth are loaded from memory.
+  C.Loads += DT > DF ? DT - DF : 0;
+  // The cache/memory boundary shifts iff the depths differ.
+  C.SpUpdates += DF != DT ? 1 : 0;
+
+  // Items cached in both: a parallel copy. Build Source[t] = register that
+  // must end up in target register t. To is duplicate-free, so each target
+  // has at most one source; From duplicates simply fan one source out.
+  int Source[MaxCacheRegs];
+  for (unsigned I = 0; I < MaxCacheRegs; ++I)
+    Source[I] = -1;
+  for (unsigned P = 0; P < Common; ++P) {
+    RegId T = To.reg(P), S = From.reg(P);
+    SC_ASSERT(T < MaxCacheRegs && S < MaxCacheRegs, "register out of range");
+    Source[T] = S;
+  }
+
+  // One move per target register whose content changes...
+  auto IsMoving = [&](unsigned R) {
+    return Source[R] >= 0 && Source[R] != static_cast<int>(R);
+  };
+  for (unsigned T = 0; T < MaxCacheRegs; ++T)
+    if (IsMoving(T))
+      ++C.Moves;
+
+  // ...plus one extra transfer per dependency cycle that must go through
+  // a temporary. Following t -> Source[t] from any start either
+  // terminates at a non-moving register or enters a cycle; a cycle is
+  // recognized when the walk returns to a register already on the
+  // current path. One subtlety keeps the count optimal: when a cycle
+  // member's value also fans out to a target *outside* the cycle (a
+  // duplicated stack item), performing that copy first leaves the copy
+  // as a free temporary, so the cycle costs nothing extra.
+  uint8_t Color[MaxCacheRegs] = {}; // 0 = new, 1 = on current path, 2 = done
+  for (unsigned Start = 0; Start < MaxCacheRegs; ++Start) {
+    if (!IsMoving(Start) || Color[Start] != 0)
+      continue;
+    unsigned Path[MaxCacheRegs];
+    unsigned PathLen = 0;
+    unsigned Cur = Start;
+    while (true) {
+      Color[Cur] = 1;
+      Path[PathLen++] = Cur;
+      unsigned Next = static_cast<unsigned>(Source[Cur]);
+      if (!IsMoving(Next))
+        break; // chain ends: Next's own content needs no rescue
+      if (Color[Next] == 1) {
+        // Cycle: the members are the path suffix starting at Next.
+        unsigned CycleStart = 0;
+        while (Path[CycleStart] != Next)
+          ++CycleStart;
+        bool InCycle[MaxCacheRegs] = {};
+        for (unsigned I = CycleStart; I < PathLen; ++I)
+          InCycle[Path[I]] = true;
+        bool HasExternalFanOut = false;
+        for (unsigned T = 0; T < MaxCacheRegs && !HasExternalFanOut; ++T)
+          if (IsMoving(T) && !InCycle[T] &&
+              InCycle[static_cast<unsigned>(Source[T])])
+            HasExternalFanOut = true;
+        if (!HasExternalFanOut)
+          ++C.Moves; // break the cycle via a temporary register/slot
+        break;
+      }
+      if (Color[Next] == 2)
+        break; // merges into an already processed chain
+      Cur = Next;
+    }
+    for (unsigned I = 0; I < PathLen; ++I)
+      Color[Path[I]] = 2;
+  }
+  return C;
+}

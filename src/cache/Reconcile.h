@@ -1,0 +1,43 @@
+//===-- cache/Reconcile.h - State-to-state transition costs ----*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the cost of changing the cache from one state to another
+/// while the logical stack contents stay fixed. This is the engine behind
+/// everything that "makes the state conform": overflow/underflow followup
+/// transitions, control-flow-convention resets to the canonical state,
+/// calling conventions, and materializing shuffle/duplication states.
+///
+/// Cost components, following the paper's model:
+///  * loads  - stack items cached in To but not in From
+///  * stores - stack items cached in From but beyond To's depth
+///  * moves  - a minimal parallel-copy sequence for items cached in both
+///             (one move per register that must change, plus one extra
+///             per dependency cycle, e.g. a swap costs 3 via a temporary)
+///  * one stack pointer update iff the cache/memory boundary shifts
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CACHE_RECONCILE_H
+#define SC_CACHE_RECONCILE_H
+
+#include "cache/CacheState.h"
+#include "cache/CostModel.h"
+
+namespace sc::cache {
+
+/// Returns the event counts (loads/stores/moves/sp updates only) required
+/// to re-map the cached stack items from \p From to \p To.
+///
+/// \p To must not hold the same register in two slots (a duplicate target
+/// would require two stack positions to contain equal values, which a
+/// reconciliation cannot conjure). \p From may contain duplicates.
+Counts reconcile(const CacheState &From, const CacheState &To);
+
+} // namespace sc::cache
+
+#endif // SC_CACHE_RECONCILE_H

@@ -1,0 +1,154 @@
+//===-- cache/Transition.cpp - Cache transition functions -----------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/Transition.h"
+
+#include "support/Assert.h"
+
+using namespace sc;
+using namespace sc::cache;
+using vm::Opcode;
+
+Counts sc::cache::applyEffectMinimal(unsigned &Depth, unsigned In,
+                                     unsigned Out, const MinimalPolicy &P) {
+  unsigned N = P.NumRegs;
+  SC_ASSERT(Depth <= N, "cache deeper than the register file");
+  SC_ASSERT(P.OverflowFollowupDepth <= N, "followup state out of range");
+  Counts C;
+
+  if (Depth < In) {
+    // Underflow: the deeper arguments are loaded from memory; afterwards
+    // the cache holds the produced items (the paper's underflow followup).
+    C.Underflows = 1;
+    C.Loads = In - Depth;
+    unsigned NewDepth = Out <= N ? Out : N;
+    C.Stores = Out - NewDepth; // only when an op produces > N items
+    C.SpUpdates = 1;
+    Depth = NewDepth;
+    return C;
+  }
+
+  unsigned DPrime = Depth - In + Out;
+  if (DPrime <= N) {
+    // The common case: everything stays in registers. With the
+    // bottom-anchored minimal layout the surviving items keep their
+    // registers, so this costs nothing - the very point of the scheme.
+    Depth = DPrime;
+    return C;
+  }
+
+  // Overflow: spill down to the followup state F. Spilled items are
+  // stored; survivors that remain cached slide down to the bottom-anchored
+  // layout of depth F, costing one move each (outputs are written to
+  // their final registers by the operation itself).
+  C.Overflows = 1;
+  unsigned F = P.OverflowFollowupDepth;
+  C.Stores = DPrime - F;
+  C.Moves = F > Out ? F - Out : 0;
+  C.SpUpdates = 1;
+  Depth = F;
+  return C;
+}
+
+Counts sc::cache::applyEffectConstantK(unsigned K, uint64_t StackDepth,
+                                       unsigned In, unsigned Out) {
+  SC_ASSERT(StackDepth >= In, "trace underflows the logical stack");
+  Counts C;
+  unsigned Cached = static_cast<unsigned>(
+      K < StackDepth ? K : StackDepth);
+  unsigned FromRegs = In < Cached ? In : Cached;
+  C.Loads = In - FromRegs; // deeper arguments come from memory
+  unsigned Survivors = Cached - FromRegs;
+  uint64_t SPrime = StackDepth - In + Out;
+  unsigned CachedAfter = static_cast<unsigned>(K < SPrime ? K : SPrime);
+  unsigned Have = Survivors + Out;
+
+  unsigned StoredFromSurvivors = 0;
+  if (Have > CachedAfter) {
+    unsigned Excess = Have - CachedAfter;
+    C.Stores = Excess; // bottom items no longer fit
+    StoredFromSurvivors = Excess < Survivors ? Excess : Survivors;
+  } else if (Have < CachedAfter) {
+    C.Loads += CachedAfter - Have; // refill to keep exactly K cached
+  }
+
+  // Surviving cached items shift position whenever the instruction is not
+  // stack-neutral; each survivor still cached afterwards is one move.
+  if (In != Out)
+    C.Moves = Survivors - StoredFromSurvivors;
+
+  uint64_t MemBefore = StackDepth - Cached;
+  uint64_t MemAfter = SPrime - CachedAfter;
+  if (MemBefore != MemAfter)
+    C.SpUpdates = 1;
+  return C;
+}
+
+bool sc::cache::isAbsorbableManip(Opcode Op) {
+  switch (Op) {
+  case Opcode::Dup:
+  case Opcode::Drop:
+  case Opcode::Swap:
+  case Opcode::Over:
+  case Opcode::Rot:
+  case Opcode::Nip:
+  case Opcode::Tuck:
+  case Opcode::TwoDup:
+  case Opcode::TwoDrop:
+    return true;
+  default:
+    return false;
+  }
+}
+
+CacheState sc::cache::applyManipToState(const CacheState &S, Opcode Op) {
+  SC_ASSERT(isAbsorbableManip(Op), "not a stack manipulation");
+  SC_ASSERT(S.depth() >= vm::dataEffect(Op).In,
+            "manip arguments not all cached");
+  CacheState R = S;
+  switch (Op) {
+  case Opcode::Dup: // ( a -- a a )
+    R.insertAt(0, R.reg(0));
+    return R;
+  case Opcode::Drop: // ( a -- )
+    R.eraseAt(0);
+    return R;
+  case Opcode::Swap: { // ( a b -- b a )
+    RegId T = R.reg(0);
+    R.setReg(0, R.reg(1));
+    R.setReg(1, T);
+    return R;
+  }
+  case Opcode::Over: // ( a b -- a b a )
+    R.insertAt(0, R.reg(1));
+    return R;
+  case Opcode::Rot: { // ( a b c -- b c a ): new top is old third
+    RegId A = R.reg(2);
+    R.eraseAt(2);
+    R.insertAt(0, A);
+    return R;
+  }
+  case Opcode::Nip: // ( a b -- b )
+    R.eraseAt(1);
+    return R;
+  case Opcode::Tuck: // ( a b -- b a b )
+    R.insertAt(2, R.reg(0));
+    return R;
+  case Opcode::TwoDup: { // ( a b -- a b a b ), top-first [b a b a ...]
+    RegId B = R.reg(0), A = R.reg(1);
+    R.insertAt(0, A);
+    R.insertAt(0, B);
+    return R;
+  }
+  case Opcode::TwoDrop: // ( a b -- )
+    R.eraseAt(0);
+    R.eraseAt(0);
+    return R;
+  default:
+    sc::unreachable("not a manip opcode");
+  }
+}

@@ -1,0 +1,69 @@
+//===-- cache/Transition.h - Cache transition functions --------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transition functions of the three argument-access schemes the
+/// paper evaluates (Section 6), expressed over instruction stack effects:
+///
+///  * applyEffectConstantK - "keeping a constant number of items in
+///    registers" (Fig. 21). Stateless apart from the logical stack depth.
+///  * applyEffectMinimal - dynamic stack caching over a minimal
+///    organization (Figs. 22/23), parameterized by the overflow followup
+///    state; the underflow followup is the state holding exactly the
+///    items the underflowing instruction produces (the paper's choice).
+///  * applyManipToState - the slot algebra of the stack manipulation
+///    primitives, used by static caching to optimize them away.
+///
+/// Only cache-management overhead is counted: underflow fills, overflow
+/// spills and their moves, and stack-pointer updates. Performing the
+/// instruction's own function (including a dup's copy) is not overhead,
+/// in any scheme - this keeps the three schemes comparable, like the
+/// paper's instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CACHE_TRANSITION_H
+#define SC_CACHE_TRANSITION_H
+
+#include "cache/CacheState.h"
+#include "cache/CostModel.h"
+#include "vm/Opcode.h"
+
+namespace sc::cache {
+
+/// Policy knobs for the dynamic minimal-organization cache.
+struct MinimalPolicy {
+  unsigned NumRegs = 1;
+  /// Cached depth after an overflow spill (the "overflow followup state",
+  /// the x axis of Figs. 22/23). Must be <= NumRegs.
+  unsigned OverflowFollowupDepth = 0;
+};
+
+/// Applies one instruction with data-stack effect (\p In, \p Out) to a
+/// minimal-organization cache holding \p Depth items; updates \p Depth
+/// and returns the management costs (no dispatch).
+Counts applyEffectMinimal(unsigned &Depth, unsigned In, unsigned Out,
+                          const MinimalPolicy &P);
+
+/// Applies one instruction under the constant-k scheme. \p StackDepth is
+/// the logical stack depth before the instruction (items cached =
+/// min(K, StackDepth)).
+Counts applyEffectConstantK(unsigned K, uint64_t StackDepth, unsigned In,
+                            unsigned Out);
+
+/// Returns true if \p Op is a stack manipulation this library can absorb
+/// into a cache-state change (Section 5: "stack manipulations are
+/// optimized away").
+bool isAbsorbableManip(vm::Opcode Op);
+
+/// Applies the permutation/duplication of manip \p Op to \p S.
+/// Requires isAbsorbableManip(Op) and S.depth() >= dataEffect(Op).In.
+CacheState applyManipToState(const CacheState &S, vm::Opcode Op);
+
+} // namespace sc::cache
+
+#endif // SC_CACHE_TRANSITION_H

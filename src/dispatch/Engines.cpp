@@ -1,0 +1,42 @@
+//===-- dispatch/Engines.cpp - Engine selection helpers -------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/Engines.h"
+
+#include "support/Assert.h"
+
+using namespace sc;
+using namespace sc::vm;
+
+const char *sc::dispatch::engineName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Switch:
+    return "switch";
+  case EngineKind::Threaded:
+    return "threaded";
+  case EngineKind::CallThreaded:
+    return "call-threaded";
+  case EngineKind::ThreadedTos:
+    return "threaded-tos";
+  }
+  sc::unreachable("bad EngineKind");
+}
+
+RunOutcome sc::dispatch::runEngine(EngineKind K, ExecContext &Ctx,
+                                   uint32_t Entry) {
+  switch (K) {
+  case EngineKind::Switch:
+    return runSwitchEngine(Ctx, Entry);
+  case EngineKind::Threaded:
+    return runThreadedEngine(Ctx, Entry);
+  case EngineKind::CallThreaded:
+    return runCallThreadedEngine(Ctx, Entry);
+  case EngineKind::ThreadedTos:
+    return runThreadedTosEngine(Ctx, Entry);
+  }
+  sc::unreachable("bad EngineKind");
+}

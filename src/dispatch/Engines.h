@@ -1,0 +1,67 @@
+//===-- dispatch/Engines.h - The four reference engines --------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's three dispatch techniques (Section 2.1) plus the simplest
+/// form of stack caching (Section 2.3, "keeping the top of stack in a
+/// register"), each as a complete engine over the same instruction set:
+///
+///  * runSwitchEngine      - giant switch (the paper's Fig. 2)
+///  * runThreadedEngine    - direct threading with GNU C labels-as-values
+///                           (Fig. 8)
+///  * runCallThreadedEngine- direct call threading with VM registers in
+///                           static variables (Fig. 3)
+///  * runThreadedTosEngine - direct threading + top-of-stack in a register
+///                           (Fig. 12; the "constant 1 item" scheme)
+///
+/// All engines execute the same verified Code against an ExecContext and
+/// must produce identical observable results; the test suite checks this
+/// differentially on every workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_DISPATCH_ENGINES_H
+#define SC_DISPATCH_ENGINES_H
+
+#include "vm/ExecContext.h"
+
+namespace sc::dispatch {
+
+/// Identifies one of the reference engines; used by tests and benches to
+/// iterate over all of them.
+enum class EngineKind {
+  Switch,
+  Threaded,
+  CallThreaded,
+  ThreadedTos,
+};
+
+/// Human-readable engine name.
+const char *engineName(EngineKind K);
+
+/// Switch dispatch (Fig. 2): one big switch in a loop; virtual machine
+/// registers live in locals.
+vm::RunOutcome runSwitchEngine(vm::ExecContext &Ctx, uint32_t Entry);
+
+/// Direct threading (Fig. 8): instructions are label addresses, dispatch
+/// is "goto *ip++". Requires GNU C labels-as-values.
+vm::RunOutcome runThreadedEngine(vm::ExecContext &Ctx, uint32_t Entry);
+
+/// Direct call threading (Fig. 3): every primitive is a function, the VM
+/// registers live in static storage (this is exactly why the paper finds
+/// the technique slow). Not reentrant; single-threaded use only.
+vm::RunOutcome runCallThreadedEngine(vm::ExecContext &Ctx, uint32_t Entry);
+
+/// Direct threading with the top of stack cached in a register (Fig. 12).
+vm::RunOutcome runThreadedTosEngine(vm::ExecContext &Ctx, uint32_t Entry);
+
+/// Runs the engine selected by \p K.
+vm::RunOutcome runEngine(EngineKind K, vm::ExecContext &Ctx, uint32_t Entry);
+
+} // namespace sc::dispatch
+
+#endif // SC_DISPATCH_ENGINES_H

@@ -1,0 +1,147 @@
+//===-- dispatch/SwitchEngineImpl.h - Switch dispatch template -*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The switch-dispatch engine as a template over a tracer policy. The
+/// trace module instantiates it with a recording tracer to capture the
+/// instruction streams that drive the paper's simulations; the plain
+/// engine instantiates it with NullTracer (zero overhead).
+///
+/// Tracer requirements:
+///   void onInst(uint32_t Ip, vm::Opcode Op);
+///   void onRTraffic(unsigned Stores, unsigned Loads, bool SpMoved);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_DISPATCH_SWITCHENGINEIMPL_H
+#define SC_DISPATCH_SWITCHENGINEIMPL_H
+
+#include "support/Assert.h"
+#include "vm/ExecContext.h"
+#include "vm/ArithOps.h"
+
+namespace sc::dispatch {
+
+/// Tracer that records nothing; optimizes away completely.
+struct NullTracer {
+  void onInst(uint32_t, vm::Opcode) {}
+  void onRTraffic(unsigned, unsigned, bool) {}
+};
+
+/// Runs \p Ctx.Prog starting at instruction \p Entry using switch
+/// dispatch, reporting every executed instruction to \p Tr.
+template <typename Tracer>
+vm::RunOutcome runSwitchImpl(vm::ExecContext &Ctx, uint32_t Entry,
+                             Tracer &Tr) {
+  using namespace sc::vm;
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  const Inst *Insts = Ctx.Prog->Insts.data();
+  const UCell CodeSize = Ctx.Prog->Insts.size();
+  Vm &TheVm = *Ctx.Machine;
+  Cell *Stack = Ctx.DS.data();
+  Cell *RStack = Ctx.RS.data();
+  unsigned Dsp = Ctx.DsDepth;
+  unsigned Rsp = Ctx.RsDepth;
+  uint64_t StepsLeft = Ctx.MaxSteps;
+  uint64_t Steps = 0;
+  RunStatus St = RunStatus::Halted;
+  uint32_t Ip = Entry;
+
+  SC_ASSERT(Entry < CodeSize, "entry out of range");
+  // Seed the return stack so the entry word's Exit lands on the Halt at
+  // instruction 0.
+  if (Rsp >= ExecContext::StackCells) {
+    Ctx.DsDepth = Dsp;
+    Ctx.RsDepth = Rsp;
+    return {RunStatus::RStackOverflow, 0};
+  }
+  RStack[Rsp++] = 0;
+
+#define SC_CASE(Name) case Opcode::Name:
+#define SC_END break;
+#define SC_OPERAND (In.Operand)
+#define SC_NEXTIP (Ip)
+#define SC_JUMP(T)                                                            \
+  {                                                                            \
+    Ip = static_cast<uint32_t>(T);                                             \
+    break;                                                                     \
+  }
+#define SC_CODE_SIZE CodeSize
+#define SC_TRAP(S)                                                             \
+  {                                                                            \
+    St = RunStatus::S;                                                         \
+    goto Done;                                                                 \
+  }
+#define SC_HALT                                                                \
+  {                                                                            \
+    St = RunStatus::Halted;                                                    \
+    goto Done;                                                                 \
+  }
+#define SC_NEED(N)                                                             \
+  if (Dsp < static_cast<unsigned>(N))                                          \
+  SC_TRAP(StackUnderflow)
+#define SC_ROOM(N)                                                             \
+  if (Dsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  SC_TRAP(StackOverflow)
+#define SC_PUSH(X) Stack[Dsp++] = (X)
+#define SC_POPV (Stack[--Dsp])
+#define SC_RNEED(N)                                                            \
+  if (Rsp < static_cast<unsigned>(N))                                          \
+  SC_TRAP(RStackUnderflow)
+#define SC_RROOM(N)                                                            \
+  if (Rsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  SC_TRAP(RStackOverflow)
+#define SC_RPUSH(X) RStack[Rsp++] = (X)
+#define SC_RPOPV (RStack[--Rsp])
+#define SC_RPEEK(I) (RStack[Rsp - 1 - (I)])
+#define SC_VMREF TheVm
+#define SC_RTRAFFIC(S, L, M) Tr.onRTraffic((S), (L), (M))
+
+  for (;;) {
+    if (StepsLeft == 0) {
+      St = RunStatus::StepLimit;
+      goto Done;
+    }
+    --StepsLeft;
+    const Inst &In = Insts[Ip];
+    Tr.onInst(Ip, In.Op);
+    ++Steps;
+    ++Ip; // SC_NEXTIP; branch bodies overwrite via SC_JUMP
+    switch (In.Op) {
+#include "dispatch/InstBodies.inc"
+    }
+  }
+
+Done:
+#undef SC_CASE
+#undef SC_END
+#undef SC_OPERAND
+#undef SC_NEXTIP
+#undef SC_JUMP
+#undef SC_CODE_SIZE
+#undef SC_TRAP
+#undef SC_HALT
+#undef SC_NEED
+#undef SC_ROOM
+#undef SC_PUSH
+#undef SC_POPV
+#undef SC_RNEED
+#undef SC_RROOM
+#undef SC_RPUSH
+#undef SC_RPOPV
+#undef SC_RPEEK
+#undef SC_VMREF
+#undef SC_RTRAFFIC
+
+  Ctx.DsDepth = Dsp;
+  Ctx.RsDepth = Rsp;
+  return {St, Steps};
+}
+
+} // namespace sc::dispatch
+
+#endif // SC_DISPATCH_SWITCHENGINEIMPL_H

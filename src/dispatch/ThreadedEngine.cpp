@@ -1,0 +1,151 @@
+//===-- dispatch/ThreadedEngine.cpp - Direct threading (Fig. 8) -----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct threading using GNU C labels-as-values, the paper's recommended
+/// technique: every instruction is translated to the address of its
+/// handler and dispatch is a single indirect goto. Threaded code uses a
+/// uniform two-cell layout (handler address, operand) so that a virtual
+/// instruction index maps to threaded index * 2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/Engines.h"
+
+#include "support/Assert.h"
+#include "vm/ArithOps.h"
+
+#include <vector>
+
+using namespace sc;
+using namespace sc::vm;
+
+vm::RunOutcome sc::dispatch::runThreadedEngine(ExecContext &Ctx,
+                                               uint32_t Entry) {
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  const Code &Prog = *Ctx.Prog;
+  const UCell CodeSize = Prog.Insts.size();
+  SC_ASSERT(Entry < CodeSize, "entry out of range");
+
+  // Handler addresses, one per opcode. GNU extension: labels as values.
+  static const void *const Labels[NumOpcodes] = {
+#define SC_OPCODE_LABEL(Name, Mn, DI, DO, RI, RO, HasOp, Kind) &&L_##Name,
+      SC_FOR_EACH_OPCODE(SC_OPCODE_LABEL)
+#undef SC_OPCODE_LABEL
+  };
+
+  // Translate to threaded code: [handler, operand] per instruction.
+  std::vector<Cell> Threaded(2 * CodeSize);
+  for (UCell I = 0; I < CodeSize; ++I) {
+    const Inst &In = Prog.Insts[I];
+    Threaded[2 * I] = reinterpret_cast<Cell>(
+        Labels[static_cast<unsigned>(In.Op)]);
+    Threaded[2 * I + 1] = In.Operand;
+  }
+
+  Vm &TheVm = *Ctx.Machine;
+  const Cell *Base = Threaded.data();
+  const Cell *Ip = Base + 2 * Entry;
+  const Cell *W = Ip; // current instruction (operand at W[1])
+  Cell *Stack = Ctx.DS.data();
+  Cell *RStack = Ctx.RS.data();
+  unsigned Dsp = Ctx.DsDepth;
+  unsigned Rsp = Ctx.RsDepth;
+  uint64_t StepsLeft = Ctx.MaxSteps;
+  uint64_t Steps = 0;
+  RunStatus St = RunStatus::Halted;
+
+  if (Rsp >= ExecContext::StackCells) {
+    Ctx.DsDepth = Dsp;
+    Ctx.RsDepth = Rsp;
+    return {RunStatus::RStackOverflow, 0};
+  }
+  RStack[Rsp++] = 0;
+
+#define SC_NEXT                                                                \
+  {                                                                            \
+    if (StepsLeft == 0) {                                                      \
+      St = RunStatus::StepLimit;                                               \
+      goto Done;                                                               \
+    }                                                                          \
+    --StepsLeft;                                                               \
+    ++Steps;                                                                   \
+    W = Ip;                                                                    \
+    Ip += 2;                                                                   \
+    goto *reinterpret_cast<void *>(W[0]);                                      \
+  }
+
+#define SC_CASE(Name) L_##Name:
+#define SC_END SC_NEXT
+#define SC_OPERAND (W[1])
+#define SC_NEXTIP ((W - Base) / 2 + 1)
+#define SC_JUMP(T)                                                             \
+  {                                                                            \
+    Ip = Base + 2 * static_cast<UCell>(T);                                     \
+    SC_NEXT;                                                                   \
+  }
+#define SC_CODE_SIZE CodeSize
+#define SC_TRAP(S)                                                             \
+  {                                                                            \
+    St = RunStatus::S;                                                         \
+    goto Done;                                                                 \
+  }
+#define SC_HALT                                                                \
+  {                                                                            \
+    St = RunStatus::Halted;                                                    \
+    goto Done;                                                                 \
+  }
+#define SC_NEED(N)                                                             \
+  if (Dsp < static_cast<unsigned>(N))                                          \
+  SC_TRAP(StackUnderflow)
+#define SC_ROOM(N)                                                             \
+  if (Dsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  SC_TRAP(StackOverflow)
+#define SC_PUSH(X) Stack[Dsp++] = (X)
+#define SC_POPV (Stack[--Dsp])
+#define SC_RNEED(N)                                                            \
+  if (Rsp < static_cast<unsigned>(N))                                          \
+  SC_TRAP(RStackUnderflow)
+#define SC_RROOM(N)                                                            \
+  if (Rsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  SC_TRAP(RStackOverflow)
+#define SC_RPUSH(X) RStack[Rsp++] = (X)
+#define SC_RPOPV (RStack[--Rsp])
+#define SC_RPEEK(I) (RStack[Rsp - 1 - (I)])
+#define SC_VMREF TheVm
+#define SC_RTRAFFIC(S, L, M) ((void)0)
+
+  SC_NEXT; // dispatch the first instruction
+
+#include "dispatch/InstBodies.inc"
+
+Done:
+#undef SC_NEXT
+#undef SC_CASE
+#undef SC_END
+#undef SC_OPERAND
+#undef SC_NEXTIP
+#undef SC_JUMP
+#undef SC_CODE_SIZE
+#undef SC_TRAP
+#undef SC_HALT
+#undef SC_NEED
+#undef SC_ROOM
+#undef SC_PUSH
+#undef SC_POPV
+#undef SC_RNEED
+#undef SC_RROOM
+#undef SC_RPUSH
+#undef SC_RPOPV
+#undef SC_RPEEK
+#undef SC_VMREF
+#undef SC_RTRAFFIC
+
+  Ctx.DsDepth = Dsp;
+  Ctx.RsDepth = Rsp;
+  return {St, Steps};
+}

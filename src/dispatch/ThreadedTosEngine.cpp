@@ -1,0 +1,176 @@
+//===-- dispatch/ThreadedTosEngine.cpp - Threading + TOS reg (Fig. 12) ----===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct threading with the top of stack kept in a (hopefully) machine
+/// register: the "constant 1 item in registers" scheme of Section 2.3,
+/// which the paper measures at 7%-11% wall-clock speedup on an R3000.
+///
+/// Stack layout: with logical depth D, items 0..D-2 (bottom to
+/// next-on-top) live in Buf[1..D-1], the top item lives in the local Tos,
+/// and Sp == Buf + D. Buf[0] is a junk slot: pushing onto an empty stack
+/// writes the (meaningless) Tos there and popping the last item reloads
+/// junk into Tos, so push and pop stay branch-free.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/Engines.h"
+
+#include "support/Assert.h"
+#include "vm/ArithOps.h"
+
+#include <cstddef>
+#include <vector>
+
+using namespace sc;
+using namespace sc::vm;
+
+vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
+                                                  uint32_t Entry) {
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  const Code &Prog = *Ctx.Prog;
+  const UCell CodeSize = Prog.Insts.size();
+  SC_ASSERT(Entry < CodeSize, "entry out of range");
+
+  static const void *const Labels[NumOpcodes] = {
+#define SC_OPCODE_LABEL(Name, Mn, DI, DO, RI, RO, HasOp, Kind) &&L_##Name,
+      SC_FOR_EACH_OPCODE(SC_OPCODE_LABEL)
+#undef SC_OPCODE_LABEL
+  };
+
+  std::vector<Cell> Threaded(2 * CodeSize);
+  for (UCell I = 0; I < CodeSize; ++I) {
+    const Inst &In = Prog.Insts[I];
+    Threaded[2 * I] = reinterpret_cast<Cell>(
+        Labels[static_cast<unsigned>(In.Op)]);
+    Threaded[2 * I + 1] = In.Operand;
+  }
+
+  Vm &TheVm = *Ctx.Machine;
+  const Cell *Base = Threaded.data();
+  const Cell *Ip = Base + 2 * Entry;
+  const Cell *W = Ip;
+  Cell *RStack = Ctx.RS.data();
+  unsigned Rsp = Ctx.RsDepth;
+  uint64_t StepsLeft = Ctx.MaxSteps;
+  uint64_t Steps = 0;
+  RunStatus St = RunStatus::Halted;
+
+  // TOS-cached data stack (see file comment for the layout).
+  std::vector<Cell> Buf(ExecContext::StackCells + 1, 0);
+  Cell *StackBase = Buf.data();
+  Cell *Sp = StackBase + Ctx.DsDepth;
+  Cell Tos = 0;
+  Cell PopTmp = 0;
+  {
+    unsigned D = Ctx.DsDepth;
+    for (unsigned J = 0; J + 1 < D; ++J)
+      StackBase[1 + J] = Ctx.DS[J];
+    if (D > 0)
+      Tos = Ctx.DS[D - 1];
+  }
+
+  if (Rsp >= ExecContext::StackCells) {
+    return {RunStatus::RStackOverflow, 0};
+  }
+  RStack[Rsp++] = 0;
+
+#define SC_NEXT                                                                \
+  {                                                                            \
+    if (StepsLeft == 0) {                                                      \
+      St = RunStatus::StepLimit;                                               \
+      goto Done;                                                               \
+    }                                                                          \
+    --StepsLeft;                                                               \
+    ++Steps;                                                                   \
+    W = Ip;                                                                    \
+    Ip += 2;                                                                   \
+    goto *reinterpret_cast<void *>(W[0]);                                      \
+  }
+
+#define SC_CASE(Name) L_##Name:
+#define SC_END SC_NEXT
+#define SC_OPERAND (W[1])
+#define SC_NEXTIP ((W - Base) / 2 + 1)
+#define SC_JUMP(T)                                                             \
+  {                                                                            \
+    Ip = Base + 2 * static_cast<UCell>(T);                                     \
+    SC_NEXT;                                                                   \
+  }
+#define SC_CODE_SIZE CodeSize
+#define SC_TRAP(S)                                                             \
+  {                                                                            \
+    St = RunStatus::S;                                                         \
+    goto Done;                                                                 \
+  }
+#define SC_HALT                                                                \
+  {                                                                            \
+    St = RunStatus::Halted;                                                    \
+    goto Done;                                                                 \
+  }
+#define SC_NEED(N)                                                             \
+  if (Sp - StackBase < static_cast<ptrdiff_t>(N))                              \
+  SC_TRAP(StackUnderflow)
+#define SC_ROOM(N)                                                             \
+  if (Sp - StackBase + static_cast<ptrdiff_t>(N) >                             \
+      static_cast<ptrdiff_t>(ExecContext::StackCells))                         \
+  SC_TRAP(StackOverflow)
+#define SC_PUSH(X)                                                             \
+  {                                                                            \
+    *Sp++ = Tos;                                                               \
+    Tos = (X);                                                                 \
+  }
+#define SC_POPV (PopTmp = Tos, Tos = *--Sp, PopTmp)
+#define SC_RNEED(N)                                                            \
+  if (Rsp < static_cast<unsigned>(N))                                          \
+  SC_TRAP(RStackUnderflow)
+#define SC_RROOM(N)                                                            \
+  if (Rsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  SC_TRAP(RStackOverflow)
+#define SC_RPUSH(X) RStack[Rsp++] = (X)
+#define SC_RPOPV (RStack[--Rsp])
+#define SC_RPEEK(I) (RStack[Rsp - 1 - (I)])
+#define SC_VMREF TheVm
+#define SC_RTRAFFIC(S, L, M) ((void)0)
+
+  SC_NEXT;
+
+#include "dispatch/InstBodies.inc"
+
+Done:
+#undef SC_NEXT
+#undef SC_CASE
+#undef SC_END
+#undef SC_OPERAND
+#undef SC_NEXTIP
+#undef SC_JUMP
+#undef SC_CODE_SIZE
+#undef SC_TRAP
+#undef SC_HALT
+#undef SC_NEED
+#undef SC_ROOM
+#undef SC_PUSH
+#undef SC_POPV
+#undef SC_RNEED
+#undef SC_RROOM
+#undef SC_RPUSH
+#undef SC_RPOPV
+#undef SC_RPEEK
+#undef SC_VMREF
+#undef SC_RTRAFFIC
+
+  {
+    unsigned D = static_cast<unsigned>(Sp - StackBase);
+    for (unsigned J = 0; J + 1 < D; ++J)
+      Ctx.DS[J] = StackBase[1 + J];
+    if (D > 0)
+      Ctx.DS[D - 1] = Tos;
+    Ctx.DsDepth = D;
+  }
+  Ctx.RsDepth = Rsp;
+  return {St, Steps};
+}

@@ -1,0 +1,33 @@
+//===-- dynamic/Dynamic3Engine.h - 3-state dynamic engine ------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 13 machine made executable: dynamic stack caching
+/// with two registers and three states (0, 1 or 2 top-of-stack items in
+/// registers), per-state dispatch tables and table-lookup dispatch as in
+/// Figure 19. Frequent primitives have hand-specialized copies per state;
+/// infrequent ones exist only in state 0, and the other states' table
+/// entries point to spill shims that flush the cache and re-dispatch -
+/// the paper's "generate a transition into a state for which the
+/// instruction is implemented" (Section 5, applied dynamically).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_DYNAMIC_DYNAMIC3ENGINE_H
+#define SC_DYNAMIC_DYNAMIC3ENGINE_H
+
+#include "vm/ExecContext.h"
+
+namespace sc::dynamic {
+
+/// Runs \p Ctx.Prog from \p Entry on the 3-state dynamically cached
+/// computed-goto engine. Observably equivalent to the reference engines.
+vm::RunOutcome runDynamic3Engine(vm::ExecContext &Ctx, uint32_t Entry);
+
+} // namespace sc::dynamic
+
+#endif // SC_DYNAMIC_DYNAMIC3ENGINE_H

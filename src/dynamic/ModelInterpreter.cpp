@@ -1,0 +1,655 @@
+//===-- dynamic/ModelInterpreter.cpp - Value-level cache model ------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dynamic/ModelInterpreter.h"
+
+#include "support/Assert.h"
+#include "vm/ArithOps.h"
+
+#include <vector>
+
+using namespace sc;
+using namespace sc::cache;
+using namespace sc::vm;
+
+namespace {
+
+/// The data stack with its top cached in a register file under the
+/// minimal-organization policy. Counts every management event by running
+/// the analytic transition function alongside the value movements, and
+/// asserts that the two always agree on the cache depth.
+class ValueCache {
+  Cell Regs[MaxCacheRegs];
+  unsigned Depth = 0; ///< items cached; item at depth i is Regs[Depth-1-i]
+  std::vector<Cell> Mem; ///< the in-memory part, bottom first
+  MinimalPolicy Policy;
+  Counts Total;
+  bool PreparedUnderflow = false;
+  unsigned CurIn = 0;
+
+public:
+  explicit ValueCache(const MinimalPolicy &P) : Policy(P) {}
+
+  const Counts &counts() const { return Total; }
+  uint64_t totalDepth() const { return Mem.size() + Depth; }
+
+  /// Copies the full logical stack, bottom first (for ExecContext sync
+  /// and shadow checks).
+  std::vector<Cell> flatten() const {
+    std::vector<Cell> Out = Mem;
+    for (unsigned I = 0; I < Depth; ++I)
+      Out.push_back(Regs[I]);
+    return Out;
+  }
+
+  /// Seeds the stack from a flat vector.
+  void seed(const Cell *Data, unsigned N) {
+    Mem.assign(Data, Data + N);
+    Depth = 0;
+  }
+
+  /// Prepares an instruction with effect (In, Out): checks logical depth,
+  /// gathers nothing yet. Must be called before in()/commit().
+  bool begin(unsigned In) {
+    if (totalDepth() < In)
+      return false;
+    CurIn = In;
+    PreparedUnderflow = Depth < In;
+    return true;
+  }
+
+  /// Input \p I (0 = TOS) of the current instruction.
+  Cell in(unsigned I) const {
+    SC_ASSERT(I < CurIn, "input index out of range");
+    if (I < Depth)
+      return Regs[Depth - 1 - I];
+    unsigned FromMem = I - Depth;
+    return Mem[Mem.size() - 1 - FromMem];
+  }
+
+  /// Consumes the inputs, places \p NOut outputs (Outs[0] = new TOS) and
+  /// performs the policy's fills/spills, accumulating costs.
+  void commit(const Cell *Outs, unsigned NOut) {
+    unsigned MirrorDepth = Depth;
+    Counts C = applyEffectMinimal(MirrorDepth, CurIn, NOut, Policy);
+    Total += C;
+
+    unsigned N = Policy.NumRegs;
+    if (PreparedUnderflow) {
+      // All cached items and some memory items are consumed.
+      Mem.resize(Mem.size() - (CurIn - Depth));
+      Depth = 0;
+      // Outputs: the deepest ones beyond the register file go to memory.
+      unsigned ToRegs = NOut <= N ? NOut : N;
+      for (unsigned I = NOut; I > ToRegs; --I)
+        Mem.push_back(Outs[I - 1]);
+      for (unsigned I = ToRegs; I > 0; --I)
+        Regs[Depth++] = Outs[I - 1];
+    } else {
+      Depth -= CurIn;
+      if (Depth + NOut > N) {
+        // Overflow: spill the deepest survivors so the final depth is the
+        // followup state F; if F < NOut the deepest outputs spill too.
+        unsigned F = Policy.OverflowFollowupDepth;
+        unsigned Spill = Depth + NOut - F;
+        unsigned FromSurvivors = Spill <= Depth ? Spill : Depth;
+        for (unsigned I = 0; I < FromSurvivors; ++I)
+          Mem.push_back(Regs[I]);
+        for (unsigned I = 0; I + FromSurvivors < Depth; ++I)
+          Regs[I] = Regs[I + FromSurvivors]; // the counted moves
+        Depth -= FromSurvivors;
+        unsigned OutsToMem = Spill - FromSurvivors;
+        for (unsigned I = NOut; I > NOut - OutsToMem; --I)
+          Mem.push_back(Outs[I - 1]);
+        for (unsigned I = NOut - OutsToMem; I > 0; --I)
+          Regs[Depth++] = Outs[I - 1];
+      } else {
+        for (unsigned I = NOut; I > 0; --I)
+          Regs[Depth++] = Outs[I - 1];
+      }
+    }
+    SC_ASSERT(Depth == MirrorDepth,
+              "value cache diverged from the analytic transition");
+  }
+
+  void countDispatch() {
+    ++Total.Dispatches;
+    ++Total.Insts;
+  }
+};
+
+} // namespace
+
+sc::dynamic::ModelOutcome
+sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
+                                 const ModelConfig &Config) {
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  const Code &Prog = *Ctx.Prog;
+  const Inst *Insts = Prog.Insts.data();
+  const UCell CodeSize = Prog.Insts.size();
+  Vm &TheVm = *Ctx.Machine;
+
+  ValueCache Cache(Config.Policy);
+  Cache.seed(Ctx.DS.data(), Ctx.DsDepth);
+  std::vector<Cell> Shadow;
+  if (Config.VerifyShadow)
+    Shadow.assign(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
+
+  Cell *RStack = Ctx.RS.data();
+  unsigned Rsp = Ctx.RsDepth;
+  uint64_t StepsLeft = Ctx.MaxSteps;
+  uint64_t Steps = 0;
+  RunStatus St = RunStatus::Halted;
+  uint32_t Ip = Entry;
+
+  ModelOutcome Result;
+  if (Rsp >= ExecContext::StackCells) {
+    Result.Outcome = {RunStatus::RStackOverflow, 0};
+    return Result;
+  }
+  RStack[Rsp++] = 0;
+
+  auto SyncOut = [&](RunStatus Status) {
+    std::vector<Cell> Flat = Cache.flatten();
+    SC_ASSERT(Flat.size() <= ExecContext::StackCells, "stack overflow");
+    for (size_t I = 0; I < Flat.size(); ++I)
+      Ctx.DS[I] = Flat[I];
+    Ctx.DsDepth = static_cast<unsigned>(Flat.size());
+    Ctx.RsDepth = Rsp;
+    Result.Outcome = {Status, Steps};
+    Result.Costs = Cache.counts();
+  };
+
+#define MODEL_TRAP(S)                                                          \
+  {                                                                            \
+    St = RunStatus::S;                                                         \
+    goto Done;                                                                 \
+  }
+#define NEED(X)                                                                \
+  if (!Cache.begin(X))                                                         \
+  MODEL_TRAP(StackUnderflow)
+#define ROOM(X)                                                                \
+  if (Cache.totalDepth() + (X) > ExecContext::StackCells)                      \
+  MODEL_TRAP(StackOverflow)
+#define RNEED(X)                                                               \
+  if (Rsp < static_cast<unsigned>(X))                                          \
+  MODEL_TRAP(RStackUnderflow)
+#define RROOM(X)                                                               \
+  if (Rsp + static_cast<unsigned>(X) > ExecContext::StackCells)                \
+  MODEL_TRAP(RStackOverflow)
+
+  for (;;) {
+    if (StepsLeft == 0)
+      MODEL_TRAP(StepLimit);
+    --StepsLeft;
+    const Inst &In = Insts[Ip];
+    uint32_t NextIp = Ip + 1;
+    ++Steps;
+    Cache.countDispatch();
+
+    // Shadow bookkeeping: simple flat-stack semantics, maintained
+    // independently from the cache and compared after each step.
+    auto ShadowApply = [&](unsigned X, const Cell *Outs, unsigned Y) {
+      if (!Config.VerifyShadow)
+        return;
+      SC_ASSERT(Shadow.size() >= X, "shadow underflow");
+      Shadow.resize(Shadow.size() - X);
+      for (unsigned I = Y; I > 0; --I)
+        Shadow.push_back(Outs[I - 1]);
+    };
+
+    Cell Out[4];
+    switch (In.Op) {
+    case Opcode::Halt:
+      MODEL_TRAP(Halted);
+    case Opcode::Nop:
+      NEED(0);
+      Cache.commit(nullptr, 0);
+      break;
+    case Opcode::Lit:
+      ROOM(1);
+      NEED(0);
+      Out[0] = In.Operand;
+      Cache.commit(Out, 1);
+      ShadowApply(0, Out, 1);
+      break;
+
+#define MODEL_BINOP(Name, Expr)                                                \
+  case Opcode::Name: {                                                         \
+    NEED(2);                                                                   \
+    Cell B = Cache.in(0);                                                      \
+    Cell A = Cache.in(1);                                                      \
+    (void)A;                                                                   \
+    (void)B;                                                                   \
+    Out[0] = (Expr);                                                           \
+    Cache.commit(Out, 1);                                                      \
+    ShadowApply(2, Out, 1);                                                    \
+    break;                                                                     \
+  }
+
+      MODEL_BINOP(Add, arithAdd(A, B))
+      MODEL_BINOP(Sub, arithSub(A, B))
+      MODEL_BINOP(Mul, arithMul(A, B))
+      MODEL_BINOP(And, A &B)
+      MODEL_BINOP(Or, A | B)
+      MODEL_BINOP(Xor, A ^ B)
+      MODEL_BINOP(Lshift, arithLshift(A, B))
+      MODEL_BINOP(Rshift, arithRshift(A, B))
+      MODEL_BINOP(Min, A < B ? A : B)
+      MODEL_BINOP(Max, A > B ? A : B)
+      MODEL_BINOP(Eq, boolCell(A == B))
+      MODEL_BINOP(Ne, boolCell(A != B))
+      MODEL_BINOP(Lt, boolCell(A < B))
+      MODEL_BINOP(Gt, boolCell(A > B))
+      MODEL_BINOP(Le, boolCell(A <= B))
+      MODEL_BINOP(Ge, boolCell(A >= B))
+      MODEL_BINOP(ULt, arithULt(A, B))
+#undef MODEL_BINOP
+
+    case Opcode::Div:
+    case Opcode::Mod: {
+      NEED(2);
+      Cell B = Cache.in(0);
+      Cell A = Cache.in(1);
+      if (B == 0)
+        MODEL_TRAP(DivByZero);
+      Out[0] = In.Op == Opcode::Div ? arithDiv(A, B) : arithMod(A, B);
+      Cache.commit(Out, 1);
+      ShadowApply(2, Out, 1);
+      break;
+    }
+
+#define MODEL_UNOP(Name, Expr)                                                 \
+  case Opcode::Name: {                                                         \
+    NEED(1);                                                                   \
+    Cell A = Cache.in(0);                                                      \
+    Out[0] = (Expr);                                                           \
+    Cache.commit(Out, 1);                                                      \
+    ShadowApply(1, Out, 1);                                                    \
+    break;                                                                     \
+  }
+      MODEL_UNOP(Negate, arithNegate(A))
+      MODEL_UNOP(Invert, ~A)
+      MODEL_UNOP(Abs, arithAbs(A))
+      MODEL_UNOP(OnePlus, arithOnePlus(A))
+      MODEL_UNOP(OneMinus, arithOneMinus(A))
+      MODEL_UNOP(TwoStar, arithTwoStar(A))
+      MODEL_UNOP(TwoSlash, A >> 1)
+      MODEL_UNOP(Cells, arithCells(A))
+      MODEL_UNOP(ZeroEq, boolCell(A == 0))
+      MODEL_UNOP(ZeroNe, boolCell(A != 0))
+      MODEL_UNOP(ZeroLt, boolCell(A < 0))
+      MODEL_UNOP(ZeroGt, boolCell(A > 0))
+#undef MODEL_UNOP
+
+    case Opcode::Dup: {
+      NEED(1);
+      ROOM(1);
+      Out[0] = Out[1] = Cache.in(0);
+      Cache.commit(Out, 2);
+      ShadowApply(1, Out, 2);
+      break;
+    }
+    case Opcode::Drop:
+      NEED(1);
+      Cache.commit(nullptr, 0);
+      ShadowApply(1, nullptr, 0);
+      break;
+    case Opcode::Swap: {
+      NEED(2);
+      Out[0] = Cache.in(1);
+      Out[1] = Cache.in(0);
+      Cache.commit(Out, 2);
+      ShadowApply(2, Out, 2);
+      break;
+    }
+    case Opcode::Over: {
+      NEED(2);
+      ROOM(1);
+      Out[0] = Cache.in(1);
+      Out[1] = Cache.in(0);
+      Out[2] = Cache.in(1);
+      Cache.commit(Out, 3);
+      ShadowApply(2, Out, 3);
+      break;
+    }
+    case Opcode::Rot: {
+      NEED(3);
+      Out[0] = Cache.in(2);
+      Out[1] = Cache.in(0);
+      Out[2] = Cache.in(1);
+      Cache.commit(Out, 3);
+      ShadowApply(3, Out, 3);
+      break;
+    }
+    case Opcode::Nip: {
+      NEED(2);
+      Out[0] = Cache.in(0);
+      Cache.commit(Out, 1);
+      ShadowApply(2, Out, 1);
+      break;
+    }
+    case Opcode::Tuck: {
+      NEED(2);
+      ROOM(1);
+      Out[0] = Cache.in(0);
+      Out[1] = Cache.in(1);
+      Out[2] = Cache.in(0);
+      Cache.commit(Out, 3);
+      ShadowApply(2, Out, 3);
+      break;
+    }
+    case Opcode::TwoDup: {
+      NEED(2);
+      ROOM(2);
+      Out[0] = Cache.in(0);
+      Out[1] = Cache.in(1);
+      Out[2] = Cache.in(0);
+      Out[3] = Cache.in(1);
+      Cache.commit(Out, 4);
+      ShadowApply(2, Out, 4);
+      break;
+    }
+    case Opcode::TwoDrop:
+      NEED(2);
+      Cache.commit(nullptr, 0);
+      ShadowApply(2, nullptr, 0);
+      break;
+
+    case Opcode::Fetch: {
+      NEED(1);
+      Cell Addr = Cache.in(0);
+      if (!TheVm.validRange(Addr, CellBytes))
+        MODEL_TRAP(BadMemAccess);
+      Out[0] = TheVm.loadCell(Addr);
+      Cache.commit(Out, 1);
+      ShadowApply(1, Out, 1);
+      break;
+    }
+    case Opcode::Store: {
+      NEED(2);
+      Cell Addr = Cache.in(0);
+      Cell V = Cache.in(1);
+      if (!TheVm.validRange(Addr, CellBytes))
+        MODEL_TRAP(BadMemAccess);
+      TheVm.storeCell(Addr, V);
+      Cache.commit(nullptr, 0);
+      ShadowApply(2, nullptr, 0);
+      break;
+    }
+    case Opcode::CFetch: {
+      NEED(1);
+      Cell Addr = Cache.in(0);
+      if (!TheVm.validRange(Addr, 1))
+        MODEL_TRAP(BadMemAccess);
+      Out[0] = TheVm.loadByte(Addr);
+      Cache.commit(Out, 1);
+      ShadowApply(1, Out, 1);
+      break;
+    }
+    case Opcode::CStore: {
+      NEED(2);
+      Cell Addr = Cache.in(0);
+      Cell V = Cache.in(1);
+      if (!TheVm.validRange(Addr, 1))
+        MODEL_TRAP(BadMemAccess);
+      TheVm.storeByte(Addr, V);
+      Cache.commit(nullptr, 0);
+      ShadowApply(2, nullptr, 0);
+      break;
+    }
+    case Opcode::PlusStore: {
+      NEED(2);
+      Cell Addr = Cache.in(0);
+      Cell V = Cache.in(1);
+      if (!TheVm.validRange(Addr, CellBytes))
+        MODEL_TRAP(BadMemAccess);
+      TheVm.storeCell(Addr,
+                      static_cast<Cell>(
+                          static_cast<UCell>(TheVm.loadCell(Addr)) +
+                          static_cast<UCell>(V)));
+      Cache.commit(nullptr, 0);
+      ShadowApply(2, nullptr, 0);
+      break;
+    }
+
+    case Opcode::ToR: {
+      NEED(1);
+      RROOM(1);
+      RStack[Rsp++] = Cache.in(0);
+      Cache.commit(nullptr, 0);
+      ShadowApply(1, nullptr, 0);
+      break;
+    }
+    case Opcode::RFrom: {
+      ROOM(1);
+      RNEED(1);
+      NEED(0);
+      Out[0] = RStack[--Rsp];
+      Cache.commit(Out, 1);
+      ShadowApply(0, Out, 1);
+      break;
+    }
+    case Opcode::RFetch: {
+      ROOM(1);
+      RNEED(1);
+      NEED(0);
+      Out[0] = RStack[Rsp - 1];
+      Cache.commit(Out, 1);
+      ShadowApply(0, Out, 1);
+      break;
+    }
+    case Opcode::DoSetup: {
+      NEED(2);
+      RROOM(2);
+      RStack[Rsp++] = Cache.in(1); // limit
+      RStack[Rsp++] = Cache.in(0); // index
+      Cache.commit(nullptr, 0);
+      ShadowApply(2, nullptr, 0);
+      break;
+    }
+    case Opcode::LoopI: {
+      ROOM(1);
+      RNEED(1);
+      NEED(0);
+      Out[0] = RStack[Rsp - 1];
+      Cache.commit(Out, 1);
+      ShadowApply(0, Out, 1);
+      break;
+    }
+    case Opcode::LoopJ: {
+      ROOM(1);
+      RNEED(3);
+      NEED(0);
+      Out[0] = RStack[Rsp - 3];
+      Cache.commit(Out, 1);
+      ShadowApply(0, Out, 1);
+      break;
+    }
+    case Opcode::Unloop:
+      RNEED(2);
+      Rsp -= 2;
+      NEED(0);
+      Cache.commit(nullptr, 0);
+      break;
+
+    case Opcode::Branch:
+      NEED(0);
+      Cache.commit(nullptr, 0);
+      NextIp = static_cast<uint32_t>(In.Operand);
+      break;
+    case Opcode::QBranch: {
+      NEED(1);
+      Cell Flag = Cache.in(0);
+      Cache.commit(nullptr, 0);
+      ShadowApply(1, nullptr, 0);
+      if (Flag == 0)
+        NextIp = static_cast<uint32_t>(In.Operand);
+      break;
+    }
+    case Opcode::LoopBr: {
+      RNEED(2);
+      NEED(0);
+      Cache.commit(nullptr, 0);
+      Cell Index = RStack[Rsp - 1] + 1;
+      Cell Limit = RStack[Rsp - 2];
+      if (Index != Limit) {
+        RStack[Rsp - 1] = Index;
+        NextIp = static_cast<uint32_t>(In.Operand);
+      } else {
+        Rsp -= 2;
+      }
+      break;
+    }
+    case Opcode::PlusLoopBr: {
+      NEED(1);
+      RNEED(2);
+      Cell N = Cache.in(0);
+      Cache.commit(nullptr, 0);
+      ShadowApply(1, nullptr, 0);
+      Cell Index = RStack[Rsp - 1];
+      Cell Limit = RStack[Rsp - 2];
+      __int128 D = static_cast<__int128>(Index) - Limit;
+      __int128 D2 = D + N;
+      bool Crossed = (D < 0 && D2 >= 0) || (D >= 0 && D2 < 0);
+      if (!Crossed) {
+        RStack[Rsp - 1] =
+            static_cast<Cell>(static_cast<UCell>(Index) +
+                              static_cast<UCell>(N));
+        NextIp = static_cast<uint32_t>(In.Operand);
+      } else {
+        Rsp -= 2;
+      }
+      break;
+    }
+    case Opcode::Call:
+      RROOM(1);
+      NEED(0);
+      Cache.commit(nullptr, 0);
+      RStack[Rsp++] = NextIp;
+      NextIp = static_cast<uint32_t>(In.Operand);
+      break;
+    case Opcode::Exit: {
+      RNEED(1);
+      NEED(0);
+      Cache.commit(nullptr, 0);
+      Cell Ret = RStack[--Rsp];
+      if (static_cast<UCell>(Ret) >= CodeSize)
+        MODEL_TRAP(BadMemAccess);
+      NextIp = static_cast<uint32_t>(Ret);
+      break;
+    }
+
+    case Opcode::Emit: {
+      NEED(1);
+      TheVm.emitChar(Cache.in(0));
+      Cache.commit(nullptr, 0);
+      ShadowApply(1, nullptr, 0);
+      break;
+    }
+    case Opcode::Dot: {
+      NEED(1);
+      TheVm.printNumber(Cache.in(0));
+      Cache.commit(nullptr, 0);
+      ShadowApply(1, nullptr, 0);
+      break;
+    }
+    case Opcode::Cr:
+      NEED(0);
+      TheVm.emitChar('\n');
+      Cache.commit(nullptr, 0);
+      break;
+    case Opcode::Space:
+      NEED(0);
+      TheVm.emitChar(' ');
+      Cache.commit(nullptr, 0);
+      break;
+    case Opcode::TypeOp: {
+      NEED(2);
+      Cell Len = Cache.in(0);
+      Cell Addr = Cache.in(1);
+      if (Len < 0 || !TheVm.validRange(Addr, Len))
+        MODEL_TRAP(BadMemAccess);
+      TheVm.typeRange(Addr, Len);
+      Cache.commit(nullptr, 0);
+      ShadowApply(2, nullptr, 0);
+      break;
+    }
+
+    // Superinstructions (synthesized by the combining pass).
+    case Opcode::LitAdd:
+    case Opcode::LitSub:
+    case Opcode::LitLt:
+    case Opcode::LitEq: {
+      if (Cache.totalDepth() < 1) {
+        // Materialize the literal before trapping, as unfused code would.
+        Out[0] = In.Operand;
+        (void)Cache.begin(0);
+        Cache.commit(Out, 1);
+        ShadowApply(0, Out, 1);
+        MODEL_TRAP(StackUnderflow);
+      }
+      NEED(1);
+      Cell A = Cache.in(0);
+      Cell B = In.Operand;
+      if (In.Op == Opcode::LitAdd)
+        Out[0] = arithAdd(A, B);
+      else if (In.Op == Opcode::LitSub)
+        Out[0] = arithSub(A, B);
+      else if (In.Op == Opcode::LitLt)
+        Out[0] = boolCell(A < B);
+      else
+        Out[0] = boolCell(A == B);
+      Cache.commit(Out, 1);
+      ShadowApply(1, Out, 1);
+      break;
+    }
+    case Opcode::LitFetch: {
+      ROOM(1);
+      NEED(0);
+      if (!TheVm.validRange(In.Operand, CellBytes))
+        MODEL_TRAP(BadMemAccess);
+      Out[0] = TheVm.loadCell(In.Operand);
+      Cache.commit(Out, 1);
+      ShadowApply(0, Out, 1);
+      break;
+    }
+    case Opcode::LitStore: {
+      if (Cache.totalDepth() < 1) {
+        Out[0] = In.Operand;
+        (void)Cache.begin(0);
+        Cache.commit(Out, 1);
+        ShadowApply(0, Out, 1);
+        MODEL_TRAP(StackUnderflow);
+      }
+      NEED(1);
+      if (!TheVm.validRange(In.Operand, CellBytes))
+        MODEL_TRAP(BadMemAccess);
+      TheVm.storeCell(In.Operand, Cache.in(0));
+      Cache.commit(nullptr, 0);
+      ShadowApply(1, nullptr, 0);
+      break;
+    }
+    }
+
+    if (Config.VerifyShadow) {
+      std::vector<Cell> Flat = Cache.flatten();
+      SC_ASSERT(Flat == Shadow,
+                "cache contents diverged from the shadow stack");
+    }
+    Ip = NextIp;
+  }
+
+Done:
+#undef MODEL_TRAP
+#undef NEED
+#undef ROOM
+#undef RNEED
+#undef RROOM
+  SyncOut(St);
+  return Result;
+}

@@ -1,0 +1,52 @@
+//===-- dynamic/ModelInterpreter.h - Value-level cache model ---*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable model of dynamic stack caching: runs real programs while
+/// keeping the top of the data stack in an explicit register file managed
+/// by the minimal-organization policy (any register count, any overflow
+/// followup state). It produces the same observable results as the plain
+/// engines and the same event counts as the analytic transition function
+/// cache::applyEffectMinimal - the test suite checks both, which is what
+/// ties the paper's simulated numbers to real execution.
+///
+/// With VerifyShadow enabled, the interpreter additionally maintains a
+/// flat shadow stack and asserts after every instruction that the
+/// registers and stack memory together spell exactly the shadow contents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_DYNAMIC_MODELINTERPRETER_H
+#define SC_DYNAMIC_MODELINTERPRETER_H
+
+#include "cache/CostModel.h"
+#include "cache/Transition.h"
+#include "vm/ExecContext.h"
+
+namespace sc::dynamic {
+
+/// Result of a model run.
+struct ModelOutcome {
+  vm::RunOutcome Outcome;
+  cache::Counts Costs; ///< cache-management events (dispatches included)
+};
+
+/// Configuration of the model interpreter.
+struct ModelConfig {
+  cache::MinimalPolicy Policy{2, 1};
+  /// Cross-check the register file against a shadow stack after every
+  /// instruction (slow; for tests).
+  bool VerifyShadow = false;
+};
+
+/// Runs \p Ctx.Prog from \p Entry under the dynamic-caching model.
+ModelOutcome runModelInterpreter(vm::ExecContext &Ctx, uint32_t Entry,
+                                 const ModelConfig &Config);
+
+} // namespace sc::dynamic
+
+#endif // SC_DYNAMIC_MODELINTERPRETER_H

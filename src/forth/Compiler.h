@@ -1,0 +1,108 @@
+//===-- forth/Compiler.h - Forth compiler / evaluator ----------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic Forth outer interpreter and colon compiler targeting the
+/// virtual machine of vm/. Supports:
+///
+///   : name ... ;            colon definitions, RECURSE, EXIT
+///   IF ELSE THEN            conditionals
+///   BEGIN UNTIL / AGAIN     loops
+///   BEGIN WHILE REPEAT
+///   DO LOOP / +LOOP / LEAVE / I / J / UNLOOP
+///   VARIABLE CREATE ALLOT , C, CONSTANT HERE
+///   ." ..."  S" ..."  CHAR  [CHAR]  ( comments )  \ line comments
+///   signed decimal and $hex literals
+///
+/// This is exactly the role the paper's "compiler" plays: the program that
+/// generates virtual machine code. The static stack-caching pass of
+/// src/staticcache extends this compiler downstream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_FORTH_COMPILER_H
+#define SC_FORTH_COMPILER_H
+
+#include "forth/Lexer.h"
+#include "vm/Code.h"
+#include "vm/ExecContext.h"
+#include "vm/Vm.h"
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sc::forth {
+
+/// What a dictionary name denotes.
+struct DictEntry {
+  enum class Kind : uint8_t {
+    Prim,     ///< a virtual machine primitive
+    Colon,    ///< a colon definition (Entry = instruction index)
+    Variable, ///< pushes a data-space address (Value)
+    Constant, ///< pushes a constant (Value)
+  };
+  Kind K = Kind::Prim;
+  vm::Opcode Op = vm::Opcode::Nop;
+  vm::Cell Value = 0;
+  uint32_t Entry = 0;
+};
+
+/// Outer interpreter plus colon compiler. Appends code to a vm::Code,
+/// allocates data space in a vm::Vm, and executes interpret-state words
+/// against a persistent top-level ExecContext.
+class Compiler {
+public:
+  /// \p Top must be bound to \p C and \p V; it supplies the persistent
+  /// top-level data stack (e.g. for `5 CONSTANT five`).
+  Compiler(vm::Code &C, vm::Vm &V, vm::ExecContext &Top);
+
+  /// Compiles/interprets \p Src. Returns false and sets errorMessage() on
+  /// the first error. May be called repeatedly to load several sources.
+  bool compileSource(std::string_view Src);
+
+  /// Message describing the last failure of compileSource.
+  const std::string &errorMessage() const { return Error; }
+
+  /// Dictionary lookup (lower-case name); nullptr if absent.
+  const DictEntry *lookup(const std::string &Name) const;
+
+private:
+  struct CtrlItem {
+    enum class Kind : uint8_t { Orig, Dest, Loop } K;
+    uint32_t Index = 0;               ///< branch to patch / branch target
+    std::vector<uint32_t> Leaves;     ///< Loop only: LEAVE branches
+  };
+
+  vm::Code &Prog;
+  vm::Vm &Machine;
+  vm::ExecContext &Top;
+  std::unordered_map<std::string, DictEntry> Dict;
+  std::vector<CtrlItem> CtrlStack;
+  std::string Error;
+  Lexer *Lex = nullptr; // valid during compileSource
+  bool Compiling = false;
+  uint32_t CurrentEntry = 0;
+  std::string CurrentName;
+
+  bool fail(const std::string &Msg);
+  bool compileToken(const std::string &Raw, const std::string &Lower);
+  bool interpretToken(const std::string &Raw, const std::string &Lower);
+  bool execSnippet(const std::vector<vm::Inst> &Insts);
+  bool popTop(vm::Cell &V, const char *Who);
+
+  /// Copies \p S into data space (at compile time) and returns its address.
+  vm::Cell internString(const std::string &S);
+
+  bool ctrlPop(CtrlItem::Kind K, CtrlItem &Out, const char *Who);
+  CtrlItem *findLoop();
+};
+
+} // namespace sc::forth
+
+#endif // SC_FORTH_COMPILER_H

@@ -1,0 +1,98 @@
+//===-- forth/Lexer.cpp - Forth token stream ------------------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "forth/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace sc::forth;
+
+void Lexer::skipSpace() {
+  while (Pos < Src.size() &&
+         std::isspace(static_cast<unsigned char>(Src[Pos]))) {
+    if (Src[Pos] == '\n')
+      ++LineNo;
+    ++Pos;
+  }
+}
+
+bool Lexer::next(std::string &Tok) {
+  skipSpace();
+  if (Pos >= Src.size())
+    return false;
+  size_t Start = Pos;
+  while (Pos < Src.size() &&
+         !std::isspace(static_cast<unsigned char>(Src[Pos])))
+    ++Pos;
+  Tok.assign(Src.substr(Start, Pos - Start));
+  return true;
+}
+
+bool Lexer::readUntil(char Delim, std::string &Out) {
+  // One leading space separates the introducing word from the payload;
+  // skip exactly it, as Forth does.
+  if (Pos < Src.size() && Src[Pos] == ' ')
+    ++Pos;
+  size_t Start = Pos;
+  while (Pos < Src.size() && Src[Pos] != Delim) {
+    if (Src[Pos] == '\n')
+      ++LineNo;
+    ++Pos;
+  }
+  if (Pos >= Src.size())
+    return false;
+  Out.assign(Src.substr(Start, Pos - Start));
+  ++Pos; // consume the delimiter
+  return true;
+}
+
+void Lexer::skipLine() {
+  while (Pos < Src.size() && Src[Pos] != '\n')
+    ++Pos;
+}
+
+void sc::forth::toLower(std::string &S) {
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+}
+
+bool sc::forth::parseNumber(const std::string &Tok, int64_t &Value) {
+  if (Tok.empty())
+    return false;
+  size_t I = 0;
+  bool Neg = false;
+  if (Tok[I] == '-') {
+    Neg = true;
+    ++I;
+    if (I >= Tok.size())
+      return false;
+  }
+  int BaseVal = 10;
+  if (Tok[I] == '$') {
+    BaseVal = 16;
+    ++I;
+    if (I >= Tok.size())
+      return false;
+  }
+  uint64_t Acc = 0;
+  for (; I < Tok.size(); ++I) {
+    int Digit;
+    char C = Tok[I];
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (BaseVal == 16 && C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else if (BaseVal == 16 && C >= 'A' && C <= 'F')
+      Digit = C - 'A' + 10;
+    else
+      return false;
+    Acc = Acc * BaseVal + static_cast<uint64_t>(Digit);
+  }
+  Value = Neg ? static_cast<int64_t>(0 - Acc) : static_cast<int64_t>(Acc);
+  return true;
+}

@@ -1,0 +1,63 @@
+//===-- forth/Lexer.h - Forth token stream ---------------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for Forth source. Forth lexing is trivial by design: tokens
+/// are whitespace-separated; string literals and comments are read by the
+/// compiler via readUntil because their syntax is word-defined (e.g.
+/// `." hello"` and `( comment )`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_FORTH_LEXER_H
+#define SC_FORTH_LEXER_H
+
+#include <string>
+#include <string_view>
+
+namespace sc::forth {
+
+/// Whitespace-delimited token stream with line tracking.
+class Lexer {
+  std::string_view Src;
+  size_t Pos = 0;
+  unsigned LineNo = 1;
+
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {}
+
+  /// Reads the next token (original spelling). Returns false at end of
+  /// input.
+  bool next(std::string &Tok);
+
+  /// Reads raw text up to (not including) \p Delim, consuming the
+  /// delimiter. Returns false if the delimiter is missing. Used for
+  /// string literals and ( comments ).
+  bool readUntil(char Delim, std::string &Out);
+
+  /// Skips the rest of the current line (for \ comments).
+  void skipLine();
+
+  /// 1-based line number of the most recently read token.
+  unsigned line() const { return LineNo; }
+
+  /// True when all input has been consumed.
+  bool atEnd() const { return Pos >= Src.size(); }
+
+private:
+  void skipSpace();
+};
+
+/// Lower-cases \p S in place (ASCII); Forth lookup is case-insensitive.
+void toLower(std::string &S);
+
+/// Parses \p Tok as a signed decimal or $-prefixed hex number.
+bool parseNumber(const std::string &Tok, int64_t &Value);
+
+} // namespace sc::forth
+
+#endif // SC_FORTH_LEXER_H

@@ -1,0 +1,32 @@
+//===-- staticcache/StaticEngine.h - Specialized code engine ---*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the output of the static stack-caching pass with plain direct
+/// threading: the cache state was resolved at compile time, so dispatch is
+/// a single indirect goto with no per-state tables - the paper's key
+/// performance argument for static over dynamic caching (Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_STATICCACHE_STATICENGINE_H
+#define SC_STATICCACHE_STATICENGINE_H
+
+#include "staticcache/StaticSpec.h"
+#include "vm/ExecContext.h"
+
+namespace sc::staticcache {
+
+/// Runs specialized program \p SP against \p Ctx, starting at the
+/// *original* instruction index \p OrigEntry (must be a basic-block
+/// leader, e.g. a word entry).
+vm::RunOutcome runStaticEngine(const SpecProgram &SP, vm::ExecContext &Ctx,
+                               uint32_t OrigEntry);
+
+} // namespace sc::staticcache
+
+#endif // SC_STATICCACHE_STATICENGINE_H

@@ -1,0 +1,337 @@
+//===-- staticcache/StaticOptimal.cpp - Two-pass optimal codegen ----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's optimal code generation (Section 5): "Generating optimal
+/// code using knowledge of the next instructions in the basic block is
+/// possible in linear time using a two-pass algorithm, as a
+/// specialization of the approach taken in tree pattern matching
+/// [PLG88, FHP91]. The first pass just determines which of the possible
+/// code sequences is optimal, the second pass then generates the code."
+///
+/// Here: for every instruction and every cache state we enumerate the
+/// legal compilation plans (absorb / fill-then-absorb / spill-then-absorb
+/// / normalize-then-execute), run a backward dynamic program over the
+/// seven-state organization per basic block minimizing the number of
+/// emitted instructions, and emit along the optimal path forward. This is
+/// exactly the foresight the greedy pass lacks (e.g. whether to realize a
+/// duplication eagerly or keep it symbolic depends on the instructions
+/// that follow).
+///
+//===----------------------------------------------------------------------===//
+
+#include "staticcache/StaticOptimal.h"
+
+#include "cache/Transition.h"
+#include "support/Assert.h"
+#include "support/FixedVec.h"
+
+#include <array>
+#include <limits>
+#include <vector>
+
+using namespace sc;
+using namespace sc::cache;
+using namespace sc::staticcache;
+using namespace sc::vm;
+
+namespace {
+
+/// The seven states of the two-register organization, TOS first.
+const std::array<CacheState, 7> &sevenStates() {
+  static const std::array<CacheState, 7> States = {
+      CacheState(),                 // 0: []
+      CacheState::fromSlots({0}),   // 1: [t:r0]
+      CacheState::fromSlots({1}),   // 2: [t:r1]
+      CacheState::fromSlots({1, 0}), // 3: [t:r1 r0] (exec ES2)
+      CacheState::fromSlots({0, 1}), // 4: [t:r0 r1]
+      CacheState::fromSlots({0, 0}), // 5: [t:r0 r0] (exec ES3)
+      CacheState::fromSlots({1, 1}), // 6: [t:r1 r1]
+  };
+  return States;
+}
+
+int stateIndex(const CacheState &S) {
+  const auto &States = sevenStates();
+  for (size_t I = 0; I < States.size(); ++I)
+    if (States[I] == S)
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// One way to compile one instruction from one entry state.
+struct Plan {
+  FixedVec<uint8_t, 3> Micros; // Micro values
+  bool EmitOp = false;
+  uint16_t Handler = 0;
+  int NextState = 0; // index into sevenStates()
+
+  unsigned cost() const { return Micros.size() + (EmitOp ? 1 : 0); }
+};
+
+/// Micro sequence that spills everything (state -> empty).
+void microsToEmpty(const CacheState &S, FixedVec<uint8_t, 3> &Out) {
+  if (S.depth() == 2) {
+    RegId Bottom = S.reg(1), Tos = S.reg(0);
+    if (Bottom == Tos)
+      Out.push_back(Bottom == 0 ? MSpill0Dup : MSpill1Dup);
+    else
+      Out.push_back(Bottom == 0 ? MSpill0Under : MSpill1Under);
+    Out.push_back(Tos == 0 ? MSpill0 : MSpill1);
+    return;
+  }
+  if (S.depth() == 1)
+    Out.push_back(S.reg(0) == 0 ? MSpill0 : MSpill1);
+}
+
+/// Natural (same-depth) normalization of \p S for executing \p Op;
+/// returns the execution state, filling \p Micros. ES3 is used when the
+/// op has a duplication-state copy.
+ExecState normalizeMicros(const CacheState &S, Opcode Op,
+                          FixedVec<uint8_t, 3> &Micros) {
+  if (S.depth() == 0)
+    return ES0;
+  if (S.depth() == 1) {
+    if (S.reg(0) == 1)
+      Micros.push_back(MMove10);
+    return ES1;
+  }
+  if (S == CacheState::fromSlots({0, 0})) {
+    if (specExitState(Op, ES3) >= 0)
+      return ES3;
+    Micros.push_back(MMove01);
+    return ES2;
+  }
+  if (S == CacheState::fromSlots({0, 1}))
+    Micros.push_back(MXchg);
+  else if (S == CacheState::fromSlots({1, 1}))
+    Micros.push_back(MMove10Deep);
+  return ES2;
+}
+
+/// True if \p S is representable in the seven-state organization.
+bool fits(const CacheState &S) {
+  return S.depth() <= 2 && stateIndex(S) >= 0;
+}
+
+/// Slot layouts of the execution states.
+CacheState execStateSlots(ExecState S) {
+  switch (S) {
+  case ES0:
+    return CacheState();
+  case ES1:
+    return CacheState::fromSlots({0});
+  case ES2:
+    return CacheState::fromSlots({1, 0});
+  case ES3:
+    return CacheState::fromSlots({0, 0});
+  }
+  sc::unreachable("bad ExecState");
+}
+
+/// All compilation plans for \p In entered in state \p From.
+void plansFor(const Inst &In, const CacheState &From, bool AbsorbManips,
+              std::vector<Plan> &Out) {
+  Out.clear();
+  Opcode Op = In.Op;
+  StackEffect E = dataEffect(Op);
+
+  if (AbsorbManips && isAbsorbableManip(Op)) {
+    // Direct absorption.
+    if (From.depth() >= E.In &&
+        From.depth() - E.In + E.Out <= 2) {
+      CacheState Next = applyManipToState(From, Op);
+      if (fits(Next)) {
+        Plan P;
+        P.NextState = stateIndex(Next);
+        Out.push_back(P);
+      }
+    }
+    // Spill the untouched bottom item, then absorb (dup on a full cache).
+    if (From.depth() == 2 && E.In <= 1 &&
+        From.depth() - 1 - E.In + E.Out <= 2u) {
+      RegId Bottom = From.reg(1), Tos = From.reg(0);
+      CacheState Shallow;
+      Shallow.pushReg(Tos);
+      CacheState Next = applyManipToState(Shallow, Op);
+      if (fits(Next)) {
+        Plan P;
+        if (Bottom == Tos)
+          P.Micros.push_back(Bottom == 0 ? MSpill0Dup : MSpill1Dup);
+        else
+          P.Micros.push_back(Bottom == 0 ? MSpill0Under : MSpill1Under);
+        P.NextState = stateIndex(Next);
+        Out.push_back(P);
+      }
+    }
+    // Fill one missing argument, then absorb. Legal because the
+    // manipulation itself guarantees the stack is deep enough (it traps
+    // identically otherwise).
+    if (From.depth() + 1 == E.In) {
+      CacheState Filled;
+      Micro FillM;
+      if (From.depth() == 0) {
+        Filled = CacheState::fromSlots({0});
+        FillM = MFillTos;
+      } else {
+        RegId Tos = From.reg(0);
+        RegId Free = Tos == 0 ? 1 : 0;
+        Filled = CacheState();
+        Filled.pushReg(Free);
+        Filled.pushReg(Tos);
+        FillM = Tos == 0 ? MFillSnd1 : MFillSnd0;
+      }
+      if (Filled.depth() >= E.In &&
+          Filled.depth() - E.In + E.Out <= 2) {
+        CacheState Next = applyManipToState(Filled, Op);
+        if (fits(Next)) {
+          Plan P;
+          P.Micros.push_back(FillM);
+          P.NextState = stateIndex(Next);
+          Out.push_back(P);
+        }
+      }
+    }
+  }
+
+  // Execute the instruction. Hot ops (and all control transfers) have
+  // specialized copies; everything else runs the generic state-0 copy.
+  if (specExitState(Op, ES0) >= 0 || isControl(Op)) {
+    FixedVec<uint8_t, 3> Micros;
+    ExecState S = normalizeMicros(From, Op, Micros);
+    int Exit = specExitState(Op, S);
+    SC_ASSERT(Exit >= 0, "specialized handler missing");
+    Plan P;
+    P.Micros = Micros;
+    P.EmitOp = true;
+    P.Handler = opHandler(S, Op);
+    P.NextState = stateIndex(execStateSlots(static_cast<ExecState>(Exit)));
+    Out.push_back(P);
+    // Alternative: materialize the duplication instead of using the ES3
+    // copy (occasionally better for what follows).
+    if (S == ES3) {
+      Plan Q;
+      Q.Micros.push_back(MMove01);
+      Q.EmitOp = true;
+      Q.Handler = opHandler(ES2, Op);
+      int Exit2 = specExitState(Op, ES2);
+      SC_ASSERT(Exit2 >= 0, "ES2 handler missing");
+      Q.NextState =
+          stateIndex(execStateSlots(static_cast<ExecState>(Exit2)));
+      Out.push_back(Q);
+    }
+    return;
+  }
+
+  // Rare instruction: generic copy, empty state before and after.
+  Plan P;
+  microsToEmpty(From, P.Micros);
+  P.EmitOp = true;
+  P.Handler = opHandler(ES0, Op);
+  P.NextState = 0;
+  Out.push_back(P);
+}
+
+} // namespace
+
+SpecProgram sc::staticcache::compileStaticOptimal(const Code &Prog,
+                                                  const StaticOptions &Opts) {
+  const auto &States = sevenStates();
+  constexpr unsigned NumStates = 7;
+  constexpr unsigned Infinity = std::numeric_limits<unsigned>::max() / 4;
+
+  std::vector<bool> Leaders = Prog.computeLeaders();
+  SpecProgram SP;
+  SP.OrigToSpec.assign(Prog.Insts.size(), 0);
+  SP.OrigInsts = Prog.Insts.size();
+  std::vector<std::pair<uint32_t, uint32_t>> Patches;
+
+  uint32_t I = 0;
+  const uint32_t N = static_cast<uint32_t>(Prog.Insts.size());
+  while (I < N) {
+    // Identify the basic block [I, End).
+    uint32_t End = I;
+    while (End < N && (End == I || !Leaders[End])) {
+      bool Control = isControl(Prog.Insts[End].Op);
+      ++End;
+      if (Control)
+        break;
+    }
+    bool EndsWithControl = isControl(Prog.Insts[End - 1].Op);
+    uint32_t Len = End - I;
+
+    // Backward pass: Cost[k][s] = cheapest compilation of insts
+    // I+k .. End-1 entered in state s.
+    std::vector<std::array<unsigned, NumStates>> Cost(Len + 1);
+    std::vector<std::array<uint8_t, NumStates>> Choice(Len);
+    for (unsigned S = 0; S < NumStates; ++S) {
+      if (EndsWithControl) {
+        Cost[Len][S] = 0; // the control op already forced the empty state
+      } else {
+        FixedVec<uint8_t, 3> Sp;
+        microsToEmpty(States[S], Sp);
+        Cost[Len][S] = Sp.size(); // fall-through reconcile to canonical
+      }
+    }
+    std::vector<Plan> Plans;
+    for (uint32_t K = Len; K-- > 0;) {
+      const Inst &In = Prog.Insts[I + K];
+      for (unsigned S = 0; S < NumStates; ++S) {
+        plansFor(In, States[S], Opts.AbsorbManips, Plans);
+        unsigned Best = Infinity;
+        uint8_t BestIdx = 0;
+        for (size_t P = 0; P < Plans.size(); ++P) {
+          unsigned C = Plans[P].cost() +
+                       Cost[K + 1][static_cast<unsigned>(Plans[P].NextState)];
+          if (C < Best) {
+            Best = C;
+            BestIdx = static_cast<uint8_t>(P);
+          }
+        }
+        Cost[K][S] = Best;
+        Choice[K][S] = BestIdx;
+      }
+    }
+
+    // Forward pass: emit along the optimal path from the canonical state.
+    SP.OrigToSpec[I] = static_cast<uint32_t>(SP.Insts.size());
+    unsigned S = 0; // blocks start empty
+    for (uint32_t K = 0; K < Len; ++K) {
+      const Inst &In = Prog.Insts[I + K];
+      if (Leaders[I + K]) // inner leaders: record the (canonical) position
+        SP.OrigToSpec[I + K] = static_cast<uint32_t>(SP.Insts.size());
+      plansFor(In, States[S], Opts.AbsorbManips, Plans);
+      const Plan &P = Plans[Choice[K][S]];
+      for (uint8_t M : P.Micros) {
+        SP.Insts.push_back(SpecInst{microHandler(static_cast<Micro>(M)), 0});
+        ++SP.MicrosEmitted;
+      }
+      if (P.EmitOp) {
+        if (isBranchLike(In.Op))
+          Patches.push_back({static_cast<uint32_t>(SP.Insts.size()),
+                             static_cast<uint32_t>(In.Operand)});
+        SP.Insts.push_back(SpecInst{P.Handler, In.Operand});
+      } else {
+        ++SP.ManipsRemoved;
+      }
+      S = static_cast<unsigned>(P.NextState);
+    }
+    if (!EndsWithControl) {
+      FixedVec<uint8_t, 3> Sp;
+      microsToEmpty(States[S], Sp);
+      for (uint8_t M : Sp) {
+        SP.Insts.push_back(SpecInst{microHandler(static_cast<Micro>(M)), 0});
+        ++SP.MicrosEmitted;
+      }
+    }
+    I = End;
+  }
+
+  for (const auto &[SpecIdx, Target] : Patches)
+    SP.Insts[SpecIdx].Operand = SP.OrigToSpec[Target];
+  return SP;
+}

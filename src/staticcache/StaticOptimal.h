@@ -1,0 +1,32 @@
+//===-- staticcache/StaticOptimal.h - Two-pass optimal codegen -*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear-time two-pass optimal code generator of Section 5: a
+/// backward cost pass per basic block (dynamic programming over the
+/// seven-state organization) followed by a forward emission pass.
+/// Normally reached through compileStatic with
+/// StaticOptions::TwoPassOptimal set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_STATICCACHE_STATICOPTIMAL_H
+#define SC_STATICCACHE_STATICOPTIMAL_H
+
+#include "staticcache/StaticSpec.h"
+
+namespace sc::staticcache {
+
+/// Compiles \p Prog with full lookahead inside basic blocks. The emitted
+/// code executes identically to the greedy pass's output but never worse
+/// (in emitted instructions per block) and often better.
+SpecProgram compileStaticOptimal(const vm::Code &Prog,
+                                 const StaticOptions &Opts);
+
+} // namespace sc::staticcache
+
+#endif // SC_STATICCACHE_STATICOPTIMAL_H

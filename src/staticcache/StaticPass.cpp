@@ -1,0 +1,380 @@
+//===-- staticcache/StaticPass.cpp - The static caching pass --------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "staticcache/StaticSpec.h"
+
+#include "cache/CacheState.h"
+#include "cache/Transition.h"
+#include "staticcache/StaticOptimal.h"
+#include "support/Assert.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace sc;
+using namespace sc::cache;
+using namespace sc::staticcache;
+using namespace sc::vm;
+
+int sc::staticcache::specExitState(Opcode Op, ExecState S) {
+  switch (Op) {
+  // Binary operations: result cached in R0. In the duplication state ES3
+  // both inputs are the same register - `dup *` is one square, no moves.
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Lshift:
+  case Opcode::Rshift:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Eq:
+  case Opcode::Ne:
+  case Opcode::Lt:
+  case Opcode::Gt:
+  case Opcode::Le:
+  case Opcode::Ge:
+  case Opcode::ULt:
+    return ES1;
+  // Unary operations: replace the TOS; from ES3 the result goes to R1
+  // and the surviving duplicate stays in R0.
+  case Opcode::Negate:
+  case Opcode::Invert:
+  case Opcode::Abs:
+  case Opcode::OnePlus:
+  case Opcode::OneMinus:
+  case Opcode::TwoStar:
+  case Opcode::TwoSlash:
+  case Opcode::Cells:
+  case Opcode::ZeroEq:
+  case Opcode::ZeroNe:
+  case Opcode::ZeroLt:
+  case Opcode::ZeroGt:
+  case Opcode::Fetch:
+  case Opcode::CFetch:
+  // lit-fused superinstructions with a unary shape ( a -- a (+) n ).
+  case Opcode::LitAdd:
+  case Opcode::LitSub:
+  case Opcode::LitLt:
+  case Opcode::LitEq:
+    if (S == ES0)
+      return ES1;
+    return S == ES3 ? ES2 : static_cast<int>(S);
+  // Pushes.
+  case Opcode::Lit:
+  case Opcode::LitFetch:
+  case Opcode::RFrom:
+  case Opcode::RFetch:
+  case Opcode::LoopI:
+    return S == ES0 ? ES1 : ES2;
+  // ( .. x y -- ) consumers.
+  case Opcode::Store:
+  case Opcode::CStore:
+  case Opcode::PlusStore:
+  case Opcode::TypeOp:
+    return ES0;
+  // Single-item consumers.
+  case Opcode::ToR:
+  case Opcode::Emit:
+  case Opcode::Dot:
+  case Opcode::LitStore:
+    if (S == ES2 || S == ES3)
+      return ES1;
+    return ES0;
+  // State-neutral (no ES3 copy; the pass materializes first).
+  case Opcode::Cr:
+  case Opcode::Space:
+    return S == ES3 ? -1 : static_cast<int>(S);
+  // over: ( a b -- a b a ), deepest item spilled if needed; TOS in R1.
+  case Opcode::Over:
+    return ES2;
+  // (do) moves two items to the return stack.
+  case Opcode::DoSetup:
+    return ES0;
+  // Control transfers perform the transition to the canonical (empty)
+  // state themselves - the paper's "have the branch perform the
+  // transition" - so their specialized copies spill internally.
+  case Opcode::Branch:
+  case Opcode::QBranch:
+  case Opcode::Call:
+  case Opcode::Exit:
+  case Opcode::LoopBr:
+  case Opcode::PlusLoopBr:
+  case Opcode::Halt:
+    return ES0;
+  default:
+    return -1;
+  }
+}
+
+namespace {
+
+/// Slot layouts of the execution states, TOS first.
+CacheState execStateSlots(ExecState S) {
+  switch (S) {
+  case ES0:
+    return CacheState();
+  case ES1:
+    return CacheState::fromSlots({0});
+  case ES2:
+    return CacheState::fromSlots({1, 0});
+  case ES3:
+    return CacheState::fromSlots({0, 0});
+  }
+  sc::unreachable("bad ExecState");
+}
+
+class PassDriver {
+  const Code &Prog;
+  const StaticOptions &Opts;
+  SpecProgram SP;
+  CacheState State; // current tracked state, TOS first
+  std::vector<std::pair<uint32_t, uint32_t>> Patches; // spec idx, orig target
+
+public:
+  PassDriver(const Code &P, const StaticOptions &O) : Prog(P), Opts(O) {}
+
+  SpecProgram run() {
+    std::vector<bool> Leaders = Prog.computeLeaders();
+    SP.OrigToSpec.assign(Prog.Insts.size(), 0);
+    SP.OrigInsts = Prog.Insts.size();
+
+    for (uint32_t I = 0; I < Prog.Insts.size(); ++I) {
+      if (Leaders[I]) {
+        // Control-flow convention: every block begins in the canonical
+        // (empty) state; the instruction before a fall-through boundary
+        // pays the reconcile.
+        normalizeToS0();
+        SP.OrigToSpec[I] = static_cast<uint32_t>(SP.Insts.size());
+      }
+      compileInst(Prog.Insts[I]);
+    }
+    for (const auto &[SpecIdx, Target] : Patches)
+      SP.Insts[SpecIdx].Operand = SP.OrigToSpec[Target];
+    return std::move(SP);
+  }
+
+private:
+  void emit(uint16_t Handler, Cell Operand = 0) {
+    SP.Insts.push_back(SpecInst{Handler, Operand});
+  }
+
+  void emitMicro(Micro M) {
+    emit(microHandler(M));
+    ++SP.MicrosEmitted;
+  }
+
+  bool stateIs(std::initializer_list<RegId> TosFirst) const {
+    return State == CacheState::fromSlots(TosFirst);
+  }
+
+  /// Spills everything, bottom first; state becomes empty (canonical).
+  void normalizeToS0() {
+    if (State.depth() == 2) {
+      // The first (deepest-item) spill keeps the TOS cached; pick the
+      // variant that matches the remaining shape.
+      RegId Bottom = State.reg(1), Tos = State.reg(0);
+      if (Bottom == Tos)
+        emitMicro(Bottom == 0 ? MSpill0Dup : MSpill1Dup);
+      else
+        emitMicro(Bottom == 0 ? MSpill0Under : MSpill1Under);
+      CacheState T;
+      T.pushReg(Tos);
+      State = T;
+    }
+    if (State.depth() == 1)
+      emitMicro(State.reg(0) == 0 ? MSpill0 : MSpill1);
+    State = CacheState();
+  }
+
+  /// Normalizes to an execution state \p Op has a specialized copy for,
+  /// emitting register moves. Returns the resulting execution state.
+  ExecState normalizeFor(vm::Opcode Op) {
+    SC_ASSERT(State.depth() <= 2, "state deeper than the register file");
+    if (State.depth() == 0)
+      return ES0;
+    if (State.depth() == 1) {
+      if (stateIs({1})) {
+        emitMicro(MMove10);
+        State = execStateSlots(ES1);
+      }
+      SC_ASSERT(stateIs({0}), "bad depth-1 normalization");
+      return ES1;
+    }
+    if (stateIs({0, 0})) {
+      // The duplication state has its own specialized copies where
+      // available; otherwise materialize the duplicate.
+      if (specExitState(Op, ES3) >= 0)
+        return ES3;
+      emitMicro(MMove01);
+    } else if (stateIs({0, 1})) {
+      emitMicro(MXchg);
+    } else if (stateIs({1, 1})) {
+      emitMicro(MMove10Deep);
+    }
+    State = execStateSlots(ES2);
+    return ES2;
+  }
+
+  void compileInst(const Inst &In) {
+    Opcode Op = In.Op;
+
+    if (Opts.AbsorbManips && isAbsorbableManip(Op) && tryAbsorb(Op))
+      return;
+
+    if (isControl(Op)) {
+      compileControl(In);
+      return;
+    }
+
+    if (specExitState(Op, ES0) >= 0) {
+      ExecState S = normalizeFor(In.Op);
+      emit(opHandler(S, Op), In.Operand);
+      int Exit = specExitState(Op, S);
+      SC_ASSERT(Exit >= 0, "specialized handler missing");
+      State = execStateSlots(static_cast<ExecState>(Exit));
+      return;
+    }
+
+    // Rare instruction: only a generic state-0 copy exists.
+    normalizeToS0();
+    emit(opHandler(ES0, Op), In.Operand);
+    State = CacheState();
+  }
+
+  /// Tries to turn a stack manipulation into a pure compile-time state
+  /// change (possibly after one fill micro-op). Returns true on success.
+  bool tryAbsorb(Opcode Op) {
+    StackEffect E = dataEffect(Op);
+    if (State.depth() + E.Out > 2u + E.In) {
+      // The result would not fit in two registers. If the manipulation
+      // does not touch the deepest cached item, spill it and absorb
+      // anyway (one micro-op instead of a full normalize + execute);
+      // this is the common `dup` on a full cache.
+      if (State.depth() != 2 || E.In > 1 ||
+          State.depth() - 1u - E.In + E.Out > 2u)
+        return false;
+      RegId Bottom = State.reg(1), Tos = State.reg(0);
+      if (Bottom == Tos)
+        emitMicro(Bottom == 0 ? MSpill0Dup : MSpill1Dup);
+      else
+        emitMicro(Bottom == 0 ? MSpill0Under : MSpill1Under);
+      CacheState T;
+      T.pushReg(Tos);
+      State = T;
+    }
+
+    CacheState S = State;
+    unsigned Fills = 0;
+    while (S.depth() < E.In) {
+      // Fill items under the cached ones from memory. Allow at most one
+      // fill: more would cost as much as just executing the word.
+      if (++Fills > 1)
+        return false;
+      if (S.depth() == 0) {
+        S = execStateSlots(ES1); // fill TOS into R0
+      } else if (S.depth() == 1) {
+        RegId Tos = S.reg(0);
+        RegId Free = Tos == 0 ? 1 : 0;
+        S = CacheState();
+        S.pushReg(Free); // the filled second item
+        S.pushReg(Tos);  // TOS stays where it is
+      } else {
+        return false; // no register free for a fill
+      }
+    }
+    CacheState After = applyManipToState(S, Op);
+    if (After.depth() > 2)
+      return false;
+    // A fill that leads to a duplication state does not pay: the copy is
+    // materialized (with a move) by the next instruction anyway, so
+    // executing the manipulation directly would have been cheaper. This
+    // is the foresight problem the paper's two-pass optimal code
+    // generator solves; the greedy pass just avoids the known-bad case.
+    if (Fills > 0 && After.hasDuplicate())
+      return false;
+
+    // Commit: emit the fills, note the state change, drop the word.
+    CacheState T = State;
+    while (T.depth() < E.In) {
+      if (T.depth() == 0) {
+        emitMicro(MFillTos);
+        T = execStateSlots(ES1);
+      } else {
+        emitMicro(T.reg(0) == 0 ? MFillSnd1 : MFillSnd0);
+        RegId Tos = T.reg(0);
+        RegId Free = Tos == 0 ? 1 : 0;
+        T = CacheState();
+        T.pushReg(Free);
+        T.pushReg(Tos);
+      }
+    }
+    SC_ASSERT(T == S, "fill emission diverged from planning");
+    State = After;
+    ++SP.ManipsRemoved;
+    return true;
+  }
+
+  void compileControl(const Inst &In) {
+    // The control transfer itself reconciles to the canonical (empty)
+    // state - its specialized copies spill internally, so reaching an
+    // execution state (register moves only) is all that is needed here.
+    ExecState S = normalizeFor(In.Op);
+    if (isBranchLike(In.Op))
+      Patches.push_back({static_cast<uint32_t>(SP.Insts.size()),
+                         static_cast<uint32_t>(In.Operand)});
+    emit(opHandler(S, In.Op), In.Operand);
+    State = CacheState();
+  }
+};
+
+} // namespace
+
+SpecProgram sc::staticcache::compileStatic(const Code &Prog,
+                                           const StaticOptions &Opts) {
+  if (Opts.TwoPassOptimal)
+    return compileStaticOptimal(Prog, Opts);
+  return PassDriver(Prog, Opts).run();
+}
+
+std::string sc::staticcache::disasmSpec(const SpecProgram &SP) {
+  static const char *const MicroNames[NumMicros] = {
+      "spill r0",        "spill r1",        "spill r0 (under)",
+      "spill r1 (under)", "spill r0 (dup)",  "spill r1 (dup)",
+      "xchg r0,r1",      "move r0->r1",     "move r1->r0",
+      "move r1->r0 (2)", "fill tos->r0",    "fill 2nd->r0",
+      "fill 2nd->r1",
+  };
+  std::string Out;
+  for (size_t I = 0; I < SP.Insts.size(); ++I) {
+    const SpecInst &SI = SP.Insts[I];
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%6zu  ", I);
+    Out += Buf;
+    if (SI.Handler >= 4 * NumOpcodes) {
+      Out += ". ";
+      Out += MicroNames[SI.Handler - 4 * NumOpcodes];
+    } else {
+      unsigned S = SI.Handler / NumOpcodes;
+      Opcode Op = static_cast<Opcode>(SI.Handler % NumOpcodes);
+      Out += mnemonic(Op);
+      if (opInfo(Op).HasOperand) {
+        Out += ' ';
+        Out += std::to_string(SI.Operand);
+      }
+      Out += "  (state ";
+      Out += std::to_string(S);
+      Out += ')';
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,126 @@
+//===-- staticcache/StaticSpec.h - Specialized code format -----*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output format of the static stack-caching compiler pass (Section
+/// 5) and the handler-index encoding shared between the pass and the
+/// specialized engine.
+///
+/// The pass tracks the cache state through a seven-state organization
+/// over two registers (all assignments of at most two stack items to R0
+/// and R1, duplicates allowed - Figure 17's shape):
+///
+///     []  [t:r0]  [t:r1]  [t:r1 r0]  [t:r0 r1]  [t:r0 r0]  [t:r1 r1]
+///
+/// Stack manipulations whose result stays representable are removed from
+/// the instruction stream entirely. Other instructions are normalized
+/// (with explicit spill/fill/move micro-instructions) to one of three
+/// execution states - empty, TOS in R0, or TOS in R1 with the second item
+/// in R0 - for which specialized handler copies exist, and the handler is
+/// selected at compile time, so the engine runs plain direct threading
+/// with no per-state tables (the paper's core advantage of static over
+/// dynamic caching). The canonical state at basic-block boundaries and
+/// calls is the empty state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_STATICCACHE_STATICSPEC_H
+#define SC_STATICCACHE_STATICSPEC_H
+
+#include "vm/Code.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sc::staticcache {
+
+/// The execution states specialized handlers exist for. ES3 is the
+/// duplication state of Figure 17: after an absorbed `dup` both top
+/// items live in R0, so e.g. `dup *` becomes a single square instruction
+/// with no moves at all.
+enum ExecState : uint8_t {
+  ES0 = 0, ///< nothing cached
+  ES1 = 1, ///< TOS in R0
+  ES2 = 2, ///< TOS in R1, second item in R0
+  ES3 = 3, ///< TOS and second item both in R0 (one duplication)
+};
+
+/// Cache-management micro-instructions the pass may emit. Several spill
+/// variants exist because each handler must know the exact cache shape
+/// *after* itself (for correct write-back if execution stops on it).
+enum Micro : uint8_t {
+  MSpill0,      ///< push R0; cache empty afterwards
+  MSpill1,      ///< push R1; cache empty afterwards
+  MSpill0Under, ///< push R0 (deepest); TOS remains in R1
+  MSpill1Under, ///< push R1 (deepest); TOS remains in R0
+  MSpill0Dup,   ///< push R0 (deepest of a dup pair); TOS remains in R0
+  MSpill1Dup,   ///< push R1 (deepest of a dup pair); TOS remains in R1
+  MXchg,        ///< exchange R0 and R1; two items stay cached
+  MMove01,      ///< R1 = R0; two items cached afterwards
+  MMove10,      ///< R0 = R1; one item cached afterwards
+  MMove10Deep,  ///< R0 = R1; two items cached afterwards
+  MFillTos,     ///< R0 = pop memory (cache was empty)
+  MFillSnd0,    ///< R0 = pop memory as second item (TOS is in R1)
+  MFillSnd1,    ///< R1 = pop memory as second item (TOS is in R0)
+  NumMicros,
+};
+
+/// Handler index: specialized opcode handlers first (state-major), then
+/// the micro-instructions.
+inline uint16_t opHandler(ExecState S, vm::Opcode Op) {
+  return static_cast<uint16_t>(static_cast<unsigned>(S) * vm::NumOpcodes +
+                               static_cast<unsigned>(Op));
+}
+inline uint16_t microHandler(Micro M) {
+  return static_cast<uint16_t>(4 * vm::NumOpcodes + M);
+}
+inline constexpr unsigned NumHandlers = 4 * vm::NumOpcodes + NumMicros;
+
+/// One instruction of specialized code.
+struct SpecInst {
+  uint16_t Handler;
+  vm::Cell Operand;
+};
+
+/// A statically cached program.
+struct SpecProgram {
+  std::vector<SpecInst> Insts;
+  /// Maps original instruction indices to specialized indices (valid for
+  /// basic-block leaders, which is all a branch may target).
+  std::vector<uint32_t> OrigToSpec;
+  /// Statistics for the benches and EXPERIMENTS.md.
+  uint64_t ManipsRemoved = 0; ///< stack manipulations optimized away
+  uint64_t MicrosEmitted = 0; ///< reconcile/spill/fill instructions added
+  uint64_t OrigInsts = 0;
+};
+
+/// Pass options (the ablation bench toggles these).
+struct StaticOptions {
+  bool AbsorbManips = true;
+  /// Use the paper's two-pass optimal code generation (Section 5): a
+  /// backward cost pass over each basic block chooses transitions with
+  /// full lookahead, then a forward pass emits them. The default is the
+  /// greedy single-pass scheme.
+  bool TwoPassOptimal = false;
+};
+
+/// Exit execution state of \p Op's specialized handler entered in
+/// \p S, or -1 if no specialized handler exists (the instruction then
+/// runs in the generic state-0 copy and exits in state 0).
+int specExitState(vm::Opcode Op, ExecState S);
+
+/// Compiles \p Prog into statically cached specialized code.
+SpecProgram compileStatic(const vm::Code &Prog,
+                          const StaticOptions &Opts = StaticOptions());
+
+/// Renders the specialized code as text (for the listing example and
+/// debugging).
+std::string disasmSpec(const SpecProgram &SP);
+
+} // namespace sc::staticcache
+
+#endif // SC_STATICCACHE_STATICSPEC_H

@@ -1,0 +1,44 @@
+//===-- support/Assert.h - Assertions and unreachable markers --*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers shared by all stackcache libraries. The library never
+/// throws; programmatic errors abort with a message, recoverable conditions
+/// are reported through status enums (see vm/RunResult.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_ASSERT_H
+#define SC_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Assert with a mandatory explanatory message.
+#define SC_ASSERT(Cond, Msg) assert((Cond) && (Msg))
+
+namespace sc {
+
+/// Marks a point in the code that must never be reached. Aborts (with a
+/// diagnostic in all build modes) if executed.
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "stackcache fatal: unreachable executed: %s\n", Msg);
+  std::abort();
+}
+
+/// Reports a fatal usage error (bad input that the caller should have
+/// validated) and aborts. Tools use this for conditions that indicate a bug
+/// in the tool itself rather than in user input.
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fprintf(stderr, "stackcache fatal: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace sc
+
+#endif // SC_SUPPORT_ASSERT_H

@@ -1,0 +1,115 @@
+//===-- support/FixedVec.h - Inline fixed-capacity vector ------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny fixed-capacity inline vector for trivially copyable element types.
+/// Cache states hold at most a handful of register ids, and the simulators
+/// construct millions of them, so heap allocation is out of the question.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_FIXEDVEC_H
+#define SC_SUPPORT_FIXEDVEC_H
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <type_traits>
+
+namespace sc {
+
+/// Fixed-capacity inline vector. Element type must be trivially copyable;
+/// size is bounded by \p Capacity and checked by assertion.
+template <typename T, unsigned Capacity> class FixedVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FixedVec only supports trivially copyable elements");
+  static_assert(Capacity <= 255, "size is stored in a byte");
+
+  std::array<T, Capacity> Elems{};
+  uint8_t Count = 0;
+
+public:
+  FixedVec() = default;
+  FixedVec(std::initializer_list<T> Init) {
+    SC_ASSERT(Init.size() <= Capacity, "initializer exceeds capacity");
+    for (const T &V : Init)
+      push_back(V);
+  }
+
+  static constexpr unsigned capacity() { return Capacity; }
+  unsigned size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  T &operator[](unsigned I) {
+    SC_ASSERT(I < Count, "FixedVec index out of range");
+    return Elems[I];
+  }
+  const T &operator[](unsigned I) const {
+    SC_ASSERT(I < Count, "FixedVec index out of range");
+    return Elems[I];
+  }
+
+  T &front() { return (*this)[0]; }
+  const T &front() const { return (*this)[0]; }
+  T &back() { return (*this)[Count - 1]; }
+  const T &back() const { return (*this)[Count - 1]; }
+
+  void push_back(const T &V) {
+    SC_ASSERT(Count < Capacity, "FixedVec overflow");
+    Elems[Count++] = V;
+  }
+  void pop_back() {
+    SC_ASSERT(Count > 0, "FixedVec underflow");
+    --Count;
+  }
+  void clear() { Count = 0; }
+
+  /// Resizes to \p N elements; new elements are value-initialized.
+  void resize(unsigned N) {
+    SC_ASSERT(N <= Capacity, "FixedVec resize beyond capacity");
+    for (unsigned I = Count; I < N; ++I)
+      Elems[I] = T{};
+    Count = static_cast<uint8_t>(N);
+  }
+
+  /// Inserts \p V at position \p I, shifting later elements up.
+  void insert(unsigned I, const T &V) {
+    SC_ASSERT(I <= Count, "FixedVec insert position out of range");
+    SC_ASSERT(Count < Capacity, "FixedVec overflow");
+    for (unsigned J = Count; J > I; --J)
+      Elems[J] = Elems[J - 1];
+    Elems[I] = V;
+    ++Count;
+  }
+
+  /// Erases the element at position \p I, shifting later elements down.
+  void erase(unsigned I) {
+    SC_ASSERT(I < Count, "FixedVec erase position out of range");
+    for (unsigned J = I; J + 1 < Count; ++J)
+      Elems[J] = Elems[J + 1];
+    --Count;
+  }
+
+  const T *begin() const { return Elems.data(); }
+  const T *end() const { return Elems.data() + Count; }
+  T *begin() { return Elems.data(); }
+  T *end() { return Elems.data() + Count; }
+
+  friend bool operator==(const FixedVec &A, const FixedVec &B) {
+    return A.Count == B.Count && std::equal(A.begin(), A.end(), B.begin());
+  }
+  friend bool operator!=(const FixedVec &A, const FixedVec &B) {
+    return !(A == B);
+  }
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_FIXEDVEC_H

@@ -1,0 +1,54 @@
+//===-- support/Rng.h - Deterministic random number generator --*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 pseudo-random generator. Used by property tests and by the
+/// random-walk experiments; deterministic across platforms so that measured
+/// numbers in EXPERIMENTS.md are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_RNG_H
+#define SC_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace sc {
+
+/// SplitMix64: tiny, fast, and statistically solid enough for tests and
+/// synthetic workload generation.
+class Rng {
+  uint64_t State;
+
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] (inclusive).
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_RNG_H

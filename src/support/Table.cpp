@@ -1,0 +1,63 @@
+//===-- support/Table.cpp - Plain-text table printer ----------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace sc;
+
+std::string sc::formatDouble(double V, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+Table::RowBuilder &Table::RowBuilder::num(double V, int Precision) {
+  Cells.push_back(formatDouble(V, Precision));
+  return *this;
+}
+
+Table::RowBuilder &Table::RowBuilder::integer(long long V) {
+  Cells.push_back(std::to_string(V));
+  return *this;
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::str() const {
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  }
+  std::string Out;
+  for (const auto &Row : Rows) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      const std::string &Cell = Row[I];
+      size_t Pad = Widths[I] - Cell.size();
+      if (I == 0) { // left-align label column
+        Out += Cell;
+        if (Row.size() > 1)
+          Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      }
+      if (I + 1 < Row.size())
+        Out += "  ";
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }

@@ -1,0 +1,61 @@
+//===-- support/Table.h - Plain-text table printer -------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small right-aligned plain-text table printer used by the benchmark
+/// binaries to print the paper's tables and figure series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_TABLE_H
+#define SC_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Accumulates rows of strings and prints them with columns aligned.
+class Table {
+  std::vector<std::vector<std::string>> Rows;
+
+public:
+  /// Appends one row; cells are printed right-aligned except the first
+  /// column, which is left-aligned.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience for building a row incrementally.
+  class RowBuilder {
+    Table &Parent;
+    std::vector<std::string> Cells;
+
+  public:
+    explicit RowBuilder(Table &T) : Parent(T) {}
+    ~RowBuilder() { Parent.addRow(std::move(Cells)); }
+    RowBuilder &cell(std::string S) {
+      Cells.push_back(std::move(S));
+      return *this;
+    }
+    RowBuilder &num(double V, int Precision = 3);
+    RowBuilder &integer(long long V);
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  /// Renders the table to a string, one row per line.
+  std::string str() const;
+
+  /// Prints the table to stdout.
+  void print() const;
+};
+
+/// Formats a double with fixed precision.
+std::string formatDouble(double V, int Precision = 3);
+
+} // namespace sc
+
+#endif // SC_SUPPORT_TABLE_H

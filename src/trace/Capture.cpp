@@ -1,0 +1,71 @@
+//===-- trace/Capture.cpp - Trace capture ---------------------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Capture.h"
+
+#include "dispatch/SwitchEngineImpl.h"
+#include "support/Assert.h"
+
+#include <cstdio>
+
+using namespace sc;
+using namespace sc::trace;
+using namespace sc::vm;
+
+namespace {
+
+/// Records one TraceRec per executed instruction plus the return-stack
+/// aggregates.
+class RecordingTracer {
+  Trace &Out;
+  const std::vector<bool> &Leaders;
+
+public:
+  RecordingTracer(Trace &Out, const std::vector<bool> &Leaders)
+      : Out(Out), Leaders(Leaders) {}
+
+  void onInst(uint32_t Ip, Opcode Op) {
+    TraceRec R;
+    R.Op = Op;
+    R.Flags = Leaders[Ip] ? TraceRec::LeaderFlag : 0;
+    Out.Recs.push_back(R);
+    ++Out.SiteCounts[Ip];
+  }
+
+  void onRTraffic(unsigned Stores, unsigned Loads, bool SpMoved) {
+    Out.RStackStores += Stores;
+    Out.RStackLoads += Loads;
+    Out.RStackUpdates += SpMoved ? 1 : 0;
+    if (SpMoved && !Out.Recs.empty())
+      Out.Recs.back().Flags |= TraceRec::RMovedFlag;
+  }
+};
+
+} // namespace
+
+Trace sc::trace::captureTrace(const forth::System &Sys,
+                              const std::string &Name, uint64_t MaxSteps) {
+  const Word *W = Sys.Prog.findWord(Name);
+  SC_ASSERT(W, "word not found");
+  std::vector<bool> Leaders = Sys.Prog.computeLeaders();
+
+  Vm Copy = Sys.Machine;
+  Copy.resetOutput();
+  ExecContext Ctx(Sys.Prog, Copy);
+  Ctx.MaxSteps = MaxSteps;
+
+  Trace T;
+  T.SiteCounts.assign(Sys.Prog.Insts.size(), 0);
+  RecordingTracer Tr(T, Leaders);
+  RunOutcome O = dispatch::runSwitchImpl(Ctx, W->Entry, Tr);
+  if (O.Status != RunStatus::Halted) {
+    std::fprintf(stderr, "trace capture of '%s' failed: %s\n", Name.c_str(),
+                 runStatusName(O.Status));
+    sc::fatalError("trace capture did not halt");
+  }
+  return T;
+}

@@ -1,0 +1,32 @@
+//===-- trace/Capture.h - Trace capture ------------------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Captures an execution trace by running the (switch-dispatch) reference
+/// engine with a recording tracer. Executes against a copy of the
+/// system's machine state, like forth::System::runIsolated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_TRACE_CAPTURE_H
+#define SC_TRACE_CAPTURE_H
+
+#include "forth/Forth.h"
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace sc::trace {
+
+/// Runs word \p Name of \p Sys under the instrumented reference engine
+/// and returns the trace. Aborts if the run does not halt cleanly.
+Trace captureTrace(const forth::System &Sys, const std::string &Name,
+                   uint64_t MaxSteps = UINT64_MAX);
+
+} // namespace sc::trace
+
+#endif // SC_TRACE_CAPTURE_H

@@ -1,0 +1,428 @@
+//===-- trace/Simulators.cpp - Trace-driven cache simulators --------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Simulators.h"
+
+#include "cache/Reconcile.h"
+#include "support/Assert.h"
+
+using namespace sc;
+using namespace sc::cache;
+using namespace sc::trace;
+using vm::OpKind;
+using vm::Opcode;
+
+ProgramStats sc::trace::fig20Stats(const Trace &T) {
+  ProgramStats S;
+  S.Insts = T.size();
+  if (S.Insts == 0)
+    return S;
+  uint64_t Loads = 0, Stores = 0, Updates = 0, Calls = 0;
+  for (const TraceRec &R : T.Recs) {
+    vm::StackEffect E = vm::dataEffect(R.Op);
+    Loads += E.In;
+    Stores += E.Out;
+    Updates += E.In != E.Out ? 1 : 0;
+    Calls += R.Op == Opcode::Call ? 1 : 0;
+  }
+  double N = static_cast<double>(S.Insts);
+  S.LoadsPerInst = static_cast<double>(Loads) / N;
+  S.StoresPerInst = static_cast<double>(Stores) / N;
+  S.SpUpdatesPerInst = static_cast<double>(Updates) / N;
+  S.RLoadsPerInst = static_cast<double>(T.RStackLoads) / N;
+  S.RUpdatesPerInst = static_cast<double>(T.RStackUpdates) / N;
+  S.CallsPerInst = static_cast<double>(Calls) / N;
+  return S;
+}
+
+Counts sc::trace::simulateConstantK(const Trace &T, unsigned K) {
+  Counts Total;
+  uint64_t StackDepth = 0;
+  for (const TraceRec &R : T.Recs) {
+    vm::StackEffect E = vm::dataEffect(R.Op);
+    Total += applyEffectConstantK(K, StackDepth, E.In, E.Out);
+    StackDepth += E.Out;
+    StackDepth -= E.In;
+    ++Total.Insts;
+    ++Total.Dispatches;
+  }
+  return Total;
+}
+
+Counts sc::trace::simulateDynamic(const Trace &T, const MinimalPolicy &P) {
+  Counts Total;
+  unsigned Depth = 0;
+  for (const TraceRec &R : T.Recs) {
+    vm::StackEffect E = vm::dataEffect(R.Op);
+    Total += applyEffectMinimal(Depth, E.In, E.Out, P);
+    ++Total.Insts;
+    ++Total.Dispatches;
+  }
+  return Total;
+}
+
+RandomWalkReport sc::trace::analyzeRandomWalk(const Trace &T,
+                                              const MinimalPolicy &P) {
+  RandomWalkReport Rep;
+  unsigned Depth = 0;
+  bool LastEventWasOverflow = false;
+  for (const TraceRec &R : T.Recs) {
+    vm::StackEffect E = vm::dataEffect(R.Op);
+    Counts C = applyEffectMinimal(Depth, E.In, E.Out, P);
+    if (C.Overflows) {
+      ++Rep.Overflows;
+      if (LastEventWasOverflow)
+        ++Rep.ReOverflows;
+      LastEventWasOverflow = true;
+    } else if (C.Underflows) {
+      ++Rep.Underflows;
+      LastEventWasOverflow = false;
+    }
+  }
+  return Rep;
+}
+
+namespace {
+
+/// The working state of the static-caching simulator: an explicit slot
+/// vector (shuffles and duplications allowed) over NumRegs registers.
+class StaticSim {
+  const StaticPolicy &P;
+  CacheState State;
+  CacheState Canonical;
+  Counts Total;
+
+public:
+  explicit StaticSim(const StaticPolicy &Pol)
+      : P(Pol), Canonical(CacheState::minimal(Pol.CanonicalDepth)) {
+    SC_ASSERT(Pol.CanonicalDepth <= Pol.NumRegs, "canonical out of range");
+    State = Canonical; // words start in the canonical state
+  }
+
+  const Counts &counts() const { return Total; }
+
+  void run(const Trace &T) {
+    bool PrevWasControl = true; // treat entry like a fresh block
+    for (const TraceRec &R : T.Recs) {
+      // Fall-through into a block leader: the instruction before the
+      // target reconciles to the canonical state (Section 5's control
+      // flow convention); branches do it themselves below.
+      if (R.isLeader() && !PrevWasControl)
+        reconcileToCanonical();
+
+      bool Control = vm::isControl(R.Op);
+      execute(R.Op);
+      if (Control)
+        reconcileToCanonical(); // merged into the branch: no dispatch
+
+      PrevWasControl = Control;
+    }
+  }
+
+private:
+  void reconcileToCanonical() {
+    Total += reconcile(State, Canonical);
+    State = Canonical;
+  }
+
+  unsigned freeRegs() const {
+    return P.NumRegs - static_cast<unsigned>(__builtin_popcount(
+                           State.regMask() & ((1u << P.NumRegs) - 1)));
+  }
+
+  void execute(Opcode Op) {
+    ++Total.Insts;
+    vm::StackEffect E = vm::dataEffect(Op);
+
+    // Stack manipulations become pure state changes - no dispatch, no
+    // code at all - when their arguments are cached and the register
+    // file can hold the result (Section 5: "stack manipulations can be
+    // optimized away completely").
+    if (P.AbsorbManips && isAbsorbableManip(Op) && State.depth() >= E.In &&
+        State.depth() - E.In + E.Out <= P.NumRegs + 1) {
+      CacheState NewState = applyManipToState(State, Op);
+      if (NewState.regsUsed() <= P.NumRegs) {
+        State = NewState;
+        return; // optimized away: no Total.Dispatches increment
+      }
+    }
+
+    ++Total.Dispatches;
+    bool MemTouched = false;
+
+    // Consume inputs. Deeper-than-cached arguments are loaded directly by
+    // the state-specialized implementation (underflow fill).
+    unsigned FromRegs = E.In < State.depth() ? E.In : State.depth();
+    for (unsigned I = 0; I < FromRegs; ++I)
+      State.popTop();
+    if (E.In > FromRegs) {
+      Total.Loads += E.In - FromRegs;
+      ++Total.Underflows;
+      MemTouched = true;
+    }
+
+    // Produce outputs into free registers; spill the deepest cached items
+    // when the register file is exhausted. The canonical state serves as
+    // the overflow followup, as in the paper's evaluation. Outputs beyond
+    // the register file (possible only for tiny files) go to memory.
+    unsigned ToRegs = E.Out < P.NumRegs ? E.Out : P.NumRegs;
+    if (E.Out > ToRegs) {
+      Total.Stores += E.Out - ToRegs;
+      MemTouched = true;
+    }
+    if (freeRegs() < ToRegs) {
+      ++Total.Overflows;
+      unsigned Target =
+          P.CanonicalDepth > ToRegs ? P.CanonicalDepth : ToRegs;
+      while ((State.depth() + ToRegs > Target || freeRegs() < ToRegs) &&
+             State.depth() > 0) {
+        State.dropBottom();
+        ++Total.Stores;
+      }
+      MemTouched = true;
+    }
+    for (unsigned I = 0; I < ToRegs; ++I) {
+      // Lowest-numbered free register; reconciliation at block ends pays
+      // for any deviation from the canonical layout.
+      unsigned R = 0;
+      uint32_t Mask = State.regMask();
+      while (R < P.NumRegs && (Mask & (1u << R)))
+        ++R;
+      SC_ASSERT(R < P.NumRegs, "no free register after spilling");
+      State.pushReg(static_cast<RegId>(R));
+    }
+
+    if (MemTouched)
+      ++Total.SpUpdates;
+  }
+};
+
+} // namespace
+
+Counts sc::trace::simulateStatic(const Trace &T, const StaticPolicy &P) {
+  StaticSim Sim(P);
+  Sim.run(T);
+  return Sim.counts();
+}
+
+namespace {
+
+/// The combined data/return cache of the two-stack organization: data
+/// depth D and return depth R share NumRegs registers (R <= MaxRetCached,
+/// D + R <= NumRegs), both stacks bottom-anchored minimal.
+class TwoStackSim {
+  const TwoStackPolicy &P;
+  unsigned D = 0; ///< cached data items
+  unsigned R = 0; ///< cached return items
+  Counts Total;
+
+public:
+  explicit TwoStackSim(const TwoStackPolicy &Pol) : P(Pol) {
+    SC_ASSERT(Pol.MaxRetCached <= 2, "two-stack organization caches <= 2");
+    SC_ASSERT(Pol.DataOverflowDepth <= Pol.NumRegs, "bad followup");
+  }
+
+  const Counts &counts() const { return Total; }
+
+  void run(const Trace &T) {
+    for (const TraceRec &Rec : T.Recs) {
+      ++Total.Insts;
+      ++Total.Dispatches;
+      vm::StackEffect E = vm::dataEffect(Rec.Op);
+      applyData(E.In, E.Out);
+      applyRet(Rec);
+    }
+  }
+
+private:
+  /// Data-stack side: the minimal-organization transition with the
+  /// capacity reduced by the cached return items.
+  void applyData(unsigned In, unsigned Out) {
+    unsigned Cap = P.NumRegs - R;
+    if (D < In) {
+      ++Total.Underflows;
+      Total.Loads += In - D;
+      unsigned NewD = Out <= Cap ? Out : Cap;
+      Total.Stores += Out - NewD;
+      ++Total.SpUpdates;
+      D = NewD;
+      return;
+    }
+    unsigned DPrime = D - In + Out;
+    if (DPrime <= Cap) {
+      D = DPrime;
+      return;
+    }
+    ++Total.Overflows;
+    unsigned F = P.DataOverflowDepth < Cap ? P.DataOverflowDepth : Cap;
+    Total.Stores += DPrime - F;
+    Total.Moves += F > Out ? F - Out : 0;
+    ++Total.SpUpdates;
+    D = F;
+  }
+
+  bool haveRoom() const { return R < P.MaxRetCached && D + R < P.NumRegs; }
+
+  void rpush(unsigned K) {
+    for (unsigned I = 0; I < K; ++I) {
+      if (haveRoom()) {
+        ++R;
+        continue;
+      }
+      // No room: flush the deepest cached return item (keeping the top
+      // of the return stack cached), or store directly when none is.
+      if (R > 0) {
+        ++Total.Stores;
+        Total.Moves += R - 1;
+        ++Total.SpUpdates;
+      } else {
+        ++Total.Stores;
+        ++Total.SpUpdates;
+      }
+    }
+  }
+
+  void rpop(unsigned K) {
+    unsigned FromRegs = K < R ? K : R;
+    R -= FromRegs;
+    unsigned FromMem = K - FromRegs;
+    if (FromMem) {
+      Total.Loads += FromMem;
+      ++Total.SpUpdates;
+    }
+  }
+
+  void rpeek(unsigned Depth) {
+    // Items deeper than the cached part are read from memory.
+    if (Depth > R)
+      Total.Loads += Depth - R;
+  }
+
+  void rdrop(unsigned K, bool ReadFirst) {
+    if (ReadFirst)
+      rpeek(K);
+    unsigned FromRegs = K < R ? K : R;
+    R -= FromRegs;
+    if (K > FromRegs)
+      ++Total.SpUpdates; // memory part shrinks
+  }
+
+  void applyRet(const TraceRec &Rec) {
+    using vm::Opcode;
+    switch (Rec.Op) {
+    case Opcode::ToR:
+    case Opcode::Call:
+      rpush(1);
+      break;
+    case Opcode::DoSetup:
+      rpush(2);
+      break;
+    case Opcode::RFrom:
+    case Opcode::Exit:
+      rpop(1);
+      break;
+    case Opcode::RFetch:
+    case Opcode::LoopI:
+      rpeek(1);
+      break;
+    case Opcode::LoopJ:
+      rpeek(3);
+      break;
+    case Opcode::Unloop:
+      rdrop(2, /*ReadFirst=*/false);
+      break;
+    case Opcode::LoopBr:
+    case Opcode::PlusLoopBr:
+      if (Rec.movedRsp()) {
+        rdrop(2, /*ReadFirst=*/true); // exit: compare, then discard
+      } else {
+        // Back edge: read index and limit, write the index back.
+        rpeek(2);
+        if (R == 0)
+          ++Total.Stores; // index lives in memory
+      }
+      break;
+    default:
+      break;
+    }
+  }
+};
+
+} // namespace
+
+Counts sc::trace::simulateTwoStack(const Trace &T, const TwoStackPolicy &P) {
+  TwoStackSim Sim(P);
+  Sim.run(T);
+  return Sim.counts();
+}
+
+Counts sc::trace::simulatePrefetch(const Trace &T, const PrefetchPolicy &P) {
+  SC_ASSERT(P.MinDepth <= P.NumRegs, "minimum depth out of range");
+  SC_ASSERT(P.OverflowFollowupDepth <= P.NumRegs, "followup out of range");
+  Counts Total;
+  unsigned Depth = 0; ///< cached items
+  unsigned Clean = 0; ///< deepest Clean items mirror memory (prefetched)
+  uint64_t StackDepth = 0; ///< logical stack depth (bounds prefetching)
+
+  for (const TraceRec &Rec : T.Recs) {
+    ++Total.Insts;
+    ++Total.Dispatches;
+    vm::StackEffect E = vm::dataEffect(Rec.Op);
+    unsigned In = E.In, Out = E.Out;
+
+    bool MemTouched = false;
+    if (Depth < In) {
+      // Underflow fill: the missing arguments arrive from memory, clean.
+      ++Total.Underflows;
+      Total.Loads += In - Depth;
+      Clean += In - Depth; // fills arrive below the cached items, clean
+      Depth = In;
+      MemTouched = true;
+    }
+    unsigned DPrime = Depth - In + Out;
+    if (Depth - In < Clean)
+      Clean = Depth - In; // pops consumed part of the clean prefix
+    if (DPrime > P.NumRegs) {
+      // Overflow: spill down to the followup state; clean items need no
+      // store when dirtiness is tracked.
+      ++Total.Overflows;
+      unsigned F = P.OverflowFollowupDepth;
+      unsigned Spill = DPrime - F;
+      unsigned SpillSurvivors = Spill < Depth - In ? Spill : Depth - In;
+      unsigned CleanSpilled =
+          P.DirtyBits ? (SpillSurvivors < Clean ? SpillSurvivors : Clean)
+                      : 0;
+      Total.Stores += Spill - CleanSpilled;
+      Total.Moves += F > Out ? F - Out : 0;
+      Clean -= SpillSurvivors < Clean ? SpillSurvivors : Clean;
+      Depth = F;
+      MemTouched = true;
+    } else {
+      Depth = DPrime;
+    }
+
+    StackDepth += Out;
+    StackDepth -= In;
+
+    // Prefetch back up to the minimum depth (bounded by what exists).
+    if (Depth < P.MinDepth) {
+      uint64_t Available = StackDepth - Depth;
+      unsigned Want = P.MinDepth - Depth;
+      unsigned Fetch =
+          Available < Want ? static_cast<unsigned>(Available) : Want;
+      if (Fetch > 0) {
+        Total.Loads += Fetch;
+        Clean += Fetch;
+        Depth += Fetch;
+        MemTouched = true;
+      }
+    }
+    if (MemTouched)
+      ++Total.SpUpdates;
+  }
+  return Total;
+}

@@ -1,0 +1,121 @@
+//===-- trace/Simulators.h - Trace-driven cache simulators -----*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-driven evaluations of Section 6:
+///
+///  * fig20Stats          - per-program characteristics (Fig. 20)
+///  * simulateConstantK   - constant number of items in registers (Fig. 21)
+///  * simulateDynamic     - dynamic caching, minimal organization, chosen
+///                          overflow followup state (Figs. 22/23)
+///  * simulateStatic      - static caching with canonical-state control
+///                          flow and calling conventions, manipulations
+///                          optimized away (Figs. 24/25)
+///  * analyzeRandomWalk   - overflow/underflow sequencing statistics used
+///                          to test the [HS85] random-walk model
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_TRACE_SIMULATORS_H
+#define SC_TRACE_SIMULATORS_H
+
+#include "cache/CostModel.h"
+#include "cache/Transition.h"
+#include "trace/Trace.h"
+
+namespace sc::trace {
+
+/// The columns of Fig. 20.
+struct ProgramStats {
+  uint64_t Insts = 0;
+  double LoadsPerInst = 0;    ///< operand loads in a cache-less interpreter
+  double StoresPerInst = 0;   ///< operand stores (aggregate ~= loads)
+  double SpUpdatesPerInst = 0;
+  double RLoadsPerInst = 0;
+  double RUpdatesPerInst = 0;
+  double CallsPerInst = 0;
+};
+
+/// Computes Fig. 20's per-program characteristics from a trace.
+ProgramStats fig20Stats(const Trace &T);
+
+/// Simulates keeping exactly \p K top-of-stack items in registers.
+cache::Counts simulateConstantK(const Trace &T, unsigned K);
+
+/// Simulates dynamic stack caching over the minimal organization.
+cache::Counts simulateDynamic(const Trace &T, const cache::MinimalPolicy &P);
+
+/// Policy for the static stack caching simulator.
+struct StaticPolicy {
+  unsigned NumRegs = 4;
+  /// The canonical state's depth: code is in minimal(CanonicalDepth) at
+  /// every basic-block boundary, call and return (the x axis of Fig. 24).
+  unsigned CanonicalDepth = 0;
+  /// If false, stack manipulations execute like any other instruction
+  /// (for the ablation bench); if true they are absorbed into cache-state
+  /// changes whenever their arguments are cached and the register file
+  /// can represent the result.
+  bool AbsorbManips = true;
+};
+
+/// Simulates static stack caching. Counts.Dispatches excludes the
+/// manipulations that were optimized away; Counts.Insts counts all
+/// original instructions.
+cache::Counts simulateStatic(const Trace &T, const StaticPolicy &P);
+
+/// Overflow/underflow sequencing statistics (Section 6's examination of
+/// the [HS85] random-walk model).
+struct RandomWalkReport {
+  uint64_t Overflows = 0;
+  uint64_t Underflows = 0;
+  /// Overflows followed by another overflow before any underflow: the
+  /// random-walk model predicts many of these for rather-full followup
+  /// states; real programs show very few ("a very strong tendency to go
+  /// down after going up").
+  uint64_t ReOverflows = 0;
+};
+
+/// Runs the dynamic simulator and reports the overflow/underflow
+/// sequencing.
+RandomWalkReport analyzeRandomWalk(const Trace &T,
+                                   const cache::MinimalPolicy &P);
+
+/// Policy for the two-stack cache (Fig. 18's sixth organization, which
+/// the paper tabulates but does not evaluate): the data stack's minimal
+/// organization shares the register file with up to MaxRetCached return
+/// stack items, also organized minimally.
+struct TwoStackPolicy {
+  unsigned NumRegs = 4;
+  unsigned DataOverflowDepth = 2; ///< data-cache overflow followup
+  unsigned MaxRetCached = 2;      ///< 0 disables return-stack caching
+};
+
+/// Simulates the combined data/return stack cache. With MaxRetCached = 0
+/// this degenerates to simulateDynamic plus the memory cost of every
+/// return stack access - the baseline the shared organization is
+/// compared against. Counts include return-stack loads/stores/updates.
+cache::Counts simulateTwoStack(const Trace &T, const TwoStackPolicy &P);
+
+/// Policy for the stack-item prefetching variant of Section 3.6: states
+/// with fewer than MinDepth cached items are forbidden, so the cache
+/// refills eagerly after popping instructions. Prefetched-but-unmodified
+/// items need not be stored back on overflow when the cache tracks
+/// dirtiness ("corresponding to dirty bits in hardware caches").
+struct PrefetchPolicy {
+  unsigned NumRegs = 4;
+  unsigned OverflowFollowupDepth = 2;
+  unsigned MinDepth = 0;  ///< 0 disables prefetching (plain minimal org)
+  bool DirtyBits = false; ///< skip stores of clean (prefetched) items
+};
+
+/// Simulates dynamic caching with prefetching. With MinDepth = 0 and
+/// DirtyBits = false this equals simulateDynamic.
+cache::Counts simulatePrefetch(const Trace &T, const PrefetchPolicy &P);
+
+} // namespace sc::trace
+
+#endif // SC_TRACE_SIMULATORS_H

@@ -1,0 +1,62 @@
+//===-- trace/Trace.h - Executed-instruction traces ------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates stack caching by instrumenting a Forth system and
+/// replaying the collected instruction streams under different cache
+/// organizations (Section 6). Trace is our equivalent: one record per
+/// executed virtual machine instruction, plus the return-stack aggregate
+/// counters needed for Fig. 20.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_TRACE_TRACE_H
+#define SC_TRACE_TRACE_H
+
+#include "vm/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sc::trace {
+
+/// One executed instruction.
+struct TraceRec {
+  vm::Opcode Op;
+  uint8_t Flags;
+
+  static constexpr uint8_t LeaderFlag = 1; ///< starts a basic block
+  /// The instruction moved the return stack pointer. Per-opcode return
+  /// stack behaviour is otherwise static; this single dynamic bit
+  /// distinguishes a loop back-edge (peek+update) from a loop exit
+  /// (drop both parameters).
+  static constexpr uint8_t RMovedFlag = 2;
+
+  bool isLeader() const { return (Flags & LeaderFlag) != 0; }
+  bool movedRsp() const { return (Flags & RMovedFlag) != 0; }
+};
+
+/// A full execution trace.
+struct Trace {
+  std::vector<TraceRec> Recs;
+
+  // Return-stack aggregates (Fig. 20's rloads / rupdates columns).
+  uint64_t RStackStores = 0;  ///< cells written to return-stack memory
+  uint64_t RStackLoads = 0;   ///< cells read from return-stack memory
+  uint64_t RStackUpdates = 0; ///< instructions that moved the return sp
+
+  /// Executions per static instruction site, indexed like Code::Insts
+  /// (Section 6's instance-frequency distribution: "10% account for 90%
+  /// of the executed instructions").
+  std::vector<uint64_t> SiteCounts;
+
+  uint64_t size() const { return Recs.size(); }
+};
+
+} // namespace sc::trace
+
+#endif // SC_TRACE_TRACE_H

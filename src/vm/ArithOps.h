@@ -1,0 +1,75 @@
+//===-- vm/ArithOps.h - Primitive arithmetic semantics ---------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value semantics of the arithmetic/logic primitives, defined once
+/// and used by every engine (the shared instruction bodies, the model
+/// interpreter, and the specialized copies of the dynamically and
+/// statically cached engines). Signed overflow wraps (computed in the
+/// unsigned domain); shifts of 64 or more yield 0; `2/` is an arithmetic
+/// shift, like Forth's. Division and modulo take a *nonzero* divisor -
+/// the caller traps on zero first - and define the INT64_MIN / -1 case
+/// instead of faulting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_ARITHOPS_H
+#define SC_VM_ARITHOPS_H
+
+#include "vm/Cell.h"
+
+namespace sc::vm {
+
+inline Cell arithAdd(Cell A, Cell B) {
+  return static_cast<Cell>(static_cast<UCell>(A) + static_cast<UCell>(B));
+}
+inline Cell arithSub(Cell A, Cell B) {
+  return static_cast<Cell>(static_cast<UCell>(A) - static_cast<UCell>(B));
+}
+inline Cell arithMul(Cell A, Cell B) {
+  return static_cast<Cell>(static_cast<UCell>(A) * static_cast<UCell>(B));
+}
+/// Quotient; \p B must be nonzero. INT64_MIN / -1 wraps to INT64_MIN.
+inline Cell arithDiv(Cell A, Cell B) {
+  return B == -1 ? static_cast<Cell>(0 - static_cast<UCell>(A)) : A / B;
+}
+/// Remainder; \p B must be nonzero. Anything mod -1 is 0.
+inline Cell arithMod(Cell A, Cell B) { return B == -1 ? 0 : A % B; }
+inline Cell arithLshift(Cell A, Cell B) {
+  return static_cast<UCell>(B) >= 64
+             ? 0
+             : static_cast<Cell>(static_cast<UCell>(A) << B);
+}
+inline Cell arithRshift(Cell A, Cell B) {
+  return static_cast<UCell>(B) >= 64
+             ? 0
+             : static_cast<Cell>(static_cast<UCell>(A) >> B);
+}
+inline Cell arithNegate(Cell A) {
+  return static_cast<Cell>(0 - static_cast<UCell>(A));
+}
+inline Cell arithAbs(Cell A) { return A < 0 ? arithNegate(A) : A; }
+inline Cell arithOnePlus(Cell A) {
+  return static_cast<Cell>(static_cast<UCell>(A) + 1);
+}
+inline Cell arithOneMinus(Cell A) {
+  return static_cast<Cell>(static_cast<UCell>(A) - 1);
+}
+inline Cell arithTwoStar(Cell A) {
+  return static_cast<Cell>(static_cast<UCell>(A) << 1);
+}
+inline Cell arithTwoSlash(Cell A) { return A >> 1; }
+inline Cell arithCells(Cell A) {
+  return static_cast<Cell>(static_cast<UCell>(A) * CellBytes);
+}
+inline Cell arithULt(Cell A, Cell B) {
+  return boolCell(static_cast<UCell>(A) < static_cast<UCell>(B));
+}
+
+} // namespace sc::vm
+
+#endif // SC_VM_ARITHOPS_H

@@ -1,0 +1,38 @@
+//===-- vm/Cell.h - Virtual machine cell types -----------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fundamental data types of the virtual stack machine: a cell is one
+/// stack item / one memory word, as in Forth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_CELL_H
+#define SC_VM_CELL_H
+
+#include <cstdint>
+
+namespace sc::vm {
+
+/// One stack item / one memory word. Signed, like Forth's single cell.
+using Cell = int64_t;
+/// Unsigned view of a cell, for logical shifts and unsigned compares.
+using UCell = uint64_t;
+
+/// Forth truth values: all bits set for true, zero for false.
+inline constexpr Cell FalseCell = 0;
+inline constexpr Cell TrueCell = -1;
+
+/// Converts a C++ bool to a Forth flag cell.
+inline constexpr Cell boolCell(bool B) { return B ? TrueCell : FalseCell; }
+
+/// Size of a cell in data-space bytes.
+inline constexpr Cell CellBytes = 8;
+
+} // namespace sc::vm
+
+#endif // SC_VM_CELL_H

@@ -1,0 +1,64 @@
+//===-- vm/Code.cpp - Virtual machine code representation -----------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Code.h"
+
+using namespace sc::vm;
+
+std::vector<bool> Code::computeLeaders() const {
+  std::vector<bool> Leaders(Insts.size(), false);
+  if (!Insts.empty())
+    Leaders[0] = true;
+  for (const Word &W : Words)
+    if (W.Entry < Insts.size())
+      Leaders[W.Entry] = true;
+  for (uint32_t I = 0; I < Insts.size(); ++I) {
+    const Inst &In = Insts[I];
+    if (!isControl(In.Op))
+      continue;
+    if (isBranchLike(In.Op)) {
+      uint64_t Target = static_cast<uint64_t>(In.Operand);
+      if (Target < Insts.size())
+        Leaders[Target] = true;
+    }
+    if (I + 1 < Insts.size())
+      Leaders[I + 1] = true;
+  }
+  return Leaders;
+}
+
+bool Code::verify(std::string *ErrorMsg) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (ErrorMsg)
+      *ErrorMsg = Msg;
+    return false;
+  };
+  if (Insts.empty() || Insts[0].Op != Opcode::Halt)
+    return Fail("instruction 0 must be Halt");
+  // Engines do not bounds-check the instruction pointer on straight-line
+  // fall-through; a trailing control transfer guarantees execution cannot
+  // run off the end of the instruction array.
+  if (!isControl(Insts.back().Op))
+    return Fail("last instruction must be a control transfer");
+  for (uint32_t I = 0; I < Insts.size(); ++I) {
+    const Inst &In = Insts[I];
+    if (static_cast<unsigned>(In.Op) >= NumOpcodes)
+      return Fail("invalid opcode at " + std::to_string(I));
+    if (isBranchLike(In.Op)) {
+      uint64_t Target = static_cast<uint64_t>(In.Operand);
+      if (Target >= Insts.size())
+        return Fail("branch target out of range at " + std::to_string(I));
+      if (Target == 0)
+        return Fail("branch to Halt slot at " + std::to_string(I));
+    }
+  }
+  for (const Word &W : Words) {
+    if (W.Entry >= Insts.size() || W.End > Insts.size() || W.Entry >= W.End)
+      return Fail("word '" + W.Name + "' has bad bounds");
+  }
+  return true;
+}

@@ -1,0 +1,84 @@
+//===-- vm/Code.h - Virtual machine code representation --------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled form of a program: a flat instruction array shared by all
+/// words, plus a word table. Index 0 always holds a Halt instruction; the
+/// engines seed the return stack with 0 so that the final Exit of the entry
+/// word "returns" to the Halt and stops the machine uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_CODE_H
+#define SC_VM_CODE_H
+
+#include "vm/Cell.h"
+#include "vm/Opcode.h"
+
+#include <string>
+#include <vector>
+
+namespace sc::vm {
+
+/// One virtual machine instruction. Operand meaning depends on the opcode:
+/// Lit carries the literal value; Branch/QBranch/LoopBr/PlusLoopBr/Call
+/// carry an absolute instruction index.
+struct Inst {
+  Opcode Op;
+  Cell Operand;
+
+  Inst() : Op(Opcode::Nop), Operand(0) {}
+  explicit Inst(Opcode O, Cell Opnd = 0) : Op(O), Operand(Opnd) {}
+};
+
+/// A named entry point into the instruction array.
+struct Word {
+  std::string Name;
+  uint32_t Entry; ///< index of the first instruction
+  uint32_t End;   ///< one past the last instruction (after the final Exit)
+};
+
+/// A compiled program.
+class Code {
+public:
+  std::vector<Inst> Insts;
+  std::vector<Word> Words;
+
+  /// Creates a program whose slot 0 is the conventional Halt instruction.
+  Code() { Insts.push_back(Inst(Opcode::Halt)); }
+
+  /// Appends an instruction and returns its index.
+  uint32_t emit(Opcode Op, Cell Operand = 0) {
+    Insts.push_back(Inst(Op, Operand));
+    return static_cast<uint32_t>(Insts.size() - 1);
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Insts.size()); }
+
+  /// Looks up a word by name; returns nullptr if absent. The most recently
+  /// defined word of a given name wins, Forth-style.
+  const Word *findWord(const std::string &Name) const {
+    for (auto It = Words.rbegin(); It != Words.rend(); ++It)
+      if (It->Name == Name)
+        return &*It;
+    return nullptr;
+  }
+
+  /// Computes the set of basic-block leaders: entry points of words,
+  /// targets of branches, and the instructions following control
+  /// transfers. Returned as a bitmap indexed by instruction index.
+  std::vector<bool> computeLeaders() const;
+
+  /// Verifies structural invariants: operands of branch-like instructions
+  /// are valid instruction indices, instruction 0 is Halt, word entries are
+  /// in range. Returns true if well formed.
+  bool verify(std::string *ErrorMsg = nullptr) const;
+};
+
+} // namespace sc::vm
+
+#endif // SC_VM_CODE_H

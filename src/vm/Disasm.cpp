@@ -1,0 +1,45 @@
+//===-- vm/Disasm.cpp - Code disassembler ---------------------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disasm.h"
+
+#include <cstdio>
+
+using namespace sc::vm;
+
+std::string sc::vm::disasmInst(const Inst &In) {
+  std::string S = mnemonic(In.Op);
+  if (opInfo(In.Op).HasOperand) {
+    S += ' ';
+    S += std::to_string(In.Operand);
+  }
+  return S;
+}
+
+std::string sc::vm::disasmRange(const Code &C, uint32_t Begin, uint32_t End) {
+  std::vector<bool> Leaders = C.computeLeaders();
+  std::string Out;
+  for (uint32_t I = Begin; I < End && I < C.size(); ++I) {
+    for (const Word &W : C.Words)
+      if (W.Entry == I) {
+        Out += "; word ";
+        Out += W.Name;
+        Out += '\n';
+      }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%6u%s  ", I,
+                  Leaders[I] ? "*" : " ");
+    Out += Buf;
+    Out += disasmInst(C.Insts[I]);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string sc::vm::disasmCode(const Code &C) {
+  return disasmRange(C, 0, C.size());
+}

@@ -1,0 +1,35 @@
+//===-- vm/Disasm.h - Code disassembler ------------------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders compiled code back to readable text, one instruction per line,
+/// annotated with word names and basic-block leaders. Used by examples,
+/// tests and the static-caching listing tool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_DISASM_H
+#define SC_VM_DISASM_H
+
+#include "vm/Code.h"
+
+#include <string>
+
+namespace sc::vm {
+
+/// Renders one instruction (without address) as text.
+std::string disasmInst(const Inst &In);
+
+/// Renders the whole program: addresses, word headers, leader markers.
+std::string disasmCode(const Code &C);
+
+/// Renders the instruction range [Begin, End), e.g. one word's body.
+std::string disasmRange(const Code &C, uint32_t Begin, uint32_t End);
+
+} // namespace sc::vm
+
+#endif // SC_VM_DISASM_H

@@ -1,0 +1,66 @@
+//===-- vm/ExecContext.h - Engine-independent machine state ----*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The state an engine runs against: code, data space, both stacks and an
+/// instruction budget. Every engine in this project (switch, threaded,
+/// call-threaded, TOS-cached, dynamically cached, statically cached) takes
+/// an ExecContext so they can be compared and differentially tested.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_EXECCONTEXT_H
+#define SC_VM_EXECCONTEXT_H
+
+#include "vm/Cell.h"
+#include "vm/Code.h"
+#include "vm/RunResult.h"
+#include "vm/Vm.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sc::vm {
+
+/// Machine state shared by all engines. The data and return stacks live
+/// here so that the host can seed arguments, inspect results, and resume
+/// across engine invocations (the Forth top-level evaluator does this).
+struct ExecContext {
+  /// Capacity of each stack, in cells.
+  static constexpr unsigned StackCells = 16384;
+
+  const Code *Prog = nullptr;
+  Vm *Machine = nullptr;
+
+  std::vector<Cell> DS = std::vector<Cell>(StackCells);
+  std::vector<Cell> RS = std::vector<Cell>(StackCells);
+  unsigned DsDepth = 0;
+  unsigned RsDepth = 0;
+
+  /// Instruction budget; engines stop with RunStatus::StepLimit when it is
+  /// exhausted. Defaults to effectively unlimited.
+  uint64_t MaxSteps = UINT64_MAX;
+
+  ExecContext() = default;
+  ExecContext(const Code &C, Vm &V) : Prog(&C), Machine(&V) {}
+
+  /// Pushes \p V onto the data stack (host-side convenience).
+  void push(Cell V) {
+    SC_ASSERT(DsDepth < StackCells, "host push overflow");
+    DS[DsDepth++] = V;
+  }
+
+  /// Pops the data stack (host-side convenience).
+  Cell pop() {
+    SC_ASSERT(DsDepth > 0, "host pop underflow");
+    return DS[--DsDepth];
+  }
+};
+
+} // namespace sc::vm
+
+#endif // SC_VM_EXECCONTEXT_H

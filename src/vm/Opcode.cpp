@@ -1,0 +1,38 @@
+//===-- vm/Opcode.cpp - Opcode metadata tables ----------------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Opcode.h"
+
+#include "support/Assert.h"
+
+#include <cstring>
+
+using namespace sc;
+using namespace sc::vm;
+
+static const OpInfo InfoTable[NumOpcodes] = {
+#define SC_OPCODE_INFO(Name, Mn, DI, DO, RI, RO, HasOp, Kind)                  \
+  {Mn, {DI, DO}, {RI, RO}, HasOp, OpKind::Kind},
+    SC_FOR_EACH_OPCODE(SC_OPCODE_INFO)
+#undef SC_OPCODE_INFO
+};
+
+const OpInfo &sc::vm::opInfo(Opcode Op) {
+  unsigned Idx = static_cast<unsigned>(Op);
+  SC_ASSERT(Idx < NumOpcodes, "opcode out of range");
+  return InfoTable[Idx];
+}
+
+bool sc::vm::opcodeByMnemonic(const char *Mnemonic, Opcode &Result) {
+  for (unsigned I = 0; I < NumOpcodes; ++I) {
+    if (std::strcmp(InfoTable[I].Mnemonic, Mnemonic) == 0) {
+      Result = static_cast<Opcode>(I);
+      return true;
+    }
+  }
+  return false;
+}

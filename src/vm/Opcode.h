@@ -1,0 +1,187 @@
+//===-- vm/Opcode.h - Virtual machine instruction set ----------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual machine's instruction set (the paper's "primitives"), with
+/// per-opcode metadata: mnemonic, data-stack effect, return-stack effect,
+/// operand presence and a classification used by the stack-caching
+/// machinery (e.g. which opcodes are stack manipulations that static
+/// caching can optimize away, and which ones end a basic block).
+///
+/// The data-stack effect of every opcode is static; this is what makes the
+/// finite-state cache machinery of the paper possible. Opcodes with
+/// dynamic effects (like ANS Forth's ?DUP) are deliberately not part of
+/// the instruction set; the front end expands such words into branches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_OPCODE_H
+#define SC_VM_OPCODE_H
+
+#include <cstdint>
+
+namespace sc::vm {
+
+/// X-macro over all opcodes.
+/// M(Name, Mnemonic, DIn, DOut, RIn, ROut, HasOperand, Kind)
+///   DIn/DOut: data stack items consumed/produced (always static).
+///   RIn/ROut: return stack items consumed/produced on the common path
+///             (Loop's exit path differs; engines report actual traffic).
+///   Kind: classification, see OpKind.
+#define SC_FOR_EACH_OPCODE(M)                                                  \
+  M(Halt, "halt", 0, 0, 0, 0, false, Halt)                                     \
+  M(Lit, "lit", 0, 1, 0, 0, true, Lit)                                         \
+  M(Add, "+", 2, 1, 0, 0, false, Normal)                                       \
+  M(Sub, "-", 2, 1, 0, 0, false, Normal)                                       \
+  M(Mul, "*", 2, 1, 0, 0, false, Normal)                                       \
+  M(Div, "/", 2, 1, 0, 0, false, Normal)                                       \
+  M(Mod, "mod", 2, 1, 0, 0, false, Normal)                                     \
+  M(And, "and", 2, 1, 0, 0, false, Normal)                                     \
+  M(Or, "or", 2, 1, 0, 0, false, Normal)                                       \
+  M(Xor, "xor", 2, 1, 0, 0, false, Normal)                                     \
+  M(Lshift, "lshift", 2, 1, 0, 0, false, Normal)                               \
+  M(Rshift, "rshift", 2, 1, 0, 0, false, Normal)                               \
+  M(Negate, "negate", 1, 1, 0, 0, false, Normal)                               \
+  M(Invert, "invert", 1, 1, 0, 0, false, Normal)                               \
+  M(Abs, "abs", 1, 1, 0, 0, false, Normal)                                     \
+  M(Min, "min", 2, 1, 0, 0, false, Normal)                                     \
+  M(Max, "max", 2, 1, 0, 0, false, Normal)                                     \
+  M(OnePlus, "1+", 1, 1, 0, 0, false, Normal)                                  \
+  M(OneMinus, "1-", 1, 1, 0, 0, false, Normal)                                 \
+  M(TwoStar, "2*", 1, 1, 0, 0, false, Normal)                                  \
+  M(TwoSlash, "2/", 1, 1, 0, 0, false, Normal)                                 \
+  M(Cells, "cells", 1, 1, 0, 0, false, Normal)                                 \
+  M(Eq, "=", 2, 1, 0, 0, false, Normal)                                        \
+  M(Ne, "<>", 2, 1, 0, 0, false, Normal)                                       \
+  M(Lt, "<", 2, 1, 0, 0, false, Normal)                                        \
+  M(Gt, ">", 2, 1, 0, 0, false, Normal)                                        \
+  M(Le, "<=", 2, 1, 0, 0, false, Normal)                                       \
+  M(Ge, ">=", 2, 1, 0, 0, false, Normal)                                       \
+  M(ULt, "u<", 2, 1, 0, 0, false, Normal)                                      \
+  M(ZeroEq, "0=", 1, 1, 0, 0, false, Normal)                                   \
+  M(ZeroNe, "0<>", 1, 1, 0, 0, false, Normal)                                  \
+  M(ZeroLt, "0<", 1, 1, 0, 0, false, Normal)                                   \
+  M(ZeroGt, "0>", 1, 1, 0, 0, false, Normal)                                   \
+  M(Dup, "dup", 1, 2, 0, 0, false, Manip)                                      \
+  M(Drop, "drop", 1, 0, 0, 0, false, Manip)                                    \
+  M(Swap, "swap", 2, 2, 0, 0, false, Manip)                                    \
+  M(Over, "over", 2, 3, 0, 0, false, Manip)                                    \
+  M(Rot, "rot", 3, 3, 0, 0, false, Manip)                                      \
+  M(Nip, "nip", 2, 1, 0, 0, false, Manip)                                      \
+  M(Tuck, "tuck", 2, 3, 0, 0, false, Manip)                                    \
+  M(TwoDup, "2dup", 2, 4, 0, 0, false, Manip)                                  \
+  M(TwoDrop, "2drop", 2, 0, 0, 0, false, Manip)                                \
+  M(Fetch, "@", 1, 1, 0, 0, false, Mem)                                        \
+  M(Store, "!", 2, 0, 0, 0, false, Mem)                                        \
+  M(CFetch, "c@", 1, 1, 0, 0, false, Mem)                                      \
+  M(CStore, "c!", 2, 0, 0, 0, false, Mem)                                      \
+  M(PlusStore, "+!", 2, 0, 0, 0, false, Mem)                                   \
+  M(ToR, ">r", 1, 0, 0, 1, false, RStack)                                      \
+  M(RFrom, "r>", 0, 1, 1, 0, false, RStack)                                    \
+  M(RFetch, "r@", 0, 1, 1, 1, false, RStack)                                   \
+  M(DoSetup, "(do)", 2, 0, 0, 2, false, RStack)                                \
+  M(LoopI, "i", 0, 1, 1, 1, false, RStack)                                     \
+  M(LoopJ, "j", 0, 1, 3, 3, false, RStack)                                     \
+  M(Unloop, "unloop", 0, 0, 2, 0, false, RStack)                               \
+  M(Branch, "branch", 0, 0, 0, 0, true, Branch)                                \
+  M(QBranch, "0branch", 1, 0, 0, 0, true, CondBranch)                          \
+  M(LoopBr, "(loop)", 0, 0, 2, 2, true, CondBranch)                            \
+  M(PlusLoopBr, "(+loop)", 1, 0, 2, 2, true, CondBranch)                       \
+  M(Call, "call", 0, 0, 0, 1, true, Call)                                      \
+  M(Exit, "exit", 0, 0, 1, 0, false, Exit)                                     \
+  M(Emit, "emit", 1, 0, 0, 0, false, Io)                                       \
+  M(Dot, ".", 1, 0, 0, 0, false, Io)                                           \
+  M(Cr, "cr", 0, 0, 0, 0, false, Io)                                           \
+  M(Space, "space", 0, 0, 0, 0, false, Io)                                     \
+  M(TypeOp, "type", 2, 0, 0, 0, false, Io)                                     \
+  M(Nop, "nop", 0, 0, 0, 0, false, Normal)                                     \
+  /* Superinstructions (Section 2.2, "semantic content"): synthesized by   */ \
+  /* superinst::combineSuperinstructions, never written by the front end.  */ \
+  M(LitAdd, "lit+", 1, 1, 0, 0, true, Normal)                                  \
+  M(LitSub, "lit-", 1, 1, 0, 0, true, Normal)                                  \
+  M(LitLt, "lit<", 1, 1, 0, 0, true, Normal)                                   \
+  M(LitEq, "lit=", 1, 1, 0, 0, true, Normal)                                   \
+  M(LitFetch, "lit@", 0, 1, 0, 0, true, Mem)                                   \
+  M(LitStore, "lit!", 1, 0, 0, 0, true, Mem)
+
+/// Virtual machine instructions ("primitives" in the paper's terminology).
+enum class Opcode : uint8_t {
+#define SC_OPCODE_ENUM(Name, Mn, DI, DO, RI, RO, HasOp, Kind) Name,
+  SC_FOR_EACH_OPCODE(SC_OPCODE_ENUM)
+#undef SC_OPCODE_ENUM
+};
+
+/// Number of opcodes in the instruction set.
+inline constexpr unsigned NumOpcodes = 0
+#define SC_OPCODE_COUNT(Name, Mn, DI, DO, RI, RO, HasOp, Kind) +1
+    SC_FOR_EACH_OPCODE(SC_OPCODE_COUNT)
+#undef SC_OPCODE_COUNT
+    ;
+
+/// Classification of an opcode, chiefly for the stack-caching machinery.
+enum class OpKind : uint8_t {
+  Normal,     ///< plain computation, only touches the data stack
+  Lit,        ///< pushes its immediate operand
+  Manip,      ///< pure stack manipulation; static caching optimizes it away
+  Mem,        ///< data-space access
+  RStack,     ///< touches the return stack
+  Io,         ///< produces output
+  Branch,     ///< unconditional branch (ends a basic block)
+  CondBranch, ///< conditional branch, including loop back-edges
+  Call,       ///< calls a colon definition
+  Exit,       ///< returns from a colon definition
+  Halt,       ///< stops the engine
+};
+
+/// Static data-stack / return-stack effect of an opcode.
+struct StackEffect {
+  uint8_t In;  ///< items consumed from the top
+  uint8_t Out; ///< items produced on the top
+};
+
+/// Per-opcode metadata; see SC_FOR_EACH_OPCODE.
+struct OpInfo {
+  const char *Mnemonic; ///< Forth-level name of the primitive
+  StackEffect Data;     ///< static data-stack effect
+  StackEffect Ret;      ///< common-path return-stack effect
+  bool HasOperand;      ///< true if the instruction carries an operand
+  OpKind Kind;          ///< classification
+};
+
+/// Returns the metadata record of \p Op.
+const OpInfo &opInfo(Opcode Op);
+
+/// Returns the mnemonic of \p Op.
+inline const char *mnemonic(Opcode Op) { return opInfo(Op).Mnemonic; }
+
+/// Returns the static data-stack effect of \p Op.
+inline StackEffect dataEffect(Opcode Op) { return opInfo(Op).Data; }
+
+/// Returns true if \p Op is a pure stack manipulation (dup/swap/...).
+inline bool isManip(Opcode Op) { return opInfo(Op).Kind == OpKind::Manip; }
+
+/// Returns true if \p Op transfers control (ends a basic block).
+inline bool isControl(Opcode Op) {
+  OpKind K = opInfo(Op).Kind;
+  return K == OpKind::Branch || K == OpKind::CondBranch ||
+         K == OpKind::Call || K == OpKind::Exit || K == OpKind::Halt;
+}
+
+/// Returns true if \p Op carries a branch-target operand (an absolute
+/// instruction index).
+inline bool isBranchLike(Opcode Op) {
+  OpKind K = opInfo(Op).Kind;
+  return K == OpKind::Branch || K == OpKind::CondBranch || K == OpKind::Call;
+}
+
+/// Looks up an opcode by mnemonic. Returns true and sets \p Result on
+/// success; mnemonics are case-sensitive and lower case.
+bool opcodeByMnemonic(const char *Mnemonic, Opcode &Result);
+
+} // namespace sc::vm
+
+#endif // SC_VM_OPCODE_H

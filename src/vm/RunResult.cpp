@@ -1,0 +1,34 @@
+//===-- vm/RunResult.cpp - Engine execution outcomes ----------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/RunResult.h"
+
+#include "support/Assert.h"
+
+using namespace sc::vm;
+
+const char *sc::vm::runStatusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Halted:
+    return "halted";
+  case RunStatus::StackOverflow:
+    return "data stack overflow";
+  case RunStatus::StackUnderflow:
+    return "data stack underflow";
+  case RunStatus::RStackOverflow:
+    return "return stack overflow";
+  case RunStatus::RStackUnderflow:
+    return "return stack underflow";
+  case RunStatus::DivByZero:
+    return "division by zero";
+  case RunStatus::BadMemAccess:
+    return "bad memory access";
+  case RunStatus::StepLimit:
+    return "step limit exceeded";
+  }
+  sc::unreachable("bad RunStatus");
+}

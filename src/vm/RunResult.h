@@ -1,0 +1,44 @@
+//===-- vm/RunResult.h - Engine execution outcomes -------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The status values an engine run can produce. Engines never throw;
+/// recoverable runtime faults of the guest program surface here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_RUNRESULT_H
+#define SC_VM_RUNRESULT_H
+
+#include <cstdint>
+
+namespace sc::vm {
+
+/// Why an engine stopped.
+enum class RunStatus : uint8_t {
+  Halted,          ///< executed Halt: normal completion
+  StackOverflow,   ///< data stack exceeded its limit
+  StackUnderflow,  ///< data stack popped below empty
+  RStackOverflow,  ///< return stack exceeded its limit
+  RStackUnderflow, ///< return stack popped below empty
+  DivByZero,       ///< division or modulo by zero
+  BadMemAccess,    ///< data-space access out of bounds
+  StepLimit,       ///< exceeded the configured instruction budget
+};
+
+/// Human-readable name of a status.
+const char *runStatusName(RunStatus S);
+
+/// Result of one engine run.
+struct RunOutcome {
+  RunStatus Status = RunStatus::Halted;
+  uint64_t Steps = 0; ///< virtual machine instructions executed
+};
+
+} // namespace sc::vm
+
+#endif // SC_VM_RUNRESULT_H

@@ -1,0 +1,117 @@
+//===-- vm/Vm.h - Machine state outside the stacks -------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parts of the machine that live outside the engines: byte-addressable
+/// data space (Forth's HERE/ALLOT arena) and the output sink. Engines
+/// mutate a Vm through the inline accessors here; all accesses are bounds
+/// checked so a buggy guest program cannot corrupt the host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_VM_H
+#define SC_VM_VM_H
+
+#include "support/Assert.h"
+#include "vm/Cell.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace sc::vm {
+
+/// Data space plus output sink. One Vm instance is shared by a program's
+/// compile time (the front end allocates variables here) and run time.
+class Vm {
+  std::vector<uint8_t> Mem;
+  Cell Here = CellBytes; // address 0 is reserved as a guaranteed trap
+
+public:
+  /// Output accumulated by Emit/Dot/TypeOp/...
+  std::string Out;
+
+  explicit Vm(size_t DataSpaceBytes = 1u << 20) : Mem(DataSpaceBytes, 0) {}
+
+  size_t dataSpaceSize() const { return Mem.size(); }
+
+  /// Current allocation pointer (Forth HERE).
+  Cell here() const { return Here; }
+
+  /// Allocates \p Bytes of data space and returns the start address.
+  /// Asserts on exhaustion (allocation happens at compile time only).
+  Cell allot(Cell Bytes) {
+    SC_ASSERT(Bytes >= 0, "negative allot");
+    SC_ASSERT(static_cast<size_t>(Here + Bytes) <= Mem.size(),
+              "data space exhausted");
+    Cell Addr = Here;
+    Here += Bytes;
+    return Addr;
+  }
+
+  /// Aligns HERE up to a cell boundary.
+  void align() { Here = (Here + CellBytes - 1) & ~(CellBytes - 1); }
+
+  /// True if [Addr, Addr+Bytes) is a valid data-space range.
+  bool validRange(Cell Addr, Cell Bytes) const {
+    return Addr >= CellBytes &&
+           static_cast<UCell>(Addr) + static_cast<UCell>(Bytes) <= Mem.size();
+  }
+
+  /// Loads a cell; caller must have checked validRange(Addr, CellBytes).
+  Cell loadCell(Cell Addr) const {
+    Cell V;
+    std::memcpy(&V, Mem.data() + Addr, sizeof(Cell));
+    return V;
+  }
+
+  /// Stores a cell; caller must have checked validRange(Addr, CellBytes).
+  void storeCell(Cell Addr, Cell V) {
+    std::memcpy(Mem.data() + Addr, &V, sizeof(Cell));
+  }
+
+  /// Loads a byte; caller must have checked validRange(Addr, 1).
+  Cell loadByte(Cell Addr) const { return Mem[static_cast<size_t>(Addr)]; }
+
+  /// Stores the low byte of \p V; caller must have checked the range.
+  void storeByte(Cell Addr, Cell V) {
+    Mem[static_cast<size_t>(Addr)] = static_cast<uint8_t>(V);
+  }
+
+  /// Copies a host byte string into data space at \p Addr.
+  void writeBytes(Cell Addr, const void *Src, size_t N) {
+    SC_ASSERT(validRange(Addr, static_cast<Cell>(N)), "writeBytes range");
+    std::memcpy(Mem.data() + Addr, Src, N);
+  }
+
+  /// Reads \p N bytes of data space as a host string (for tests and Io).
+  std::string readBytes(Cell Addr, size_t N) const {
+    SC_ASSERT(validRange(Addr, static_cast<Cell>(N)), "readBytes range");
+    return std::string(reinterpret_cast<const char *>(Mem.data() + Addr), N);
+  }
+
+  /// --- Output helpers used by the Io opcodes -----------------------------
+
+  void emitChar(Cell C) { Out.push_back(static_cast<char>(C)); }
+
+  void printNumber(Cell V) {
+    Out += std::to_string(V);
+    Out.push_back(' ');
+  }
+
+  void typeRange(Cell Addr, Cell Len) {
+    Out.append(reinterpret_cast<const char *>(Mem.data() + Addr),
+               static_cast<size_t>(Len));
+  }
+
+  /// Resets run-time state (output) but keeps compile-time allocations.
+  void resetOutput() { Out.clear(); }
+};
+
+} // namespace sc::vm
+
+#endif // SC_VM_VM_H

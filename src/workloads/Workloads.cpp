@@ -1,0 +1,309 @@
+//===-- workloads/Workloads.cpp - Benchmark programs ----------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <cstring>
+#include <iterator>
+
+using namespace sc::workloads;
+
+namespace {
+
+/// compile: an expression compiler written in Forth - tokenizer,
+/// shunting-yard translation to postfix bytecode, and a bytecode
+/// interpreter - run repeatedly over a fixed set of source expressions.
+const char CompileSrc[] = R"fs(
+\ compile: expression compiler + bytecode interpreter
+: cell+ 8 + ;
+
+create srcbuf 128 allot
+variable srclen
+variable pos
+
+: set-src ( addr u -- )
+  dup srclen !
+  0 do dup i + c@ srcbuf i + c! loop drop ;
+
+: peek ( -- c ) pos @ srclen @ < if srcbuf pos @ + c@ else 0 then ;
+: advance pos @ 1+ pos ! ;
+
+\ compiled code: [op opnd] pairs. op: 0 lit / 1 add / 2 sub / 3 mul / 4 div
+create codearr 512 cells allot
+variable codelen
+: code! ( op opnd -- )
+  codelen @ 16 * codearr + >r swap r@ ! r> cell+ !
+  codelen @ 1+ codelen ! ;
+
+create opstk 64 cells allot
+variable opdepth
+: oppush ( c -- ) opstk opdepth @ cells + ! opdepth @ 1+ opdepth ! ;
+: oppop ( -- c ) opdepth @ 1- opdepth ! opstk opdepth @ cells + @ ;
+: optop ( -- c ) opstk opdepth @ 1- cells + @ ;
+
+: prec ( c -- n )
+  dup [char] * = over [char] / = or if drop 2 exit then
+  dup [char] + = swap [char] - = or if 1 exit then 0 ;
+
+: opnum ( c -- n )
+  dup [char] + = if drop 1 exit then
+  dup [char] - = if drop 2 exit then
+  dup [char] * = if drop 3 exit then drop 4 ;
+
+: digit? ( c -- f ) dup [char] 0 >= swap [char] 9 <= and ;
+
+variable curop
+: pop-higher ( -- )
+  begin
+    opdepth @ 0> if
+      optop [char] ( <> optop prec curop @ prec >= and
+    else 0 then
+  while oppop opnum 0 code! repeat ;
+
+: compile-expr ( -- )
+  0 pos ! 0 codelen ! 0 opdepth !
+  begin peek 0<> while
+    peek digit? if
+      0 begin peek digit? while 10 * peek [char] 0 - + advance repeat
+      0 swap code!
+    else peek [char] ( = if
+      [char] ( oppush advance
+    else peek [char] ) = if
+      begin optop [char] ( <> while oppop opnum 0 code! repeat
+      oppop drop advance
+    else peek 32 = if
+      advance
+    else
+      peek curop ! pop-higher curop @ oppush advance
+    then then then then
+  repeat
+  begin opdepth @ 0> while oppop opnum 0 code! repeat ;
+
+create evalstk 64 cells allot
+variable evdepth
+: evpush ( n -- ) evalstk evdepth @ cells + ! evdepth @ 1+ evdepth ! ;
+: evpop ( -- n ) evdepth @ 1- evdepth ! evalstk evdepth @ cells + @ ;
+
+: exec-op ( op -- )
+  dup 1 = if drop evpop evpop + evpush exit then
+  dup 2 = if drop evpop evpop swap - evpush exit then
+  dup 3 = if drop evpop evpop * evpush exit then
+  drop evpop evpop swap dup 0= if drop 1 then / evpush ;
+
+: run-code ( -- n )
+  0 evdepth !
+  codelen @ 0 do
+    codearr i 16 * + dup @ swap cell+ @
+    over 0= if nip evpush else drop exec-op then
+  loop evpop ;
+
+variable sum
+: try ( addr u -- ) set-src compile-expr run-code sum +! ;
+
+200 constant iters
+: main
+  0 sum !
+  iters 0 do
+    s" 1+2*3" try
+    s" (1+2)*(3+4)-5" try
+    s" 10*10+100/5-42" try
+    s" 2*(3+4*(5+6))-7*8" try
+    s" ((1+2)*(3+4)+5)*6/7" try
+    s" 1000/(3+7)-2*(4+5*(6-2))" try
+  loop
+  sum @ . cr ;
+)fs";
+
+/// gray: the original runs a parser generator that recursively walks a
+/// grammar graph; the substitute builds a large randomly pruned binary
+/// tree and runs recursive aggregations over it.
+const char GraySrc[] = R"fs(
+\ gray: recursive tree construction and traversals
+: cell+ 8 + ;
+variable seed
+: rnd ( -- n )
+  seed @ 6364136223846793005 * 1442695040888963407 + dup seed !
+  33 rshift ;
+
+8192 constant maxn
+create nodes maxn 24 * allot
+variable nnodes
+: node ( i -- addr ) 24 * nodes + ;
+
+: build ( depth -- idx )
+  dup 0= nnodes @ maxn >= or if drop -1 exit then
+  nnodes @ nnodes @ 1+ nnodes !
+  >r
+  rnd 100 mod r@ node 2 cells + !
+  1-
+  rnd 20 mod 0= if -1 else dup recurse then r@ node !
+  rnd 20 mod 0= if -1 else dup recurse then r@ node cell+ !
+  drop r> ;
+
+: tsum ( idx -- n )
+  dup 0< if drop 0 exit then
+  dup node 2 cells + @
+  over node @ recurse +
+  swap node cell+ @ recurse + ;
+
+: tdepth ( idx -- n )
+  dup 0< if drop 0 exit then
+  dup node @ recurse swap node cell+ @ recurse max 1+ ;
+
+: tcount ( idx -- n )
+  dup 0< if drop 0 exit then
+  dup node @ recurse swap node cell+ @ recurse + 1+ ;
+
+: main
+  12345 seed ! 0 nnodes !
+  16 build drop
+  0
+  4 0 do
+    0 tsum + 0 tdepth + 0 tcount +
+  loop
+  nnodes @ + . cr ;
+)fs";
+
+/// prims2x: a character-at-a-time text filter that turns a primitives
+/// specification into C-ish stub functions, hashing its output.
+const char Prims2xSrc[] = R"fs(
+\ prims2x: text filter generating C stubs from a primitive spec
+variable hashv
+variable outpos
+create outbuf 8192 allot
+
+: out-c ( c -- )
+  dup outbuf outpos @ + c!
+  outpos @ 1+ outpos !
+  hashv @ 31 * + 1048575 and hashv ! ;
+
+: out-s ( addr u -- ) 0 do dup i + c@ out-c loop drop ;
+
+: lower? ( c -- f ) dup [char] a >= swap [char] z <= and ;
+: upcase ( c -- c ) dup lower? if 32 - then ;
+
+variable inaddr
+variable inlen
+variable inpos
+: in-c ( -- c ) inaddr @ inpos @ + c@ ;
+: more? ( -- f ) inpos @ inlen @ < ;
+: next-in inpos @ 1+ inpos ! ;
+
+: emit-name ( -- )
+  begin more? if in-c 32 <> in-c 10 <> and else 0 then
+  while in-c upcase out-c next-in repeat ;
+
+: copy-rest ( -- )
+  begin more? if in-c 10 <> else 0 then
+  while in-c out-c next-in repeat ;
+
+: gen-line ( -- )
+  s" void prim_" out-s
+  emit-name
+  s" (void) { /*" out-s
+  copy-rest
+  s"  */ }" out-s 10 out-c
+  more? if next-in then ;
+
+: process ( addr u -- )
+  inlen ! inaddr ! 0 inpos !
+  begin more? while gen-line repeat ;
+
+: spec ( -- addr u )
+  s" dup ( a -- a a )
+swap ( a b -- b a )
+over ( a b -- a b a )
+rot ( a b c -- b c a )
+drop ( a -- )
+nip ( a b -- b )
+tuck ( a b -- b a b )
+fetch ( addr -- x )
+store ( x addr -- )
+cfetch ( addr -- c )
+cstore ( c addr -- )
+add ( a b -- sum )
+sub ( a b -- diff )
+mul ( a b -- prod )
+div ( a b -- quot )
+lshift ( x n -- y )
+rshift ( x n -- y )
+zeroeq ( a -- f )
+less ( a b -- f )
+branch ( -- )
+qbranch ( f -- )
+call ( -- )
+exit ( -- )
+lit ( -- n )" ;
+
+150 constant iters
+: main
+  0 hashv !
+  0
+  iters 0 do
+    0 outpos !
+    spec process
+    hashv @ + outpos @ +
+  loop
+  . cr ;
+)fs";
+
+/// cross: the original generates a Forth image for a machine with the
+/// opposite byte order; the substitute builds an image, byte-swaps and
+/// relocates every cell, and checksums the result at byte granularity.
+const char CrossSrc[] = R"fs(
+\ cross: image builder with byte-swapping and relocation
+: cell+ 8 + ;
+1024 constant ncells
+create img ncells cells allot
+create outimg ncells cells allot
+
+: bswap ( x -- y )
+  0 8 0 do 8 lshift over 255 and or swap 8 rshift swap loop nip ;
+
+: fill-img ( k -- )
+  ncells 0 do
+    dup i + 2654435761 * i xor img i cells + !
+  loop drop ;
+
+: translate ( reloc -- )
+  ncells 0 do
+    img i cells + @ bswap over + outimg i cells + !
+  loop drop ;
+
+: bytesum ( -- n )
+  0 ncells cells 0 do outimg i + c@ + loop ;
+
+: main
+  0
+  10 0 do
+    i fill-img
+    i 4096 * translate
+    bytesum +
+  loop
+  . cr ;
+)fs";
+
+WorkloadInfo Workloads[] = {
+    {"compile", CompileSrc, "main", "42600 \n"},
+    {"gray", GraySrc, "main", "1673456 \n"},
+    {"prims2x", Prims2xSrc, "main", "74621955 \n"},
+    {"cross", CrossSrc, "main", "7174785 \n"},
+};
+
+} // namespace
+
+const WorkloadInfo *sc::workloads::allWorkloads(size_t &Count) {
+  Count = std::size(Workloads);
+  return Workloads;
+}
+
+const WorkloadInfo *sc::workloads::findWorkload(const char *Name) {
+  for (const WorkloadInfo &W : Workloads)
+    if (std::strcmp(W.Name, Name) == 0)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,50 @@
+//===-- workloads/Workloads.h - Benchmark programs -------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four Forth benchmark programs that stand in for the paper's
+/// workloads (Section 6 / Fig. 20). The originals are not available, so
+/// each substitute exercises the same kind of behaviour (see DESIGN.md):
+///
+///   compile - an expression compiler + bytecode interpreter written in
+///             Forth (tokenizer, shunting-yard, evaluator)
+///   gray    - recursive walks over a large binary tree (the original is
+///             a recursion-heavy parser generator)
+///   prims2x - a character-at-a-time text filter generating C-ish output
+///             from a primitives specification
+///   cross   - builds a memory image for a different byte order
+///             (byte-swapping, relocation, checksumming)
+///
+/// Every program defines a word `main` that prints a checksum; the test
+/// suite pins the checksums and checks all engines agree on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_WORKLOADS_WORKLOADS_H
+#define SC_WORKLOADS_WORKLOADS_H
+
+#include <cstddef>
+
+namespace sc::workloads {
+
+/// One benchmark program.
+struct WorkloadInfo {
+  const char *Name;     ///< paper-style short name
+  const char *Source;   ///< Forth source text
+  const char *Entry;    ///< entry word, always "main"
+  const char *Expected; ///< expected output (checksum line)
+};
+
+/// All four benchmark programs, in the paper's order.
+const WorkloadInfo *allWorkloads(size_t &Count);
+
+/// Looks a workload up by name; nullptr if unknown.
+const WorkloadInfo *findWorkload(const char *Name);
+
+} // namespace sc::workloads
+
+#endif // SC_WORKLOADS_WORKLOADS_H

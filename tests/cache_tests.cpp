@@ -1,0 +1,555 @@
+//===-- tests/cache_tests.cpp - Stack cache core tests --------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for cache states, organizations (including the exact Figure 18
+/// table), the reconcile cost engine, and the transition functions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheState.h"
+#include "cache/Organization.h"
+#include "cache/Reconcile.h"
+#include "cache/Transition.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sc;
+using namespace sc::cache;
+using vm::Opcode;
+
+namespace {
+
+// --- CacheState --------------------------------------------------------------
+
+TEST(CacheState, MinimalLayoutIsBottomAnchored) {
+  CacheState S = CacheState::minimal(3);
+  ASSERT_EQ(S.depth(), 3u);
+  EXPECT_EQ(S.reg(0), 2) << "TOS in the highest register";
+  EXPECT_EQ(S.reg(1), 1);
+  EXPECT_EQ(S.reg(2), 0) << "deepest cached item anchored in register 0";
+  EXPECT_TRUE(S.isMinimal());
+}
+
+TEST(CacheState, EmptyState) {
+  CacheState S = CacheState::minimal(0);
+  EXPECT_EQ(S.depth(), 0u);
+  EXPECT_TRUE(S.isMinimal());
+  EXPECT_EQ(S.str(), "[]");
+}
+
+TEST(CacheState, PushKeepsBottomFixed) {
+  CacheState S = CacheState::minimal(2); // [t:r1 r0]
+  S.pushReg(2);                          // [t:r2 r1 r0]
+  EXPECT_EQ(S, CacheState::minimal(3));
+}
+
+TEST(CacheState, RegMaskAndDuplicates) {
+  CacheState S = CacheState::fromSlots({1, 1, 0});
+  EXPECT_EQ(S.regMask(), 0b11u);
+  EXPECT_EQ(S.regsUsed(), 2u);
+  EXPECT_TRUE(S.hasDuplicate());
+  EXPECT_FALSE(S.isMinimal());
+  EXPECT_FALSE(CacheState::minimal(3).hasDuplicate());
+}
+
+TEST(CacheState, EncodeIsInjectiveOverSmallStates) {
+  // All states with depth <= 3 over 4 registers encode distinctly.
+  std::set<uint64_t> Seen;
+  unsigned Total = 0;
+  for (unsigned D = 0; D <= 3; ++D) {
+    unsigned Combos = 1;
+    for (unsigned I = 0; I < D; ++I)
+      Combos *= 4;
+    for (unsigned C = 0; C < Combos; ++C) {
+      CacheState S;
+      unsigned V = C;
+      for (unsigned I = 0; I < D; ++I) {
+        S.pushReg(static_cast<RegId>(V % 4));
+        V /= 4;
+      }
+      Seen.insert(S.encode());
+      ++Total;
+    }
+  }
+  EXPECT_EQ(Seen.size(), Total);
+}
+
+TEST(CacheState, StrFormat) {
+  EXPECT_EQ(CacheState::fromSlots({2, 0}).str(), "[t:r2 r0]");
+}
+
+// --- Figure 18: the number of cache states -----------------------------------
+
+/// The paper's Figure 18, registers 1..8. The n=4 entry of the "n+1 stack
+/// items" row is printed as 1,356 in the paper, but the row's own closed
+/// form sum_{d=0}^{n+1} n^d (which matches every other entry exactly)
+/// gives 1365; we take 1,356 to be a typesetting error and test 1365.
+struct Fig18Row {
+  OrgKind Kind;
+  uint64_t Counts[8];
+};
+
+const Fig18Row Fig18[] = {
+    {OrgKind::Minimal, {2, 3, 4, 5, 6, 7, 8, 9}},
+    {OrgKind::OverflowMoveOpt, {2, 5, 10, 17, 26, 37, 50, 65}},
+    {OrgKind::ArbitraryShuffle, {2, 5, 16, 65, 326, 1957, 13700, 109601}},
+    {OrgKind::NPlusOneItems,
+     {3, 15, 121, 1365, 19531, 335923, 6725601, 153391689}},
+    {OrgKind::OneDuplication, {3, 7, 14, 25, 41, 63, 92, 129}},
+};
+
+class Fig18Test : public ::testing::TestWithParam<Fig18Row> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Organizations, Fig18Test, ::testing::ValuesIn(Fig18),
+    [](const ::testing::TestParamInfo<Fig18Row> &Info) {
+      std::string N = orgKindName(Info.param.Kind);
+      std::string Out;
+      for (char C : N)
+        if (std::isalnum(static_cast<unsigned char>(C)))
+          Out += C;
+      return Out;
+    });
+
+TEST_P(Fig18Test, ClosedFormMatchesPaper) {
+  for (unsigned N = 1; N <= 8; ++N) {
+    auto Org = makeOrganization(GetParam().Kind, N);
+    EXPECT_EQ(Org->countStates(), GetParam().Counts[N - 1])
+        << orgKindName(GetParam().Kind) << " with " << N << " registers";
+  }
+}
+
+TEST_P(Fig18Test, EnumerationMatchesClosedForm) {
+  // Enumerate up to n=6 (the larger organizations explode combinatorially;
+  // n+1-items at n=6 is 335,923 states, still fine).
+  for (unsigned N = 1; N <= 6; ++N) {
+    auto Org = makeOrganization(GetParam().Kind, N);
+    uint64_t Count = 0;
+    Org->enumerate([&Count](const CacheState &) { ++Count; });
+    EXPECT_EQ(Count, Org->countStates())
+        << orgKindName(GetParam().Kind) << " with " << N << " registers";
+  }
+}
+
+TEST_P(Fig18Test, EnumeratedStatesAreUnique) {
+  for (unsigned N = 1; N <= 5; ++N) {
+    auto Org = makeOrganization(GetParam().Kind, N);
+    std::set<uint64_t> Seen;
+    Org->enumerate([&Seen](const CacheState &S) {
+      EXPECT_TRUE(Seen.insert(S.encode()).second) << "duplicate " << S.str();
+    });
+  }
+}
+
+TEST_P(Fig18Test, ContainsAcceptsAllEnumerated) {
+  for (unsigned N = 1; N <= 5; ++N) {
+    auto Org = makeOrganization(GetParam().Kind, N);
+    Org->enumerate([&Org](const CacheState &S) {
+      EXPECT_TRUE(Org->contains(S)) << S.str();
+    });
+  }
+}
+
+TEST_P(Fig18Test, ContainsAllMinimalStates) {
+  // Every organization extends the minimal one.
+  for (unsigned N = 1; N <= 5; ++N) {
+    auto Org = makeOrganization(GetParam().Kind, N);
+    for (unsigned D = 0; D <= N; ++D)
+      EXPECT_TRUE(Org->contains(CacheState::minimal(D)))
+          << orgKindName(GetParam().Kind) << " depth " << D;
+  }
+}
+
+TEST(Fig18TwoStacks, CountIs3N) {
+  const uint64_t Expected[8] = {3, 6, 9, 12, 15, 18, 21, 24};
+  for (unsigned N = 1; N <= 8; ++N) {
+    TwoStackOrganization Org(N);
+    EXPECT_EQ(Org.countStates(), Expected[N - 1]);
+    EXPECT_EQ(Org.allStates().size(), Expected[N - 1]);
+  }
+}
+
+TEST(Fig18TwoStacks, StatesRespectLimits) {
+  TwoStackOrganization Org(4);
+  for (TwoStackState S : Org.allStates()) {
+    EXPECT_LE(S.RetDepth, 2);
+    EXPECT_LE(S.DataDepth + S.RetDepth, 4);
+    EXPECT_TRUE(Org.contains(S));
+  }
+  EXPECT_FALSE(Org.contains(TwoStackState{2, 3}));
+  EXPECT_FALSE(Org.contains(TwoStackState{4, 1}));
+}
+
+TEST(Organizations, MembershipRejectsForeignStates) {
+  auto Minimal = makeOrganization(OrgKind::Minimal, 4);
+  EXPECT_FALSE(Minimal->contains(CacheState::fromSlots({0, 1})))
+      << "reversed layout is not minimal";
+  EXPECT_FALSE(Minimal->contains(CacheState::minimal(5)))
+      << "too deep for 4 registers";
+
+  auto Shuffle = makeOrganization(OrgKind::ArbitraryShuffle, 4);
+  EXPECT_TRUE(Shuffle->contains(CacheState::fromSlots({0, 1})));
+  EXPECT_FALSE(Shuffle->contains(CacheState::fromSlots({1, 1})))
+      << "duplicates are not shuffles";
+
+  auto Dup = makeOrganization(OrgKind::OneDuplication, 4);
+  EXPECT_TRUE(Dup->contains(CacheState::fromSlots({0, 0})))
+      << "dup of TOS at depth 2";
+  EXPECT_FALSE(Dup->contains(CacheState::fromSlots({0, 0, 0})))
+      << "two duplications";
+}
+
+TEST(Organizations, OverflowMoveOptIsRotations) {
+  auto Org = makeOrganization(OrgKind::OverflowMoveOpt, 3);
+  EXPECT_TRUE(Org->contains(CacheState::fromSlots({1, 0, 2})))
+      << "rotation base 2: bottom item in r2";
+  EXPECT_FALSE(Org->contains(CacheState::fromSlots({0, 1, 2})))
+      << "reversed order is not a rotation of the minimal layout";
+}
+
+// --- Reconcile ----------------------------------------------------------------
+
+TEST(Reconcile, IdentityIsFree) {
+  for (unsigned D = 0; D <= 4; ++D) {
+    Counts C = reconcile(CacheState::minimal(D), CacheState::minimal(D));
+    EXPECT_EQ(C.accessCycles(), 0u);
+  }
+}
+
+TEST(Reconcile, SpillToShallowerState) {
+  Counts C = reconcile(CacheState::minimal(4), CacheState::minimal(1));
+  EXPECT_EQ(C.Stores, 3u);
+  EXPECT_EQ(C.SpUpdates, 1u);
+  // Depth-4 TOS is in r3; depth-1 TOS must be in r0: one move.
+  EXPECT_EQ(C.Moves, 1u);
+  EXPECT_EQ(C.Loads, 0u);
+}
+
+TEST(Reconcile, FillToDeeperState) {
+  Counts C = reconcile(CacheState::minimal(0), CacheState::minimal(3));
+  EXPECT_EQ(C.Loads, 3u);
+  EXPECT_EQ(C.Stores, 0u);
+  EXPECT_EQ(C.SpUpdates, 1u);
+  EXPECT_EQ(C.Moves, 0u);
+}
+
+TEST(Reconcile, PureSwapCostsThreeMoves) {
+  // Exchanging two registers has a cycle: 2 proper moves + 1 temporary.
+  Counts C = reconcile(CacheState::fromSlots({0, 1}),
+                       CacheState::fromSlots({1, 0}));
+  EXPECT_EQ(C.Moves, 3u);
+  EXPECT_EQ(C.SpUpdates, 0u);
+}
+
+TEST(Reconcile, ChainNeedsNoTemporary) {
+  // [t:r0 r1] -> [t:r2 r0]: r1->r0 and r0->r2; emit r0->r2 first.
+  Counts C = reconcile(CacheState::fromSlots({0, 1}),
+                       CacheState::fromSlots({2, 0}));
+  EXPECT_EQ(C.Moves, 2u);
+}
+
+TEST(Reconcile, ThreeCycleCostsFourMoves) {
+  Counts C = reconcile(CacheState::fromSlots({0, 1, 2}),
+                       CacheState::fromSlots({1, 2, 0}));
+  EXPECT_EQ(C.Moves, 4u);
+}
+
+TEST(Reconcile, DupFanOut) {
+  // One register feeding two targets: r0 must land in r0 and r1.
+  Counts C = reconcile(CacheState::fromSlots({0, 0}),
+                       CacheState::fromSlots({1, 0}));
+  EXPECT_EQ(C.Moves, 1u);
+  EXPECT_EQ(C.Loads, 0u);
+  EXPECT_EQ(C.Stores, 0u);
+}
+
+TEST(Reconcile, MaterializeDupDeeper) {
+  // Flush a duplication state [t:r1 r1 r0] to minimal depth 3 [t:r2 r1 r0].
+  Counts C = reconcile(CacheState::fromSlots({1, 1, 0}),
+                       CacheState::minimal(3));
+  EXPECT_EQ(C.Moves, 1u); // copy r1 into r2 for the TOS
+  EXPECT_EQ(C.SpUpdates, 0u);
+}
+
+TEST(Reconcile, MixedDepthAndShuffle) {
+  // [t:r2 r0] -> minimal(3) = [t:r2 r1 r0]: load the third item into r0;
+  // the overlap needs r0 -> r1 (second item), r2 stays.
+  Counts C = reconcile(CacheState::fromSlots({2, 0}),
+                       CacheState::minimal(3));
+  EXPECT_EQ(C.Loads, 1u);
+  EXPECT_EQ(C.Moves, 1u);
+  EXPECT_EQ(C.SpUpdates, 1u);
+}
+
+TEST(Reconcile, RandomizedInvariants) {
+  Rng R(123);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    unsigned N = 1 + static_cast<unsigned>(R.below(6));
+    auto RandomState = [&](bool AllowDup) {
+      CacheState S;
+      unsigned D = static_cast<unsigned>(R.below(N + 1));
+      uint32_t Used = 0;
+      for (unsigned I = 0; I < D; ++I) {
+        RegId Reg = static_cast<RegId>(R.below(N));
+        if (!AllowDup) {
+          while (Used & (1u << Reg))
+            Reg = static_cast<RegId>((Reg + 1) % N);
+          Used |= 1u << Reg;
+        }
+        S.pushReg(Reg);
+      }
+      return S;
+    };
+    CacheState From = RandomState(true);
+    CacheState To = RandomState(false);
+    Counts C = reconcile(From, To);
+    unsigned DF = From.depth(), DT = To.depth();
+    EXPECT_EQ(C.Loads, DT > DF ? DT - DF : 0u);
+    EXPECT_EQ(C.Stores, DF > DT ? DF - DT : 0u);
+    EXPECT_EQ(C.SpUpdates, DF != DT ? 1u : 0u);
+    // Moves are bounded by overlap size + one temp per two overlap regs.
+    unsigned Common = std::min(DF, DT);
+    EXPECT_LE(C.Moves, Common + Common / 2);
+    // Reconciling a state to itself must always be free.
+    EXPECT_EQ(reconcile(To, To).accessCycles(), 0u);
+  }
+}
+
+// --- applyEffectMinimal -------------------------------------------------------
+
+TEST(MinimalTransition, StaysFreeWithinRegisters) {
+  MinimalPolicy P{4, 2};
+  unsigned Depth = 2;
+  // add: ( a b -- r ), everything cached
+  Counts C = applyEffectMinimal(Depth, 2, 1, P);
+  EXPECT_EQ(Depth, 1u);
+  EXPECT_EQ(C.accessCycles(), 0u);
+  // lit push
+  C = applyEffectMinimal(Depth, 0, 1, P);
+  EXPECT_EQ(Depth, 2u);
+  EXPECT_EQ(C.accessCycles(), 0u);
+}
+
+TEST(MinimalTransition, UnderflowLoadsMissingArgs) {
+  MinimalPolicy P{4, 2};
+  unsigned Depth = 0;
+  Counts C = applyEffectMinimal(Depth, 2, 1, P);
+  EXPECT_EQ(C.Loads, 2u);
+  EXPECT_EQ(C.SpUpdates, 1u);
+  EXPECT_EQ(C.Underflows, 1u);
+  EXPECT_EQ(Depth, 1u) << "underflow followup holds the produced item";
+}
+
+TEST(MinimalTransition, PartialUnderflow) {
+  MinimalPolicy P{4, 2};
+  unsigned Depth = 1;
+  Counts C = applyEffectMinimal(Depth, 3, 3, P); // rot with 1 cached
+  EXPECT_EQ(C.Loads, 2u);
+  EXPECT_EQ(Depth, 3u);
+}
+
+TEST(MinimalTransition, OverflowSpillsToFollowup) {
+  MinimalPolicy P{4, 2};
+  unsigned Depth = 4;
+  Counts C = applyEffectMinimal(Depth, 0, 1, P); // push on full cache
+  EXPECT_EQ(C.Overflows, 1u);
+  EXPECT_EQ(C.Stores, 3u) << "5 items, keep 2 -> store 3";
+  EXPECT_EQ(C.Moves, 1u) << "one survivor slides down (followup 2, out 1)";
+  EXPECT_EQ(C.SpUpdates, 1u);
+  EXPECT_EQ(Depth, 2u);
+}
+
+TEST(MinimalTransition, OverflowToFullState) {
+  MinimalPolicy P{4, 4};
+  unsigned Depth = 4;
+  Counts C = applyEffectMinimal(Depth, 0, 1, P);
+  EXPECT_EQ(C.Stores, 1u);
+  EXPECT_EQ(C.Moves, 3u) << "full followup: all three survivors slide";
+  EXPECT_EQ(Depth, 4u);
+}
+
+TEST(MinimalTransition, QBranchThenLitScenario) {
+  // The paper's motivating example for caching on demand: a conditional
+  // branch (pop) followed by a literal (push) costs nothing when both
+  // stay within the cache.
+  MinimalPolicy P{2, 1};
+  unsigned Depth = 1;
+  Counts Pop = applyEffectMinimal(Depth, 1, 0, P);
+  Counts Push = applyEffectMinimal(Depth, 0, 1, P);
+  EXPECT_EQ((Pop + Push).accessCycles(), 0u);
+}
+
+TEST(MinimalTransition, RandomizedInvariants) {
+  Rng R(77);
+  for (int Iter = 0; Iter < 5000; ++Iter) {
+    unsigned N = 1 + static_cast<unsigned>(R.below(8));
+    MinimalPolicy P{N, static_cast<unsigned>(R.below(N + 1))};
+    unsigned Depth = static_cast<unsigned>(R.below(N + 1));
+    unsigned In = static_cast<unsigned>(R.below(4));
+    unsigned Out = static_cast<unsigned>(R.below(4));
+    unsigned Before = Depth;
+    Counts C = applyEffectMinimal(Depth, In, Out, P);
+    EXPECT_LE(Depth, N);
+    EXPECT_LE(C.Loads, In);
+    EXPECT_EQ(C.SpUpdates, C.Overflows + C.Underflows);
+    if (Before >= In && Before - In + Out <= N) {
+      EXPECT_EQ(C.accessCycles(), 0u);
+      EXPECT_EQ(Depth, Before - In + Out);
+    }
+  }
+}
+
+// --- applyEffectConstantK -----------------------------------------------------
+
+TEST(ConstantK, ZeroRegistersIsSimpleStackMachine) {
+  // Fig. 11: every operand load/store goes to memory.
+  Counts C = applyEffectConstantK(0, 10, 2, 1); // add
+  EXPECT_EQ(C.Loads, 2u);
+  EXPECT_EQ(C.Stores, 1u);
+  EXPECT_EQ(C.SpUpdates, 1u);
+  EXPECT_EQ(C.Moves, 0u);
+}
+
+TEST(ConstantK, TosInRegisterAdd) {
+  // Fig. 12: add with TOS cached: one load, no store.
+  Counts C = applyEffectConstantK(1, 10, 2, 1);
+  EXPECT_EQ(C.Loads, 1u);
+  EXPECT_EQ(C.Stores, 0u);
+  EXPECT_EQ(C.SpUpdates, 1u);
+}
+
+TEST(ConstantK, PopRefills) {
+  // The paper's example: a pop (conditional branch) must refill to keep
+  // k items cached - a load that may be useless.
+  Counts C = applyEffectConstantK(1, 10, 1, 0);
+  EXPECT_EQ(C.Loads, 1u);
+  EXPECT_EQ(C.Stores, 0u);
+}
+
+TEST(ConstantK, PushEvicts) {
+  Counts C = applyEffectConstantK(1, 10, 0, 1); // lit
+  EXPECT_EQ(C.Stores, 1u);
+  EXPECT_EQ(C.Loads, 0u);
+}
+
+TEST(ConstantK, MovesAppearForDeepCaches) {
+  // k=3, lit: three cached items; one is evicted, two slide: 2 moves.
+  Counts C = applyEffectConstantK(3, 10, 0, 1);
+  EXPECT_EQ(C.Stores, 1u);
+  EXPECT_EQ(C.Moves, 2u);
+}
+
+TEST(ConstantK, BalancedOpsNeverMove) {
+  for (unsigned K = 0; K <= 6; ++K) {
+    Counts C = applyEffectConstantK(K, 10, 2, 2); // swap-shaped
+    EXPECT_EQ(C.Moves, 0u) << "k=" << K;
+    EXPECT_EQ(C.SpUpdates, 0u) << "k=" << K;
+  }
+}
+
+TEST(ConstantK, ShallowStackCachesWhatExists) {
+  Counts C = applyEffectConstantK(4, 1, 1, 1); // negate on 1-deep stack
+  EXPECT_EQ(C.accessCycles(), 0u);
+}
+
+TEST(ConstantK, PaperInequalityOnStackEffects) {
+  // Section 2.3: keeping n items beats n-1 iff the op takes >= n and
+  // leaves >= n; is worse iff unbalanced and both below n; ties otherwise.
+  for (unsigned N = 1; N <= 5; ++N) {
+    for (unsigned In = 0; In <= 3; ++In) {
+      for (unsigned Out = 0; Out <= 3; ++Out) {
+        uint64_t Deep = 50;
+        uint64_t CostN = applyEffectConstantK(N, Deep, In, Out).accessCycles();
+        uint64_t CostN1 =
+            applyEffectConstantK(N - 1, Deep, In, Out).accessCycles();
+        if (In >= N && Out >= N)
+          EXPECT_LT(CostN, CostN1) << N << " " << In << " " << Out;
+        else if (In != Out && In < N && Out < N)
+          EXPECT_GT(CostN, CostN1) << N << " " << In << " " << Out;
+        else
+          EXPECT_EQ(CostN, CostN1) << N << " " << In << " " << Out;
+      }
+    }
+  }
+}
+
+// --- applyManipToState ---------------------------------------------------------
+
+TEST(ManipAlgebra, Dup) {
+  CacheState S = applyManipToState(CacheState::minimal(2), Opcode::Dup);
+  EXPECT_EQ(S, CacheState::fromSlots({1, 1, 0}));
+}
+
+TEST(ManipAlgebra, Drop) {
+  CacheState S = applyManipToState(CacheState::minimal(2), Opcode::Drop);
+  EXPECT_EQ(S, CacheState::fromSlots({0}));
+}
+
+TEST(ManipAlgebra, Swap) {
+  CacheState S = applyManipToState(CacheState::minimal(2), Opcode::Swap);
+  EXPECT_EQ(S, CacheState::fromSlots({0, 1}));
+}
+
+TEST(ManipAlgebra, Over) {
+  CacheState S = applyManipToState(CacheState::minimal(2), Opcode::Over);
+  EXPECT_EQ(S, CacheState::fromSlots({0, 1, 0}));
+}
+
+TEST(ManipAlgebra, Rot) {
+  // ( a b c -- b c a ) on [t:r2 r1 r0]: new TOS is old third (r0).
+  CacheState S = applyManipToState(CacheState::minimal(3), Opcode::Rot);
+  EXPECT_EQ(S, CacheState::fromSlots({0, 2, 1}));
+}
+
+TEST(ManipAlgebra, Nip) {
+  CacheState S = applyManipToState(CacheState::minimal(2), Opcode::Nip);
+  EXPECT_EQ(S, CacheState::fromSlots({1}));
+}
+
+TEST(ManipAlgebra, Tuck) {
+  // ( a b -- b a b ) on [t:r1 r0]: [t:r1 r0 r1]
+  CacheState S = applyManipToState(CacheState::minimal(2), Opcode::Tuck);
+  EXPECT_EQ(S, CacheState::fromSlots({1, 0, 1}));
+}
+
+TEST(ManipAlgebra, TwoDup) {
+  CacheState S = applyManipToState(CacheState::minimal(2), Opcode::TwoDup);
+  EXPECT_EQ(S, CacheState::fromSlots({1, 0, 1, 0}));
+}
+
+TEST(ManipAlgebra, TwoDrop) {
+  CacheState S = applyManipToState(CacheState::minimal(3), Opcode::TwoDrop);
+  EXPECT_EQ(S, CacheState::fromSlots({0}));
+}
+
+TEST(ManipAlgebra, DepthTracksStackEffect) {
+  const Opcode Manips[] = {Opcode::Dup,  Opcode::Drop,   Opcode::Swap,
+                           Opcode::Over, Opcode::Rot,    Opcode::Nip,
+                           Opcode::Tuck, Opcode::TwoDup, Opcode::TwoDrop};
+  for (Opcode Op : Manips) {
+    ASSERT_TRUE(isAbsorbableManip(Op));
+    vm::StackEffect E = vm::dataEffect(Op);
+    CacheState S = CacheState::minimal(4);
+    CacheState After = applyManipToState(S, Op);
+    EXPECT_EQ(After.depth(), 4u - E.In + E.Out) << vm::mnemonic(Op);
+  }
+  EXPECT_FALSE(isAbsorbableManip(Opcode::Add));
+  EXPECT_FALSE(isAbsorbableManip(Opcode::Fetch));
+}
+
+TEST(ManipAlgebra, SwapOfDerivedStateRoundTrips) {
+  CacheState S = CacheState::minimal(2);
+  CacheState Once = applyManipToState(S, Opcode::Swap);
+  CacheState Twice = applyManipToState(Once, Opcode::Swap);
+  EXPECT_EQ(Twice, S);
+}
+
+} // namespace

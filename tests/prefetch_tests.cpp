@@ -1,0 +1,89 @@
+//===-- tests/prefetch_tests.cpp - Prefetching simulator tests ------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "forth/Forth.h"
+#include "trace/Capture.h"
+#include "trace/Simulators.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::cache;
+using namespace sc::trace;
+
+namespace {
+
+Trace workloadTrace(const char *Name) {
+  auto *W = workloads::findWorkload(Name);
+  EXPECT_NE(W, nullptr);
+  auto Sys = forth::loadOrDie(W->Source);
+  return captureTrace(*Sys, "main");
+}
+
+TEST(Prefetch, DisabledEqualsPlainDynamic) {
+  Trace T = workloadTrace("cross");
+  for (unsigned R : {4u, 6u}) {
+    Counts Plain = simulateDynamic(T, {R, 2});
+    Counts Pre = simulatePrefetch(T, {R, 2, 0, false});
+    EXPECT_EQ(Pre.Loads, Plain.Loads) << R;
+    EXPECT_EQ(Pre.Stores, Plain.Stores) << R;
+    EXPECT_EQ(Pre.Moves, Plain.Moves) << R;
+    EXPECT_EQ(Pre.SpUpdates, Plain.SpUpdates) << R;
+    EXPECT_EQ(Pre.Overflows, Plain.Overflows) << R;
+    EXPECT_EQ(Pre.Underflows, Plain.Underflows) << R;
+  }
+}
+
+TEST(Prefetch, RaisesMemoryTraffic) {
+  // Section 3.6: "This will cause slightly higher memory traffic." On a
+  // single program every prefetch may happen to be consumed (traffic
+  // then merely breaks even), so assert per-program monotonicity and a
+  // strict increase over all four programs combined.
+  Counts NoneAll, TwoAll;
+  for (const char *Name : {"compile", "gray", "prims2x", "cross"}) {
+    Trace T = workloadTrace(Name);
+    Counts None = simulatePrefetch(T, {4, 2, 0, false});
+    Counts Two = simulatePrefetch(T, {4, 2, 2, false});
+    EXPECT_GE(Two.Loads + Two.Stores, None.Loads + None.Stores) << Name;
+    NoneAll += None;
+    TwoAll += Two;
+  }
+  EXPECT_GT(TwoAll.Loads + TwoAll.Stores, NoneAll.Loads + NoneAll.Stores);
+}
+
+TEST(Prefetch, ReducesUnderflows) {
+  // The point of prefetching: arguments are already there.
+  Trace T = workloadTrace("compile");
+  Counts None = simulatePrefetch(T, {4, 2, 0, false});
+  Counts Two = simulatePrefetch(T, {4, 2, 2, false});
+  EXPECT_LT(Two.Underflows, None.Underflows);
+}
+
+TEST(Prefetch, DirtyBitsOnlyRemoveStores) {
+  Trace T = workloadTrace("gray");
+  Counts Plain = simulatePrefetch(T, {4, 2, 2, false});
+  Counts Dirty = simulatePrefetch(T, {4, 2, 2, true});
+  EXPECT_LE(Dirty.Stores, Plain.Stores);
+  EXPECT_EQ(Dirty.Loads, Plain.Loads);
+  EXPECT_EQ(Dirty.Moves, Plain.Moves);
+  EXPECT_EQ(Dirty.Underflows, Plain.Underflows);
+}
+
+TEST(Prefetch, NeverPrefetchesBeyondTheStack) {
+  // A trace that never has more than one live item: prefetch to 3 must
+  // not conjure items out of thin air.
+  auto Sys = forth::loadOrDie(": main 100 0 do 1 drop loop ;");
+  Trace T = captureTrace(*Sys, "main");
+  Counts C = simulatePrefetch(T, {4, 2, 3, false});
+  EXPECT_EQ(C.Insts, T.size());
+  // No assertion failure = depth accounting stayed consistent; loads
+  // must still be finite and small.
+  EXPECT_LT(C.Loads, T.size());
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+//===-- tests/support_tests.cpp - Support library tests -------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FixedVec.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sc;
+
+namespace {
+
+TEST(FixedVec, StartsEmpty) {
+  FixedVec<uint8_t, 8> V;
+  EXPECT_EQ(V.size(), 0u);
+  EXPECT_TRUE(V.empty());
+}
+
+TEST(FixedVec, PushPopBack) {
+  FixedVec<int, 4> V;
+  V.push_back(1);
+  V.push_back(2);
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(V.front(), 1);
+  EXPECT_EQ(V.back(), 2);
+  V.pop_back();
+  EXPECT_EQ(V.back(), 1);
+}
+
+TEST(FixedVec, InitializerList) {
+  FixedVec<int, 4> V{3, 1, 4};
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 3);
+  EXPECT_EQ(V[1], 1);
+  EXPECT_EQ(V[2], 4);
+}
+
+TEST(FixedVec, InsertShiftsUp) {
+  FixedVec<int, 8> V{1, 3};
+  V.insert(1, 2);
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V[1], 2);
+  EXPECT_EQ(V[2], 3);
+  V.insert(0, 0);
+  EXPECT_EQ(V[0], 0);
+  V.insert(4, 9);
+  EXPECT_EQ(V.back(), 9);
+}
+
+TEST(FixedVec, EraseShiftsDown) {
+  FixedVec<int, 8> V{1, 2, 3, 4};
+  V.erase(1);
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V[1], 3);
+  EXPECT_EQ(V[2], 4);
+}
+
+TEST(FixedVec, ResizeValueInitializes) {
+  FixedVec<int, 8> V{7};
+  V.resize(3);
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 7);
+  EXPECT_EQ(V[1], 0);
+  EXPECT_EQ(V[2], 0);
+  V.resize(1);
+  EXPECT_EQ(V.size(), 1u);
+}
+
+TEST(FixedVec, EqualityComparesSizeAndContents) {
+  FixedVec<int, 4> A{1, 2};
+  FixedVec<int, 4> B{1, 2};
+  FixedVec<int, 4> C{1, 2, 3};
+  FixedVec<int, 4> D{2, 1};
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+}
+
+TEST(FixedVec, RangeForIteration) {
+  FixedVec<int, 4> V{5, 6, 7};
+  int Sum = 0;
+  for (int X : V)
+    Sum += X;
+  EXPECT_EQ(Sum, 18);
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u) << "all values of a small range should appear";
+}
+
+TEST(Table, AlignsColumns) {
+  Table T;
+  T.addRow({"a", "1"});
+  T.addRow({"long-label", "22"});
+  std::string S = T.str();
+  EXPECT_NE(S.find("a            1\n"), std::string::npos) << S;
+  EXPECT_NE(S.find("long-label  22\n"), std::string::npos) << S;
+}
+
+TEST(Table, RowBuilderFormats) {
+  Table T;
+  T.row().cell("x").num(1.5, 2).integer(7);
+  EXPECT_EQ(T.str(), "x  1.50  7\n");
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+//===-- tests/twostack_tests.cpp - Two-stack cache simulator tests --------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/Organization.h"
+#include "forth/Forth.h"
+#include "trace/Capture.h"
+#include "trace/Simulators.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::cache;
+using namespace sc::trace;
+using vm::Opcode;
+
+namespace {
+
+Trace makeTrace(std::initializer_list<std::pair<Opcode, uint8_t>> Items) {
+  Trace T;
+  for (const auto &[Op, Flags] : Items) {
+    TraceRec R;
+    R.Op = Op;
+    R.Flags = Flags;
+    T.Recs.push_back(R);
+  }
+  return T;
+}
+
+TEST(TwoStack, RMovedFlagCaptured) {
+  auto Sys = forth::loadOrDie(": main 3 0 do loop ;");
+  Trace T = captureTrace(*Sys, "main");
+  // (do) moves rsp; the two back edges do not; the final (loop) does.
+  unsigned LoopBrMoved = 0, LoopBrTotal = 0;
+  for (const TraceRec &R : T.Recs) {
+    if (R.Op == Opcode::LoopBr) {
+      ++LoopBrTotal;
+      LoopBrMoved += R.movedRsp() ? 1 : 0;
+    }
+    if (R.Op == Opcode::DoSetup) {
+      EXPECT_TRUE(R.movedRsp());
+    }
+  }
+  EXPECT_EQ(LoopBrTotal, 3u);
+  EXPECT_EQ(LoopBrMoved, 1u) << "only the exiting (loop) moves rsp";
+}
+
+TEST(TwoStack, CachedCallReturnIsFree) {
+  // call + exit with room in the register file: no return-stack memory
+  // traffic at all.
+  Trace T = makeTrace({{Opcode::Call, TraceRec::RMovedFlag},
+                       {Opcode::Exit, TraceRec::RMovedFlag},
+                       {Opcode::Halt, 0}});
+  Counts C = simulateTwoStack(T, {4, 2, 2});
+  EXPECT_EQ(C.accessCycles(), 0u);
+}
+
+TEST(TwoStack, UncachedBaselinePaysForEveryAccess) {
+  Trace T = makeTrace({{Opcode::Call, TraceRec::RMovedFlag},
+                       {Opcode::Exit, TraceRec::RMovedFlag},
+                       {Opcode::Halt, 0}});
+  Counts C = simulateTwoStack(T, {4, 2, 0});
+  EXPECT_EQ(C.Stores, 1u); // call pushes the return address
+  EXPECT_EQ(C.Loads, 1u);  // exit pops it
+  EXPECT_EQ(C.SpUpdates, 2u);
+}
+
+TEST(TwoStack, RetItemsReduceDataCapacity) {
+  // With 2 regs and 2 cached return items, the data cache has none left:
+  // a lit must go to memory.
+  Trace T = makeTrace({{Opcode::Call, TraceRec::RMovedFlag},
+                       {Opcode::ToR, TraceRec::RMovedFlag},
+                       {Opcode::Lit, 0},
+                       {Opcode::Lit, 0},
+                       {Opcode::Halt, 0}});
+  // ToR consumes a data item it does not have... give it one first.
+  T = makeTrace({{Opcode::Lit, 0},
+                 {Opcode::ToR, TraceRec::RMovedFlag},
+                 {Opcode::Call, TraceRec::RMovedFlag},
+                 {Opcode::Lit, 0},
+                 {Opcode::Lit, 0},
+                 {Opcode::Halt, 0}});
+  Counts C = simulateTwoStack(T, {2, 1, 2});
+  EXPECT_GT(C.Stores + C.Loads, 0u)
+      << "data pushes must spill when return items hold the registers";
+}
+
+TEST(TwoStack, DataOnlyMatchesDynamicPlusRetTraffic) {
+  // With MaxRetCached = 0 the data-side behaviour must be identical to
+  // simulateDynamic; the extra cost is exactly the return traffic.
+  auto Sys = forth::loadOrDie(
+      ": w dup >r 1+ r> + ; : main 0 20 0 do w i + loop ;");
+  Trace T = captureTrace(*Sys, "main");
+  MinimalPolicy DP{4, 2};
+  Counts DataOnly = simulateDynamic(T, DP);
+  Counts Base = simulateTwoStack(T, {4, 2, 0});
+  EXPECT_EQ(Base.Moves, DataOnly.Moves);
+  EXPECT_GE(Base.Loads, DataOnly.Loads);
+  EXPECT_GE(Base.Stores, DataOnly.Stores);
+  EXPECT_EQ(Base.Loads - DataOnly.Loads + (Base.Stores - DataOnly.Stores),
+            T.RStackLoads + T.RStackStores)
+      << "uncached baseline pays one memory op per return-stack access";
+}
+
+TEST(TwoStack, SharingHelpsCallHeavyCodeWithEnoughRegisters) {
+  auto *W = workloads::findWorkload("gray");
+  ASSERT_NE(W, nullptr);
+  auto Sys = forth::loadOrDie(W->Source);
+  Trace T = captureTrace(*Sys, "main");
+  Counts DataOnly = simulateTwoStack(T, {6, 3, 0});
+  Counts Shared = simulateTwoStack(T, {6, 3, 2});
+  EXPECT_LT(Shared.accessCycles(), DataOnly.accessCycles());
+}
+
+TEST(TwoStack, SharingHurtsWithTinyRegisterFile) {
+  auto *W = workloads::findWorkload("cross");
+  ASSERT_NE(W, nullptr);
+  auto Sys = forth::loadOrDie(W->Source);
+  Trace T = captureTrace(*Sys, "main");
+  double BestDataOnly = 1e30, BestShared = 1e30;
+  for (unsigned F = 0; F <= 2; ++F) {
+    BestDataOnly = std::min(
+        BestDataOnly, simulateTwoStack(T, {2, F, 0}).accessPerInst());
+    BestShared = std::min(BestShared,
+                          simulateTwoStack(T, {2, F, 2}).accessPerInst());
+  }
+  EXPECT_LT(BestDataOnly, BestShared)
+      << "with 2 registers the return items crowd out the data cache";
+}
+
+TEST(TwoStack, StateCountMatchesFig18) {
+  // The organization simulated here is exactly Fig. 18's 3n-state row.
+  for (unsigned N = 1; N <= 8; ++N)
+    EXPECT_EQ(TwoStackOrganization(N).countStates(), 3ull * N);
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+//===-- tests/vm_tests.cpp - Virtual machine core tests -------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Code.h"
+#include "vm/Disasm.h"
+#include "vm/Opcode.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc::vm;
+
+namespace {
+
+TEST(Opcode, MetadataConsistency) {
+  for (unsigned I = 0; I < NumOpcodes; ++I) {
+    Opcode Op = static_cast<Opcode>(I);
+    const OpInfo &Info = opInfo(Op);
+    EXPECT_NE(Info.Mnemonic, nullptr);
+    EXPECT_LE(Info.Data.In, 4) << Info.Mnemonic;
+    EXPECT_LE(Info.Data.Out, 4) << Info.Mnemonic;
+  }
+}
+
+TEST(Opcode, MnemonicsAreUnique) {
+  for (unsigned I = 0; I < NumOpcodes; ++I)
+    for (unsigned J = I + 1; J < NumOpcodes; ++J)
+      EXPECT_STRNE(mnemonic(static_cast<Opcode>(I)),
+                   mnemonic(static_cast<Opcode>(J)));
+}
+
+TEST(Opcode, LookupByMnemonic) {
+  Opcode Op;
+  ASSERT_TRUE(opcodeByMnemonic("+", Op));
+  EXPECT_EQ(Op, Opcode::Add);
+  ASSERT_TRUE(opcodeByMnemonic("2dup", Op));
+  EXPECT_EQ(Op, Opcode::TwoDup);
+  EXPECT_FALSE(opcodeByMnemonic("not-a-word", Op));
+}
+
+TEST(Opcode, ManipClassification) {
+  EXPECT_TRUE(isManip(Opcode::Dup));
+  EXPECT_TRUE(isManip(Opcode::Swap));
+  EXPECT_TRUE(isManip(Opcode::Rot));
+  EXPECT_FALSE(isManip(Opcode::Add));
+  EXPECT_FALSE(isManip(Opcode::Fetch));
+}
+
+TEST(Opcode, ControlClassification) {
+  EXPECT_TRUE(isControl(Opcode::Branch));
+  EXPECT_TRUE(isControl(Opcode::QBranch));
+  EXPECT_TRUE(isControl(Opcode::Call));
+  EXPECT_TRUE(isControl(Opcode::Exit));
+  EXPECT_TRUE(isControl(Opcode::Halt));
+  EXPECT_TRUE(isControl(Opcode::LoopBr));
+  EXPECT_FALSE(isControl(Opcode::Add));
+  EXPECT_FALSE(isControl(Opcode::DoSetup));
+}
+
+TEST(Opcode, StackEffects) {
+  EXPECT_EQ(dataEffect(Opcode::Add).In, 2);
+  EXPECT_EQ(dataEffect(Opcode::Add).Out, 1);
+  EXPECT_EQ(dataEffect(Opcode::Dup).In, 1);
+  EXPECT_EQ(dataEffect(Opcode::Dup).Out, 2);
+  EXPECT_EQ(dataEffect(Opcode::TwoDup).Out, 4);
+  EXPECT_EQ(dataEffect(Opcode::Lit).In, 0);
+  EXPECT_EQ(dataEffect(Opcode::Lit).Out, 1);
+  EXPECT_EQ(dataEffect(Opcode::QBranch).In, 1);
+  EXPECT_EQ(dataEffect(Opcode::QBranch).Out, 0);
+}
+
+TEST(Code, StartsWithHalt) {
+  Code C;
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C.Insts[0].Op, Opcode::Halt);
+  EXPECT_TRUE(C.verify());
+}
+
+TEST(Code, EmitReturnsIndex) {
+  Code C;
+  EXPECT_EQ(C.emit(Opcode::Lit, 5), 1u);
+  EXPECT_EQ(C.emit(Opcode::Add), 2u);
+}
+
+TEST(Code, VerifyRejectsBadBranchTarget) {
+  Code C;
+  C.emit(Opcode::Branch, 99);
+  std::string Err;
+  EXPECT_FALSE(C.verify(&Err));
+  EXPECT_NE(Err.find("out of range"), std::string::npos);
+}
+
+TEST(Code, VerifyRejectsFallOffEnd) {
+  Code C;
+  C.emit(Opcode::Add);
+  std::string Err;
+  EXPECT_FALSE(C.verify(&Err));
+  EXPECT_NE(Err.find("control transfer"), std::string::npos);
+}
+
+TEST(Code, VerifyAcceptsWellFormed) {
+  Code C;
+  uint32_t Entry = C.emit(Opcode::Lit, 1);
+  C.emit(Opcode::Exit);
+  C.Words.push_back({"w", Entry, C.size()});
+  EXPECT_TRUE(C.verify());
+}
+
+TEST(Code, FindWordPrefersLatest) {
+  Code C;
+  uint32_t E1 = C.emit(Opcode::Exit);
+  uint32_t E2 = C.emit(Opcode::Exit);
+  C.Words.push_back({"w", E1, E1 + 1});
+  C.Words.push_back({"w", E2, E2 + 1});
+  ASSERT_NE(C.findWord("w"), nullptr);
+  EXPECT_EQ(C.findWord("w")->Entry, E2);
+  EXPECT_EQ(C.findWord("absent"), nullptr);
+}
+
+TEST(Code, LeadersAfterBranchesAndTargets) {
+  Code C;
+  // 1: lit 1; 2: 0branch 5; 3: lit 2; 4: branch 6; 5: lit 3; 6: exit
+  C.emit(Opcode::Lit, 1);
+  C.emit(Opcode::QBranch, 5);
+  C.emit(Opcode::Lit, 2);
+  C.emit(Opcode::Branch, 6);
+  C.emit(Opcode::Lit, 3);
+  C.emit(Opcode::Exit);
+  std::vector<bool> L = C.computeLeaders();
+  EXPECT_TRUE(L[0]);  // halt slot
+  EXPECT_FALSE(L[2]); // mid-block
+  EXPECT_TRUE(L[3]);  // after 0branch
+  EXPECT_TRUE(L[5]);  // branch target / after branch
+  EXPECT_TRUE(L[6]);  // branch target
+}
+
+TEST(Vm, AllotAdvancesHere) {
+  Vm V(4096);
+  Cell A = V.allot(16);
+  Cell B = V.allot(8);
+  EXPECT_EQ(B, A + 16);
+}
+
+TEST(Vm, AlignRoundsUp) {
+  Vm V(4096);
+  V.allot(3);
+  V.align();
+  EXPECT_EQ(V.here() % CellBytes, 0);
+}
+
+TEST(Vm, CellRoundTrip) {
+  Vm V(4096);
+  Cell A = V.allot(CellBytes);
+  V.storeCell(A, -123456789);
+  EXPECT_EQ(V.loadCell(A), -123456789);
+}
+
+TEST(Vm, ByteRoundTrip) {
+  Vm V(4096);
+  Cell A = V.allot(4);
+  V.storeByte(A, 0x1FF); // truncates to low byte
+  EXPECT_EQ(V.loadByte(A), 0xFF);
+}
+
+TEST(Vm, ValidRangeRejectsNullAndOob) {
+  Vm V(1024);
+  EXPECT_FALSE(V.validRange(0, 8)) << "address 0 is reserved";
+  EXPECT_FALSE(V.validRange(1020, 8));
+  EXPECT_FALSE(V.validRange(-8, 8));
+  EXPECT_TRUE(V.validRange(8, 8));
+}
+
+TEST(Vm, OutputHelpers) {
+  Vm V(1024);
+  V.emitChar('h');
+  V.emitChar('i');
+  V.printNumber(42);
+  EXPECT_EQ(V.Out, "hi42 ");
+  V.resetOutput();
+  EXPECT_TRUE(V.Out.empty());
+}
+
+TEST(Vm, CopyIsolatesDataSpace) {
+  Vm V(1024);
+  Cell A = V.allot(8);
+  V.storeCell(A, 1);
+  Vm Copy = V;
+  Copy.storeCell(A, 2);
+  EXPECT_EQ(V.loadCell(A), 1);
+  EXPECT_EQ(Copy.loadCell(A), 2);
+}
+
+TEST(Disasm, RendersOperands) {
+  EXPECT_EQ(disasmInst(Inst(Opcode::Lit, 42)), "lit 42");
+  EXPECT_EQ(disasmInst(Inst(Opcode::Add)), "+");
+  EXPECT_EQ(disasmInst(Inst(Opcode::Branch, 7)), "branch 7");
+}
+
+TEST(Disasm, ListsWordsAndLeaders) {
+  Code C;
+  uint32_t Entry = C.emit(Opcode::Lit, 1);
+  C.emit(Opcode::Exit);
+  C.Words.push_back({"one", Entry, C.size()});
+  std::string S = disasmCode(C);
+  EXPECT_NE(S.find("; word one"), std::string::npos) << S;
+  EXPECT_NE(S.find("lit 1"), std::string::npos) << S;
+}
+
+} // namespace
