@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engines_wallclock.dir/engines_wallclock.cpp.o"
+  "CMakeFiles/engines_wallclock.dir/engines_wallclock.cpp.o.d"
+  "engines_wallclock"
+  "engines_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engines_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

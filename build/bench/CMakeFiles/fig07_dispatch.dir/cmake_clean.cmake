@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dispatch.dir/fig07_dispatch.cpp.o"
+  "CMakeFiles/fig07_dispatch.dir/fig07_dispatch.cpp.o.d"
+  "fig07_dispatch"
+  "fig07_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_states.dir/fig18_states.cpp.o"
+  "CMakeFiles/fig18_states.dir/fig18_states.cpp.o.d"
+  "fig18_states"
+  "fig18_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

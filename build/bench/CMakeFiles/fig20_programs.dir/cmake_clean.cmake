@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_programs.dir/fig20_programs.cpp.o"
+  "CMakeFiles/fig20_programs.dir/fig20_programs.cpp.o.d"
+  "fig20_programs"
+  "fig20_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

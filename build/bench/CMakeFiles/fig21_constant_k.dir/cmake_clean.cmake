@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_constant_k.dir/fig21_constant_k.cpp.o"
+  "CMakeFiles/fig21_constant_k.dir/fig21_constant_k.cpp.o.d"
+  "fig21_constant_k"
+  "fig21_constant_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_constant_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_dynamic_overhead.dir/fig22_dynamic_overhead.cpp.o"
+  "CMakeFiles/fig22_dynamic_overhead.dir/fig22_dynamic_overhead.cpp.o.d"
+  "fig22_dynamic_overhead"
+  "fig22_dynamic_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_dynamic_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

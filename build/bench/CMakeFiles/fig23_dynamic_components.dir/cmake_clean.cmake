@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_dynamic_components.dir/fig23_dynamic_components.cpp.o"
+  "CMakeFiles/fig23_dynamic_components.dir/fig23_dynamic_components.cpp.o.d"
+  "fig23_dynamic_components"
+  "fig23_dynamic_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_dynamic_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_static_overhead.dir/fig24_static_overhead.cpp.o"
+  "CMakeFiles/fig24_static_overhead.dir/fig24_static_overhead.cpp.o.d"
+  "fig24_static_overhead"
+  "fig24_static_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_static_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

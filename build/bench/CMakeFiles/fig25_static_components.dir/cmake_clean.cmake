@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_static_components.dir/fig25_static_components.cpp.o"
+  "CMakeFiles/fig25_static_components.dir/fig25_static_components.cpp.o.d"
+  "fig25_static_components"
+  "fig25_static_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_static_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

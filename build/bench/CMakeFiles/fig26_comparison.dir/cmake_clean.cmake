@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_comparison.dir/fig26_comparison.cpp.o"
+  "CMakeFiles/fig26_comparison.dir/fig26_comparison.cpp.o.d"
+  "fig26_comparison"
+  "fig26_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

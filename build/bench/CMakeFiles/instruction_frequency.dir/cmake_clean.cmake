@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instruction_frequency.dir/instruction_frequency.cpp.o"
+  "CMakeFiles/instruction_frequency.dir/instruction_frequency.cpp.o.d"
+  "instruction_frequency"
+  "instruction_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instruction_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_extension.dir/prefetch_extension.cpp.o"
+  "CMakeFiles/prefetch_extension.dir/prefetch_extension.cpp.o.d"
+  "prefetch_extension"
+  "prefetch_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomwalk_model.dir/randomwalk_model.cpp.o"
+  "CMakeFiles/randomwalk_model.dir/randomwalk_model.cpp.o.d"
+  "randomwalk_model"
+  "randomwalk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomwalk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

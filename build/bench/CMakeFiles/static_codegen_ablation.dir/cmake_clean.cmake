@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_codegen_ablation.dir/static_codegen_ablation.cpp.o"
+  "CMakeFiles/static_codegen_ablation.dir/static_codegen_ablation.cpp.o.d"
+  "static_codegen_ablation"
+  "static_codegen_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_codegen_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superinst_extension.dir/superinst_extension.cpp.o"
+  "CMakeFiles/superinst_extension.dir/superinst_extension.cpp.o.d"
+  "superinst_extension"
+  "superinst_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superinst_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

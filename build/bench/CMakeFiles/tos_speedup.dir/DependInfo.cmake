@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tos_speedup.cpp" "bench/CMakeFiles/tos_speedup.dir/tos_speedup.cpp.o" "gcc" "bench/CMakeFiles/tos_speedup.dir/tos_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/sc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/forth/CMakeFiles/sc_forth.dir/DependInfo.cmake"
+  "/root/repo/build/src/dispatch/CMakeFiles/sc_dispatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/sc_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticcache/CMakeFiles/sc_staticcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/superinst/CMakeFiles/sc_superinst.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

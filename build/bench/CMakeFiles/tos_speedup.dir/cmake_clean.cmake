@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tos_speedup.dir/tos_speedup.cpp.o"
+  "CMakeFiles/tos_speedup.dir/tos_speedup.cpp.o.d"
+  "tos_speedup"
+  "tos_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tos_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostack_extension.dir/twostack_extension.cpp.o"
+  "CMakeFiles/twostack_extension.dir/twostack_extension.cpp.o.d"
+  "twostack_extension"
+  "twostack_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostack_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forth_run.dir/forth_run.cpp.o"
+  "CMakeFiles/forth_run.dir/forth_run.cpp.o.d"
+  "forth_run"
+  "forth_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forth_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_compile.dir/static_compile.cpp.o"
+  "CMakeFiles/static_compile.dir/static_compile.cpp.o.d"
+  "static_compile"
+  "static_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_cache.dir/tune_cache.cpp.o"
+  "CMakeFiles/tune_cache.dir/tune_cache.cpp.o.d"
+  "tune_cache"
+  "tune_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/CacheState.cpp" "src/cache/CMakeFiles/sc_cache.dir/CacheState.cpp.o" "gcc" "src/cache/CMakeFiles/sc_cache.dir/CacheState.cpp.o.d"
+  "/root/repo/src/cache/Organization.cpp" "src/cache/CMakeFiles/sc_cache.dir/Organization.cpp.o" "gcc" "src/cache/CMakeFiles/sc_cache.dir/Organization.cpp.o.d"
+  "/root/repo/src/cache/Reconcile.cpp" "src/cache/CMakeFiles/sc_cache.dir/Reconcile.cpp.o" "gcc" "src/cache/CMakeFiles/sc_cache.dir/Reconcile.cpp.o.d"
+  "/root/repo/src/cache/Transition.cpp" "src/cache/CMakeFiles/sc_cache.dir/Transition.cpp.o" "gcc" "src/cache/CMakeFiles/sc_cache.dir/Transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

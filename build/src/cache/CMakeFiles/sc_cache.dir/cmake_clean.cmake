@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_cache.dir/CacheState.cpp.o"
+  "CMakeFiles/sc_cache.dir/CacheState.cpp.o.d"
+  "CMakeFiles/sc_cache.dir/Organization.cpp.o"
+  "CMakeFiles/sc_cache.dir/Organization.cpp.o.d"
+  "CMakeFiles/sc_cache.dir/Reconcile.cpp.o"
+  "CMakeFiles/sc_cache.dir/Reconcile.cpp.o.d"
+  "CMakeFiles/sc_cache.dir/Transition.cpp.o"
+  "CMakeFiles/sc_cache.dir/Transition.cpp.o.d"
+  "libsc_cache.a"
+  "libsc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dispatch/CallThreadedEngine.cpp" "src/dispatch/CMakeFiles/sc_dispatch.dir/CallThreadedEngine.cpp.o" "gcc" "src/dispatch/CMakeFiles/sc_dispatch.dir/CallThreadedEngine.cpp.o.d"
+  "/root/repo/src/dispatch/Engines.cpp" "src/dispatch/CMakeFiles/sc_dispatch.dir/Engines.cpp.o" "gcc" "src/dispatch/CMakeFiles/sc_dispatch.dir/Engines.cpp.o.d"
+  "/root/repo/src/dispatch/SwitchEngine.cpp" "src/dispatch/CMakeFiles/sc_dispatch.dir/SwitchEngine.cpp.o" "gcc" "src/dispatch/CMakeFiles/sc_dispatch.dir/SwitchEngine.cpp.o.d"
+  "/root/repo/src/dispatch/ThreadedEngine.cpp" "src/dispatch/CMakeFiles/sc_dispatch.dir/ThreadedEngine.cpp.o" "gcc" "src/dispatch/CMakeFiles/sc_dispatch.dir/ThreadedEngine.cpp.o.d"
+  "/root/repo/src/dispatch/ThreadedTosEngine.cpp" "src/dispatch/CMakeFiles/sc_dispatch.dir/ThreadedTosEngine.cpp.o" "gcc" "src/dispatch/CMakeFiles/sc_dispatch.dir/ThreadedTosEngine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

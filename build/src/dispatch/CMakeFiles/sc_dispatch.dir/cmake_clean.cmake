@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_dispatch.dir/CallThreadedEngine.cpp.o"
+  "CMakeFiles/sc_dispatch.dir/CallThreadedEngine.cpp.o.d"
+  "CMakeFiles/sc_dispatch.dir/Engines.cpp.o"
+  "CMakeFiles/sc_dispatch.dir/Engines.cpp.o.d"
+  "CMakeFiles/sc_dispatch.dir/SwitchEngine.cpp.o"
+  "CMakeFiles/sc_dispatch.dir/SwitchEngine.cpp.o.d"
+  "CMakeFiles/sc_dispatch.dir/ThreadedEngine.cpp.o"
+  "CMakeFiles/sc_dispatch.dir/ThreadedEngine.cpp.o.d"
+  "CMakeFiles/sc_dispatch.dir/ThreadedTosEngine.cpp.o"
+  "CMakeFiles/sc_dispatch.dir/ThreadedTosEngine.cpp.o.d"
+  "libsc_dispatch.a"
+  "libsc_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

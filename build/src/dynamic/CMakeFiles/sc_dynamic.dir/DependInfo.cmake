@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamic/Dynamic3Engine.cpp" "src/dynamic/CMakeFiles/sc_dynamic.dir/Dynamic3Engine.cpp.o" "gcc" "src/dynamic/CMakeFiles/sc_dynamic.dir/Dynamic3Engine.cpp.o.d"
+  "/root/repo/src/dynamic/ModelInterpreter.cpp" "src/dynamic/CMakeFiles/sc_dynamic.dir/ModelInterpreter.cpp.o" "gcc" "src/dynamic/CMakeFiles/sc_dynamic.dir/ModelInterpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/sc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dispatch/CMakeFiles/sc_dispatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

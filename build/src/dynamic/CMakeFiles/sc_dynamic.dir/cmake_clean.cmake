@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_dynamic.dir/Dynamic3Engine.cpp.o"
+  "CMakeFiles/sc_dynamic.dir/Dynamic3Engine.cpp.o.d"
+  "CMakeFiles/sc_dynamic.dir/ModelInterpreter.cpp.o"
+  "CMakeFiles/sc_dynamic.dir/ModelInterpreter.cpp.o.d"
+  "libsc_dynamic.a"
+  "libsc_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forth/Compiler.cpp" "src/forth/CMakeFiles/sc_forth.dir/Compiler.cpp.o" "gcc" "src/forth/CMakeFiles/sc_forth.dir/Compiler.cpp.o.d"
+  "/root/repo/src/forth/Forth.cpp" "src/forth/CMakeFiles/sc_forth.dir/Forth.cpp.o" "gcc" "src/forth/CMakeFiles/sc_forth.dir/Forth.cpp.o.d"
+  "/root/repo/src/forth/Lexer.cpp" "src/forth/CMakeFiles/sc_forth.dir/Lexer.cpp.o" "gcc" "src/forth/CMakeFiles/sc_forth.dir/Lexer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dispatch/CMakeFiles/sc_dispatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_forth.dir/Compiler.cpp.o"
+  "CMakeFiles/sc_forth.dir/Compiler.cpp.o.d"
+  "CMakeFiles/sc_forth.dir/Forth.cpp.o"
+  "CMakeFiles/sc_forth.dir/Forth.cpp.o.d"
+  "CMakeFiles/sc_forth.dir/Lexer.cpp.o"
+  "CMakeFiles/sc_forth.dir/Lexer.cpp.o.d"
+  "libsc_forth.a"
+  "libsc_forth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_forth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

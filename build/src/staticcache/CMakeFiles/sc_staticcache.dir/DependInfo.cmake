@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/staticcache/StaticEngine.cpp" "src/staticcache/CMakeFiles/sc_staticcache.dir/StaticEngine.cpp.o" "gcc" "src/staticcache/CMakeFiles/sc_staticcache.dir/StaticEngine.cpp.o.d"
+  "/root/repo/src/staticcache/StaticOptimal.cpp" "src/staticcache/CMakeFiles/sc_staticcache.dir/StaticOptimal.cpp.o" "gcc" "src/staticcache/CMakeFiles/sc_staticcache.dir/StaticOptimal.cpp.o.d"
+  "/root/repo/src/staticcache/StaticPass.cpp" "src/staticcache/CMakeFiles/sc_staticcache.dir/StaticPass.cpp.o" "gcc" "src/staticcache/CMakeFiles/sc_staticcache.dir/StaticPass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/sc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_staticcache.dir/StaticEngine.cpp.o"
+  "CMakeFiles/sc_staticcache.dir/StaticEngine.cpp.o.d"
+  "CMakeFiles/sc_staticcache.dir/StaticOptimal.cpp.o"
+  "CMakeFiles/sc_staticcache.dir/StaticOptimal.cpp.o.d"
+  "CMakeFiles/sc_staticcache.dir/StaticPass.cpp.o"
+  "CMakeFiles/sc_staticcache.dir/StaticPass.cpp.o.d"
+  "libsc_staticcache.a"
+  "libsc_staticcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_staticcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_superinst.dir/Superinst.cpp.o"
+  "CMakeFiles/sc_superinst.dir/Superinst.cpp.o.d"
+  "libsc_superinst.a"
+  "libsc_superinst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_superinst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_support.dir/Table.cpp.o"
+  "CMakeFiles/sc_support.dir/Table.cpp.o.d"
+  "libsc_support.a"
+  "libsc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

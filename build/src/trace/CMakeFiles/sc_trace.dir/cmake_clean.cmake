@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_trace.dir/Capture.cpp.o"
+  "CMakeFiles/sc_trace.dir/Capture.cpp.o.d"
+  "CMakeFiles/sc_trace.dir/Simulators.cpp.o"
+  "CMakeFiles/sc_trace.dir/Simulators.cpp.o.d"
+  "libsc_trace.a"
+  "libsc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Code.cpp" "src/vm/CMakeFiles/sc_vm.dir/Code.cpp.o" "gcc" "src/vm/CMakeFiles/sc_vm.dir/Code.cpp.o.d"
+  "/root/repo/src/vm/Disasm.cpp" "src/vm/CMakeFiles/sc_vm.dir/Disasm.cpp.o" "gcc" "src/vm/CMakeFiles/sc_vm.dir/Disasm.cpp.o.d"
+  "/root/repo/src/vm/Opcode.cpp" "src/vm/CMakeFiles/sc_vm.dir/Opcode.cpp.o" "gcc" "src/vm/CMakeFiles/sc_vm.dir/Opcode.cpp.o.d"
+  "/root/repo/src/vm/RunResult.cpp" "src/vm/CMakeFiles/sc_vm.dir/RunResult.cpp.o" "gcc" "src/vm/CMakeFiles/sc_vm.dir/RunResult.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_vm.dir/Code.cpp.o"
+  "CMakeFiles/sc_vm.dir/Code.cpp.o.d"
+  "CMakeFiles/sc_vm.dir/Disasm.cpp.o"
+  "CMakeFiles/sc_vm.dir/Disasm.cpp.o.d"
+  "CMakeFiles/sc_vm.dir/Opcode.cpp.o"
+  "CMakeFiles/sc_vm.dir/Opcode.cpp.o.d"
+  "CMakeFiles/sc_vm.dir/RunResult.cpp.o"
+  "CMakeFiles/sc_vm.dir/RunResult.cpp.o.d"
+  "libsc_vm.a"
+  "libsc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_tests.dir/dynamic_tests.cpp.o"
+  "CMakeFiles/dynamic_tests.dir/dynamic_tests.cpp.o.d"
+  "dynamic_tests"
+  "dynamic_tests.pdb"
+  "dynamic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

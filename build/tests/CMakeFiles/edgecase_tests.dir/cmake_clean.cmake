@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgecase_tests.dir/edgecase_tests.cpp.o"
+  "CMakeFiles/edgecase_tests.dir/edgecase_tests.cpp.o.d"
+  "edgecase_tests"
+  "edgecase_tests.pdb"
+  "edgecase_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgecase_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

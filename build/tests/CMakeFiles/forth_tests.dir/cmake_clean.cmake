@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forth_tests.dir/forth_tests.cpp.o"
+  "CMakeFiles/forth_tests.dir/forth_tests.cpp.o.d"
+  "forth_tests"
+  "forth_tests.pdb"
+  "forth_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

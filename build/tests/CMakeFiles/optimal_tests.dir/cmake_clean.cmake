@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_tests.dir/optimal_tests.cpp.o"
+  "CMakeFiles/optimal_tests.dir/optimal_tests.cpp.o.d"
+  "optimal_tests"
+  "optimal_tests.pdb"
+  "optimal_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

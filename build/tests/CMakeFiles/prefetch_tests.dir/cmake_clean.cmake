@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_tests.dir/prefetch_tests.cpp.o"
+  "CMakeFiles/prefetch_tests.dir/prefetch_tests.cpp.o.d"
+  "prefetch_tests"
+  "prefetch_tests.pdb"
+  "prefetch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconcile_optimality_tests.dir/reconcile_optimality_tests.cpp.o"
+  "CMakeFiles/reconcile_optimality_tests.dir/reconcile_optimality_tests.cpp.o.d"
+  "reconcile_optimality_tests"
+  "reconcile_optimality_tests.pdb"
+  "reconcile_optimality_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconcile_optimality_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

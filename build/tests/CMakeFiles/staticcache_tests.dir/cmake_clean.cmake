@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staticcache_tests.dir/staticcache_tests.cpp.o"
+  "CMakeFiles/staticcache_tests.dir/staticcache_tests.cpp.o.d"
+  "staticcache_tests"
+  "staticcache_tests.pdb"
+  "staticcache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staticcache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

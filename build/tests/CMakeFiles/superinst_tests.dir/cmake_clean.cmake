@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superinst_tests.dir/superinst_tests.cpp.o"
+  "CMakeFiles/superinst_tests.dir/superinst_tests.cpp.o.d"
+  "superinst_tests"
+  "superinst_tests.pdb"
+  "superinst_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superinst_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

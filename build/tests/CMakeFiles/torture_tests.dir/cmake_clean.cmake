@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torture_tests.dir/torture_tests.cpp.o"
+  "CMakeFiles/torture_tests.dir/torture_tests.cpp.o.d"
+  "torture_tests"
+  "torture_tests.pdb"
+  "torture_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torture_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

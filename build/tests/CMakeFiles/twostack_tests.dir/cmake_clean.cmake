@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostack_tests.dir/twostack_tests.cpp.o"
+  "CMakeFiles/twostack_tests.dir/twostack_tests.cpp.o.d"
+  "twostack_tests"
+  "twostack_tests.pdb"
+  "twostack_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostack_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

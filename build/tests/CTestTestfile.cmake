@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/vm_tests[1]_include.cmake")
+include("/root/repo/build/tests/forth_tests[1]_include.cmake")
+include("/root/repo/build/tests/engine_tests[1]_include.cmake")
+include("/root/repo/build/tests/cache_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_tests[1]_include.cmake")
+include("/root/repo/build/tests/staticcache_tests[1]_include.cmake")
+include("/root/repo/build/tests/optimal_tests[1]_include.cmake")
+include("/root/repo/build/tests/twostack_tests[1]_include.cmake")
+include("/root/repo/build/tests/edgecase_tests[1]_include.cmake")
+include("/root/repo/build/tests/reconcile_optimality_tests[1]_include.cmake")
+include("/root/repo/build/tests/prefetch_tests[1]_include.cmake")
+include("/root/repo/build/tests/torture_tests[1]_include.cmake")
+include("/root/repo/build/tests/superinst_tests[1]_include.cmake")
+add_test(fuzz_smoke "/root/repo/build/examples/fuzz_engines" "250" "42")
+set_tests_properties(fuzz_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;78;add_test;/root/repo/tests/CMakeLists.txt;0;")

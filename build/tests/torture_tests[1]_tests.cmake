@@ -1,0 +1,3 @@
+add_test([=[Torture.AllEnginesPassEveryAssertion]=]  /root/repo/build/tests/torture_tests [==[--gtest_filter=Torture.AllEnginesPassEveryAssertion]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Torture.AllEnginesPassEveryAssertion]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  torture_tests_TESTS Torture.AllEnginesPassEveryAssertion)
