@@ -22,6 +22,7 @@
 #include "staticcache/StaticSpec.h"
 #include "trace/Capture.h"
 #include "trace/Simulators.h"
+#include "vm/FaultDiag.h"
 
 #include <cstdio>
 #include <cstring>
@@ -115,9 +116,8 @@ int main(int Argc, char **Argv) {
 
   std::fputs(Machine.Out.c_str(), stdout);
   if (O.Status != RunStatus::Halted) {
-    std::fprintf(stderr, "forth_run: %s after %llu instructions\n",
-                 runStatusName(O.Status),
-                 static_cast<unsigned long long>(O.Steps));
+    std::fprintf(stderr, "forth_run: %s\n",
+                 describeFault(Sys.Prog, O, Ctx).c_str());
     return 1;
   }
   if (Ctx.DsDepth > 0) {

@@ -10,8 +10,12 @@
 /// (straight-line stack churn plus loops and conditionals) and requires
 /// all eight execution paths - four reference engines, the 3-state
 /// dynamic engine, the model interpreter with shadow checking, and the
-/// static engine under both code generators - to agree on status, stack,
-/// and output, with and without superinstruction fusion.
+/// static engine under both code generators - to agree on the full
+/// observable state: status, step count, both stacks, output, and the
+/// complete FaultInfo (trap PC, opcode, depths, offending address) via
+/// harness::compareObservations. Superinstruction fusion legitimately
+/// changes PCs and step counts, so the fused comparison checks only
+/// status, stack, and output.
 ///
 ///   fuzz_engines [iterations] [seed]
 ///
@@ -22,6 +26,7 @@
 #include "dynamic/Dynamic3Engine.h"
 #include "dynamic/ModelInterpreter.h"
 #include "forth/Forth.h"
+#include "harness/FaultInject.h"
 #include "staticcache/StaticEngine.h"
 #include "staticcache/StaticSpec.h"
 #include "superinst/Superinst.h"
@@ -181,17 +186,30 @@ int main(int Argc, char **Argv) {
     }
     uint32_t Entry = Sys.entryOf("main");
 
-    Observed Ref = observe(Sys, Sys.Prog, Entry, 0);
+    // Same-code engines: full fault-state equality through the harness
+    // comparator (static engines get their documented field masking).
+    harness::RunLimits Limits;
+    Limits.MaxSteps = FuzzStepBudget;
+    harness::EngineObservation HRef = harness::observeEngine(
+        Sys, Sys.Prog, Entry, harness::EngineId::Switch, Limits);
     for (int E = 1; E <= 7; ++E) {
-      Observed Got = observe(Sys, Sys.Prog, Entry, E);
-      if (!(Got == Ref)) {
-        std::printf("DIVERGENCE (%s vs switch):\n  %s\n  ref: %s\n  got: "
+      harness::EngineId Id = static_cast<harness::EngineId>(E);
+      harness::EngineObservation Got =
+          harness::observeEngine(Sys, Sys.Prog, Entry, Id, Limits);
+      std::string Diff = harness::compareObservations(HRef, Got, Id);
+      if (!Diff.empty()) {
+        std::printf("DIVERGENCE (%s vs switch): %s\n  %s\n  ref: %s\n  got: "
                     "%s\n",
-                    Names[E], Src.c_str(), describe(Ref).c_str(),
-                    describe(Got).c_str());
+                    harness::engineName(Id), Diff.c_str(), Src.c_str(),
+                    harness::describeObservation(HRef).c_str(),
+                    harness::describeObservation(Got).c_str());
         ++Divergences;
       }
     }
+    Observed Ref;
+    Ref.Status = HRef.Outcome.Status;
+    Ref.DS = HRef.DS;
+    Ref.Out = HRef.Out;
 
     // The superinstruction pass must preserve behaviour too.
     superinst::CombineResult C =

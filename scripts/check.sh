@@ -1,11 +1,31 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run all tests, run every benchmark.
 # Usage: scripts/check.sh [build-dir]
+#        scripts/check.sh --sanitize [build-dir]
+#
+# --sanitize builds with ASan+UBSan (SC_SANITIZE=address,undefined), runs
+# the test suite plus a fuzz pass, and skips the benchmarks (sanitized
+# timings are meaningless).
 set -euo pipefail
-BUILD="${1:-build}"
-cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD"
-ctest --test-dir "$BUILD" --output-on-failure
-for b in "$BUILD"/bench/*; do
-  [ -x "$b" ] && "$b"
-done
+
+SANITIZE=0
+if [ "${1:-}" = "--sanitize" ]; then
+  SANITIZE=1
+  shift
+fi
+
+if [ "$SANITIZE" = 1 ]; then
+  BUILD="${1:-build-san}"
+  cmake -B "$BUILD" -G Ninja -DSC_SANITIZE=address,undefined
+  cmake --build "$BUILD"
+  ctest --test-dir "$BUILD" --output-on-failure
+  "$BUILD"/examples/fuzz_engines 500 1
+else
+  BUILD="${1:-build}"
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD"
+  ctest --test-dir "$BUILD" --output-on-failure
+  for b in "$BUILD"/bench/*; do
+    [ -x "$b" ] && "$b"
+  done
+fi

@@ -37,12 +37,16 @@ struct GlobalRegs {
   Cell *RStack = nullptr;
   unsigned Dsp = 0;
   unsigned Rsp = 0;
+  unsigned DsCap = 0;
+  unsigned RsCap = 0;
   UCell CodeSize = 0;
   Vm *TheVm = nullptr;
   RunStatus St = RunStatus::Halted;
   bool Running = false;
   uint64_t Steps = 0;
   uint64_t StepsLeft = 0;
+  Cell FaultAddr = 0;
+  bool HasFaultAddr = false;
 };
 
 GlobalRegs G;
@@ -72,8 +76,14 @@ GlobalRegs G;
 #define SC_NEED(N)                                                             \
   if (G.Dsp < static_cast<unsigned>(N))                                        \
   SC_TRAP(StackUnderflow)
+#define SC_TRAP_MEM(A)                                                         \
+  {                                                                            \
+    G.FaultAddr = (A);                                                         \
+    G.HasFaultAddr = true;                                                     \
+    SC_TRAP(BadMemAccess);                                                     \
+  }
 #define SC_ROOM(N)                                                             \
-  if (G.Dsp + static_cast<unsigned>(N) > ExecContext::StackCells)              \
+  if (G.Dsp + static_cast<unsigned>(N) > G.DsCap)                              \
   SC_TRAP(StackOverflow)
 #define SC_PUSH(X) G.Stack[G.Dsp++] = (X)
 #define SC_POPV (G.Stack[--G.Dsp])
@@ -81,7 +91,7 @@ GlobalRegs G;
   if (G.Rsp < static_cast<unsigned>(N))                                        \
   SC_TRAP(RStackUnderflow)
 #define SC_RROOM(N)                                                            \
-  if (G.Rsp + static_cast<unsigned>(N) > ExecContext::StackCells)              \
+  if (G.Rsp + static_cast<unsigned>(N) > G.RsCap)                              \
   SC_TRAP(RStackOverflow)
 #define SC_RPUSH(X) G.RStack[G.Rsp++] = (X)
 #define SC_RPOPV (G.RStack[--G.Rsp])
@@ -110,6 +120,7 @@ GlobalRegs G;
 #undef SC_RPEEK
 #undef SC_VMREF
 #undef SC_RTRAFFIC
+#undef SC_TRAP_MEM
 
 using PrimFn = void (*)();
 
@@ -137,9 +148,14 @@ RunOutcome sc::dispatch::runCallThreadedEngine(ExecContext &Ctx,
     Threaded[2 * I + 1] = In.Operand;
   }
 
-  if (Ctx.RsDepth >= ExecContext::StackCells)
-    return {RunStatus::RStackOverflow, 0};
+  if (Ctx.RsDepth >= Ctx.RsCapacity)
+    return makeFault(RunStatus::RStackOverflow, 0, Entry,
+                     Prog.Insts[Entry].Op, Ctx.DsDepth, Ctx.RsDepth);
 
+  // The registers are static storage (the technique's defining cost), so a
+  // faulted or aborted previous run could leave stale values behind; reset
+  // the whole block before seeding it for this run.
+  G = GlobalRegs();
   G.Base = Threaded.data();
   G.Ip = G.Base + 2 * Entry;
   G.W = G.Ip;
@@ -147,6 +163,8 @@ RunOutcome sc::dispatch::runCallThreadedEngine(ExecContext &Ctx,
   G.RStack = Ctx.RS.data();
   G.Dsp = Ctx.DsDepth;
   G.Rsp = Ctx.RsDepth;
+  G.DsCap = Ctx.DsCapacity;
+  G.RsCap = Ctx.RsCapacity;
   G.CodeSize = CodeSize;
   G.TheVm = Ctx.Machine;
   G.St = RunStatus::Halted;
@@ -169,5 +187,15 @@ RunOutcome sc::dispatch::runCallThreadedEngine(ExecContext &Ctx,
 
   Ctx.DsDepth = G.Dsp;
   Ctx.RsDepth = G.Rsp;
-  return {G.St, G.Steps};
+  Ctx.noteHighWater();
+  if (G.St == RunStatus::Halted)
+    return {G.St, G.Steps};
+  // G.W still addresses the instruction whose primitive trapped; StepLimit
+  // is raised in the loop before G.W is updated, so G.Ip is the resume
+  // point.
+  const uint32_t FaultPc = static_cast<uint32_t>(
+      (G.St == RunStatus::StepLimit ? G.Ip - G.Base : G.W - G.Base) / 2);
+  return makeFault(G.St, G.Steps, FaultPc,
+                   FaultPc < CodeSize ? Prog.Insts[FaultPc].Op : Opcode::Halt,
+                   G.Dsp, G.Rsp, G.FaultAddr, G.HasFaultAddr);
 }

@@ -44,20 +44,26 @@ vm::RunOutcome runSwitchImpl(vm::ExecContext &Ctx, uint32_t Entry,
   Vm &TheVm = *Ctx.Machine;
   Cell *Stack = Ctx.DS.data();
   Cell *RStack = Ctx.RS.data();
+  const unsigned DsCap = Ctx.DsCapacity;
+  const unsigned RsCap = Ctx.RsCapacity;
   unsigned Dsp = Ctx.DsDepth;
   unsigned Rsp = Ctx.RsDepth;
   uint64_t StepsLeft = Ctx.MaxSteps;
   uint64_t Steps = 0;
   RunStatus St = RunStatus::Halted;
   uint32_t Ip = Entry;
+  uint32_t CurIp = Entry; // instruction being executed (Ip is the next)
+  Cell FaultAddr = 0;
+  bool HasFaultAddr = false;
 
   SC_ASSERT(Entry < CodeSize, "entry out of range");
   // Seed the return stack so the entry word's Exit lands on the Halt at
   // instruction 0.
-  if (Rsp >= ExecContext::StackCells) {
+  if (Rsp >= RsCap) {
     Ctx.DsDepth = Dsp;
     Ctx.RsDepth = Rsp;
-    return {RunStatus::RStackOverflow, 0};
+    return makeFault(RunStatus::RStackOverflow, 0, Entry, Insts[Entry].Op,
+                     Dsp, Rsp);
   }
   RStack[Rsp++] = 0;
 
@@ -81,11 +87,17 @@ vm::RunOutcome runSwitchImpl(vm::ExecContext &Ctx, uint32_t Entry,
     St = RunStatus::Halted;                                                    \
     goto Done;                                                                 \
   }
+#define SC_TRAP_MEM(A)                                                         \
+  {                                                                            \
+    FaultAddr = (A);                                                           \
+    HasFaultAddr = true;                                                       \
+    SC_TRAP(BadMemAccess);                                                     \
+  }
 #define SC_NEED(N)                                                             \
   if (Dsp < static_cast<unsigned>(N))                                          \
   SC_TRAP(StackUnderflow)
 #define SC_ROOM(N)                                                             \
-  if (Dsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  if (Dsp + static_cast<unsigned>(N) > DsCap)                                  \
   SC_TRAP(StackOverflow)
 #define SC_PUSH(X) Stack[Dsp++] = (X)
 #define SC_POPV (Stack[--Dsp])
@@ -93,7 +105,7 @@ vm::RunOutcome runSwitchImpl(vm::ExecContext &Ctx, uint32_t Entry,
   if (Rsp < static_cast<unsigned>(N))                                          \
   SC_TRAP(RStackUnderflow)
 #define SC_RROOM(N)                                                            \
-  if (Rsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  if (Rsp + static_cast<unsigned>(N) > RsCap)                                  \
   SC_TRAP(RStackOverflow)
 #define SC_RPUSH(X) RStack[Rsp++] = (X)
 #define SC_RPOPV (RStack[--Rsp])
@@ -107,6 +119,7 @@ vm::RunOutcome runSwitchImpl(vm::ExecContext &Ctx, uint32_t Entry,
       goto Done;
     }
     --StepsLeft;
+    CurIp = Ip;
     const Inst &In = Insts[Ip];
     Tr.onInst(Ip, In.Op);
     ++Steps;
@@ -136,10 +149,19 @@ Done:
 #undef SC_RPEEK
 #undef SC_VMREF
 #undef SC_RTRAFFIC
+#undef SC_TRAP_MEM
 
   Ctx.DsDepth = Dsp;
   Ctx.RsDepth = Rsp;
-  return {St, Steps};
+  Ctx.noteHighWater();
+  if (St == RunStatus::Halted)
+    return {St, Steps};
+  // Body traps report the faulting instruction (CurIp); StepLimit fires
+  // at dispatch, before executing, so it reports the resume point (Ip).
+  const uint32_t FaultPc = St == RunStatus::StepLimit ? Ip : CurIp;
+  return makeFault(St, Steps, FaultPc,
+                   FaultPc < CodeSize ? Insts[FaultPc].Op : Opcode::Halt, Dsp,
+                   Rsp, FaultAddr, HasFaultAddr);
 }
 
 } // namespace sc::dispatch

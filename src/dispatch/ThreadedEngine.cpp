@@ -53,16 +53,21 @@ vm::RunOutcome sc::dispatch::runThreadedEngine(ExecContext &Ctx,
   const Cell *W = Ip; // current instruction (operand at W[1])
   Cell *Stack = Ctx.DS.data();
   Cell *RStack = Ctx.RS.data();
+  const unsigned DsCap = Ctx.DsCapacity;
+  const unsigned RsCap = Ctx.RsCapacity;
   unsigned Dsp = Ctx.DsDepth;
   unsigned Rsp = Ctx.RsDepth;
   uint64_t StepsLeft = Ctx.MaxSteps;
   uint64_t Steps = 0;
   RunStatus St = RunStatus::Halted;
+  Cell FaultAddr = 0;
+  bool HasFaultAddr = false;
 
-  if (Rsp >= ExecContext::StackCells) {
+  if (Rsp >= RsCap) {
     Ctx.DsDepth = Dsp;
     Ctx.RsDepth = Rsp;
-    return {RunStatus::RStackOverflow, 0};
+    return makeFault(RunStatus::RStackOverflow, 0, Entry,
+                     Prog.Insts[Entry].Op, Dsp, Rsp);
   }
   RStack[Rsp++] = 0;
 
@@ -99,11 +104,17 @@ vm::RunOutcome sc::dispatch::runThreadedEngine(ExecContext &Ctx,
     St = RunStatus::Halted;                                                    \
     goto Done;                                                                 \
   }
+#define SC_TRAP_MEM(A)                                                         \
+  {                                                                            \
+    FaultAddr = (A);                                                           \
+    HasFaultAddr = true;                                                       \
+    SC_TRAP(BadMemAccess);                                                     \
+  }
 #define SC_NEED(N)                                                             \
   if (Dsp < static_cast<unsigned>(N))                                          \
   SC_TRAP(StackUnderflow)
 #define SC_ROOM(N)                                                             \
-  if (Dsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  if (Dsp + static_cast<unsigned>(N) > DsCap)                                  \
   SC_TRAP(StackOverflow)
 #define SC_PUSH(X) Stack[Dsp++] = (X)
 #define SC_POPV (Stack[--Dsp])
@@ -111,7 +122,7 @@ vm::RunOutcome sc::dispatch::runThreadedEngine(ExecContext &Ctx,
   if (Rsp < static_cast<unsigned>(N))                                          \
   SC_TRAP(RStackUnderflow)
 #define SC_RROOM(N)                                                            \
-  if (Rsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  if (Rsp + static_cast<unsigned>(N) > RsCap)                                  \
   SC_TRAP(RStackOverflow)
 #define SC_RPUSH(X) RStack[Rsp++] = (X)
 #define SC_RPOPV (RStack[--Rsp])
@@ -144,8 +155,18 @@ Done:
 #undef SC_RPEEK
 #undef SC_VMREF
 #undef SC_RTRAFFIC
+#undef SC_TRAP_MEM
 
   Ctx.DsDepth = Dsp;
   Ctx.RsDepth = Rsp;
-  return {St, Steps};
+  Ctx.noteHighWater();
+  if (St == RunStatus::Halted)
+    return {St, Steps};
+  // W still addresses the instruction whose body trapped; on StepLimit
+  // the dispatch bailed out before updating W, so Ip is the resume point.
+  const uint32_t FaultPc = static_cast<uint32_t>(
+      (St == RunStatus::StepLimit ? Ip - Base : W - Base) / 2);
+  return makeFault(St, Steps, FaultPc,
+                   FaultPc < CodeSize ? Prog.Insts[FaultPc].Op : Opcode::Halt,
+                   Dsp, Rsp, FaultAddr, HasFaultAddr);
 }

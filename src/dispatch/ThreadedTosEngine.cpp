@@ -55,13 +55,17 @@ vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
   const Cell *Ip = Base + 2 * Entry;
   const Cell *W = Ip;
   Cell *RStack = Ctx.RS.data();
+  const unsigned DsCap = Ctx.DsCapacity;
+  const unsigned RsCap = Ctx.RsCapacity;
   unsigned Rsp = Ctx.RsDepth;
   uint64_t StepsLeft = Ctx.MaxSteps;
   uint64_t Steps = 0;
   RunStatus St = RunStatus::Halted;
+  Cell FaultAddr = 0;
+  bool HasFaultAddr = false;
 
   // TOS-cached data stack (see file comment for the layout).
-  std::vector<Cell> Buf(ExecContext::StackCells + 1, 0);
+  std::vector<Cell> Buf(DsCap + 1 + ExecContext::StackSlackCells, 0);
   Cell *StackBase = Buf.data();
   Cell *Sp = StackBase + Ctx.DsDepth;
   Cell Tos = 0;
@@ -74,8 +78,9 @@ vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
       Tos = Ctx.DS[D - 1];
   }
 
-  if (Rsp >= ExecContext::StackCells) {
-    return {RunStatus::RStackOverflow, 0};
+  if (Rsp >= RsCap) {
+    return makeFault(RunStatus::RStackOverflow, 0, Entry,
+                     Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
   }
   RStack[Rsp++] = 0;
 
@@ -112,12 +117,18 @@ vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
     St = RunStatus::Halted;                                                    \
     goto Done;                                                                 \
   }
+#define SC_TRAP_MEM(A)                                                         \
+  {                                                                            \
+    FaultAddr = (A);                                                           \
+    HasFaultAddr = true;                                                       \
+    SC_TRAP(BadMemAccess);                                                     \
+  }
 #define SC_NEED(N)                                                             \
   if (Sp - StackBase < static_cast<ptrdiff_t>(N))                              \
   SC_TRAP(StackUnderflow)
 #define SC_ROOM(N)                                                             \
   if (Sp - StackBase + static_cast<ptrdiff_t>(N) >                             \
-      static_cast<ptrdiff_t>(ExecContext::StackCells))                         \
+      static_cast<ptrdiff_t>(DsCap))                                           \
   SC_TRAP(StackOverflow)
 #define SC_PUSH(X)                                                             \
   {                                                                            \
@@ -129,7 +140,7 @@ vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
   if (Rsp < static_cast<unsigned>(N))                                          \
   SC_TRAP(RStackUnderflow)
 #define SC_RROOM(N)                                                            \
-  if (Rsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  if (Rsp + static_cast<unsigned>(N) > RsCap)                                  \
   SC_TRAP(RStackOverflow)
 #define SC_RPUSH(X) RStack[Rsp++] = (X)
 #define SC_RPOPV (RStack[--Rsp])
@@ -162,6 +173,7 @@ Done:
 #undef SC_RPEEK
 #undef SC_VMREF
 #undef SC_RTRAFFIC
+#undef SC_TRAP_MEM
 
   {
     unsigned D = static_cast<unsigned>(Sp - StackBase);
@@ -172,5 +184,14 @@ Done:
     Ctx.DsDepth = D;
   }
   Ctx.RsDepth = Rsp;
-  return {St, Steps};
+  Ctx.noteHighWater();
+  if (St == RunStatus::Halted)
+    return {St, Steps};
+  // W still addresses the trapping instruction; StepLimit bails out of the
+  // dispatch before updating W, so Ip is the resume point.
+  const uint32_t FaultPc = static_cast<uint32_t>(
+      (St == RunStatus::StepLimit ? Ip - Base : W - Base) / 2);
+  return makeFault(St, Steps, FaultPc,
+                   FaultPc < CodeSize ? Prog.Insts[FaultPc].Op : Opcode::Halt,
+                   Ctx.DsDepth, Rsp, FaultAddr, HasFaultAddr);
 }

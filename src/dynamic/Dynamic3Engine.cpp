@@ -124,15 +124,20 @@ vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
   Cell *RStack = Ctx.RS.data();
   unsigned Dsp = Ctx.DsDepth; // memory part of the data stack
   unsigned Rsp = Ctx.RsDepth;
+  const unsigned DsCap = Ctx.DsCapacity;
+  const unsigned RsCap = Ctx.RsCapacity;
   Cell R0 = 0, R1 = 0;   // the stack cache registers
   unsigned ExitState = 0; // cache state at trap time, for write-back
   uint64_t StepsLeft = Ctx.MaxSteps;
   uint64_t Steps = 0;
   RunStatus St = RunStatus::Halted;
   Cell PopTmp = 0;
+  Cell FaultAddr = 0;
+  bool HasFaultAddr = false;
 
-  if (Rsp >= ExecContext::StackCells) {
-    return {RunStatus::RStackOverflow, 0};
+  if (Rsp >= RsCap) {
+    return makeFault(RunStatus::RStackOverflow, 0, Entry,
+                     Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
   }
   RStack[Rsp++] = 0;
 
@@ -173,19 +178,25 @@ vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
     St = RunStatus::Status;                                                    \
     goto Done;                                                                 \
   }
+#define TRAPMEM(State, A)                                                      \
+  {                                                                            \
+    FaultAddr = (A);                                                           \
+    HasFaultAddr = true;                                                       \
+    TRAPS(State, BadMemAccess);                                                \
+  }
   // Depth checks: NEEDMEMk(State, n) requires n items in the memory part
   // (the cached items of the state are implicitly present).
 #define NEEDMEM(State, N)                                                      \
   if (Dsp < static_cast<unsigned>(N))                                          \
   TRAPS(State, StackUnderflow)
 #define ROOMK(State, CachedK, N)                                               \
-  if (Dsp + (CachedK) + static_cast<unsigned>(N) > ExecContext::StackCells)    \
+  if (Dsp + (CachedK) + static_cast<unsigned>(N) > DsCap)                      \
   TRAPS(State, StackOverflow)
 #define RNEEDK(State, N)                                                       \
   if (Rsp < static_cast<unsigned>(N))                                          \
   TRAPS(State, RStackUnderflow)
 #define RROOMK(State, N)                                                       \
-  if (Rsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  if (Rsp + static_cast<unsigned>(N) > RsCap)                                  \
   TRAPS(State, RStackOverflow)
 #define JUMP0(T)                                                               \
   {                                                                            \
@@ -389,19 +400,19 @@ S0_Fetch : {
   NEEDMEM(0, 1);
   Cell Addr = Stack[--Dsp];
   if (!TheVm.validRange(Addr, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   R0 = TheVm.loadCell(Addr);
   NEXT1;
 }
 S1_Fetch:
   // On a bad address the reference engine has already consumed it.
   if (!TheVm.validRange(R0, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   R0 = TheVm.loadCell(R0);
   NEXT1;
 S2_Fetch:
   if (!TheVm.validRange(R1, CellBytes))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, R1);
   R1 = TheVm.loadCell(R1);
   NEXT2;
 
@@ -410,7 +421,7 @@ S0_Store : {
   Cell Addr = Stack[--Dsp];
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(Addr, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   TheVm.storeCell(Addr, V);
   NEXT0;
 }
@@ -418,13 +429,13 @@ S1_Store : {
   NEEDMEM(1, 1);
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(R0, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   TheVm.storeCell(R0, V);
   NEXT0;
 }
 S2_Store:
   if (!TheVm.validRange(R1, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R1);
   TheVm.storeCell(R1, R0);
   NEXT0;
 
@@ -432,18 +443,18 @@ S0_CFetch : {
   NEEDMEM(0, 1);
   Cell Addr = Stack[--Dsp];
   if (!TheVm.validRange(Addr, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   R0 = TheVm.loadByte(Addr);
   NEXT1;
 }
 S1_CFetch:
   if (!TheVm.validRange(R0, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   R0 = TheVm.loadByte(R0);
   NEXT1;
 S2_CFetch:
   if (!TheVm.validRange(R1, 1))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, R1);
   R1 = TheVm.loadByte(R1);
   NEXT2;
 
@@ -452,7 +463,7 @@ S0_CStore : {
   Cell Addr = Stack[--Dsp];
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(Addr, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   TheVm.storeByte(Addr, V);
   NEXT0;
 }
@@ -460,13 +471,13 @@ S1_CStore : {
   NEEDMEM(1, 1);
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(R0, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   TheVm.storeByte(R0, V);
   NEXT0;
 }
 S2_CStore:
   if (!TheVm.validRange(R1, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R1);
   TheVm.storeByte(R1, R0);
   NEXT0;
 
@@ -661,19 +672,19 @@ S2_LoopBr:
 S0_LitFetch:
   ROOMK(0, 0, 1);
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, W[1]);
   R0 = TheVm.loadCell(W[1]);
   NEXT1;
 S1_LitFetch:
   ROOMK(1, 1, 1);
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, W[1]);
   R1 = TheVm.loadCell(W[1]);
   NEXT2;
 S2_LitFetch:
   ROOMK(2, 2, 1);
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(2, BadMemAccess);
+    TRAPMEM(2, W[1]);
   Stack[Dsp++] = R0;
   R0 = R1;
   R1 = TheVm.loadCell(W[1]);
@@ -686,18 +697,18 @@ S0_LitStore : {
   }
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, W[1]);
   TheVm.storeCell(W[1], V);
   NEXT0;
 }
 S1_LitStore:
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, W[1]);
   TheVm.storeCell(W[1], R0);
   NEXT0;
 S2_LitStore:
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, W[1]);
   TheVm.storeCell(W[1], R1);
   NEXT1;
 
@@ -710,6 +721,7 @@ S2_LitStore:
 #define SC_JUMP(T) JUMP0(T)
 #define SC_CODE_SIZE CodeSize
 #define SC_TRAP(S) TRAPS(0, S)
+#define SC_TRAP_MEM(A) TRAPMEM(0, A)
 #define SC_HALT TRAPS(0, Halted)
 #define SC_NEED(N) NEEDMEM(0, N)
 #define SC_ROOM(N) ROOMK(0, 0, N)
@@ -744,6 +756,7 @@ S2_LitStore:
 #undef SC_RPEEK
 #undef SC_VMREF
 #undef SC_RTRAFFIC
+#undef SC_TRAP_MEM
 
 Done:
 #undef STEP_GUARD
@@ -758,6 +771,7 @@ Done:
 #undef JUMP0
 #undef JUMP1
 #undef JUMP2
+#undef TRAPMEM
   (void)PopTmp;
   // Write the cached items back to the flat stack.
   if (ExitState >= 1)
@@ -766,5 +780,15 @@ Done:
     Stack[Dsp++] = R1;
   Ctx.DsDepth = Dsp;
   Ctx.RsDepth = Rsp;
-  return {St, Steps};
+  Ctx.noteHighWater();
+  if (St == RunStatus::Halted)
+    return {St, Steps};
+  // The fault depths are the post-flush (logical) depths, matching the
+  // reference engines. W still addresses the trapping instruction; the
+  // step guard fires before W is updated, so Ip is the resume point.
+  const uint32_t FaultPc = static_cast<uint32_t>(
+      (St == RunStatus::StepLimit ? Ip - Base : W - Base) / 2);
+  return makeFault(St, Steps, FaultPc,
+                   FaultPc < CodeSize ? Prog.Insts[FaultPc].Op : Opcode::Halt,
+                   Dsp, Rsp, FaultAddr, HasFaultAddr);
 }

@@ -140,28 +140,42 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
     Shadow.assign(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
 
   Cell *RStack = Ctx.RS.data();
+  const unsigned DsCap = Ctx.DsCapacity;
+  const unsigned RsCap = Ctx.RsCapacity;
   unsigned Rsp = Ctx.RsDepth;
   uint64_t StepsLeft = Ctx.MaxSteps;
   uint64_t Steps = 0;
   RunStatus St = RunStatus::Halted;
   uint32_t Ip = Entry;
+  Cell FaultAddr = 0;
+  bool HasFaultAddr = false;
 
   ModelOutcome Result;
-  if (Rsp >= ExecContext::StackCells) {
-    Result.Outcome = {RunStatus::RStackOverflow, 0};
+  if (Rsp >= RsCap) {
+    Result.Outcome = makeFault(RunStatus::RStackOverflow, 0, Entry,
+                               Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
     return Result;
   }
   RStack[Rsp++] = 0;
 
   auto SyncOut = [&](RunStatus Status) {
     std::vector<Cell> Flat = Cache.flatten();
-    SC_ASSERT(Flat.size() <= ExecContext::StackCells, "stack overflow");
+    SC_ASSERT(Flat.size() <= DsCap, "stack overflow");
     for (size_t I = 0; I < Flat.size(); ++I)
       Ctx.DS[I] = Flat[I];
     Ctx.DsDepth = static_cast<unsigned>(Flat.size());
     Ctx.RsDepth = Rsp;
+    Ctx.noteHighWater();
     Result.Outcome = {Status, Steps};
     Result.Costs = Cache.counts();
+    if (Status != RunStatus::Halted) {
+      // Ip still indexes the trapping instruction (it advances at the
+      // loop bottom); on StepLimit it is the resume point. Either way
+      // the faulting PC is Ip.
+      Result.Outcome.Fault =
+          FaultInfo{Ip, Ip < CodeSize ? Insts[Ip].Op : Opcode::Halt,
+                    Ctx.DsDepth, Rsp, FaultAddr, HasFaultAddr};
+    }
   };
 
 #define MODEL_TRAP(S)                                                          \
@@ -169,17 +183,38 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
     St = RunStatus::S;                                                         \
     goto Done;                                                                 \
   }
+#define MODEL_TRAP_MEM(A)                                                      \
+  {                                                                            \
+    FaultAddr = (A);                                                           \
+    HasFaultAddr = true;                                                       \
+    MODEL_TRAP(BadMemAccess);                                                  \
+  }
+  // Consumes the current instruction's inputs and traps: the canonical
+  // trap states (InstBodies.inc) pop operands before faulting, so the
+  // model must too or its trap-time stack would diverge observably.
+#define MODEL_TRAP_CONSUMED(S, X)                                              \
+  {                                                                            \
+    Cache.commit(nullptr, 0);                                                  \
+    ShadowApply(X, nullptr, 0);                                                \
+    MODEL_TRAP(S);                                                             \
+  }
+#define MODEL_TRAP_MEM_CONSUMED(A, X)                                          \
+  {                                                                            \
+    FaultAddr = (A);                                                           \
+    HasFaultAddr = true;                                                       \
+    MODEL_TRAP_CONSUMED(BadMemAccess, X);                                      \
+  }
 #define NEED(X)                                                                \
   if (!Cache.begin(X))                                                         \
   MODEL_TRAP(StackUnderflow)
 #define ROOM(X)                                                                \
-  if (Cache.totalDepth() + (X) > ExecContext::StackCells)                      \
+  if (Cache.totalDepth() + (X) > DsCap)                                        \
   MODEL_TRAP(StackOverflow)
 #define RNEED(X)                                                               \
   if (Rsp < static_cast<unsigned>(X))                                          \
   MODEL_TRAP(RStackUnderflow)
 #define RROOM(X)                                                               \
-  if (Rsp + static_cast<unsigned>(X) > ExecContext::StackCells)                \
+  if (Rsp + static_cast<unsigned>(X) > RsCap)                                  \
   MODEL_TRAP(RStackOverflow)
 
   for (;;) {
@@ -256,7 +291,7 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
       Cell B = Cache.in(0);
       Cell A = Cache.in(1);
       if (B == 0)
-        MODEL_TRAP(DivByZero);
+        MODEL_TRAP_CONSUMED(DivByZero, 2);
       Out[0] = In.Op == Opcode::Div ? arithDiv(A, B) : arithMod(A, B);
       Cache.commit(Out, 1);
       ShadowApply(2, Out, 1);
@@ -364,7 +399,7 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
       NEED(1);
       Cell Addr = Cache.in(0);
       if (!TheVm.validRange(Addr, CellBytes))
-        MODEL_TRAP(BadMemAccess);
+        MODEL_TRAP_MEM_CONSUMED(Addr, 1);
       Out[0] = TheVm.loadCell(Addr);
       Cache.commit(Out, 1);
       ShadowApply(1, Out, 1);
@@ -375,7 +410,7 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
       Cell Addr = Cache.in(0);
       Cell V = Cache.in(1);
       if (!TheVm.validRange(Addr, CellBytes))
-        MODEL_TRAP(BadMemAccess);
+        MODEL_TRAP_MEM_CONSUMED(Addr, 2);
       TheVm.storeCell(Addr, V);
       Cache.commit(nullptr, 0);
       ShadowApply(2, nullptr, 0);
@@ -385,7 +420,7 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
       NEED(1);
       Cell Addr = Cache.in(0);
       if (!TheVm.validRange(Addr, 1))
-        MODEL_TRAP(BadMemAccess);
+        MODEL_TRAP_MEM_CONSUMED(Addr, 1);
       Out[0] = TheVm.loadByte(Addr);
       Cache.commit(Out, 1);
       ShadowApply(1, Out, 1);
@@ -396,7 +431,7 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
       Cell Addr = Cache.in(0);
       Cell V = Cache.in(1);
       if (!TheVm.validRange(Addr, 1))
-        MODEL_TRAP(BadMemAccess);
+        MODEL_TRAP_MEM_CONSUMED(Addr, 2);
       TheVm.storeByte(Addr, V);
       Cache.commit(nullptr, 0);
       ShadowApply(2, nullptr, 0);
@@ -407,7 +442,7 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
       Cell Addr = Cache.in(0);
       Cell V = Cache.in(1);
       if (!TheVm.validRange(Addr, CellBytes))
-        MODEL_TRAP(BadMemAccess);
+        MODEL_TRAP_MEM_CONSUMED(Addr, 2);
       TheVm.storeCell(Addr,
                       static_cast<Cell>(
                           static_cast<UCell>(TheVm.loadCell(Addr)) +
@@ -573,7 +608,7 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
       Cell Len = Cache.in(0);
       Cell Addr = Cache.in(1);
       if (Len < 0 || !TheVm.validRange(Addr, Len))
-        MODEL_TRAP(BadMemAccess);
+        MODEL_TRAP_MEM_CONSUMED(Addr, 2);
       TheVm.typeRange(Addr, Len);
       Cache.commit(nullptr, 0);
       ShadowApply(2, nullptr, 0);
@@ -612,7 +647,7 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
       ROOM(1);
       NEED(0);
       if (!TheVm.validRange(In.Operand, CellBytes))
-        MODEL_TRAP(BadMemAccess);
+        MODEL_TRAP_MEM(In.Operand);
       Out[0] = TheVm.loadCell(In.Operand);
       Cache.commit(Out, 1);
       ShadowApply(0, Out, 1);
@@ -628,7 +663,7 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
       }
       NEED(1);
       if (!TheVm.validRange(In.Operand, CellBytes))
-        MODEL_TRAP(BadMemAccess);
+        MODEL_TRAP_MEM_CONSUMED(In.Operand, 1);
       TheVm.storeCell(In.Operand, Cache.in(0));
       Cache.commit(nullptr, 0);
       ShadowApply(1, nullptr, 0);
@@ -646,6 +681,9 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
 
 Done:
 #undef MODEL_TRAP
+#undef MODEL_TRAP_MEM
+#undef MODEL_TRAP_CONSUMED
+#undef MODEL_TRAP_MEM_CONSUMED
 #undef NEED
 #undef ROOM
 #undef RNEED

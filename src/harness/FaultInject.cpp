@@ -1,0 +1,374 @@
+//===-- harness/FaultInject.cpp - Systematic fault injection --------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FaultInject.h"
+
+#include "dispatch/Engines.h"
+#include "dynamic/Dynamic3Engine.h"
+#include "dynamic/ModelInterpreter.h"
+#include "staticcache/StaticEngine.h"
+#include "staticcache/StaticSpec.h"
+#include "support/Assert.h"
+#include "support/Rng.h"
+#include "vm/FaultDiag.h"
+
+using namespace sc;
+using namespace sc::harness;
+using namespace sc::vm;
+
+const char *sc::harness::engineName(EngineId E) {
+  switch (E) {
+  case EngineId::Switch:
+    return "switch";
+  case EngineId::Threaded:
+    return "threaded";
+  case EngineId::CallThreaded:
+    return "call-threaded";
+  case EngineId::ThreadedTos:
+    return "threaded-tos";
+  case EngineId::Dynamic3:
+    return "dynamic3";
+  case EngineId::Model:
+    return "model";
+  case EngineId::StaticGreedy:
+    return "static-greedy";
+  case EngineId::StaticOptimal:
+    return "static-optimal";
+  }
+  sc::unreachable("bad engine id");
+}
+
+EngineObservation sc::harness::observeEngine(const forth::System &Sys,
+                                             const Code &Prog, uint32_t Entry,
+                                             EngineId E,
+                                             const RunLimits &Limits) {
+  Vm Copy = Sys.Machine;
+  Copy.resetOutput();
+  Copy.setAccessibleLimit(Limits.DataSpaceLimit);
+  ExecContext Ctx(Prog, Copy);
+  Ctx.MaxSteps = Limits.MaxSteps;
+  Ctx.setStackCapacities(Limits.DsCapacity, Limits.RsCapacity);
+
+  RunOutcome O;
+  switch (E) {
+  case EngineId::Switch:
+    O = dispatch::runSwitchEngine(Ctx, Entry);
+    break;
+  case EngineId::Threaded:
+    O = dispatch::runThreadedEngine(Ctx, Entry);
+    break;
+  case EngineId::CallThreaded:
+    O = dispatch::runCallThreadedEngine(Ctx, Entry);
+    break;
+  case EngineId::ThreadedTos:
+    O = dispatch::runThreadedTosEngine(Ctx, Entry);
+    break;
+  case EngineId::Dynamic3:
+    O = dynamic::runDynamic3Engine(Ctx, Entry);
+    break;
+  case EngineId::Model: {
+    dynamic::ModelConfig Cfg;
+    Cfg.Policy = {3, 2};
+    Cfg.VerifyShadow = true;
+    O = dynamic::runModelInterpreter(Ctx, Entry, Cfg).Outcome;
+    break;
+  }
+  case EngineId::StaticGreedy: {
+    staticcache::SpecProgram SP = staticcache::compileStatic(Prog);
+    O = staticcache::runStaticEngine(SP, Ctx, Entry);
+    break;
+  }
+  case EngineId::StaticOptimal: {
+    staticcache::StaticOptions Opts;
+    Opts.TwoPassOptimal = true;
+    staticcache::SpecProgram SP = staticcache::compileStatic(Prog, Opts);
+    O = staticcache::runStaticEngine(SP, Ctx, Entry);
+    break;
+  }
+  }
+
+  EngineObservation Obs;
+  Obs.Outcome = O;
+  Obs.DS.assign(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
+  Obs.RS.assign(Ctx.RS.begin(), Ctx.RS.begin() + Ctx.RsDepth);
+  Obs.Out = Copy.Out;
+  Obs.DsHighWater = Ctx.DsHighWater;
+  Obs.RsHighWater = Ctx.RsHighWater;
+  return Obs;
+}
+
+std::string sc::harness::describeObservation(const EngineObservation &O) {
+  std::string S = runStatusName(O.Outcome.Status);
+  S += " steps=";
+  S += std::to_string(O.Outcome.Steps);
+  if (O.Outcome.Status != RunStatus::Halted) {
+    S += " {";
+    S += faultSummary(O.Outcome);
+    S += '}';
+  }
+  S += " ds=[";
+  for (Cell V : O.DS) {
+    S += std::to_string(V);
+    S += ' ';
+  }
+  S += "] rs-depth=";
+  S += std::to_string(O.RS.size());
+  S += " out=\"";
+  S += O.Out;
+  S += '"';
+  return S;
+}
+
+std::string sc::harness::compareObservations(const EngineObservation &Ref,
+                                             const EngineObservation &Got,
+                                             EngineId GotId) {
+  const bool Masked = isStaticEngine(GotId);
+  auto Fail = [&](const char *What) {
+    std::string S(engineName(GotId));
+    S += " diverges in ";
+    S += What;
+    S += "\n  ref: ";
+    S += describeObservation(Ref);
+    S += "\n  got: ";
+    S += describeObservation(Got);
+    return S;
+  };
+
+  if (Got.Outcome.Status != Ref.Outcome.Status)
+    return Fail("status");
+  // A statically cached run stops at a different logical point when the
+  // step budget expires (micros and removed manips change the count), so
+  // only the status is comparable.
+  if (Masked && Ref.Outcome.Status == RunStatus::StepLimit)
+    return {};
+  if (!Masked && Got.Outcome.Steps != Ref.Outcome.Steps)
+    return Fail("step count");
+  if (Got.DS != Ref.DS)
+    return Fail("data stack");
+  if (Got.Out != Ref.Out)
+    return Fail("output");
+  if (Got.RS.size() != Ref.RS.size())
+    return Fail("return stack depth");
+  // Static return stacks hold specialized return addresses mid-call.
+  if (!Masked && Got.RS != Ref.RS)
+    return Fail("return stack");
+  if (Ref.Outcome.Status == RunStatus::Halted)
+    return {};
+  if (Got.Outcome.Fault != Ref.Outcome.Fault)
+    return Fail("fault info");
+  return {};
+}
+
+namespace {
+
+/// Runs \p Word under every selected engine and folds comparator failures
+/// into \p R, labelling them with \p Where.
+void compareAcross(const forth::System &Sys, const Code &Prog, uint32_t Entry,
+                   const RunLimits &Limits, bool IncludeStatic,
+                   const std::string &Where, InjectReport &R) {
+  EngineObservation Ref =
+      observeEngine(Sys, Prog, Entry, EngineId::Switch, Limits);
+  ++R.Points;
+  if (Ref.Outcome.Status != RunStatus::Halted)
+    ++R.Faults;
+  for (unsigned E = 1; E < NumEngines; ++E) {
+    EngineId Id = static_cast<EngineId>(E);
+    if (isStaticEngine(Id) && !IncludeStatic)
+      continue;
+    std::string D =
+        compareObservations(Ref, observeEngine(Sys, Prog, Entry, Id, Limits),
+                            Id);
+    if (!D.empty()) {
+      ++R.Mismatches;
+      if (R.FirstDivergence.empty())
+        R.FirstDivergence = Where + ": " + D;
+    }
+  }
+}
+
+/// Smallest value in [Lo, Hi] for which \p Keeps holds, assuming
+/// monotonicity (Keeps(Hi) must hold). Used for capacity/limit bisection.
+template <typename Pred>
+uint64_t bisectSmallest(uint64_t Lo, uint64_t Hi, Pred Keeps) {
+  while (Lo < Hi) {
+    uint64_t Mid = Lo + (Hi - Lo) / 2;
+    if (Keeps(Mid))
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  return Lo;
+}
+
+bool sameResult(const EngineObservation &A, const EngineObservation &B) {
+  return A.Outcome.Status == B.Outcome.Status &&
+         A.Outcome.Steps == B.Outcome.Steps && A.DS == B.DS && A.Out == B.Out;
+}
+
+} // namespace
+
+InjectReport sc::harness::sweepStepLimit(const forth::System &Sys,
+                                         const std::string &Word,
+                                         const RunLimits &Limits) {
+  InjectReport R;
+  const uint32_t Entry = Sys.entryOf(Word);
+  EngineObservation Full =
+      observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, Limits);
+  const uint64_t Total = Full.Outcome.Steps;
+  for (uint64_t M = 0; M <= Total; ++M) {
+    RunLimits L = Limits;
+    L.MaxSteps = M;
+    compareAcross(Sys, Sys.Prog, Entry, L, /*IncludeStatic=*/false,
+                  "MaxSteps=" + std::to_string(M), R);
+  }
+  return R;
+}
+
+unsigned sc::harness::measureDsHighWater(const forth::System &Sys,
+                                         const std::string &Word,
+                                         const RunLimits &Limits) {
+  const uint32_t Entry = Sys.entryOf(Word);
+  EngineObservation Full =
+      observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, Limits);
+  return static_cast<unsigned>(bisectSmallest(0, Limits.DsCapacity, [&](
+                                                  uint64_t C) {
+    RunLimits L = Limits;
+    L.DsCapacity = static_cast<unsigned>(C);
+    return sameResult(observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, L),
+                      Full);
+  }));
+}
+
+InjectReport sc::harness::shrinkCapacities(const forth::System &Sys,
+                                           const std::string &Word,
+                                           const RunLimits &Limits,
+                                           bool IncludeStatic) {
+  InjectReport R;
+  const uint32_t Entry = Sys.entryOf(Word);
+  EngineObservation Full =
+      observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, Limits);
+
+  auto Keeps = [&](const RunLimits &L) {
+    return sameResult(observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, L),
+                      Full);
+  };
+
+  // Data-stack capacities below the peak: every one must overflow at the
+  // same instruction in every engine.
+  const unsigned PeakDs =
+      static_cast<unsigned>(bisectSmallest(0, Limits.DsCapacity, [&](
+                                               uint64_t C) {
+        RunLimits L = Limits;
+        L.DsCapacity = static_cast<unsigned>(C);
+        return Keeps(L);
+      }));
+  for (unsigned C = 0; C < PeakDs; ++C) {
+    RunLimits L = Limits;
+    L.DsCapacity = C;
+    compareAcross(Sys, Sys.Prog, Entry, L, IncludeStatic,
+                  "DsCapacity=" + std::to_string(C), R);
+  }
+
+  // Return-stack capacities below the peak (the entry sentinel makes the
+  // minimum useful capacity 1; capacity 0 exercises the pre-run check).
+  const unsigned PeakRs =
+      static_cast<unsigned>(bisectSmallest(0, Limits.RsCapacity, [&](
+                                               uint64_t C) {
+        RunLimits L = Limits;
+        L.RsCapacity = static_cast<unsigned>(C);
+        return Keeps(L);
+      }));
+  for (unsigned C = 0; C < PeakRs; ++C) {
+    RunLimits L = Limits;
+    L.RsCapacity = C;
+    compareAcross(Sys, Sys.Prog, Entry, L, IncludeStatic,
+                  "RsCapacity=" + std::to_string(C), R);
+  }
+
+  // Data-space limits below the program's reach: the first out-of-range
+  // access must fault with the same offending address in every engine.
+  const size_t FullSpace = Sys.Machine.dataSpaceSize();
+  const size_t Reach = bisectSmallest(0, FullSpace, [&](uint64_t B) {
+    RunLimits L = Limits;
+    L.DataSpaceLimit = static_cast<size_t>(B);
+    return Keeps(L);
+  });
+  if (Reach > 0) {
+    // Every byte short of the reach faults identically; probe the
+    // boundary and a few interior points instead of all of them.
+    const size_t Probes[] = {Reach - 1, Reach > 8 ? Reach - 8 : 0, Reach / 2,
+                             0};
+    size_t Last = static_cast<size_t>(-1);
+    for (size_t B : Probes) {
+      if (B == Last)
+        continue;
+      Last = B;
+      RunLimits L = Limits;
+      L.DataSpaceLimit = B;
+      compareAcross(Sys, Sys.Prog, Entry, L, IncludeStatic,
+                    "DataSpaceLimit=" + std::to_string(B), R);
+    }
+  }
+  return R;
+}
+
+InjectReport sc::harness::mutateAndCompare(const forth::System &Sys,
+                                           const std::string &Word,
+                                           uint64_t Rounds, uint64_t Seed,
+                                           const RunLimits &Limits) {
+  InjectReport R;
+  const uint32_t Entry = Sys.entryOf(Word);
+  RunLimits L = Limits;
+  if (L.MaxSteps == UINT64_MAX)
+    L.MaxSteps = 100000; // verified mutants may still loop forever
+  Rng Rand(Seed);
+
+  for (uint64_t Round = 0; Round < Rounds; ++Round) {
+    Code Mut = Sys.Prog;
+    const unsigned Edits = 1 + static_cast<unsigned>(Rand.below(3));
+    for (unsigned E = 0; E < Edits; ++E) {
+      Inst &In = Mut.Insts[Rand.below(Mut.Insts.size())];
+      switch (Rand.below(4)) {
+      case 0:
+        In.Op = static_cast<Opcode>(Rand.below(NumOpcodes));
+        break;
+      case 1:
+        In.Operand = Rand.range(-64, 64);
+        break;
+      case 2:
+        In.Operand ^= static_cast<Cell>(1) << Rand.below(32);
+        break;
+      case 3:
+        In.Operand = static_cast<Cell>(Rand.below(Mut.Insts.size()));
+        break;
+      }
+    }
+    if (!Mut.verify())
+      continue; // the oracle rejected the mutant
+
+    EngineObservation Ref =
+        observeEngine(Sys, Mut, Entry, EngineId::Switch, L);
+    ++R.Points;
+    if (Ref.Outcome.Status != RunStatus::Halted)
+      ++R.Faults;
+    const bool Limited = Ref.Outcome.Status == RunStatus::StepLimit;
+    for (unsigned E = 1; E < NumEngines; ++E) {
+      EngineId Id = static_cast<EngineId>(E);
+      if (isStaticEngine(Id) && Limited)
+        continue; // static step counts make the stop point incomparable
+      std::string D =
+          compareObservations(Ref, observeEngine(Sys, Mut, Entry, Id, L), Id);
+      if (!D.empty()) {
+        ++R.Mismatches;
+        if (R.FirstDivergence.empty())
+          R.FirstDivergence =
+              "mutation round " + std::to_string(Round) + ": " + D;
+      }
+    }
+  }
+  return R;
+}

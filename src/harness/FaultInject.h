@@ -1,0 +1,149 @@
+//===-- harness/FaultInject.h - Systematic fault injection -----*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault-injection campaigns over every engine in the
+/// project. Three injection axes:
+///
+///   - sweepStepLimit: force RunStatus::StepLimit at every execution
+///     point of a program and require all stream engines to report an
+///     identical machine state (PC, opcode, depths) at each point.
+///   - shrinkCapacities: run under every stack capacity below the
+///     program's true peak (and every interesting data-space limit) to
+///     force each overflow / BadMemAccess class, again requiring
+///     identical FaultInfo across engines.
+///   - mutateAndCompare: point-mutate verified bytecode, keep mutants
+///     that still pass Code::verify (the oracle), and require identical
+///     outcomes across all engines.
+///
+/// The comparator is a pure function over observations so tests can
+/// tamper with one observation and prove a desynced engine is caught.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_HARNESS_FAULTINJECT_H
+#define SC_HARNESS_FAULTINJECT_H
+
+#include "forth/Forth.h"
+#include "vm/RunResult.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sc::harness {
+
+/// Engines under differential test, in reference order (Switch is the
+/// reference implementation).
+enum class EngineId : uint8_t {
+  Switch,
+  Threaded,
+  CallThreaded,
+  ThreadedTos,
+  Dynamic3,
+  Model,
+  StaticGreedy,
+  StaticOptimal,
+};
+inline constexpr unsigned NumEngines = 8;
+
+const char *engineName(EngineId E);
+
+/// Static engines execute transformed code: step counts, return-stack
+/// contents (specialized return addresses) and StepLimit stop points
+/// legitimately differ from the stream engines, so the comparator masks
+/// those fields for them (see docs/TRAPS.md).
+inline bool isStaticEngine(EngineId E) {
+  return E == EngineId::StaticGreedy || E == EngineId::StaticOptimal;
+}
+
+/// Injectable resource limits for one observed run.
+struct RunLimits {
+  unsigned DsCapacity = vm::ExecContext::StackCells;
+  unsigned RsCapacity = vm::ExecContext::StackCells;
+  uint64_t MaxSteps = UINT64_MAX;
+  /// Accessible data-space limit in bytes (Vm::setAccessibleLimit);
+  /// SIZE_MAX leaves the machine's full data space addressable.
+  size_t DataSpaceLimit = static_cast<size_t>(-1);
+};
+
+/// Everything observable about one engine run.
+struct EngineObservation {
+  vm::RunOutcome Outcome;
+  std::vector<vm::Cell> DS; ///< final data stack, bottom first
+  std::vector<vm::Cell> RS; ///< final return stack, bottom first
+  std::string Out;          ///< everything the program printed
+  unsigned DsHighWater = 0; ///< sampled watermark (lower bound on peak)
+  unsigned RsHighWater = 0;
+};
+
+/// Runs instruction \p Entry of \p Prog under engine \p E against a copy
+/// of \p Sys's machine state, with \p Limits applied.
+EngineObservation observeEngine(const forth::System &Sys,
+                                const vm::Code &Prog, uint32_t Entry,
+                                EngineId E, const RunLimits &Limits = {});
+
+/// Pure comparator: empty string when \p Got (produced by \p GotId) is
+/// consistent with the reference observation \p Ref, else a readable
+/// divergence description. Static engines are compared with step counts,
+/// return-stack values and StepLimit stop points masked.
+std::string compareObservations(const EngineObservation &Ref,
+                                const EngineObservation &Got, EngineId GotId);
+
+/// Renders an observation for divergence messages.
+std::string describeObservation(const EngineObservation &O);
+
+/// Aggregate result of one injection campaign.
+struct InjectReport {
+  uint64_t Points = 0;         ///< injection points exercised
+  uint64_t Faults = 0;         ///< reference runs that ended in a trap
+  uint64_t Mismatches = 0;     ///< comparator failures
+  std::string FirstDivergence; ///< first failure, for the test log
+  bool ok() const { return Mismatches == 0; }
+};
+
+/// Step-limit sweep: runs \p Word to completion once under \p Limits,
+/// then replays it with MaxSteps = 0..completion, requiring all six
+/// stream engines to agree on the full outcome (including the resume PC
+/// and trap-time depths) at every point. Static engines are excluded:
+/// their step counts are not comparable.
+InjectReport sweepStepLimit(const forth::System &Sys, const std::string &Word,
+                            const RunLimits &Limits = {});
+
+/// Capacity shrink: determines the true data/return stack peaks of
+/// \p Word by bisection, then replays it at every capacity below each
+/// peak (forcing StackOverflow / RStackOverflow at the deepest point)
+/// and at data-space limits below the program's reach (forcing
+/// BadMemAccess), requiring identical FaultInfo everywhere.
+/// \p IncludeStatic adds the two static engines; callers enable it only
+/// for programs whose overflow point is not deferrable by manipulation
+/// absorption (e.g. literal pushes - see docs/TRAPS.md).
+InjectReport shrinkCapacities(const forth::System &Sys,
+                              const std::string &Word,
+                              const RunLimits &Limits = {},
+                              bool IncludeStatic = false);
+
+/// Mutation fuzz: applies \p Rounds random point mutations to the
+/// program's instruction stream (seeded by \p Seed); mutants that still
+/// pass Code::verify are run across all engines, requiring identical
+/// outcomes (static engines are skipped for mutants that hit the step
+/// budget). A default budget of 100k steps applies when \p Limits leaves
+/// MaxSteps unlimited, because verified mutants may still diverge.
+InjectReport mutateAndCompare(const forth::System &Sys,
+                              const std::string &Word, uint64_t Rounds,
+                              uint64_t Seed, const RunLimits &Limits = {});
+
+/// Exact data-stack peak of \p Word by capacity bisection: the smallest
+/// DsCapacity under which the run still reproduces the unconstrained
+/// outcome. Complements ExecContext::DsHighWater, which is only sampled
+/// at run boundaries and traps.
+unsigned measureDsHighWater(const forth::System &Sys, const std::string &Word,
+                            const RunLimits &Limits = {});
+
+} // namespace sc::harness
+
+#endif // SC_HARNESS_FAULTINJECT_H

@@ -211,6 +211,8 @@ vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
   const Cell *W = Ip;
   Cell *Stack = Ctx.DS.data();
   Cell *RStack = Ctx.RS.data();
+  const unsigned DsCap = Ctx.DsCapacity;
+  const unsigned RsCap = Ctx.RsCapacity;
   unsigned Dsp = Ctx.DsDepth;
   unsigned Rsp = Ctx.RsDepth;
   Cell R0 = 0, R1 = 0;
@@ -220,9 +222,12 @@ vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
   uint64_t StepsLeft = Ctx.MaxSteps;
   uint64_t Steps = 0;
   RunStatus St = RunStatus::Halted;
+  Cell FaultAddr = 0;
+  bool HasFaultAddr = false;
 
-  if (Rsp >= ExecContext::StackCells) {
-    return {RunStatus::RStackOverflow, 0};
+  if (Rsp >= RsCap) {
+    return makeFault(RunStatus::RStackOverflow, 0, OrigEntry,
+                     Ctx.Prog->Insts[OrigEntry].Op, Dsp, Rsp);
   }
   RStack[Rsp++] = 0;
 
@@ -247,17 +252,23 @@ vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
     St = RunStatus::Status;                                                    \
     goto Done;                                                                 \
   }
+#define TRAPMEM(State, A)                                                      \
+  {                                                                            \
+    FaultAddr = (A);                                                           \
+    HasFaultAddr = true;                                                       \
+    TRAPS(State, BadMemAccess);                                                \
+  }
 #define NEEDMEM(State, N)                                                      \
   if (Dsp < static_cast<unsigned>(N))                                          \
   TRAPS(State, StackUnderflow)
 #define ROOMK(State, CachedK, N)                                               \
-  if (Dsp + (CachedK) + static_cast<unsigned>(N) > ExecContext::StackCells)    \
+  if (Dsp + (CachedK) + static_cast<unsigned>(N) > DsCap)                      \
   TRAPS(State, StackOverflow)
 #define RNEEDK(State, N)                                                       \
   if (Rsp < static_cast<unsigned>(N))                                          \
   TRAPS(State, RStackUnderflow)
 #define RROOMK(State, N)                                                       \
-  if (Rsp + static_cast<unsigned>(N) > ExecContext::StackCells)                \
+  if (Rsp + static_cast<unsigned>(N) > RsCap)                                  \
   TRAPS(State, RStackOverflow)
 #define DJUMP(State, T)                                                        \
   {                                                                            \
@@ -473,18 +484,18 @@ S0_Fetch : {
   NEEDMEM(0, 1);
   Cell Addr = Stack[--Dsp];
   if (!TheVm.validRange(Addr, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   R0 = TheVm.loadCell(Addr);
   DNEXT(1);
 }
 S1_Fetch:
   if (!TheVm.validRange(R0, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   R0 = TheVm.loadCell(R0);
   DNEXT(1);
 S2_Fetch:
   if (!TheVm.validRange(R1, CellBytes))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, R1);
   R1 = TheVm.loadCell(R1);
   DNEXT(2);
 
@@ -492,18 +503,18 @@ S0_CFetch : {
   NEEDMEM(0, 1);
   Cell Addr = Stack[--Dsp];
   if (!TheVm.validRange(Addr, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   R0 = TheVm.loadByte(Addr);
   DNEXT(1);
 }
 S1_CFetch:
   if (!TheVm.validRange(R0, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   R0 = TheVm.loadByte(R0);
   DNEXT(1);
 S2_CFetch:
   if (!TheVm.validRange(R1, 1))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, R1);
   R1 = TheVm.loadByte(R1);
   DNEXT(2);
 
@@ -512,7 +523,7 @@ S0_Store : {
   Cell Addr = Stack[--Dsp];
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(Addr, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   TheVm.storeCell(Addr, V);
   DNEXT(0);
 }
@@ -520,13 +531,13 @@ S1_Store : {
   NEEDMEM(1, 1);
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(R0, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   TheVm.storeCell(R0, V);
   DNEXT(0);
 }
 S2_Store:
   if (!TheVm.validRange(R1, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R1);
   TheVm.storeCell(R1, R0);
   DNEXT(0);
 
@@ -535,7 +546,7 @@ S0_CStore : {
   Cell Addr = Stack[--Dsp];
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(Addr, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   TheVm.storeByte(Addr, V);
   DNEXT(0);
 }
@@ -543,13 +554,13 @@ S1_CStore : {
   NEEDMEM(1, 1);
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(R0, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   TheVm.storeByte(R0, V);
   DNEXT(0);
 }
 S2_CStore:
   if (!TheVm.validRange(R1, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R1);
   TheVm.storeByte(R1, R0);
   DNEXT(0);
 
@@ -558,7 +569,7 @@ S0_PlusStore : {
   Cell Addr = Stack[--Dsp];
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(Addr, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   TheVm.storeCell(Addr, static_cast<Cell>(
                             static_cast<UCell>(TheVm.loadCell(Addr)) +
                             static_cast<UCell>(V)));
@@ -568,7 +579,7 @@ S1_PlusStore : {
   NEEDMEM(1, 1);
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(R0, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   TheVm.storeCell(R0, static_cast<Cell>(
                           static_cast<UCell>(TheVm.loadCell(R0)) +
                           static_cast<UCell>(V)));
@@ -576,7 +587,7 @@ S1_PlusStore : {
 }
 S2_PlusStore:
   if (!TheVm.validRange(R1, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R1);
   TheVm.storeCell(R1, static_cast<Cell>(
                           static_cast<UCell>(TheVm.loadCell(R1)) +
                           static_cast<UCell>(R0)));
@@ -717,7 +728,7 @@ S0_TypeOp : {
   Cell Len = Stack[--Dsp];
   Cell Addr = Stack[--Dsp];
   if (Len < 0 || !TheVm.validRange(Addr, Len))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   TheVm.typeRange(Addr, Len);
   DNEXT(0);
 }
@@ -726,7 +737,7 @@ S1_TypeOp : {
   Cell Len = R0;
   Cell Addr = Stack[--Dsp];
   if (Len < 0 || !TheVm.validRange(Addr, Len))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   TheVm.typeRange(Addr, Len);
   DNEXT(0);
 }
@@ -734,7 +745,7 @@ S2_TypeOp : {
   Cell Len = R1;
   Cell Addr = R0;
   if (Len < 0 || !TheVm.validRange(Addr, Len))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, Addr);
   TheVm.typeRange(Addr, Len);
   DNEXT(0);
 }
@@ -871,29 +882,29 @@ S3_Lit:
 
 S3_Fetch:
   if (!TheVm.validRange(R0, CellBytes))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, R0);
   R1 = TheVm.loadCell(R0);
   DNEXT(2);
 S3_CFetch:
   if (!TheVm.validRange(R0, 1))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, R0);
   R1 = TheVm.loadByte(R0);
   DNEXT(2);
 
 S3_Store:
   // ( x addr -- ) with x == addr == R0.
   if (!TheVm.validRange(R0, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   TheVm.storeCell(R0, R0);
   DNEXT(0);
 S3_CStore:
   if (!TheVm.validRange(R0, 1))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   TheVm.storeByte(R0, R0);
   DNEXT(0);
 S3_PlusStore:
   if (!TheVm.validRange(R0, CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   TheVm.storeCell(R0, static_cast<Cell>(
                           static_cast<UCell>(TheVm.loadCell(R0)) +
                           static_cast<UCell>(R0)));
@@ -938,7 +949,7 @@ S3_Dot:
 S3_TypeOp : {
   // ( addr u -- ) with addr == u == R0.
   if (R0 < 0 || !TheVm.validRange(R0, R0))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, R0);
   TheVm.typeRange(R0, R0);
   DNEXT(0);
 }
@@ -1054,19 +1065,19 @@ S3_Halt:
 S0_LitFetch:
   ROOMK(0, 0, 1);
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, W[1]);
   R0 = TheVm.loadCell(W[1]);
   DNEXT(1);
 S1_LitFetch:
   ROOMK(1, 1, 1);
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, W[1]);
   R1 = TheVm.loadCell(W[1]);
   DNEXT(2);
 S2_LitFetch:
   ROOMK(2, 2, 1);
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(2, BadMemAccess);
+    TRAPMEM(2, W[1]);
   Stack[Dsp++] = R0;
   R0 = R1;
   R1 = TheVm.loadCell(W[1]);
@@ -1074,7 +1085,7 @@ S2_LitFetch:
 S3_LitFetch:
   ROOMK(4, 2, 1);
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(4, BadMemAccess);
+    TRAPMEM(4, W[1]);
   Stack[Dsp++] = R0;
   R1 = TheVm.loadCell(W[1]);
   DNEXT(2);
@@ -1086,23 +1097,23 @@ S0_LitStore : {
   }
   Cell V = Stack[--Dsp];
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, W[1]);
   TheVm.storeCell(W[1], V);
   DNEXT(0);
 }
 S1_LitStore:
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(0, BadMemAccess);
+    TRAPMEM(0, W[1]);
   TheVm.storeCell(W[1], R0);
   DNEXT(0);
 S2_LitStore:
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, W[1]);
   TheVm.storeCell(W[1], R1);
   DNEXT(1);
 S3_LitStore:
   if (!TheVm.validRange(W[1], CellBytes))
-    TRAPS(1, BadMemAccess);
+    TRAPMEM(1, W[1]);
   TheVm.storeCell(W[1], R0);
   DNEXT(1);
 
@@ -1115,6 +1126,7 @@ S3_LitStore:
 #define SC_JUMP(T) DJUMP(0, T)
 #define SC_CODE_SIZE SpecSize
 #define SC_TRAP(S) TRAPS(0, S)
+#define SC_TRAP_MEM(A) TRAPMEM(0, A)
 #define SC_HALT TRAPS(0, Halted)
 #define SC_NEED(N) NEEDMEM(0, N)
 #define SC_ROOM(N) ROOMK(0, 0, N)
@@ -1137,6 +1149,7 @@ S3_LitStore:
 #undef SC_JUMP
 #undef SC_CODE_SIZE
 #undef SC_TRAP
+#undef SC_TRAP_MEM
 #undef SC_HALT
 #undef SC_NEED
 #undef SC_ROOM
@@ -1153,6 +1166,7 @@ S3_LitStore:
 Done:
 #undef DNEXT
 #undef TRAPS
+#undef TRAPMEM
 #undef NEEDMEM
 #undef ROOMK
 #undef RNEEDK
@@ -1180,5 +1194,21 @@ Done:
   }
   Ctx.DsDepth = Dsp;
   Ctx.RsDepth = Rsp;
-  return {St, Steps};
+  Ctx.noteHighWater();
+  if (St == RunStatus::Halted)
+    return {St, Steps};
+  // Map the specialized trap position back to the original program
+  // counter so faults read like every other engine's. W addresses the
+  // trapping specialized instruction; on StepLimit, Ip is the resume
+  // point. Depths are post-write-back, matching the canonical contract.
+  const UCell SpecPc =
+      (St == RunStatus::StepLimit ? Ip - Base : W - Base) / 2;
+  const uint32_t FaultPc = SpecPc < SP.SpecToOrig.size()
+                               ? SP.SpecToOrig[SpecPc]
+                               : static_cast<uint32_t>(SpecPc);
+  const UCell OrigSize = Ctx.Prog->Insts.size();
+  return makeFault(St, Steps, FaultPc,
+                   FaultPc < OrigSize ? Ctx.Prog->Insts[FaultPc].Op
+                                      : Opcode::Halt,
+                   Dsp, Rsp, FaultAddr, HasFaultAddr);
 }

@@ -308,6 +308,7 @@ SpecProgram sc::staticcache::compileStaticOptimal(const Code &Prog,
       const Plan &P = Plans[Choice[K][S]];
       for (uint8_t M : P.Micros) {
         SP.Insts.push_back(SpecInst{microHandler(static_cast<Micro>(M)), 0});
+        SP.SpecToOrig.push_back(I + K);
         ++SP.MicrosEmitted;
       }
       if (P.EmitOp) {
@@ -315,6 +316,7 @@ SpecProgram sc::staticcache::compileStaticOptimal(const Code &Prog,
           Patches.push_back({static_cast<uint32_t>(SP.Insts.size()),
                              static_cast<uint32_t>(In.Operand)});
         SP.Insts.push_back(SpecInst{P.Handler, In.Operand});
+        SP.SpecToOrig.push_back(I + K);
       } else {
         ++SP.ManipsRemoved;
       }
@@ -323,8 +325,11 @@ SpecProgram sc::staticcache::compileStaticOptimal(const Code &Prog,
     if (!EndsWithControl) {
       FixedVec<uint8_t, 3> Sp;
       microsToEmpty(States[S], Sp);
+      // Fall-through reconcile: these micros prepare the next block's
+      // leader (same convention as the greedy pass).
       for (uint8_t M : Sp) {
         SP.Insts.push_back(SpecInst{microHandler(static_cast<Micro>(M)), 0});
+        SP.SpecToOrig.push_back(End < N ? End : End - 1);
         ++SP.MicrosEmitted;
       }
     }

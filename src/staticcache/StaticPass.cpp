@@ -137,6 +137,7 @@ class PassDriver {
   const StaticOptions &Opts;
   SpecProgram SP;
   CacheState State; // current tracked state, TOS first
+  uint32_t CurOrig = 0; // original index the emitted code belongs to
   std::vector<std::pair<uint32_t, uint32_t>> Patches; // spec idx, orig target
 
 public:
@@ -148,6 +149,7 @@ public:
     SP.OrigInsts = Prog.Insts.size();
 
     for (uint32_t I = 0; I < Prog.Insts.size(); ++I) {
+      CurOrig = I;
       if (Leaders[I]) {
         // Control-flow convention: every block begins in the canonical
         // (empty) state; the instruction before a fall-through boundary
@@ -165,6 +167,7 @@ public:
 private:
   void emit(uint16_t Handler, Cell Operand = 0) {
     SP.Insts.push_back(SpecInst{Handler, Operand});
+    SP.SpecToOrig.push_back(CurOrig);
   }
 
   void emitMicro(Micro M) {

@@ -92,6 +92,11 @@ struct SpecProgram {
   /// Maps original instruction indices to specialized indices (valid for
   /// basic-block leaders, which is all a branch may target).
   std::vector<uint32_t> OrigToSpec;
+  /// Maps every specialized instruction back to the original instruction
+  /// it was emitted for (micros map to the instruction they prepare).
+  /// Lets a trap in specialized code be reported against the original
+  /// program counter, like every other engine.
+  std::vector<uint32_t> SpecToOrig;
   /// Statistics for the benches and EXPERIMENTS.md.
   uint64_t ManipsRemoved = 0; ///< stack manipulations optimized away
   uint64_t MicrosEmitted = 0; ///< reconcile/spill/fill instructions added

@@ -30,16 +30,36 @@ namespace sc::vm {
 /// here so that the host can seed arguments, inspect results, and resume
 /// across engine invocations (the Forth top-level evaluator does this).
 struct ExecContext {
-  /// Capacity of each stack, in cells.
+  /// Default capacity of each stack, in cells.
   static constexpr unsigned StackCells = 16384;
+
+  /// Physical slack allocated beyond the logical capacity. Statically
+  /// cached code keeps up to two logical stack items in registers; an
+  /// absorbed stack manipulation can therefore briefly represent a depth
+  /// up to two cells past the capacity before the (deferred) overflow
+  /// trap fires. The slack makes that deferral memory-safe; logical
+  /// overflow checks still use the exact capacity. See docs/TRAPS.md.
+  static constexpr unsigned StackSlackCells = 2;
 
   const Code *Prog = nullptr;
   Vm *Machine = nullptr;
 
-  std::vector<Cell> DS = std::vector<Cell>(StackCells);
-  std::vector<Cell> RS = std::vector<Cell>(StackCells);
+  /// Logical stack capacities, injectable per run (FaultInject shrinks
+  /// them to force each overflow class deterministically).
+  unsigned DsCapacity = StackCells;
+  unsigned RsCapacity = StackCells;
+
+  std::vector<Cell> DS = std::vector<Cell>(StackCells + StackSlackCells);
+  std::vector<Cell> RS = std::vector<Cell>(StackCells + StackSlackCells);
   unsigned DsDepth = 0;
   unsigned RsDepth = 0;
+
+  /// Deepest depth observed at a sampling point: run entry/exit, traps,
+  /// and host pushes. A guaranteed lower bound on the true peak (engines
+  /// do not instrument every push); harness::measureDsHighWater computes
+  /// the exact peak by capacity bisection.
+  unsigned DsHighWater = 0;
+  unsigned RsHighWater = 0;
 
   /// Instruction budget; engines stop with RunStatus::StepLimit when it is
   /// exhausted. Defaults to effectively unlimited.
@@ -48,10 +68,30 @@ struct ExecContext {
   ExecContext() = default;
   ExecContext(const Code &C, Vm &V) : Prog(&C), Machine(&V) {}
 
+  /// Re-sizes the logical stack capacities. Existing cells up to the live
+  /// depth are preserved; the live depth must fit the new capacities.
+  void setStackCapacities(unsigned Ds, unsigned Rs) {
+    SC_ASSERT(DsDepth <= Ds && RsDepth <= Rs, "capacity below live depth");
+    DsCapacity = Ds;
+    RsCapacity = Rs;
+    DS.resize(Ds + StackSlackCells);
+    RS.resize(Rs + StackSlackCells);
+  }
+
+  /// Records the current depths into the high-watermarks.
+  void noteHighWater() {
+    if (DsDepth > DsHighWater)
+      DsHighWater = DsDepth;
+    if (RsDepth > RsHighWater)
+      RsHighWater = RsDepth;
+  }
+
   /// Pushes \p V onto the data stack (host-side convenience).
   void push(Cell V) {
-    SC_ASSERT(DsDepth < StackCells, "host push overflow");
+    SC_ASSERT(DsDepth < DsCapacity, "host push overflow");
     DS[DsDepth++] = V;
+    if (DsDepth > DsHighWater)
+      DsHighWater = DsDepth;
   }
 
   /// Pops the data stack (host-side convenience).

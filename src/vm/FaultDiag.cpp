@@ -1,0 +1,72 @@
+//===-- vm/FaultDiag.cpp - Human-readable fault reports -------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/FaultDiag.h"
+
+#include "vm/Disasm.h"
+
+#include <sstream>
+
+using namespace sc::vm;
+
+std::string sc::vm::faultSummary(const RunOutcome &O) {
+  std::ostringstream S;
+  S << runStatusName(O.Status) << " after " << O.Steps << " steps at pc="
+    << O.Fault.Pc << " (" << mnemonic(O.Fault.Op) << ")"
+    << " ds-depth=" << O.Fault.DsDepth << " rs-depth=" << O.Fault.RsDepth;
+  if (O.Fault.HasAddr)
+    S << " addr=" << O.Fault.Addr;
+  return S.str();
+}
+
+std::string sc::vm::describeFault(const Code &C, const RunOutcome &O,
+                                  const ExecContext &Ctx) {
+  if (O.Status == RunStatus::Halted)
+    return "halted normally";
+
+  std::ostringstream S;
+  S << faultSummary(O) << "\n";
+
+  // Disassembly window around the faulting PC, marking the fault line.
+  const uint32_t N = static_cast<uint32_t>(C.Insts.size());
+  if (O.Fault.Pc < N) {
+    uint32_t Begin = O.Fault.Pc >= 4 ? O.Fault.Pc - 4 : 0;
+    uint32_t End = O.Fault.Pc + 5 < N ? O.Fault.Pc + 5 : N;
+    S << "code window:\n";
+    std::istringstream Lines(disasmRange(C, Begin, End));
+    std::string Line;
+    uint32_t At = Begin;
+    while (std::getline(Lines, Line)) {
+      // disasmRange emits one line per instruction plus word headers;
+      // mark only instruction lines (they start with a digit or space).
+      bool InstLine = !Line.empty() && Line.find(';') == std::string::npos;
+      S << (InstLine && At == O.Fault.Pc ? " => " : "    ") << Line << "\n";
+      if (InstLine)
+        ++At;
+    }
+  } else {
+    S << "pc out of range (code has " << N << " instructions)\n";
+  }
+
+  auto ShowTop = [&S](const char *Name, const std::vector<Cell> &Stack,
+                      unsigned Depth, unsigned Max) {
+    S << Name << " (depth " << Depth << "):";
+    if (Depth == 0) {
+      S << " <empty>";
+    } else {
+      unsigned Shown = Depth < Max ? Depth : Max;
+      for (unsigned I = 0; I < Shown; ++I)
+        S << " " << Stack[Depth - 1 - I];
+      if (Shown < Depth)
+        S << " ...";
+    }
+    S << "\n";
+  };
+  ShowTop("data stack", Ctx.DS, Ctx.DsDepth, 8);
+  ShowTop("return stack", Ctx.RS, Ctx.RsDepth, 4);
+  return S.str();
+}

@@ -1,0 +1,39 @@
+//===-- vm/FaultDiag.h - Human-readable fault reports ----------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a RunOutcome's FaultInfo for humans: the status, the faulting
+/// PC and opcode, stack depths, the offending address for BadMemAccess,
+/// a disassembly window around the faulting PC, and the top-of-stack
+/// cells. Used by the fault-injection harness to explain divergences and
+/// by examples/tests for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_FAULTDIAG_H
+#define SC_VM_FAULTDIAG_H
+
+#include "vm/Code.h"
+#include "vm/ExecContext.h"
+#include "vm/RunResult.h"
+
+#include <string>
+
+namespace sc::vm {
+
+/// Renders \p O's fault state against program \p C. \p Ctx supplies the
+/// stacks whose top cells are shown; pass the context the run finished
+/// in. Returns "halted normally" for a non-fault outcome.
+std::string describeFault(const Code &C, const RunOutcome &O,
+                          const ExecContext &Ctx);
+
+/// One-line form: status, pc, opcode, depths, address. No disassembly.
+std::string faultSummary(const RunOutcome &O);
+
+} // namespace sc::vm
+
+#endif // SC_VM_FAULTDIAG_H

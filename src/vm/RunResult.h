@@ -14,6 +14,9 @@
 #ifndef SC_VM_RUNRESULT_H
 #define SC_VM_RUNRESULT_H
 
+#include "vm/Cell.h"
+#include "vm/Opcode.h"
+
 #include <cstdint>
 
 namespace sc::vm {
@@ -33,11 +36,47 @@ enum class RunStatus : uint8_t {
 /// Human-readable name of a status.
 const char *runStatusName(RunStatus S);
 
-/// Result of one engine run.
+/// Machine state at the moment an engine trapped. Populated by every
+/// engine whenever Status != Halted; differential tests require engines
+/// to agree on it field-for-field (see docs/TRAPS.md for the contract,
+/// including the PC convention: body traps report the faulting
+/// instruction's index, StepLimit reports the resume point).
+struct FaultInfo {
+  uint32_t Pc = 0;              ///< faulting/resume instruction index
+  Opcode Op = Opcode::Halt;     ///< opcode at Pc (original instruction set)
+  uint32_t DsDepth = 0;         ///< data stack depth at the trap
+  uint32_t RsDepth = 0;         ///< return stack depth at the trap
+  Cell Addr = 0;                ///< offending data-space address
+  bool HasAddr = false;         ///< Addr is meaningful (BadMemAccess only)
+
+  friend bool operator==(const FaultInfo &A, const FaultInfo &B) {
+    return A.Pc == B.Pc && A.Op == B.Op && A.DsDepth == B.DsDepth &&
+           A.RsDepth == B.RsDepth && A.HasAddr == B.HasAddr &&
+           (!A.HasAddr || A.Addr == B.Addr);
+  }
+  friend bool operator!=(const FaultInfo &A, const FaultInfo &B) {
+    return !(A == B);
+  }
+};
+
+/// Result of one engine run. Fault is meaningful only when
+/// Status != Halted.
 struct RunOutcome {
   RunStatus Status = RunStatus::Halted;
   uint64_t Steps = 0; ///< virtual machine instructions executed
+  FaultInfo Fault = {};
 };
+
+/// Builds a faulting outcome in one expression (engine convenience).
+inline RunOutcome makeFault(RunStatus St, uint64_t Steps, uint32_t Pc,
+                            Opcode Op, uint32_t DsDepth, uint32_t RsDepth,
+                            Cell Addr = 0, bool HasAddr = false) {
+  RunOutcome O;
+  O.Status = St;
+  O.Steps = Steps;
+  O.Fault = FaultInfo{Pc, Op, DsDepth, RsDepth, Addr, HasAddr};
+  return O;
+}
 
 } // namespace sc::vm
 

@@ -30,6 +30,7 @@ namespace sc::vm {
 class Vm {
   std::vector<uint8_t> Mem;
   Cell Here = CellBytes; // address 0 is reserved as a guaranteed trap
+  size_t AccessibleLimit = static_cast<size_t>(-1); // run-time access cap
 
 public:
   /// Output accumulated by Emit/Dot/TypeOp/...
@@ -38,6 +39,18 @@ public:
   explicit Vm(size_t DataSpaceBytes = 1u << 20) : Mem(DataSpaceBytes, 0) {}
 
   size_t dataSpaceSize() const { return Mem.size(); }
+
+  /// Bytes of data space guest accesses may touch: the allocation size,
+  /// optionally capped by setAccessibleLimit.
+  size_t accessibleSize() const {
+    return Mem.size() < AccessibleLimit ? Mem.size() : AccessibleLimit;
+  }
+
+  /// Caps the data space visible to guest loads/stores without
+  /// reallocating. FaultInject shrinks this below an allocated address to
+  /// force BadMemAccess deterministically; compile-time allot() is
+  /// unaffected.
+  void setAccessibleLimit(size_t Bytes) { AccessibleLimit = Bytes; }
 
   /// Current allocation pointer (Forth HERE).
   Cell here() const { return Here; }
@@ -58,8 +71,9 @@ public:
 
   /// True if [Addr, Addr+Bytes) is a valid data-space range.
   bool validRange(Cell Addr, Cell Bytes) const {
-    return Addr >= CellBytes &&
-           static_cast<UCell>(Addr) + static_cast<UCell>(Bytes) <= Mem.size();
+    return Addr >= CellBytes && static_cast<UCell>(Addr) +
+                                        static_cast<UCell>(Bytes) <=
+                                    accessibleSize();
   }
 
   /// Loads a cell; caller must have checked validRange(Addr, CellBytes).

@@ -86,6 +86,54 @@ TEST(Code, EmitReturnsIndex) {
   EXPECT_EQ(C.emit(Opcode::Add), 2u);
 }
 
+TEST(Code, VerifyRejectsEmptyCode) {
+  Code C;
+  C.Insts.clear();
+  std::string Err;
+  EXPECT_FALSE(C.verify(&Err));
+  EXPECT_NE(Err.find("instruction 0 must be Halt"), std::string::npos);
+}
+
+TEST(Code, VerifyRejectsNonHaltSlotZero) {
+  Code C;
+  C.Insts[0].Op = Opcode::Add;
+  std::string Err;
+  EXPECT_FALSE(C.verify(&Err));
+  EXPECT_NE(Err.find("instruction 0 must be Halt"), std::string::npos);
+}
+
+TEST(Code, VerifyRejectsInvalidOpcode) {
+  Code C;
+  C.emit(Opcode::Lit, 1);
+  C.emit(Opcode::Halt);
+  C.Insts[1].Op = static_cast<Opcode>(NumOpcodes);
+  std::string Err;
+  EXPECT_FALSE(C.verify(&Err));
+  EXPECT_NE(Err.find("invalid opcode at 1"), std::string::npos);
+}
+
+TEST(Code, VerifyRejectsBranchToHaltSlot) {
+  Code C;
+  C.emit(Opcode::Branch, 0);
+  std::string Err;
+  EXPECT_FALSE(C.verify(&Err));
+  EXPECT_NE(Err.find("branch to Halt slot at 1"), std::string::npos);
+}
+
+TEST(Code, VerifyRejectsWordWithBadBounds) {
+  Code C;
+  uint32_t Entry = C.emit(Opcode::Lit, 1);
+  C.emit(Opcode::Exit);
+  C.Words.push_back({"w", Entry, C.size() + 7}); // End past the code
+  std::string Err;
+  EXPECT_FALSE(C.verify(&Err));
+  EXPECT_NE(Err.find("word 'w' has bad bounds"), std::string::npos);
+
+  C.Words.back() = {"x", C.size(), C.size()}; // Entry >= End
+  EXPECT_FALSE(C.verify(&Err));
+  EXPECT_NE(Err.find("word 'x' has bad bounds"), std::string::npos);
+}
+
 TEST(Code, VerifyRejectsBadBranchTarget) {
   Code C;
   C.emit(Opcode::Branch, 99);
