@@ -1,0 +1,90 @@
+//===-- bench/GBenchJson.h - Google-Benchmark JSON bridge ------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replaces BENCHMARK_MAIN() for the wall-clock benches: strips `--json
+/// <path>` before benchmark::Initialize sees it, runs the registered
+/// benchmarks through a capturing console reporter, and emits one
+/// "timing" entry per benchmark (real and cpu nanoseconds per iteration)
+/// via MetricsReporter. Console output is unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BENCH_GBENCHJSON_H
+#define SC_BENCH_GBENCHJSON_H
+
+#include "metrics/Reporter.h"
+#include "metrics/Timing.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace sc::bench {
+
+/// Per-benchmark MinTime, shrunk in smoke mode (SC_BENCH_SMOKE). The
+/// command-line flag cannot do this: an explicit MinTime() beats
+/// --benchmark_min_time, so the registration site must ask.
+inline double benchMinTime(double Full) {
+  return metrics::benchSmokeMode() ? 0.01 : Full;
+}
+
+/// A ConsoleReporter that also captures per-iteration times.
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+  struct Item {
+    std::string Name;
+    double RealNs = 0;
+    double CpuNs = 0;
+  };
+  std::vector<Item> Items;
+
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred)
+        continue;
+      Item It;
+      It.Name = R.benchmark_name();
+      double Iters =
+          R.iterations > 0 ? static_cast<double>(R.iterations) : 1.0;
+      It.RealNs = R.real_accumulated_time * 1e9 / Iters;
+      It.CpuNs = R.cpu_accumulated_time * 1e9 / Iters;
+      Items.push_back(std::move(It));
+    }
+    benchmark::ConsoleReporter::ReportRuns(Reports);
+  }
+};
+
+inline int gbenchJsonMain(const char *BenchName, int Argc, char **Argv) {
+  metrics::MetricsReporter Rep(BenchName);
+  Rep.parseArgs(Argc, Argv);
+
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  CapturingReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  for (const CapturingReporter::Item &It : Reporter.Items) {
+    metrics::Json V = metrics::Json::object();
+    V.set("real_ns_per_iter", metrics::Json::number(It.RealNs));
+    V.set("cpu_ns_per_iter", metrics::Json::number(It.CpuNs));
+    Rep.addValues(It.Name, metrics::EntryKind::Timing, std::move(V));
+  }
+  return Rep.write() ? 0 : 1;
+}
+
+} // namespace sc::bench
+
+#define SC_GBENCH_JSON_MAIN(NAME)                                              \
+  int main(int argc, char **argv) {                                            \
+    return sc::bench::gbenchJsonMain(NAME, argc, argv);                        \
+  }
+
+#endif // SC_BENCH_GBENCHJSON_H

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cache/Organization.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -13,7 +14,9 @@
 using namespace sc;
 using namespace sc::cache;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("fig18_states");
+  Rep.parseArgs(argc, argv);
   std::printf("==== Figure 18: the number of cache states ====\n");
   std::printf("paper rows: minimal n+1; overflow move opt. n^2+1; arbitrary\n"
               "shuffles sum n!/i!; n+1 stack items sum n^d; one duplication\n"
@@ -44,6 +47,7 @@ int main() {
       Row.integer(static_cast<long long>(twoStackStateCount(N)));
   }
   T.print();
+  Rep.addTable("state_counts", T, metrics::EntryKind::Exact);
 
   std::printf("\ncross-check: exhaustive enumeration for n <= 5\n");
   for (OrgKind K : {OrgKind::Minimal, OrgKind::OverflowMoveOpt,
@@ -62,5 +66,5 @@ int main() {
     }
   }
   std::printf("all enumerations match the closed forms\n");
-  return 0;
+  return Rep.write() ? 0 : 1;
 }

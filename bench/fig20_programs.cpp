@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -13,7 +14,9 @@ using namespace sc;
 using namespace sc::bench;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("fig20_programs");
+  Rep.parseArgs(argc, argv);
   printHeader("Figure 20: the measured programs",
               "paper (for its workloads): 1.6M-11.6M insts, 0.69-0.76 stack "
               "loads/inst,\n0.43-0.55 sp updates/inst, 0.18-0.21 rstack "
@@ -37,5 +40,6 @@ int main() {
         .num(S.CallsPerInst, 3);
   }
   T.print();
-  return 0;
+  Rep.addTable("program_stats", T, metrics::EntryKind::Exact);
+  return Rep.write() ? 0 : 1;
 }

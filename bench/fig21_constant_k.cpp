@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -14,7 +15,9 @@ using namespace sc::bench;
 using namespace sc::cache;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("fig21_constant_k");
+  Rep.parseArgs(argc, argv);
   printHeader(
       "Figure 21: keeping a constant number of items in registers",
       "loads+stores fall with k but moves rise sharply; keeping ONE item "
@@ -46,5 +49,11 @@ int main() {
   }
   T.print();
   std::printf("\nbest k = %u (paper: 1)\n", BestK);
+  Rep.addTable("constant_k", T, metrics::EntryKind::Exact);
+  metrics::Json V = metrics::Json::object();
+  V.set("best_k", metrics::Json::number(static_cast<int64_t>(BestK)));
+  Rep.addValues("best_k", metrics::EntryKind::Exact, std::move(V));
+  if (!Rep.write())
+    return 1;
   return BestK == 1 ? 0 : 1;
 }

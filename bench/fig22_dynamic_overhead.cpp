@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -14,7 +15,9 @@ using namespace sc::bench;
 using namespace sc::cache;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("fig22_dynamic_overhead");
+  Rep.parseArgs(argc, argv);
   printHeader(
       "Figure 22: dynamic stack caching, minimal organizations",
       "argument access overhead (cycles/inst) vs overflow followup state, "
@@ -48,9 +51,11 @@ int main() {
     }
   }
   T.print();
+  Rep.addTable("overhead", T, metrics::EntryKind::Exact);
 
   // The headline shape: best overhead roughly halves per register.
   std::printf("\nbest overhead per register count:\n");
+  metrics::Json BestPerRegs = metrics::Json::object();
   double Prev = -1;
   for (unsigned R = 1; R <= 10; ++R) {
     double Best = 1e30;
@@ -62,7 +67,12 @@ int main() {
     }
     std::printf("  %2u regs: %.3f%s\n", R, Best,
                 Prev > 0 && Best < Prev * 0.75 ? "  (halving-ish)" : "");
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", Best);
+    BestPerRegs.set(std::to_string(R), metrics::Json::numberText(Buf));
     Prev = Best;
   }
-  return 0;
+  Rep.addValues("best_per_regs", metrics::EntryKind::Exact,
+                std::move(BestPerRegs));
+  return Rep.write() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -14,7 +15,9 @@ using namespace sc::bench;
 using namespace sc::cache;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("fig23_dynamic_components");
+  Rep.parseArgs(argc, argv);
   printHeader(
       "Figure 23: dynamic caching components, 6 registers",
       "the fuller the overflow followup state, the more overflows and "
@@ -55,5 +58,10 @@ int main() {
   std::printf("\nmoves rise with fuller followup: %s; overflows rise: %s "
               "(paper: both rise)\n",
               MovesMonotone ? "yes" : "no", OverflowsMonotone ? "yes" : "no");
-  return 0;
+  Rep.addTable("components", T, metrics::EntryKind::Exact);
+  metrics::Json V = metrics::Json::object();
+  V.set("moves_monotone", metrics::Json::boolean(MovesMonotone));
+  V.set("overflows_monotone", metrics::Json::boolean(OverflowsMonotone));
+  Rep.addValues("monotonicity", metrics::EntryKind::Exact, std::move(V));
+  return Rep.write() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -14,7 +15,9 @@ using namespace sc::bench;
 using namespace sc::cache;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("fig24_static_overhead");
+  Rep.parseArgs(argc, argv);
   printHeader(
       "Figure 24: static stack caching overhead vs canonical state",
       "overhead per ORIGINAL instruction with the eliminated dispatches\n"
@@ -57,5 +60,10 @@ int main() {
   std::printf("\nbest canonical state at 6 registers: %u items cached "
               "(paper: 2)\n",
               BestCanonical);
-  return 0;
+  Rep.addTable("overhead", T, metrics::EntryKind::Exact);
+  metrics::Json V = metrics::Json::object();
+  V.set("best_canonical_at_6_regs",
+        metrics::Json::number(static_cast<int64_t>(BestCanonical)));
+  Rep.addValues("best_canonical", metrics::EntryKind::Exact, std::move(V));
+  return Rep.write() ? 0 : 1;
 }

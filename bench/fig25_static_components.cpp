@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -14,7 +15,9 @@ using namespace sc::bench;
 using namespace sc::cache;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("fig25_static_components");
+  Rep.parseArgs(argc, argv);
   printHeader(
       "Figure 25: static caching components, 6 registers",
       "memory accesses fall and moves rise toward fuller canonical "
@@ -40,5 +43,6 @@ int main() {
         .num(static_cast<double>(C.Insts - C.Dispatches) / N, 4);
   }
   T.print();
-  return 0;
+  Rep.addTable("components", T, metrics::EntryKind::Exact);
+  return Rep.write() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -14,7 +15,9 @@ using namespace sc::bench;
 using namespace sc::cache;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("fig26_comparison");
+  Rep.parseArgs(argc, argv);
   printHeader(
       "Figure 26: comparison of the approaches",
       "argument access overhead vs number of registers; best organization "
@@ -61,5 +64,6 @@ int main() {
     Row.num(BestDynamic(R), 3).num(BestStatic(R), 3);
   }
   T.print();
-  return 0;
+  Rep.addTable("comparison", T, metrics::EntryKind::Exact);
+  return Rep.write() ? 0 : 1;
 }

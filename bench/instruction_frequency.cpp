@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -26,7 +27,9 @@
 using namespace sc;
 using namespace sc::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("instruction_frequency");
+  Rep.parseArgs(argc, argv);
   printHeader("Instruction-frequency distribution (Section 6)",
               "paper: 10% of the instruction instances account for 90% of "
               "the executed\ninstructions.");
@@ -53,6 +56,7 @@ int main() {
              1);
   }
   T.print();
+  Rep.addTable("site_concentration", T, metrics::EntryKind::Exact);
 
   // Opcode-level mix, aggregated: which primitives dominate execution.
   std::array<uint64_t, vm::NumOpcodes> ByOp{};
@@ -68,6 +72,7 @@ int main() {
       Ranked.push_back({ByOp[I], I});
   std::sort(Ranked.rbegin(), Ranked.rend());
   std::printf("\nmost-executed primitives (all programs):\n");
+  metrics::Json Mix = metrics::Json::object();
   double Cum = 0;
   for (size_t I = 0; I < Ranked.size() && I < 12; ++I) {
     double Pct = 100.0 * static_cast<double>(Ranked[I].first) /
@@ -76,6 +81,10 @@ int main() {
     std::printf("  %-8s %5.1f%%  (cumulative %5.1f%%)\n",
                 vm::mnemonic(static_cast<vm::Opcode>(Ranked[I].second)), Pct,
                 Cum);
+    Mix.set(vm::mnemonic(static_cast<vm::Opcode>(Ranked[I].second)),
+            metrics::Json::number(Ranked[I].first));
   }
-  return 0;
+  Rep.addValues("opcode_mix_top12", metrics::EntryKind::Exact,
+                std::move(Mix));
+  return Rep.write() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -23,7 +24,9 @@ using namespace sc::bench;
 using namespace sc::cache;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("prefetch_extension");
+  Rep.parseArgs(argc, argv);
   printHeader(
       "Extension: stack item prefetching (Section 3.6)",
       "forbidding states with fewer than MinDepth cached items adds "
@@ -64,5 +67,6 @@ int main() {
               "delay slots,\nwhich the abstract cost model cannot credit - "
               "so traffic rises here,\nexactly the cost side of the "
               "trade-off)\n");
-  return 0;
+  Rep.addTable("prefetch", T, metrics::EntryKind::Exact);
+  return Rep.write() ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -24,7 +25,9 @@ using namespace sc;
 using namespace sc::bench;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("randomwalk_model");
+  Rep.parseArgs(argc, argv);
   printHeader(
       "Random-walk model check (Section 6, 10-register dynamic cache)",
       "paper: in cross+compile, lowering the followup state from 7 to 4 "
@@ -52,6 +55,7 @@ int main() {
                1);
     }
     T.print();
+    Rep.addTable("randomwalk_" + L.Name, T, metrics::EntryKind::Exact);
   }
 
   // Aggregate statement of the two claims.
@@ -74,5 +78,12 @@ int main() {
   std::printf("re-overflow rate at followup 7: %.1f%% (random walk near the "
               "cache top\nwould re-overflow ~50%%)\n",
               ReRate);
-  return 0;
+  metrics::Json V = metrics::Json::object();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", OverflowGrowth);
+  V.set("overflow_growth_f7_vs_f4", metrics::Json::numberText(Buf));
+  std::snprintf(Buf, sizeof(Buf), "%.1f", ReRate);
+  V.set("reoverflow_rate_f7_pct", metrics::Json::numberText(Buf));
+  Rep.addValues("aggregate", metrics::EntryKind::Exact, std::move(V));
+  return Rep.write() ? 0 : 1;
 }

@@ -10,17 +10,19 @@
 /// manipulations into compile-time state changes (Section 5: "stack
 /// manipulation instructions are optimized away"). Compares specialized
 /// code size, executed instructions and wall clock with absorption on
-/// and off.
+/// and off. Wall clock uses metrics::timeRuns (warmed-up repetitions,
+/// min and median reported) rather than a cold best-of-N.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "forth/Forth.h"
+#include "metrics/Reporter.h"
+#include "metrics/Timing.h"
 #include "staticcache/StaticEngine.h"
 #include "staticcache/StaticSpec.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
-#include <chrono>
 #include <cstdio>
 
 using namespace sc;
@@ -28,29 +30,33 @@ using namespace sc::vm;
 
 namespace {
 
-double timeRun(const forth::System &Sys, const staticcache::SpecProgram &SP,
-               uint32_t Entry) {
-  double Best = 1e30;
-  for (int Rep = 0; Rep < 7; ++Rep) {
-    Vm Copy = Sys.Machine;
-    ExecContext Ctx(Sys.Prog, Copy);
-    auto T0 = std::chrono::steady_clock::now();
-    staticcache::runStaticEngine(SP, Ctx, Entry);
-    auto T1 = std::chrono::steady_clock::now();
-    Best = std::min(Best, std::chrono::duration<double>(T1 - T0).count());
-  }
-  return Best;
+metrics::TimingStats timeRun(const forth::System &Sys,
+                             const staticcache::SpecProgram &SP,
+                             uint32_t Entry) {
+  return metrics::timeRuns(
+      [&] {
+        Vm Copy = Sys.Machine;
+        ExecContext Ctx(Sys.Prog, Copy);
+        staticcache::runStaticEngine(SP, Ctx, Entry);
+      },
+      metrics::smokeAdjustedReps(7), /*Warmup=*/2);
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("static_codegen_ablation");
+  Rep.parseArgs(argc, argv);
   std::printf("==== Ablation: stack-manipulation absorption in the static "
               "pass ====\n\n");
   Table T;
   T.addRow({"program", "code(off)", "code(greedy)", "code(optimal)",
             "steps(off)", "steps(greedy)", "steps(optimal)", "removed",
             "time greedy/off", "time optimal/off"});
+  Table TExact; // the deterministic columns only (JSON "exact" entry)
+  TExact.addRow({"program", "code(off)", "code(greedy)", "code(optimal)",
+                 "steps(off)", "steps(greedy)", "steps(optimal)",
+                 "removed"});
   size_t N;
   const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
   for (size_t I = 0; I < N; ++I) {
@@ -76,9 +82,12 @@ int main() {
     ExecContext CtxOpt(Sys->Prog, CopyOpt);
     RunOutcome OOpt = staticcache::runStaticEngine(SPOpt, CtxOpt, Entry);
 
-    double TOff = timeRun(*Sys, SPOff, Entry);
-    double TOn = timeRun(*Sys, SPOn, Entry);
-    double TOpt = timeRun(*Sys, SPOpt, Entry);
+    metrics::TimingStats TOff = timeRun(*Sys, SPOff, Entry);
+    metrics::TimingStats TOn = timeRun(*Sys, SPOn, Entry);
+    metrics::TimingStats TOpt = timeRun(*Sys, SPOpt, Entry);
+    Rep.addTiming(std::string("time_") + W[I].Name + "_off", TOff);
+    Rep.addTiming(std::string("time_") + W[I].Name + "_greedy", TOn);
+    Rep.addTiming(std::string("time_") + W[I].Name + "_optimal", TOpt);
 
     auto Row = T.row();
     Row.cell(W[I].Name)
@@ -89,10 +98,22 @@ int main() {
         .integer(static_cast<long long>(OOn.Steps))
         .integer(static_cast<long long>(OOpt.Steps))
         .integer(static_cast<long long>(SPOn.ManipsRemoved))
-        .num(TOn / TOff, 3)
-        .num(TOpt / TOff, 3);
+        .num(TOn.MinNs / TOff.MinNs, 3)
+        .num(TOpt.MinNs / TOff.MinNs, 3);
+    auto ERow = TExact.row();
+    ERow.cell(W[I].Name)
+        .integer(static_cast<long long>(SPOff.Insts.size()))
+        .integer(static_cast<long long>(SPOn.Insts.size()))
+        .integer(static_cast<long long>(SPOpt.Insts.size()))
+        .integer(static_cast<long long>(OOff.Steps))
+        .integer(static_cast<long long>(OOn.Steps))
+        .integer(static_cast<long long>(OOpt.Steps))
+        .integer(static_cast<long long>(SPOn.ManipsRemoved));
   }
   T.print();
-  std::printf("\n(time ratio < 1 means absorption makes execution faster)\n");
-  return 0;
+  std::printf("\n(time ratio < 1 means absorption makes execution faster; "
+              "ratios use the\nminimum of %d warmed-up repetitions)\n",
+              metrics::smokeAdjustedReps(7));
+  Rep.addTable("codegen", TExact, metrics::EntryKind::Exact);
+  return Rep.write() ? 0 : 1;
 }

@@ -12,47 +12,40 @@
 /// `lit` + consumer pairs into superinstructions and measure: executed
 /// instructions saved, and wall clock on the direct-threaded engine,
 /// with and without static stack caching on top (the axes compose).
+/// Wall clock uses metrics::timeRuns (warmed-up repetitions, min and
+/// median reported) rather than a cold best-of-N.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "forth/Forth.h"
+#include "metrics/Reporter.h"
+#include "metrics/Timing.h"
 #include "staticcache/StaticEngine.h"
 #include "staticcache/StaticSpec.h"
 #include "superinst/Superinst.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
-#include <chrono>
 #include <cstdio>
 
 using namespace sc;
 using namespace sc::vm;
 
-namespace {
-
-template <typename F> double timeBest(F Fn, int Reps = 7) {
-  double Best = 1e30;
-  for (int I = 0; I < Reps; ++I) {
-    auto T0 = std::chrono::steady_clock::now();
-    Fn();
-    auto T1 = std::chrono::steady_clock::now();
-    Best = std::min(Best, std::chrono::duration<double>(T1 - T0).count());
-  }
-  return Best;
-}
-
-} // namespace
-
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("superinst_extension");
+  Rep.parseArgs(argc, argv);
   std::printf("==== Extension: superinstructions (Section 2.2, semantic "
               "content) ====\n");
   std::printf("fused pairs: lit+ lit- lit< lit= lit@ lit! (chosen from the "
               "measured\nopcode mix); pairs crossing branch targets are "
               "never fused.\n\n");
 
+  const int Reps = metrics::smokeAdjustedReps(7);
   Table T;
   T.addRow({"program", "pairs", "steps before", "steps after", "saved %",
             "threaded time ratio", "static+super ratio"});
+  Table TExact; // deterministic columns only (JSON "exact" entry)
+  TExact.addRow({"program", "pairs", "steps before", "steps after"});
   size_t N;
   const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
   for (size_t I = 0; I < N; ++I) {
@@ -69,22 +62,32 @@ int main() {
     ExecContext X1(C.Combined, V1);
     RunOutcome O1 = dispatch::runThreadedEngine(X1, E1);
 
-    double TBase = timeBest([&] {
-      Vm V = Sys->Machine;
-      ExecContext X(Sys->Prog, V);
-      dispatch::runThreadedEngine(X, E0);
-    });
-    double TSuper = timeBest([&] {
-      Vm V = Sys->Machine;
-      ExecContext X(C.Combined, V);
-      dispatch::runThreadedEngine(X, E1);
-    });
+    metrics::TimingStats TBase = metrics::timeRuns(
+        [&] {
+          Vm V = Sys->Machine;
+          ExecContext X(Sys->Prog, V);
+          dispatch::runThreadedEngine(X, E0);
+        },
+        Reps);
+    metrics::TimingStats TSuper = metrics::timeRuns(
+        [&] {
+          Vm V = Sys->Machine;
+          ExecContext X(C.Combined, V);
+          dispatch::runThreadedEngine(X, E1);
+        },
+        Reps);
     staticcache::SpecProgram SP = staticcache::compileStatic(C.Combined);
-    double TBoth = timeBest([&] {
-      Vm V = Sys->Machine;
-      ExecContext X(C.Combined, V);
-      staticcache::runStaticEngine(SP, X, E1);
-    });
+    metrics::TimingStats TBoth = metrics::timeRuns(
+        [&] {
+          Vm V = Sys->Machine;
+          ExecContext X(C.Combined, V);
+          staticcache::runStaticEngine(SP, X, E1);
+        },
+        Reps);
+    Rep.addTiming(std::string("time_") + W[I].Name + "_threaded", TBase);
+    Rep.addTiming(std::string("time_") + W[I].Name + "_super", TSuper);
+    Rep.addTiming(std::string("time_") + W[I].Name + "_static_super",
+                  TBoth);
 
     auto Row = T.row();
     Row.cell(W[I].Name)
@@ -94,11 +97,19 @@ int main() {
         .num(100.0 * (1.0 - static_cast<double>(O1.Steps) /
                                 static_cast<double>(O0.Steps)),
              1)
-        .num(TSuper / TBase, 3)
-        .num(TBoth / TBase, 3);
+        .num(TSuper.MinNs / TBase.MinNs, 3)
+        .num(TBoth.MinNs / TBase.MinNs, 3);
+    auto ERow = TExact.row();
+    ERow.cell(W[I].Name)
+        .integer(static_cast<long long>(C.PairsCombined))
+        .integer(static_cast<long long>(O0.Steps))
+        .integer(static_cast<long long>(O1.Steps));
   }
   T.print();
   std::printf("\n(ratios < 1 mean faster than plain threading on the "
-              "original code)\n");
-  return 0;
+              "original code; ratios\nuse the minimum of %d warmed-up "
+              "repetitions)\n",
+              Reps);
+  Rep.addTable("superinst", TExact, metrics::EntryKind::Exact);
+  return Rep.write() ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchSupport.h"
+#include "metrics/Reporter.h"
 #include "support/Table.h"
 #include "trace/Simulators.h"
 
@@ -26,7 +27,9 @@ using namespace sc::bench;
 using namespace sc::cache;
 using namespace sc::trace;
 
-int main() {
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("twostack_extension");
+  Rep.parseArgs(argc, argv);
   printHeader(
       "Extension: two-stack caching (Fig. 18's sixth organization)",
       "total overhead including return-stack traffic, best data followup "
@@ -60,6 +63,7 @@ int main() {
                1);
     }
     T.print();
+    Rep.addTable("twostack_" + L.Name, T, metrics::EntryKind::Exact);
   }
-  return 0;
+  return Rep.write() ? 0 : 1;
 }

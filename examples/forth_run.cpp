@@ -8,16 +8,20 @@
 /// \file
 /// A command line Forth runner:
 ///
-///   forth_run [--engine E] [--word W] [--trace] file.fs
+///   forth_run [--engine E] [--word W] [--trace] [--stats] file.fs
 ///
 /// E is one of: switch, threaded, call-threaded, threaded-tos,
 /// dynamic3, static. W defaults to "main". With --trace, per-program
-/// Fig. 20-style statistics are printed after the run.
+/// Fig. 20-style statistics are printed after the run. With --stats (in
+/// a -DSC_STATS=ON build), the engine execution counters - per-opcode
+/// dispatch counts, cache overflow/underflow totals, occupancy and
+/// reconcile traffic - are printed after the run.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "dynamic/Dynamic3Engine.h"
 #include "forth/Forth.h"
+#include "metrics/Counters.h"
 #include "staticcache/StaticEngine.h"
 #include "staticcache/StaticSpec.h"
 #include "trace/Capture.h"
@@ -34,10 +38,12 @@ using namespace sc;
 using namespace sc::vm;
 
 static int usage() {
-  std::fprintf(stderr,
-               "usage: forth_run [--engine E] [--word W] [--trace] file.fs\n"
-               "  E: switch | threaded | call-threaded | threaded-tos |\n"
-               "     dynamic3 | static   (default: threaded)\n");
+  std::fprintf(
+      stderr,
+      "usage: forth_run [--engine E] [--word W] [--trace] [--stats] file.fs\n"
+      "  E: switch | threaded | call-threaded | threaded-tos |\n"
+      "     dynamic3 | static   (default: threaded)\n"
+      "  --stats needs a -DSC_STATS=ON build\n");
   return 2;
 }
 
@@ -46,6 +52,7 @@ int main(int Argc, char **Argv) {
   std::string WordName = "main";
   std::string FileName;
   bool WantTrace = false;
+  bool WantStats = false;
 
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--engine") && I + 1 < Argc)
@@ -54,6 +61,8 @@ int main(int Argc, char **Argv) {
       WordName = Argv[++I];
     else if (!std::strcmp(Argv[I], "--trace"))
       WantTrace = true;
+    else if (!std::strcmp(Argv[I], "--stats"))
+      WantStats = true;
     else if (Argv[I][0] == '-')
       return usage();
     else
@@ -91,6 +100,13 @@ int main(int Argc, char **Argv) {
   Vm Machine = Sys.Machine; // run against a copy, like runIsolated
   Machine.resetOutput();
   ExecContext Ctx(Sys.Prog, Machine);
+  metrics::Counters Stats;
+  if (WantStats) {
+    if (!metrics::statsEnabled())
+      std::fprintf(stderr, "forth_run: this build has SC_STATS off; "
+                           "--stats will print nothing useful\n");
+    Ctx.Stats = &Stats;
+  }
   RunOutcome O;
   uint32_t Entry = Sys.entryOf(WordName);
 
@@ -137,5 +153,7 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(S.Insts), S.LoadsPerInst,
                  S.SpUpdatesPerInst, S.CallsPerInst);
   }
+  if (WantStats)
+    std::fputs(metrics::formatCounters(Stats).c_str(), stderr);
   return 0;
 }

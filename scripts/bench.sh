@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Run every bench binary with --json and roll the per-bench documents up
+# into BENCH_results.json at the repo root (via tools/bench_merge).
+#
+# Usage: scripts/bench.sh [--smoke] [--self-check] [--out FILE] [build-dir]
+#
+# --smoke       sets SC_BENCH_SMOKE=1: Google-Benchmark min times drop to
+#               0.01s and timeRuns() repetitions drop to 3. This is CI's
+#               perf-smoke mode; timings are noisy but the deterministic
+#               ("exact") entries are identical to a full run.
+# --self-check  after merging, verify the comparator: the roll-up must
+#               match itself, and a perturbed copy (one bench dropped,
+#               one exact value changed) must make bench_compare fail.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SMOKE=0
+SELFCHECK=0
+OUT="$ROOT/BENCH_results.json"
+BUILD=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1; shift ;;
+    --self-check) SELFCHECK=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    -*)
+      echo "usage: scripts/bench.sh [--smoke] [--self-check] [--out FILE]" \
+           "[build-dir]" >&2
+      exit 2 ;;
+    *) BUILD="$1"; shift ;;
+  esac
+done
+BUILD="${BUILD:-$ROOT/build}"
+
+if [ ! -x "$BUILD/tools/bench_merge" ]; then
+  echo "bench.sh: $BUILD/tools/bench_merge missing; build first:" >&2
+  echo "  cmake -B $BUILD -S $ROOT -G Ninja && cmake --build $BUILD" >&2
+  exit 2
+fi
+
+if [ "$SMOKE" = 1 ]; then
+  export SC_BENCH_SMOKE=1
+  echo "(smoke mode: SC_BENCH_SMOKE=1, reduced iterations)"
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+JSONS=()
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "==== $name"
+  "$b" --json "$TMP/$name.json"
+  JSONS+=("$TMP/$name.json")
+done
+if [ "${#JSONS[@]}" -eq 0 ]; then
+  echo "bench.sh: no bench binaries in $BUILD/bench" >&2
+  exit 2
+fi
+
+"$BUILD/tools/bench_merge" "$OUT" "${JSONS[@]}"
+echo "wrote $OUT (${#JSONS[@]} benches)"
+
+if [ "$SELFCHECK" = 1 ]; then
+  echo "==== comparator self-check"
+  # The roll-up must compare clean against itself...
+  "$BUILD/tools/bench_compare" "$OUT" "$OUT" > /dev/null
+
+  # ...a copy with one bench dropped must fail (coverage loss)...
+  REDUCED="$TMP/reduced.json"
+  "$BUILD/tools/bench_merge" "$REDUCED" "${JSONS[@]:1}"
+  if "$BUILD/tools/bench_compare" "$OUT" "$REDUCED" > /dev/null; then
+    echo "bench.sh: self-check FAILED: dropped bench not flagged" >&2
+    exit 1
+  fi
+
+  # ...and so must a copy with one "exact" table cell changed (table
+  # cells are JSON strings; rewrite the first purely numeric one).
+  PERTURBED="$TMP/perturbed.json"
+  sed '0,/^\( *\)"[0-9]\{1,\}"\(,\{0,1\}\)$/s//\1"987654321"\2/' \
+      "$OUT" > "$PERTURBED"
+  if cmp -s "$OUT" "$PERTURBED"; then
+    echo "(no numeric table cell to perturb; skipping value check)"
+  elif "$BUILD/tools/bench_compare" "$OUT" "$PERTURBED" > /dev/null; then
+    echo "bench.sh: self-check FAILED: changed value not flagged" >&2
+    exit 1
+  fi
+  echo "self-check OK: comparator flags perturbed copies"
+fi

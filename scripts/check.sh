@@ -2,19 +2,37 @@
 # Full verification: configure, build, run all tests, run every benchmark.
 # Usage: scripts/check.sh [build-dir]
 #        scripts/check.sh --sanitize [build-dir]
+#        scripts/check.sh --bench-smoke [build-dir]
 #
 # --sanitize builds with ASan+UBSan (SC_SANITIZE=address,undefined), runs
 # the test suite plus a fuzz pass, and skips the benchmarks (sanitized
 # timings are meaningless).
+#
+# --bench-smoke builds with -DSC_STATS=ON, runs the whole bench suite in
+# smoke mode (SC_BENCH_SMOKE=1: reduced iterations) through
+# scripts/bench.sh, producing BENCH_results.json and running the
+# comparator self-check. This is what CI's perf-smoke job runs.
 set -euo pipefail
 
-SANITIZE=0
-if [ "${1:-}" = "--sanitize" ]; then
-  SANITIZE=1
+MODE=full
+case "${1:-}" in
+--sanitize)
+  MODE=sanitize
   shift
-fi
+  ;;
+--bench-smoke)
+  MODE=bench-smoke
+  shift
+  ;;
+esac
 
-if [ "$SANITIZE" = 1 ]; then
+if [ "$MODE" = bench-smoke ]; then
+  BUILD="${1:-build-stats}"
+  cmake -B "$BUILD" -G Ninja -DSC_STATS=ON
+  cmake --build "$BUILD"
+  ctest --test-dir "$BUILD" --output-on-failure
+  "$(dirname "$0")"/bench.sh --smoke --self-check "$BUILD"
+elif [ "$MODE" = sanitize ]; then
   BUILD="${1:-build-san}"
   cmake -B "$BUILD" -G Ninja -DSC_SANITIZE=address,undefined
   cmake --build "$BUILD"

@@ -16,6 +16,7 @@
 
 #include "dispatch/Engines.h"
 
+#include "metrics/Counters.h"
 #include "support/Assert.h"
 #include "vm/ArithOps.h"
 
@@ -148,9 +149,12 @@ RunOutcome sc::dispatch::runCallThreadedEngine(ExecContext &Ctx,
     Threaded[2 * I + 1] = In.Operand;
   }
 
-  if (Ctx.RsDepth >= Ctx.RsCapacity)
+  if (Ctx.RsDepth >= Ctx.RsCapacity) {
+    SC_IF_STATS(if (Ctx.Stats)
+                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
     return makeFault(RunStatus::RStackOverflow, 0, Entry,
                      Prog.Insts[Entry].Op, Ctx.DsDepth, Ctx.RsDepth);
+  }
 
   // The registers are static storage (the technique's defining cost), so a
   // faulted or aborted previous run could leave stale values behind; reset
@@ -182,12 +186,15 @@ RunOutcome sc::dispatch::runCallThreadedEngine(ExecContext &Ctx,
     ++G.Steps;
     G.W = G.Ip;
     G.Ip += 2;
+    SC_IF_STATS(if (Ctx.Stats) metrics::noteDispatch(
+                    *Ctx.Stats, Prog.Insts[(G.W - G.Base) / 2].Op));
     reinterpret_cast<PrimFn>(static_cast<uintptr_t>(G.W[0]))();
   }
 
   Ctx.DsDepth = G.Dsp;
   Ctx.RsDepth = G.Rsp;
   Ctx.noteHighWater();
+  SC_IF_STATS(if (Ctx.Stats) metrics::noteTrap(*Ctx.Stats, G.St));
   if (G.St == RunStatus::Halted)
     return {G.St, G.Steps};
   // G.W still addresses the instruction whose primitive trapped; StepLimit

@@ -20,6 +20,7 @@
 #ifndef SC_DISPATCH_SWITCHENGINEIMPL_H
 #define SC_DISPATCH_SWITCHENGINEIMPL_H
 
+#include "metrics/Counters.h"
 #include "support/Assert.h"
 #include "vm/ExecContext.h"
 #include "vm/ArithOps.h"
@@ -62,6 +63,8 @@ vm::RunOutcome runSwitchImpl(vm::ExecContext &Ctx, uint32_t Entry,
   if (Rsp >= RsCap) {
     Ctx.DsDepth = Dsp;
     Ctx.RsDepth = Rsp;
+    SC_IF_STATS(if (Ctx.Stats)
+                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
     return makeFault(RunStatus::RStackOverflow, 0, Entry, Insts[Entry].Op,
                      Dsp, Rsp);
   }
@@ -122,6 +125,7 @@ vm::RunOutcome runSwitchImpl(vm::ExecContext &Ctx, uint32_t Entry,
     CurIp = Ip;
     const Inst &In = Insts[Ip];
     Tr.onInst(Ip, In.Op);
+    SC_IF_STATS(if (Ctx.Stats) metrics::noteDispatch(*Ctx.Stats, In.Op));
     ++Steps;
     ++Ip; // SC_NEXTIP; branch bodies overwrite via SC_JUMP
     switch (In.Op) {
@@ -154,6 +158,7 @@ Done:
   Ctx.DsDepth = Dsp;
   Ctx.RsDepth = Rsp;
   Ctx.noteHighWater();
+  SC_IF_STATS(if (Ctx.Stats) metrics::noteTrap(*Ctx.Stats, St));
   if (St == RunStatus::Halted)
     return {St, Steps};
   // Body traps report the faulting instruction (CurIp); StepLimit fires

@@ -16,6 +16,7 @@
 
 #include "dispatch/Engines.h"
 
+#include "metrics/Counters.h"
 #include "support/Assert.h"
 #include "vm/ArithOps.h"
 
@@ -66,6 +67,8 @@ vm::RunOutcome sc::dispatch::runThreadedEngine(ExecContext &Ctx,
   if (Rsp >= RsCap) {
     Ctx.DsDepth = Dsp;
     Ctx.RsDepth = Rsp;
+    SC_IF_STATS(if (Ctx.Stats)
+                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
     return makeFault(RunStatus::RStackOverflow, 0, Entry,
                      Prog.Insts[Entry].Op, Dsp, Rsp);
   }
@@ -81,6 +84,8 @@ vm::RunOutcome sc::dispatch::runThreadedEngine(ExecContext &Ctx,
     ++Steps;                                                                   \
     W = Ip;                                                                    \
     Ip += 2;                                                                   \
+    SC_IF_STATS(if (Ctx.Stats) metrics::noteDispatch(                          \
+                    *Ctx.Stats, Prog.Insts[(W - Base) / 2].Op));               \
     goto *reinterpret_cast<void *>(W[0]);                                      \
   }
 
@@ -160,6 +165,7 @@ Done:
   Ctx.DsDepth = Dsp;
   Ctx.RsDepth = Rsp;
   Ctx.noteHighWater();
+  SC_IF_STATS(if (Ctx.Stats) metrics::noteTrap(*Ctx.Stats, St));
   if (St == RunStatus::Halted)
     return {St, Steps};
   // W still addresses the instruction whose body trapped; on StepLimit

@@ -20,6 +20,7 @@
 
 #include "dispatch/Engines.h"
 
+#include "metrics/Counters.h"
 #include "support/Assert.h"
 #include "vm/ArithOps.h"
 
@@ -79,6 +80,8 @@ vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
   }
 
   if (Rsp >= RsCap) {
+    SC_IF_STATS(if (Ctx.Stats)
+                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
     return makeFault(RunStatus::RStackOverflow, 0, Entry,
                      Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
   }
@@ -94,6 +97,9 @@ vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
     ++Steps;                                                                   \
     W = Ip;                                                                    \
     Ip += 2;                                                                   \
+    SC_IF_STATS(if (Ctx.Stats) metrics::noteCachedDispatch(                    \
+                    *Ctx.Stats, Prog.Insts[(W - Base) / 2].Op,                 \
+                    Sp > StackBase ? 1u : 0u, 1u));                            \
     goto *reinterpret_cast<void *>(W[0]);                                      \
   }
 
@@ -185,6 +191,7 @@ Done:
   }
   Ctx.RsDepth = Rsp;
   Ctx.noteHighWater();
+  SC_IF_STATS(if (Ctx.Stats) metrics::noteTrap(*Ctx.Stats, St));
   if (St == RunStatus::Halted)
     return {St, Steps};
   // W still addresses the trapping instruction; StepLimit bails out of the

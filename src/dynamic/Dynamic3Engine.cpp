@@ -24,6 +24,7 @@
 
 #include "dynamic/Dynamic3Engine.h"
 
+#include "metrics/Counters.h"
 #include "vm/ArithOps.h"
 #include "support/Assert.h"
 
@@ -136,6 +137,8 @@ vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
   bool HasFaultAddr = false;
 
   if (Rsp >= RsCap) {
+    SC_IF_STATS(if (Ctx.Stats)
+                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
     return makeFault(RunStatus::RStackOverflow, 0, Entry,
                      Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
   }
@@ -151,11 +154,15 @@ vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
   }                                                                            \
   --StepsLeft;                                                                 \
   ++Steps;
+#define STATS_DISPATCH(State)                                                  \
+  SC_IF_STATS(if (Ctx.Stats) metrics::noteCachedDispatch(                      \
+                  *Ctx.Stats, static_cast<Opcode>(W[0]), (State), 2u))
 #define NEXT0                                                                  \
   {                                                                            \
     STEP_GUARD(0)                                                              \
     W = Ip;                                                                    \
     Ip += 2;                                                                   \
+    STATS_DISPATCH(0);                                                         \
     goto *Tab0[W[0]];                                                          \
   }
 #define NEXT1                                                                  \
@@ -163,6 +170,7 @@ vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
     STEP_GUARD(1)                                                              \
     W = Ip;                                                                    \
     Ip += 2;                                                                   \
+    STATS_DISPATCH(1);                                                         \
     goto *Tab1[W[0]];                                                          \
   }
 #define NEXT2                                                                  \
@@ -170,6 +178,7 @@ vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
     STEP_GUARD(2)                                                              \
     W = Ip;                                                                    \
     Ip += 2;                                                                   \
+    STATS_DISPATCH(2);                                                         \
     goto *Tab2[W[0]];                                                          \
   }
 #define TRAPS(State, Status)                                                   \
@@ -219,10 +228,12 @@ vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
   // --- Spill shims: rare op in a cached state -> flush, redo in state 0.
 Shim1:
   Stack[Dsp++] = R0;
+  SC_IF_STATS(if (Ctx.Stats) ++Ctx.Stats->ReconcileStores);
   goto *Tab0[W[0]];
 Shim2:
   Stack[Dsp++] = R0;
   Stack[Dsp++] = R1;
+  SC_IF_STATS(if (Ctx.Stats) Ctx.Stats->ReconcileStores += 2);
   goto *Tab0[W[0]];
 
   // --- Specialized copies ---------------------------------------------------
@@ -760,6 +771,7 @@ S2_LitStore:
 
 Done:
 #undef STEP_GUARD
+#undef STATS_DISPATCH
 #undef NEXT0
 #undef NEXT1
 #undef NEXT2
@@ -778,6 +790,10 @@ Done:
     Stack[Dsp++] = R0;
   if (ExitState == 2)
     Stack[Dsp++] = R1;
+  SC_IF_STATS(if (Ctx.Stats) {
+    Ctx.Stats->ReconcileStores += ExitState;
+    metrics::noteTrap(*Ctx.Stats, St);
+  });
   Ctx.DsDepth = Dsp;
   Ctx.RsDepth = Rsp;
   Ctx.noteHighWater();

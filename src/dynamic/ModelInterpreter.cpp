@@ -7,6 +7,7 @@
 
 #include "dynamic/ModelInterpreter.h"
 
+#include "metrics/Counters.h"
 #include "support/Assert.h"
 #include "vm/ArithOps.h"
 
@@ -36,6 +37,7 @@ public:
 
   const Counts &counts() const { return Total; }
   uint64_t totalDepth() const { return Mem.size() + Depth; }
+  unsigned cachedDepth() const { return Depth; }
 
   /// Copies the full logical stack, bottom first (for ExecContext sync
   /// and shadow checks).
@@ -152,6 +154,8 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
 
   ModelOutcome Result;
   if (Rsp >= RsCap) {
+    SC_IF_STATS(if (Ctx.Stats)
+                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
     Result.Outcome = makeFault(RunStatus::RStackOverflow, 0, Entry,
                                Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
     return Result;
@@ -168,6 +172,14 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
     Ctx.noteHighWater();
     Result.Outcome = {Status, Steps};
     Result.Costs = Cache.counts();
+    // The value cache counts real management traffic as it happens;
+    // export it into the engine counters rather than re-deriving it.
+    SC_IF_STATS(if (Ctx.Stats) {
+      Ctx.Stats->ReconcileLoads += Result.Costs.Loads;
+      Ctx.Stats->ReconcileStores += Result.Costs.Stores;
+      Ctx.Stats->ReconcileMoves += Result.Costs.Moves;
+      metrics::noteTrap(*Ctx.Stats, Status);
+    });
     if (Status != RunStatus::Halted) {
       // Ip still indexes the trapping instruction (it advances at the
       // loop bottom); on StepLimit it is the resume point. Either way
@@ -225,6 +237,9 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
     uint32_t NextIp = Ip + 1;
     ++Steps;
     Cache.countDispatch();
+    SC_IF_STATS(if (Ctx.Stats) metrics::noteCachedDispatch(
+                    *Ctx.Stats, In.Op, Cache.cachedDepth(),
+                    Config.Policy.NumRegs));
 
     // Shadow bookkeeping: simple flat-stack semantics, maintained
     // independently from the cache and compared after each step.

@@ -1,0 +1,250 @@
+//===-- metrics/Compare.cpp - Bench-result regression comparator ----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Compare.h"
+
+#include "metrics/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sc;
+using namespace sc::metrics;
+
+bool sc::metrics::parseNumericCell(const std::string &Text, double &Value) {
+  if (Text.empty())
+    return false;
+  const char *S = Text.c_str();
+  char *End = nullptr;
+  Value = std::strtod(S, &End);
+  return End == S + Text.size();
+}
+
+std::string CompareResult::render() const {
+  std::string Out;
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (const CompareIssue &I : Issues)
+      if (I.Regression == (Pass == 0)) {
+        Out += I.Regression ? "REGRESSION " : "note       ";
+        Out += I.Where;
+        Out += ": ";
+        Out += I.Detail;
+        Out += '\n';
+      }
+  return Out;
+}
+
+namespace {
+
+class Comparer {
+  const CompareOptions &Opts;
+  CompareResult &Res;
+
+public:
+  Comparer(const CompareOptions &O, CompareResult &R) : Opts(O), Res(R) {}
+
+  void issue(const std::string &Where, std::string Detail,
+             bool Regression) {
+    Res.Issues.push_back({Where, std::move(Detail), Regression});
+  }
+
+  /// Numeric timing comparison: slower beyond the threshold is a
+  /// regression, faster beyond it is a note.
+  void compareTimingNumber(const std::string &Where, double Base,
+                           double Cur) {
+    if (Base <= 0) {
+      if (Cur != Base)
+        issue(Where, "baseline is zero, current is " + std::to_string(Cur),
+              false);
+      return;
+    }
+    double Rel = (Cur - Base) / Base;
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%+.1f%% (%g -> %g)", Rel * 100, Base,
+                  Cur);
+    if (Rel > Opts.TimingThreshold)
+      issue(Where, std::string("slower ") + Buf, true);
+    else if (Rel < -Opts.TimingThreshold)
+      issue(Where, std::string("faster ") + Buf, false);
+  }
+
+  void compareCell(const std::string &Where, const std::string &Base,
+                   const std::string &Cur, bool Timing) {
+    if (Base == Cur)
+      return;
+    double BV, CV;
+    if (Timing && parseNumericCell(Base, BV) && parseNumericCell(Cur, CV)) {
+      compareTimingNumber(Where, BV, CV);
+      return;
+    }
+    issue(Where, "'" + Base + "' -> '" + Cur + "'", true);
+  }
+
+  void compareTables(const std::string &Where, const Json &Base,
+                     const Json &Cur, bool Timing) {
+    if (Base.size() != Cur.size()) {
+      issue(Where, "row count " + std::to_string(Base.size()) + " -> " +
+                       std::to_string(Cur.size()),
+            true);
+      return;
+    }
+    for (size_t R = 0; R < Base.size(); ++R) {
+      const Json &BR = Base.at(R), &CR = Cur.at(R);
+      if (BR.size() != CR.size()) {
+        issue(Where + "/row" + std::to_string(R), "column count changed",
+              true);
+        continue;
+      }
+      for (size_t C = 0; C < BR.size(); ++C)
+        compareCell(Where + "/row" + std::to_string(R) + "/col" +
+                        std::to_string(C),
+                    BR.at(C).asString(), CR.at(C).asString(), Timing);
+    }
+  }
+
+  void compareValues(const std::string &Where, const Json &Base,
+                     const Json &Cur, bool Timing) {
+    for (const auto &M : Base.members()) {
+      const Json *CV = Cur.find(M.first);
+      const std::string Sub = Where + "/" + M.first;
+      if (!CV) {
+        issue(Sub, "missing in current file", true);
+        continue;
+      }
+      if (M.second == *CV)
+        continue;
+      if (Timing && M.second.isNumber() && CV->isNumber()) {
+        compareTimingNumber(Sub, M.second.asDouble(), CV->asDouble());
+        continue;
+      }
+      issue(Sub, "'" + M.second.dump(0) + "' -> '" + CV->dump(0) + "'",
+            true);
+    }
+    for (const auto &M : Cur.members())
+      if (!Base.has(M.first))
+        issue(Where + "/" + M.first, "new in current file", false);
+  }
+
+  void compareEntry(const std::string &Where, const Json &Base,
+                    const Json &Cur) {
+    const Json *KindJ = Base.find("kind");
+    std::string Kind = KindJ ? KindJ->asString() : "exact";
+    if (Kind == "info")
+      return;
+    bool Timing = Kind == "timing";
+
+    const Json *BT = Base.find("table"), *CT = Cur.find("table");
+    if (BT && CT) {
+      compareTables(Where, *BT, *CT, Timing);
+      return;
+    }
+    const Json *BV = Base.find("values"), *CV = Cur.find("values");
+    if (BV && CV) {
+      compareValues(Where, *BV, *CV, Timing);
+      return;
+    }
+    const Json *BC = Base.find("counters"), *CC = Cur.find("counters");
+    if (BC && CC) {
+      if (*BC != *CC)
+        issue(Where, "counters differ", true);
+      return;
+    }
+    issue(Where, "payload shape changed", true);
+  }
+
+  void compareBench(const std::string &BenchName, const Json &Base,
+                    const Json &Cur) {
+    const Json *BE = Base.find("entries");
+    const Json *CE = Cur.find("entries");
+    if (!BE || !CE) {
+      if (BE != CE)
+        issue(BenchName, "entries missing on one side", true);
+      return;
+    }
+    for (size_t I = 0; I < BE->size(); ++I) {
+      const Json &B = BE->at(I);
+      const Json *NameJ = B.find("name");
+      std::string Name = NameJ ? NameJ->asString()
+                               : "entry" + std::to_string(I);
+      const Json *Match = nullptr;
+      for (size_t J = 0; J < CE->size(); ++J) {
+        const Json *N = CE->at(J).find("name");
+        if (N && N->asString() == Name) {
+          Match = &CE->at(J);
+          break;
+        }
+      }
+      if (!Match) {
+        issue(BenchName + "/" + Name, "missing in current file", true);
+        continue;
+      }
+      compareEntry(BenchName + "/" + Name, B, *Match);
+    }
+    for (size_t J = 0; J < CE->size(); ++J) {
+      const Json *N = CE->at(J).find("name");
+      std::string Name = N ? N->asString() : "entry" + std::to_string(J);
+      bool Known = false;
+      for (size_t I = 0; I < BE->size(); ++I) {
+        const Json *BN = BE->at(I).find("name");
+        if (BN && BN->asString() == Name)
+          Known = true;
+      }
+      if (!Known)
+        issue(BenchName + "/" + Name, "new in current file", false);
+    }
+  }
+};
+
+/// Normalizes a document into a name -> per-bench-doc view. A merged
+/// roll-up has a "benches" object; a single per-bench file has "bench".
+std::vector<std::pair<std::string, const Json *>>
+benchesOf(const Json &Doc) {
+  std::vector<std::pair<std::string, const Json *>> Out;
+  if (const Json *Benches = Doc.find("benches")) {
+    for (const auto &M : Benches->members())
+      Out.emplace_back(M.first, &M.second);
+    return Out;
+  }
+  const Json *Name = Doc.find("bench");
+  Out.emplace_back(Name ? Name->asString() : "unnamed", &Doc);
+  return Out;
+}
+
+} // namespace
+
+CompareResult sc::metrics::compareResults(const Json &Baseline,
+                                          const Json &Current,
+                                          const CompareOptions &Opts) {
+  CompareResult Res;
+  Comparer C(Opts, Res);
+  auto Base = benchesOf(Baseline);
+  auto Cur = benchesOf(Current);
+  auto FindCur = [&](const std::string &Name) -> const Json * {
+    for (const auto &P : Cur)
+      if (P.first == Name)
+        return P.second;
+    return nullptr;
+  };
+  for (const auto &P : Base) {
+    const Json *Match = FindCur(P.first);
+    if (!Match) {
+      C.issue(P.first, "bench missing in current file", true);
+      continue;
+    }
+    C.compareBench(P.first, *P.second, *Match);
+  }
+  for (const auto &P : Cur) {
+    bool Known = false;
+    for (const auto &B : Base)
+      if (B.first == P.first)
+        Known = true;
+    if (!Known)
+      C.issue(P.first, "new bench in current file", false);
+  }
+  return Res;
+}

@@ -1,0 +1,68 @@
+//===-- metrics/Compare.h - Bench-result regression comparator -*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diffs two bench-result documents (per-bench "sc-bench-v1" files or
+/// merged "sc-bench-results-v1" roll-ups) and classifies every
+/// difference. "exact" and "counters" entries flag any deviation —
+/// these carry the paper's state counts and cost-model numbers, which
+/// are deterministic. "timing" entries compare numeric values within a
+/// relative threshold so wall-clock noise does not fail CI, while real
+/// slowdowns beyond the threshold do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_METRICS_COMPARE_H
+#define SC_METRICS_COMPARE_H
+
+#include <string>
+#include <vector>
+
+namespace sc::metrics {
+
+class Json;
+
+struct CompareOptions {
+  /// Allowed relative change on timing entries before a slowdown is a
+  /// regression (0.25 = +25%). See EXPERIMENTS.md for how this was
+  /// chosen.
+  double TimingThreshold = 0.25;
+};
+
+/// One observed difference.
+struct CompareIssue {
+  std::string Where;  ///< "bench/entry" or "bench/entry/key"
+  std::string Detail; ///< human-readable description
+  bool Regression;    ///< true when this difference should fail CI
+};
+
+struct CompareResult {
+  std::vector<CompareIssue> Issues;
+
+  bool regression() const {
+    for (const CompareIssue &I : Issues)
+      if (I.Regression)
+        return true;
+    return false;
+  }
+
+  /// One line per issue, regressions first.
+  std::string render() const;
+};
+
+/// Compares \p Current against \p Baseline. Entries present only in the
+/// baseline are regressions (coverage loss); entries present only in the
+/// current file are notes.
+CompareResult compareResults(const Json &Baseline, const Json &Current,
+                             const CompareOptions &Opts = {});
+
+/// True when \p Text spells a number; sets \p Value.
+bool parseNumericCell(const std::string &Text, double &Value);
+
+} // namespace sc::metrics
+
+#endif // SC_METRICS_COMPARE_H

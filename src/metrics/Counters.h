@@ -1,0 +1,139 @@
+//===-- metrics/Counters.h - Engine execution counters ---------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-run execution counters every engine and trace simulator can fill:
+/// per-opcode dispatch counts, cache overflow/underflow events, a
+/// cache-state occupancy histogram, reconcile traffic (spills, fills and
+/// register moves), and trap counts.
+///
+/// Collection is gated behind the SC_STATS compile-time flag; with it off
+/// the SC_IF_STATS(...) instrumentation sites compile to nothing, so the
+/// hot dispatch loops are untouched. An engine only records into
+/// ExecContext::Stats when the caller installed a Counters object there,
+/// so even stats-enabled builds pay one predictable branch per site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_METRICS_COUNTERS_H
+#define SC_METRICS_COUNTERS_H
+
+#include "vm/Opcode.h"
+#include "vm/RunResult.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sc::metrics {
+
+class Json;
+
+/// True when the build collects execution counters (SC_STATS).
+constexpr bool statsEnabled() {
+#ifdef SC_STATS
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Wraps an instrumentation site. The arguments are compiled only when
+/// SC_STATS is on; otherwise the site disappears entirely.
+#ifdef SC_STATS
+#define SC_IF_STATS(...)                                                       \
+  do {                                                                         \
+    __VA_ARGS__;                                                               \
+  } while (0)
+#else
+#define SC_IF_STATS(...)                                                       \
+  do {                                                                         \
+  } while (0)
+#endif
+
+/// Number of cache-occupancy buckets (cached depths 0..3; the project's
+/// caches keep at most two items in registers, bucket 3 is headroom).
+inline constexpr unsigned OccupancyStates = 4;
+
+/// Execution counters for one engine or simulator run.
+struct Counters {
+  /// Dispatches per opcode, indexed by static_cast<unsigned>(Opcode).
+  uint64_t Dispatch[vm::NumOpcodes] = {};
+  /// Dispatches observed with 0..3 stack items cached in registers.
+  /// Non-caching engines land everything in bucket 0.
+  uint64_t Occupancy[OccupancyStates] = {};
+  /// Dispatches whose stack effect would exceed the cache capacity
+  /// (a spill is needed before or after the instruction).
+  uint64_t CacheOverflows = 0;
+  /// Dispatches needing more cached items than the cache holds
+  /// (a fill from memory is needed).
+  uint64_t CacheUnderflows = 0;
+  /// Reconcile traffic: cached items written back to the memory stack.
+  uint64_t ReconcileLoads = 0;  ///< memory-stack cells loaded into registers
+  uint64_t ReconcileStores = 0; ///< register items spilled to the memory stack
+  uint64_t ReconcileMoves = 0;  ///< register-to-register shuffles
+  /// Run terminations per RunStatus (Halted counts as a "trap" bucket
+  /// too, so the sum equals the number of runs recorded).
+  uint64_t Traps[vm::NumRunStatuses] = {};
+
+  void reset() { *this = Counters(); }
+
+  /// Sum of Dispatch over all opcodes.
+  uint64_t totalDispatch() const;
+
+  /// True when every field is zero (what an SC_STATS=off run leaves).
+  bool allZero() const;
+
+  /// Field-for-field accumulation (for aggregating across runs).
+  Counters &operator+=(const Counters &O);
+
+  friend bool operator==(const Counters &A, const Counters &B);
+  friend bool operator!=(const Counters &A, const Counters &B) {
+    return !(A == B);
+  }
+};
+
+bool operator==(const Counters &A, const Counters &B);
+
+/// Records one dispatch in a non-caching engine (occupancy bucket 0).
+inline void noteDispatch(Counters &C, vm::Opcode Op) {
+  ++C.Dispatch[static_cast<unsigned>(Op)];
+  ++C.Occupancy[0];
+}
+
+/// Records one dispatch in a caching engine with \p CachedDepth items in
+/// registers out of a cache of \p Capacity registers. Derives cache
+/// underflow (instruction needs more cached items than present) and
+/// overflow (result would exceed capacity) from the opcode's static
+/// stack effect.
+inline void noteCachedDispatch(Counters &C, vm::Opcode Op,
+                               unsigned CachedDepth, unsigned Capacity) {
+  ++C.Dispatch[static_cast<unsigned>(Op)];
+  ++C.Occupancy[CachedDepth < OccupancyStates ? CachedDepth
+                                              : OccupancyStates - 1];
+  const vm::StackEffect E = vm::opInfo(Op).Data;
+  if (E.In > CachedDepth)
+    ++C.CacheUnderflows;
+  else if (CachedDepth - E.In + E.Out > Capacity)
+    ++C.CacheOverflows;
+}
+
+/// Records the way a run ended.
+inline void noteTrap(Counters &C, vm::RunStatus S) {
+  ++C.Traps[static_cast<unsigned>(S)];
+}
+
+/// Serializes \p C as a JSON object: total and per-opcode (mnemonic-keyed,
+/// nonzero only) dispatch counts, occupancy, cache events, reconcile
+/// traffic and traps.
+Json countersToJson(const Counters &C);
+
+/// Human-readable multi-line rendering (forth_run --stats).
+std::string formatCounters(const Counters &C);
+
+} // namespace sc::metrics
+
+#endif // SC_METRICS_COUNTERS_H

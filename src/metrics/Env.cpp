@@ -1,0 +1,64 @@
+//===-- metrics/Env.cpp - Build/run environment capture -------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Env.h"
+
+#include "metrics/Counters.h"
+#include "metrics/Json.h"
+
+#include <ctime>
+#include <fstream>
+#include <string>
+
+using namespace sc;
+using namespace sc::metrics;
+
+#ifndef SC_GIT_REV
+#define SC_GIT_REV "unknown"
+#endif
+#ifndef SC_BUILD_FLAGS
+#define SC_BUILD_FLAGS ""
+#endif
+#ifndef SC_BUILD_TYPE
+#define SC_BUILD_TYPE ""
+#endif
+
+static std::string cpuModel() {
+  std::ifstream In("/proc/cpuinfo");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("model name", 0) != 0)
+      continue;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      break;
+    size_t Start = Line.find_first_not_of(" \t", Colon + 1);
+    return Start == std::string::npos ? "" : Line.substr(Start);
+  }
+  return "unknown";
+}
+
+Json sc::metrics::captureEnv() {
+  Json Env = Json::object();
+#if defined(__VERSION__)
+  Env.set("compiler", Json::string(__VERSION__));
+#else
+  Env.set("compiler", Json::string("unknown"));
+#endif
+  Env.set("cxx_flags", Json::string(SC_BUILD_FLAGS));
+  Env.set("build_type", Json::string(SC_BUILD_TYPE));
+  Env.set("git_rev", Json::string(SC_GIT_REV));
+  Env.set("cpu", Json::string(cpuModel()));
+  Env.set("stats", Json::boolean(statsEnabled()));
+
+  char Stamp[32] = "unknown";
+  std::time_t Now = std::time(nullptr);
+  if (std::tm *Utc = std::gmtime(&Now))
+    std::strftime(Stamp, sizeof(Stamp), "%Y-%m-%dT%H:%M:%SZ", Utc);
+  Env.set("timestamp", Json::string(Stamp));
+  return Env;
+}

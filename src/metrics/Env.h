@@ -1,0 +1,30 @@
+//===-- metrics/Env.h - Build/run environment capture ----------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Captures the environment a benchmark ran in — compiler, build flags,
+/// CPU model, git revision, SC_STATS setting — as a JSON object embedded
+/// in every result file. The comparator never diffs this section; it
+/// exists so a BENCH_results.json is self-describing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_METRICS_ENV_H
+#define SC_METRICS_ENV_H
+
+namespace sc::metrics {
+
+class Json;
+
+/// Returns the environment object: compiler, cxx_flags, build_type,
+/// git_rev (build-time values from CMake), cpu (from /proc/cpuinfo when
+/// available), stats (SC_STATS on/off) and a UTC timestamp.
+Json captureEnv();
+
+} // namespace sc::metrics
+
+#endif // SC_METRICS_ENV_H

@@ -1,0 +1,522 @@
+//===-- metrics/Json.cpp - JSON writer and parser -------------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Json.h"
+
+#include "support/Assert.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sc;
+using namespace sc::metrics;
+
+Json Json::boolean(bool B) {
+  Json J;
+  J.K = Kind::Bool;
+  J.BoolVal = B;
+  return J;
+}
+
+Json Json::number(int64_t V) { return numberText(std::to_string(V)); }
+
+Json Json::number(uint64_t V) { return numberText(std::to_string(V)); }
+
+Json Json::number(double V) {
+  if (!std::isfinite(V))
+    return Json::null(); // JSON has no Inf/NaN; null marks the hole
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  // Prefer the shortest spelling that round-trips.
+  for (int Prec = 1; Prec <= 16; ++Prec) {
+    char Short[40];
+    std::snprintf(Short, sizeof(Short), "%.*g", Prec, V);
+    if (std::strtod(Short, nullptr) == V)
+      return numberText(Short);
+  }
+  return numberText(Buf);
+}
+
+Json Json::numberText(std::string Spelling) {
+  Json J;
+  J.K = Kind::Number;
+  J.Str = std::move(Spelling);
+  return J;
+}
+
+Json Json::string(std::string S) {
+  Json J;
+  J.K = Kind::String;
+  J.Str = std::move(S);
+  return J;
+}
+
+Json Json::array() {
+  Json J;
+  J.K = Kind::Array;
+  return J;
+}
+
+Json Json::object() {
+  Json J;
+  J.K = Kind::Object;
+  return J;
+}
+
+bool Json::asBool() const { return K == Kind::Bool && BoolVal; }
+
+double Json::asDouble() const {
+  return K == Kind::Number ? std::strtod(Str.c_str(), nullptr) : 0.0;
+}
+
+int64_t Json::asInt() const {
+  return K == Kind::Number
+             ? static_cast<int64_t>(std::strtoll(Str.c_str(), nullptr, 10))
+             : 0;
+}
+
+const std::string &Json::asString() const {
+  static const std::string Empty;
+  return K == Kind::String ? Str : Empty;
+}
+
+const std::string &Json::numberSpelling() const {
+  static const std::string Empty;
+  return K == Kind::Number ? Str : Empty;
+}
+
+size_t Json::size() const { return Arr.size(); }
+
+const Json &Json::at(size_t I) const {
+  SC_ASSERT(K == Kind::Array && I < Arr.size(), "Json::at out of range");
+  return Arr[I];
+}
+
+Json &Json::at(size_t I) {
+  SC_ASSERT(K == Kind::Array && I < Arr.size(), "Json::at out of range");
+  return Arr[I];
+}
+
+void Json::push(Json V) {
+  SC_ASSERT(K == Kind::Array, "push on non-array");
+  Arr.push_back(std::move(V));
+}
+
+void Json::set(const std::string &Name, Json V) {
+  SC_ASSERT(K == Kind::Object, "set on non-object");
+  for (auto &M : Obj)
+    if (M.first == Name) {
+      M.second = std::move(V);
+      return;
+    }
+  Obj.emplace_back(Name, std::move(V));
+}
+
+const Json *Json::find(const std::string &Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &M : Obj)
+    if (M.first == Name)
+      return &M.second;
+  return nullptr;
+}
+
+Json *Json::find(const std::string &Name) {
+  return const_cast<Json *>(static_cast<const Json *>(this)->find(Name));
+}
+
+const std::vector<std::pair<std::string, Json>> &Json::members() const {
+  return Obj;
+}
+
+std::string sc::metrics::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void Json::write(std::string &Out, unsigned Indent, unsigned Depth) const {
+  auto Newline = [&](unsigned D) {
+    if (Indent == 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * D, ' ');
+  };
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolVal ? "true" : "false";
+    break;
+  case Kind::Number:
+    Out += Str;
+    break;
+  case Kind::String:
+    Out += '"';
+    Out += jsonEscape(Str);
+    Out += '"';
+    break;
+  case Kind::Array:
+    if (Arr.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I = 0; I < Arr.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      Arr[I].write(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += ']';
+    break;
+  case Kind::Object:
+    if (Obj.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    for (size_t I = 0; I < Obj.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      Out += '"';
+      Out += jsonEscape(Obj[I].first);
+      Out += Indent == 0 ? "\":" : "\": ";
+      Obj[I].second.write(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += '}';
+    break;
+  }
+}
+
+std::string Json::dump(unsigned Indent) const {
+  std::string Out;
+  write(Out, Indent, 0);
+  return Out;
+}
+
+bool sc::metrics::operator==(const Json &A, const Json &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Json::Kind::Null:
+    return true;
+  case Json::Kind::Bool:
+    return A.BoolVal == B.BoolVal;
+  case Json::Kind::Number:
+  case Json::Kind::String:
+    return A.Str == B.Str;
+  case Json::Kind::Array:
+    return A.Arr == B.Arr;
+  case Json::Kind::Object:
+    return A.Obj == B.Obj;
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a byte range.
+class Parser {
+  const char *P;
+  const char *End;
+  const char *Begin;
+  std::string Err;
+
+public:
+  Parser(const std::string &Text)
+      : P(Text.data()), End(Text.data() + Text.size()), Begin(Text.data()) {}
+
+  const std::string &error() const { return Err; }
+
+  bool parseDocument(Json &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (P != End)
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Err = Msg + " at offset " + std::to_string(P - Begin);
+    return false;
+  }
+
+  void skipWs() {
+    while (P != End &&
+           (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool literal(const char *Lit) {
+    const char *Q = P;
+    for (; *Lit; ++Lit, ++Q)
+      if (Q == End || *Q != *Lit)
+        return false;
+    P = Q;
+    return true;
+  }
+
+  bool parseValue(Json &Out) {
+    if (P == End)
+      return fail("unexpected end of input");
+    switch (*P) {
+    case 'n':
+      if (!literal("null"))
+        return fail("bad literal");
+      Out = Json::null();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return fail("bad literal");
+      Out = Json::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("bad literal");
+      Out = Json::boolean(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Json::string(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out);
+    case '{':
+      return parseObject(Out);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++P; // opening quote
+    while (P != End && *P != '"') {
+      if (*P != '\\') {
+        Out += *P++;
+        continue;
+      }
+      if (++P == End)
+        return fail("unterminated escape");
+      switch (*P) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (End - P < 5)
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int I = 1; I <= 4; ++I) {
+          char C = P[I];
+          V <<= 4;
+          if (C >= '0' && C <= '9')
+            V |= static_cast<unsigned>(C - '0');
+          else if (C >= 'a' && C <= 'f')
+            V |= static_cast<unsigned>(C - 'a' + 10);
+          else if (C >= 'A' && C <= 'F')
+            V |= static_cast<unsigned>(C - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        P += 4;
+        // UTF-8 encode (surrogate pairs are not combined; the pipeline
+        // never emits them).
+        if (V < 0x80) {
+          Out += static_cast<char>(V);
+        } else if (V < 0x800) {
+          Out += static_cast<char>(0xC0 | (V >> 6));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (V >> 12));
+          Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+      ++P;
+    }
+    if (P == End)
+      return fail("unterminated string");
+    ++P; // closing quote
+    return true;
+  }
+
+  bool parseNumber(Json &Out) {
+    const char *Start = P;
+    if (P != End && *P == '-')
+      ++P;
+    if (P == End || *P < '0' || *P > '9')
+      return fail("bad number");
+    while (P != End && *P >= '0' && *P <= '9')
+      ++P;
+    if (P != End && *P == '.') {
+      ++P;
+      if (P == End || *P < '0' || *P > '9')
+        return fail("bad fraction");
+      while (P != End && *P >= '0' && *P <= '9')
+        ++P;
+    }
+    if (P != End && (*P == 'e' || *P == 'E')) {
+      ++P;
+      if (P != End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P == End || *P < '0' || *P > '9')
+        return fail("bad exponent");
+      while (P != End && *P >= '0' && *P <= '9')
+        ++P;
+    }
+    Out = Json::numberText(std::string(Start, P));
+    return true;
+  }
+
+  bool parseArray(Json &Out) {
+    ++P; // '['
+    Out = Json::array();
+    skipWs();
+    if (P != End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      Json V;
+      skipWs();
+      if (!parseValue(V))
+        return false;
+      Out.push(std::move(V));
+      skipWs();
+      if (P == End)
+        return fail("unterminated array");
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == ']') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(Json &Out) {
+    ++P; // '{'
+    Out = Json::object();
+    skipWs();
+    if (P != End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (P == End || *P != '"')
+        return fail("expected member name");
+      std::string Name;
+      if (!parseString(Name))
+        return false;
+      skipWs();
+      if (P == End || *P != ':')
+        return fail("expected ':'");
+      ++P;
+      skipWs();
+      Json V;
+      if (!parseValue(V))
+        return false;
+      Out.set(Name, std::move(V));
+      skipWs();
+      if (P == End)
+        return fail("unterminated object");
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == '}') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+} // namespace
+
+bool Json::parse(const std::string &Text, Json &Out, std::string *Err) {
+  Parser Ps(Text);
+  if (Ps.parseDocument(Out))
+    return true;
+  if (Err)
+    *Err = Ps.error();
+  return false;
+}

@@ -1,0 +1,108 @@
+//===-- metrics/Json.h - Dependency-free JSON value model ------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON value with a writer and a parser, used by the bench
+/// observability pipeline (BENCH_results.json) and the comparator. No
+/// external dependencies; objects preserve insertion order so emitted
+/// documents are stable across runs and diffs stay readable.
+///
+/// Numbers keep their source spelling when parsed and are re-emitted
+/// verbatim, so a write/parse/write cycle round-trips exactly (the
+/// metrics tests rely on this for the Fig. 18 table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_METRICS_JSON_H
+#define SC_METRICS_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sc::metrics {
+
+/// A JSON value: null, bool, number, string, array or object.
+class Json {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  static Json null() { return Json(); }
+  static Json boolean(bool B);
+  static Json number(int64_t V);
+  static Json number(uint64_t V);
+  static Json number(double V);
+  /// A number from its exact textual spelling (must be a valid JSON
+  /// number; asserted in debug builds).
+  static Json numberText(std::string Spelling);
+  static Json string(std::string S);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Value accessors; asserted kind in debug builds, zero/empty otherwise.
+  bool asBool() const;
+  double asDouble() const;
+  int64_t asInt() const;
+  const std::string &asString() const;
+  /// The exact numeric spelling (for Number values).
+  const std::string &numberSpelling() const;
+
+  /// --- Array interface ---------------------------------------------------
+  size_t size() const;
+  const Json &at(size_t I) const;
+  Json &at(size_t I);
+  void push(Json V);
+
+  /// --- Object interface --------------------------------------------------
+  /// Sets key \p Name (replacing an existing entry, keeping its position).
+  void set(const std::string &Name, Json V);
+  /// Member lookup; returns nullptr when absent or not an object.
+  const Json *find(const std::string &Name) const;
+  Json *find(const std::string &Name);
+  bool has(const std::string &Name) const { return find(Name) != nullptr; }
+  const std::vector<std::pair<std::string, Json>> &members() const;
+
+  /// Serializes the value. Indent > 0 pretty-prints with that many spaces
+  /// per level; 0 emits the compact form.
+  std::string dump(unsigned Indent = 2) const;
+
+  /// Parses JSON text. Returns false and sets \p Err (with an offset)
+  /// on malformed input.
+  static bool parse(const std::string &Text, Json &Out, std::string *Err);
+
+  /// Structural equality (numbers compare by spelling).
+  friend bool operator==(const Json &A, const Json &B);
+  friend bool operator!=(const Json &A, const Json &B) { return !(A == B); }
+
+private:
+  Kind K;
+  bool BoolVal = false;
+  std::string Str; // string value or number spelling
+  std::vector<Json> Arr;
+  std::vector<std::pair<std::string, Json>> Obj;
+
+  void write(std::string &Out, unsigned Indent, unsigned Depth) const;
+};
+
+bool operator==(const Json &A, const Json &B);
+
+/// Escapes \p S as the contents of a JSON string literal (no quotes).
+std::string jsonEscape(const std::string &S);
+
+} // namespace sc::metrics
+
+#endif // SC_METRICS_JSON_H

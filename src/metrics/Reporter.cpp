@@ -1,0 +1,149 @@
+//===-- metrics/Reporter.cpp - Structured bench-result emission -----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Reporter.h"
+
+#include "metrics/Counters.h"
+#include "metrics/Env.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace sc;
+using namespace sc::metrics;
+
+const char *sc::metrics::entryKindName(EntryKind K) {
+  switch (K) {
+  case EntryKind::Exact:
+    return "exact";
+  case EntryKind::Timing:
+    return "timing";
+  case EntryKind::Counters:
+    return "counters";
+  case EntryKind::Info:
+    return "info";
+  }
+  return "info";
+}
+
+MetricsReporter::MetricsReporter(std::string Name)
+    : BenchName(std::move(Name)) {}
+
+void MetricsReporter::parseArgs(int &Argc, char **Argv) {
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
+      Path = Argv[++I];
+    } else if (!std::strncmp(Argv[I], "--json=", 7)) {
+      Path = Argv[I] + 7;
+    } else {
+      Argv[Out++] = Argv[I];
+    }
+  }
+  Argc = Out;
+  Argv[Argc] = nullptr;
+}
+
+static Json entryHeader(const std::string &Name, EntryKind K) {
+  Json E = Json::object();
+  E.set("name", Json::string(Name));
+  E.set("kind", Json::string(entryKindName(K)));
+  return E;
+}
+
+void MetricsReporter::addTable(const std::string &Name, const Table &T,
+                               EntryKind K) {
+  Json E = entryHeader(Name, K);
+  Json Rows = Json::array();
+  for (const auto &Row : T.rows()) {
+    Json R = Json::array();
+    for (const auto &Cell : Row)
+      R.push(Json::string(Cell));
+    Rows.push(std::move(R));
+  }
+  E.set("table", std::move(Rows));
+  Entries.push(std::move(E));
+}
+
+void MetricsReporter::addValues(const std::string &Name, EntryKind K,
+                                Json Values) {
+  Json E = entryHeader(Name, K);
+  E.set("values", std::move(Values));
+  Entries.push(std::move(E));
+}
+
+void MetricsReporter::addTiming(const std::string &Name,
+                                const TimingStats &S) {
+  Json V = Json::object();
+  V.set("min_ns", Json::number(S.MinNs));
+  V.set("median_ns", Json::number(S.MedianNs));
+  V.set("reps", Json::number(static_cast<int64_t>(S.Reps)));
+  addValues(Name, EntryKind::Timing, std::move(V));
+}
+
+void MetricsReporter::addCounters(const std::string &Name,
+                                  const Counters &C) {
+  Json E = entryHeader(Name, EntryKind::Counters);
+  E.set("counters", countersToJson(C));
+  Entries.push(std::move(E));
+}
+
+Json MetricsReporter::document() const {
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string("sc-bench-v1"));
+  Doc.set("bench", Json::string(BenchName));
+  Doc.set("env", captureEnv());
+  Doc.set("entries", Entries);
+  return Doc;
+}
+
+bool MetricsReporter::write() const {
+  if (Path.empty())
+    return true;
+  if (!writeJsonFile(Path, document())) {
+    std::fprintf(stderr, "%s: cannot write %s\n", BenchName.c_str(),
+                 Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool sc::metrics::writeJsonFile(const std::string &Path, const Json &Doc) {
+  std::string Text = Doc.dump(2);
+  Text += '\n';
+  if (Path == "-") {
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    return true;
+  }
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out.write(Text.data(), static_cast<std::streamsize>(Text.size()));
+  return static_cast<bool>(Out);
+}
+
+bool sc::metrics::readJsonFile(const std::string &Path, Json &Out,
+                               std::string *Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string ParseErr;
+  if (!Json::parse(Buf.str(), Out, &ParseErr)) {
+    if (Err)
+      *Err = Path + ": " + ParseErr;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,114 @@
+//===-- metrics/Reporter.h - Structured bench-result emission --*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MetricsReporter: the shared JSON emission path of every bench/ binary.
+/// Each bench keeps printing its human-readable table to stdout and, when
+/// invoked with `--json <path>`, additionally records the same data as a
+/// structured document that scripts/bench.sh rolls up into
+/// BENCH_results.json.
+///
+/// Per-bench document schema ("sc-bench-v1"):
+///
+///   {
+///     "schema":  "sc-bench-v1",
+///     "bench":   "<binary name>",
+///     "env":     { compiler, cxx_flags, build_type, git_rev, cpu, ... },
+///     "entries": [
+///       { "name": "...", "kind": "exact"|"timing"|"counters"|"info",
+///         "table": [["hdr", ...], ["cell", ...]]   // or
+///         "values": { "key": <number|string> }     // or
+///         "counters": { ... }                      // countersToJson
+///       }, ...
+///     ]
+///   }
+///
+/// "kind" drives the comparator: "exact" entries (state counts, cost
+/// models, code sizes) must match a baseline bit-for-bit; "timing"
+/// entries compare numerically within a relative threshold; "info"
+/// entries are never compared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_METRICS_REPORTER_H
+#define SC_METRICS_REPORTER_H
+
+#include "metrics/Json.h"
+#include "metrics/Timing.h"
+
+#include <string>
+
+namespace sc {
+class Table;
+} // namespace sc
+
+namespace sc::metrics {
+
+struct Counters;
+
+/// How the comparator treats an entry.
+enum class EntryKind {
+  Exact,    ///< must match a baseline exactly (counts, cost models)
+  Timing,   ///< numeric cells compared within a relative threshold
+  Counters, ///< SC_STATS counters; compared exactly when both sides have it
+  Info,     ///< descriptive only; never compared
+};
+
+const char *entryKindName(EntryKind K);
+
+/// Collects a bench binary's results and writes the per-bench JSON
+/// document. Creating one is free; nothing is written unless `--json`
+/// was given (or setPath called).
+class MetricsReporter {
+public:
+  explicit MetricsReporter(std::string BenchName);
+
+  /// Strips `--json <path>` / `--json=<path>` from the argument vector
+  /// (so it can run before e.g. benchmark::Initialize) and remembers the
+  /// path. Unknown arguments are left in place.
+  void parseArgs(int &Argc, char **Argv);
+
+  bool enabled() const { return !Path.empty(); }
+  void setPath(std::string P) { Path = std::move(P); }
+  const std::string &path() const { return Path; }
+
+  /// Records a printed Table verbatim (every cell as a string).
+  void addTable(const std::string &Name, const Table &T, EntryKind K);
+
+  /// Records a flat key/value object.
+  void addValues(const std::string &Name, EntryKind K, Json Values);
+
+  /// Records a timeRuns result (min + median, nanoseconds).
+  void addTiming(const std::string &Name, const TimingStats &S);
+
+  /// Records engine counters (no-op object when SC_STATS is off).
+  void addCounters(const std::string &Name, const Counters &C);
+
+  /// The full per-bench document.
+  Json document() const;
+
+  /// Writes document() to the configured path. Returns true when no path
+  /// is configured (nothing to do) or the write succeeded; prints to
+  /// stderr and returns false on I/O failure.
+  bool write() const;
+
+private:
+  std::string BenchName;
+  std::string Path;
+  Json Entries = Json::array();
+};
+
+/// Writes \p Doc pretty-printed to \p Path ("-" means stdout).
+bool writeJsonFile(const std::string &Path, const Json &Doc);
+
+/// Reads and parses a JSON file; returns false with \p Err set on
+/// open/parse failure.
+bool readJsonFile(const std::string &Path, Json &Out, std::string *Err);
+
+} // namespace sc::metrics
+
+#endif // SC_METRICS_REPORTER_H

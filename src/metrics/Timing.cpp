@@ -1,0 +1,22 @@
+//===-- metrics/Timing.cpp - Warmed-up repetition timing ------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Timing.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace sc::metrics;
+
+bool sc::metrics::benchSmokeMode() {
+  const char *V = std::getenv("SC_BENCH_SMOKE");
+  return V && *V && std::strcmp(V, "0") != 0;
+}
+
+int sc::metrics::smokeAdjustedReps(int Full) {
+  return benchSmokeMode() ? (Full < 3 ? Full : 3) : Full;
+}

@@ -7,6 +7,7 @@
 
 #include "staticcache/StaticEngine.h"
 
+#include "metrics/Counters.h"
 #include "vm/ArithOps.h"
 #include "support/Assert.h"
 
@@ -15,6 +16,41 @@
 using namespace sc;
 using namespace sc::staticcache;
 using namespace sc::vm;
+
+#ifdef SC_STATS
+/// Decodes the handler index of the specialized instruction about to be
+/// dispatched: VM opcodes count as (cached) dispatches, micro-instructions
+/// count as reconcile traffic. The duplication state ES3 holds two logical
+/// items in one register; it reports cached depth 2.
+static void noteStaticDispatch(sc::metrics::Counters &C,
+                               const SpecProgram &SP, UCell SpecIdx) {
+  const unsigned H = SP.Insts[SpecIdx].Handler;
+  if (H < 4 * NumOpcodes) {
+    const unsigned State = H / NumOpcodes;
+    sc::metrics::noteCachedDispatch(C, static_cast<Opcode>(H % NumOpcodes),
+                                    State == 3 ? 2u : State, 2u);
+    return;
+  }
+  switch (H - 4 * NumOpcodes) {
+  case MSpill0:
+  case MSpill1:
+  case MSpill0Under:
+  case MSpill1Under:
+  case MSpill0Dup:
+  case MSpill1Dup:
+    ++C.ReconcileStores;
+    break;
+  case MFillTos:
+  case MFillSnd0:
+  case MFillSnd1:
+    ++C.ReconcileLoads;
+    break;
+  default: // MXchg, MMove01, MMove10, MMove10Deep
+    ++C.ReconcileMoves;
+    break;
+  }
+}
+#endif
 
 vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
                                                 ExecContext &Ctx,
@@ -226,6 +262,8 @@ vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
   bool HasFaultAddr = false;
 
   if (Rsp >= RsCap) {
+    SC_IF_STATS(if (Ctx.Stats)
+                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
     return makeFault(RunStatus::RStackOverflow, 0, OrigEntry,
                      Ctx.Prog->Insts[OrigEntry].Op, Dsp, Rsp);
   }
@@ -244,6 +282,8 @@ vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
     ++Steps;                                                                   \
     W = Ip;                                                                    \
     Ip += 2;                                                                   \
+    SC_IF_STATS(if (Ctx.Stats) noteStaticDispatch(                             \
+                    *Ctx.Stats, SP, static_cast<UCell>((W - Base) / 2)));      \
     goto *reinterpret_cast<void *>(W[0]);                                      \
   }
 #define TRAPS(State, Status)                                                   \
@@ -1192,6 +1232,12 @@ Done:
   default:
     sc::unreachable("bad trap exit state");
   }
+  SC_IF_STATS(if (Ctx.Stats) {
+    // Write-back stores: states 2 and 4 flush two items, 1 and 3 one.
+    Ctx.Stats->ReconcileStores +=
+        ExitState == 0 ? 0u : (ExitState == 2 || ExitState == 4 ? 2u : 1u);
+    metrics::noteTrap(*Ctx.Stats, St);
+  });
   Ctx.DsDepth = Dsp;
   Ctx.RsDepth = Rsp;
   Ctx.noteHighWater();

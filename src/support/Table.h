@@ -46,6 +46,9 @@ public:
 
   RowBuilder row() { return RowBuilder(*this); }
 
+  /// The accumulated rows (the metrics reporter exports them as JSON).
+  const std::vector<std::vector<std::string>> &rows() const { return Rows; }
+
   /// Renders the table to a string, one row per line.
   std::string str() const;
 

@@ -8,6 +8,7 @@
 #include "trace/Simulators.h"
 
 #include "cache/Reconcile.h"
+#include "metrics/Counters.h"
 #include "support/Assert.h"
 
 using namespace sc;
@@ -39,11 +40,17 @@ ProgramStats sc::trace::fig20Stats(const Trace &T) {
   return S;
 }
 
-Counts sc::trace::simulateConstantK(const Trace &T, unsigned K) {
+Counts sc::trace::simulateConstantK(const Trace &T, unsigned K,
+                                    metrics::Counters *Stats) {
+  (void)Stats;
   Counts Total;
   uint64_t StackDepth = 0;
   for (const TraceRec &R : T.Recs) {
     vm::StackEffect E = vm::dataEffect(R.Op);
+    SC_IF_STATS(if (Stats) metrics::noteCachedDispatch(
+                    *Stats, R.Op,
+                    StackDepth < K ? static_cast<unsigned>(StackDepth) : K,
+                    K));
     Total += applyEffectConstantK(K, StackDepth, E.In, E.Out);
     StackDepth += E.Out;
     StackDepth -= E.In;
@@ -53,11 +60,15 @@ Counts sc::trace::simulateConstantK(const Trace &T, unsigned K) {
   return Total;
 }
 
-Counts sc::trace::simulateDynamic(const Trace &T, const MinimalPolicy &P) {
+Counts sc::trace::simulateDynamic(const Trace &T, const MinimalPolicy &P,
+                                  metrics::Counters *Stats) {
+  (void)Stats;
   Counts Total;
   unsigned Depth = 0;
   for (const TraceRec &R : T.Recs) {
     vm::StackEffect E = vm::dataEffect(R.Op);
+    SC_IF_STATS(if (Stats) metrics::noteCachedDispatch(*Stats, R.Op, Depth,
+                                                       P.NumRegs));
     Total += applyEffectMinimal(Depth, E.In, E.Out, P);
     ++Total.Insts;
     ++Total.Dispatches;
@@ -95,10 +106,13 @@ class StaticSim {
   CacheState State;
   CacheState Canonical;
   Counts Total;
+  metrics::Counters *Stats;
 
 public:
-  explicit StaticSim(const StaticPolicy &Pol)
-      : P(Pol), Canonical(CacheState::minimal(Pol.CanonicalDepth)) {
+  explicit StaticSim(const StaticPolicy &Pol,
+                     metrics::Counters *TheStats = nullptr)
+      : P(Pol), Canonical(CacheState::minimal(Pol.CanonicalDepth)),
+        Stats(TheStats) {
     SC_ASSERT(Pol.CanonicalDepth <= Pol.NumRegs, "canonical out of range");
     State = Canonical; // words start in the canonical state
   }
@@ -125,7 +139,13 @@ public:
 
 private:
   void reconcileToCanonical() {
-    Total += reconcile(State, Canonical);
+    Counts C = reconcile(State, Canonical);
+    SC_IF_STATS(if (Stats) {
+      Stats->ReconcileLoads += C.Loads;
+      Stats->ReconcileStores += C.Stores;
+      Stats->ReconcileMoves += C.Moves;
+    });
+    Total += C;
     State = Canonical;
   }
 
@@ -152,6 +172,9 @@ private:
     }
 
     ++Total.Dispatches;
+    SC_IF_STATS(if (Stats) metrics::noteCachedDispatch(*Stats, Op,
+                                                       State.depth(),
+                                                       P.NumRegs));
     bool MemTouched = false;
 
     // Consume inputs. Deeper-than-cached arguments are loaded directly by
@@ -203,8 +226,9 @@ private:
 
 } // namespace
 
-Counts sc::trace::simulateStatic(const Trace &T, const StaticPolicy &P) {
-  StaticSim Sim(P);
+Counts sc::trace::simulateStatic(const Trace &T, const StaticPolicy &P,
+                                 metrics::Counters *Stats) {
+  StaticSim Sim(P, metrics::statsEnabled() ? Stats : nullptr);
   Sim.run(T);
   return Sim.counts();
 }
@@ -228,10 +252,13 @@ public:
 
   const Counts &counts() const { return Total; }
 
-  void run(const Trace &T) {
+  void run(const Trace &T, metrics::Counters *Stats) {
+    (void)Stats;
     for (const TraceRec &Rec : T.Recs) {
       ++Total.Insts;
       ++Total.Dispatches;
+      SC_IF_STATS(if (Stats) metrics::noteCachedDispatch(
+                      *Stats, Rec.Op, D, P.NumRegs - R));
       vm::StackEffect E = vm::dataEffect(Rec.Op);
       applyData(E.In, E.Out);
       applyRet(Rec);
@@ -354,13 +381,16 @@ private:
 
 } // namespace
 
-Counts sc::trace::simulateTwoStack(const Trace &T, const TwoStackPolicy &P) {
+Counts sc::trace::simulateTwoStack(const Trace &T, const TwoStackPolicy &P,
+                                   metrics::Counters *Stats) {
   TwoStackSim Sim(P);
-  Sim.run(T);
+  Sim.run(T, Stats);
   return Sim.counts();
 }
 
-Counts sc::trace::simulatePrefetch(const Trace &T, const PrefetchPolicy &P) {
+Counts sc::trace::simulatePrefetch(const Trace &T, const PrefetchPolicy &P,
+                                   metrics::Counters *Stats) {
+  (void)Stats;
   SC_ASSERT(P.MinDepth <= P.NumRegs, "minimum depth out of range");
   SC_ASSERT(P.OverflowFollowupDepth <= P.NumRegs, "followup out of range");
   Counts Total;
@@ -371,6 +401,8 @@ Counts sc::trace::simulatePrefetch(const Trace &T, const PrefetchPolicy &P) {
   for (const TraceRec &Rec : T.Recs) {
     ++Total.Insts;
     ++Total.Dispatches;
+    SC_IF_STATS(if (Stats) metrics::noteCachedDispatch(*Stats, Rec.Op, Depth,
+                                                       P.NumRegs));
     vm::StackEffect E = vm::dataEffect(Rec.Op);
     unsigned In = E.In, Out = E.Out;
 

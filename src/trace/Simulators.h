@@ -27,6 +27,10 @@
 #include "cache/Transition.h"
 #include "trace/Trace.h"
 
+namespace sc::metrics {
+struct Counters;
+} // namespace sc::metrics
+
 namespace sc::trace {
 
 /// The columns of Fig. 20.
@@ -44,10 +48,17 @@ struct ProgramStats {
 ProgramStats fig20Stats(const Trace &T);
 
 /// Simulates keeping exactly \p K top-of-stack items in registers.
-cache::Counts simulateConstantK(const Trace &T, unsigned K);
+///
+/// All simulators below accept an optional engine-counters sink: when the
+/// build has SC_STATS and \p Stats is non-null, per-opcode dispatch counts,
+/// cache-occupancy buckets and overflow/underflow events are recorded
+/// there as well. Without SC_STATS the parameter is ignored (zero cost).
+cache::Counts simulateConstantK(const Trace &T, unsigned K,
+                                metrics::Counters *Stats = nullptr);
 
 /// Simulates dynamic stack caching over the minimal organization.
-cache::Counts simulateDynamic(const Trace &T, const cache::MinimalPolicy &P);
+cache::Counts simulateDynamic(const Trace &T, const cache::MinimalPolicy &P,
+                              metrics::Counters *Stats = nullptr);
 
 /// Policy for the static stack caching simulator.
 struct StaticPolicy {
@@ -65,7 +76,8 @@ struct StaticPolicy {
 /// Simulates static stack caching. Counts.Dispatches excludes the
 /// manipulations that were optimized away; Counts.Insts counts all
 /// original instructions.
-cache::Counts simulateStatic(const Trace &T, const StaticPolicy &P);
+cache::Counts simulateStatic(const Trace &T, const StaticPolicy &P,
+                             metrics::Counters *Stats = nullptr);
 
 /// Overflow/underflow sequencing statistics (Section 6's examination of
 /// the [HS85] random-walk model).
@@ -98,7 +110,8 @@ struct TwoStackPolicy {
 /// this degenerates to simulateDynamic plus the memory cost of every
 /// return stack access - the baseline the shared organization is
 /// compared against. Counts include return-stack loads/stores/updates.
-cache::Counts simulateTwoStack(const Trace &T, const TwoStackPolicy &P);
+cache::Counts simulateTwoStack(const Trace &T, const TwoStackPolicy &P,
+                               metrics::Counters *Stats = nullptr);
 
 /// Policy for the stack-item prefetching variant of Section 3.6: states
 /// with fewer than MinDepth cached items are forbidden, so the cache
@@ -114,7 +127,8 @@ struct PrefetchPolicy {
 
 /// Simulates dynamic caching with prefetching. With MinDepth = 0 and
 /// DirtyBits = false this equals simulateDynamic.
-cache::Counts simulatePrefetch(const Trace &T, const PrefetchPolicy &P);
+cache::Counts simulatePrefetch(const Trace &T, const PrefetchPolicy &P,
+                               metrics::Counters *Stats = nullptr);
 
 } // namespace sc::trace
 

@@ -24,6 +24,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace sc::metrics {
+struct Counters;
+} // namespace sc::metrics
+
 namespace sc::vm {
 
 /// Machine state shared by all engines. The data and return stacks live
@@ -64,6 +68,10 @@ struct ExecContext {
   /// Instruction budget; engines stop with RunStatus::StepLimit when it is
   /// exhausted. Defaults to effectively unlimited.
   uint64_t MaxSteps = UINT64_MAX;
+
+  /// Execution counters, filled by engines when non-null and the build
+  /// has SC_STATS. Never touched otherwise (zero-cost when off).
+  metrics::Counters *Stats = nullptr;
 
   ExecContext() = default;
   ExecContext(const Code &C, Vm &V) : Prog(&C), Machine(&V) {}

@@ -33,6 +33,9 @@ enum class RunStatus : uint8_t {
   StepLimit,       ///< exceeded the configured instruction budget
 };
 
+/// Number of RunStatus values (metrics trap-count arrays index by it).
+inline constexpr unsigned NumRunStatuses = 8;
+
 /// Human-readable name of a status.
 const char *runStatusName(RunStatus S);
 

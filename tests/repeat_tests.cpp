@@ -1,0 +1,189 @@
+//===-- tests/repeat_tests.cpp - Run-to-run determinism tests -------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every engine must be a pure function of its inputs: running the same
+/// word twice on identical ExecContext/Vm state has to produce identical
+/// outcomes, output, final stacks and (in -DSC_STATS=ON builds)
+/// execution counters. This guards against residual state hiding in an
+/// engine between runs — e.g. the call-threaded engine's static register
+/// block, which once leaked state from a previous (possibly faulted) run
+/// into the next one. Each engine is therefore also exercised as
+/// fault-then-clean: a trapping run in between must not perturb the
+/// following clean run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dynamic/Dynamic3Engine.h"
+#include "dynamic/ModelInterpreter.h"
+#include "forth/Forth.h"
+#include "metrics/Counters.h"
+#include "staticcache/StaticEngine.h"
+#include "staticcache/StaticSpec.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::vm;
+
+namespace {
+
+struct EngineUnderTest {
+  const char *Name;
+  RunOutcome (*Run)(ExecContext &, uint32_t, const staticcache::SpecProgram &);
+};
+
+RunOutcome runSwitchE(ExecContext &Ctx, uint32_t E,
+                      const staticcache::SpecProgram &) {
+  return dispatch::runSwitchEngine(Ctx, E);
+}
+RunOutcome runThreadedE(ExecContext &Ctx, uint32_t E,
+                        const staticcache::SpecProgram &) {
+  return dispatch::runThreadedEngine(Ctx, E);
+}
+RunOutcome runCallThreadedE(ExecContext &Ctx, uint32_t E,
+                            const staticcache::SpecProgram &) {
+  return dispatch::runCallThreadedEngine(Ctx, E);
+}
+RunOutcome runTosE(ExecContext &Ctx, uint32_t E,
+                   const staticcache::SpecProgram &) {
+  return dispatch::runThreadedTosEngine(Ctx, E);
+}
+RunOutcome runDynamic3E(ExecContext &Ctx, uint32_t E,
+                        const staticcache::SpecProgram &) {
+  return dynamic::runDynamic3Engine(Ctx, E);
+}
+RunOutcome runStaticE(ExecContext &Ctx, uint32_t E,
+                      const staticcache::SpecProgram &SP) {
+  return staticcache::runStaticEngine(SP, Ctx, E);
+}
+RunOutcome runModelE(ExecContext &Ctx, uint32_t E,
+                     const staticcache::SpecProgram &) {
+  return dynamic::runModelInterpreter(Ctx, E, {}).Outcome;
+}
+
+const EngineUnderTest AllEngines[] = {
+    {"switch", runSwitchE},
+    {"threaded", runThreadedE},
+    {"call-threaded", runCallThreadedE},
+    {"threaded-tos", runTosE},
+    {"dynamic3", runDynamic3E},
+    {"static", runStaticE},
+    {"model", runModelE},
+};
+
+/// Everything observable about one run.
+struct Snapshot {
+  RunOutcome Outcome;
+  std::string Output;
+  std::vector<Cell> DS;
+  metrics::Counters Stats;
+};
+
+/// Runs \p E on a fresh copy of \p Sys's machine — the identical
+/// starting pattern every time it is called.
+Snapshot runOnce(const forth::System &Sys, const EngineUnderTest &E,
+                 uint32_t Entry, const staticcache::SpecProgram &SP) {
+  Snapshot S;
+  Vm Copy = Sys.Machine;
+  Copy.resetOutput();
+  ExecContext Ctx(Sys.Prog, Copy);
+  Ctx.Stats = &S.Stats;
+  S.Outcome = E.Run(Ctx, Entry, SP);
+  S.Output = Copy.Out;
+  S.DS.assign(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
+  return S;
+}
+
+void expectIdentical(const Snapshot &A, const Snapshot &B,
+                     const char *Engine, const char *What) {
+  EXPECT_EQ(A.Outcome.Status, B.Outcome.Status) << Engine << ": " << What;
+  EXPECT_EQ(A.Outcome.Steps, B.Outcome.Steps) << Engine << ": " << What;
+  EXPECT_EQ(A.Outcome.Fault, B.Outcome.Fault) << Engine << ": " << What;
+  EXPECT_EQ(A.Output, B.Output) << Engine << ": " << What;
+  EXPECT_EQ(A.DS, B.DS) << Engine << ": " << What;
+  EXPECT_EQ(A.Stats, B.Stats) << Engine << ": " << What
+                              << " (counters diverged)";
+}
+
+class RepeatTest : public ::testing::TestWithParam<EngineUnderTest> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, RepeatTest, ::testing::ValuesIn(AllEngines),
+    [](const ::testing::TestParamInfo<EngineUnderTest> &Info) {
+      std::string N = Info.param.Name;
+      for (char &C : N)
+        if (C == '-')
+          C = '_';
+      return N;
+    });
+
+} // namespace
+
+TEST_P(RepeatTest, BackToBackRunsAreIdentical) {
+  const EngineUnderTest &E = GetParam();
+  auto Sys = forth::loadOrDie(
+      ": main 0 100 0 do i dup * + loop 1 2 3 rot swap drop + + . cr ;");
+  uint32_t Entry = Sys->entryOf("main");
+  staticcache::SpecProgram SP = staticcache::compileStatic(Sys->Prog);
+
+  Snapshot First = runOnce(*Sys, E, Entry, SP);
+  ASSERT_EQ(First.Outcome.Status, RunStatus::Halted) << E.Name;
+  if (metrics::statsEnabled())
+    EXPECT_GT(First.Stats.totalDispatch(), 0u) << E.Name;
+  Snapshot Second = runOnce(*Sys, E, Entry, SP);
+  expectIdentical(First, Second, E.Name, "second run");
+}
+
+TEST_P(RepeatTest, FaultingRunLeavesNoResidue) {
+  const EngineUnderTest &E = GetParam();
+  auto Clean = forth::loadOrDie(": main 2 3 + 4 * . cr ;");
+  uint32_t CleanEntry = Clean->entryOf("main");
+  staticcache::SpecProgram CleanSP = staticcache::compileStatic(Clean->Prog);
+
+  // Deep into a computation, trap every way a guest program can.
+  const char *Faulty[] = {
+      ": main 5 1 0 / ;",        // DivByZero with operands on the stack
+      ": main 1 2 + drop drop ;" // StackUnderflow mid-expression
+  };
+
+  Snapshot Before = runOnce(*Clean, E, CleanEntry, CleanSP);
+  ASSERT_EQ(Before.Outcome.Status, RunStatus::Halted) << E.Name;
+
+  for (const char *Src : Faulty) {
+    auto Bad = forth::loadOrDie(Src);
+    staticcache::SpecProgram BadSP = staticcache::compileStatic(Bad->Prog);
+    Snapshot Fault = runOnce(*Bad, E, Bad->entryOf("main"), BadSP);
+    EXPECT_NE(Fault.Outcome.Status, RunStatus::Halted)
+        << E.Name << ": expected a trap from " << Src;
+    // The faulted run must also be reproducible...
+    Snapshot FaultAgain = runOnce(*Bad, E, Bad->entryOf("main"), BadSP);
+    expectIdentical(Fault, FaultAgain, E.Name, Src);
+    // ...and must not contaminate the next clean run.
+    Snapshot After = runOnce(*Clean, E, CleanEntry, CleanSP);
+    expectIdentical(Before, After, E.Name, "clean run after fault");
+  }
+}
+
+TEST_P(RepeatTest, WorkloadsRepeatDeterministically) {
+  const EngineUnderTest &E = GetParam();
+  size_t N;
+  const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
+  ASSERT_GT(N, 0u);
+  for (size_t I = 0; I < N; ++I) {
+    auto Sys = forth::loadOrDie(W[I].Source);
+    uint32_t Entry = Sys->entryOf(W[I].Entry);
+    staticcache::SpecProgram SP = staticcache::compileStatic(Sys->Prog);
+    Snapshot First = runOnce(*Sys, E, Entry, SP);
+    ASSERT_EQ(First.Outcome.Status, RunStatus::Halted)
+        << E.Name << " on " << W[I].Name;
+    EXPECT_EQ(First.Output, W[I].Expected) << E.Name << " on " << W[I].Name;
+    Snapshot Again = runOnce(*Sys, E, Entry, SP);
+    expectIdentical(First, Again, E.Name, W[I].Name);
+  }
+}

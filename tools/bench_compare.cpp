@@ -1,0 +1,75 @@
+//===-- tools/bench_compare.cpp - Flag bench-result regressions -----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// bench_compare [--threshold F] <baseline.json> <current.json>
+///
+/// Diffs two bench-result files (per-bench or merged roll-ups). "exact"
+/// and "counters" entries must match bit-for-bit; "timing" entries may
+/// drift within the relative threshold (default 0.25 = 25%). Exits 0
+/// when no regression was found, 1 on regressions, 2 on usage/IO errors.
+/// CI's perf-smoke job self-checks it against perturbed roll-ups; for
+/// local before/after comparisons see EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Compare.h"
+#include "metrics/Json.h"
+#include "metrics/Reporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace sc::metrics;
+
+int main(int Argc, char **Argv) {
+  CompareOptions Opts;
+  std::string Files[2];
+  int NFiles = 0;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--threshold") && I + 1 < Argc) {
+      Opts.TimingThreshold = std::strtod(Argv[++I], nullptr);
+    } else if (Argv[I][0] == '-' && Argv[I][1]) {
+      NFiles = 0;
+      break;
+    } else if (NFiles < 2) {
+      Files[NFiles++] = Argv[I];
+    } else {
+      NFiles = 0;
+      break;
+    }
+  }
+  if (NFiles != 2) {
+    std::fprintf(
+        stderr,
+        "usage: bench_compare [--threshold F] <baseline.json> <current.json>\n");
+    return 2;
+  }
+
+  Json Baseline, Current;
+  std::string Err;
+  if (!readJsonFile(Files[0], Baseline, &Err) ||
+      !readJsonFile(Files[1], Current, &Err)) {
+    std::fprintf(stderr, "bench_compare: %s\n", Err.c_str());
+    return 2;
+  }
+
+  CompareResult Res = compareResults(Baseline, Current, Opts);
+  std::string Report = Res.render();
+  std::fputs(Report.c_str(), stdout);
+  if (Res.regression()) {
+    std::printf("bench_compare: FAIL (threshold %.0f%%)\n",
+                Opts.TimingThreshold * 100);
+    return 1;
+  }
+  std::printf("bench_compare: OK (%zu note(s), threshold %.0f%%)\n",
+              Res.Issues.size(), Opts.TimingThreshold * 100);
+  return 0;
+}

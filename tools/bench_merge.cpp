@@ -1,0 +1,77 @@
+//===-- tools/bench_merge.cpp - Roll per-bench JSON into one file ---------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// bench_merge <out.json> <bench1.json> [bench2.json ...]
+///
+/// Merges per-bench "sc-bench-v1" documents (one per bench/ binary,
+/// written via --json) into a single "sc-bench-results-v1" roll-up:
+///
+///   { "schema": "sc-bench-results-v1",
+///     "env":     <env of the first input>,
+///     "benches": { "<bench name>": { per-bench doc sans env }, ... } }
+///
+/// scripts/bench.sh uses this to produce BENCH_results.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Json.h"
+#include "metrics/Reporter.h"
+
+#include <cstdio>
+
+using namespace sc::metrics;
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_merge <out.json> <bench.json> [...]\n");
+    return 2;
+  }
+
+  Json Out = Json::object();
+  Out.set("schema", Json::string("sc-bench-results-v1"));
+  Json Benches = Json::object();
+
+  for (int I = 2; I < Argc; ++I) {
+    Json Doc;
+    std::string Err;
+    if (!readJsonFile(Argv[I], Doc, &Err)) {
+      std::fprintf(stderr, "bench_merge: %s\n", Err.c_str());
+      return 1;
+    }
+    const Json *NameJ = Doc.find("bench");
+    if (!NameJ || !NameJ->isString()) {
+      std::fprintf(stderr, "bench_merge: %s: no \"bench\" name\n", Argv[I]);
+      return 1;
+    }
+    std::string Name = NameJ->asString();
+    if (Benches.has(Name)) {
+      std::fprintf(stderr, "bench_merge: duplicate bench '%s' (%s)\n",
+                   Name.c_str(), Argv[I]);
+      return 1;
+    }
+    // Hoist the first env to the top level; drop per-bench copies.
+    if (!Out.has("env")) {
+      if (const Json *Env = Doc.find("env"))
+        Out.set("env", *Env);
+    }
+    Json Entry = Json::object();
+    if (const Json *Schema = Doc.find("schema"))
+      Entry.set("schema", *Schema);
+    if (const Json *Entries = Doc.find("entries"))
+      Entry.set("entries", *Entries);
+    Benches.set(Name, std::move(Entry));
+  }
+  Out.set("benches", std::move(Benches));
+
+  if (!writeJsonFile(Argv[1], Out)) {
+    std::fprintf(stderr, "bench_merge: cannot write %s\n", Argv[1]);
+    return 1;
+  }
+  return 0;
+}
