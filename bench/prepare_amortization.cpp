@@ -1,0 +1,272 @@
+//===-- bench/prepare_amortization.cpp - Prepare-once amortization --------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the prepare/run split buys: the cost of running a word
+/// through the legacy single-shot entry points (which re-translate the
+/// program on every call) against running a PreparedCode served by a
+/// PrepareCache (translated once, then looked up). Reported per engine
+/// across programs from a handful of instructions (translation dominates)
+/// up to the four paper workloads (execution dominates), together with
+/// the one-time prepare cost and the run count at which it has paid for
+/// itself.
+///
+/// The deterministic claims are self-asserted, not just reported: the
+/// warm loop must perform ZERO stream translations and the cache must
+/// hold exactly one translation per (program, engine) — any violation
+/// exits nonzero, which fails scripts/check.sh --bench-smoke.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/Engines.h"
+#include "dynamic/Dynamic3Engine.h"
+#include "forth/Forth.h"
+#include "metrics/Reporter.h"
+#include "metrics/Timing.h"
+#include "prepare/Prepare.h"
+#include "prepare/PrepareCache.h"
+#include "staticcache/StaticEngine.h"
+#include "staticcache/StaticSpec.h"
+#include "support/Table.h"
+#include "vm/Translate.h"
+#include "workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace sc;
+using namespace sc::vm;
+
+namespace {
+
+constexpr prepare::EngineId Engines[] = {
+    prepare::EngineId::Switch,        prepare::EngineId::Threaded,
+    prepare::EngineId::CallThreaded,  prepare::EngineId::ThreadedTos,
+    prepare::EngineId::Dynamic3,      prepare::EngineId::StaticGreedy,
+    prepare::EngineId::StaticOptimal,
+};
+
+struct Program {
+  std::string Name;
+  std::unique_ptr<forth::System> Sys;
+  uint32_t Entry;
+};
+
+/// The measured spread: two tiny synthetic words where per-run
+/// translation is a large fraction of total cost, plus the four paper
+/// workloads where execution dominates and amortization matters less.
+std::vector<Program> loadPrograms() {
+  std::vector<Program> Out;
+  auto Add = [&Out](std::string Name, std::string_view Src) {
+    Program P;
+    P.Name = std::move(Name);
+    P.Sys = forth::loadOrDie(Src);
+    P.Entry = P.Sys->entryOf("main");
+    Out.push_back(std::move(P));
+  };
+  Add("tiny", ": main 1 2 + drop ;");
+  Add("loop100", ": main 0 100 0 do i + loop drop ;");
+  size_t N;
+  const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
+  for (size_t I = 0; I < N; ++I)
+    Add(W[I].Name, W[I].Source);
+  return Out;
+}
+
+/// One legacy single-shot call for the stream engines: translation +
+/// execution, every time. The static engines' per-run analog (which
+/// re-specializes too) is inlined at the call site because it needs the
+/// StaticOptions.
+RunOutcome runLegacy(prepare::EngineId E, ExecContext &Ctx, uint32_t Entry) {
+  switch (E) {
+  case prepare::EngineId::Switch:
+    return dispatch::runSwitchEngine(Ctx, Entry);
+  case prepare::EngineId::Threaded:
+    return dispatch::runThreadedEngine(Ctx, Entry);
+  case prepare::EngineId::CallThreaded:
+    return dispatch::runCallThreadedEngine(Ctx, Entry);
+  case prepare::EngineId::ThreadedTos:
+    return dispatch::runThreadedTosEngine(Ctx, Entry);
+  case prepare::EngineId::Dynamic3:
+    return dynamic::runDynamic3Engine(Ctx, Entry);
+  default:
+    sc::unreachable("static engines handled at the call site");
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("prepare_amortization");
+  Rep.parseArgs(argc, argv);
+  std::printf("==== Prepare-once amortization ====\n");
+  std::printf("cold: legacy single-shot entry (translate every run)\n"
+              "warm: PrepareCache::getOrPrepare + runPrepared (translate "
+              "once)\n\n");
+
+  const int Reps = metrics::smokeAdjustedReps(9);
+  int Failures = 0;
+
+  std::vector<Program> Programs = loadPrograms();
+  for (const Program &P : Programs) {
+    // Inner batch per timed repetition: tiny programs need batching for
+    // the clock to resolve anything.
+    const int Inner = P.Sys->Prog.size() < 64 ? 64 : 4;
+
+    std::printf("%s (%u insts, batch %d):\n",
+                P.Name.c_str(), static_cast<unsigned>(P.Sys->Prog.size()),
+                Inner);
+    Table T;
+    T.addRow({"  engine", "cold ns/run", "warm ns/run", "speedup",
+              "prepare ns", "breakeven runs"});
+
+    for (prepare::EngineId E : Engines) {
+      staticcache::StaticOptions SO;
+      SO.TwoPassOptimal = E == prepare::EngineId::StaticOptimal;
+      const bool IsStatic = E == prepare::EngineId::StaticGreedy ||
+                            E == prepare::EngineId::StaticOptimal;
+
+      Vm Copy = P.Sys->Machine;
+      ExecContext Ctx(P.Sys->Prog, Copy);
+
+      // --- cold: translate + run, every call -------------------------
+      auto ColdOnce = [&] {
+        for (int I = 0; I < Inner; ++I) {
+          Copy.resetOutput();
+          RunOutcome O;
+          if (IsStatic)
+            O = staticcache::runStaticEngine(
+                staticcache::compileStatic(P.Sys->Prog, SO), Ctx, P.Entry);
+          else
+            O = runLegacy(E, Ctx, P.Entry);
+          if (O.Status != RunStatus::Halted) {
+            std::fprintf(stderr, "FAIL: %s cold run faulted on %s\n",
+                         prepare::engineIdName(E), P.Name.c_str());
+            ++Failures;
+          }
+        }
+      };
+      ColdOnce(); // warm caches/branch predictors once
+      const uint64_t ColdTrans0 = vm::streamTranslations();
+      metrics::TimingStats Cold = metrics::timeRuns(ColdOnce, Reps, 0);
+      const uint64_t ColdTrans = vm::streamTranslations() - ColdTrans0;
+
+      // --- warm: prepare once, look up + run thereafter --------------
+      prepare::PrepareCache Cache;
+      prepare::PrepareOptions Opts;
+      auto WarmOnce = [&] {
+        for (int I = 0; I < Inner; ++I) {
+          Copy.resetOutput();
+          auto PC = Cache.getOrPrepare(P.Sys->Prog, E, Opts);
+          RunOutcome O = prepare::runPrepared(*PC, Ctx, P.Entry);
+          if (O.Status != RunStatus::Halted) {
+            std::fprintf(stderr, "FAIL: %s warm run faulted on %s\n",
+                         prepare::engineIdName(E), P.Name.c_str());
+            ++Failures;
+          }
+        }
+      };
+      WarmOnce(); // the one translation happens here
+      const uint64_t WarmTrans0 = vm::streamTranslations();
+      metrics::TimingStats Warm = metrics::timeRuns(WarmOnce, Reps, 0);
+      const uint64_t WarmTrans = vm::streamTranslations() - WarmTrans0;
+
+      // --- deterministic contracts (self-asserted) -------------------
+      const metrics::PrepareCounters C = Cache.counters();
+      if (WarmTrans != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s warm loop performed %llu translations on %s "
+                     "(want 0)\n",
+                     prepare::engineIdName(E),
+                     static_cast<unsigned long long>(WarmTrans),
+                     P.Name.c_str());
+        ++Failures;
+      }
+      if (C.Translations != 1 || C.Misses != 1 || C.Invalidations != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s cache on %s: translations=%llu misses=%llu "
+                     "(want exactly 1 each)\n",
+                     prepare::engineIdName(E), P.Name.c_str(),
+                     static_cast<unsigned long long>(C.Translations),
+                     static_cast<unsigned long long>(C.Misses));
+        ++Failures;
+      }
+      // Every non-Switch cold call must have re-translated.
+      const uint64_t WantColdTrans =
+          E == prepare::EngineId::Switch
+              ? 0
+              : static_cast<uint64_t>(Reps) * static_cast<uint64_t>(Inner);
+      if (ColdTrans != WantColdTrans) {
+        std::fprintf(stderr,
+                     "FAIL: %s cold loop performed %llu translations on %s "
+                     "(want %llu)\n",
+                     prepare::engineIdName(E),
+                     static_cast<unsigned long long>(ColdTrans),
+                     P.Name.c_str(),
+                     static_cast<unsigned long long>(WantColdTrans));
+        ++Failures;
+      }
+
+      const double ColdNs = Cold.MinNs / Inner;
+      const double WarmNs = Warm.MinNs / Inner;
+      const auto PC = Cache.getOrPrepare(P.Sys->Prog, E, Opts);
+      const double PrepNs = static_cast<double>(PC->PrepareNs);
+      const double Saved = ColdNs - WarmNs;
+      // Runs until the one-time prepare has paid for itself. "-" when
+      // warm is not measurably cheaper (execution-dominated programs).
+      std::string Breakeven =
+          Saved > 0 ? std::to_string(
+                          static_cast<uint64_t>(std::ceil(PrepNs / Saved)))
+                    : "-";
+
+      auto Row = T.row();
+      Row.cell(std::string("  ") + prepare::engineIdName(E))
+          .num(ColdNs, 1)
+          .num(WarmNs, 1)
+          .num(WarmNs > 0 ? ColdNs / WarmNs : 0.0, 2)
+          .num(PrepNs, 0)
+          .cell(Breakeven);
+
+      const std::string Base = P.Name + "_" + prepare::engineIdName(E);
+      metrics::Json TimingV = metrics::Json::object();
+      TimingV.set("cold_ns_per_run", metrics::Json::number(ColdNs));
+      TimingV.set("warm_ns_per_run", metrics::Json::number(WarmNs));
+      TimingV.set("prepare_ns", metrics::Json::number(PrepNs));
+      Rep.addValues(Base + "_timing", metrics::EntryKind::Timing,
+                    std::move(TimingV));
+
+      metrics::Json ExactV = metrics::Json::object();
+      ExactV.set("warm_translations",
+                 metrics::Json::number(static_cast<double>(WarmTrans)));
+      ExactV.set("cold_translations_per_run",
+                 metrics::Json::number(
+                     E == prepare::EngineId::Switch ? 0.0 : 1.0));
+      ExactV.set("cache_translations",
+                 metrics::Json::number(static_cast<double>(C.Translations)));
+      ExactV.set("cache_misses",
+                 metrics::Json::number(static_cast<double>(C.Misses)));
+      Rep.addValues(Base + "_translations", metrics::EntryKind::Exact,
+                    std::move(ExactV));
+    }
+    T.print();
+    std::printf("\n");
+    Rep.addTable(P.Name + "_amortization", T, metrics::EntryKind::Info);
+  }
+
+  if (Failures) {
+    std::fprintf(stderr,
+                 "prepare_amortization: %d contract violations\n", Failures);
+    return 1;
+  }
+  std::printf("all deterministic contracts held: warm loops performed zero "
+              "translations,\nexactly one translation cached per (program, "
+              "engine).\n");
+  return Rep.write() ? 0 : 1;
+}

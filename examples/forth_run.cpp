@@ -8,25 +8,38 @@
 /// \file
 /// A command line Forth runner:
 ///
-///   forth_run [--engine E] [--word W] [--trace] [--stats] file.fs
+///   forth_run [--engine E] [--word W] [--repeat N] [--prepare]
+///             [--trace] [--stats] file.fs
 ///
 /// E is one of: switch, threaded, call-threaded, threaded-tos,
-/// dynamic3, static. W defaults to "main". With --trace, per-program
-/// Fig. 20-style statistics are printed after the run. With --stats (in
-/// a -DSC_STATS=ON build), the engine execution counters - per-opcode
-/// dispatch counts, cache overflow/underflow totals, occupancy and
-/// reconcile traffic - are printed after the run.
+/// dynamic3, static, static-optimal. W defaults to "main". With --trace,
+/// per-program Fig. 20-style statistics are printed after the run. With
+/// --stats (in a -DSC_STATS=ON build), the engine execution counters -
+/// per-opcode dispatch counts, cache overflow/underflow totals,
+/// occupancy and reconcile traffic - are printed after the run.
+///
+/// --repeat N runs the word N times; --prepare routes the runs through
+/// the PrepareCache (translate once, then look up) instead of the legacy
+/// single-shot entry points (translate every run). A summary of stream
+/// translations performed and cache traffic goes to stderr, making the
+/// amortization visible from the command line.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "dynamic/Dynamic3Engine.h"
 #include "forth/Forth.h"
 #include "metrics/Counters.h"
+#include "prepare/Prepare.h"
+#include "prepare/PrepareCache.h"
 #include "staticcache/StaticEngine.h"
 #include "staticcache/StaticSpec.h"
 #include "trace/Capture.h"
 #include "trace/Simulators.h"
 #include "vm/FaultDiag.h"
+#include "vm/Translate.h"
+
+#include <chrono>
+#include <cstdlib>
 
 #include <cstdio>
 #include <cstring>
@@ -40,11 +53,36 @@ using namespace sc::vm;
 static int usage() {
   std::fprintf(
       stderr,
-      "usage: forth_run [--engine E] [--word W] [--trace] [--stats] file.fs\n"
+      "usage: forth_run [--engine E] [--word W] [--repeat N] [--prepare]\n"
+      "                 [--trace] [--stats] file.fs\n"
       "  E: switch | threaded | call-threaded | threaded-tos |\n"
-      "     dynamic3 | static   (default: threaded)\n"
+      "     dynamic3 | static | static-optimal   (default: threaded)\n"
+      "  --repeat N  run the word N times (default 1)\n"
+      "  --prepare   translate once via the PrepareCache, then reuse\n"
       "  --stats needs a -DSC_STATS=ON build\n");
   return 2;
+}
+
+/// Maps a CLI engine name onto a prepare flavor; false if unknown.
+static bool prepareIdFor(const std::string &Name, sc::prepare::EngineId &Out) {
+  using sc::prepare::EngineId;
+  if (Name == "switch")
+    Out = EngineId::Switch;
+  else if (Name == "threaded")
+    Out = EngineId::Threaded;
+  else if (Name == "call-threaded")
+    Out = EngineId::CallThreaded;
+  else if (Name == "threaded-tos")
+    Out = EngineId::ThreadedTos;
+  else if (Name == "dynamic3")
+    Out = EngineId::Dynamic3;
+  else if (Name == "static")
+    Out = EngineId::StaticGreedy;
+  else if (Name == "static-optimal")
+    Out = EngineId::StaticOptimal;
+  else
+    return false;
+  return true;
 }
 
 int main(int Argc, char **Argv) {
@@ -53,12 +91,18 @@ int main(int Argc, char **Argv) {
   std::string FileName;
   bool WantTrace = false;
   bool WantStats = false;
+  bool WantPrepare = false;
+  long Repeat = 1;
 
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--engine") && I + 1 < Argc)
       EngineName = Argv[++I];
     else if (!std::strcmp(Argv[I], "--word") && I + 1 < Argc)
       WordName = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--repeat") && I + 1 < Argc)
+      Repeat = std::strtol(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--prepare"))
+      WantPrepare = true;
     else if (!std::strcmp(Argv[I], "--trace"))
       WantTrace = true;
     else if (!std::strcmp(Argv[I], "--stats"))
@@ -107,27 +151,67 @@ int main(int Argc, char **Argv) {
                            "--stats will print nothing useful\n");
     Ctx.Stats = &Stats;
   }
+  if (Repeat < 1)
+    return usage();
+  prepare::EngineId PrepId;
+  if (!prepareIdFor(EngineName, PrepId))
+    return usage();
   RunOutcome O;
   uint32_t Entry = Sys.entryOf(WordName);
 
-  if (EngineName == "dynamic3") {
-    O = dynamic::runDynamic3Engine(Ctx, Entry);
-  } else if (EngineName == "static") {
-    staticcache::SpecProgram SP = staticcache::compileStatic(Sys.Prog);
-    O = staticcache::runStaticEngine(SP, Ctx, Entry);
-  } else {
-    dispatch::EngineKind K;
-    if (EngineName == "switch")
-      K = dispatch::EngineKind::Switch;
-    else if (EngineName == "threaded")
-      K = dispatch::EngineKind::Threaded;
-    else if (EngineName == "call-threaded")
-      K = dispatch::EngineKind::CallThreaded;
-    else if (EngineName == "threaded-tos")
-      K = dispatch::EngineKind::ThreadedTos;
-    else
-      return usage();
-    O = dispatch::runEngine(K, Ctx, Entry);
+  const uint64_t Trans0 = vm::streamTranslations();
+  const auto T0 = std::chrono::steady_clock::now();
+  for (long R = 0; R < Repeat; ++R) {
+    if (R)
+      Machine.resetOutput(); // keep only the final run's output
+    if (WantPrepare) {
+      auto PC = prepare::globalPrepareCache().getOrPrepare(Sys.Prog, PrepId);
+      O = prepare::runPrepared(*PC, Ctx, Entry);
+    } else if (EngineName == "dynamic3") {
+      O = dynamic::runDynamic3Engine(Ctx, Entry);
+    } else if (EngineName == "static" || EngineName == "static-optimal") {
+      staticcache::StaticOptions SO;
+      SO.TwoPassOptimal = EngineName == "static-optimal";
+      staticcache::SpecProgram SP = staticcache::compileStatic(Sys.Prog, SO);
+      O = staticcache::runStaticEngine(SP, Ctx, Entry);
+    } else {
+      dispatch::EngineKind K;
+      if (EngineName == "switch")
+        K = dispatch::EngineKind::Switch;
+      else if (EngineName == "threaded")
+        K = dispatch::EngineKind::Threaded;
+      else if (EngineName == "call-threaded")
+        K = dispatch::EngineKind::CallThreaded;
+      else // threaded-tos (prepareIdFor vetted the name)
+        K = dispatch::EngineKind::ThreadedTos;
+      O = dispatch::runEngine(K, Ctx, Entry);
+    }
+    if (O.Status != RunStatus::Halted)
+      break;
+  }
+  if (Repeat > 1 || WantPrepare) {
+    const double ElapsedNs = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    std::fprintf(stderr,
+                 "( %ld run%s in %.0f ns (%.0f ns/run), %llu stream "
+                 "translation%s )\n",
+                 Repeat, Repeat == 1 ? "" : "s", ElapsedNs,
+                 ElapsedNs / static_cast<double>(Repeat),
+                 static_cast<unsigned long long>(vm::streamTranslations() -
+                                                 Trans0),
+                 vm::streamTranslations() - Trans0 == 1 ? "" : "s");
+    if (WantPrepare) {
+      metrics::PrepareCounters C =
+          prepare::globalPrepareCache().counters();
+      std::fprintf(stderr,
+                   "( prepare cache: %llu hits, %llu misses, %llu "
+                   "invalidations )\n",
+                   static_cast<unsigned long long>(C.Hits),
+                   static_cast<unsigned long long>(C.Misses),
+                   static_cast<unsigned long long>(C.Invalidations));
+    }
   }
 
   std::fputs(Machine.Out.c_str(), stdout);

@@ -31,6 +31,14 @@ if [ "$MODE" = bench-smoke ]; then
   cmake -B "$BUILD" -G Ninja -DSC_STATS=ON
   cmake --build "$BUILD"
   ctest --test-dir "$BUILD" --output-on-failure
+  # The amortization bench self-asserts its deterministic contracts
+  # (warm runs perform ZERO stream translations; exactly one translation
+  # cached per program/engine) and exits nonzero on violation. Run it
+  # explicitly so a contract break fails fast with its own message, then
+  # run the whole suite for the roll-up.
+  echo "==== prepare amortization contracts"
+  SC_BENCH_SMOKE=1 "$BUILD"/bench/prepare_amortization > /dev/null
+  echo "warm-path contracts held (zero warm translations)"
   "$(dirname "$0")"/bench.sh --smoke --self-check "$BUILD"
 elif [ "$MODE" = sanitize ]; then
   BUILD="${1:-build-san}"

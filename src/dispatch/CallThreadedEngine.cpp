@@ -19,8 +19,7 @@
 #include "metrics/Counters.h"
 #include "support/Assert.h"
 #include "vm/ArithOps.h"
-
-#include <vector>
+#include "vm/Translate.h"
 
 using namespace sc;
 using namespace sc::vm;
@@ -56,7 +55,14 @@ GlobalRegs G;
 #define SC_END }
 #define SC_OPERAND (G.W[1])
 #define SC_NEXTIP ((G.W - G.Base) / 2 + 1)
+// Static branch operands in the prepared stream are pre-scaled threaded
+// offsets; Exit's guest-supplied return address still needs the * 2.
 #define SC_JUMP(T)                                                             \
+  {                                                                            \
+    G.Ip = G.Base + static_cast<UCell>(T);                                     \
+    return;                                                                    \
+  }
+#define SC_JUMP_DYN(T)                                                         \
   {                                                                            \
     G.Ip = G.Base + 2 * static_cast<UCell>(T);                                 \
     return;                                                                    \
@@ -107,6 +113,7 @@ GlobalRegs G;
 #undef SC_OPERAND
 #undef SC_NEXTIP
 #undef SC_JUMP
+#undef SC_JUMP_DYN
 #undef SC_CODE_SIZE
 #undef SC_TRAP
 #undef SC_HALT
@@ -133,21 +140,18 @@ const PrimFn PrimTable[NumOpcodes] = {
 
 } // namespace
 
-RunOutcome sc::dispatch::runCallThreadedEngine(ExecContext &Ctx,
-                                               uint32_t Entry) {
+void sc::dispatch::callThreadedHandlers(Cell Out[NumOpcodes]) {
+  for (unsigned I = 0; I < NumOpcodes; ++I)
+    Out[I] = static_cast<Cell>(reinterpret_cast<uintptr_t>(PrimTable[I]));
+}
+
+RunOutcome sc::dispatch::runCallThreadedPrepared(ExecContext &Ctx,
+                                                 uint32_t Entry,
+                                                 const Cell *Stream) {
   SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
   const Code &Prog = *Ctx.Prog;
   const UCell CodeSize = Prog.Insts.size();
   SC_ASSERT(Entry < CodeSize, "entry out of range");
-
-  // Translate to call-threaded code: [function, operand] per instruction.
-  std::vector<Cell> Threaded(2 * CodeSize);
-  for (UCell I = 0; I < CodeSize; ++I) {
-    const Inst &In = Prog.Insts[I];
-    Threaded[2 * I] = static_cast<Cell>(reinterpret_cast<uintptr_t>(
-        PrimTable[static_cast<unsigned>(In.Op)]));
-    Threaded[2 * I + 1] = In.Operand;
-  }
 
   if (Ctx.RsDepth >= Ctx.RsCapacity) {
     SC_IF_STATS(if (Ctx.Stats)
@@ -160,7 +164,7 @@ RunOutcome sc::dispatch::runCallThreadedEngine(ExecContext &Ctx,
   // faulted or aborted previous run could leave stale values behind; reset
   // the whole block before seeding it for this run.
   G = GlobalRegs();
-  G.Base = Threaded.data();
+  G.Base = Stream;
   G.Ip = G.Base + 2 * Entry;
   G.W = G.Ip;
   G.Stack = Ctx.DS.data();
@@ -205,4 +209,23 @@ RunOutcome sc::dispatch::runCallThreadedEngine(ExecContext &Ctx,
   return makeFault(G.St, G.Steps, FaultPc,
                    FaultPc < CodeSize ? Prog.Insts[FaultPc].Op : Opcode::Halt,
                    G.Dsp, G.Rsp, G.FaultAddr, G.HasFaultAddr);
+}
+
+RunOutcome sc::dispatch::runCallThreadedEngine(ExecContext &Ctx,
+                                               uint32_t Entry) {
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  const UCell CodeSize = Ctx.Prog->Insts.size();
+  SC_ASSERT(Entry < CodeSize, "entry out of range");
+  // Translate to call-threaded code: [function, operand] per instruction,
+  // into the context's pooled stream buffer.
+  if (Ctx.StreamScratch.size() < 2 * CodeSize)
+    Ctx.StreamScratch.resize(2 * CodeSize);
+  static Cell Handlers[NumOpcodes];
+  static const bool Ready = [] {
+    callThreadedHandlers(Handlers);
+    return true;
+  }();
+  (void)Ready;
+  translateStream(*Ctx.Prog, Handlers, Ctx.StreamScratch.data());
+  return runCallThreadedPrepared(Ctx, Entry, Ctx.StreamScratch.data());
 }

@@ -62,6 +62,45 @@ vm::RunOutcome runThreadedTosEngine(vm::ExecContext &Ctx, uint32_t Entry);
 /// Runs the engine selected by \p K.
 vm::RunOutcome runEngine(EngineKind K, vm::ExecContext &Ctx, uint32_t Entry);
 
+/// \name Two-phase (prepare once, run many) entry points
+///
+/// A prepared stream is the engine's [dispatch, operand] two-cell form
+/// with static branch/call operands pre-resolved to threaded offsets
+/// (vm::translateStream). The single-shot entry points above are now thin
+/// wrappers that translate into ExecContext::StreamScratch and run; the
+/// prepare subsystem (src/prepare) translates once per (Code, engine) and
+/// reuses the stream across runs and contexts. The handler exporters fill
+/// \p Out with one dispatch cell per opcode — label addresses for the
+/// computed-goto engines, primitive function pointers for call threading —
+/// obtained from a one-time call into the engine core (the classic
+/// "run the engine in table-export mode" trick).
+/// @{
+
+/// Exports the direct-threading handler table.
+void threadedHandlers(vm::Cell Out[vm::NumOpcodes]);
+
+/// Exports the TOS-in-register handler table.
+void threadedTosHandlers(vm::Cell Out[vm::NumOpcodes]);
+
+/// Exports the call-threading primitive table.
+void callThreadedHandlers(vm::Cell Out[vm::NumOpcodes]);
+
+/// Runs a stream produced with threadedHandlers(). \p Ctx.Prog must be
+/// the program the stream was translated from.
+vm::RunOutcome runThreadedPrepared(vm::ExecContext &Ctx, uint32_t Entry,
+                                   const vm::Cell *Stream);
+
+/// Runs a stream produced with threadedTosHandlers().
+vm::RunOutcome runThreadedTosPrepared(vm::ExecContext &Ctx, uint32_t Entry,
+                                      const vm::Cell *Stream);
+
+/// Runs a stream produced with callThreadedHandlers(). Not reentrant
+/// (static VM registers), like the single-shot form.
+vm::RunOutcome runCallThreadedPrepared(vm::ExecContext &Ctx, uint32_t Entry,
+                                       const vm::Cell *Stream);
+
+/// @}
+
 } // namespace sc::dispatch
 
 #endif // SC_DISPATCH_ENGINES_H

@@ -12,6 +12,13 @@
 /// uniform two-cell layout (handler address, operand) so that a virtual
 /// instruction index maps to threaded index * 2.
 ///
+/// The engine is split prepare/run: the core executes an already
+/// translated stream whose static branch operands are threaded offsets
+/// (taken branches do Ip = Base + T with no rescale), and exports its
+/// label table on demand so translation can happen outside the core —
+/// once per program via src/prepare, or per run through the legacy
+/// wrapper, which at least reuses the context's pooled stream buffer.
+///
 //===----------------------------------------------------------------------===//
 
 #include "dispatch/Engines.h"
@@ -19,37 +26,41 @@
 #include "metrics/Counters.h"
 #include "support/Assert.h"
 #include "vm/ArithOps.h"
-
-#include <vector>
+#include "vm/Translate.h"
 
 using namespace sc;
 using namespace sc::vm;
 
-vm::RunOutcome sc::dispatch::runThreadedEngine(ExecContext &Ctx,
-                                               uint32_t Entry) {
-  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
-  const Code &Prog = *Ctx.Prog;
-  const UCell CodeSize = Prog.Insts.size();
-  SC_ASSERT(Entry < CodeSize, "entry out of range");
+namespace {
 
+/// Executes prepared stream \p Stream (2 * Ctx->Prog->size() cells) from
+/// instruction index \p Entry. When \p HandlersOut is non-null, fills it
+/// with the label table instead of running; \p Ctx may then be null.
+/// noinline keeps the compiler from cloning the function, which would
+/// give the export and execution paths distinct label addresses.
+__attribute__((noinline)) RunOutcome threadedCore(ExecContext *CtxPtr,
+                                                  uint32_t Entry,
+                                                  const Cell *Stream,
+                                                  Cell *HandlersOut) {
   // Handler addresses, one per opcode. GNU extension: labels as values.
   static const void *const Labels[NumOpcodes] = {
 #define SC_OPCODE_LABEL(Name, Mn, DI, DO, RI, RO, HasOp, Kind) &&L_##Name,
       SC_FOR_EACH_OPCODE(SC_OPCODE_LABEL)
 #undef SC_OPCODE_LABEL
   };
-
-  // Translate to threaded code: [handler, operand] per instruction.
-  std::vector<Cell> Threaded(2 * CodeSize);
-  for (UCell I = 0; I < CodeSize; ++I) {
-    const Inst &In = Prog.Insts[I];
-    Threaded[2 * I] = reinterpret_cast<Cell>(
-        Labels[static_cast<unsigned>(In.Op)]);
-    Threaded[2 * I + 1] = In.Operand;
+  if (HandlersOut) {
+    for (unsigned I = 0; I < NumOpcodes; ++I)
+      HandlersOut[I] = reinterpret_cast<Cell>(Labels[I]);
+    return {RunStatus::Halted, 0};
   }
 
+  ExecContext &Ctx = *CtxPtr;
+  const Code &Prog = *Ctx.Prog;
+  const UCell CodeSize = Prog.Insts.size();
+  SC_ASSERT(Entry < CodeSize, "entry out of range");
+
   Vm &TheVm = *Ctx.Machine;
-  const Cell *Base = Threaded.data();
+  const Cell *Base = Stream;
   const Cell *Ip = Base + 2 * Entry;
   const Cell *W = Ip; // current instruction (operand at W[1])
   Cell *Stack = Ctx.DS.data();
@@ -93,7 +104,14 @@ vm::RunOutcome sc::dispatch::runThreadedEngine(ExecContext &Ctx,
 #define SC_END SC_NEXT
 #define SC_OPERAND (W[1])
 #define SC_NEXTIP ((W - Base) / 2 + 1)
+  // Static branch operands are pre-scaled threaded offsets; only Exit's
+  // guest-supplied return address still needs the * 2.
 #define SC_JUMP(T)                                                             \
+  {                                                                            \
+    Ip = Base + static_cast<UCell>(T);                                         \
+    SC_NEXT;                                                                   \
+  }
+#define SC_JUMP_DYN(T)                                                         \
   {                                                                            \
     Ip = Base + 2 * static_cast<UCell>(T);                                     \
     SC_NEXT;                                                                   \
@@ -146,6 +164,7 @@ Done:
 #undef SC_OPERAND
 #undef SC_NEXTIP
 #undef SC_JUMP
+#undef SC_JUMP_DYN
 #undef SC_CODE_SIZE
 #undef SC_TRAP
 #undef SC_HALT
@@ -175,4 +194,41 @@ Done:
   return makeFault(St, Steps, FaultPc,
                    FaultPc < CodeSize ? Prog.Insts[FaultPc].Op : Opcode::Halt,
                    Dsp, Rsp, FaultAddr, HasFaultAddr);
+}
+
+/// One-time cached copy of the label table.
+const Cell *threadedHandlerTable() {
+  static Cell Tab[NumOpcodes];
+  static const bool Ready = [] {
+    threadedCore(nullptr, 0, nullptr, Tab);
+    return true;
+  }();
+  (void)Ready;
+  return Tab;
+}
+
+} // namespace
+
+void sc::dispatch::threadedHandlers(Cell Out[NumOpcodes]) {
+  const Cell *Tab = threadedHandlerTable();
+  for (unsigned I = 0; I < NumOpcodes; ++I)
+    Out[I] = Tab[I];
+}
+
+vm::RunOutcome sc::dispatch::runThreadedPrepared(ExecContext &Ctx,
+                                                 uint32_t Entry,
+                                                 const Cell *Stream) {
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  return threadedCore(&Ctx, Entry, Stream, nullptr);
+}
+
+vm::RunOutcome sc::dispatch::runThreadedEngine(ExecContext &Ctx,
+                                               uint32_t Entry) {
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  const UCell CodeSize = Ctx.Prog->Insts.size();
+  SC_ASSERT(Entry < CodeSize, "entry out of range");
+  if (Ctx.StreamScratch.size() < 2 * CodeSize)
+    Ctx.StreamScratch.resize(2 * CodeSize);
+  translateStream(*Ctx.Prog, threadedHandlerTable(), Ctx.StreamScratch.data());
+  return threadedCore(&Ctx, Entry, Ctx.StreamScratch.data(), nullptr);
 }

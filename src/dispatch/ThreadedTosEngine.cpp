@@ -16,6 +16,13 @@
 /// writes the (meaningless) Tos there and popping the last item reloads
 /// junk into Tos, so push and pop stay branch-free.
 ///
+/// Split prepare/run like ThreadedEngine: the core runs a pre-translated
+/// stream with pre-scaled branch offsets and exports its label table; the
+/// shadow stack buffer is pooled in ExecContext::TosScratch instead of
+/// being heap-allocated per run. Stale buffer contents are harmless:
+/// every slot read is below the live depth (or the junk slot, whose value
+/// never escapes), so reuse cannot change observable behavior.
+///
 //===----------------------------------------------------------------------===//
 
 #include "dispatch/Engines.h"
@@ -23,36 +30,40 @@
 #include "metrics/Counters.h"
 #include "support/Assert.h"
 #include "vm/ArithOps.h"
+#include "vm/Translate.h"
 
 #include <cstddef>
-#include <vector>
 
 using namespace sc;
 using namespace sc::vm;
 
-vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
-                                                  uint32_t Entry) {
-  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
-  const Code &Prog = *Ctx.Prog;
-  const UCell CodeSize = Prog.Insts.size();
-  SC_ASSERT(Entry < CodeSize, "entry out of range");
+namespace {
 
+/// Executes prepared stream \p Stream from instruction index \p Entry;
+/// with \p HandlersOut non-null, exports the label table instead (see
+/// threadedCore). noinline prevents label-address-splitting clones.
+__attribute__((noinline)) RunOutcome threadedTosCore(ExecContext *CtxPtr,
+                                                     uint32_t Entry,
+                                                     const Cell *Stream,
+                                                     Cell *HandlersOut) {
   static const void *const Labels[NumOpcodes] = {
 #define SC_OPCODE_LABEL(Name, Mn, DI, DO, RI, RO, HasOp, Kind) &&L_##Name,
       SC_FOR_EACH_OPCODE(SC_OPCODE_LABEL)
 #undef SC_OPCODE_LABEL
   };
-
-  std::vector<Cell> Threaded(2 * CodeSize);
-  for (UCell I = 0; I < CodeSize; ++I) {
-    const Inst &In = Prog.Insts[I];
-    Threaded[2 * I] = reinterpret_cast<Cell>(
-        Labels[static_cast<unsigned>(In.Op)]);
-    Threaded[2 * I + 1] = In.Operand;
+  if (HandlersOut) {
+    for (unsigned I = 0; I < NumOpcodes; ++I)
+      HandlersOut[I] = reinterpret_cast<Cell>(Labels[I]);
+    return {RunStatus::Halted, 0};
   }
 
+  ExecContext &Ctx = *CtxPtr;
+  const Code &Prog = *Ctx.Prog;
+  const UCell CodeSize = Prog.Insts.size();
+  SC_ASSERT(Entry < CodeSize, "entry out of range");
+
   Vm &TheVm = *Ctx.Machine;
-  const Cell *Base = Threaded.data();
+  const Cell *Base = Stream;
   const Cell *Ip = Base + 2 * Entry;
   const Cell *W = Ip;
   Cell *RStack = Ctx.RS.data();
@@ -65,9 +76,12 @@ vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
   Cell FaultAddr = 0;
   bool HasFaultAddr = false;
 
-  // TOS-cached data stack (see file comment for the layout).
-  std::vector<Cell> Buf(DsCap + 1 + ExecContext::StackSlackCells, 0);
-  Cell *StackBase = Buf.data();
+  // TOS-cached data stack (see file comment for the layout), pooled in
+  // the context so repeat runs reuse the same backing store.
+  const size_t BufCells = DsCap + 1 + ExecContext::StackSlackCells;
+  if (Ctx.TosScratch.size() < BufCells)
+    Ctx.TosScratch.resize(BufCells, 0);
+  Cell *StackBase = Ctx.TosScratch.data();
   Cell *Sp = StackBase + Ctx.DsDepth;
   Cell Tos = 0;
   Cell PopTmp = 0;
@@ -107,7 +121,14 @@ vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
 #define SC_END SC_NEXT
 #define SC_OPERAND (W[1])
 #define SC_NEXTIP ((W - Base) / 2 + 1)
+  // Static branch operands are pre-scaled threaded offsets; Exit's
+  // guest-supplied return address still needs the * 2.
 #define SC_JUMP(T)                                                             \
+  {                                                                            \
+    Ip = Base + static_cast<UCell>(T);                                         \
+    SC_NEXT;                                                                   \
+  }
+#define SC_JUMP_DYN(T)                                                         \
   {                                                                            \
     Ip = Base + 2 * static_cast<UCell>(T);                                     \
     SC_NEXT;                                                                   \
@@ -165,6 +186,7 @@ Done:
 #undef SC_OPERAND
 #undef SC_NEXTIP
 #undef SC_JUMP
+#undef SC_JUMP_DYN
 #undef SC_CODE_SIZE
 #undef SC_TRAP
 #undef SC_HALT
@@ -201,4 +223,42 @@ Done:
   return makeFault(St, Steps, FaultPc,
                    FaultPc < CodeSize ? Prog.Insts[FaultPc].Op : Opcode::Halt,
                    Ctx.DsDepth, Rsp, FaultAddr, HasFaultAddr);
+}
+
+/// One-time cached copy of the label table.
+const Cell *threadedTosHandlerTable() {
+  static Cell Tab[NumOpcodes];
+  static const bool Ready = [] {
+    threadedTosCore(nullptr, 0, nullptr, Tab);
+    return true;
+  }();
+  (void)Ready;
+  return Tab;
+}
+
+} // namespace
+
+void sc::dispatch::threadedTosHandlers(Cell Out[NumOpcodes]) {
+  const Cell *Tab = threadedTosHandlerTable();
+  for (unsigned I = 0; I < NumOpcodes; ++I)
+    Out[I] = Tab[I];
+}
+
+vm::RunOutcome sc::dispatch::runThreadedTosPrepared(ExecContext &Ctx,
+                                                    uint32_t Entry,
+                                                    const Cell *Stream) {
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  return threadedTosCore(&Ctx, Entry, Stream, nullptr);
+}
+
+vm::RunOutcome sc::dispatch::runThreadedTosEngine(ExecContext &Ctx,
+                                                  uint32_t Entry) {
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  const UCell CodeSize = Ctx.Prog->Insts.size();
+  SC_ASSERT(Entry < CodeSize, "entry out of range");
+  if (Ctx.StreamScratch.size() < 2 * CodeSize)
+    Ctx.StreamScratch.resize(2 * CodeSize);
+  translateStream(*Ctx.Prog, threadedTosHandlerTable(),
+                  Ctx.StreamScratch.data());
+  return threadedTosCore(&Ctx, Entry, Ctx.StreamScratch.data(), nullptr);
 }

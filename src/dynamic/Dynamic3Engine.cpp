@@ -26,26 +26,19 @@
 
 #include "metrics/Counters.h"
 #include "vm/ArithOps.h"
+#include "vm/Translate.h"
 #include "support/Assert.h"
-
-#include <vector>
 
 using namespace sc;
 using namespace sc::vm;
 
-vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
-                                              uint32_t Entry) {
+vm::RunOutcome sc::dynamic::runDynamic3Prepared(ExecContext &Ctx,
+                                                uint32_t Entry,
+                                                const Cell *Stream) {
   SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
   const Code &Prog = *Ctx.Prog;
   const UCell CodeSize = Prog.Insts.size();
   SC_ASSERT(Entry < CodeSize, "entry out of range");
-
-  // Threaded code for table-lookup dispatch: [opcode index, operand].
-  std::vector<Cell> Threaded(2 * CodeSize);
-  for (UCell I = 0; I < CodeSize; ++I) {
-    Threaded[2 * I] = static_cast<Cell>(Prog.Insts[I].Op);
-    Threaded[2 * I + 1] = Prog.Insts[I].Operand;
-  }
 
   // Generic (state 0, memory-only) handlers exist for every opcode.
   static const void *const Generic[NumOpcodes] = {
@@ -118,7 +111,7 @@ vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
 #undef SC_HOT
 
   Vm &TheVm = *Ctx.Machine;
-  const Cell *Base = Threaded.data();
+  const Cell *Base = Stream;
   const Cell *Ip = Base + 2 * Entry;
   const Cell *W = Ip;
   Cell *Stack = Ctx.DS.data();
@@ -207,17 +200,35 @@ vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
 #define RROOMK(State, N)                                                       \
   if (Rsp + static_cast<unsigned>(N) > RsCap)                                  \
   TRAPS(State, RStackOverflow)
+  // Static branch operands in the prepared stream are pre-scaled threaded
+  // offsets (JUMPk); Exit's guest-supplied return address is still an
+  // instruction index and rescales through JUMPDYNk.
 #define JUMP0(T)                                                               \
   {                                                                            \
-    Ip = Base + 2 * static_cast<UCell>(T);                                     \
+    Ip = Base + static_cast<UCell>(T);                                         \
     NEXT0;                                                                     \
   }
 #define JUMP1(T)                                                               \
   {                                                                            \
-    Ip = Base + 2 * static_cast<UCell>(T);                                     \
+    Ip = Base + static_cast<UCell>(T);                                         \
     NEXT1;                                                                     \
   }
 #define JUMP2(T)                                                               \
+  {                                                                            \
+    Ip = Base + static_cast<UCell>(T);                                         \
+    NEXT2;                                                                     \
+  }
+#define JUMPDYN0(T)                                                            \
+  {                                                                            \
+    Ip = Base + 2 * static_cast<UCell>(T);                                     \
+    NEXT0;                                                                     \
+  }
+#define JUMPDYN1(T)                                                            \
+  {                                                                            \
+    Ip = Base + 2 * static_cast<UCell>(T);                                     \
+    NEXT1;                                                                     \
+  }
+#define JUMPDYN2(T)                                                            \
   {                                                                            \
     Ip = Base + 2 * static_cast<UCell>(T);                                     \
     NEXT2;                                                                     \
@@ -535,21 +546,21 @@ S0_Exit : {
   Cell Ret = RStack[--Rsp];
   if (static_cast<UCell>(Ret) >= CodeSize)
     TRAPS(0, BadMemAccess);
-  JUMP0(Ret);
+  JUMPDYN0(Ret);
 }
 S1_Exit : {
   RNEEDK(1, 1);
   Cell Ret = RStack[--Rsp];
   if (static_cast<UCell>(Ret) >= CodeSize)
     TRAPS(1, BadMemAccess);
-  JUMP1(Ret);
+  JUMPDYN1(Ret);
 }
 S2_Exit : {
   RNEEDK(2, 1);
   Cell Ret = RStack[--Rsp];
   if (static_cast<UCell>(Ret) >= CodeSize)
     TRAPS(2, BadMemAccess);
-  JUMP2(Ret);
+  JUMPDYN2(Ret);
 }
 
 S0_ToR:
@@ -627,7 +638,7 @@ S2_LoopI:
     Cell Index = RStack[Rsp - 1] + 1;                                          \
     if (Index != RStack[Rsp - 2]) {                                            \
       RStack[Rsp - 1] = Index;                                                 \
-      Ip = Base + 2 * static_cast<UCell>(W[1]);                                \
+      Ip = Base + static_cast<UCell>(W[1]);                                    \
     } else {                                                                   \
       Rsp -= 2;                                                                \
     }                                                                          \
@@ -730,6 +741,7 @@ S2_LitStore:
 #define SC_OPERAND (W[1])
 #define SC_NEXTIP ((W - Base) / 2 + 1)
 #define SC_JUMP(T) JUMP0(T)
+#define SC_JUMP_DYN(T) JUMPDYN0(T)
 #define SC_CODE_SIZE CodeSize
 #define SC_TRAP(S) TRAPS(0, S)
 #define SC_TRAP_MEM(A) TRAPMEM(0, A)
@@ -753,6 +765,7 @@ S2_LitStore:
 #undef SC_OPERAND
 #undef SC_NEXTIP
 #undef SC_JUMP
+#undef SC_JUMP_DYN
 #undef SC_CODE_SIZE
 #undef SC_TRAP
 #undef SC_HALT
@@ -783,6 +796,9 @@ Done:
 #undef JUMP0
 #undef JUMP1
 #undef JUMP2
+#undef JUMPDYN0
+#undef JUMPDYN1
+#undef JUMPDYN2
 #undef TRAPMEM
   (void)PopTmp;
   // Write the cached items back to the flat stack.
@@ -807,4 +823,17 @@ Done:
   return makeFault(St, Steps, FaultPc,
                    FaultPc < CodeSize ? Prog.Insts[FaultPc].Op : Opcode::Halt,
                    Dsp, Rsp, FaultAddr, HasFaultAddr);
+}
+
+vm::RunOutcome sc::dynamic::runDynamic3Engine(ExecContext &Ctx,
+                                              uint32_t Entry) {
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  const UCell CodeSize = Ctx.Prog->Insts.size();
+  SC_ASSERT(Entry < CodeSize, "entry out of range");
+  // Threaded code for table-lookup dispatch: [opcode index, operand],
+  // into the context's pooled stream buffer.
+  if (Ctx.StreamScratch.size() < 2 * CodeSize)
+    Ctx.StreamScratch.resize(2 * CodeSize);
+  translateStream(*Ctx.Prog, nullptr, Ctx.StreamScratch.data());
+  return runDynamic3Prepared(Ctx, Entry, Ctx.StreamScratch.data());
 }

@@ -166,6 +166,7 @@ bool Compiler::compileToken(const std::string &Raw, const std::string &Lower) {
     if (!ctrlPop(CtrlItem::Kind::Orig, If, "ELSE"))
       return false;
     Prog.Insts[If.Index].Operand = Prog.size();
+    Prog.touch();
     CtrlStack.push_back({CtrlItem::Kind::Orig, Jmp, {}});
     return true;
   }
@@ -174,6 +175,7 @@ bool Compiler::compileToken(const std::string &Raw, const std::string &Lower) {
     if (!ctrlPop(CtrlItem::Kind::Orig, If, "THEN"))
       return false;
     Prog.Insts[If.Index].Operand = Prog.size();
+    Prog.touch();
     return true;
   }
   if (Lower == "begin") {
@@ -211,6 +213,7 @@ bool Compiler::compileToken(const std::string &Raw, const std::string &Lower) {
       return false;
     Prog.emit(Opcode::Branch, Dest.Index);
     Prog.Insts[Orig.Index].Operand = Prog.size();
+    Prog.touch();
     return true;
   }
   if (Lower == "do") {
@@ -226,6 +229,7 @@ bool Compiler::compileToken(const std::string &Raw, const std::string &Lower) {
               LoopItem.Index);
     for (uint32_t Leave : LoopItem.Leaves)
       Prog.Insts[Leave].Operand = Prog.size();
+    Prog.touch();
     return true;
   }
   if (Lower == "leave") {

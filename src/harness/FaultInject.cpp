@@ -347,6 +347,7 @@ InjectReport sc::harness::mutateAndCompare(const forth::System &Sys,
         break;
       }
     }
+    Mut.touch(); // edits bypassed emit(); invalidate cached translations
     if (!Mut.verify())
       continue; // the oracle rejected the mutant
 

@@ -57,6 +57,15 @@ bool sc::metrics::operator==(const Counters &A, const Counters &B) {
          A.ReconcileMoves == B.ReconcileMoves;
 }
 
+Json sc::metrics::prepareCountersToJson(const PrepareCounters &C) {
+  Json Obj = Json::object();
+  Obj.set("hits", Json::number(C.Hits));
+  Obj.set("misses", Json::number(C.Misses));
+  Obj.set("invalidations", Json::number(C.Invalidations));
+  Obj.set("translations", Json::number(C.Translations));
+  return Obj;
+}
+
 Json sc::metrics::countersToJson(const Counters &C) {
   Json Obj = Json::object();
   Obj.set("total_dispatch", Json::number(C.totalDispatch()));

@@ -126,6 +126,30 @@ inline void noteTrap(Counters &C, vm::RunStatus S) {
   ++C.Traps[static_cast<unsigned>(S)];
 }
 
+/// Translation-cache counters for the prepare subsystem (src/prepare):
+/// how often a (Code, engine) translation was served from cache versus
+/// built, plus version-stamp invalidations and the number of stream
+/// translations actually performed. Unlike Counters these are always
+/// maintained — they tick once per prepare/lookup, not per instruction.
+struct PrepareCounters {
+  uint64_t Hits = 0;          ///< cache lookups served without translating
+  uint64_t Misses = 0;        ///< lookups that had to prepare
+  uint64_t Invalidations = 0; ///< entries dropped because Code::version moved
+  uint64_t Translations = 0;  ///< prepared streams actually built
+
+  PrepareCounters &operator+=(const PrepareCounters &O) {
+    Hits += O.Hits;
+    Misses += O.Misses;
+    Invalidations += O.Invalidations;
+    Translations += O.Translations;
+    return *this;
+  }
+};
+
+/// Serializes \p C as a flat JSON object (hits/misses/invalidations/
+/// translations).
+Json prepareCountersToJson(const PrepareCounters &C);
+
 /// Serializes \p C as a JSON object: total and per-opcode (mnemonic-keyed,
 /// nonzero only) dispatch counts, occupancy, cache events, reconcile
 /// traffic and traps.

@@ -1,0 +1,179 @@
+//===-- prepare/Prepare.cpp - Prepare-once, run-many translation ----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prepare/Prepare.h"
+
+#include "dispatch/Engines.h"
+#include "dynamic/Dynamic3Engine.h"
+#include "staticcache/StaticEngine.h"
+#include "superinst/Superinst.h"
+#include "support/Assert.h"
+#include "vm/Translate.h"
+
+#include <chrono>
+
+using namespace sc;
+using namespace sc::prepare;
+using namespace sc::vm;
+
+const char *sc::prepare::engineIdName(EngineId E) {
+  switch (E) {
+  case EngineId::Switch:
+    return "switch";
+  case EngineId::Threaded:
+    return "threaded";
+  case EngineId::CallThreaded:
+    return "call-threaded";
+  case EngineId::ThreadedTos:
+    return "threaded-tos";
+  case EngineId::Dynamic3:
+    return "dynamic3";
+  case EngineId::StaticGreedy:
+    return "static-greedy";
+  case EngineId::StaticOptimal:
+    return "static-optimal";
+  }
+  sc::unreachable("bad EngineId");
+}
+
+uint32_t PreparedCode::entryOf(const std::string &Name) const {
+  const Word *W = Snapshot->findWord(Name);
+  SC_ASSERT(W, "entryOf: unknown word");
+  return W->Entry;
+}
+
+namespace {
+
+/// One-time per-engine handler tables, fetched through the engines'
+/// label/primitive exporters. Dynamic3 needs none (opcode-index stream).
+const Cell *handlerTableFor(EngineId E) {
+  switch (E) {
+  case EngineId::Threaded: {
+    static Cell Tab[NumOpcodes];
+    static const bool Ready = [] {
+      dispatch::threadedHandlers(Tab);
+      return true;
+    }();
+    (void)Ready;
+    return Tab;
+  }
+  case EngineId::ThreadedTos: {
+    static Cell Tab[NumOpcodes];
+    static const bool Ready = [] {
+      dispatch::threadedTosHandlers(Tab);
+      return true;
+    }();
+    (void)Ready;
+    return Tab;
+  }
+  case EngineId::CallThreaded: {
+    static Cell Tab[NumOpcodes];
+    static const bool Ready = [] {
+      dispatch::callThreadedHandlers(Tab);
+      return true;
+    }();
+    (void)Ready;
+    return Tab;
+  }
+  default:
+    return nullptr;
+  }
+}
+
+const Cell *staticHandlerTable() {
+  static Cell Tab[staticcache::NumHandlers];
+  static const bool Ready = [] {
+    staticcache::staticHandlerCells(Tab);
+    return true;
+  }();
+  (void)Ready;
+  return Tab;
+}
+
+} // namespace
+
+std::shared_ptr<const PreparedCode>
+sc::prepare::prepareCode(const Code &Prog, EngineId Engine,
+                         const PrepareOptions &Opts) {
+  const auto T0 = std::chrono::steady_clock::now();
+  auto PC = std::make_shared<PreparedCode>();
+  PC->Engine = Engine;
+  PC->Source = &Prog;
+  PC->SourceVersion = Prog.version();
+
+  if (Opts.FuseSuperinstructions) {
+    superinst::CombineResult R = superinst::combineSuperinstructions(Prog);
+    PC->FusedPairs = R.PairsCombined;
+    PC->Snapshot = std::make_shared<const Code>(std::move(R.Combined));
+  } else {
+    PC->Snapshot = std::make_shared<const Code>(Prog);
+  }
+  const Code &Snap = *PC->Snapshot;
+
+  switch (Engine) {
+  case EngineId::Switch:
+    break; // dispatches on the snapshot directly; nothing to translate
+  case EngineId::Threaded:
+  case EngineId::CallThreaded:
+  case EngineId::ThreadedTos:
+  case EngineId::Dynamic3:
+    PC->Stream.resize(2 * static_cast<size_t>(Snap.size()));
+    translateStream(Snap, handlerTableFor(Engine), PC->Stream.data());
+    break;
+  case EngineId::StaticGreedy:
+  case EngineId::StaticOptimal: {
+    staticcache::StaticOptions SO;
+    SO.TwoPassOptimal = Engine == EngineId::StaticOptimal;
+    auto Spec = std::make_shared<const staticcache::SpecProgram>(
+        staticcache::compileStatic(Snap, SO));
+    PC->Stream.resize(2 * Spec->Insts.size());
+    staticcache::translateSpecStream(*Spec, staticHandlerTable(),
+                                     PC->Stream.data());
+    PC->Spec = std::move(Spec);
+    break;
+  }
+  }
+
+  PC->PrepareNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  return PC;
+}
+
+vm::RunOutcome sc::prepare::runPrepared(const PreparedCode &PC,
+                                        ExecContext &Ctx, uint32_t Entry) {
+  SC_ASSERT(Ctx.Machine, "unbound ExecContext");
+  // Engines read the program for fault reporting (and the switch engine
+  // for dispatch); it must be the snapshot the stream was built from.
+  const Code *Saved = Ctx.Prog;
+  Ctx.Prog = &PC.program();
+  RunOutcome O;
+  switch (PC.Engine) {
+  case EngineId::Switch:
+    O = dispatch::runSwitchEngine(Ctx, Entry);
+    break;
+  case EngineId::Threaded:
+    O = dispatch::runThreadedPrepared(Ctx, Entry, PC.stream());
+    break;
+  case EngineId::CallThreaded:
+    O = dispatch::runCallThreadedPrepared(Ctx, Entry, PC.stream());
+    break;
+  case EngineId::ThreadedTos:
+    O = dispatch::runThreadedTosPrepared(Ctx, Entry, PC.stream());
+    break;
+  case EngineId::Dynamic3:
+    O = dynamic::runDynamic3Prepared(Ctx, Entry, PC.stream());
+    break;
+  case EngineId::StaticGreedy:
+  case EngineId::StaticOptimal:
+    O = staticcache::runStaticPrepared(*PC.spec(), Ctx, Entry, PC.stream());
+    break;
+  }
+  Ctx.Prog = Saved;
+  return O;
+}

@@ -1,0 +1,57 @@
+//===-- prepare/PrepareCache.cpp - Shared translation cache ---------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prepare/PrepareCache.h"
+
+using namespace sc;
+using namespace sc::prepare;
+
+std::shared_ptr<const PreparedCode>
+PrepareCache::getOrPrepare(const vm::Code &Prog, EngineId Engine,
+                           const PrepareOptions &Opts) {
+  const Key K{&Prog, Engine, Opts.FuseSuperinstructions};
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    if (It->second->SourceVersion == Prog.version()) {
+      ++Stats.Hits;
+      return It->second;
+    }
+    // Stale: the Code mutated (or the address was recycled by a new
+    // Code) since this entry was prepared.
+    ++Stats.Invalidations;
+    Map.erase(It);
+  }
+  ++Stats.Misses;
+  ++Stats.Translations;
+  // Deliberately prepared under the lock: concurrent first runs of the
+  // same program must share one translation, and prepare is fast
+  // relative to the runs it amortizes over.
+  auto PC = prepareCode(Prog, Engine, Opts);
+  Map.emplace(K, PC);
+  return PC;
+}
+
+metrics::PrepareCounters PrepareCache::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+void PrepareCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.clear();
+}
+
+size_t PrepareCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+PrepareCache &sc::prepare::globalPrepareCache() {
+  static PrepareCache Cache;
+  return Cache;
+}

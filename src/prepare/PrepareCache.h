@@ -1,0 +1,85 @@
+//===-- prepare/PrepareCache.h - Shared translation cache ------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide cache of PreparedCode artifacts keyed on (Code
+/// identity, engine flavor, fusion flag), validated against the Code's
+/// version stamp. Concurrent sessions running the same program share one
+/// translation: the cache mutex is held across prepare, so a (Code,
+/// engine) pair is translated exactly once no matter how many threads
+/// race on the first run.
+///
+/// Keying on the Code pointer alone would be unsound — addresses are
+/// recycled — which is why Code::version() stamps are process-unique:
+/// a cached entry whose version differs from the live object's (stale
+/// entry at a recycled address, or genuine mutation) never validates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_PREPARE_PREPARECACHE_H
+#define SC_PREPARE_PREPARECACHE_H
+
+#include "metrics/Counters.h"
+#include "prepare/Prepare.h"
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+
+namespace sc::prepare {
+
+/// Translation cache with hit/miss/invalidation counters. All methods
+/// are thread-safe.
+class PrepareCache {
+public:
+  /// Returns the cached PreparedCode for (\p Prog, \p Engine, fusion
+  /// flag), preparing and inserting it on miss. A cached entry whose
+  /// SourceVersion no longer matches \p Prog.version() counts as an
+  /// invalidation and is re-prepared in place.
+  std::shared_ptr<const PreparedCode>
+  getOrPrepare(const vm::Code &Prog, EngineId Engine,
+               const PrepareOptions &Opts = PrepareOptions());
+
+  /// Snapshot of the counters.
+  metrics::PrepareCounters counters() const;
+
+  /// Drops every entry (counters are kept).
+  void clear();
+
+  /// Number of live entries.
+  size_t size() const;
+
+private:
+  struct Key {
+    const vm::Code *Prog;
+    EngineId Engine;
+    bool Fused;
+    bool operator==(const Key &O) const {
+      return Prog == O.Prog && Engine == O.Engine && Fused == O.Fused;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t H = std::hash<const void *>()(K.Prog);
+      H ^= (static_cast<size_t>(K.Engine) * 2 +
+            static_cast<size_t>(K.Fused)) *
+           0x9e3779b97f4a7c15ull;
+      return H;
+    }
+  };
+
+  mutable std::mutex Mu;
+  std::unordered_map<Key, std::shared_ptr<const PreparedCode>, KeyHash> Map;
+  metrics::PrepareCounters Stats;
+};
+
+/// The process-wide cache shared by every session.
+PrepareCache &globalPrepareCache();
+
+} // namespace sc::prepare
+
+#endif // SC_PREPARE_PREPARECACHE_H

@@ -9,9 +9,8 @@
 
 #include "metrics/Counters.h"
 #include "vm/ArithOps.h"
+#include "vm/Translate.h"
 #include "support/Assert.h"
-
-#include <vector>
 
 using namespace sc;
 using namespace sc::staticcache;
@@ -52,15 +51,17 @@ static void noteStaticDispatch(sc::metrics::Counters &C,
 }
 #endif
 
-vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
-                                                ExecContext &Ctx,
-                                                uint32_t OrigEntry) {
-  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
-  SC_ASSERT(OrigEntry < SP.OrigToSpec.size(), "entry out of range");
-  const UCell SpecSize = SP.Insts.size();
-  const uint32_t Entry = SP.OrigToSpec[OrigEntry];
-  SC_ASSERT(Entry < SpecSize, "specialized entry out of range");
+namespace {
 
+/// Executes prepared spec stream \p Stream (2 * SPP->Insts.size() cells,
+/// see translateSpecStream) from original entry \p OrigEntry. When
+/// \p HandlersOut is non-null, fills it with the handler label table and
+/// returns without running; \p SPP and \p CtxPtr may then be null.
+/// noinline keeps the compiler from cloning the function, which would
+/// give the export and execution paths distinct label addresses.
+__attribute__((noinline)) RunOutcome
+staticCore(const SpecProgram *SPP, ExecContext *CtxPtr, uint32_t OrigEntry,
+           const Cell *Stream, Cell *HandlersOut) {
   // Label table: generic state-0 copies for every opcode, specialized
   // copies for hot (state, op) pairs, micro-instructions, and a trap for
   // combinations the pass never emits.
@@ -232,17 +233,22 @@ vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
   Labels[4 * NumOpcodes + MFillSnd0] = &&M_FillSnd0;
   Labels[4 * NumOpcodes + MFillSnd1] = &&M_FillSnd1;
 
-  // Translate to direct-threaded code: [handler address, operand].
-  std::vector<Cell> Threaded(2 * SpecSize);
-  for (UCell I = 0; I < SpecSize; ++I) {
-    SC_ASSERT(SP.Insts[I].Handler < NumHandlers, "bad handler index");
-    Threaded[2 * I] =
-        reinterpret_cast<Cell>(Labels[SP.Insts[I].Handler]);
-    Threaded[2 * I + 1] = SP.Insts[I].Operand;
+  if (HandlersOut) {
+    for (unsigned I = 0; I < NumHandlers; ++I)
+      HandlersOut[I] = reinterpret_cast<Cell>(Labels[I]);
+    return {RunStatus::Halted, 0};
   }
 
+  const SpecProgram &SP = *SPP;
+  ExecContext &Ctx = *CtxPtr;
+  SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
+  SC_ASSERT(OrigEntry < SP.OrigToSpec.size(), "entry out of range");
+  const UCell SpecSize = SP.Insts.size();
+  const uint32_t Entry = SP.OrigToSpec[OrigEntry];
+  SC_ASSERT(Entry < SpecSize, "specialized entry out of range");
+
   Vm &TheVm = *Ctx.Machine;
-  const Cell *Base = Threaded.data();
+  const Cell *Base = Stream;
   const Cell *Ip = Base + 2 * Entry;
   const Cell *W = Ip;
   Cell *Stack = Ctx.DS.data();
@@ -310,7 +316,15 @@ vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
 #define RROOMK(State, N)                                                       \
   if (Rsp + static_cast<unsigned>(N) > RsCap)                                  \
   TRAPS(State, RStackOverflow)
+  // Static branch operands in the prepared stream are pre-scaled threaded
+  // offsets (DJUMP); Exit's guest-supplied return address is still a
+  // spec-index and rescales through DJUMPDYN.
 #define DJUMP(State, T)                                                        \
+  {                                                                            \
+    Ip = Base + static_cast<UCell>(T);                                         \
+    DNEXT(State);                                                              \
+  }
+#define DJUMPDYN(State, T)                                                     \
   {                                                                            \
     Ip = Base + 2 * static_cast<UCell>(T);                                     \
     DNEXT(State);                                                              \
@@ -850,7 +864,7 @@ S1_Exit : {
   Cell Ret = RStack[--Rsp];
   if (static_cast<UCell>(Ret) >= SpecSize)
     TRAPS(0, BadMemAccess);
-  DJUMP(0, Ret);
+  DJUMPDYN(0, Ret);
 }
 S2_Exit : {
   RNEEDK(2, 1);
@@ -859,7 +873,7 @@ S2_Exit : {
   Cell Ret = RStack[--Rsp];
   if (static_cast<UCell>(Ret) >= SpecSize)
     TRAPS(0, BadMemAccess);
-  DJUMP(0, Ret);
+  DJUMPDYN(0, Ret);
 }
 
 #define SC_SLOOPBR(PRE)                                                        \
@@ -1021,7 +1035,7 @@ S3_Exit : {
   Cell Ret = RStack[--Rsp];
   if (static_cast<UCell>(Ret) >= SpecSize)
     TRAPS(0, BadMemAccess);
-  DJUMP(0, Ret);
+  DJUMPDYN(0, Ret);
 }
 S3_LoopBr : {
   RNEEDK(4, 2);
@@ -1164,6 +1178,7 @@ S3_LitStore:
 #define SC_OPERAND (W[1])
 #define SC_NEXTIP ((W - Base) / 2 + 1)
 #define SC_JUMP(T) DJUMP(0, T)
+#define SC_JUMP_DYN(T) DJUMPDYN(0, T)
 #define SC_CODE_SIZE SpecSize
 #define SC_TRAP(S) TRAPS(0, S)
 #define SC_TRAP_MEM(A) TRAPMEM(0, A)
@@ -1187,6 +1202,7 @@ S3_LitStore:
 #undef SC_OPERAND
 #undef SC_NEXTIP
 #undef SC_JUMP
+#undef SC_JUMP_DYN
 #undef SC_CODE_SIZE
 #undef SC_TRAP
 #undef SC_TRAP_MEM
@@ -1212,6 +1228,7 @@ Done:
 #undef RNEEDK
 #undef RROOMK
 #undef DJUMP
+#undef DJUMPDYN
   switch (ExitState) {
   case 0:
     break;
@@ -1257,4 +1274,53 @@ Done:
                    FaultPc < OrigSize ? Ctx.Prog->Insts[FaultPc].Op
                                       : Opcode::Halt,
                    Dsp, Rsp, FaultAddr, HasFaultAddr);
+}
+
+/// One-time cached copy of the handler label table.
+const Cell *staticHandlerTable() {
+  static Cell Tab[NumHandlers];
+  static const bool Ready = [] {
+    staticCore(nullptr, nullptr, 0, nullptr, Tab);
+    return true;
+  }();
+  (void)Ready;
+  return Tab;
+}
+
+} // namespace
+
+void sc::staticcache::staticHandlerCells(Cell Out[NumHandlers]) {
+  const Cell *Tab = staticHandlerTable();
+  for (unsigned I = 0; I < NumHandlers; ++I)
+    Out[I] = Tab[I];
+}
+
+void sc::staticcache::translateSpecStream(const SpecProgram &SP,
+                                          const Cell *Handlers, Cell *Out) {
+  const size_t N = SP.Insts.size();
+  for (size_t I = 0; I < N; ++I) {
+    const SpecInst &In = SP.Insts[I];
+    SC_ASSERT(In.Handler < NumHandlers, "bad handler index");
+    Out[2 * I] = Handlers[In.Handler];
+    Out[2 * I + 1] =
+        specIsBranchLike(In.Handler) ? In.Operand * 2 : In.Operand;
+  }
+  vm::noteStreamTranslation();
+}
+
+vm::RunOutcome sc::staticcache::runStaticPrepared(const SpecProgram &SP,
+                                                  ExecContext &Ctx,
+                                                  uint32_t OrigEntry,
+                                                  const Cell *Stream) {
+  return staticCore(&SP, &Ctx, OrigEntry, Stream, nullptr);
+}
+
+vm::RunOutcome sc::staticcache::runStaticEngine(const SpecProgram &SP,
+                                                ExecContext &Ctx,
+                                                uint32_t OrigEntry) {
+  const UCell SpecSize = SP.Insts.size();
+  if (Ctx.StreamScratch.size() < 2 * SpecSize)
+    Ctx.StreamScratch.resize(2 * SpecSize);
+  translateSpecStream(SP, staticHandlerTable(), Ctx.StreamScratch.data());
+  return staticCore(&SP, &Ctx, OrigEntry, Ctx.StreamScratch.data(), nullptr);
 }

@@ -23,9 +23,36 @@ namespace sc::staticcache {
 
 /// Runs specialized program \p SP against \p Ctx, starting at the
 /// *original* instruction index \p OrigEntry (must be a basic-block
-/// leader, e.g. a word entry).
+/// leader, e.g. a word entry). Translates per run (into the context's
+/// pooled stream buffer); use the prepared form below to amortize
+/// translation across runs.
 vm::RunOutcome runStaticEngine(const SpecProgram &SP, vm::ExecContext &Ctx,
                                uint32_t OrigEntry);
+
+/// True if specialized handler index \p Handler carries a branch-target
+/// operand (a spec index): a state copy of a branch-like VM opcode.
+/// Micro-instructions never carry branch targets.
+inline bool specIsBranchLike(unsigned Handler) {
+  return Handler < 4 * vm::NumOpcodes &&
+         vm::isBranchLike(static_cast<vm::Opcode>(Handler % vm::NumOpcodes));
+}
+
+/// Exports the specialized engine's handler label table (one dispatch
+/// cell per handler index), obtained from a one-time call into the
+/// engine core.
+void staticHandlerCells(vm::Cell Out[NumHandlers]);
+
+/// Translates \p SP into a prepared two-cell stream [handler, operand]
+/// with branch-target operands pre-scaled to threaded offsets. \p Out
+/// must hold 2 * SP.Insts.size() cells; \p Handlers comes from
+/// staticHandlerCells(). Bumps vm::streamTranslationCounter().
+void translateSpecStream(const SpecProgram &SP, const vm::Cell *Handlers,
+                         vm::Cell *Out);
+
+/// Runs a stream produced with translateSpecStream() over \p SP.
+/// \p Ctx.Prog must be the original program \p SP was compiled from.
+vm::RunOutcome runStaticPrepared(const SpecProgram &SP, vm::ExecContext &Ctx,
+                                 uint32_t OrigEntry, const vm::Cell *Stream);
 
 } // namespace sc::staticcache
 

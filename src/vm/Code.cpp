@@ -7,7 +7,16 @@
 
 #include "vm/Code.h"
 
+#include <atomic>
+
 using namespace sc::vm;
+
+void Code::touch() {
+  // Process-wide monotonic stamp; 1-based so a default-constructed-then-
+  // touched Code can never be confused with the in-class initializer 0.
+  static std::atomic<uint64_t> NextVersion{1};
+  Version = NextVersion.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::vector<bool> Code::computeLeaders() const {
   std::vector<bool> Leaders(Insts.size(), false);

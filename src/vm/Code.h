@@ -49,13 +49,29 @@ public:
   std::vector<Word> Words;
 
   /// Creates a program whose slot 0 is the conventional Halt instruction.
-  Code() { Insts.push_back(Inst(Opcode::Halt)); }
+  Code() {
+    Insts.push_back(Inst(Opcode::Halt));
+    touch();
+  }
 
   /// Appends an instruction and returns its index.
   uint32_t emit(Opcode Op, Cell Operand = 0) {
     Insts.push_back(Inst(Op, Operand));
+    touch();
     return static_cast<uint32_t>(Insts.size() - 1);
   }
+
+  /// Cheap mutation stamp for translation caching (prepare::PrepareCache
+  /// keys on it). Values are process-unique: no two distinct mutation
+  /// states of any Code objects ever share a stamp, so a stale cache
+  /// entry can never alias a recycled address. emit() bumps it; code
+  /// that writes Insts/Words directly (branch backpatching, mutation
+  /// fuzzing) must call touch() afterwards.
+  uint64_t version() const { return Version; }
+
+  /// Invalidates cached translations of this program by moving the
+  /// version stamp to a fresh process-unique value.
+  void touch();
 
   uint32_t size() const { return static_cast<uint32_t>(Insts.size()); }
 
@@ -77,6 +93,9 @@ public:
   /// are valid instruction indices, instruction 0 is Halt, word entries are
   /// in range. Returns true if well formed.
   bool verify(std::string *ErrorMsg = nullptr) const;
+
+private:
+  uint64_t Version = 0; ///< set process-unique by touch(); 0 never reused
 };
 
 } // namespace sc::vm

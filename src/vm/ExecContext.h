@@ -73,6 +73,14 @@ struct ExecContext {
   /// has SC_STATS. Never touched otherwise (zero-cost when off).
   metrics::Counters *Stats = nullptr;
 
+  /// Pooled scratch buffers, owned by the context so repeated runs through
+  /// the legacy single-shot engine entry points reuse storage instead of
+  /// heap-allocating per run. StreamScratch holds a translated threaded
+  /// stream; TosScratch holds the TOS engine's shadow stack buffer. Both
+  /// grow on demand and are never shrunk.
+  std::vector<Cell> StreamScratch;
+  std::vector<Cell> TosScratch;
+
   ExecContext() = default;
   ExecContext(const Code &C, Vm &V) : Prog(&C), Machine(&V) {}
 
