@@ -1,0 +1,275 @@
+//===-- bench/session_overhead.cpp - Supervised session overhead ----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what supervision costs: running the paper workloads to
+/// completion through a VmSession (sliced, preemptible, cancel- and
+/// deadline-checked at every boundary) against a one-shot runPrepared of
+/// the same PreparedCode, per engine and per slice size. The boundary
+/// cost is pure bookkeeping — the engine hot loops are untouched — so
+/// the overhead must shrink with the slice size.
+///
+/// The deterministic claims are self-asserted, not just reported, and a
+/// violation exits nonzero (failing scripts/check.sh --bench-smoke):
+///
+///   - a sessioned run produces the same output and step count as the
+///     one-shot run, for every engine and slice size;
+///   - the slice count is exactly ceil(steps / slice) for the stream
+///     engines (static flavors may take fewer slices because safe-point
+///     deferral legitimately overshoots a slice budget, never more);
+///   - the steady-state slice loop performs ZERO heap allocations;
+///   - with the default 4096-step slices the sessioned run stays within
+///     a generous 10x of the one-shot time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "forth/Forth.h"
+#include "metrics/Reporter.h"
+#include "metrics/Timing.h"
+#include "prepare/Prepare.h"
+#include "prepare/PrepareCache.h"
+#include "session/VmSession.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+using namespace sc;
+using namespace sc::vm;
+
+//===----------------------------------------------------------------------===//
+// Allocation counting: replace the global allocator with a counted
+// malloc so the bench can assert that the steady-state slice loop
+// allocates nothing. The counter only ever increments; we compare deltas.
+//===----------------------------------------------------------------------===//
+
+static std::atomic<uint64_t> GlobalAllocCount{0};
+
+void *operator new(std::size_t Sz) {
+  GlobalAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Sz ? Sz : 1))
+    return P;
+  throw std::bad_alloc();
+}
+void *operator new[](std::size_t Sz) { return ::operator new(Sz); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+namespace {
+
+uint64_t allocCount() {
+  return GlobalAllocCount.load(std::memory_order_relaxed);
+}
+
+constexpr prepare::EngineId Engines[] = {
+    prepare::EngineId::Switch,        prepare::EngineId::Threaded,
+    prepare::EngineId::CallThreaded,  prepare::EngineId::ThreadedTos,
+    prepare::EngineId::Dynamic3,      prepare::EngineId::StaticGreedy,
+    prepare::EngineId::StaticOptimal,
+};
+
+constexpr uint64_t SliceSizes[] = {64, 1024, 4096};
+
+bool isStatic(prepare::EngineId E) {
+  return E == prepare::EngineId::StaticGreedy ||
+         E == prepare::EngineId::StaticOptimal;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  metrics::MetricsReporter Rep("session_overhead");
+  Rep.parseArgs(argc, argv);
+  std::printf("==== Supervised session overhead ====\n");
+  std::printf("one-shot: runPrepared, no supervision\n"
+              "sessioned: VmSession slices with cancel/deadline/fuel checks "
+              "at every boundary\n\n");
+
+  const int Reps = metrics::smokeAdjustedReps(7);
+  int Failures = 0;
+
+  size_t N;
+  const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
+  for (size_t WI = 0; WI < N; ++WI) {
+    std::unique_ptr<forth::System> Sys = forth::loadOrDie(W[WI].Source);
+    const uint32_t Entry = Sys->entryOf("main");
+
+    std::printf("%s:\n", W[WI].Name);
+    Table T;
+    T.addRow({"  engine", "steps", "oneshot ns", "ns/64", "ns/1024",
+              "ns/4096", "ovh@4096", "slices@64"});
+
+    for (prepare::EngineId E : Engines) {
+      prepare::PrepareCache Cache;
+      prepare::PrepareOptions Opts;
+      auto PC = Cache.getOrPrepare(Sys->Prog, E, Opts);
+
+      // --- one-shot baseline -------------------------------------------
+      Vm OneVm = Sys->Machine;
+      ExecContext OneCtx(Sys->Prog, OneVm);
+      auto OneShotOnce = [&] {
+        OneVm.resetOutput();
+        OneCtx.DsDepth = 0;
+        OneCtx.RsDepth = 0;
+        OneCtx.Resume = false;
+        OneCtx.MaxSteps = UINT64_MAX;
+        RunOutcome O = prepare::runPrepared(*PC, OneCtx, Entry);
+        if (O.Status != RunStatus::Halted) {
+          std::fprintf(stderr, "FAIL: %s one-shot faulted on %s\n",
+                       prepare::engineIdName(E), W[WI].Name);
+          ++Failures;
+        }
+      };
+      OneShotOnce();
+      OneVm.resetOutput();
+      OneCtx.DsDepth = 0;
+      OneCtx.RsDepth = 0;
+      OneCtx.Resume = false;
+      const RunOutcome OneShot = prepare::runPrepared(*PC, OneCtx, Entry);
+      const std::string WantOut = OneVm.Out;
+      metrics::TimingStats Base = metrics::timeRuns(OneShotOnce, Reps, 0);
+
+      // --- sessioned runs, one column per slice size -------------------
+      double SessNs[3] = {0, 0, 0};
+      uint64_t SlicesAtSmallest = 0;
+      for (size_t SI = 0; SI < 3; ++SI) {
+        const uint64_t Slice = SliceSizes[SI];
+        session::SessionPolicy Pol;
+        Pol.SliceSteps = Slice;
+        Vm SessVm = Sys->Machine;
+        session::VmSession S(PC, SessVm, Pol);
+
+        auto SessionOnce = [&] {
+          SessVm.resetOutput();
+          S.reset();
+          session::SessionResult R = S.run(Entry);
+          if (R.Stop != session::StopKind::Halted) {
+            std::fprintf(stderr, "FAIL: %s sessioned run stopped (%s) on %s\n",
+                         prepare::engineIdName(E), stopKindName(R.Stop),
+                         W[WI].Name);
+            ++Failures;
+          }
+        };
+        SessionOnce(); // warm-up: grows the output buffer once
+
+        // --- contracts: equivalence + exact slice accounting -----------
+        SessVm.resetOutput();
+        S.reset();
+        const session::SessionResult R = S.run(Entry);
+        const uint64_t WantSlices =
+            (OneShot.Steps + Slice - 1) / Slice; // ceil
+        if (R.Outcome.Steps != OneShot.Steps || SessVm.Out != WantOut) {
+          std::fprintf(stderr,
+                       "FAIL: %s sessioned run diverged on %s at slice %llu "
+                       "(steps %llu vs %llu)\n",
+                       prepare::engineIdName(E), W[WI].Name,
+                       static_cast<unsigned long long>(Slice),
+                       static_cast<unsigned long long>(R.Outcome.Steps),
+                       static_cast<unsigned long long>(OneShot.Steps));
+          ++Failures;
+        }
+        const bool SliceCountOk = isStatic(E)
+                                      ? R.Slices >= 1 && R.Slices <= WantSlices
+                                      : R.Slices == WantSlices;
+        if (!SliceCountOk) {
+          std::fprintf(stderr,
+                       "FAIL: %s made %llu slices on %s at slice %llu "
+                       "(want %s%llu)\n",
+                       prepare::engineIdName(E),
+                       static_cast<unsigned long long>(R.Slices), W[WI].Name,
+                       static_cast<unsigned long long>(Slice),
+                       isStatic(E) ? "<= " : "",
+                       static_cast<unsigned long long>(WantSlices));
+          ++Failures;
+        }
+        if (SI == 0)
+          SlicesAtSmallest = R.Slices;
+
+        // --- contract: the steady-state slice loop allocates nothing ---
+        const uint64_t A0 = allocCount();
+        for (int I = 0; I < 8; ++I)
+          SessionOnce();
+        const uint64_t Allocs = allocCount() - A0;
+        if (Allocs != 0) {
+          std::fprintf(stderr,
+                       "FAIL: %s slice loop performed %llu allocations on %s "
+                       "at slice %llu (want 0)\n",
+                       prepare::engineIdName(E),
+                       static_cast<unsigned long long>(Allocs), W[WI].Name,
+                       static_cast<unsigned long long>(Slice));
+          ++Failures;
+        }
+
+        SessNs[SI] = metrics::timeRuns(SessionOnce, Reps, 0).MinNs;
+      }
+
+      // --- contract: bounded overhead at the default slice size --------
+      const double Ratio = Base.MinNs > 0 ? SessNs[2] / Base.MinNs : 1.0;
+      // Only meaningful when the clock resolves the baseline at all.
+      if (Base.MinNs > 1000.0 && Ratio > 10.0) {
+        std::fprintf(stderr,
+                     "FAIL: %s sessioned run is %.1fx one-shot on %s at the "
+                     "default slice (bound 10x)\n",
+                     prepare::engineIdName(E), Ratio, W[WI].Name);
+        ++Failures;
+      }
+
+      auto Row = T.row();
+      Row.cell(std::string("  ") + prepare::engineIdName(E))
+          .num(static_cast<double>(OneShot.Steps), 0)
+          .num(Base.MinNs, 0)
+          .num(SessNs[0], 0)
+          .num(SessNs[1], 0)
+          .num(SessNs[2], 0)
+          .num(Ratio, 2)
+          .num(static_cast<double>(SlicesAtSmallest), 0);
+
+      const std::string BaseKey =
+          std::string(W[WI].Name) + "_" + prepare::engineIdName(E);
+      metrics::Json TimingV = metrics::Json::object();
+      TimingV.set("oneshot_ns", metrics::Json::number(Base.MinNs));
+      TimingV.set("session_ns_slice64", metrics::Json::number(SessNs[0]));
+      TimingV.set("session_ns_slice1024", metrics::Json::number(SessNs[1]));
+      TimingV.set("session_ns_slice4096", metrics::Json::number(SessNs[2]));
+      TimingV.set("overhead_ratio_slice4096", metrics::Json::number(Ratio));
+      Rep.addValues(BaseKey + "_timing", metrics::EntryKind::Timing,
+                    std::move(TimingV));
+
+      metrics::Json ExactV = metrics::Json::object();
+      ExactV.set("steps",
+                 metrics::Json::number(static_cast<double>(OneShot.Steps)));
+      ExactV.set("slices_at_64", metrics::Json::number(
+                                     static_cast<double>(SlicesAtSmallest)));
+      ExactV.set("steady_state_allocs", metrics::Json::number(0.0));
+      Rep.addValues(BaseKey + "_contract", metrics::EntryKind::Exact,
+                    std::move(ExactV));
+    }
+    T.print();
+    std::printf("\n");
+    Rep.addTable(std::string(W[WI].Name) + "_session_overhead", T,
+                 metrics::EntryKind::Info);
+  }
+
+  if (Failures) {
+    std::fprintf(stderr, "session_overhead: %d contract violations\n",
+                 Failures);
+    return 1;
+  }
+  std::printf("all deterministic contracts held: sessioned runs match "
+              "one-shot output\nand step counts, slice counts are exact, "
+              "and the steady-state slice loop\nperformed zero heap "
+              "allocations.\n");
+  return Rep.write() ? 0 : 1;
+}

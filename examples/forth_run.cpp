@@ -24,6 +24,13 @@
 /// translations performed and cache traffic goes to stderr, making the
 /// amortization visible from the command line.
 ///
+/// --deadline MS, --fuel N, --slice N and --fallback run the word under
+/// a supervised VmSession (implying the prepare path): execution happens
+/// in bounded slices, a wall-clock deadline or step-fuel budget stops a
+/// runaway program at the next slice boundary, and --fallback replays a
+/// faulting slice under the canonical switch engine to confirm or refute
+/// the fault. The session counters are printed to stderr afterwards.
+///
 //===----------------------------------------------------------------------===//
 
 #include "dynamic/Dynamic3Engine.h"
@@ -31,6 +38,7 @@
 #include "metrics/Counters.h"
 #include "prepare/Prepare.h"
 #include "prepare/PrepareCache.h"
+#include "session/VmSession.h"
 #include "staticcache/StaticEngine.h"
 #include "staticcache/StaticSpec.h"
 #include "trace/Capture.h"
@@ -44,6 +52,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -54,11 +63,17 @@ static int usage() {
   std::fprintf(
       stderr,
       "usage: forth_run [--engine E] [--word W] [--repeat N] [--prepare]\n"
+      "                 [--deadline MS] [--fuel N] [--slice N] [--fallback]\n"
       "                 [--trace] [--stats] file.fs\n"
       "  E: switch | threaded | call-threaded | threaded-tos |\n"
       "     dynamic3 | static | static-optimal   (default: threaded)\n"
-      "  --repeat N  run the word N times (default 1)\n"
-      "  --prepare   translate once via the PrepareCache, then reuse\n"
+      "  --repeat N    run the word N times (default 1)\n"
+      "  --prepare     translate once via the PrepareCache, then reuse\n"
+      "  --deadline MS stop a runaway run after MS milliseconds\n"
+      "  --fuel N      stop after N guest steps (resumable budget)\n"
+      "  --slice N     guest steps per supervised slice (default 4096)\n"
+      "  --fallback    replay a faulting slice under the switch engine\n"
+      "  (--deadline/--fuel/--slice/--fallback run a supervised session)\n"
       "  --stats needs a -DSC_STATS=ON build\n");
   return 2;
 }
@@ -92,7 +107,12 @@ int main(int Argc, char **Argv) {
   bool WantTrace = false;
   bool WantStats = false;
   bool WantPrepare = false;
+  bool UseSession = false;
+  bool WantFallback = false;
   long Repeat = 1;
+  long DeadlineMs = 0;
+  unsigned long long FuelSteps = 0; // 0: unlimited
+  unsigned long long SliceSteps = 4096;
 
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--engine") && I + 1 < Argc)
@@ -103,7 +123,19 @@ int main(int Argc, char **Argv) {
       Repeat = std::strtol(Argv[++I], nullptr, 10);
     else if (!std::strcmp(Argv[I], "--prepare"))
       WantPrepare = true;
-    else if (!std::strcmp(Argv[I], "--trace"))
+    else if (!std::strcmp(Argv[I], "--deadline") && I + 1 < Argc) {
+      DeadlineMs = std::strtol(Argv[++I], nullptr, 10);
+      UseSession = true;
+    } else if (!std::strcmp(Argv[I], "--fuel") && I + 1 < Argc) {
+      FuelSteps = std::strtoull(Argv[++I], nullptr, 10);
+      UseSession = true;
+    } else if (!std::strcmp(Argv[I], "--slice") && I + 1 < Argc) {
+      SliceSteps = std::strtoull(Argv[++I], nullptr, 10);
+      UseSession = true;
+    } else if (!std::strcmp(Argv[I], "--fallback")) {
+      WantFallback = true;
+      UseSession = true;
+    } else if (!std::strcmp(Argv[I], "--trace"))
       WantTrace = true;
     else if (!std::strcmp(Argv[I], "--stats"))
       WantStats = true;
@@ -112,6 +144,8 @@ int main(int Argc, char **Argv) {
     else
       FileName = Argv[I];
   }
+  if (SliceSteps == 0 || DeadlineMs < 0)
+    return usage();
   if (FileName.empty())
     return usage();
 
@@ -159,12 +193,36 @@ int main(int Argc, char **Argv) {
   RunOutcome O;
   uint32_t Entry = Sys.entryOf(WordName);
 
+  // The supervised session implies the prepare path: it runs a
+  // PreparedCode in slices and owns its own ExecContext.
+  std::unique_ptr<session::VmSession> Sess;
+  session::SessionResult SessRes;
+  if (UseSession) {
+    session::SessionPolicy Pol;
+    Pol.SliceSteps = SliceSteps;
+    Pol.FuelSteps = FuelSteps ? FuelSteps : UINT64_MAX;
+    Pol.Deadline = std::chrono::milliseconds(DeadlineMs);
+    Pol.ConfirmFaults = WantFallback;
+    auto PC = prepare::globalPrepareCache().getOrPrepare(Sys.Prog, PrepId);
+    Sess = std::make_unique<session::VmSession>(PC, Machine, Pol);
+    if (WantStats)
+      Sess->context().Stats = &Stats;
+  }
+  ExecContext *ActiveCtx = Sess ? &Sess->context() : &Ctx;
+
   const uint64_t Trans0 = vm::streamTranslations();
   const auto T0 = std::chrono::steady_clock::now();
   for (long R = 0; R < Repeat; ++R) {
     if (R)
       Machine.resetOutput(); // keep only the final run's output
-    if (WantPrepare) {
+    if (UseSession) {
+      if (R)
+        Sess->reset();
+      SessRes = Sess->run(Entry);
+      O = SessRes.Outcome;
+      if (SessRes.Stop != session::StopKind::Halted)
+        break;
+    } else if (WantPrepare) {
       auto PC = prepare::globalPrepareCache().getOrPrepare(Sys.Prog, PrepId);
       O = prepare::runPrepared(*PC, Ctx, Entry);
     } else if (EngineName == "dynamic3") {
@@ -214,17 +272,36 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (UseSession) {
+    std::fputs(metrics::formatSessionCounters(Sess->counters()).c_str(),
+               stderr);
+    if (SessRes.Replayed)
+      std::fprintf(stderr, "( fallback replay: %s )\n",
+                   session::confirmationName(SessRes.Verdict));
+    if (SessRes.Resumable || SessRes.Stop == session::StopKind::Quarantined) {
+      // A supervision stop, not a guest outcome: the guest state is
+      // canonical and resumable at ResumePc.
+      std::fputs(Machine.Out.c_str(), stdout);
+      std::fprintf(stderr,
+                   "forth_run: session stop: %s after %llu steps "
+                   "(resumable at pc %u)\n",
+                   session::stopKindName(SessRes.Stop),
+                   static_cast<unsigned long long>(O.Steps), SessRes.ResumePc);
+      return 3;
+    }
+  }
+
   std::fputs(Machine.Out.c_str(), stdout);
   if (O.Status != RunStatus::Halted) {
     std::fprintf(stderr, "forth_run: %s\n",
-                 describeFault(Sys.Prog, O, Ctx).c_str());
+                 describeFault(Sys.Prog, O, *ActiveCtx).c_str());
     return 1;
   }
-  if (Ctx.DsDepth > 0) {
+  if (ActiveCtx->DsDepth > 0) {
     std::fprintf(stderr, "( stack:");
-    for (unsigned I = 0; I < Ctx.DsDepth; ++I)
+    for (unsigned I = 0; I < ActiveCtx->DsDepth; ++I)
       std::fprintf(stderr, " %lld",
-                   static_cast<long long>(Ctx.DS[I]));
+                   static_cast<long long>(ActiveCtx->DS[I]));
     std::fprintf(stderr, " )\n");
   }
 

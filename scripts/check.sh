@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run all tests, run every benchmark.
 # Usage: scripts/check.sh [build-dir]
-#        scripts/check.sh --sanitize [build-dir]
+#        scripts/check.sh --sanitize[=kinds] [build-dir]
 #        scripts/check.sh --bench-smoke [build-dir]
 #
 # --sanitize builds with ASan+UBSan (SC_SANITIZE=address,undefined), runs
 # the test suite plus a fuzz pass, and skips the benchmarks (sanitized
-# timings are meaningless).
+# timings are meaningless). --sanitize=thread builds with TSan instead
+# (default build dir build-tsan), which exercises the concurrent
+# PrepareCache and VmSession cancellation paths.
 #
 # --bench-smoke builds with -DSC_STATS=ON, runs the whole bench suite in
 # smoke mode (SC_BENCH_SMOKE=1: reduced iterations) through
@@ -15,9 +17,15 @@
 set -euo pipefail
 
 MODE=full
+SAN_KINDS=address,undefined
 case "${1:-}" in
 --sanitize)
   MODE=sanitize
+  shift
+  ;;
+--sanitize=*)
+  MODE=sanitize
+  SAN_KINDS="${1#--sanitize=}"
   shift
   ;;
 --bench-smoke)
@@ -39,10 +47,20 @@ if [ "$MODE" = bench-smoke ]; then
   echo "==== prepare amortization contracts"
   SC_BENCH_SMOKE=1 "$BUILD"/bench/prepare_amortization > /dev/null
   echo "warm-path contracts held (zero warm translations)"
+  # Likewise self-asserting: sessioned runs must match one-shot output
+  # and step counts exactly, and the steady-state slice loop must
+  # perform zero heap allocations.
+  echo "==== session overhead contracts"
+  SC_BENCH_SMOKE=1 "$BUILD"/bench/session_overhead > /dev/null
+  echo "session contracts held (zero-alloc slice loop, exact slice counts)"
   "$(dirname "$0")"/bench.sh --smoke --self-check "$BUILD"
 elif [ "$MODE" = sanitize ]; then
-  BUILD="${1:-build-san}"
-  cmake -B "$BUILD" -G Ninja -DSC_SANITIZE=address,undefined
+  if [ "$SAN_KINDS" = thread ]; then
+    BUILD="${1:-build-tsan}"
+  else
+    BUILD="${1:-build-san}"
+  fi
+  cmake -B "$BUILD" -G Ninja -DSC_SANITIZE="$SAN_KINDS"
   cmake --build "$BUILD"
   ctest --test-dir "$BUILD" --output-on-failure
   "$BUILD"/examples/fuzz_engines 500 1

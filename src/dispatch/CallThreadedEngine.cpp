@@ -153,7 +153,7 @@ RunOutcome sc::dispatch::runCallThreadedPrepared(ExecContext &Ctx,
   const UCell CodeSize = Prog.Insts.size();
   SC_ASSERT(Entry < CodeSize, "entry out of range");
 
-  if (Ctx.RsDepth >= Ctx.RsCapacity) {
+  if (!Ctx.Resume && Ctx.RsDepth >= Ctx.RsCapacity) {
     SC_IF_STATS(if (Ctx.Stats)
                   metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
     return makeFault(RunStatus::RStackOverflow, 0, Entry,
@@ -179,7 +179,10 @@ RunOutcome sc::dispatch::runCallThreadedPrepared(ExecContext &Ctx,
   G.Running = true;
   G.Steps = 0;
   G.StepsLeft = Ctx.MaxSteps;
-  G.RStack[G.Rsp++] = 0;
+  // Seed the sentinel return address unless this call resumes an
+  // interrupted run (Ctx.Resume), which already carries it.
+  if (!Ctx.Resume)
+    G.RStack[G.Rsp++] = 0;
 
   while (G.Running) {
     if (G.StepsLeft == 0) {

@@ -59,16 +59,19 @@ vm::RunOutcome runSwitchImpl(vm::ExecContext &Ctx, uint32_t Entry,
 
   SC_ASSERT(Entry < CodeSize, "entry out of range");
   // Seed the return stack so the entry word's Exit lands on the Halt at
-  // instruction 0.
-  if (Rsp >= RsCap) {
-    Ctx.DsDepth = Dsp;
-    Ctx.RsDepth = Rsp;
-    SC_IF_STATS(if (Ctx.Stats)
-                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
-    return makeFault(RunStatus::RStackOverflow, 0, Entry, Insts[Entry].Op,
-                     Dsp, Rsp);
+  // instruction 0. A resumed run (Ctx.Resume) already carries the
+  // sentinel from the interrupted run and enters unchanged.
+  if (!Ctx.Resume) {
+    if (Rsp >= RsCap) {
+      Ctx.DsDepth = Dsp;
+      Ctx.RsDepth = Rsp;
+      SC_IF_STATS(if (Ctx.Stats)
+                    metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
+      return makeFault(RunStatus::RStackOverflow, 0, Entry, Insts[Entry].Op,
+                       Dsp, Rsp);
+    }
+    RStack[Rsp++] = 0;
   }
-  RStack[Rsp++] = 0;
 
 #define SC_CASE(Name) case Opcode::Name:
 #define SC_END break;

@@ -75,15 +75,19 @@ __attribute__((noinline)) RunOutcome threadedCore(ExecContext *CtxPtr,
   Cell FaultAddr = 0;
   bool HasFaultAddr = false;
 
-  if (Rsp >= RsCap) {
-    Ctx.DsDepth = Dsp;
-    Ctx.RsDepth = Rsp;
-    SC_IF_STATS(if (Ctx.Stats)
-                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
-    return makeFault(RunStatus::RStackOverflow, 0, Entry,
-                     Prog.Insts[Entry].Op, Dsp, Rsp);
+  // Seed the sentinel return address unless this call resumes an
+  // interrupted run (Ctx.Resume), which already carries it.
+  if (!Ctx.Resume) {
+    if (Rsp >= RsCap) {
+      Ctx.DsDepth = Dsp;
+      Ctx.RsDepth = Rsp;
+      SC_IF_STATS(if (Ctx.Stats)
+                    metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
+      return makeFault(RunStatus::RStackOverflow, 0, Entry,
+                       Prog.Insts[Entry].Op, Dsp, Rsp);
+    }
+    RStack[Rsp++] = 0;
   }
-  RStack[Rsp++] = 0;
 
 #define SC_NEXT                                                                \
   {                                                                            \

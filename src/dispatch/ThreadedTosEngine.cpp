@@ -93,13 +93,17 @@ __attribute__((noinline)) RunOutcome threadedTosCore(ExecContext *CtxPtr,
       Tos = Ctx.DS[D - 1];
   }
 
-  if (Rsp >= RsCap) {
-    SC_IF_STATS(if (Ctx.Stats)
-                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
-    return makeFault(RunStatus::RStackOverflow, 0, Entry,
-                     Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
+  // Seed the sentinel return address unless this call resumes an
+  // interrupted run (Ctx.Resume), which already carries it.
+  if (!Ctx.Resume) {
+    if (Rsp >= RsCap) {
+      SC_IF_STATS(if (Ctx.Stats)
+                    metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
+      return makeFault(RunStatus::RStackOverflow, 0, Entry,
+                       Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
+    }
+    RStack[Rsp++] = 0;
   }
-  RStack[Rsp++] = 0;
 
 #define SC_NEXT                                                                \
   {                                                                            \

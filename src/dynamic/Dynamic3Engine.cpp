@@ -129,13 +129,19 @@ vm::RunOutcome sc::dynamic::runDynamic3Prepared(ExecContext &Ctx,
   Cell FaultAddr = 0;
   bool HasFaultAddr = false;
 
-  if (Rsp >= RsCap) {
-    SC_IF_STATS(if (Ctx.Stats)
-                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
-    return makeFault(RunStatus::RStackOverflow, 0, Entry,
-                     Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
+  // Seed the sentinel return address unless this call resumes an
+  // interrupted run (Ctx.Resume), which already carries it. A resumed
+  // run re-enters in cache state 0 — dynamic caching is per-run state,
+  // and every StepLimit stop writes the cached items back to memory.
+  if (!Ctx.Resume) {
+    if (Rsp >= RsCap) {
+      SC_IF_STATS(if (Ctx.Stats)
+                    metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
+      return makeFault(RunStatus::RStackOverflow, 0, Entry,
+                       Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
+    }
+    RStack[Rsp++] = 0;
   }
-  RStack[Rsp++] = 0;
 
   // Dispatch macros: one per exit state. The cache state lives purely in
   // which table the next instruction is fetched through.
@@ -339,7 +345,11 @@ S2_Lit:
 
 S0_Dup:
   // ( a -- a a ): cache the copy; a itself stays in memory as the second.
+  // The copy raises the logical depth even though Dsp is unchanged, so the
+  // overflow check must not be skipped (sliced runs re-enter in state 0 and
+  // would otherwise defer the trap past where the other engines raise it).
   NEEDMEM(0, 1);
+  ROOMK(0, 0, 1);
   R0 = Stack[Dsp - 1];
   NEXT1;
 S1_Dup:
@@ -383,8 +393,10 @@ S2_Swap : {
 
 S0_Over:
   // ( a b -- a b a ): cache b as second (R0) and the a-copy as TOS (R1);
-  // a itself stays in memory as the third item.
+  // a itself stays in memory as the third item. Net logical growth is one
+  // item (two cached, one consumed from memory), so check room like Dup.
   NEEDMEM(0, 2);
+  ROOMK(0, 0, 1);
   R0 = Stack[Dsp - 1];
   R1 = Stack[Dsp - 2];
   --Dsp;

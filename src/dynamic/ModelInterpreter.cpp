@@ -153,14 +153,18 @@ sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
   bool HasFaultAddr = false;
 
   ModelOutcome Result;
-  if (Rsp >= RsCap) {
-    SC_IF_STATS(if (Ctx.Stats)
-                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
-    Result.Outcome = makeFault(RunStatus::RStackOverflow, 0, Entry,
-                               Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
-    return Result;
+  // Seed the sentinel return address unless this call resumes an
+  // interrupted run (Ctx.Resume), which already carries it.
+  if (!Ctx.Resume) {
+    if (Rsp >= RsCap) {
+      SC_IF_STATS(if (Ctx.Stats)
+                    metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
+      Result.Outcome = makeFault(RunStatus::RStackOverflow, 0, Entry,
+                                 Prog.Insts[Entry].Op, Ctx.DsDepth, Rsp);
+      return Result;
+    }
+    RStack[Rsp++] = 0;
   }
-  RStack[Rsp++] = 0;
 
   auto SyncOut = [&](RunStatus Status) {
     std::vector<Cell> Flat = Cache.flatten();

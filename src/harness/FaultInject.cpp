@@ -16,9 +16,82 @@
 #include "support/Rng.h"
 #include "vm/FaultDiag.h"
 
+#include <algorithm>
+#include <optional>
+
 using namespace sc;
 using namespace sc::harness;
 using namespace sc::vm;
+
+namespace {
+
+/// Dispatches runs of any engine against a caller-owned ExecContext.
+/// Static programs are compiled lazily, once per runner, so a sliced
+/// observation reuses one SpecProgram across all its slices.
+struct EngineRunner {
+  const Code &Prog;
+  std::optional<staticcache::SpecProgram> Specs[2]; // [greedy, optimal]
+
+  explicit EngineRunner(const Code &P) : Prog(P) {}
+
+  const staticcache::SpecProgram &spec(EngineId E) {
+    const bool Optimal = E == EngineId::StaticOptimal;
+    std::optional<staticcache::SpecProgram> &Slot = Specs[Optimal];
+    if (!Slot) {
+      staticcache::StaticOptions Opts;
+      Opts.TwoPassOptimal = Optimal;
+      Slot = staticcache::compileStatic(Prog, Opts);
+    }
+    return *Slot;
+  }
+
+  /// True when original PC \p Pc is a basic-block leader of \p E's
+  /// specialized program, i.e. a legal static entry point.
+  bool canEnter(EngineId E, uint32_t Pc) {
+    const staticcache::SpecProgram &SP = spec(E);
+    return Pc < SP.OrigToSpec.size() &&
+           SP.OrigToSpec[Pc] != staticcache::InvalidSpec;
+  }
+
+  RunOutcome run(ExecContext &Ctx, EngineId E, uint32_t Entry) {
+    switch (E) {
+    case EngineId::Switch:
+      return dispatch::runSwitchEngine(Ctx, Entry);
+    case EngineId::Threaded:
+      return dispatch::runThreadedEngine(Ctx, Entry);
+    case EngineId::CallThreaded:
+      return dispatch::runCallThreadedEngine(Ctx, Entry);
+    case EngineId::ThreadedTos:
+      return dispatch::runThreadedTosEngine(Ctx, Entry);
+    case EngineId::Dynamic3:
+      return dynamic::runDynamic3Engine(Ctx, Entry);
+    case EngineId::Model: {
+      dynamic::ModelConfig Cfg;
+      Cfg.Policy = {3, 2};
+      Cfg.VerifyShadow = true;
+      return dynamic::runModelInterpreter(Ctx, Entry, Cfg).Outcome;
+    }
+    case EngineId::StaticGreedy:
+    case EngineId::StaticOptimal:
+      return staticcache::runStaticEngine(spec(E), Ctx, Entry);
+    }
+    sc::unreachable("bad engine id");
+  }
+};
+
+EngineObservation snapshotObservation(const ExecContext &Ctx, const Vm &Machine,
+                                      const RunOutcome &O) {
+  EngineObservation Obs;
+  Obs.Outcome = O;
+  Obs.DS.assign(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
+  Obs.RS.assign(Ctx.RS.begin(), Ctx.RS.begin() + Ctx.RsDepth);
+  Obs.Out = Machine.Out;
+  Obs.DsHighWater = Ctx.DsHighWater;
+  Obs.RsHighWater = Ctx.RsHighWater;
+  return Obs;
+}
+
+} // namespace
 
 const char *sc::harness::engineName(EngineId E) {
   switch (E) {
@@ -53,52 +126,46 @@ EngineObservation sc::harness::observeEngine(const forth::System &Sys,
   Ctx.MaxSteps = Limits.MaxSteps;
   Ctx.setStackCapacities(Limits.DsCapacity, Limits.RsCapacity);
 
-  RunOutcome O;
-  switch (E) {
-  case EngineId::Switch:
-    O = dispatch::runSwitchEngine(Ctx, Entry);
-    break;
-  case EngineId::Threaded:
-    O = dispatch::runThreadedEngine(Ctx, Entry);
-    break;
-  case EngineId::CallThreaded:
-    O = dispatch::runCallThreadedEngine(Ctx, Entry);
-    break;
-  case EngineId::ThreadedTos:
-    O = dispatch::runThreadedTosEngine(Ctx, Entry);
-    break;
-  case EngineId::Dynamic3:
-    O = dynamic::runDynamic3Engine(Ctx, Entry);
-    break;
-  case EngineId::Model: {
-    dynamic::ModelConfig Cfg;
-    Cfg.Policy = {3, 2};
-    Cfg.VerifyShadow = true;
-    O = dynamic::runModelInterpreter(Ctx, Entry, Cfg).Outcome;
-    break;
-  }
-  case EngineId::StaticGreedy: {
-    staticcache::SpecProgram SP = staticcache::compileStatic(Prog);
-    O = staticcache::runStaticEngine(SP, Ctx, Entry);
-    break;
-  }
-  case EngineId::StaticOptimal: {
-    staticcache::StaticOptions Opts;
-    Opts.TwoPassOptimal = true;
-    staticcache::SpecProgram SP = staticcache::compileStatic(Prog, Opts);
-    O = staticcache::runStaticEngine(SP, Ctx, Entry);
-    break;
-  }
-  }
+  EngineRunner Runner(Prog);
+  RunOutcome O = Runner.run(Ctx, E, Entry);
+  return snapshotObservation(Ctx, Copy, O);
+}
 
-  EngineObservation Obs;
-  Obs.Outcome = O;
-  Obs.DS.assign(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
-  Obs.RS.assign(Ctx.RS.begin(), Ctx.RS.begin() + Ctx.RsDepth);
-  Obs.Out = Copy.Out;
-  Obs.DsHighWater = Ctx.DsHighWater;
-  Obs.RsHighWater = Ctx.RsHighWater;
-  return Obs;
+EngineObservation sc::harness::observeEngineSliced(
+    const forth::System &Sys, const Code &Prog, uint32_t Entry,
+    const std::vector<EngineId> &Rotation, uint64_t SliceSteps,
+    const RunLimits &Limits) {
+  SC_ASSERT(!Rotation.empty(), "empty engine rotation");
+  SC_ASSERT(SliceSteps > 0, "slices must make progress");
+  Vm Copy = Sys.Machine;
+  Copy.resetOutput();
+  Copy.setAccessibleLimit(Limits.DataSpaceLimit);
+  ExecContext Ctx(Prog, Copy);
+  Ctx.setStackCapacities(Limits.DsCapacity, Limits.RsCapacity);
+
+  EngineRunner Runner(Prog);
+  uint64_t Remaining = Limits.MaxSteps;
+  uint64_t TotalSteps = 0;
+  uint32_t Pc = Entry;
+  RunOutcome O;
+  for (uint64_t Slice = 0;; ++Slice) {
+    EngineId E = Rotation[Slice % Rotation.size()];
+    if (isStaticEngine(E) && !Runner.canEnter(E, Pc))
+      E = EngineId::Switch;
+    Ctx.MaxSteps = std::min(SliceSteps, Remaining);
+    O = Runner.run(Ctx, E, Pc);
+    TotalSteps += O.Steps;
+    // A static slice may overshoot its budget to reach a safe point;
+    // the overshoot is charged against the total budget like any other
+    // executed step.
+    Remaining -= std::min(O.Steps, Remaining);
+    if (O.Status != RunStatus::StepLimit || Remaining == 0)
+      break;
+    Pc = O.Fault.Pc;
+    Ctx.Resume = true; // the sentinel survives from the preempted slice
+  }
+  O.Steps = TotalSteps;
+  return snapshotObservation(Ctx, Copy, O);
 }
 
 std::string sc::harness::describeObservation(const EngineObservation &O) {
@@ -153,12 +220,43 @@ std::string sc::harness::compareObservations(const EngineObservation &Ref,
     return Fail("output");
   if (Got.RS.size() != Ref.RS.size())
     return Fail("return stack depth");
-  // Static return stacks hold specialized return addresses mid-call.
-  if (!Masked && Got.RS != Ref.RS)
+  // Return addresses are canonical original-code indices in every
+  // engine (specialized calls push SpecToOrig-mapped values), so the
+  // contents are comparable even for the static engines.
+  if (Got.RS != Ref.RS)
     return Fail("return stack");
   if (Ref.Outcome.Status == RunStatus::Halted)
     return {};
   if (Got.Outcome.Fault != Ref.Outcome.Fault)
+    return Fail("fault info");
+  return {};
+}
+
+std::string sc::harness::compareSlicedObservation(
+    const EngineObservation &OneShot, const EngineObservation &Sliced,
+    EngineId Id) {
+  auto Fail = [&](const char *What) {
+    std::string S(engineName(Id));
+    S += " sliced run diverges in ";
+    S += What;
+    S += "\n  one-shot: ";
+    S += describeObservation(OneShot);
+    S += "\n  sliced:   ";
+    S += describeObservation(Sliced);
+    return S;
+  };
+  if (Sliced.Outcome.Status != OneShot.Outcome.Status)
+    return Fail("status");
+  if (Sliced.Outcome.Steps != OneShot.Outcome.Steps)
+    return Fail("step count");
+  if (Sliced.DS != OneShot.DS)
+    return Fail("data stack");
+  if (Sliced.RS != OneShot.RS)
+    return Fail("return stack");
+  if (Sliced.Out != OneShot.Out)
+    return Fail("output");
+  if (OneShot.Outcome.Status != RunStatus::Halted &&
+      Sliced.Outcome.Fault != OneShot.Outcome.Fault)
     return Fail("fault info");
   return {};
 }
@@ -370,6 +468,138 @@ InjectReport sc::harness::mutateAndCompare(const forth::System &Sys,
               "mutation round " + std::to_string(Round) + ": " + D;
       }
     }
+  }
+  return R;
+}
+
+namespace {
+
+/// Folds one sliced-vs-one-shot comparison into \p R.
+void checkSliced(const EngineObservation &OneShot,
+                 const EngineObservation &Sliced, EngineId Id,
+                 const std::string &Where, InjectReport &R) {
+  ++R.Points;
+  if (OneShot.Outcome.Status != RunStatus::Halted)
+    ++R.Faults;
+  std::string D = compareSlicedObservation(OneShot, Sliced, Id);
+  if (!D.empty()) {
+    ++R.Mismatches;
+    if (R.FirstDivergence.empty())
+      R.FirstDivergence = Where + ": " + D;
+  }
+}
+
+} // namespace
+
+InjectReport sc::harness::sweepSliceBoundaries(const forth::System &Sys,
+                                               const std::string &Word,
+                                               const RunLimits &Limits,
+                                               uint64_t MaxSlice) {
+  InjectReport R;
+  const uint32_t Entry = Sys.entryOf(Word);
+  EngineObservation Ref =
+      observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, Limits);
+  const uint64_t Total = Ref.Outcome.Steps;
+  if (MaxSlice == 0 || MaxSlice > Total)
+    MaxSlice = Total;
+
+  // Same-engine: every engine, every slice length, strict equality with
+  // that engine's own one-shot run.
+  for (unsigned E = 0; E < NumEngines; ++E) {
+    EngineId Id = static_cast<EngineId>(E);
+    EngineObservation OneShot = observeEngine(Sys, Sys.Prog, Entry, Id, Limits);
+    for (uint64_t S = 1; S <= MaxSlice; ++S)
+      checkSliced(OneShot,
+                  observeEngineSliced(Sys, Sys.Prog, Entry, {Id}, S, Limits),
+                  Id,
+                  std::string(engineName(Id)) + " slice=" + std::to_string(S),
+                  R);
+  }
+
+  // Mixed rotations: every slice boundary is a cross-engine resume. The
+  // final state is checked against the Switch reference with the usual
+  // static masks (rotations containing a static engine run extra micro
+  // steps, so their step counts are incomparable).
+  const std::vector<EngineId> Rotations[] = {
+      {EngineId::Switch, EngineId::Threaded},
+      {EngineId::Threaded, EngineId::Dynamic3, EngineId::ThreadedTos},
+      {EngineId::CallThreaded, EngineId::Model},
+      {EngineId::Switch, EngineId::StaticGreedy},
+      {EngineId::Dynamic3, EngineId::StaticOptimal, EngineId::Threaded},
+  };
+  for (const std::vector<EngineId> &Rot : Rotations) {
+    const bool HasStatic =
+        std::any_of(Rot.begin(), Rot.end(),
+                    [](EngineId E) { return isStaticEngine(E); });
+    std::string Label = "rotation";
+    for (EngineId E : Rot)
+      Label += std::string("-") + engineName(E);
+    for (uint64_t S : {uint64_t(1), uint64_t(2), uint64_t(3), uint64_t(7)}) {
+      ++R.Points;
+      EngineObservation Obs =
+          observeEngineSliced(Sys, Sys.Prog, Entry, Rot, S, Limits);
+      std::string D = compareObservations(
+          Ref, Obs, HasStatic ? EngineId::StaticGreedy : Rot[0]);
+      if (!D.empty()) {
+        ++R.Mismatches;
+        if (R.FirstDivergence.empty())
+          R.FirstDivergence = Label + " slice=" + std::to_string(S) + ": " + D;
+      }
+    }
+  }
+  return R;
+}
+
+InjectReport sc::harness::sweepSlicedFaults(const forth::System &Sys,
+                                            const std::string &Word,
+                                            const RunLimits &Limits,
+                                            uint64_t SliceSteps) {
+  InjectReport R;
+  const uint32_t Entry = Sys.entryOf(Word);
+  EngineObservation Full =
+      observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, Limits);
+  const uint64_t Total = Full.Outcome.Steps;
+
+  auto CheckAllEngines = [&](const RunLimits &L, const std::string &Where) {
+    for (unsigned E = 0; E < NumEngines; ++E) {
+      EngineId Id = static_cast<EngineId>(E);
+      checkSliced(observeEngine(Sys, Sys.Prog, Entry, Id, L),
+                  observeEngineSliced(Sys, Sys.Prog, Entry, {Id}, SliceSteps,
+                                      L),
+                  Id, Where, R);
+    }
+  };
+
+  // Step-limit axis: a preempted run must hit the overall budget at the
+  // same point, with the same recorded fault, as an uninterrupted run.
+  for (uint64_t M = 0; M <= Total; ++M) {
+    RunLimits L = Limits;
+    L.MaxSteps = M;
+    CheckAllEngines(L, "MaxSteps=" + std::to_string(M));
+  }
+
+  // Capacity axis: overflow traps must land identically when the run is
+  // preempted on the way there.
+  auto Peak = [&](unsigned RunLimits::*Field, unsigned Cap) {
+    return static_cast<unsigned>(
+        bisectSmallest(0, Cap, [&](uint64_t C) {
+          RunLimits L = Limits;
+          L.*Field = static_cast<unsigned>(C);
+          return sameResult(
+              observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, L), Full);
+        }));
+  };
+  const unsigned PeakDs = Peak(&RunLimits::DsCapacity, Limits.DsCapacity);
+  for (unsigned C = 0; C < PeakDs; ++C) {
+    RunLimits L = Limits;
+    L.DsCapacity = C;
+    CheckAllEngines(L, "DsCapacity=" + std::to_string(C));
+  }
+  const unsigned PeakRs = Peak(&RunLimits::RsCapacity, Limits.RsCapacity);
+  for (unsigned C = 0; C < PeakRs; ++C) {
+    RunLimits L = Limits;
+    L.RsCapacity = C;
+    CheckAllEngines(L, "RsCapacity=" + std::to_string(C));
   }
   return R;
 }

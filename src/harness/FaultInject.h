@@ -7,7 +7,7 @@
 ///
 /// \file
 /// Deterministic fault-injection campaigns over every engine in the
-/// project. Three injection axes:
+/// project. Four injection axes:
 ///
 ///   - sweepStepLimit: force RunStatus::StepLimit at every execution
 ///     point of a program and require all stream engines to report an
@@ -19,6 +19,11 @@
 ///   - mutateAndCompare: point-mutate verified bytecode, keep mutants
 ///     that still pass Code::verify (the oracle), and require identical
 ///     outcomes across all engines.
+///   - sweepSliceBoundaries / sweepSlicedFaults: run preempted — the
+///     step budget expires every few steps and execution resumes at the
+///     recorded fault PC, possibly on a different engine — and require
+///     the sliced run to be observationally identical to one-shot
+///     execution (the resume contract of docs/TRAPS.md).
 ///
 /// The comparator is a pure function over observations so tests can
 /// tamper with one observation and prove a desynced engine is caught.
@@ -53,10 +58,12 @@ inline constexpr unsigned NumEngines = 8;
 
 const char *engineName(EngineId E);
 
-/// Static engines execute transformed code: step counts, return-stack
-/// contents (specialized return addresses) and StepLimit stop points
-/// legitimately differ from the stream engines, so the comparator masks
-/// those fields for them (see docs/TRAPS.md).
+/// Static engines execute transformed code: step counts (micros and
+/// removed manipulations change the count) and therefore StepLimit stop
+/// points legitimately differ from the stream engines, so the comparator
+/// masks those fields for them (see docs/TRAPS.md). Return-stack values
+/// are compared exactly for every engine: calls push canonical original
+/// instruction indices even in specialized code.
 inline bool isStaticEngine(EngineId E) {
   return E == EngineId::StaticGreedy || E == EngineId::StaticOptimal;
 }
@@ -87,12 +94,37 @@ EngineObservation observeEngine(const forth::System &Sys,
                                 const vm::Code &Prog, uint32_t Entry,
                                 EngineId E, const RunLimits &Limits = {});
 
+/// Preempted execution: runs \p Entry in slices of at most \p SliceSteps
+/// steps, re-entering at the recorded fault PC after every StepLimit
+/// stop (with ExecContext::Resume set so the return-stack sentinel is
+/// not re-seeded). Slice i runs under Rotation[i % Rotation.size()]; a
+/// static engine asked to resume at a PC that is not a basic-block
+/// leader hands that slice to the Switch engine instead (stream stop
+/// points need not be leaders). \p Limits.MaxSteps bounds the *total*
+/// step budget across slices. The result is indistinguishable from a
+/// one-shot run on the same engine except for the watermarks, which a
+/// sliced run samples at every slice boundary.
+EngineObservation observeEngineSliced(const forth::System &Sys,
+                                      const vm::Code &Prog, uint32_t Entry,
+                                      const std::vector<EngineId> &Rotation,
+                                      uint64_t SliceSteps,
+                                      const RunLimits &Limits = {});
+
 /// Pure comparator: empty string when \p Got (produced by \p GotId) is
 /// consistent with the reference observation \p Ref, else a readable
-/// divergence description. Static engines are compared with step counts,
-/// return-stack values and StepLimit stop points masked.
+/// divergence description. Static engines are compared with step counts
+/// and StepLimit stop points masked; everything else — including
+/// return-stack values — is compared exactly.
 std::string compareObservations(const EngineObservation &Ref,
                                 const EngineObservation &Got, EngineId GotId);
+
+/// Strict same-engine comparator for sliced-vs-one-shot runs: every
+/// field except the watermarks (which sliced runs sample at more points)
+/// must match, with no static masks — a sliced run and a one-shot run of
+/// the *same* engine take identical paths. Empty string on agreement.
+std::string compareSlicedObservation(const EngineObservation &OneShot,
+                                     const EngineObservation &Sliced,
+                                     EngineId Id);
 
 /// Renders an observation for divergence messages.
 std::string describeObservation(const EngineObservation &O);
@@ -136,6 +168,29 @@ InjectReport shrinkCapacities(const forth::System &Sys,
 InjectReport mutateAndCompare(const forth::System &Sys,
                               const std::string &Word, uint64_t Rounds,
                               uint64_t Seed, const RunLimits &Limits = {});
+
+/// Slice-boundary sweep: proves sliced == one-shot. Runs \p Word once to
+/// completion, then replays it under every engine with every slice
+/// length 1..min(total steps, \p MaxSlice; 0 means no cap), requiring
+/// strict equality with that engine's one-shot observation. Finally runs
+/// a set of mixed-engine rotations (including stream->static resumes)
+/// and checks each against the Switch reference with the usual static
+/// masks.
+InjectReport sweepSliceBoundaries(const forth::System &Sys,
+                                  const std::string &Word,
+                                  const RunLimits &Limits = {},
+                                  uint64_t MaxSlice = 0);
+
+/// Sliced fault matrix: re-runs the step-limit and stack-capacity fault
+/// campaigns with execution cut into \p SliceSteps-step slices and
+/// requires the final observation — FaultInfo included — to be
+/// identical to the corresponding one-shot run, engine by engine. A
+/// preempted-and-resumed run must trap exactly like an uninterrupted
+/// one.
+InjectReport sweepSlicedFaults(const forth::System &Sys,
+                               const std::string &Word,
+                               const RunLimits &Limits = {},
+                               uint64_t SliceSteps = 3);
 
 /// Exact data-stack peak of \p Word by capacity bisection: the smallest
 /// DsCapacity under which the run still reproduces the unconstrained

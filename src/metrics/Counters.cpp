@@ -66,6 +66,48 @@ Json sc::metrics::prepareCountersToJson(const PrepareCounters &C) {
   return Obj;
 }
 
+Json sc::metrics::sessionCountersToJson(const SessionCounters &C) {
+  Json Obj = Json::object();
+  Obj.set("slices", Json::number(C.Slices));
+  Obj.set("steps_executed", Json::number(C.StepsExecuted));
+  Obj.set("fuel_exhausted", Json::number(C.FuelExhausted));
+  Obj.set("deadline_hits", Json::number(C.DeadlineHits));
+  Obj.set("cancellations", Json::number(C.Cancellations));
+  Obj.set("fallback_replays", Json::number(C.FallbackReplays));
+  Obj.set("faults_confirmed", Json::number(C.FaultsConfirmed));
+  Obj.set("faults_refuted", Json::number(C.FaultsRefuted));
+  Obj.set("replays_inconclusive", Json::number(C.ReplaysInconclusive));
+  Obj.set("quarantines", Json::number(C.Quarantines));
+  Obj.set("quarantine_rejections", Json::number(C.QuarantineRejections));
+  return Obj;
+}
+
+std::string sc::metrics::formatSessionCounters(const SessionCounters &C) {
+  std::string Out;
+  char Buf[160];
+  auto Line = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Out += Buf;
+  };
+  Line("slices: %llu (steps: %llu)\n",
+       static_cast<unsigned long long>(C.Slices),
+       static_cast<unsigned long long>(C.StepsExecuted));
+  Line("stops: fuel %llu, deadline %llu, cancel %llu\n",
+       static_cast<unsigned long long>(C.FuelExhausted),
+       static_cast<unsigned long long>(C.DeadlineHits),
+       static_cast<unsigned long long>(C.Cancellations));
+  Line("fallback replays: %llu (confirmed %llu, refuted %llu, "
+       "inconclusive %llu)\n",
+       static_cast<unsigned long long>(C.FallbackReplays),
+       static_cast<unsigned long long>(C.FaultsConfirmed),
+       static_cast<unsigned long long>(C.FaultsRefuted),
+       static_cast<unsigned long long>(C.ReplaysInconclusive));
+  Line("quarantines: %llu (runs rejected: %llu)\n",
+       static_cast<unsigned long long>(C.Quarantines),
+       static_cast<unsigned long long>(C.QuarantineRejections));
+  return Out;
+}
+
 Json sc::metrics::countersToJson(const Counters &C) {
   Json Obj = Json::object();
   Obj.set("total_dispatch", Json::number(C.totalDispatch()));

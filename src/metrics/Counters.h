@@ -150,6 +150,45 @@ struct PrepareCounters {
 /// translations).
 Json prepareCountersToJson(const PrepareCounters &C);
 
+/// Supervision counters for the session layer (src/session): one tick
+/// per slice-boundary decision a VmSession makes. Like PrepareCounters
+/// these are always maintained — they are far off the per-instruction
+/// hot paths, so they cost nothing SC_STATS would save.
+struct SessionCounters {
+  uint64_t Slices = 0;        ///< engine entries (including replays)
+  uint64_t StepsExecuted = 0; ///< guest steps across all slices
+  uint64_t FuelExhausted = 0; ///< runs stopped by the fuel budget
+  uint64_t DeadlineHits = 0;  ///< runs stopped by the wall-clock deadline
+  uint64_t Cancellations = 0; ///< runs stopped by cancel()
+  uint64_t FallbackReplays = 0;      ///< fault replays under the reference engine
+  uint64_t FaultsConfirmed = 0;      ///< replays that reproduced the fault
+  uint64_t FaultsRefuted = 0;        ///< replays that disagreed with the fault
+  uint64_t ReplaysInconclusive = 0;  ///< replays that hit the replay budget
+  uint64_t Quarantines = 0;          ///< programs quarantined by this session
+  uint64_t QuarantineRejections = 0; ///< runs refused because of quarantine
+
+  SessionCounters &operator+=(const SessionCounters &O) {
+    Slices += O.Slices;
+    StepsExecuted += O.StepsExecuted;
+    FuelExhausted += O.FuelExhausted;
+    DeadlineHits += O.DeadlineHits;
+    Cancellations += O.Cancellations;
+    FallbackReplays += O.FallbackReplays;
+    FaultsConfirmed += O.FaultsConfirmed;
+    FaultsRefuted += O.FaultsRefuted;
+    ReplaysInconclusive += O.ReplaysInconclusive;
+    Quarantines += O.Quarantines;
+    QuarantineRejections += O.QuarantineRejections;
+    return *this;
+  }
+};
+
+/// Serializes \p C as a flat JSON object (slices/steps/fuel-exhausted/...).
+Json sessionCountersToJson(const SessionCounters &C);
+
+/// Human-readable multi-line rendering (forth_run session summary).
+std::string formatSessionCounters(const SessionCounters &C);
+
 /// Serializes \p C as a JSON object: total and per-opcode (mnemonic-keyed,
 /// nonzero only) dispatch counts, occupancy, cache events, reconcile
 /// traffic and traps.

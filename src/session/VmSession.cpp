@@ -1,0 +1,262 @@
+//===-- session/VmSession.cpp - Supervised preemptible execution ----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/VmSession.h"
+
+#include "dispatch/Engines.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace sc;
+using namespace sc::session;
+using namespace sc::vm;
+
+const char *sc::session::stopKindName(StopKind K) {
+  switch (K) {
+  case StopKind::Halted:
+    return "halted";
+  case StopKind::Fault:
+    return "fault";
+  case StopKind::FuelExhausted:
+    return "fuel-exhausted";
+  case StopKind::DeadlineExpired:
+    return "deadline-expired";
+  case StopKind::Cancelled:
+    return "cancelled";
+  case StopKind::Quarantined:
+    return "quarantined";
+  }
+  sc::unreachable("bad stop kind");
+}
+
+const char *sc::session::confirmationName(Confirmation C) {
+  switch (C) {
+  case Confirmation::Confirmed:
+    return "confirmed";
+  case Confirmation::Refuted:
+    return "refuted";
+  case Confirmation::Inconclusive:
+    return "inconclusive";
+  }
+  sc::unreachable("bad confirmation");
+}
+
+Confirmation sc::session::confirmFault(const prepare::PreparedCode &PC,
+                                       const SliceSnapshot &Before,
+                                       uint32_t Pc,
+                                       const RunOutcome &Observed,
+                                       uint64_t ReplayBudget) {
+  // Only real guest faults are confirmable claims.
+  if (Observed.Status == RunStatus::Halted ||
+      Observed.Status == RunStatus::StepLimit)
+    return Confirmation::Refuted;
+
+  Vm Machine = Before.Machine;
+  ExecContext Ctx(PC.program(), Machine);
+  Ctx.DsCapacity = Before.DsCapacity;
+  Ctx.RsCapacity = Before.RsCapacity;
+  Ctx.DS = Before.DS;
+  Ctx.RS = Before.RS;
+  Ctx.DsDepth = Before.DsDepth;
+  Ctx.RsDepth = Before.RsDepth;
+  Ctx.Resume = Before.Resume;
+  Ctx.MaxSteps = ReplayBudget;
+
+  const RunOutcome Replay = dispatch::runSwitchEngine(Ctx, Pc);
+  if (Replay.Status == RunStatus::StepLimit)
+    return Confirmation::Inconclusive;
+  if (Replay.Status != Observed.Status)
+    return Confirmation::Refuted;
+  // Static flavors may defer an overflow past absorbed manipulations, so
+  // the exact fault point is not comparable; the fault class is.
+  const bool Static = PC.Engine == prepare::EngineId::StaticGreedy ||
+                      PC.Engine == prepare::EngineId::StaticOptimal;
+  if (!Static && Replay.Fault != Observed.Fault)
+    return Confirmation::Refuted;
+  return Confirmation::Confirmed;
+}
+
+bool QuarantineRegistry::isQuarantined(const Code *Prog,
+                                       uint64_t Version) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Set.count({Prog, Version}) != 0;
+}
+
+void QuarantineRegistry::add(const Code *Prog, uint64_t Version) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Set.insert({Prog, Version});
+}
+
+void QuarantineRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Set.clear();
+}
+
+size_t QuarantineRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Set.size();
+}
+
+QuarantineRegistry &sc::session::globalQuarantine() {
+  static QuarantineRegistry R;
+  return R;
+}
+
+VmSession::VmSession(std::shared_ptr<const prepare::PreparedCode> Prepared,
+                     Vm &Machine, SessionPolicy P)
+    : PC(std::move(Prepared)), Policy(P), Ctx(PC->program(), Machine) {
+  SC_ASSERT(PC != nullptr, "session over a null program");
+  SC_ASSERT(Policy.SliceSteps > 0, "slices must make progress");
+}
+
+uint64_t VmSession::replayBudget() const {
+  return Policy.ReplayBudgetSteps ? Policy.ReplayBudgetSteps
+                                  : Policy.SliceSteps * 8 + 1024;
+}
+
+SliceSnapshot VmSession::snapshot() const {
+  SliceSnapshot S;
+  S.Machine = *Ctx.Machine;
+  S.DS = Ctx.DS;
+  S.RS = Ctx.RS;
+  S.DsDepth = Ctx.DsDepth;
+  S.RsDepth = Ctx.RsDepth;
+  S.DsCapacity = Ctx.DsCapacity;
+  S.RsCapacity = Ctx.RsCapacity;
+  S.Resume = Ctx.Resume;
+  return S;
+}
+
+void VmSession::reset() {
+  Ctx.DsDepth = 0;
+  Ctx.RsDepth = 0;
+  Ctx.DsHighWater = 0;
+  Ctx.RsHighWater = 0;
+  Ctx.Resume = false;
+}
+
+void VmSession::refuel(uint64_t Steps) {
+  if (Policy.FuelSteps == UINT64_MAX)
+    return;
+  const uint64_t Room = UINT64_MAX - Policy.FuelSteps;
+  Policy.FuelSteps += std::min(Steps, Room);
+}
+
+SessionResult VmSession::run(const std::string &Word) {
+  return run(PC->entryOf(Word));
+}
+
+SessionResult VmSession::run(uint32_t Entry) {
+  SessionResult R;
+  if (globalQuarantine().isQuarantined(PC->Source, PC->SourceVersion)) {
+    ++Stats.QuarantineRejections;
+    R.Stop = StopKind::Quarantined;
+    R.ResumePc = Entry;
+    return R;
+  }
+
+  const bool HasDeadline = Policy.Deadline.count() > 0;
+  const auto DeadlineAt = std::chrono::steady_clock::now() + Policy.Deadline;
+
+  uint32_t Pc = Entry;
+  bool SlicedStop = false; // at least one slice ended in StepLimit
+  FaultInfo LastStop{};
+  SliceSnapshot Before; // filled per slice only when ConfirmFaults is on
+  for (;;) {
+    // Supervision decisions happen only here, between slices, where the
+    // resume contract guarantees canonical machine state.
+    if (CancelFlag.load(std::memory_order_relaxed)) {
+      ++Stats.Cancellations;
+      R.Stop = StopKind::Cancelled;
+      break;
+    }
+    if (HasDeadline && std::chrono::steady_clock::now() >= DeadlineAt) {
+      ++Stats.DeadlineHits;
+      R.Stop = StopKind::DeadlineExpired;
+      break;
+    }
+    const uint64_t FuelLeft =
+        Policy.FuelSteps == UINT64_MAX
+            ? UINT64_MAX
+            : (FuelUsed >= Policy.FuelSteps ? 0 : Policy.FuelSteps - FuelUsed);
+    if (FuelLeft == 0) {
+      ++Stats.FuelExhausted;
+      R.Stop = StopKind::FuelExhausted;
+      break;
+    }
+
+    // Snapshot only when fault confirmation is on: the default slice
+    // loop must not allocate (the session_overhead bench asserts this).
+    if (Policy.ConfirmFaults)
+      Before = snapshot();
+
+    Ctx.MaxSteps = std::min(Policy.SliceSteps, FuelLeft);
+    const RunOutcome O = prepare::runPrepared(*PC, Ctx, Pc);
+    ++Stats.Slices;
+    ++R.Slices;
+    Stats.StepsExecuted += O.Steps;
+    if (Policy.FuelSteps != UINT64_MAX)
+      FuelUsed += O.Steps; // static safe-point overshoot is charged too
+    R.Outcome.Steps += O.Steps;
+
+    if (O.Status == RunStatus::Halted) {
+      R.Stop = StopKind::Halted;
+      R.Outcome.Status = RunStatus::Halted;
+      R.ResumePc = Pc;
+      return R;
+    }
+    if (O.Status == RunStatus::StepLimit) {
+      Pc = O.Fault.Pc;
+      LastStop = O.Fault;
+      SlicedStop = true;
+      Ctx.Resume = true; // the sentinel survives the preempted slice
+      continue;
+    }
+
+    // A real guest fault.
+    R.Stop = StopKind::Fault;
+    R.Outcome.Status = O.Status;
+    R.Outcome.Fault = O.Fault;
+    R.ResumePc = Pc;
+    if (Policy.ConfirmFaults) {
+      ++Stats.FallbackReplays;
+      R.Replayed = true;
+      R.Verdict = confirmFault(*PC, Before, Pc, O, replayBudget());
+      switch (R.Verdict) {
+      case Confirmation::Confirmed:
+        ++Stats.FaultsConfirmed;
+        ++ConfirmedFaults;
+        break;
+      case Confirmation::Refuted:
+        ++Stats.FaultsRefuted;
+        break;
+      case Confirmation::Inconclusive:
+        ++Stats.ReplaysInconclusive;
+        break;
+      }
+      if (Policy.QuarantineAfter != 0 &&
+          ConfirmedFaults >= Policy.QuarantineAfter &&
+          R.Verdict == Confirmation::Confirmed) {
+        globalQuarantine().add(PC->Source, PC->SourceVersion);
+        ++Stats.Quarantines;
+        R.Quarantined = true;
+      }
+    }
+    return R;
+  }
+
+  // One of the resumable supervision stops.
+  R.Resumable = true;
+  R.ResumePc = Pc;
+  R.Outcome.Status = RunStatus::StepLimit;
+  if (SlicedStop)
+    R.Outcome.Fault = LastStop;
+  else
+    R.Outcome.Fault.Pc = Pc;
+  return R;
+}

@@ -1,0 +1,217 @@
+//===-- session/VmSession.h - Supervised preemptible execution -*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A supervised execution session over a prepared program. VmSession runs
+/// a PreparedCode in bounded slices and makes every supervision decision
+/// at the slice boundaries, where the resume contract of docs/TRAPS.md
+/// guarantees canonical machine state: all stack items in memory, exact
+/// depths, and a fault PC that any engine may resume from. The engine hot
+/// loops stay completely untouched — a slice is an ordinary run with
+/// ExecContext::MaxSteps set to the slice size.
+///
+/// Supervision axes, all per-policy:
+///
+///   - fuel: a total guest-step budget across the session's runs;
+///   - deadline: a wall-clock bound checked between slices (an infinite
+///     guest loop terminates within one slice of the deadline);
+///   - cancellation: a thread-safe flag observed between slices;
+///   - fault fallback: on a real guest fault, optionally replay the
+///     faulting slice under the canonical switch engine and classify the
+///     fault as confirmed / refuted / inconclusive; after a configured
+///     number of confirmed faults the program is quarantined process-wide
+///     and further sessions refuse to run it.
+///
+/// Every decision ticks a metrics::SessionCounters field, surfaced by
+/// forth_run's session summary and the session_overhead bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SESSION_VMSESSION_H
+#define SC_SESSION_VMSESSION_H
+
+#include "metrics/Counters.h"
+#include "prepare/Prepare.h"
+#include "vm/ExecContext.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace sc::session {
+
+/// Why a session run returned to the caller.
+enum class StopKind : uint8_t {
+  Halted,          ///< guest executed Halt: normal completion
+  Fault,           ///< guest trapped; SessionResult::Outcome has the fault
+  FuelExhausted,   ///< the session's step budget ran out (resumable)
+  DeadlineExpired, ///< the wall-clock deadline passed (resumable)
+  Cancelled,       ///< cancel() observed at a slice boundary (resumable)
+  Quarantined,     ///< the program is quarantined; nothing was executed
+};
+
+const char *stopKindName(StopKind K);
+
+/// Verdict of a fallback replay of a faulting slice under the canonical
+/// switch engine.
+enum class Confirmation : uint8_t {
+  Confirmed,    ///< the replay reproduced the fault
+  Refuted,      ///< the replay disagreed (halted, ran on, or differed)
+  Inconclusive, ///< the replay hit its own step budget
+};
+
+const char *confirmationName(Confirmation C);
+
+/// Supervision policy. The defaults run unsupervised except for slicing:
+/// no fuel limit, no deadline, no fault fallback.
+struct SessionPolicy {
+  /// Maximum guest steps per engine entry. Supervision latency — how
+  /// stale a cancel or deadline can be before the session notices — is
+  /// bounded by one slice (plus the static engines' safe-point
+  /// overshoot, itself bounded by the longest basic block).
+  uint64_t SliceSteps = 4096;
+  /// Total guest-step budget across every run() of this session.
+  uint64_t FuelSteps = UINT64_MAX;
+  /// Wall-clock budget per run() call; zero means none.
+  std::chrono::nanoseconds Deadline{0};
+  /// Replay faulting slices under the switch engine for confirmation.
+  /// Costs a machine snapshot before every slice, so it is off by
+  /// default (the default slice loop performs no allocation at all).
+  bool ConfirmFaults = false;
+  /// Quarantine the program process-wide after this many confirmed
+  /// faults in this session; zero disables quarantining.
+  unsigned QuarantineAfter = 0;
+  /// Step budget for a confirmation replay; zero derives one generous
+  /// enough for any slice: SliceSteps * 8 + 1024 (a static slice may
+  /// legitimately overshoot SliceSteps to reach a safe point, and the
+  /// switch replay of a static slice executes the unspecialized
+  /// instruction count).
+  uint64_t ReplayBudgetSteps = 0;
+};
+
+/// Everything a run() reports.
+struct SessionResult {
+  StopKind Stop = StopKind::Halted;
+  /// Aggregated outcome: Steps accumulates across slices; Status/Fault
+  /// describe the final stop (StepLimit for the resumable StopKinds).
+  vm::RunOutcome Outcome;
+  uint64_t Slices = 0;  ///< engine entries this run() made
+  uint32_t ResumePc = 0; ///< where a resumable stop may continue
+  /// True for FuelExhausted / DeadlineExpired / Cancelled: calling
+  /// run(ResumePc) again (after refuelling / extending / resetCancel())
+  /// continues the guest exactly where it stopped.
+  bool Resumable = false;
+  /// Fallback replay verdict; meaningful only when Replayed is set.
+  bool Replayed = false;
+  Confirmation Verdict = Confirmation::Inconclusive;
+  /// This run() pushed the program over the quarantine threshold.
+  bool Quarantined = false;
+};
+
+/// Machine state captured before a slice so a faulting slice can be
+/// replayed under the reference engine. Public so tests can drive
+/// confirmFault directly (including the refuted branch, which a healthy
+/// engine never produces).
+struct SliceSnapshot {
+  /// Full copy: data space, accessibility limit, output. Constructed
+  /// empty (zero data space) so an unused snapshot costs nothing; the
+  /// supervision loop must stay allocation-free when ConfirmFaults is
+  /// off (the session_overhead bench asserts this).
+  vm::Vm Machine{0};
+  std::vector<vm::Cell> DS, RS;
+  unsigned DsDepth = 0, RsDepth = 0;
+  unsigned DsCapacity = 0, RsCapacity = 0;
+  bool Resume = false;
+};
+
+/// Pure fallback check: replays one slice from \p Before at \p Pc under
+/// the canonical switch engine and classifies \p Observed (the faulting
+/// outcome a specialized engine reported for that slice). For static
+/// flavors only the fault class is compared — manipulation absorption
+/// can legitimately move an overflow point — while stream flavors must
+/// match FaultInfo field for field. Outcomes that are not real faults
+/// (Halted, StepLimit) are refuted by definition.
+Confirmation confirmFault(const prepare::PreparedCode &PC,
+                          const SliceSnapshot &Before, uint32_t Pc,
+                          const vm::RunOutcome &Observed,
+                          uint64_t ReplayBudget);
+
+/// Process-wide registry of programs whose faults were confirmed often
+/// enough to stop running them. Keyed on (Code identity, version), like
+/// PrepareCache: a recycled address with a different version stamp is a
+/// different program. Thread-safe.
+class QuarantineRegistry {
+public:
+  bool isQuarantined(const vm::Code *Prog, uint64_t Version) const;
+  void add(const vm::Code *Prog, uint64_t Version);
+  /// Drops every entry (tests isolate themselves with this).
+  void clear();
+  size_t size() const;
+
+private:
+  mutable std::mutex Mu;
+  std::set<std::pair<const vm::Code *, uint64_t>> Set;
+};
+
+/// The registry every session consults.
+QuarantineRegistry &globalQuarantine();
+
+/// A supervised session over one prepared program and one machine. Not
+/// itself thread-safe except for cancel(); one thread runs, any thread
+/// cancels. Sessions over EngineId::CallThreaded inherit that flavor's
+/// non-reentrancy (static VM registers): never run two concurrently.
+class VmSession {
+public:
+  VmSession(std::shared_ptr<const prepare::PreparedCode> PC, vm::Vm &Machine,
+            SessionPolicy Policy = {});
+
+  /// Runs the guest from instruction index \p Entry (an index into the
+  /// prepared program; resolve names with the word overload) until it
+  /// halts, faults, or a supervision limit stops it.
+  SessionResult run(uint32_t Entry);
+  /// Same, resolving \p Word through the prepared snapshot's word table.
+  SessionResult run(const std::string &Word);
+
+  /// Requests cancellation; the running thread stops at the next slice
+  /// boundary. Callable from any thread, any number of times.
+  void cancel() { CancelFlag.store(true, std::memory_order_relaxed); }
+  /// Clears a previous cancel so the session can resume.
+  void resetCancel() { CancelFlag.store(false, std::memory_order_relaxed); }
+
+  /// Restores the context to a fresh guest run: empty stacks, cleared
+  /// resume flag. Fuel already burned stays burned.
+  void reset();
+
+  /// Grants \p Steps more fuel (saturating).
+  void refuel(uint64_t Steps);
+
+  const metrics::SessionCounters &counters() const { return Stats; }
+  const SessionPolicy &policy() const { return Policy; }
+  vm::ExecContext &context() { return Ctx; }
+  const prepare::PreparedCode &prepared() const { return *PC; }
+
+private:
+  uint64_t replayBudget() const;
+  SliceSnapshot snapshot() const;
+
+  std::shared_ptr<const prepare::PreparedCode> PC;
+  SessionPolicy Policy;
+  vm::ExecContext Ctx;
+  std::atomic<bool> CancelFlag{false};
+  metrics::SessionCounters Stats;
+  uint64_t FuelUsed = 0;
+  unsigned ConfirmedFaults = 0;
+};
+
+} // namespace sc::session
+
+#endif // SC_SESSION_VMSESSION_H

@@ -244,8 +244,16 @@ staticCore(const SpecProgram *SPP, ExecContext *CtxPtr, uint32_t OrigEntry,
   SC_ASSERT(Ctx.Prog && Ctx.Machine, "unbound ExecContext");
   SC_ASSERT(OrigEntry < SP.OrigToSpec.size(), "entry out of range");
   const UCell SpecSize = SP.Insts.size();
+  const UCell OrigSize = Ctx.Prog->Insts.size();
+  // Entry must be a canonical (state-0) block entry: word entries always
+  // are, and resumed runs re-enter at StepLimit stops, which the engine
+  // only takes at canonical entries (see DNEXT below).
   const uint32_t Entry = SP.OrigToSpec[OrigEntry];
-  SC_ASSERT(Entry < SpecSize, "specialized entry out of range");
+  SC_ASSERT(Entry < SpecSize, "entry is not a canonical block entry");
+  // Orig<->spec maps, needed on the control paths: calls push canonical
+  // (original-index) return addresses and exits map them back.
+  const uint32_t *S2O = SP.SpecToOrig.data();
+  const uint32_t *O2S = SP.OrigToSpec.data();
 
   Vm &TheVm = *Ctx.Machine;
   const Cell *Base = Stream;
@@ -267,24 +275,43 @@ staticCore(const SpecProgram *SPP, ExecContext *CtxPtr, uint32_t OrigEntry,
   Cell FaultAddr = 0;
   bool HasFaultAddr = false;
 
-  if (Rsp >= RsCap) {
-    SC_IF_STATS(if (Ctx.Stats)
-                  metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
-    return makeFault(RunStatus::RStackOverflow, 0, OrigEntry,
-                     Ctx.Prog->Insts[OrigEntry].Op, Dsp, Rsp);
+  // Seed the sentinel return address unless this call resumes an
+  // interrupted run (Ctx.Resume), which already carries it.
+  if (!Ctx.Resume) {
+    if (Rsp >= RsCap) {
+      SC_IF_STATS(if (Ctx.Stats)
+                    metrics::noteTrap(*Ctx.Stats, RunStatus::RStackOverflow));
+      return makeFault(RunStatus::RStackOverflow, 0, OrigEntry,
+                       Ctx.Prog->Insts[OrigEntry].Op, Dsp, Rsp);
+    }
+    RStack[Rsp++] = 0;
   }
-  RStack[Rsp++] = 0;
 
   // Plain direct threading: the pass resolved the state statically, so
   // dispatch needs no table and no state variable.
+  //
+  // StepLimit stops are deferred to safe points — positions where the
+  // cache state is 0 AND the next specialized instruction is a canonical
+  // block entry — because those are the only positions a later run can
+  // re-enter (specialized code cannot be entered mid-block). When the
+  // budget runs out elsewhere, execution continues with StepsLeft pinned
+  // at zero until the next safe point; Steps keeps counting, so the
+  // overshoot is visible in the outcome. The overshoot is bounded by the
+  // longest basic block: every loop contains a leader-targeting branch,
+  // so a pinned run reaches a safe point in at most one block's worth of
+  // instructions.
 #define DNEXT(State)                                                           \
   {                                                                            \
     if (StepsLeft == 0) {                                                      \
-      ExitState = (State);                                                     \
-      St = RunStatus::StepLimit;                                               \
-      goto Done;                                                               \
+      if ((State) == 0 &&                                                      \
+          isCanonicalEntry(SP, static_cast<UCell>((Ip - Base) / 2))) {         \
+        ExitState = 0;                                                         \
+        St = RunStatus::StepLimit;                                             \
+        goto Done;                                                             \
+      }                                                                        \
+    } else {                                                                   \
+      --StepsLeft;                                                             \
     }                                                                          \
-    --StepsLeft;                                                               \
     ++Steps;                                                                   \
     W = Ip;                                                                    \
     Ip += 2;                                                                   \
@@ -846,34 +873,42 @@ S2_Branch:
   Stack[Dsp++] = R1;
   DJUMP(0, W[1]);
 
+  // Calls push canonical return addresses — original instruction indices,
+  // exactly what the stream engines push — so the return stack is fully
+  // comparable across engines and survives a mid-run engine switch. The
+  // instruction after a call is always a block leader (Code::computeLeaders),
+  // so the orig index maps back through OrigToSpec on exit. A guest-forged
+  // return address (>r then exit) naming a non-leader has no specialized
+  // entry and traps BadMemAccess (see docs/TRAPS.md).
+
 S1_Call:
   RROOMK(1, 1);
   Stack[Dsp++] = R0;
-  RStack[Rsp++] = static_cast<Cell>((W - Base) / 2 + 1);
+  RStack[Rsp++] = static_cast<Cell>(S2O[(W - Base) / 2] + 1);
   DJUMP(0, W[1]);
 S2_Call:
   RROOMK(2, 1);
   Stack[Dsp++] = R0;
   Stack[Dsp++] = R1;
-  RStack[Rsp++] = static_cast<Cell>((W - Base) / 2 + 1);
+  RStack[Rsp++] = static_cast<Cell>(S2O[(W - Base) / 2] + 1);
   DJUMP(0, W[1]);
 
 S1_Exit : {
   RNEEDK(1, 1);
   Stack[Dsp++] = R0;
   Cell Ret = RStack[--Rsp];
-  if (static_cast<UCell>(Ret) >= SpecSize)
+  if (static_cast<UCell>(Ret) >= OrigSize || O2S[Ret] == InvalidSpec)
     TRAPS(0, BadMemAccess);
-  DJUMPDYN(0, Ret);
+  DJUMPDYN(0, O2S[Ret]);
 }
 S2_Exit : {
   RNEEDK(2, 1);
   Stack[Dsp++] = R0;
   Stack[Dsp++] = R1;
   Cell Ret = RStack[--Rsp];
-  if (static_cast<UCell>(Ret) >= SpecSize)
+  if (static_cast<UCell>(Ret) >= OrigSize || O2S[Ret] == InvalidSpec)
     TRAPS(0, BadMemAccess);
-  DJUMPDYN(0, Ret);
+  DJUMPDYN(0, O2S[Ret]);
 }
 
 #define SC_SLOOPBR(PRE)                                                        \
@@ -1026,16 +1061,16 @@ S3_Call:
   RROOMK(4, 1);
   Stack[Dsp++] = R0;
   Stack[Dsp++] = R0;
-  RStack[Rsp++] = static_cast<Cell>((W - Base) / 2 + 1);
+  RStack[Rsp++] = static_cast<Cell>(S2O[(W - Base) / 2] + 1);
   DJUMP(0, W[1]);
 S3_Exit : {
   RNEEDK(4, 1);
   Stack[Dsp++] = R0;
   Stack[Dsp++] = R0;
   Cell Ret = RStack[--Rsp];
-  if (static_cast<UCell>(Ret) >= SpecSize)
+  if (static_cast<UCell>(Ret) >= OrigSize || O2S[Ret] == InvalidSpec)
     TRAPS(0, BadMemAccess);
-  DJUMPDYN(0, Ret);
+  DJUMPDYN(0, O2S[Ret]);
 }
 S3_LoopBr : {
   RNEEDK(4, 2);
@@ -1176,10 +1211,19 @@ S3_LitStore:
 #define SC_CASE(Name) G_##Name:
 #define SC_END DNEXT(0)
 #define SC_OPERAND (W[1])
-#define SC_NEXTIP ((W - Base) / 2 + 1)
+  // Calls push canonical (original-index) return addresses; Exit bounds-
+  // checks against the original program and maps back through OrigToSpec,
+  // trapping on addresses with no specialized entry (non-leaders).
+#define SC_NEXTIP (S2O[(W - Base) / 2] + 1)
 #define SC_JUMP(T) DJUMP(0, T)
-#define SC_JUMP_DYN(T) DJUMPDYN(0, T)
-#define SC_CODE_SIZE SpecSize
+#define SC_JUMP_DYN(T)                                                         \
+  {                                                                            \
+    const uint32_t SpecTarget = O2S[static_cast<UCell>(T)];                    \
+    if (SpecTarget == InvalidSpec)                                             \
+      TRAPS(0, BadMemAccess);                                                  \
+    DJUMPDYN(0, SpecTarget);                                                   \
+  }
+#define SC_CODE_SIZE OrigSize
 #define SC_TRAP(S) TRAPS(0, S)
 #define SC_TRAP_MEM(A) TRAPMEM(0, A)
 #define SC_HALT TRAPS(0, Halted)
@@ -1269,7 +1313,6 @@ Done:
   const uint32_t FaultPc = SpecPc < SP.SpecToOrig.size()
                                ? SP.SpecToOrig[SpecPc]
                                : static_cast<uint32_t>(SpecPc);
-  const UCell OrigSize = Ctx.Prog->Insts.size();
   return makeFault(St, Steps, FaultPc,
                    FaultPc < OrigSize ? Ctx.Prog->Insts[FaultPc].Op
                                       : Opcode::Halt,

@@ -246,7 +246,9 @@ SpecProgram sc::staticcache::compileStaticOptimal(const Code &Prog,
 
   std::vector<bool> Leaders = Prog.computeLeaders();
   SpecProgram SP;
-  SP.OrigToSpec.assign(Prog.Insts.size(), 0);
+  // Non-leaders keep the InvalidSpec sentinel: they have no canonical
+  // entry, and the engine traps exits that target them.
+  SP.OrigToSpec.assign(Prog.Insts.size(), InvalidSpec);
   SP.OrigInsts = Prog.Insts.size();
   std::vector<std::pair<uint32_t, uint32_t>> Patches;
 

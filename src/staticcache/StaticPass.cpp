@@ -145,7 +145,9 @@ public:
 
   SpecProgram run() {
     std::vector<bool> Leaders = Prog.computeLeaders();
-    SP.OrigToSpec.assign(Prog.Insts.size(), 0);
+    // Non-leaders keep the InvalidSpec sentinel: they have no canonical
+    // entry, and the engine traps exits that target them.
+    SP.OrigToSpec.assign(Prog.Insts.size(), InvalidSpec);
     SP.OrigInsts = Prog.Insts.size();
 
     for (uint32_t I = 0; I < Prog.Insts.size(); ++I) {

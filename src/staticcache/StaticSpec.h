@@ -86,11 +86,17 @@ struct SpecInst {
   vm::Cell Operand;
 };
 
+/// Sentinel in SpecProgram::OrigToSpec for original instructions that are
+/// not basic-block leaders: they have no canonical specialized entry, so
+/// nothing (branch, exit, resume) may transfer control to them.
+inline constexpr uint32_t InvalidSpec = UINT32_MAX;
+
 /// A statically cached program.
 struct SpecProgram {
   std::vector<SpecInst> Insts;
-  /// Maps original instruction indices to specialized indices (valid for
-  /// basic-block leaders, which is all a branch may target).
+  /// Maps original instruction indices to specialized indices. Valid for
+  /// basic-block leaders — which is all a branch, a canonical return
+  /// address, or a resume may target; InvalidSpec everywhere else.
   std::vector<uint32_t> OrigToSpec;
   /// Maps every specialized instruction back to the original instruction
   /// it was emitted for (micros map to the instruction they prepare).
@@ -102,6 +108,16 @@ struct SpecProgram {
   uint64_t MicrosEmitted = 0; ///< reconcile/spill/fill instructions added
   uint64_t OrigInsts = 0;
 };
+
+/// True when specialized index \p I is a recorded canonical block entry:
+/// the position an original leader maps to, entered with the cache in
+/// state 0 and all stack items in memory. These are the only positions
+/// where the static engine takes a StepLimit stop (so the recorded
+/// resume PC is re-enterable) and the only original PCs that may be
+/// resumed on a static engine after a stop elsewhere.
+inline bool isCanonicalEntry(const SpecProgram &SP, vm::UCell I) {
+  return I < SP.SpecToOrig.size() && SP.OrigToSpec[SP.SpecToOrig[I]] == I;
+}
 
 /// Pass options (the ablation bench toggles these).
 struct StaticOptions {

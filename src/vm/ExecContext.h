@@ -69,6 +69,16 @@ struct ExecContext {
   /// exhausted. Defaults to effectively unlimited.
   uint64_t MaxSteps = UINT64_MAX;
 
+  /// Caller-managed resume flag. When false (a fresh run), engines seed
+  /// the return stack with the sentinel return address 0 so the entry
+  /// word's Exit lands on the Halt at instruction 0. When true, the
+  /// sentinel is already on the return stack from the interrupted run
+  /// and engines enter without checking or pushing anything: re-entering
+  /// at a StepLimit stop's Fault.Pc then continues the original run
+  /// exactly (see docs/TRAPS.md, "Preemption and resume"). Engines never
+  /// clear the flag; sliced drivers set it once after the first slice.
+  bool Resume = false;
+
   /// Execution counters, filled by engines when non-null and the build
   /// has SC_STATS. Never touched otherwise (zero-cost when off).
   metrics::Counters *Stats = nullptr;
@@ -86,10 +96,16 @@ struct ExecContext {
 
   /// Re-sizes the logical stack capacities. Existing cells up to the live
   /// depth are preserved; the live depth must fit the new capacities.
+  /// Watermarks above a shrunken capacity describe depths that can no
+  /// longer occur, so they are clamped to the new limits.
   void setStackCapacities(unsigned Ds, unsigned Rs) {
     SC_ASSERT(DsDepth <= Ds && RsDepth <= Rs, "capacity below live depth");
     DsCapacity = Ds;
     RsCapacity = Rs;
+    if (DsHighWater > Ds)
+      DsHighWater = Ds;
+    if (RsHighWater > Rs)
+      RsHighWater = Rs;
     DS.resize(Ds + StackSlackCells);
     RS.resize(Rs + StackSlackCells);
   }

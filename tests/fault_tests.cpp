@@ -193,6 +193,28 @@ TEST(Inject, ShrunkDataSpaceFaultCarriesOffendingAddress) {
   EXPECT_GE(O.Outcome.Fault.Addr, 8);
 }
 
+// --- Fault injection: preempted (sliced) execution -------------------------
+
+TEST(Inject, SlicedFaultMatrixWithCalls) {
+  // Calls and returns across slice boundaries: the preempted runs carry
+  // live return addresses (plus the sentinel) from slice to slice, and
+  // every forced overflow must land exactly like the one-shot run.
+  auto Sys = forth::loadOrDie(
+      ": a 1 drop ; : b a a ; : c b b ; : main c c ;");
+  InjectReport R = sweepSlicedFaults(*Sys, "main", RunLimits(), 2);
+  EXPECT_GT(R.Faults, 0u);
+  EXPECT_TRUE(R.ok()) << R.FirstDivergence;
+}
+
+TEST(Inject, SliceSweepAgreesThroughTrap) {
+  // The guest's own DivByZero must survive preemption unchanged for
+  // every slice length and engine rotation.
+  auto Sys = forth::loadOrDie(": main 3 1 - 0 / ;");
+  InjectReport R = sweepSliceBoundaries(*Sys, "main");
+  EXPECT_GT(R.Faults, 0u);
+  EXPECT_TRUE(R.ok()) << R.FirstDivergence;
+}
+
 // --- Fault injection: bytecode mutation with Code::verify as oracle --------
 
 TEST(Inject, MutationFuzzKeepsEnginesIdentical) {
@@ -234,6 +256,11 @@ TEST(Inject, DesyncedEngineIsCaught) {
   Bad.Outcome.Steps += 1;
   EXPECT_EQ(compareObservations(Ref, Bad, EngineId::StaticGreedy), "");
   EXPECT_NE(compareObservations(Ref, Bad, EngineId::Threaded), "");
+
+  Bad = Ref; // return addresses are canonical: compared even for static
+  ASSERT_FALSE(Bad.RS.empty());
+  Bad.RS.back() += 1;
+  EXPECT_NE(compareObservations(Ref, Bad, EngineId::StaticGreedy), "");
 }
 
 // --- Call-threaded static-register hygiene ---------------------------------

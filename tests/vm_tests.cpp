@@ -7,6 +7,7 @@
 
 #include "vm/Code.h"
 #include "vm/Disasm.h"
+#include "vm/ExecContext.h"
 #include "vm/Opcode.h"
 #include "vm/Vm.h"
 
@@ -240,6 +241,32 @@ TEST(Vm, CopyIsolatesDataSpace) {
   Copy.storeCell(A, 2);
   EXPECT_EQ(V.loadCell(A), 1);
   EXPECT_EQ(Copy.loadCell(A), 2);
+}
+
+TEST(ExecContext, ShrinkingCapacitiesClampsWatermarks) {
+  ExecContext Ctx;
+  Ctx.push(1);
+  Ctx.push(2);
+  Ctx.push(3);
+  Ctx.RsDepth = 5;
+  Ctx.noteHighWater();
+  Ctx.pop();
+  Ctx.pop();
+  Ctx.pop();
+  Ctx.RsDepth = 0;
+  EXPECT_EQ(Ctx.DsHighWater, 3u);
+  EXPECT_EQ(Ctx.RsHighWater, 5u);
+
+  // A watermark above a shrunken capacity describes a depth that can no
+  // longer occur; it must be clamped, not left stale.
+  Ctx.setStackCapacities(2, 4);
+  EXPECT_EQ(Ctx.DsHighWater, 2u);
+  EXPECT_EQ(Ctx.RsHighWater, 4u);
+
+  // Growing back does not resurrect the old peaks.
+  Ctx.setStackCapacities(100, 100);
+  EXPECT_EQ(Ctx.DsHighWater, 2u);
+  EXPECT_EQ(Ctx.RsHighWater, 4u);
 }
 
 TEST(Disasm, RendersOperands) {
