@@ -15,13 +15,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "dynamic/Dynamic3Engine.h"
-#include "dynamic/ModelInterpreter.h"
+#include "dispatch/EngineRegistry.h"
 #include "forth/Forth.h"
 #include "metrics/Counters.h"
 #include "metrics/Reporter.h"
-#include "staticcache/StaticEngine.h"
-#include "staticcache/StaticSpec.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
@@ -29,51 +26,6 @@
 
 using namespace sc;
 using namespace sc::vm;
-
-namespace {
-
-struct EngineRow {
-  const char *Name;
-  RunOutcome (*Run)(ExecContext &, uint32_t, const staticcache::SpecProgram &);
-};
-
-RunOutcome runSwitchE(ExecContext &Ctx, uint32_t E,
-                      const staticcache::SpecProgram &) {
-  return dispatch::runSwitchEngine(Ctx, E);
-}
-RunOutcome runThreadedE(ExecContext &Ctx, uint32_t E,
-                        const staticcache::SpecProgram &) {
-  return dispatch::runThreadedEngine(Ctx, E);
-}
-RunOutcome runCallThreadedE(ExecContext &Ctx, uint32_t E,
-                            const staticcache::SpecProgram &) {
-  return dispatch::runCallThreadedEngine(Ctx, E);
-}
-RunOutcome runTosE(ExecContext &Ctx, uint32_t E,
-                   const staticcache::SpecProgram &) {
-  return dispatch::runThreadedTosEngine(Ctx, E);
-}
-RunOutcome runDynamic3E(ExecContext &Ctx, uint32_t E,
-                        const staticcache::SpecProgram &) {
-  return dynamic::runDynamic3Engine(Ctx, E);
-}
-RunOutcome runStaticE(ExecContext &Ctx, uint32_t E,
-                      const staticcache::SpecProgram &SP) {
-  return staticcache::runStaticEngine(SP, Ctx, E);
-}
-RunOutcome runModelE(ExecContext &Ctx, uint32_t E,
-                     const staticcache::SpecProgram &) {
-  return dynamic::runModelInterpreter(Ctx, E, {}).Outcome;
-}
-
-const EngineRow Engines[] = {
-    {"switch", runSwitchE},       {"threaded", runThreadedE},
-    {"callthreaded", runCallThreadedE}, {"tos", runTosE},
-    {"dynamic3", runDynamic3E},   {"static", runStaticE},
-    {"model", runModelE},
-};
-
-} // namespace
 
 int main(int argc, char **argv) {
   metrics::MetricsReporter Rep("engine_counters");
@@ -91,21 +43,25 @@ int main(int argc, char **argv) {
 
   size_t N;
   const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
+  size_t NumE;
+  const engine::EngineInfo *Engines = engine::allEngines(NumE);
   for (size_t I = 0; I < N; ++I) {
     auto Sys = forth::loadOrDie(W[I].Source);
     uint32_t Entry = Sys->entryOf("main");
-    staticcache::SpecProgram SP = staticcache::compileStatic(Sys->Prog);
 
     std::printf("%s:\n", W[I].Name);
     Table T;
     T.addRow({"  engine", "dispatches", "overflows", "underflows",
               "rec.loads", "rec.stores", "rec.moves"});
-    for (const EngineRow &E : Engines) {
+    for (size_t EI = 0; EI < NumE; ++EI) {
+      const engine::EngineInfo &E = Engines[EI];
       metrics::Counters C;
       Vm Copy = Sys->Machine;
       ExecContext Ctx(Sys->Prog, Copy);
       Ctx.Stats = &C;
-      E.Run(Ctx, Entry, SP);
+      engine::RunOptions Opts;
+      Opts.Entry = Entry;
+      engine::runEngine(E.Id, Sys->Prog, Ctx, Opts);
       auto Row = T.row();
       Row.cell(std::string("  ") + E.Name)
           .integer(static_cast<long long>(C.totalDispatch()))

@@ -22,15 +22,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "dispatch/Engines.h"
-#include "dynamic/Dynamic3Engine.h"
+#include "dispatch/EngineRegistry.h"
 #include "forth/Forth.h"
 #include "metrics/Reporter.h"
 #include "metrics/Timing.h"
 #include "prepare/Prepare.h"
 #include "prepare/PrepareCache.h"
-#include "staticcache/StaticEngine.h"
-#include "staticcache/StaticSpec.h"
 #include "support/Table.h"
 #include "vm/Translate.h"
 #include "workloads/Workloads.h"
@@ -45,13 +42,6 @@ using namespace sc;
 using namespace sc::vm;
 
 namespace {
-
-constexpr prepare::EngineId Engines[] = {
-    prepare::EngineId::Switch,        prepare::EngineId::Threaded,
-    prepare::EngineId::CallThreaded,  prepare::EngineId::ThreadedTos,
-    prepare::EngineId::Dynamic3,      prepare::EngineId::StaticGreedy,
-    prepare::EngineId::StaticOptimal,
-};
 
 struct Program {
   std::string Name;
@@ -80,25 +70,10 @@ std::vector<Program> loadPrograms() {
   return Out;
 }
 
-/// One legacy single-shot call for the stream engines: translation +
-/// execution, every time. The static engines' per-run analog (which
-/// re-specializes too) is inlined at the call site because it needs the
-/// StaticOptions.
-RunOutcome runLegacy(prepare::EngineId E, ExecContext &Ctx, uint32_t Entry) {
-  switch (E) {
-  case prepare::EngineId::Switch:
-    return dispatch::runSwitchEngine(Ctx, Entry);
-  case prepare::EngineId::Threaded:
-    return dispatch::runThreadedEngine(Ctx, Entry);
-  case prepare::EngineId::CallThreaded:
-    return dispatch::runCallThreadedEngine(Ctx, Entry);
-  case prepare::EngineId::ThreadedTos:
-    return dispatch::runThreadedTosEngine(Ctx, Entry);
-  case prepare::EngineId::Dynamic3:
-    return dynamic::runDynamic3Engine(Ctx, Entry);
-  default:
-    sc::unreachable("static engines handled at the call site");
-  }
+/// Streamless flavors dispatch on the snapshot directly, so their cold
+/// runs perform no stream translations.
+bool isStreamless(prepare::EngineId E) {
+  return E == prepare::EngineId::Switch || E == prepare::EngineId::Model;
 }
 
 } // namespace
@@ -127,25 +102,23 @@ int main(int argc, char **argv) {
     T.addRow({"  engine", "cold ns/run", "warm ns/run", "speedup",
               "prepare ns", "breakeven runs"});
 
-    for (prepare::EngineId E : Engines) {
-      staticcache::StaticOptions SO;
-      SO.TwoPassOptimal = E == prepare::EngineId::StaticOptimal;
-      const bool IsStatic = E == prepare::EngineId::StaticGreedy ||
-                            E == prepare::EngineId::StaticOptimal;
+    size_t NumE;
+    const engine::EngineInfo *AllE = engine::allEngines(NumE);
+    for (size_t EI = 0; EI < NumE; ++EI) {
+      const prepare::EngineId E = AllE[EI].Id;
+      if (E == engine::EngineId::Model)
+        continue; // streamless and shadow-checked: nothing to amortize
 
       Vm Copy = P.Sys->Machine;
       ExecContext Ctx(P.Sys->Prog, Copy);
 
-      // --- cold: translate + run, every call -------------------------
+      // --- cold: translate (or re-specialize) + run, every call ------
       auto ColdOnce = [&] {
         for (int I = 0; I < Inner; ++I) {
           Copy.resetOutput();
-          RunOutcome O;
-          if (IsStatic)
-            O = staticcache::runStaticEngine(
-                staticcache::compileStatic(P.Sys->Prog, SO), Ctx, P.Entry);
-          else
-            O = runLegacy(E, Ctx, P.Entry);
+          engine::RunOptions Opts;
+          Opts.Entry = P.Entry;
+          RunOutcome O = engine::runEngine(E, P.Sys->Prog, Ctx, Opts);
           if (O.Status != RunStatus::Halted) {
             std::fprintf(stderr, "FAIL: %s cold run faulted on %s\n",
                          prepare::engineIdName(E), P.Name.c_str());
@@ -198,9 +171,9 @@ int main(int argc, char **argv) {
                      static_cast<unsigned long long>(C.Misses));
         ++Failures;
       }
-      // Every non-Switch cold call must have re-translated.
+      // Every cold call of a stream flavor must have re-translated.
       const uint64_t WantColdTrans =
-          E == prepare::EngineId::Switch
+          isStreamless(E)
               ? 0
               : static_cast<uint64_t>(Reps) * static_cast<uint64_t>(Inner);
       if (ColdTrans != WantColdTrans) {
@@ -246,8 +219,7 @@ int main(int argc, char **argv) {
       ExactV.set("warm_translations",
                  metrics::Json::number(static_cast<double>(WarmTrans)));
       ExactV.set("cold_translations_per_run",
-                 metrics::Json::number(
-                     E == prepare::EngineId::Switch ? 0.0 : 1.0));
+                 metrics::Json::number(isStreamless(E) ? 0.0 : 1.0));
       ExactV.set("cache_translations",
                  metrics::Json::number(static_cast<double>(C.Translations)));
       ExactV.set("cache_misses",

@@ -27,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "dispatch/EngineRegistry.h"
 #include "forth/Forth.h"
 #include "metrics/Reporter.h"
 #include "metrics/Timing.h"
@@ -73,19 +74,7 @@ uint64_t allocCount() {
   return GlobalAllocCount.load(std::memory_order_relaxed);
 }
 
-constexpr prepare::EngineId Engines[] = {
-    prepare::EngineId::Switch,        prepare::EngineId::Threaded,
-    prepare::EngineId::CallThreaded,  prepare::EngineId::ThreadedTos,
-    prepare::EngineId::Dynamic3,      prepare::EngineId::StaticGreedy,
-    prepare::EngineId::StaticOptimal,
-};
-
 constexpr uint64_t SliceSizes[] = {64, 1024, 4096};
-
-bool isStatic(prepare::EngineId E) {
-  return E == prepare::EngineId::StaticGreedy ||
-         E == prepare::EngineId::StaticOptimal;
-}
 
 } // namespace
 
@@ -111,7 +100,12 @@ int main(int argc, char **argv) {
     T.addRow({"  engine", "steps", "oneshot ns", "ns/64", "ns/1024",
               "ns/4096", "ovh@4096", "slices@64"});
 
-    for (prepare::EngineId E : Engines) {
+    size_t NumE;
+    const engine::EngineInfo *AllE = engine::allEngines(NumE);
+    for (size_t EI = 0; EI < NumE; ++EI) {
+      const prepare::EngineId E = AllE[EI].Id;
+      if (E == engine::EngineId::Model)
+        continue; // shadow-checked specification; allocates per run
       prepare::PrepareCache Cache;
       prepare::PrepareOptions Opts;
       auto PC = Cache.getOrPrepare(Sys->Prog, E, Opts);
@@ -180,7 +174,7 @@ int main(int argc, char **argv) {
                        static_cast<unsigned long long>(OneShot.Steps));
           ++Failures;
         }
-        const bool SliceCountOk = isStatic(E)
+        const bool SliceCountOk = engine::isStaticEngine(E)
                                       ? R.Slices >= 1 && R.Slices <= WantSlices
                                       : R.Slices == WantSlices;
         if (!SliceCountOk) {
@@ -190,7 +184,7 @@ int main(int argc, char **argv) {
                        prepare::engineIdName(E),
                        static_cast<unsigned long long>(R.Slices), W[WI].Name,
                        static_cast<unsigned long long>(Slice),
-                       isStatic(E) ? "<= " : "",
+                       engine::isStaticEngine(E) ? "<= " : "",
                        static_cast<unsigned long long>(WantSlices));
           ++Failures;
         }

@@ -11,8 +11,8 @@
 ///   forth_run [--engine E] [--word W] [--repeat N] [--prepare]
 ///             [--trace] [--stats] file.fs
 ///
-/// E is one of: switch, threaded, call-threaded, threaded-tos,
-/// dynamic3, static, static-optimal. W defaults to "main". With --trace,
+/// E is any engine name (or alias) known to the EngineRegistry; run with
+/// no arguments for the current list. W defaults to "main". With --trace,
 /// per-program Fig. 20-style statistics are printed after the run. With
 /// --stats (in a -DSC_STATS=ON build), the engine execution counters -
 /// per-opcode dispatch counts, cache overflow/underflow totals,
@@ -31,16 +31,23 @@
 /// faulting slice under the canonical switch engine to confirm or refute
 /// the fault. The session counters are printed to stderr afterwards.
 ///
+/// --workers N runs the word through a SessionScheduler instead: each of
+/// --tenants T tenants (default 2) gets its own job (a machine copy plus
+/// a supervised session), the fleet is recycled --repeat times, and the
+/// scheduler's counter snapshot — per-tenant dispatches, slices, steps
+/// and p50/p99 dispatch latency — goes to stderr. The deadline, fuel,
+/// slice and fallback switches apply per job. Stdout carries the first
+/// tenant's final-run output.
+///
 //===----------------------------------------------------------------------===//
 
-#include "dynamic/Dynamic3Engine.h"
+#include "dispatch/EngineRegistry.h"
 #include "forth/Forth.h"
 #include "metrics/Counters.h"
 #include "prepare/Prepare.h"
 #include "prepare/PrepareCache.h"
+#include "sched/SessionScheduler.h"
 #include "session/VmSession.h"
-#include "staticcache/StaticEngine.h"
-#include "staticcache/StaticSpec.h"
 #include "trace/Capture.h"
 #include "trace/Simulators.h"
 #include "vm/FaultDiag.h"
@@ -60,48 +67,41 @@ using namespace sc;
 using namespace sc::vm;
 
 static int usage() {
+  // The engine list comes from the registry so new engines show up here
+  // without touching this file.
+  std::string Engines;
+  size_t N;
+  const engine::EngineInfo *Info = engine::allEngines(N);
+  for (size_t I = 0; I < N; ++I) {
+    if (I)
+      Engines += " | ";
+    Engines += Info[I].Name;
+  }
   std::fprintf(
       stderr,
       "usage: forth_run [--engine E] [--word W] [--repeat N] [--prepare]\n"
       "                 [--deadline MS] [--fuel N] [--slice N] [--fallback]\n"
-      "                 [--trace] [--stats] file.fs\n"
-      "  E: switch | threaded | call-threaded | threaded-tos |\n"
-      "     dynamic3 | static | static-optimal   (default: threaded)\n"
+      "                 [--workers N] [--tenants N] [--trace] [--stats]\n"
+      "                 file.fs\n"
+      "  E: %s\n"
+      "     (default: threaded)\n"
       "  --repeat N    run the word N times (default 1)\n"
       "  --prepare     translate once via the PrepareCache, then reuse\n"
       "  --deadline MS stop a runaway run after MS milliseconds\n"
       "  --fuel N      stop after N guest steps (resumable budget)\n"
       "  --slice N     guest steps per supervised slice (default 4096)\n"
-      "  --fallback    replay a faulting slice under the switch engine\n"
+      "  --fallback    replay a faulting slice under the reference engine\n"
       "  (--deadline/--fuel/--slice/--fallback run a supervised session)\n"
-      "  --stats needs a -DSC_STATS=ON build\n");
+      "  --workers N   run the word on a session scheduler with N workers\n"
+      "  --tenants N   number of scheduler tenants (default 2)\n"
+      "  --stats needs a -DSC_STATS=ON build\n",
+      Engines.c_str());
   return 2;
 }
 
-/// Maps a CLI engine name onto a prepare flavor; false if unknown.
-static bool prepareIdFor(const std::string &Name, sc::prepare::EngineId &Out) {
-  using sc::prepare::EngineId;
-  if (Name == "switch")
-    Out = EngineId::Switch;
-  else if (Name == "threaded")
-    Out = EngineId::Threaded;
-  else if (Name == "call-threaded")
-    Out = EngineId::CallThreaded;
-  else if (Name == "threaded-tos")
-    Out = EngineId::ThreadedTos;
-  else if (Name == "dynamic3")
-    Out = EngineId::Dynamic3;
-  else if (Name == "static")
-    Out = EngineId::StaticGreedy;
-  else if (Name == "static-optimal")
-    Out = EngineId::StaticOptimal;
-  else
-    return false;
-  return true;
-}
-
 int main(int Argc, char **Argv) {
-  std::string EngineName = "threaded";
+  std::string EngineName =
+      engine::engineName(engine::EngineId::Threaded); // CLI default
   std::string WordName = "main";
   std::string FileName;
   bool WantTrace = false;
@@ -111,6 +111,8 @@ int main(int Argc, char **Argv) {
   bool WantFallback = false;
   long Repeat = 1;
   long DeadlineMs = 0;
+  long Workers = 0; // 0: no scheduler
+  long TenantsN = 2;
   unsigned long long FuelSteps = 0; // 0: unlimited
   unsigned long long SliceSteps = 4096;
 
@@ -135,7 +137,11 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Argv[I], "--fallback")) {
       WantFallback = true;
       UseSession = true;
-    } else if (!std::strcmp(Argv[I], "--trace"))
+    } else if (!std::strcmp(Argv[I], "--workers") && I + 1 < Argc)
+      Workers = std::strtol(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--tenants") && I + 1 < Argc)
+      TenantsN = std::strtol(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--trace"))
       WantTrace = true;
     else if (!std::strcmp(Argv[I], "--stats"))
       WantStats = true;
@@ -144,7 +150,7 @@ int main(int Argc, char **Argv) {
     else
       FileName = Argv[I];
   }
-  if (SliceSteps == 0 || DeadlineMs < 0)
+  if (SliceSteps == 0 || DeadlineMs < 0 || Workers < 0 || TenantsN < 1)
     return usage();
   if (FileName.empty())
     return usage();
@@ -187,11 +193,87 @@ int main(int Argc, char **Argv) {
   }
   if (Repeat < 1)
     return usage();
-  prepare::EngineId PrepId;
-  if (!prepareIdFor(EngineName, PrepId))
+  const engine::EngineInfo *Engine = engine::findEngine(EngineName);
+  if (!Engine)
     return usage();
+  const prepare::EngineId PrepId = Engine->Id;
   RunOutcome O;
   uint32_t Entry = Sys.entryOf(WordName);
+
+  // The scheduler path: the word becomes one job per tenant, and the
+  // fleet is recycled --repeat times through a fixed worker pool.
+  if (Workers > 0) {
+    sched::SchedConfig SchedCfg;
+    SchedCfg.Workers = static_cast<unsigned>(Workers);
+    SchedCfg.SliceSteps = SliceSteps;
+    sched::SessionScheduler Sched(SchedCfg);
+    sched::JobSpec Spec;
+    Spec.Entry = Entry;
+    Spec.FuelSteps = FuelSteps ? FuelSteps : UINT64_MAX;
+    Spec.Deadline = std::chrono::milliseconds(DeadlineMs);
+    Spec.ConfirmFaults = WantFallback;
+    std::vector<sched::Job *> Jobs;
+    for (long T = 0; T < TenantsN; ++T)
+      Jobs.push_back(Sched.createJob(
+          Sched.addTenant("tenant-" + std::to_string(T)), Sys.Prog,
+          Engine->Id, Machine, Spec));
+    const auto S0 = std::chrono::steady_clock::now();
+    for (long R = 0; R < Repeat; ++R) {
+      for (sched::Job *J : Jobs) {
+        if (R) {
+          J->machine().resetOutput(); // keep only the final run's output
+          Sched.rearm(J);
+        }
+        if (Sched.submit(J) != sched::SubmitResult::Admitted) {
+          std::fprintf(stderr, "forth_run: scheduler refused a job\n");
+          return 1;
+        }
+      }
+      for (sched::Job *J : Jobs)
+        Sched.wait(J);
+    }
+    const double SchedNs = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - S0)
+            .count());
+    Sched.drain();
+
+    const sched::SchedSnapshot Snap = Sched.snapshot();
+    std::fprintf(stderr,
+                 "( scheduler: %u workers, %lld tenants, %llu dispatches, "
+                 "%llu steps in %.0f ns )\n",
+                 Snap.Workers, static_cast<long long>(TenantsN),
+                 static_cast<unsigned long long>(Snap.totalDispatches()),
+                 static_cast<unsigned long long>(Snap.totalSteps()),
+                 SchedNs);
+    std::fprintf(stderr, "( dispatch latency: p50 %.0f ns, p99 %.0f ns )\n",
+                 Snap.latencyPercentileNs(0.50),
+                 Snap.latencyPercentileNs(0.99));
+    for (const sched::TenantCounters &TC : Snap.Tenants)
+      std::fprintf(
+          stderr,
+          "(   %s: %llu dispatches, %llu slices, %llu steps, "
+          "%llu preemptions )\n",
+          TC.Name.c_str(), static_cast<unsigned long long>(TC.Dispatches),
+          static_cast<unsigned long long>(TC.Slices),
+          static_cast<unsigned long long>(TC.Steps),
+          static_cast<unsigned long long>(TC.Preemptions));
+
+    std::fputs(Jobs[0]->machine().Out.c_str(), stdout);
+    int Rc = 0;
+    for (sched::Job *J : Jobs) {
+      const session::SessionResult &R = J->result();
+      if (R.Stop == session::StopKind::Halted)
+        continue;
+      std::fprintf(stderr,
+                   "forth_run: tenant %u stop: %s after %llu steps%s\n",
+                   J->tenant(), session::stopKindName(R.Stop),
+                   static_cast<unsigned long long>(R.Outcome.Steps),
+                   R.Resumable ? " (resumable)" : "");
+      Rc = R.Resumable || R.Stop == session::StopKind::Quarantined ? 3 : 1;
+    }
+    return Rc;
+  }
 
   // The supervised session implies the prepare path: it runs a
   // PreparedCode in slices and owns its own ExecContext.
@@ -225,24 +307,10 @@ int main(int Argc, char **Argv) {
     } else if (WantPrepare) {
       auto PC = prepare::globalPrepareCache().getOrPrepare(Sys.Prog, PrepId);
       O = prepare::runPrepared(*PC, Ctx, Entry);
-    } else if (EngineName == "dynamic3") {
-      O = dynamic::runDynamic3Engine(Ctx, Entry);
-    } else if (EngineName == "static" || EngineName == "static-optimal") {
-      staticcache::StaticOptions SO;
-      SO.TwoPassOptimal = EngineName == "static-optimal";
-      staticcache::SpecProgram SP = staticcache::compileStatic(Sys.Prog, SO);
-      O = staticcache::runStaticEngine(SP, Ctx, Entry);
     } else {
-      dispatch::EngineKind K;
-      if (EngineName == "switch")
-        K = dispatch::EngineKind::Switch;
-      else if (EngineName == "threaded")
-        K = dispatch::EngineKind::Threaded;
-      else if (EngineName == "call-threaded")
-        K = dispatch::EngineKind::CallThreaded;
-      else // threaded-tos (prepareIdFor vetted the name)
-        K = dispatch::EngineKind::ThreadedTos;
-      O = dispatch::runEngine(K, Ctx, Entry);
+      engine::RunOptions Opts;
+      Opts.Entry = Entry;
+      O = engine::runEngine(Engine->Id, Sys.Prog, Ctx, Opts);
     }
     if (O.Status != RunStatus::Halted)
       break;

@@ -23,12 +23,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "dynamic/Dynamic3Engine.h"
-#include "dynamic/ModelInterpreter.h"
+#include "dispatch/EngineRegistry.h"
 #include "forth/Forth.h"
 #include "harness/FaultInject.h"
-#include "staticcache/StaticEngine.h"
-#include "staticcache/StaticSpec.h"
 #include "superinst/Superinst.h"
 #include "support/Rng.h"
 
@@ -112,50 +109,14 @@ std::string randomProgram(Rng &R) {
 constexpr uint64_t FuzzStepBudget = 200000;
 
 Observed observe(const forth::System &Sys, const Code &Prog,
-                 uint32_t Entry, int Which) {
+                 uint32_t Entry, engine::EngineId Which) {
   Vm Copy = Sys.Machine;
   Copy.resetOutput();
   ExecContext Ctx(Prog, Copy);
-  Ctx.MaxSteps = FuzzStepBudget;
-  RunOutcome O;
-  switch (Which) {
-  case 0:
-    O = dispatch::runSwitchEngine(Ctx, Entry);
-    break;
-  case 1:
-    O = dispatch::runThreadedEngine(Ctx, Entry);
-    break;
-  case 2:
-    O = dispatch::runCallThreadedEngine(Ctx, Entry);
-    break;
-  case 3:
-    O = dispatch::runThreadedTosEngine(Ctx, Entry);
-    break;
-  case 4:
-    O = dynamic::runDynamic3Engine(Ctx, Entry);
-    break;
-  case 5: {
-    dynamic::ModelConfig Cfg;
-    Cfg.Policy = {3, 2};
-    Cfg.VerifyShadow = true;
-    O = dynamic::runModelInterpreter(Ctx, Entry, Cfg).Outcome;
-    break;
-  }
-  case 6: {
-    staticcache::SpecProgram SP = staticcache::compileStatic(Prog);
-    O = staticcache::runStaticEngine(SP, Ctx, Entry);
-    break;
-  }
-  case 7: {
-    staticcache::StaticOptions Opts;
-    Opts.TwoPassOptimal = true;
-    staticcache::SpecProgram SP = staticcache::compileStatic(Prog, Opts);
-    O = staticcache::runStaticEngine(SP, Ctx, Entry);
-    break;
-  }
-  default:
-    sc::fatalError("bad engine id");
-  }
+  engine::RunOptions Opts;
+  Opts.Entry = Entry;
+  Opts.MaxSteps = FuzzStepBudget;
+  RunOutcome O = engine::runEngine(Which, Prog, Ctx, Opts);
   Observed Obs;
   Obs.Status = O.Status;
   Obs.DS.assign(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
@@ -169,9 +130,6 @@ int main(int Argc, char **Argv) {
   uint64_t Iters = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 2000;
   uint64_t Seed = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : 0x5eedf00d;
   Rng R(Seed);
-  static const char *const Names[] = {
-      "switch",        "threaded", "call-threaded", "threaded-tos",
-      "dynamic3",      "model",    "static-greedy", "static-optimal"};
 
   uint64_t Divergences = 0;
   for (uint64_t Iter = 0; Iter < Iters; ++Iter) {
@@ -192,7 +150,7 @@ int main(int Argc, char **Argv) {
     Limits.MaxSteps = FuzzStepBudget;
     harness::EngineObservation HRef = harness::observeEngine(
         Sys, Sys.Prog, Entry, harness::EngineId::Switch, Limits);
-    for (int E = 1; E <= 7; ++E) {
+    for (unsigned E = 1; E < engine::NumEngineIds; ++E) {
       harness::EngineId Id = static_cast<harness::EngineId>(E);
       harness::EngineObservation Got =
           harness::observeEngine(Sys, Sys.Prog, Entry, Id, Limits);
@@ -215,12 +173,14 @@ int main(int Argc, char **Argv) {
     superinst::CombineResult C =
         superinst::combineSuperinstructions(Sys.Prog);
     uint32_t CEntry = C.Combined.findWord("main")->Entry;
-    for (int E : {1, 4, 6}) {
+    for (engine::EngineId E :
+         {engine::EngineId::Threaded, engine::EngineId::Dynamic3,
+          engine::EngineId::StaticGreedy}) {
       Observed Got = observe(Sys, C.Combined, CEntry, E);
       if (!(Got == Ref)) {
         std::printf("DIVERGENCE (superinst, %s):\n  %s\n  ref: %s\n  got: "
                     "%s\n",
-                    Names[E], Src.c_str(), describe(Ref).c_str(),
+                    engine::engineName(E), Src.c_str(), describe(Ref).c_str(),
                     describe(Got).c_str());
         ++Divergences;
       }

@@ -53,6 +53,12 @@ if [ "$MODE" = bench-smoke ]; then
   echo "==== session overhead contracts"
   SC_BENCH_SMOKE=1 "$BUILD"/bench/session_overhead > /dev/null
   echo "session contracts held (zero-alloc slice loop, exact slice counts)"
+  # Scheduler contracts: scheduled jobs reproduce the sequential step
+  # count, the steady-state rearm/submit/dispatch loop allocates
+  # nothing, and multi-worker throughput scales (on multi-core hosts).
+  echo "==== scheduler throughput contracts"
+  SC_BENCH_SMOKE=1 "$BUILD"/bench/sched_throughput > /dev/null
+  echo "scheduler contracts held (zero-alloc dispatch loop)"
   "$(dirname "$0")"/bench.sh --smoke --self-check "$BUILD"
 elif [ "$MODE" = sanitize ]; then
   if [ "$SAN_KINDS" = thread ]; then

@@ -1,0 +1,188 @@
+//===-- dispatch/EngineRegistry.cpp - The one engine table ----------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+//
+// The only place in the tree where engine names are spelled out and the
+// per-engine entry points are enumerated. registry_tests greps the
+// sources to keep it that way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/EngineRegistry.h"
+
+#include "dispatch/Engines.h"
+#include "dynamic/Dynamic3Engine.h"
+#include "dynamic/ModelInterpreter.h"
+#include "prepare/Prepare.h"
+#include "staticcache/StaticEngine.h"
+#include "staticcache/StaticSpec.h"
+#include "support/Assert.h"
+
+using namespace sc;
+using namespace sc::engine;
+using namespace sc::vm;
+
+namespace {
+
+/// Shared normalized-entry plumbing: installs the folded options into
+/// the context, routes prepared runs through the prepare subsystem, and
+/// keeps Ctx.Prog pointing at the right program for the duration.
+template <typename LegacyFn>
+RunOutcome normalizedRun(EngineId Id, const Code &Prog, ExecContext &Ctx,
+                         const RunOptions &Opts, LegacyFn Legacy) {
+  SC_ASSERT(Ctx.Machine, "unbound ExecContext");
+  Ctx.MaxSteps = Opts.MaxSteps;
+  Ctx.Resume = Opts.Resume;
+  if (Opts.Prepared) {
+    SC_ASSERT(Opts.Prepared->Engine == Id,
+              "prepared handle belongs to another engine");
+    return prepare::runPrepared(*Opts.Prepared, Ctx, Opts.Entry);
+  }
+  // Legacy single-shot path: run directly on the caller's program,
+  // translating/specializing on the fly like the historical entry
+  // points did.
+  const Code *Saved = Ctx.Prog;
+  Ctx.Prog = &Prog;
+  RunOutcome Out = Legacy(Prog, Ctx, Opts.Entry);
+  Ctx.Prog = Saved;
+  return Out;
+}
+
+RunOutcome runSwitchRow(const Code &Prog, ExecContext &Ctx,
+                        const RunOptions &Opts) {
+  return normalizedRun(EngineId::Switch, Prog, Ctx, Opts,
+                       [](const Code &, ExecContext &C, uint32_t E) {
+                         return dispatch::runSwitchEngine(C, E);
+                       });
+}
+
+RunOutcome runThreadedRow(const Code &Prog, ExecContext &Ctx,
+                          const RunOptions &Opts) {
+  return normalizedRun(EngineId::Threaded, Prog, Ctx, Opts,
+                       [](const Code &, ExecContext &C, uint32_t E) {
+                         return dispatch::runThreadedEngine(C, E);
+                       });
+}
+
+RunOutcome runCallThreadedRow(const Code &Prog, ExecContext &Ctx,
+                              const RunOptions &Opts) {
+  return normalizedRun(EngineId::CallThreaded, Prog, Ctx, Opts,
+                       [](const Code &, ExecContext &C, uint32_t E) {
+                         return dispatch::runCallThreadedEngine(C, E);
+                       });
+}
+
+RunOutcome runThreadedTosRow(const Code &Prog, ExecContext &Ctx,
+                             const RunOptions &Opts) {
+  return normalizedRun(EngineId::ThreadedTos, Prog, Ctx, Opts,
+                       [](const Code &, ExecContext &C, uint32_t E) {
+                         return dispatch::runThreadedTosEngine(C, E);
+                       });
+}
+
+RunOutcome runDynamic3Row(const Code &Prog, ExecContext &Ctx,
+                          const RunOptions &Opts) {
+  return normalizedRun(EngineId::Dynamic3, Prog, Ctx, Opts,
+                       [](const Code &, ExecContext &C, uint32_t E) {
+                         return dynamic::runDynamic3Engine(C, E);
+                       });
+}
+
+RunOutcome runModelRow(const Code &Prog, ExecContext &Ctx,
+                       const RunOptions &Opts) {
+  return normalizedRun(
+      EngineId::Model, Prog, Ctx, Opts,
+      [](const Code &, ExecContext &C, uint32_t E) {
+        return dynamic::runModelInterpreter(C, E,
+                                            dynamic::referenceModelConfig())
+            .Outcome;
+      });
+}
+
+template <bool Optimal>
+RunOutcome runStaticRow(const Code &Prog, ExecContext &Ctx,
+                        const RunOptions &Opts) {
+  return normalizedRun(
+      Optimal ? EngineId::StaticOptimal : EngineId::StaticGreedy, Prog, Ctx,
+      Opts, [](const Code &P, ExecContext &C, uint32_t E) {
+        staticcache::StaticOptions SO;
+        SO.TwoPassOptimal = Optimal;
+        staticcache::SpecProgram SP = staticcache::compileStatic(P, SO);
+        return staticcache::runStaticEngine(SP, C, E);
+      });
+}
+
+constexpr EngineCaps referenceCaps() {
+  EngineCaps C;
+  C.Reference = true;
+  return C;
+}
+
+constexpr EngineCaps cachingCaps() { return EngineCaps{}; }
+
+constexpr EngineCaps staticCaps() {
+  EngineCaps C;
+  C.Static = true;
+  return C;
+}
+
+const EngineInfo Registry[NumEngineIds] = {
+    {EngineId::Switch, "switch", nullptr, referenceCaps(), runSwitchRow},
+    {EngineId::Threaded, "threaded", nullptr, referenceCaps(),
+     runThreadedRow},
+    {EngineId::CallThreaded, "call-threaded", nullptr,
+     [] {
+       EngineCaps C = referenceCaps();
+       C.Reentrant = false; // VM registers live in static storage
+       return C;
+     }(),
+     runCallThreadedRow},
+    {EngineId::ThreadedTos, "threaded-tos", nullptr, referenceCaps(),
+     runThreadedTosRow},
+    {EngineId::Dynamic3, "dynamic3", nullptr, cachingCaps(), runDynamic3Row},
+    {EngineId::Model, "model", nullptr, cachingCaps(), runModelRow},
+    {EngineId::StaticGreedy, "static-greedy", "static", staticCaps(),
+     runStaticRow<false>},
+    {EngineId::StaticOptimal, "static-optimal", nullptr, staticCaps(),
+     runStaticRow<true>},
+};
+
+} // namespace
+
+const EngineInfo &sc::engine::engineInfo(EngineId E) {
+  const unsigned I = static_cast<unsigned>(E);
+  SC_ASSERT(I < NumEngineIds, "bad EngineId");
+  SC_ASSERT(Registry[I].Id == E, "registry rows out of order");
+  return Registry[I];
+}
+
+const EngineInfo *sc::engine::allEngines(size_t &Count) {
+  Count = NumEngineIds;
+  return Registry;
+}
+
+const EngineInfo *sc::engine::findEngine(std::string_view Name) {
+  for (const EngineInfo &Row : Registry)
+    if (Name == Row.Name || (Row.Alias && Name == Row.Alias))
+      return &Row;
+  return nullptr;
+}
+
+const char *sc::engine::engineName(EngineId E) { return engineInfo(E).Name; }
+
+vm::RunOutcome sc::engine::runEngine(EngineId E, const Code &Prog,
+                                     ExecContext &Ctx,
+                                     const RunOptions &Opts) {
+  return engineInfo(E).Run(Prog, Ctx, Opts);
+}
+
+EngineId sc::engine::referenceEngine() {
+  // The reference row with exactly comparable step counts; Switch by
+  // construction (the comparator and the session fallback rely on it).
+  static_assert(static_cast<unsigned>(EngineId::Switch) == 0,
+                "Switch must stay the reference engine");
+  return Registry[0].Id;
+}

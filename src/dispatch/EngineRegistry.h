@@ -1,0 +1,137 @@
+//===-- dispatch/EngineRegistry.h - The one engine table -------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth about the project's engines: one table
+/// mapping engine name <-> EngineId <-> run/prepare entry points, with
+/// capability flags. Every consumer that used to keep its own engine
+/// list — the forth_run CLI, the differential fuzzer, the injection
+/// harness, the bench binaries, the session layer's fallback selection —
+/// iterates or queries this table instead (a test greps the tree to keep
+/// it that way).
+///
+/// The table also normalizes the entry signature: every engine runs as
+///
+///   runEngine(Id, Prog, Ctx, RunOptions{Entry, MaxSteps, Resume,
+///                                       Prepared})
+///
+/// where RunOptions folds the knobs that previously varied per engine —
+/// the step budget and resume flag (ExecContext fields the caller had to
+/// set), and the optional PreparedCode handle (a separate entry-point
+/// family). With a prepared handle the run reuses the translated stream;
+/// without one it takes the legacy single-shot path, retranslating (or
+/// re-specializing, for the static flavors) on every call.
+///
+/// EngineId is the canonical engine enumeration; prepare::EngineId and
+/// harness::EngineId are aliases of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_DISPATCH_ENGINEREGISTRY_H
+#define SC_DISPATCH_ENGINEREGISTRY_H
+
+#include "vm/ExecContext.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace sc::prepare {
+struct PreparedCode;
+} // namespace sc::prepare
+
+namespace sc::engine {
+
+/// Every engine in the project, in reference order (Switch is the
+/// reference implementation the differential harness compares against).
+enum class EngineId : uint8_t {
+  Switch,        ///< giant switch (Fig. 2); the canonical reference
+  Threaded,      ///< direct threading, labels-as-values (Fig. 8)
+  CallThreaded,  ///< call threading, static VM registers (Fig. 3)
+  ThreadedTos,   ///< direct threading + TOS register (Fig. 12)
+  Dynamic3,      ///< 3-state dynamic stack cache (Section 4)
+  Model,         ///< value-level dynamic-cache model with shadow checks
+  StaticGreedy,  ///< static cache, greedy single-pass codegen (Section 5)
+  StaticOptimal, ///< static cache, two-pass optimal codegen
+};
+inline constexpr unsigned NumEngineIds = 8;
+
+/// What an engine can and cannot do; drives caller policy (comparison
+/// masking, reentrancy guards, fallback selection) without per-engine
+/// switches.
+struct EngineCaps {
+  /// prepareCode() produces a reusable artifact for this engine (all of
+  /// them today; kept explicit so callers ask the table, not a list).
+  bool Prepared = true;
+  /// A StepLimit stop leaves canonical state resumable at Fault.Pc on
+  /// any engine (docs/TRAPS.md). True for every engine; static flavors
+  /// additionally require the resume PC to be a basic-block leader of
+  /// their specialized code (query PreparedCode::spec()->OrigToSpec).
+  bool Resumable = true;
+  /// Executes transformed code: step counts and StepLimit stop points
+  /// are not comparable against the stream engines, and differential
+  /// comparators mask those fields.
+  bool Static = false;
+  /// Safe to run concurrently on distinct ExecContexts. CallThreaded
+  /// keeps its VM registers in static storage and is not.
+  bool Reentrant = true;
+  /// One of the paper's four reference dispatch techniques.
+  bool Reference = false;
+};
+
+/// The per-engine knobs the normalized entry point folds together.
+struct RunOptions {
+  uint32_t Entry = 0;              ///< instruction index to start from
+  uint64_t MaxSteps = UINT64_MAX;  ///< guest-step budget for this run
+  bool Resume = false;             ///< re-entry: keep the entry sentinel
+  /// Reuse this prepared translation (must be for the same engine and
+  /// program). Null takes the legacy single-shot path: translate or
+  /// specialize, run once, throw the translation away.
+  const prepare::PreparedCode *Prepared = nullptr;
+};
+
+/// One row of the registry.
+struct EngineInfo {
+  EngineId Id = EngineId::Switch;
+  const char *Name = nullptr;  ///< canonical CLI/report name
+  const char *Alias = nullptr; ///< alternate CLI spelling, or null
+  EngineCaps Caps;
+  /// Normalized entry point. Installs Opts.MaxSteps / Opts.Resume into
+  /// \p Ctx, points Ctx.Prog at \p Prog (or the prepared snapshot) for
+  /// the duration of the run, and restores it before returning.
+  vm::RunOutcome (*Run)(const vm::Code &Prog, vm::ExecContext &Ctx,
+                        const RunOptions &Opts) = nullptr;
+};
+
+/// The registry row for \p E.
+const EngineInfo &engineInfo(EngineId E);
+
+/// All engines, reference order. \p Count receives NumEngineIds.
+const EngineInfo *allEngines(size_t &Count);
+
+/// Looks an engine up by canonical name or alias; null when unknown.
+const EngineInfo *findEngine(std::string_view Name);
+
+/// Canonical engine name (engineInfo(E).Name).
+const char *engineName(EngineId E);
+
+/// Runs \p Prog under engine \p E with the normalized options.
+vm::RunOutcome runEngine(EngineId E, const vm::Code &Prog,
+                         vm::ExecContext &Ctx, const RunOptions &Opts);
+
+/// The canonical reference engine every fallback/replay decision uses
+/// (the row flagged Reference with exactly-comparable step counts).
+EngineId referenceEngine();
+
+/// True for the statically specialized flavors (engineInfo(E).Caps
+/// .Static, constexpr-friendly for array sizing and masks).
+inline constexpr bool isStaticEngine(EngineId E) {
+  return E == EngineId::StaticGreedy || E == EngineId::StaticOptimal;
+}
+
+} // namespace sc::engine
+
+#endif // SC_DISPATCH_ENGINEREGISTRY_H

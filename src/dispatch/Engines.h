@@ -27,12 +27,16 @@
 #ifndef SC_DISPATCH_ENGINES_H
 #define SC_DISPATCH_ENGINES_H
 
+#include "dispatch/EngineRegistry.h"
 #include "vm/ExecContext.h"
 
 namespace sc::dispatch {
 
 /// Identifies one of the reference engines; used by tests and benches to
-/// iterate over all of them.
+/// iterate over just the paper's four dispatch techniques. The values
+/// deliberately coincide with the first four engine::EngineId rows — the
+/// registry is the canonical enumeration; this enum survives as the
+/// reference subset.
 enum class EngineKind {
   Switch,
   Threaded,
@@ -41,7 +45,18 @@ enum class EngineKind {
 };
 
 /// Human-readable engine name.
-const char *engineName(EngineKind K);
+/// \deprecated Thin wrapper over the registry; use engine::engineName.
+inline const char *engineName(EngineKind K) {
+  return engine::engineName(static_cast<engine::EngineId>(K));
+}
+
+/// \name Single-shot entry points
+/// \deprecated Thin wrappers kept for one PR: they translate into
+/// ExecContext scratch on every call and read the step budget and
+/// resume flag out of the context. New code goes through
+/// engine::runEngine, whose RunOptions folds those knobs (and the
+/// prepared-stream handle) explicitly.
+/// @{
 
 /// Switch dispatch (Fig. 2): one big switch in a loop; virtual machine
 /// registers live in locals.
@@ -60,7 +75,20 @@ vm::RunOutcome runCallThreadedEngine(vm::ExecContext &Ctx, uint32_t Entry);
 vm::RunOutcome runThreadedTosEngine(vm::ExecContext &Ctx, uint32_t Entry);
 
 /// Runs the engine selected by \p K.
-vm::RunOutcome runEngine(EngineKind K, vm::ExecContext &Ctx, uint32_t Entry);
+/// \deprecated Thin wrapper over the registry's normalized entry point;
+/// forwards the context's step budget and resume flag so callers that
+/// set those fields directly keep their behavior.
+inline vm::RunOutcome runEngine(EngineKind K, vm::ExecContext &Ctx,
+                                uint32_t Entry) {
+  engine::RunOptions Opts;
+  Opts.Entry = Entry;
+  Opts.MaxSteps = Ctx.MaxSteps;
+  Opts.Resume = Ctx.Resume;
+  return engine::runEngine(static_cast<engine::EngineId>(K), *Ctx.Prog, Ctx,
+                           Opts);
+}
+
+/// @}
 
 /// \name Two-phase (prepare once, run many) entry points
 ///

@@ -126,6 +126,13 @@ public:
 
 } // namespace
 
+sc::dynamic::ModelConfig sc::dynamic::referenceModelConfig() {
+  ModelConfig Cfg;
+  Cfg.Policy = {3, 2};
+  Cfg.VerifyShadow = true;
+  return Cfg;
+}
+
 sc::dynamic::ModelOutcome
 sc::dynamic::runModelInterpreter(ExecContext &Ctx, uint32_t Entry,
                                  const ModelConfig &Config) {

@@ -47,6 +47,12 @@ struct ModelConfig {
 ModelOutcome runModelInterpreter(vm::ExecContext &Ctx, uint32_t Entry,
                                  const ModelConfig &Config);
 
+/// The configuration the engine registry, the differential harness and
+/// the prepare subsystem all run the model under: a 3-register minimal
+/// organization with overflow followup 2, shadow checking on (the model
+/// exists to be cross-checked, so the registry keeps the checks).
+ModelConfig referenceModelConfig();
+
 } // namespace sc::dynamic
 
 #endif // SC_DYNAMIC_MODELINTERPRETER_H

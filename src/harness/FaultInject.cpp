@@ -7,17 +7,13 @@
 
 #include "harness/FaultInject.h"
 
-#include "dispatch/Engines.h"
-#include "dynamic/Dynamic3Engine.h"
-#include "dynamic/ModelInterpreter.h"
-#include "staticcache/StaticEngine.h"
+#include "prepare/PrepareCache.h"
 #include "staticcache/StaticSpec.h"
 #include "support/Assert.h"
 #include "support/Rng.h"
 #include "vm/FaultDiag.h"
 
 #include <algorithm>
-#include <optional>
 
 using namespace sc;
 using namespace sc::harness;
@@ -25,57 +21,38 @@ using namespace sc::vm;
 
 namespace {
 
-/// Dispatches runs of any engine against a caller-owned ExecContext.
-/// Static programs are compiled lazily, once per runner, so a sliced
-/// observation reuses one SpecProgram across all its slices.
+/// Dispatches runs of any engine against a caller-owned ExecContext,
+/// through the registry's normalized entry point. A private PrepareCache
+/// prepares each flavor once per runner, so a sliced observation reuses
+/// one translation (and, for the static flavors, one SpecProgram) across
+/// all its slices.
 struct EngineRunner {
   const Code &Prog;
-  std::optional<staticcache::SpecProgram> Specs[2]; // [greedy, optimal]
+  prepare::PrepareCache Cache;
 
   explicit EngineRunner(const Code &P) : Prog(P) {}
 
-  const staticcache::SpecProgram &spec(EngineId E) {
-    const bool Optimal = E == EngineId::StaticOptimal;
-    std::optional<staticcache::SpecProgram> &Slot = Specs[Optimal];
-    if (!Slot) {
-      staticcache::StaticOptions Opts;
-      Opts.TwoPassOptimal = Optimal;
-      Slot = staticcache::compileStatic(Prog, Opts);
-    }
-    return *Slot;
+  const prepare::PreparedCode &prepared(EngineId E) {
+    return *Cache.getOrPrepare(Prog, E);
   }
 
   /// True when original PC \p Pc is a basic-block leader of \p E's
   /// specialized program, i.e. a legal static entry point.
   bool canEnter(EngineId E, uint32_t Pc) {
-    const staticcache::SpecProgram &SP = spec(E);
+    const staticcache::SpecProgram &SP = *prepared(E).spec();
     return Pc < SP.OrigToSpec.size() &&
            SP.OrigToSpec[Pc] != staticcache::InvalidSpec;
   }
 
   RunOutcome run(ExecContext &Ctx, EngineId E, uint32_t Entry) {
-    switch (E) {
-    case EngineId::Switch:
-      return dispatch::runSwitchEngine(Ctx, Entry);
-    case EngineId::Threaded:
-      return dispatch::runThreadedEngine(Ctx, Entry);
-    case EngineId::CallThreaded:
-      return dispatch::runCallThreadedEngine(Ctx, Entry);
-    case EngineId::ThreadedTos:
-      return dispatch::runThreadedTosEngine(Ctx, Entry);
-    case EngineId::Dynamic3:
-      return dynamic::runDynamic3Engine(Ctx, Entry);
-    case EngineId::Model: {
-      dynamic::ModelConfig Cfg;
-      Cfg.Policy = {3, 2};
-      Cfg.VerifyShadow = true;
-      return dynamic::runModelInterpreter(Ctx, Entry, Cfg).Outcome;
-    }
-    case EngineId::StaticGreedy:
-    case EngineId::StaticOptimal:
-      return staticcache::runStaticEngine(spec(E), Ctx, Entry);
-    }
-    sc::unreachable("bad engine id");
+    engine::RunOptions Opts;
+    Opts.Entry = Entry;
+    // Callers stage the budget and resume flag in the context; forward
+    // them so the normalized entry point reinstalls the same values.
+    Opts.MaxSteps = Ctx.MaxSteps;
+    Opts.Resume = Ctx.Resume;
+    Opts.Prepared = &prepared(E);
+    return engine::runEngine(E, Prog, Ctx, Opts);
   }
 };
 
@@ -92,28 +69,6 @@ EngineObservation snapshotObservation(const ExecContext &Ctx, const Vm &Machine,
 }
 
 } // namespace
-
-const char *sc::harness::engineName(EngineId E) {
-  switch (E) {
-  case EngineId::Switch:
-    return "switch";
-  case EngineId::Threaded:
-    return "threaded";
-  case EngineId::CallThreaded:
-    return "call-threaded";
-  case EngineId::ThreadedTos:
-    return "threaded-tos";
-  case EngineId::Dynamic3:
-    return "dynamic3";
-  case EngineId::Model:
-    return "model";
-  case EngineId::StaticGreedy:
-    return "static-greedy";
-  case EngineId::StaticOptimal:
-    return "static-optimal";
-  }
-  sc::unreachable("bad engine id");
-}
 
 EngineObservation sc::harness::observeEngine(const forth::System &Sys,
                                              const Code &Prog, uint32_t Entry,

@@ -33,6 +33,7 @@
 #ifndef SC_HARNESS_FAULTINJECT_H
 #define SC_HARNESS_FAULTINJECT_H
 
+#include "dispatch/EngineRegistry.h"
 #include "forth/Forth.h"
 #include "vm/RunResult.h"
 
@@ -42,21 +43,15 @@
 
 namespace sc::harness {
 
-/// Engines under differential test, in reference order (Switch is the
-/// reference implementation).
-enum class EngineId : uint8_t {
-  Switch,
-  Threaded,
-  CallThreaded,
-  ThreadedTos,
-  Dynamic3,
-  Model,
-  StaticGreedy,
-  StaticOptimal,
-};
-inline constexpr unsigned NumEngines = 8;
+/// Engines under differential test — the canonical registry enumeration
+/// (Switch is the reference implementation the comparator trusts).
+using EngineId = engine::EngineId;
+inline constexpr unsigned NumEngines = engine::NumEngineIds;
 
-const char *engineName(EngineId E);
+// Re-exported (not wrapped): argument-dependent lookup on EngineId finds
+// the engine:: originals anyway, and a wrapper would make unqualified
+// calls ambiguous.
+using engine::engineName;
 
 /// Static engines execute transformed code: step counts (micros and
 /// removed manipulations change the count) and therefore StepLimit stop
@@ -64,9 +59,7 @@ const char *engineName(EngineId E);
 /// masks those fields for them (see docs/TRAPS.md). Return-stack values
 /// are compared exactly for every engine: calls push canonical original
 /// instruction indices even in specialized code.
-inline bool isStaticEngine(EngineId E) {
-  return E == EngineId::StaticGreedy || E == EngineId::StaticOptimal;
-}
+using engine::isStaticEngine;
 
 /// Injectable resource limits for one observed run.
 struct RunLimits {

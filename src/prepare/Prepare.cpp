@@ -9,6 +9,7 @@
 
 #include "dispatch/Engines.h"
 #include "dynamic/Dynamic3Engine.h"
+#include "dynamic/ModelInterpreter.h"
 #include "staticcache/StaticEngine.h"
 #include "superinst/Superinst.h"
 #include "support/Assert.h"
@@ -19,26 +20,6 @@
 using namespace sc;
 using namespace sc::prepare;
 using namespace sc::vm;
-
-const char *sc::prepare::engineIdName(EngineId E) {
-  switch (E) {
-  case EngineId::Switch:
-    return "switch";
-  case EngineId::Threaded:
-    return "threaded";
-  case EngineId::CallThreaded:
-    return "call-threaded";
-  case EngineId::ThreadedTos:
-    return "threaded-tos";
-  case EngineId::Dynamic3:
-    return "dynamic3";
-  case EngineId::StaticGreedy:
-    return "static-greedy";
-  case EngineId::StaticOptimal:
-    return "static-optimal";
-  }
-  sc::unreachable("bad EngineId");
-}
 
 uint32_t PreparedCode::entryOf(const std::string &Name) const {
   const Word *W = Snapshot->findWord(Name);
@@ -116,7 +97,8 @@ sc::prepare::prepareCode(const Code &Prog, EngineId Engine,
 
   switch (Engine) {
   case EngineId::Switch:
-    break; // dispatches on the snapshot directly; nothing to translate
+  case EngineId::Model:
+    break; // dispatch on the snapshot directly; nothing to translate
   case EngineId::Threaded:
   case EngineId::CallThreaded:
   case EngineId::ThreadedTos:
@@ -168,6 +150,11 @@ vm::RunOutcome sc::prepare::runPrepared(const PreparedCode &PC,
     break;
   case EngineId::Dynamic3:
     O = dynamic::runDynamic3Prepared(Ctx, Entry, PC.stream());
+    break;
+  case EngineId::Model:
+    O = dynamic::runModelInterpreter(Ctx, Entry,
+                                     dynamic::referenceModelConfig())
+            .Outcome;
     break;
   case EngineId::StaticGreedy:
   case EngineId::StaticOptimal:

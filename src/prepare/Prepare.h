@@ -24,6 +24,7 @@
 #ifndef SC_PREPARE_PREPARE_H
 #define SC_PREPARE_PREPARE_H
 
+#include "dispatch/EngineRegistry.h"
 #include "staticcache/StaticSpec.h"
 #include "vm/ExecContext.h"
 
@@ -33,23 +34,19 @@
 
 namespace sc::prepare {
 
-/// The engine flavors a Code can be prepared for. One prepared artifact
-/// serves exactly one flavor (their stream formats differ: label
-/// addresses, function pointers, opcode indices, or specialized
-/// handlers).
-enum class EngineId : uint8_t {
-  Switch,        ///< no stream; dispatches on the snapshot directly
-  Threaded,      ///< direct threading (label addresses)
-  CallThreaded,  ///< call threading (primitive function pointers)
-  ThreadedTos,   ///< direct threading + TOS register
-  Dynamic3,      ///< 3-state dynamic cache (opcode-index stream)
-  StaticGreedy,  ///< static cache, greedy single-pass codegen
-  StaticOptimal, ///< static cache, two-pass optimal codegen
-};
-inline constexpr unsigned NumEngineIds = 7;
+/// The engine flavors a Code can be prepared for — the canonical registry
+/// enumeration. Every registry engine is preparable: most get a
+/// translated [dispatch, operand] stream, Switch and Model dispatch on
+/// the snapshot directly, and the static flavors carry a SpecProgram. One
+/// prepared artifact serves exactly one flavor (their stream formats
+/// differ: label addresses, function pointers, opcode indices, or
+/// specialized handlers).
+using EngineId = engine::EngineId;
+inline constexpr unsigned NumEngineIds = engine::NumEngineIds;
 
 /// Human-readable engine-flavor name.
-const char *engineIdName(EngineId E);
+/// \deprecated Alias for engine::engineName, kept for one PR.
+inline const char *engineIdName(EngineId E) { return engine::engineName(E); }
 
 /// Knobs for the prepare pass.
 struct PrepareOptions {

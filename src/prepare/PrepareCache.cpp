@@ -18,16 +18,16 @@ PrepareCache::getOrPrepare(const vm::Code &Prog, EngineId Engine,
   auto It = Map.find(K);
   if (It != Map.end()) {
     if (It->second->SourceVersion == Prog.version()) {
-      ++Stats.Hits;
+      Hits.fetch_add(1, std::memory_order_relaxed);
       return It->second;
     }
     // Stale: the Code mutated (or the address was recycled by a new
     // Code) since this entry was prepared.
-    ++Stats.Invalidations;
+    Invalidations.fetch_add(1, std::memory_order_relaxed);
     Map.erase(It);
   }
-  ++Stats.Misses;
-  ++Stats.Translations;
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  Translations.fetch_add(1, std::memory_order_relaxed);
   // Deliberately prepared under the lock: concurrent first runs of the
   // same program must share one translation, and prepare is fast
   // relative to the runs it amortizes over.
@@ -37,8 +37,12 @@ PrepareCache::getOrPrepare(const vm::Code &Prog, EngineId Engine,
 }
 
 metrics::PrepareCounters PrepareCache::counters() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return Stats;
+  metrics::PrepareCounters C;
+  C.Hits = Hits.load(std::memory_order_relaxed);
+  C.Misses = Misses.load(std::memory_order_relaxed);
+  C.Invalidations = Invalidations.load(std::memory_order_relaxed);
+  C.Translations = Translations.load(std::memory_order_relaxed);
+  return C;
 }
 
 void PrepareCache::clear() {

@@ -26,14 +26,27 @@
 #include "metrics/Counters.h"
 #include "prepare/Prepare.h"
 
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <unordered_map>
 
 namespace sc::prepare {
 
-/// Translation cache with hit/miss/invalidation counters. All methods
-/// are thread-safe.
+/// Translation cache with hit/miss/invalidation counters.
+///
+/// Thread-safety contract: every method may be called concurrently from
+/// any number of threads. The map is guarded by a mutex (held across
+/// prepare, so racing first lookups share one translation); the counters
+/// are individually atomic and ticked with relaxed ordering, so
+/// counters() is cheap, never blocks behind an in-flight prepare, and
+/// returns a value-consistent snapshot of each counter — but not a
+/// point-in-time-consistent snapshot across counters (a concurrent
+/// getOrPrepare may have ticked Misses and not yet Translations).
+/// Aggregate invariants like Hits + Misses == lookups only hold once the
+/// writers have quiesced. The PreparedCode artifacts handed out are
+/// immutable and safe to run from any thread (CallThreaded excepted; see
+/// PreparedCode).
 class PrepareCache {
 public:
   /// Returns the cached PreparedCode for (\p Prog, \p Engine, fusion
@@ -44,7 +57,8 @@ public:
   getOrPrepare(const vm::Code &Prog, EngineId Engine,
                const PrepareOptions &Opts = PrepareOptions());
 
-  /// Snapshot of the counters.
+  /// Relaxed-read snapshot of the counters (see the class contract for
+  /// what "snapshot" means under concurrent writers).
   metrics::PrepareCounters counters() const;
 
   /// Drops every entry (counters are kept).
@@ -72,9 +86,12 @@ private:
     }
   };
 
-  mutable std::mutex Mu;
+  mutable std::mutex Mu; ///< guards Map only; counters are atomic
   std::unordered_map<Key, std::shared_ptr<const PreparedCode>, KeyHash> Map;
-  metrics::PrepareCounters Stats;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Invalidations{0};
+  std::atomic<uint64_t> Translations{0};
 };
 
 /// The process-wide cache shared by every session.

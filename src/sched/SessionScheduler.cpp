@@ -1,0 +1,456 @@
+//===-- sched/SessionScheduler.cpp - Multi-tenant session scheduler -------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/SessionScheduler.h"
+
+#include "dispatch/EngineRegistry.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+using namespace sc;
+using namespace sc::sched;
+
+const char *sc::sched::jobStateName(JobState S) {
+  switch (S) {
+  case JobState::Idle:
+    return "idle";
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Done:
+    return "done";
+  }
+  sc::unreachable("bad job state");
+}
+
+void Job::cancel() {
+  // The session checks the flag before the first slice of every
+  // dispatch, so a queued job stops before executing any guest step.
+  Sess->cancel();
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot
+//===----------------------------------------------------------------------===//
+
+uint64_t SchedSnapshot::totalSteps() const {
+  uint64_t N = 0;
+  for (const TenantCounters &T : Tenants)
+    N += T.Steps;
+  return N;
+}
+
+uint64_t SchedSnapshot::totalDispatches() const {
+  uint64_t N = 0;
+  for (const TenantCounters &T : Tenants)
+    N += T.Dispatches;
+  return N;
+}
+
+double SchedSnapshot::latencyPercentileNs(double P) const {
+  uint64_t Total = 0;
+  for (uint64_t C : Latency)
+    Total += C;
+  if (Total == 0)
+    return 0.0;
+  const double Target = P * static_cast<double>(Total);
+  uint64_t Acc = 0;
+  for (unsigned I = 0; I < LatencyBuckets; ++I) {
+    Acc += Latency[I];
+    if (static_cast<double>(Acc) >= Target)
+      return std::ldexp(1.0, static_cast<int>(I) + 1);
+  }
+  return std::ldexp(1.0, LatencyBuckets);
+}
+
+metrics::Json sc::sched::snapshotToJson(const SchedSnapshot &S) {
+  metrics::Json O = metrics::Json::object();
+  O.set("workers", metrics::Json::number(static_cast<uint64_t>(S.Workers)));
+  O.set("busy_workers", metrics::Json::number(S.BusyWorkers));
+  O.set("total_steps", metrics::Json::number(S.totalSteps()));
+  O.set("total_dispatches", metrics::Json::number(S.totalDispatches()));
+  O.set("p50_dispatch_ns", metrics::Json::number(S.latencyPercentileNs(0.5)));
+  O.set("p99_dispatch_ns", metrics::Json::number(S.latencyPercentileNs(0.99)));
+  metrics::Json Ts = metrics::Json::array();
+  for (const TenantCounters &T : S.Tenants) {
+    metrics::Json J = metrics::Json::object();
+    J.set("name", metrics::Json::string(T.Name));
+    J.set("submitted", metrics::Json::number(T.Submitted));
+    J.set("rejected", metrics::Json::number(T.Rejected));
+    J.set("dispatches", metrics::Json::number(T.Dispatches));
+    J.set("slices", metrics::Json::number(T.Slices));
+    J.set("steps", metrics::Json::number(T.Steps));
+    J.set("preemptions", metrics::Json::number(T.Preemptions));
+    J.set("completed", metrics::Json::number(T.Completed));
+    J.set("faults", metrics::Json::number(T.Faults));
+    J.set("deadline_hits", metrics::Json::number(T.DeadlineHits));
+    J.set("cancellations", metrics::Json::number(T.Cancellations));
+    J.set("queue_depth", metrics::Json::number(T.QueueDepth));
+    Ts.push(std::move(J));
+  }
+  O.set("tenants", std::move(Ts));
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction / teardown
+//===----------------------------------------------------------------------===//
+
+SessionScheduler::SessionScheduler(SchedConfig Config) : Cfg(Config) {
+  SC_ASSERT(Cfg.Workers > 0, "a scheduler needs at least one worker");
+  SC_ASSERT(Cfg.SliceSteps > 0, "slices must make progress");
+  SC_ASSERT(Cfg.FifoDispatchSlices > 0, "a dispatch must run at least one slice");
+  if (!Cfg.Cache)
+    Cfg.Cache = &prepare::globalPrepareCache();
+  Pool.reserve(Cfg.Workers);
+  for (unsigned I = 0; I < Cfg.Workers; ++I)
+    Pool.emplace_back([this] { workerLoop(); });
+}
+
+SessionScheduler::~SessionScheduler() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    AdmissionOpen = false;
+    // Cancel whatever is still admitted so the shutdown drain terminates
+    // even for guests that would never stop on their own.
+    for (const std::unique_ptr<Job> &J : Jobs) {
+      const JobState S = J->state();
+      if (S == JobState::Queued || S == JobState::Running)
+        J->cancel();
+    }
+  }
+  shutdown();
+}
+
+TenantId SessionScheduler::addTenant(std::string Name, TenantConfig Config) {
+  SC_ASSERT(Config.QueueCapacity > 0, "a tenant needs queue space");
+  SC_ASSERT(Config.QuantumSteps > 0, "a DRR quantum must credit something");
+  std::lock_guard<std::mutex> Lock(Mu);
+  SC_ASSERT(!Stopping, "addTenant after shutdown");
+  Tenants.emplace_back();
+  TenantState &TS = Tenants.back();
+  TS.Name = std::move(Name);
+  TS.Cfg = Config;
+  // QueueCapacity bounds *waiting* jobs at admission; each worker can
+  // additionally hold one in-flight job it may requeue on preemption, so
+  // the ring needs that much headroom to never overflow.
+  TS.Queue.reserve(Config.QueueCapacity + Cfg.Workers);
+  Stats.emplace_back();
+  // Re-reserve the run ring for the new tenant count, preserving order.
+  Ring<uint32_t> Grown;
+  Grown.reserve(Tenants.size());
+  while (!RunRing.empty())
+    Grown.pushBack(RunRing.popFront());
+  RunRing = std::move(Grown);
+  return static_cast<TenantId>(Tenants.size() - 1);
+}
+
+Job *SessionScheduler::createJob(TenantId T, const vm::Code &Prog,
+                                 engine::EngineId E, const vm::Vm &ProtoMachine,
+                                 JobSpec Spec) {
+  // Shared cache: the first job for (Prog, E) prepares, every later one
+  // (any tenant, any thread) reuses the translation.
+  std::shared_ptr<const prepare::PreparedCode> PC =
+      Cfg.Cache->getOrPrepare(Prog, E);
+  std::unique_ptr<Job> J(new Job());
+  J->Tenant = T;
+  J->Spec = Spec;
+  J->Machine = std::make_unique<vm::Vm>(ProtoMachine);
+  session::SessionPolicy Pol;
+  Pol.SliceSteps = Cfg.SliceSteps;
+  Pol.FuelSteps = Spec.FuelSteps;
+  Pol.ConfirmFaults = Spec.ConfirmFaults;
+  // Pol.Deadline stays zero: the scheduler enforces deadlines between
+  // bounded dispatches so the session never reads a wall clock.
+  J->Sess = std::make_unique<session::VmSession>(std::move(PC), *J->Machine,
+                                                 Pol);
+  J->NextEntry = Spec.Entry;
+  Job *Raw = J.get();
+  std::lock_guard<std::mutex> Lock(Mu);
+  SC_ASSERT(T < Tenants.size(), "createJob for an unknown tenant");
+  Jobs.push_back(std::move(J));
+  return Raw;
+}
+
+//===----------------------------------------------------------------------===//
+// Admission
+//===----------------------------------------------------------------------===//
+
+SubmitResult SessionScheduler::submit(Job *J) {
+  SC_ASSERT(J->state() == JobState::Idle, "submit of a non-idle job");
+  std::unique_lock<std::mutex> Lock(Mu);
+  TenantState &TS = Tenants[J->Tenant];
+  TenantStats &St = Stats[J->Tenant];
+  for (;;) {
+    if (!AdmissionOpen || Stopping)
+      return SubmitResult::Closed;
+    if (TS.Queue.size() < TS.Cfg.QueueCapacity)
+      break;
+    if (TS.Cfg.OnFull == Backpressure::Reject) {
+      St.Rejected.fetch_add(1, std::memory_order_relaxed);
+      return SubmitResult::Rejected;
+    }
+    AdmitCv.wait(Lock);
+  }
+  J->Seq = NextSeq++;
+  J->DeadlineAt = J->Spec.Deadline.count() > 0
+                      ? std::chrono::steady_clock::now() + J->Spec.Deadline
+                      : std::chrono::steady_clock::time_point{};
+  J->State.store(JobState::Queued, std::memory_order_release);
+  TS.Queue.pushBack(J);
+  St.Submitted.fetch_add(1, std::memory_order_relaxed);
+  St.QueueDepth.fetch_add(1, std::memory_order_relaxed);
+  ++Pending;
+  if (!TS.InRunRing) {
+    RunRing.pushBack(J->Tenant);
+    TS.InRunRing = true;
+  }
+  WorkCv.notify_one();
+  return SubmitResult::Admitted;
+}
+
+void SessionScheduler::rearm(Job *J) {
+  SC_ASSERT(J->state() == JobState::Done, "rearm of a job that is not done");
+  J->Sess->reset();
+  J->Sess->resetCancel();
+  J->Aggregate = session::SessionResult{};
+  J->NextEntry = J->Spec.Entry;
+  J->State.store(JobState::Idle, std::memory_order_release);
+}
+
+void SessionScheduler::wait(Job *J) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  DoneCv.wait(Lock, [&] { return J->state() == JobState::Done; });
+}
+
+void SessionScheduler::drain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  AdmissionOpen = false;
+  AdmitCv.notify_all();
+  DoneCv.wait(Lock, [&] { return Pending == 0; });
+}
+
+void SessionScheduler::reopen() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Stopping)
+    AdmissionOpen = true;
+  AdmitCv.notify_all();
+}
+
+void SessionScheduler::shutdown() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    AdmissionOpen = false;
+    AdmitCv.notify_all();
+    DoneCv.wait(Lock, [&] { return Pending == 0; });
+    Stopping = true;
+    WorkCv.notify_all();
+  }
+  for (std::thread &T : Pool)
+    if (T.joinable())
+      T.join();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stopped = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+bool SessionScheduler::selectTenant(size_t &OutIdx) {
+  if (RunRing.empty())
+    return false;
+  size_t Pos = 0;
+  if (Cfg.Policy == SchedPolicy::Fifo) {
+    // Global submission order: serve the tenant whose head job was
+    // admitted first. Ring members always have a non-empty queue.
+    uint64_t Best = UINT64_MAX;
+    for (size_t I = 0; I < RunRing.size(); ++I) {
+      TenantState &TS = Tenants[RunRing.at(I)];
+      const uint64_t Seq = TS.Queue.at(0)->Seq;
+      if (Seq < Best) {
+        Best = Seq;
+        Pos = I;
+      }
+    }
+  }
+  std::swap(RunRing.at(0), RunRing.at(Pos));
+  OutIdx = RunRing.popFront();
+  Tenants[OutIdx].InRunRing = false;
+  return true;
+}
+
+session::SessionResult SessionScheduler::dispatch(Job *J, uint64_t MaxSlices) {
+  const engine::EngineCaps Caps =
+      engine::engineInfo(J->Sess->prepared().Engine).Caps;
+  if (!Caps.Reentrant) {
+    // Call-threaded code keeps its VM registers in static storage; the
+    // resume contract makes them canonical again at every slice
+    // boundary, so serializing whole dispatches is sufficient.
+    std::lock_guard<std::mutex> Lock(NonReentrantMu);
+    return J->Sess->run(J->NextEntry, MaxSlices);
+  }
+  return J->Sess->run(J->NextEntry, MaxSlices);
+}
+
+void SessionScheduler::settle(Job *J, TenantState &TS, TenantStats &St,
+                              const session::SessionResult &R) {
+  // Fold into the aggregate: steps and slices accumulate, the final
+  // stop's fields win (so a Halted aggregate is field-for-field what one
+  // unbounded VmSession::run would have returned).
+  const uint64_t Steps = J->Aggregate.Outcome.Steps + R.Outcome.Steps;
+  const uint64_t Slices = J->Aggregate.Slices + R.Slices;
+  J->Aggregate = R;
+  J->Aggregate.Outcome.Steps = Steps;
+  J->Aggregate.Slices = Slices;
+
+  if (R.Stop == session::StopKind::Preempted) {
+    St.Preemptions.fetch_add(1, std::memory_order_relaxed);
+    J->NextEntry = R.ResumePc;
+    J->State.store(JobState::Queued, std::memory_order_release);
+    if (Cfg.Policy == SchedPolicy::Fifo)
+      TS.Queue.pushFront(J); // resumes at the head: run to completion
+    else
+      TS.Queue.pushBack(J); // yields the tenant queue to its siblings
+    St.QueueDepth.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  finish(J, St, R.Stop);
+}
+
+void SessionScheduler::finish(Job *J, TenantStats &St, session::StopKind Stop) {
+  St.Completed.fetch_add(1, std::memory_order_relaxed);
+  switch (Stop) {
+  case session::StopKind::Fault:
+    St.Faults.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case session::StopKind::DeadlineExpired:
+    St.DeadlineHits.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case session::StopKind::Cancelled:
+    St.Cancellations.fetch_add(1, std::memory_order_relaxed);
+    break;
+  default:
+    break;
+  }
+  J->State.store(JobState::Done, std::memory_order_release);
+  SC_ASSERT(Pending > 0, "finishing a job that was never pending");
+  --Pending;
+  DoneCv.notify_all();
+}
+
+void SessionScheduler::noteLatency(uint64_t Ns) {
+  unsigned B = Ns == 0 ? 0 : static_cast<unsigned>(std::bit_width(Ns)) - 1;
+  if (B >= LatencyBuckets)
+    B = LatencyBuckets - 1;
+  Latency[B].fetch_add(1, std::memory_order_relaxed);
+}
+
+void SessionScheduler::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    WorkCv.wait(Lock, [&] { return Stopping || !RunRing.empty(); });
+    if (Stopping)
+      return; // shutdown drained first, so the ring is empty
+    size_t TIdx;
+    if (!selectTenant(TIdx))
+      continue;
+    TenantState &TS = Tenants[TIdx];
+    TenantStats &St = Stats[TIdx];
+    Job *J = TS.Queue.popFront();
+    St.QueueDepth.fetch_sub(1, std::memory_order_relaxed);
+    AdmitCv.notify_all(); // a waiting-queue slot freed
+
+    // Scheduler-level deadline, checked before any guest step of this
+    // dispatch. The synthesized result mirrors the session's resumable
+    // deadline stop (the aggregate keeps the steps already executed).
+    if (J->DeadlineAt != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() >= J->DeadlineAt) {
+      session::SessionResult R;
+      R.Stop = session::StopKind::DeadlineExpired;
+      R.Resumable = true;
+      R.ResumePc = J->NextEntry;
+      R.Outcome.Status = vm::RunStatus::StepLimit;
+      R.Outcome.Fault.Pc = J->NextEntry;
+      settle(J, TS, St, R);
+      if (!TS.Queue.empty() && !TS.InRunRing) {
+        RunRing.pushBack(static_cast<uint32_t>(TIdx));
+        TS.InRunRing = true;
+        WorkCv.notify_one();
+      }
+      continue;
+    }
+
+    uint64_t MaxSlices;
+    if (Cfg.Policy == SchedPolicy::Drr) {
+      // Deficit round-robin over guest steps: credit a quantum when the
+      // deficit cannot cover one slice, spend it in whole slices.
+      if (TS.Deficit < Cfg.SliceSteps)
+        TS.Deficit += TS.Cfg.QuantumSteps;
+      MaxSlices = std::max<uint64_t>(1, TS.Deficit / Cfg.SliceSteps);
+    } else {
+      MaxSlices = Cfg.FifoDispatchSlices;
+    }
+
+    J->State.store(JobState::Running, std::memory_order_release);
+    BusyWorkers.fetch_add(1, std::memory_order_relaxed);
+    Lock.unlock();
+
+    const auto T0 = std::chrono::steady_clock::now();
+    const session::SessionResult R = dispatch(J, MaxSlices);
+    const auto T1 = std::chrono::steady_clock::now();
+    noteLatency(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+            .count()));
+    BusyWorkers.fetch_sub(1, std::memory_order_relaxed);
+
+    Lock.lock();
+    St.Dispatches.fetch_add(1, std::memory_order_relaxed);
+    St.Slices.fetch_add(R.Slices, std::memory_order_relaxed);
+    St.Steps.fetch_add(R.Outcome.Steps, std::memory_order_relaxed);
+    if (Cfg.Policy == SchedPolicy::Drr)
+      TS.Deficit -= std::min(TS.Deficit, R.Outcome.Steps);
+    settle(J, TS, St, R);
+    if (!TS.Queue.empty() && !TS.InRunRing) {
+      RunRing.pushBack(static_cast<uint32_t>(TIdx));
+      TS.InRunRing = true;
+      WorkCv.notify_one();
+    }
+  }
+}
+
+SchedSnapshot SessionScheduler::snapshot() const {
+  SchedSnapshot S;
+  S.Workers = Cfg.Workers;
+  S.BusyWorkers = BusyWorkers.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I < LatencyBuckets; ++I)
+    S.Latency[I] = Latency[I].load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(Mu);
+  S.Tenants.reserve(Tenants.size());
+  for (size_t I = 0; I < Tenants.size(); ++I) {
+    const TenantStats &St = Stats[I];
+    TenantCounters C;
+    C.Name = Tenants[I].Name;
+    C.Submitted = St.Submitted.load(std::memory_order_relaxed);
+    C.Rejected = St.Rejected.load(std::memory_order_relaxed);
+    C.Dispatches = St.Dispatches.load(std::memory_order_relaxed);
+    C.Slices = St.Slices.load(std::memory_order_relaxed);
+    C.Steps = St.Steps.load(std::memory_order_relaxed);
+    C.Preemptions = St.Preemptions.load(std::memory_order_relaxed);
+    C.Completed = St.Completed.load(std::memory_order_relaxed);
+    C.Faults = St.Faults.load(std::memory_order_relaxed);
+    C.DeadlineHits = St.DeadlineHits.load(std::memory_order_relaxed);
+    C.Cancellations = St.Cancellations.load(std::memory_order_relaxed);
+    C.QueueDepth = St.QueueDepth.load(std::memory_order_relaxed);
+    S.Tenants.push_back(std::move(C));
+  }
+  return S;
+}

@@ -1,0 +1,360 @@
+//===-- sched/SessionScheduler.h - Multi-tenant session scheduler -* C++ *-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A multi-tenant scheduler over supervised VmSessions. N tenants submit
+/// jobs (a prepared program + a machine + a supervision spec); a fixed
+/// pool of worker threads executes them in bounded dispatches of
+/// VmSession::run(Entry, MaxSlices), so every scheduling decision
+/// happens at a slice boundary where the guest state is canonical and
+/// resumable. The engine hot loops are untouched; preempting a job is
+/// nothing more than returning from a bounded dispatch and requeueing.
+///
+/// Scheduling policy (SchedConfig::Policy):
+///
+///   - Drr: deficit round-robin over guest-step budgets. Each tenant
+///     holds a step deficit; selection credits QuantumSteps when the
+///     deficit cannot cover one slice, the dispatch budget is
+///     Deficit / SliceSteps slices, and the steps actually executed are
+///     debited afterwards. Tenants with expensive programs therefore get
+///     the same cumulative guest-step share as tenants with cheap ones.
+///   - Fifo: global submission order, one job at a time to completion
+///     (dispatches stay bounded so deadlines and cancellation are still
+///     honored; a preempted job resumes at the head of its tenant's
+///     queue). With one worker this reproduces sequential execution
+///     field for field — the determinism tests pin that down.
+///
+/// Admission control is per tenant and bounded: QueueCapacity jobs may
+/// wait per tenant, and a full queue either rejects the submit
+/// (Backpressure::Reject) or blocks the submitting thread until space
+/// frees up (Backpressure::Wait). Drain closes admission and waits for
+/// the queues to empty; shutdown stops the workers afterwards.
+///
+/// The steady-state dispatch path allocates nothing: tenant queues and
+/// the run ring are pre-reserved at tenant creation, createJob() is the
+/// only allocating call (it builds the machine copy and the session),
+/// and submit()/rearm() recycle a finished job without touching the
+/// heap. bench/sched_throughput asserts this with a counted allocator.
+///
+/// All counters are relaxed atomics, readable from any thread without
+/// taking the scheduler lock: per-tenant dispatch/slice/step/fault
+/// totals, admission traffic, live queue depths, worker occupancy, and
+/// a 32-bucket log2-nanosecond histogram of dispatch latencies from
+/// which snapshot() derives p50/p99.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SCHED_SESSIONSCHEDULER_H
+#define SC_SCHED_SESSIONSCHEDULER_H
+
+#include "metrics/Json.h"
+#include "prepare/PrepareCache.h"
+#include "session/VmSession.h"
+#include "support/Assert.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sc::sched {
+
+using TenantId = uint32_t;
+
+/// How a full tenant queue treats a new submission.
+enum class Backpressure : uint8_t {
+  Reject, ///< submit() returns SubmitResult::Rejected immediately
+  Wait,   ///< submit() blocks until the queue has space (or admission closes)
+};
+
+/// Global scheduling discipline.
+enum class SchedPolicy : uint8_t {
+  Drr,  ///< deficit round-robin over guest-step budgets (fair share)
+  Fifo, ///< global submission order, run to completion (deterministic)
+};
+
+struct SchedConfig {
+  /// Worker threads in the pool.
+  unsigned Workers = 2;
+  /// Guest steps per slice, shared by every session the scheduler
+  /// creates; also the unit the DRR deficit is measured against.
+  uint64_t SliceSteps = 4096;
+  /// Slices per bounded dispatch under Fifo (supervision latency bound;
+  /// Drr derives its budget from the tenant deficit instead).
+  uint64_t FifoDispatchSlices = 32;
+  SchedPolicy Policy = SchedPolicy::Drr;
+  /// Translation cache shared by every job; defaults to the process-wide
+  /// cache. Must outlive the scheduler.
+  prepare::PrepareCache *Cache = nullptr;
+};
+
+struct TenantConfig {
+  /// DRR quantum: guest steps credited when the tenant comes up for
+  /// selection with an empty deficit. Larger quanta mean longer turns.
+  uint64_t QuantumSteps = 4096;
+  /// Bounded admission: jobs that may sit queued at once.
+  size_t QueueCapacity = 16;
+  Backpressure OnFull = Backpressure::Reject;
+};
+
+/// Supervision spec for one job. The scheduler checks Deadline between
+/// bounded dispatches (and before the first), so an expired job stops
+/// within one dispatch of the deadline without the session ever seeing a
+/// wall clock; fuel is enforced inside the session at slice granularity.
+struct JobSpec {
+  uint32_t Entry = 0;
+  uint64_t FuelSteps = UINT64_MAX;
+  /// Relative deadline, armed at submit(); zero means none.
+  std::chrono::nanoseconds Deadline{0};
+  bool ConfirmFaults = false;
+};
+
+enum class JobState : uint8_t {
+  Idle,    ///< created or rearmed, not submitted
+  Queued,  ///< admitted, waiting for a worker
+  Running, ///< a worker is inside a bounded dispatch
+  Done,    ///< finished; result() is valid
+};
+
+const char *jobStateName(JobState S);
+
+/// One schedulable unit: a supervised session over its own machine copy.
+/// Created by SessionScheduler::createJob (the allocating call) and
+/// owned by the scheduler; a finished job can be rearmed and resubmitted
+/// without allocation. Not thread-safe except cancel() and state().
+class Job {
+public:
+  JobState state() const { return State.load(std::memory_order_acquire); }
+  TenantId tenant() const { return Tenant; }
+
+  /// Requests cancellation; a running session stops at the next slice
+  /// boundary, a queued one stops at the head of its next dispatch
+  /// before executing any guest step. Callable from any thread.
+  void cancel();
+
+  /// Aggregated result across every bounded dispatch of this job:
+  /// Outcome.Steps and Slices accumulate, everything else describes the
+  /// final stop. Valid once state() == Done.
+  const session::SessionResult &result() const { return Aggregate; }
+  /// The session's supervision counters (accumulate across rearms).
+  const metrics::SessionCounters &counters() const { return Sess->counters(); }
+  const vm::Vm &machine() const { return *Machine; }
+  /// Owner-side access between runs (e.g. resetOutput() before a rearm);
+  /// only safe while the job is Idle or Done.
+  vm::Vm &machine() { return *Machine; }
+  session::VmSession &session() { return *Sess; }
+
+private:
+  friend class SessionScheduler;
+  Job() = default;
+
+  TenantId Tenant = 0;
+  JobSpec Spec;
+  std::unique_ptr<vm::Vm> Machine;
+  std::unique_ptr<session::VmSession> Sess;
+  std::atomic<JobState> State{JobState::Idle};
+  /// Armed absolute deadline; time_point{} when none.
+  std::chrono::steady_clock::time_point DeadlineAt{};
+  /// Where the next dispatch enters (Spec.Entry, then ResumePc).
+  uint32_t NextEntry = 0;
+  /// Global admission stamp (Fifo ordering key).
+  uint64_t Seq = 0;
+  session::SessionResult Aggregate;
+};
+
+enum class SubmitResult : uint8_t {
+  Admitted,
+  Rejected, ///< queue full under Backpressure::Reject
+  Closed,   ///< admission closed by drain()/shutdown()
+};
+
+/// Point-in-time counter snapshot, readable without the scheduler lock.
+struct TenantCounters {
+  std::string Name;
+  uint64_t Submitted = 0;   ///< jobs admitted
+  uint64_t Rejected = 0;    ///< submissions bounced by backpressure
+  uint64_t Dispatches = 0;  ///< bounded dispatches executed
+  uint64_t Slices = 0;      ///< engine entries across all dispatches
+  uint64_t Steps = 0;       ///< guest steps across all dispatches
+  uint64_t Preemptions = 0; ///< dispatches that hit their slice budget
+  uint64_t Completed = 0;   ///< jobs finished (any stop kind)
+  uint64_t Faults = 0;      ///< jobs finished with StopKind::Fault
+  uint64_t DeadlineHits = 0;   ///< jobs stopped by their deadline
+  uint64_t Cancellations = 0;  ///< jobs stopped by cancel()
+  uint64_t QueueDepth = 0;     ///< live gauge at snapshot time
+};
+
+inline constexpr unsigned LatencyBuckets = 32;
+
+struct SchedSnapshot {
+  std::vector<TenantCounters> Tenants;
+  unsigned Workers = 0;
+  uint64_t BusyWorkers = 0; ///< live gauge at snapshot time
+  /// Dispatch wall-clock latencies, bucket i counting latencies in
+  /// [2^i, 2^(i+1)) nanoseconds (bucket 31 is open-ended).
+  uint64_t Latency[LatencyBuckets] = {};
+
+  uint64_t totalSteps() const;
+  uint64_t totalDispatches() const;
+  /// Percentile over the latency histogram, resolved to the upper bucket
+  /// bound in nanoseconds (0 when the histogram is empty). \p P in [0,1].
+  double latencyPercentileNs(double P) const;
+};
+
+/// Serializes a snapshot for the sc-bench-v1 metrics pipeline: flat
+/// totals, p50/p99 dispatch latency, and one object per tenant.
+metrics::Json snapshotToJson(const SchedSnapshot &S);
+
+/// The scheduler. Construction spawns the worker pool; destruction
+/// shuts it down (cancelling whatever still runs). Public methods are
+/// thread-safe unless noted.
+class SessionScheduler {
+public:
+  explicit SessionScheduler(SchedConfig Config = {});
+  ~SessionScheduler();
+
+  SessionScheduler(const SessionScheduler &) = delete;
+  SessionScheduler &operator=(const SessionScheduler &) = delete;
+
+  /// Registers a tenant and pre-reserves its queue (allocates; do it at
+  /// setup, not in the dispatch steady state).
+  TenantId addTenant(std::string Name, TenantConfig Config = {});
+
+  /// Builds a job: copies \p ProtoMachine, prepares \p Prog for \p E
+  /// through the shared cache, and wraps both in a supervised session.
+  /// The allocating call — everything after it is reusable.
+  Job *createJob(TenantId T, const vm::Code &Prog, engine::EngineId E,
+                 const vm::Vm &ProtoMachine, JobSpec Spec);
+
+  /// Admits an Idle job to its tenant's queue, arming its deadline.
+  /// Zero-alloc. Blocks only under Backpressure::Wait on a full queue.
+  SubmitResult submit(Job *J);
+
+  /// Resets a Done job for resubmission: fresh stacks, cleared resume
+  /// and cancel flags, aggregate result zeroed. Guest data space and
+  /// session counters persist (fuel already burned stays burned).
+  /// Zero-alloc. Caller must ensure no worker still touches the job.
+  void rearm(Job *J);
+
+  /// Blocks until \p J reaches Done. The job must have been submitted.
+  void wait(Job *J);
+
+  /// Closes admission and blocks until every admitted job is Done.
+  /// Workers stay alive; reopen() admits again.
+  void drain();
+  /// Reopens admission after a drain.
+  void reopen();
+
+  /// Drains, then stops and joins the workers. Idempotent; the
+  /// destructor calls it. A job that can never stop (no fuel, no
+  /// deadline, guest loops forever) must be cancelled first or
+  /// shutdown waits forever — supervision is policy, not magic.
+  void shutdown();
+
+  /// Counter snapshot. Takes the scheduler lock only to walk the tenant
+  /// table; every counter is a relaxed atomic, so dispatching workers
+  /// never block to update them and the values are per-counter
+  /// consistent, not cross-counter consistent.
+  SchedSnapshot snapshot() const;
+
+  const SchedConfig &config() const { return Cfg; }
+  prepare::PrepareCache &cache() { return *Cfg.Cache; }
+
+private:
+  /// Fixed-capacity ring; never reallocates after reserve().
+  template <typename T> struct Ring {
+    std::vector<T> Buf;
+    size_t Head = 0, Count = 0;
+    void reserve(size_t N) { Buf.assign(N, T{}); }
+    bool empty() const { return Count == 0; }
+    bool full() const { return Count == Buf.size(); }
+    size_t size() const { return Count; }
+    T &at(size_t I) { return Buf[(Head + I) % Buf.size()]; }
+    void pushBack(T V) {
+      SC_ASSERT(!full(), "ring overflow");
+      Buf[(Head + Count) % Buf.size()] = V;
+      ++Count;
+    }
+    void pushFront(T V) {
+      SC_ASSERT(!full(), "ring overflow");
+      Head = (Head + Buf.size() - 1) % Buf.size();
+      Buf[Head] = V;
+      ++Count;
+    }
+    T popFront() {
+      SC_ASSERT(!empty(), "ring underflow");
+      T V = Buf[Head];
+      Head = (Head + 1) % Buf.size();
+      --Count;
+      return V;
+    }
+  };
+
+  /// Per-tenant live counters: relaxed atomics in a deque so addresses
+  /// stay stable while tenants are added.
+  struct TenantStats {
+    std::atomic<uint64_t> Submitted{0}, Rejected{0}, Dispatches{0}, Slices{0},
+        Steps{0}, Preemptions{0}, Completed{0}, Faults{0}, DeadlineHits{0},
+        Cancellations{0}, QueueDepth{0};
+  };
+
+  struct TenantState {
+    std::string Name;
+    TenantConfig Cfg;
+    Ring<Job *> Queue;
+    uint64_t Deficit = 0;
+    bool InRunRing = false;
+  };
+
+  void workerLoop();
+  /// Picks the next tenant index to serve; Mu held. Returns false when
+  /// the run ring is empty.
+  bool selectTenant(size_t &OutIdx);
+  /// Executes one bounded dispatch of \p J; Mu NOT held.
+  session::SessionResult dispatch(Job *J, uint64_t MaxSlices);
+  /// Folds a dispatch result into the job and decides requeue vs
+  /// completion; Mu held.
+  void settle(Job *J, TenantState &TS, TenantStats &St,
+              const session::SessionResult &R);
+  void finish(Job *J, TenantStats &St, session::StopKind Stop);
+  void noteLatency(uint64_t Ns);
+
+  SchedConfig Cfg;
+
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv;  ///< workers: run ring non-empty / stop
+  std::condition_variable DoneCv;  ///< waiters: job done / queues empty
+  std::condition_variable AdmitCv; ///< submitters: queue space freed
+
+  std::deque<TenantState> Tenants;   // Mu
+  std::deque<TenantStats> Stats;     // atomics, lock-free reads
+  Ring<uint32_t> RunRing;            // Mu: tenants with queued jobs
+  std::deque<std::unique_ptr<Job>> Jobs; // Mu (growth only in createJob)
+  std::vector<std::thread> Pool;
+  uint64_t NextSeq = 0;   // Mu
+  uint64_t Pending = 0;   // Mu: admitted jobs not yet Done
+  bool AdmissionOpen = true; // Mu
+  bool Stopping = false;     // Mu
+  bool Stopped = false;      // Mu (workers joined)
+
+  std::atomic<uint64_t> BusyWorkers{0};
+  std::atomic<uint64_t> Latency[LatencyBuckets] = {};
+  /// Serializes dispatches of non-reentrant engine flavors
+  /// (EngineCaps::Reentrant == false, i.e. call-threaded code's static
+  /// VM registers): at most one such dispatch runs at a time.
+  std::mutex NonReentrantMu;
+};
+
+} // namespace sc::sched
+
+#endif // SC_SCHED_SESSIONSCHEDULER_H

@@ -7,7 +7,7 @@
 
 #include "session/VmSession.h"
 
-#include "dispatch/Engines.h"
+#include "dispatch/EngineRegistry.h"
 #include "support/Assert.h"
 
 #include <algorithm>
@@ -28,6 +28,8 @@ const char *sc::session::stopKindName(StopKind K) {
     return "deadline-expired";
   case StopKind::Cancelled:
     return "cancelled";
+  case StopKind::Preempted:
+    return "preempted";
   case StopKind::Quarantined:
     return "quarantined";
   }
@@ -64,18 +66,19 @@ Confirmation sc::session::confirmFault(const prepare::PreparedCode &PC,
   Ctx.RS = Before.RS;
   Ctx.DsDepth = Before.DsDepth;
   Ctx.RsDepth = Before.RsDepth;
-  Ctx.Resume = Before.Resume;
-  Ctx.MaxSteps = ReplayBudget;
-
-  const RunOutcome Replay = dispatch::runSwitchEngine(Ctx, Pc);
+  engine::RunOptions Opts;
+  Opts.Entry = Pc;
+  Opts.MaxSteps = ReplayBudget;
+  Opts.Resume = Before.Resume;
+  const RunOutcome Replay =
+      engine::runEngine(engine::referenceEngine(), PC.program(), Ctx, Opts);
   if (Replay.Status == RunStatus::StepLimit)
     return Confirmation::Inconclusive;
   if (Replay.Status != Observed.Status)
     return Confirmation::Refuted;
   // Static flavors may defer an overflow past absorbed manipulations, so
   // the exact fault point is not comparable; the fault class is.
-  const bool Static = PC.Engine == prepare::EngineId::StaticGreedy ||
-                      PC.Engine == prepare::EngineId::StaticOptimal;
+  const bool Static = engine::isStaticEngine(PC.Engine);
   if (!Static && Replay.Fault != Observed.Fault)
     return Confirmation::Refuted;
   return Confirmation::Confirmed;
@@ -152,6 +155,11 @@ SessionResult VmSession::run(const std::string &Word) {
 }
 
 SessionResult VmSession::run(uint32_t Entry) {
+  return run(Entry, UINT64_MAX);
+}
+
+SessionResult VmSession::run(uint32_t Entry, uint64_t MaxSlices) {
+  SC_ASSERT(MaxSlices > 0, "a dispatch must run at least one slice");
   SessionResult R;
   if (globalQuarantine().isQuarantined(PC->Source, PC->SourceVersion)) {
     ++Stats.QuarantineRejections;
@@ -215,6 +223,13 @@ SessionResult VmSession::run(uint32_t Entry) {
       LastStop = O.Fault;
       SlicedStop = true;
       Ctx.Resume = true; // the sentinel survives the preempted slice
+      if (R.Slices >= MaxSlices) {
+        // Bounded dispatch for an external scheduler. Deliberately ticks
+        // no counter: a scheduler-driven session must aggregate the same
+        // SessionCounters as an unbounded run of the same guest.
+        R.Stop = StopKind::Preempted;
+        break;
+      }
       continue;
     }
 

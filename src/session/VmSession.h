@@ -56,6 +56,7 @@ enum class StopKind : uint8_t {
   FuelExhausted,   ///< the session's step budget ran out (resumable)
   DeadlineExpired, ///< the wall-clock deadline passed (resumable)
   Cancelled,       ///< cancel() observed at a slice boundary (resumable)
+  Preempted,       ///< bounded dispatch hit its slice cap (resumable)
   Quarantined,     ///< the program is quarantined; nothing was executed
 };
 
@@ -106,7 +107,8 @@ struct SessionResult {
   vm::RunOutcome Outcome;
   uint64_t Slices = 0;  ///< engine entries this run() made
   uint32_t ResumePc = 0; ///< where a resumable stop may continue
-  /// True for FuelExhausted / DeadlineExpired / Cancelled: calling
+  /// True for FuelExhausted / DeadlineExpired / Cancelled / Preempted:
+  /// calling
   /// run(ResumePc) again (after refuelling / extending / resetCancel())
   /// continues the guest exactly where it stopped.
   bool Resumable = false;
@@ -180,6 +182,12 @@ public:
   SessionResult run(uint32_t Entry);
   /// Same, resolving \p Word through the prepared snapshot's word table.
   SessionResult run(const std::string &Word);
+  /// Bounded dispatch for external schedulers: like run(Entry), but
+  /// returns StopKind::Preempted (resumable at ResumePc) once \p
+  /// MaxSlices slices have executed without another stop intervening.
+  /// Deliberately ticks no extra counter, so N bounded dispatches
+  /// aggregate the same SessionCounters as one unbounded run.
+  SessionResult run(uint32_t Entry, uint64_t MaxSlices);
 
   /// Requests cancellation; the running thread stops at the next slice
   /// boundary. Callable from any thread, any number of times.

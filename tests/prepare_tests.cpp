@@ -67,6 +67,10 @@ uint64_t allocCount() {
 // Shared plumbing
 //===----------------------------------------------------------------------===//
 
+// The stream-comparable flavors this suite sweeps. Model is preparable
+// too (snapshot-only) but is exercised by registry_tests: its value-level
+// interpretation allocates per run, which would trip the resource
+// contracts below.
 constexpr prepare::EngineId AllPrepareEngines[] = {
     prepare::EngineId::Switch,        prepare::EngineId::Threaded,
     prepare::EngineId::CallThreaded,  prepare::EngineId::ThreadedTos,
@@ -74,26 +78,10 @@ constexpr prepare::EngineId AllPrepareEngines[] = {
     prepare::EngineId::StaticOptimal,
 };
 
-/// The legacy single-shot engine corresponding to a prepare flavor.
-harness::EngineId legacyIdFor(prepare::EngineId E) {
-  switch (E) {
-  case prepare::EngineId::Switch:
-    return harness::EngineId::Switch;
-  case prepare::EngineId::Threaded:
-    return harness::EngineId::Threaded;
-  case prepare::EngineId::CallThreaded:
-    return harness::EngineId::CallThreaded;
-  case prepare::EngineId::ThreadedTos:
-    return harness::EngineId::ThreadedTos;
-  case prepare::EngineId::Dynamic3:
-    return harness::EngineId::Dynamic3;
-  case prepare::EngineId::StaticGreedy:
-    return harness::EngineId::StaticGreedy;
-  case prepare::EngineId::StaticOptimal:
-    return harness::EngineId::StaticOptimal;
-  }
-  sc::unreachable("bad prepare engine id");
-}
+/// prepare::EngineId and harness::EngineId are both aliases of the
+/// registry's canonical enumeration now; the legacy single-shot engine
+/// for a prepare flavor is the flavor itself.
+harness::EngineId legacyIdFor(prepare::EngineId E) { return E; }
 
 /// observeEngine's twin for the prepared path: same fresh-copy setup,
 /// but execution goes through runPrepared on \p PC.

@@ -1,0 +1,287 @@
+//===-- tests/sched_stress_tests.cpp - Scheduler concurrency stress -------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concurrency stress for the SessionScheduler, sized to stay meaningful
+/// under ThreadSanitizer (CI runs this binary in the TSan job). Four
+/// storms: mixed tenants submitting/recycling jobs across engines while
+/// a reader thread snapshots counters; cross-thread cancellation of
+/// spinning guests; a deadline storm where every job expires; and a
+/// drain racing live submitters mid-flight. The assertions are about
+/// states and conservation (every admitted job reaches Done, counters
+/// add up), not timing; TSan supplies the data-race oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "forth/Forth.h"
+#include "prepare/PrepareCache.h"
+#include "sched/SessionScheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace sc;
+using namespace sc::sched;
+
+namespace {
+
+constexpr const char *ComputeSrc = R"(
+variable acc
+: sq dup * ;
+: step acc @ + acc ! ;
+: main 0 acc ! 9 0 do i sq step loop acc @ . ;
+)";
+
+constexpr const char *FaultSrc = ": main 5 0 do i drop loop 7 0 / . ;";
+
+constexpr const char *SpinSrc = ": main begin 1 drop again ;";
+
+/// Engines the stress rotates through: the reference four (including
+/// the non-reentrant call-threaded flavor, which exercises the
+/// scheduler's serialization guard) plus one of each caching family.
+std::vector<engine::EngineId> stressEngines() {
+  std::vector<engine::EngineId> Out;
+  size_t N = 0;
+  const engine::EngineInfo *E = engine::allEngines(N);
+  for (size_t I = 0; I < N; ++I)
+    if (E[I].Id != engine::EngineId::Model) // value-level model: too slow
+      Out.push_back(E[I].Id);
+  return Out;
+}
+
+} // namespace
+
+TEST(SchedStress, MixedTenantsRecycleJobsUnderLoad) {
+  std::unique_ptr<forth::System> Compute = forth::loadOrDie(ComputeSrc);
+  std::unique_ptr<forth::System> Faulty = forth::loadOrDie(FaultSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.SliceSteps = 64; // many slice boundaries -> many scheduling points
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+
+  const std::vector<engine::EngineId> Engines = stressEngines();
+  constexpr unsigned NumTenants = 6;
+  constexpr unsigned JobsPerTenant = 4;
+  constexpr unsigned Rounds = 3;
+
+  struct TenantRig {
+    TenantId T = 0;
+    std::vector<Job *> Jobs;
+  };
+  std::vector<TenantRig> Rigs(NumTenants);
+  for (unsigned TI = 0; TI < NumTenants; ++TI) {
+    TenantConfig TC;
+    TC.QuantumSteps = 64u << (TI % 3); // uneven fair-queuing quanta
+    TC.QueueCapacity = JobsPerTenant;
+    TC.OnFull = TI % 2 ? Backpressure::Wait : Backpressure::Reject;
+    Rigs[TI].T = S.addTenant("t" + std::to_string(TI), TC);
+    for (unsigned JI = 0; JI < JobsPerTenant; ++JI) {
+      forth::System &Sys = (TI + JI) % 3 == 0 ? *Faulty : *Compute;
+      JobSpec Spec;
+      Spec.Entry = Sys.entryOf("main");
+      Rigs[TI].Jobs.push_back(
+          S.createJob(Rigs[TI].T, Sys.Prog,
+                      Engines[(TI * JobsPerTenant + JI) % Engines.size()],
+                      Sys.Machine, Spec));
+    }
+  }
+
+  std::atomic<bool> Done{false};
+  std::thread Reader([&] {
+    while (!Done.load(std::memory_order_relaxed)) {
+      const SchedSnapshot Snap = S.snapshot();
+      (void)snapshotToJson(Snap);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> Drivers;
+  std::atomic<uint64_t> Admitted{0};
+  for (unsigned TI = 0; TI < NumTenants; ++TI) {
+    Drivers.emplace_back([&, TI] {
+      for (unsigned R = 0; R < Rounds; ++R) {
+        for (Job *J : Rigs[TI].Jobs) {
+          if (R > 0)
+            S.rearm(J);
+          // A Reject tenant may bounce when its own jobs still occupy
+          // the queue; retry until admitted.
+          while (S.submit(J) != SubmitResult::Admitted)
+            std::this_thread::yield();
+          Admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (Job *J : Rigs[TI].Jobs)
+          S.wait(J);
+      }
+    });
+  }
+  for (std::thread &T : Drivers)
+    T.join();
+  Done.store(true, std::memory_order_relaxed);
+  Reader.join();
+  S.drain();
+
+  uint64_t Completed = 0, Faults = 0;
+  const SchedSnapshot Snap = S.snapshot();
+  for (const TenantCounters &T : Snap.Tenants) {
+    Completed += T.Completed;
+    Faults += T.Faults;
+    EXPECT_EQ(T.QueueDepth, 0u);
+  }
+  EXPECT_EQ(Completed, Admitted.load());
+  EXPECT_EQ(Completed, uint64_t(NumTenants) * JobsPerTenant * Rounds);
+  EXPECT_GT(Faults, 0u); // the faulting tenants really faulted
+  for (const TenantRig &R : Rigs)
+    for (Job *J : R.Jobs)
+      EXPECT_EQ(J->state(), JobState::Done);
+}
+
+TEST(SchedStress, CancellationStorm) {
+  std::unique_ptr<forth::System> Spin = forth::loadOrDie(SpinSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.SliceSteps = 256;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+
+  std::vector<Job *> Jobs;
+  for (unsigned TI = 0; TI < 3; ++TI) {
+    const TenantId T = S.addTenant("t" + std::to_string(TI));
+    for (unsigned JI = 0; JI < 4; ++JI) {
+      JobSpec Spec;
+      Spec.Entry = Spin->entryOf("main");
+      Job *J = S.createJob(T, Spin->Prog, engine::EngineId::Threaded,
+                           Spin->Machine, Spec);
+      ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+      Jobs.push_back(J);
+    }
+  }
+
+  // Cancel from several threads, interleaved with the dispatch storm.
+  std::vector<std::thread> Cancellers;
+  for (unsigned C = 0; C < 3; ++C)
+    Cancellers.emplace_back([&, C] {
+      for (size_t I = C; I < Jobs.size(); I += 3) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50 * I));
+        Jobs[I]->cancel();
+      }
+    });
+  for (std::thread &T : Cancellers)
+    T.join();
+  S.drain();
+
+  for (Job *J : Jobs) {
+    EXPECT_EQ(J->state(), JobState::Done);
+    EXPECT_EQ(J->result().Stop, session::StopKind::Cancelled);
+    EXPECT_TRUE(J->result().Resumable);
+  }
+}
+
+TEST(SchedStress, DeadlineStorm) {
+  std::unique_ptr<forth::System> Spin = forth::loadOrDie(SpinSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.SliceSteps = 512;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+
+  std::vector<Job *> Jobs;
+  for (unsigned TI = 0; TI < 4; ++TI) {
+    const TenantId T = S.addTenant("t" + std::to_string(TI));
+    for (unsigned JI = 0; JI < 3; ++JI) {
+      JobSpec Spec;
+      Spec.Entry = Spin->entryOf("main");
+      Spec.Deadline = std::chrono::milliseconds(1 + (TI * 3 + JI) % 7);
+      Job *J = S.createJob(T, Spin->Prog, engine::EngineId::Switch,
+                           Spin->Machine, Spec);
+      ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+      Jobs.push_back(J);
+    }
+  }
+  S.drain();
+
+  uint64_t Hits = 0;
+  for (Job *J : Jobs) {
+    EXPECT_EQ(J->state(), JobState::Done);
+    EXPECT_EQ(J->result().Stop, session::StopKind::DeadlineExpired);
+    ++Hits;
+  }
+  const SchedSnapshot Snap = S.snapshot();
+  uint64_t Counted = 0;
+  for (const TenantCounters &T : Snap.Tenants)
+    Counted += T.DeadlineHits;
+  EXPECT_EQ(Counted, Hits);
+}
+
+TEST(SchedStress, DrainMidFlightRacesSubmitters) {
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.SliceSteps = 64;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+
+  constexpr unsigned NumTenants = 3;
+  std::vector<TenantId> Ts;
+  for (unsigned TI = 0; TI < NumTenants; ++TI) {
+    TenantConfig TC;
+    TC.QueueCapacity = 4;
+    TC.OnFull = Backpressure::Wait;
+    Ts.push_back(S.addTenant("t" + std::to_string(TI), TC));
+  }
+
+  std::vector<std::vector<Job *>> Admitted(NumTenants);
+  std::vector<std::thread> Submitters;
+  for (unsigned TI = 0; TI < NumTenants; ++TI) {
+    Submitters.emplace_back([&, TI] {
+      for (;;) {
+        JobSpec Spec;
+        Spec.Entry = Sys->entryOf("main");
+        Job *J = S.createJob(Ts[TI], Sys->Prog, engine::EngineId::Dynamic3,
+                             Sys->Machine, Spec);
+        const SubmitResult R = S.submit(J);
+        if (R == SubmitResult::Closed)
+          return; // the drain shut the door mid-flight
+        if (R == SubmitResult::Admitted)
+          Admitted[TI].push_back(J);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  S.drain(); // races the submitters: whatever got in must finish
+  for (std::thread &T : Submitters)
+    T.join();
+
+  size_t Total = 0;
+  for (const std::vector<Job *> &Js : Admitted) {
+    Total += Js.size();
+    for (Job *J : Js) {
+      EXPECT_EQ(J->state(), JobState::Done);
+      EXPECT_EQ(J->result().Stop, session::StopKind::Halted);
+    }
+  }
+  EXPECT_GT(Total, 0u);
+
+  // The scheduler accepts work again after reopen().
+  S.reopen();
+  JobSpec Spec;
+  Spec.Entry = Sys->entryOf("main");
+  Job *J = S.createJob(Ts[0], Sys->Prog, engine::EngineId::Dynamic3,
+                       Sys->Machine, Spec);
+  ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+  S.wait(J);
+  EXPECT_EQ(J->result().Stop, session::StopKind::Halted);
+}

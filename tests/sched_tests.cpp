@@ -1,0 +1,466 @@
+//===-- tests/sched_tests.cpp - Multi-tenant scheduler semantics ----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SessionScheduler semantics, pinned deterministically. The centerpiece
+/// is the determinism contract: with one worker and the FIFO policy,
+/// scheduling N sessions produces field-for-field the same SessionResult
+/// and SessionCounters as running each through a plain VmSession — the
+/// bounded-dispatch plumbing (preemption, requeueing, aggregation) must
+/// be observationally invisible. Around it: admission control under both
+/// backpressure policies, scheduler-level deadlines, cross-thread
+/// cancellation, fuel, rearm/resubmit recycling, drain/reopen, the
+/// shared prepare cache, and the counter snapshot with its JSON form.
+///
+//===----------------------------------------------------------------------===//
+
+#include "forth/Forth.h"
+#include "metrics/Counters.h"
+#include "prepare/PrepareCache.h"
+#include "sched/SessionScheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace sc;
+using namespace sc::sched;
+
+namespace {
+
+/// Calls, branches, arithmetic, memory traffic and output in a few
+/// hundred steps — enough slices to preempt at small budgets.
+constexpr const char *ComputeSrc = R"(
+variable acc
+: sq dup * ;
+: step acc @ + acc ! ;
+: main
+  0 acc !
+  9 0 do i sq step loop
+  acc @ .
+  5 begin dup 0 > while dup step 1 - repeat drop
+  acc @ . ;
+)";
+
+/// Traps with DivByZero after some honest work.
+constexpr const char *FaultSrc = ": main 5 0 do i drop loop 7 0 / . ;";
+
+/// Never halts; the only way out is supervision.
+constexpr const char *SpinSrc = ": main begin 1 drop again ;";
+
+void expectSameResult(const session::SessionResult &A,
+                      const session::SessionResult &B,
+                      const std::string &What) {
+  EXPECT_EQ(A.Stop, B.Stop) << What;
+  EXPECT_EQ(A.Outcome.Status, B.Outcome.Status) << What;
+  EXPECT_EQ(A.Outcome.Steps, B.Outcome.Steps) << What;
+  EXPECT_EQ(A.Outcome.Fault, B.Outcome.Fault) << What;
+  EXPECT_EQ(A.Slices, B.Slices) << What;
+  EXPECT_EQ(A.ResumePc, B.ResumePc) << What;
+  EXPECT_EQ(A.Resumable, B.Resumable) << What;
+  EXPECT_EQ(A.Replayed, B.Replayed) << What;
+  EXPECT_EQ(A.Verdict, B.Verdict) << What;
+  EXPECT_EQ(A.Quarantined, B.Quarantined) << What;
+}
+
+void expectSameCounters(const metrics::SessionCounters &A,
+                        const metrics::SessionCounters &B,
+                        const std::string &What) {
+  EXPECT_EQ(A.Slices, B.Slices) << What;
+  EXPECT_EQ(A.StepsExecuted, B.StepsExecuted) << What;
+  EXPECT_EQ(A.FuelExhausted, B.FuelExhausted) << What;
+  EXPECT_EQ(A.DeadlineHits, B.DeadlineHits) << What;
+  EXPECT_EQ(A.Cancellations, B.Cancellations) << What;
+  EXPECT_EQ(A.FallbackReplays, B.FallbackReplays) << What;
+  EXPECT_EQ(A.FaultsConfirmed, B.FaultsConfirmed) << What;
+  EXPECT_EQ(A.FaultsRefuted, B.FaultsRefuted) << What;
+  EXPECT_EQ(A.ReplaysInconclusive, B.ReplaysInconclusive) << What;
+  EXPECT_EQ(A.Quarantines, B.Quarantines) << What;
+  EXPECT_EQ(A.QuarantineRejections, B.QuarantineRejections) << What;
+}
+
+/// What one plain (unscheduled) VmSession run of the program produces.
+struct SequentialRun {
+  session::SessionResult Result;
+  metrics::SessionCounters Counters;
+  std::string Out;
+};
+
+SequentialRun runSequential(forth::System &Sys, engine::EngineId E,
+                            uint64_t SliceSteps) {
+  prepare::PrepareCache Cache;
+  auto PC = Cache.getOrPrepare(Sys.Prog, E);
+  vm::Vm Machine = Sys.Machine;
+  session::SessionPolicy Pol;
+  Pol.SliceSteps = SliceSteps;
+  session::VmSession S(PC, Machine, Pol);
+  SequentialRun R;
+  R.Result = S.run(Sys.entryOf("main"));
+  R.Counters = S.counters();
+  R.Out = Machine.Out;
+  return R;
+}
+
+} // namespace
+
+TEST(Sched, JobStateNames) {
+  EXPECT_STREQ(jobStateName(JobState::Idle), "idle");
+  EXPECT_STREQ(jobStateName(JobState::Queued), "queued");
+  EXPECT_STREQ(jobStateName(JobState::Running), "running");
+  EXPECT_STREQ(jobStateName(JobState::Done), "done");
+}
+
+/// The determinism satellite: one worker + FIFO, every engine, a clean
+/// and a faulting program. Bounded dispatches (2 slices each, so every
+/// job is preempted repeatedly) must aggregate to exactly the result and
+/// counters of the plain session runs.
+TEST(Sched, FifoOneWorkerMatchesSequentialFieldForField) {
+  std::unique_ptr<forth::System> Compute = forth::loadOrDie(ComputeSrc);
+  std::unique_ptr<forth::System> Faulty = forth::loadOrDie(FaultSrc);
+
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.Policy = SchedPolicy::Fifo;
+  Cfg.SliceSteps = 32;
+  Cfg.FifoDispatchSlices = 2;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+
+  const TenantId T[3] = {S.addTenant("alpha"), S.addTenant("beta"),
+                         S.addTenant("gamma")};
+
+  struct Case {
+    forth::System *Sys;
+    engine::EngineId Engine;
+    Job *J = nullptr;
+  };
+  std::vector<Case> Cases;
+  size_t N = 0;
+  const engine::EngineInfo *E = engine::allEngines(N);
+  for (size_t I = 0; I < N; ++I) {
+    Cases.push_back({Compute.get(), E[I].Id, nullptr});
+    Cases.push_back({Faulty.get(), E[I].Id, nullptr});
+  }
+
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    Case &C = Cases[I];
+    JobSpec Spec;
+    Spec.Entry = C.Sys->entryOf("main");
+    C.J = S.createJob(T[I % 3], C.Sys->Prog, C.Engine, C.Sys->Machine, Spec);
+    ASSERT_EQ(S.submit(C.J), SubmitResult::Admitted);
+  }
+  S.drain();
+
+  for (const Case &C : Cases) {
+    const std::string What = std::string(engine::engineName(C.Engine)) +
+                             (C.Sys == Faulty.get() ? "/fault" : "/compute");
+    ASSERT_EQ(C.J->state(), JobState::Done) << What;
+    const SequentialRun Seq =
+        runSequential(*C.Sys, C.Engine, Cfg.SliceSteps);
+    expectSameResult(C.J->result(), Seq.Result, What);
+    expectSameCounters(C.J->counters(), Seq.Counters, What);
+    EXPECT_EQ(C.J->machine().Out, Seq.Out) << What;
+  }
+
+  // The bounded dispatches really did preempt: more dispatches than jobs.
+  const SchedSnapshot Snap = S.snapshot();
+  EXPECT_GT(Snap.totalDispatches(), Cases.size());
+}
+
+TEST(Sched, DrrManyTenantsAllComplete) {
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.SliceSteps = 32;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+
+  std::vector<Job *> Jobs;
+  for (unsigned TI = 0; TI < 4; ++TI) {
+    TenantConfig TC;
+    TC.QuantumSteps = 64 << TI; // uneven quanta; completion must not care
+    const TenantId T = S.addTenant("t" + std::to_string(TI), TC);
+    for (unsigned JI = 0; JI < 3; ++JI) {
+      JobSpec Spec;
+      Spec.Entry = Sys->entryOf("main");
+      Job *J = S.createJob(T, Sys->Prog, engine::EngineId::Threaded,
+                           Sys->Machine, Spec);
+      ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+      Jobs.push_back(J);
+    }
+  }
+  S.drain();
+
+  uint64_t WantSteps = 0;
+  for (Job *J : Jobs) {
+    EXPECT_EQ(J->state(), JobState::Done);
+    EXPECT_EQ(J->result().Stop, session::StopKind::Halted);
+    WantSteps += J->result().Outcome.Steps;
+  }
+  const SchedSnapshot Snap = S.snapshot();
+  EXPECT_EQ(Snap.totalSteps(), WantSteps);
+  EXPECT_EQ(Snap.Tenants.size(), 4u);
+  uint64_t Completed = 0;
+  for (const TenantCounters &T : Snap.Tenants) {
+    Completed += T.Completed;
+    EXPECT_EQ(T.QueueDepth, 0u);
+  }
+  EXPECT_EQ(Completed, Jobs.size());
+
+  // One program, one engine: the shared cache prepared exactly once no
+  // matter how many tenants and jobs asked.
+  const metrics::PrepareCounters PC = Cache.counters();
+  EXPECT_EQ(PC.Translations, 1u);
+  EXPECT_EQ(PC.Misses, 1u);
+  EXPECT_EQ(PC.Hits, Jobs.size() - 1);
+}
+
+TEST(Sched, DeadlineStopsASpinningJob) {
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(SpinSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  const TenantId T = S.addTenant("t");
+  JobSpec Spec;
+  Spec.Entry = Sys->entryOf("main");
+  Spec.Deadline = std::chrono::milliseconds(20);
+  Job *J = S.createJob(T, Sys->Prog, engine::EngineId::Switch, Sys->Machine,
+                       Spec);
+  ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+  S.wait(J);
+  EXPECT_EQ(J->result().Stop, session::StopKind::DeadlineExpired);
+  EXPECT_TRUE(J->result().Resumable);
+  EXPECT_GT(J->result().Outcome.Steps, 0u);
+  EXPECT_EQ(S.snapshot().Tenants[0].DeadlineHits, 1u);
+}
+
+TEST(Sched, CancelStopsASpinningJob) {
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(SpinSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  const TenantId T = S.addTenant("t");
+  JobSpec Spec;
+  Spec.Entry = Sys->entryOf("main");
+  Job *J = S.createJob(T, Sys->Prog, engine::EngineId::Threaded, Sys->Machine,
+                       Spec);
+  ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+  while (J->state() != JobState::Running)
+    std::this_thread::yield();
+  J->cancel();
+  S.wait(J);
+  EXPECT_EQ(J->result().Stop, session::StopKind::Cancelled);
+  EXPECT_TRUE(J->result().Resumable);
+  EXPECT_EQ(S.snapshot().Tenants[0].Cancellations, 1u);
+}
+
+TEST(Sched, FuelBoundsASpinningJob) {
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(SpinSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.SliceSteps = 128;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  const TenantId T = S.addTenant("t");
+  JobSpec Spec;
+  Spec.Entry = Sys->entryOf("main");
+  Spec.FuelSteps = 1000;
+  Job *J = S.createJob(T, Sys->Prog, engine::EngineId::Dynamic3, Sys->Machine,
+                       Spec);
+  ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+  S.wait(J);
+  EXPECT_EQ(J->result().Stop, session::StopKind::FuelExhausted);
+  EXPECT_EQ(J->result().Outcome.Steps, 1000u);
+}
+
+TEST(Sched, RejectBackpressureBouncesWhenTheQueueIsFull) {
+  std::unique_ptr<forth::System> Spin = forth::loadOrDie(SpinSrc);
+  std::unique_ptr<forth::System> Quick = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  // One long slice keeps the spin job occupying the worker for the whole
+  // window where the queue states are asserted (a dispatch only ends at
+  // a slice boundary), making the admission sequence deterministic.
+  Cfg.SliceSteps = 20'000'000;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  TenantConfig TC;
+  TC.QueueCapacity = 1;
+  TC.OnFull = Backpressure::Reject;
+  const TenantId T = S.addTenant("t", TC);
+
+  JobSpec SpinSpec;
+  SpinSpec.Entry = Spin->entryOf("main");
+  Job *A = S.createJob(T, Spin->Prog, engine::EngineId::Switch, Spin->Machine,
+                       SpinSpec);
+  JobSpec QuickSpec;
+  QuickSpec.Entry = Quick->entryOf("main");
+  Job *B = S.createJob(T, Quick->Prog, engine::EngineId::Switch,
+                       Quick->Machine, QuickSpec);
+  Job *C = S.createJob(T, Quick->Prog, engine::EngineId::Switch,
+                       Quick->Machine, QuickSpec);
+
+  ASSERT_EQ(S.submit(A), SubmitResult::Admitted);
+  // Once A occupies the only worker, B fills the single queue slot and C
+  // must bounce. (A requeues between its dispatches, but FIFO admission
+  // capacity counts only *waiting* jobs admitted from outside.)
+  while (A->state() != JobState::Running)
+    std::this_thread::yield();
+  ASSERT_EQ(S.submit(B), SubmitResult::Admitted);
+  EXPECT_EQ(S.submit(C), SubmitResult::Rejected);
+  EXPECT_EQ(C->state(), JobState::Idle);
+
+  A->cancel();
+  S.wait(B);
+  EXPECT_EQ(B->result().Stop, session::StopKind::Halted);
+  EXPECT_EQ(S.snapshot().Tenants[0].Rejected, 1u);
+}
+
+TEST(Sched, WaitBackpressureBlocksUntilSpaceFrees) {
+  std::unique_ptr<forth::System> Spin = forth::loadOrDie(SpinSrc);
+  std::unique_ptr<forth::System> Quick = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.SliceSteps = 20'000'000; // see RejectBackpressure: deterministic window
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  TenantConfig TC;
+  TC.QueueCapacity = 1;
+  TC.OnFull = Backpressure::Wait;
+  const TenantId T = S.addTenant("t", TC);
+
+  JobSpec SpinSpec;
+  SpinSpec.Entry = Spin->entryOf("main");
+  Job *A = S.createJob(T, Spin->Prog, engine::EngineId::Switch, Spin->Machine,
+                       SpinSpec);
+  JobSpec QuickSpec;
+  QuickSpec.Entry = Quick->entryOf("main");
+  Job *B = S.createJob(T, Quick->Prog, engine::EngineId::Switch,
+                       Quick->Machine, QuickSpec);
+  Job *C = S.createJob(T, Quick->Prog, engine::EngineId::Switch,
+                       Quick->Machine, QuickSpec);
+
+  ASSERT_EQ(S.submit(A), SubmitResult::Admitted);
+  while (A->state() != JobState::Running)
+    std::this_thread::yield();
+  ASSERT_EQ(S.submit(B), SubmitResult::Admitted);
+
+  SubmitResult CResult = SubmitResult::Rejected;
+  std::thread Submitter([&] { CResult = S.submit(C); });
+  // Freeing the worker lets B dispatch, which frees the queue slot the
+  // blocked submit is waiting for.
+  A->cancel();
+  Submitter.join();
+  EXPECT_EQ(CResult, SubmitResult::Admitted);
+  S.wait(B);
+  S.wait(C);
+  EXPECT_EQ(C->result().Stop, session::StopKind::Halted);
+}
+
+TEST(Sched, DrainClosesAdmissionAndReopenRestoresIt) {
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  const TenantId T = S.addTenant("t");
+  JobSpec Spec;
+  Spec.Entry = Sys->entryOf("main");
+  Job *A = S.createJob(T, Sys->Prog, engine::EngineId::Threaded, Sys->Machine,
+                       Spec);
+  ASSERT_EQ(S.submit(A), SubmitResult::Admitted);
+  S.drain();
+  EXPECT_EQ(A->state(), JobState::Done);
+
+  Job *B = S.createJob(T, Sys->Prog, engine::EngineId::Threaded, Sys->Machine,
+                       Spec);
+  EXPECT_EQ(S.submit(B), SubmitResult::Closed);
+  S.reopen();
+  EXPECT_EQ(S.submit(B), SubmitResult::Admitted);
+  S.wait(B);
+  EXPECT_EQ(B->result().Stop, session::StopKind::Halted);
+}
+
+TEST(Sched, RearmRecyclesAJobWithoutLosingDeterminism) {
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.SliceSteps = 32;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  const TenantId T = S.addTenant("t");
+  JobSpec Spec;
+  Spec.Entry = Sys->entryOf("main");
+  Job *J = S.createJob(T, Sys->Prog, engine::EngineId::StaticGreedy,
+                       Sys->Machine, Spec);
+
+  ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+  S.wait(J);
+  const session::SessionResult First = J->result();
+  EXPECT_EQ(First.Stop, session::StopKind::Halted);
+
+  S.rearm(J);
+  EXPECT_EQ(J->state(), JobState::Idle);
+  ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+  S.wait(J);
+  expectSameResult(J->result(), First, "rearmed run");
+  // Session counters accumulate across rearms.
+  EXPECT_EQ(J->counters().Slices, 2 * First.Slices);
+}
+
+TEST(Sched, SnapshotSerializesForTheMetricsPipeline) {
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  const TenantId T = S.addTenant("tenant-zero");
+  JobSpec Spec;
+  Spec.Entry = Sys->entryOf("main");
+  Job *J = S.createJob(T, Sys->Prog, engine::EngineId::ThreadedTos,
+                       Sys->Machine, Spec);
+  ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+  S.drain();
+
+  const SchedSnapshot Snap = S.snapshot();
+  EXPECT_EQ(Snap.Workers, 2u);
+  EXPECT_GT(Snap.totalDispatches(), 0u);
+  EXPECT_LE(Snap.latencyPercentileNs(0.5), Snap.latencyPercentileNs(0.99));
+
+  const metrics::Json JSON = snapshotToJson(Snap);
+  ASSERT_TRUE(JSON.isObject());
+  EXPECT_TRUE(JSON.has("workers"));
+  EXPECT_TRUE(JSON.has("total_steps"));
+  EXPECT_TRUE(JSON.has("p50_dispatch_ns"));
+  EXPECT_TRUE(JSON.has("p99_dispatch_ns"));
+  const metrics::Json *Tenants = JSON.find("tenants");
+  ASSERT_NE(Tenants, nullptr);
+  ASSERT_EQ(Tenants->size(), 1u);
+  const metrics::Json *Name = Tenants->at(0).find("name");
+  ASSERT_NE(Name, nullptr);
+  EXPECT_EQ(Name->asString(), "tenant-zero");
+  const metrics::Json *Steps = Tenants->at(0).find("steps");
+  ASSERT_NE(Steps, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(Steps->asInt()),
+            J->result().Outcome.Steps);
+}
