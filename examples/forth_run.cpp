@@ -31,6 +31,14 @@
 /// faulting slice under the canonical switch engine to confirm or refute
 /// the fault. The session counters are printed to stderr afterwards.
 ///
+/// --checkpoint FILE and --restore FILE make a session durable across
+/// invocations (both imply a supervised session): --checkpoint writes the
+/// machine state of a resumable stop (fuel exhausted, deadline, ...) to
+/// FILE as a versioned snapshot; --restore starts from a snapshot written
+/// earlier — by any engine: snapshots are engine-neutral — and continues
+/// at its recorded PC. A corrupt or mismatched snapshot is refused with a
+/// typed error. tools/snapshot_inspect dumps a snapshot's header.
+///
 /// --workers N runs the word through a SessionScheduler instead: each of
 /// --tenants T tenants (default 2) gets its own job (a machine copy plus
 /// a supervised session), the fleet is recycled --repeat times, and the
@@ -48,6 +56,7 @@
 #include "prepare/PrepareCache.h"
 #include "sched/SessionScheduler.h"
 #include "session/VmSession.h"
+#include "snapshot/Snapshot.h"
 #include "trace/Capture.h"
 #include "trace/Simulators.h"
 #include "vm/FaultDiag.h"
@@ -59,9 +68,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace sc;
 using namespace sc::vm;
@@ -81,6 +92,7 @@ static int usage() {
       stderr,
       "usage: forth_run [--engine E] [--word W] [--repeat N] [--prepare]\n"
       "                 [--deadline MS] [--fuel N] [--slice N] [--fallback]\n"
+      "                 [--checkpoint FILE] [--restore FILE]\n"
       "                 [--workers N] [--tenants N] [--trace] [--stats]\n"
       "                 file.fs\n"
       "  E: %s\n"
@@ -91,7 +103,12 @@ static int usage() {
       "  --fuel N      stop after N guest steps (resumable budget)\n"
       "  --slice N     guest steps per supervised slice (default 4096)\n"
       "  --fallback    replay a faulting slice under the reference engine\n"
-      "  (--deadline/--fuel/--slice/--fallback run a supervised session)\n"
+      "  --checkpoint FILE  write a snapshot of a resumable stop to FILE\n"
+      "  --restore FILE     resume from a snapshot written earlier\n"
+      "                     (with --fuel N: grant N more steps on top of\n"
+      "                      the budget the snapshot carries)\n"
+      "  (--deadline/--fuel/--slice/--fallback/--checkpoint/--restore run\n"
+      "   a supervised session)\n"
       "  --workers N   run the word on a session scheduler with N workers\n"
       "  --tenants N   number of scheduler tenants (default 2)\n"
       "  --stats needs a -DSC_STATS=ON build\n",
@@ -113,6 +130,8 @@ int main(int Argc, char **Argv) {
   long DeadlineMs = 0;
   long Workers = 0; // 0: no scheduler
   long TenantsN = 2;
+  std::string CheckpointFile;
+  std::string RestoreFile;
   unsigned long long FuelSteps = 0; // 0: unlimited
   unsigned long long SliceSteps = 4096;
 
@@ -136,6 +155,12 @@ int main(int Argc, char **Argv) {
       UseSession = true;
     } else if (!std::strcmp(Argv[I], "--fallback")) {
       WantFallback = true;
+      UseSession = true;
+    } else if (!std::strcmp(Argv[I], "--checkpoint") && I + 1 < Argc) {
+      CheckpointFile = Argv[++I];
+      UseSession = true;
+    } else if (!std::strcmp(Argv[I], "--restore") && I + 1 < Argc) {
+      RestoreFile = Argv[++I];
       UseSession = true;
     } else if (!std::strcmp(Argv[I], "--workers") && I + 1 < Argc)
       Workers = std::strtol(Argv[++I], nullptr, 10);
@@ -285,8 +310,34 @@ int main(int Argc, char **Argv) {
     Pol.FuelSteps = FuelSteps ? FuelSteps : UINT64_MAX;
     Pol.Deadline = std::chrono::milliseconds(DeadlineMs);
     Pol.ConfirmFaults = WantFallback;
-    auto PC = prepare::globalPrepareCache().getOrPrepare(Sys.Prog, PrepId);
-    Sess = std::make_unique<session::VmSession>(PC, Machine, Pol);
+    if (!RestoreFile.empty()) {
+      std::ifstream Rf(RestoreFile, std::ios::binary);
+      if (!Rf) {
+        std::fprintf(stderr, "forth_run: cannot open %s\n",
+                     RestoreFile.c_str());
+        return 1;
+      }
+      const std::vector<uint8_t> Bytes(
+          (std::istreambuf_iterator<char>(Rf)), std::istreambuf_iterator<char>());
+      // The snapshot carries the remaining budget; an explicit --fuel on
+      // top grants that many steps more (a fuel-exhausted snapshot would
+      // otherwise be unresumable from here).
+      snapshot::SnapshotError Err;
+      Sess = session::restoreSession(Bytes.data(), Bytes.size(), Sys.Prog,
+                                     PrepId, Machine, Pol,
+                                     prepare::globalPrepareCache(), &Err);
+      if (!Sess) {
+        std::fprintf(stderr, "forth_run: cannot restore %s: %s\n",
+                     RestoreFile.c_str(), snapshot::snapshotErrorName(Err));
+        return 1;
+      }
+      if (FuelSteps)
+        Sess->refuel(FuelSteps);
+      Entry = Sess->restoredPc();
+    } else {
+      auto PC = prepare::globalPrepareCache().getOrPrepare(Sys.Prog, PrepId);
+      Sess = std::make_unique<session::VmSession>(PC, Machine, Pol);
+    }
     if (WantStats)
       Sess->context().Stats = &Stats;
   }
@@ -346,6 +397,28 @@ int main(int Argc, char **Argv) {
     if (SessRes.Replayed)
       std::fprintf(stderr, "( fallback replay: %s )\n",
                    session::confirmationName(SessRes.Verdict));
+    if (!CheckpointFile.empty()) {
+      if (SessRes.Resumable) {
+        const std::vector<uint8_t> Snap = Sess->checkpoint(SessRes.ResumePc);
+        std::ofstream Cf(CheckpointFile,
+                         std::ios::binary | std::ios::trunc);
+        if (!Cf.write(reinterpret_cast<const char *>(Snap.data()),
+                      static_cast<std::streamsize>(Snap.size()))) {
+          std::fprintf(stderr, "forth_run: cannot write %s\n",
+                       CheckpointFile.c_str());
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "( checkpoint: %llu bytes to %s, resumable at pc %u )\n",
+                     static_cast<unsigned long long>(Snap.size()),
+                     CheckpointFile.c_str(), SessRes.ResumePc);
+      } else {
+        std::fprintf(stderr,
+                     "forth_run: no checkpoint written (%s is not a "
+                     "resumable stop)\n",
+                     session::stopKindName(SessRes.Stop));
+      }
+    }
     if (SessRes.Resumable || SessRes.Stop == session::StopKind::Quarantined) {
       // A supervision stop, not a guest outcome: the guest state is
       // canonical and resumable at ResumePc.

@@ -59,6 +59,12 @@ if [ "$MODE" = bench-smoke ]; then
   echo "==== scheduler throughput contracts"
   SC_BENCH_SMOKE=1 "$BUILD"/bench/sched_throughput > /dev/null
   echo "scheduler contracts held (zero-alloc dispatch loop)"
+  # Snapshot contracts: restore(serialize(state)) is bit-identical, a
+  # corrupted snapshot is rejected with a typed error, and checkpoint
+  # cadences never perturb a run's output or step count.
+  echo "==== snapshot overhead contracts"
+  SC_BENCH_SMOKE=1 "$BUILD"/bench/snapshot_overhead > /dev/null
+  echo "snapshot contracts held (bit-identical round trip, typed rejection)"
   "$(dirname "$0")"/bench.sh --smoke --self-check "$BUILD"
 elif [ "$MODE" = sanitize ]; then
   if [ "$SAN_KINDS" = thread ]; then

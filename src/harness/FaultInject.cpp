@@ -505,6 +505,288 @@ InjectReport sc::harness::sweepSliceBoundaries(const forth::System &Sys,
   return R;
 }
 
+namespace {
+
+/// Continues a freshly restored context under \p E until the run leaves
+/// StepLimit or \p Remaining is exhausted. A static engine restored at a
+/// PC that is not a leader of its specialized program single-steps under
+/// the reference engine until it can rejoin (the restore-side analogue of
+/// VmSession's leader fallback — a foreign snapshot may have stopped
+/// anywhere). \p BaseSteps is the work the snapshot had already retired;
+/// the returned observation's step count includes it, making the result
+/// comparable to a one-shot run.
+EngineObservation continueRestored(EngineRunner &Runner, ExecContext &Ctx,
+                                   Vm &Machine, EngineId E, uint32_t Pc,
+                                   uint64_t Remaining, uint64_t BaseSteps) {
+  uint64_t Steps = BaseSteps;
+  RunOutcome O;
+  for (;;) {
+    EngineId Use = E;
+    uint64_t Budget = Remaining;
+    if (isStaticEngine(E) && !Runner.canEnter(E, Pc)) {
+      Use = EngineId::Switch;
+      Budget = 1; // one canonical step toward the next leader
+    }
+    Ctx.MaxSteps = std::min(Budget, Remaining);
+    O = Runner.run(Ctx, Use, Pc);
+    Steps += O.Steps;
+    Remaining -= std::min(O.Steps, Remaining);
+    if (O.Status != RunStatus::StepLimit || Remaining == 0)
+      break;
+    Pc = O.Fault.Pc;
+    Ctx.Resume = true;
+  }
+  O.Steps = Steps;
+  return snapshotObservation(Ctx, Machine, O);
+}
+
+/// Folds a failure into \p R.
+void foldFailure(InjectReport &R, const std::string &Where,
+                 const std::string &What) {
+  ++R.Mismatches;
+  if (R.FirstDivergence.empty())
+    R.FirstDivergence = Where + ": " + What;
+}
+
+} // namespace
+
+InjectReport sc::harness::sweepSnapshotBoundaries(const forth::System &Sys,
+                                                  const std::string &Word,
+                                                  const RunLimits &Limits,
+                                                  uint64_t MaxCut) {
+  InjectReport R;
+  const uint32_t Entry = Sys.entryOf(Word);
+  EngineRunner Runner(Sys.Prog);
+  EngineObservation Ref =
+      observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, Limits);
+
+  for (unsigned E = 0; E < NumEngines; ++E) {
+    EngineId Id = static_cast<EngineId>(E);
+    EngineObservation OneShot = observeEngine(Sys, Sys.Prog, Entry, Id, Limits);
+    const uint64_t Total = OneShot.Outcome.Steps;
+    if (Total < 2)
+      continue; // no interior boundary to snapshot at
+    const uint64_t Cut =
+        MaxCut && MaxCut < Total - 1 ? MaxCut : Total - 1;
+    for (uint64_t K = 1; K <= Cut; ++K) {
+      const std::string Where =
+          std::string(engineName(Id)) + " cut=" + std::to_string(K);
+      // Run K of the engine's own steps, then make the state durable.
+      Vm CutVm = Sys.Machine;
+      CutVm.resetOutput();
+      CutVm.setAccessibleLimit(Limits.DataSpaceLimit);
+      ExecContext CutCtx(Sys.Prog, CutVm);
+      CutCtx.setStackCapacities(Limits.DsCapacity, Limits.RsCapacity);
+      CutCtx.MaxSteps = K;
+      RunOutcome O1 = Runner.run(CutCtx, Id, Entry);
+      if (O1.Status != RunStatus::StepLimit)
+        continue; // a static slice overshot its budget and finished
+      CutCtx.Resume = true; // the sentinel is live; a resume must not re-seed
+      snapshot::MachineState MS;
+      MS.Pc = O1.Fault.Pc;
+      MS.FuelRemaining =
+          Limits.MaxSteps == UINT64_MAX ? UINT64_MAX : Limits.MaxSteps - O1.Steps;
+      MS.StepsRetired = O1.Steps;
+      MS.SlicesRetired = 1;
+      const std::vector<uint8_t> Snap = snapshot::serialize(CutCtx, CutVm, MS);
+
+      // Restore into a completely fresh context and machine, as a second
+      // process would, and require serialize . restore to be the identity
+      // on the bytes.
+      ++R.Points;
+      Vm Rvm(0);
+      ExecContext Rctx(Sys.Prog, Rvm);
+      snapshot::MachineState RMS;
+      snapshot::SnapshotError Err =
+          snapshot::restore(Snap.data(), Snap.size(), Sys.Prog, Rctx, Rvm, RMS);
+      if (Err != snapshot::SnapshotError::None) {
+        foldFailure(R, Where,
+                    std::string("restore refused its own snapshot: ") +
+                        snapshot::snapshotErrorName(Err));
+        continue;
+      }
+      if (snapshot::serialize(Rctx, Rvm, RMS) != Snap) {
+        foldFailure(R, Where, "re-serialization is not bit-identical");
+        continue;
+      }
+
+      // Same-engine continuation must be indistinguishable from the
+      // engine's own one-shot run (strict comparator).
+      checkSliced(OneShot,
+                  continueRestored(Runner, Rctx, Rvm, Id, RMS.Pc,
+                                   RMS.FuelRemaining, RMS.StepsRetired),
+                  Id, Where, R);
+
+      // Cross-engine continuation: snapshots are engine-neutral, so a
+      // second restore resumes under a rotated different engine; checked
+      // against the Switch reference with static masks when either side
+      // is static.
+      const EngineId Other = static_cast<EngineId>(
+          (E + 1 + K % (NumEngines - 1)) % NumEngines);
+      Vm Xvm(0);
+      ExecContext Xctx(Sys.Prog, Xvm);
+      snapshot::MachineState XMS;
+      Err = snapshot::restore(Snap.data(), Snap.size(), Sys.Prog, Xctx, Xvm,
+                              XMS);
+      SC_ASSERT(Err == snapshot::SnapshotError::None,
+                "second restore of a snapshot that already restored");
+      ++R.Points;
+      if (Ref.Outcome.Status != RunStatus::Halted)
+        ++R.Faults;
+      EngineObservation Cont = continueRestored(
+          Runner, Xctx, Xvm, Other, XMS.Pc, XMS.FuelRemaining, XMS.StepsRetired);
+      const EngineId MaskId = isStaticEngine(Id) || isStaticEngine(Other)
+                                  ? EngineId::StaticGreedy
+                                  : Other;
+      std::string D = compareObservations(Ref, Cont, MaskId);
+      if (!D.empty())
+        foldFailure(R,
+                    Where + " resume-on-" + std::string(engineName(Other)), D);
+    }
+  }
+  return R;
+}
+
+InjectReport sc::harness::fuzzSnapshots(const forth::System &Sys,
+                                        const std::string &Word,
+                                        uint64_t Rounds, uint64_t Seed,
+                                        const RunLimits &Limits) {
+  InjectReport R;
+  const uint32_t Entry = Sys.entryOf(Word);
+  EngineRunner Runner(Sys.Prog);
+  EngineObservation Ref =
+      observeEngine(Sys, Sys.Prog, Entry, EngineId::Switch, Limits);
+  const uint64_t Total = Ref.Outcome.Steps;
+
+  // Pool of genuine snapshots: the not-yet-started state plus a spread of
+  // interior cut points, so mutations hit headers, stack sections, data
+  // prefixes, and output sections alike.
+  std::vector<std::vector<uint8_t>> Pool;
+  {
+    Vm FreshVm = Sys.Machine;
+    FreshVm.resetOutput();
+    FreshVm.setAccessibleLimit(Limits.DataSpaceLimit);
+    ExecContext FreshCtx(Sys.Prog, FreshVm);
+    FreshCtx.setStackCapacities(Limits.DsCapacity, Limits.RsCapacity);
+    FreshCtx.MaxSteps = Limits.MaxSteps;
+    snapshot::MachineState MS;
+    MS.Pc = Entry;
+    MS.FuelRemaining = Limits.MaxSteps;
+    Pool.push_back(snapshot::serialize(FreshCtx, FreshVm, MS));
+  }
+  for (uint64_t K :
+       {uint64_t(1), Total / 4, Total / 2, 3 * Total / 4, Total - 1}) {
+    if (K == 0 || K >= Total)
+      continue;
+    Vm CutVm = Sys.Machine;
+    CutVm.resetOutput();
+    CutVm.setAccessibleLimit(Limits.DataSpaceLimit);
+    ExecContext CutCtx(Sys.Prog, CutVm);
+    CutCtx.setStackCapacities(Limits.DsCapacity, Limits.RsCapacity);
+    CutCtx.MaxSteps = K;
+    RunOutcome O = Runner.run(CutCtx, EngineId::Switch, Entry);
+    if (O.Status != RunStatus::StepLimit)
+      continue;
+    CutCtx.Resume = true;
+    snapshot::MachineState MS;
+    MS.Pc = O.Fault.Pc;
+    MS.FuelRemaining =
+        Limits.MaxSteps == UINT64_MAX ? UINT64_MAX : Limits.MaxSteps - O.Steps;
+    MS.StepsRetired = O.Steps;
+    MS.SlicesRetired = 1;
+    if (Pool.empty() || snapshot::serialize(CutCtx, CutVm, MS) != Pool.back())
+      Pool.push_back(snapshot::serialize(CutCtx, CutVm, MS));
+  }
+
+  Rng Rand(Seed);
+  for (uint64_t Round = 0; Round < Rounds; ++Round) {
+    const std::vector<uint8_t> &Victim = Pool[Rand.below(Pool.size())];
+    std::vector<uint8_t> M = Victim;
+    switch (Rand.below(4)) {
+    case 0: { // random byte flips
+      const unsigned Flips = 1 + static_cast<unsigned>(Rand.below(8));
+      for (unsigned F = 0; F < Flips; ++F)
+        M[Rand.below(M.size())] ^= static_cast<uint8_t>(1 + Rand.below(255));
+      break;
+    }
+    case 1: // truncation (possibly to nothing)
+      M.resize(Rand.below(M.size()));
+      break;
+    case 2: { // junk extension
+      const unsigned Extra = 1 + static_cast<unsigned>(Rand.below(16));
+      for (unsigned X = 0; X < Extra; ++X)
+        M.push_back(static_cast<uint8_t>(Rand.below(256)));
+      break;
+    }
+    case 3: { // zeroed span (may be a no-op on already-zero bytes)
+      const size_t Off = Rand.below(M.size());
+      const size_t Len = std::min<size_t>(8, M.size() - Off);
+      std::fill(M.begin() + Off, M.begin() + Off + Len, 0);
+      break;
+    }
+    }
+
+    // Both entry points must hold: the header decoder on its own, and the
+    // full restore into fresh objects. Typed rejection or byte-identical
+    // acceptance are the only legal outcomes; crashing or corrupting
+    // state is what the sanitizer jobs would turn into a hard failure.
+    ++R.Points;
+    snapshot::SnapshotHeader H;
+    (void)snapshot::readHeader(M.data(), M.size(), H);
+    Vm V(0);
+    ExecContext C(Sys.Prog, V);
+    snapshot::MachineState MS;
+    snapshot::SnapshotError Err =
+        snapshot::restore(M.data(), M.size(), Sys.Prog, C, V, MS);
+    if (Err == snapshot::SnapshotError::None && M != Victim)
+      foldFailure(R, "fuzz round " + std::to_string(Round),
+                  "restore accepted a corrupted snapshot");
+  }
+  return R;
+}
+
+EngineObservation sc::harness::replayTrace(const Code &Prog,
+                                           const snapshot::ReplayTrace &T,
+                                           EngineId E,
+                                           snapshot::SnapshotError *OutErr) {
+  EngineObservation Obs;
+  Vm Machine(0);
+  ExecContext Ctx(Prog, Machine);
+  snapshot::MachineState MS;
+  snapshot::SnapshotError Err = snapshot::restore(
+      T.Checkpoint.data(), T.Checkpoint.size(), Prog, Ctx, Machine, MS);
+  if (OutErr)
+    *OutErr = Err;
+  if (Err != snapshot::SnapshotError::None)
+    return Obs;
+
+  EngineRunner Runner(Prog);
+  uint64_t Steps = MS.StepsRetired;
+  uint32_t Pc = MS.Pc;
+  // An empty schedule replays to the checkpoint itself: a preempted stop
+  // at the restored PC.
+  RunOutcome O;
+  O.Status = RunStatus::StepLimit;
+  O.Fault.Pc = Pc;
+  for (uint64_t Budget : T.SliceBudgets) {
+    EngineId Use = E;
+    // Whole-slice leader fallback, exactly as VmSession schedules it, so
+    // a replay is a deterministic function of (checkpoint, budgets,
+    // engine).
+    if (isStaticEngine(E) && !Runner.canEnter(E, Pc))
+      Use = EngineId::Switch;
+    Ctx.MaxSteps = Budget;
+    O = Runner.run(Ctx, Use, Pc);
+    Steps += O.Steps;
+    if (O.Status != RunStatus::StepLimit)
+      break;
+    Pc = O.Fault.Pc;
+    Ctx.Resume = true;
+  }
+  O.Steps = Steps;
+  return snapshotObservation(Ctx, Machine, O);
+}
+
 InjectReport sc::harness::sweepSlicedFaults(const forth::System &Sys,
                                             const std::string &Word,
                                             const RunLimits &Limits,

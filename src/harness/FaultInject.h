@@ -35,6 +35,7 @@
 
 #include "dispatch/EngineRegistry.h"
 #include "forth/Forth.h"
+#include "snapshot/Snapshot.h"
 #include "vm/RunResult.h"
 
 #include <cstdint>
@@ -184,6 +185,53 @@ InjectReport sweepSlicedFaults(const forth::System &Sys,
                                const std::string &Word,
                                const RunLimits &Limits = {},
                                uint64_t SliceSteps = 3);
+
+/// Snapshot-boundary sweep: proves checkpoint/restore == one-shot. For
+/// every engine, runs \p Word once uninterrupted, then for every slice
+/// boundary k (1..total-1 own steps, capped by \p MaxCut when nonzero):
+/// runs k steps, serializes the machine, restores the bytes into a
+/// completely fresh ExecContext and Vm (cross-process style: nothing is
+/// shared with the original run), and
+///
+///   - re-serializes immediately, requiring byte-for-byte identity
+///     (serialize . restore is the identity on valid snapshots);
+///   - continues the restored state under the same engine, requiring
+///     strict field-for-field equality with the one-shot run; and
+///   - continues a second restore under a rotated *different* engine —
+///     snapshots are engine-neutral — checked against the Switch
+///     reference (static masks apply when either engine is static, and a
+///     static engine restored at a non-leader PC routes slices to Switch
+///     until it can rejoin, mirroring VmSession).
+///
+/// Faulting words exercise snapshot-under-fault: the continuation must
+/// reproduce the original fault field for field.
+InjectReport sweepSnapshotBoundaries(const forth::System &Sys,
+                                     const std::string &Word,
+                                     const RunLimits &Limits = {},
+                                     uint64_t MaxCut = 0);
+
+/// Mutation fuzz over valid snapshots: builds a pool of genuine
+/// serialized states of \p Word (several cut points), then \p Rounds
+/// times corrupts a copy — random byte flips, truncations, junk
+/// extensions, zeroed spans — and feeds it to restore(). Every mutant
+/// must either be rejected with a typed SnapshotError or be byte-for-
+/// byte identical to its uncorrupted original; anything else (or any
+/// crash, which the sanitizer jobs would catch) is a mismatch.
+InjectReport fuzzSnapshots(const forth::System &Sys, const std::string &Word,
+                           uint64_t Rounds, uint64_t Seed,
+                           const RunLimits &Limits = {});
+
+/// Time-travel replay: restores \p T's checkpoint and re-executes its
+/// recorded slice-budget schedule under \p E (with the static-leader
+/// fallback of sliced observation). The trace pins the entire schedule,
+/// so the outcome is a deterministic function of (checkpoint, budgets,
+/// engine): replaying a faulting job's trace reproduces its fault. On a
+/// restore error returns an empty observation and sets \p OutErr.
+/// Outcome.Steps includes the steps the checkpoint had already retired,
+/// so a full-trace replay is comparable to a one-shot observation.
+EngineObservation replayTrace(const vm::Code &Prog,
+                              const snapshot::ReplayTrace &T, EngineId E,
+                              snapshot::SnapshotError *OutErr = nullptr);
 
 /// Exact data-stack peak of \p Word by capacity bisection: the smallest
 /// DsCapacity under which the run still reproduces the unconstrained

@@ -79,6 +79,9 @@ Json sc::metrics::sessionCountersToJson(const SessionCounters &C) {
   Obj.set("replays_inconclusive", Json::number(C.ReplaysInconclusive));
   Obj.set("quarantines", Json::number(C.Quarantines));
   Obj.set("quarantine_rejections", Json::number(C.QuarantineRejections));
+  Obj.set("checkpoints", Json::number(C.Checkpoints));
+  Obj.set("restores", Json::number(C.Restores));
+  Obj.set("leader_fallbacks", Json::number(C.LeaderFallbacks));
   return Obj;
 }
 
@@ -105,6 +108,10 @@ std::string sc::metrics::formatSessionCounters(const SessionCounters &C) {
   Line("quarantines: %llu (runs rejected: %llu)\n",
        static_cast<unsigned long long>(C.Quarantines),
        static_cast<unsigned long long>(C.QuarantineRejections));
+  Line("checkpoints: %llu (restores: %llu, leader fallbacks: %llu)\n",
+       static_cast<unsigned long long>(C.Checkpoints),
+       static_cast<unsigned long long>(C.Restores),
+       static_cast<unsigned long long>(C.LeaderFallbacks));
   return Out;
 }
 

@@ -166,6 +166,11 @@ struct SessionCounters {
   uint64_t ReplaysInconclusive = 0;  ///< replays that hit the replay budget
   uint64_t Quarantines = 0;          ///< programs quarantined by this session
   uint64_t QuarantineRejections = 0; ///< runs refused because of quarantine
+  uint64_t Checkpoints = 0;     ///< durable snapshots written by policy
+  uint64_t Restores = 0;        ///< successful restoreFrom() calls
+  uint64_t LeaderFallbacks = 0; ///< slices routed to the reference engine
+                                ///< because a restored PC was not a safe
+                                ///< entry point of a static translation
 
   SessionCounters &operator+=(const SessionCounters &O) {
     Slices += O.Slices;
@@ -179,6 +184,9 @@ struct SessionCounters {
     ReplaysInconclusive += O.ReplaysInconclusive;
     Quarantines += O.Quarantines;
     QuarantineRejections += O.QuarantineRejections;
+    Checkpoints += O.Checkpoints;
+    Restores += O.Restores;
+    LeaderFallbacks += O.LeaderFallbacks;
     return *this;
   }
 };

@@ -85,6 +85,7 @@ sc::prepare::prepareCode(const Code &Prog, EngineId Engine,
   PC->Engine = Engine;
   PC->Source = &Prog;
   PC->SourceVersion = Prog.version();
+  PC->SourceIdentity = Prog.identity();
 
   if (Opts.FuseSuperinstructions) {
     superinst::CombineResult R = superinst::combineSuperinstructions(Prog);

@@ -66,7 +66,11 @@ struct PreparedCode {
   /// Code::version() of the source at prepare time; PrepareCache compares
   /// it to detect mutation.
   uint64_t SourceVersion = 0;
-  /// Identity of the source Code. Never dereferenced after prepare — the
+  /// Code::identity() of the source at prepare time: the process-neutral
+  /// content hash that snapshots and the quarantine registry key on.
+  /// Precomputed here so supervision paths never pay the hash per run.
+  uint64_t SourceIdentity = 0;
+  /// Address of the source Code. Never dereferenced after prepare — the
   /// source may have been mutated or destroyed; only the snapshot below
   /// is executed.
   const vm::Code *Source = nullptr;

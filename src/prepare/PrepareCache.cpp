@@ -36,6 +36,25 @@ PrepareCache::getOrPrepare(const vm::Code &Prog, EngineId Engine,
   return PC;
 }
 
+std::shared_ptr<const PreparedCode>
+PrepareCache::findByIdentity(uint64_t Identity, EngineId Engine,
+                             bool Fused) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[K, PC] : Map) {
+    if (K.Engine != Engine || K.Fused != Fused)
+      continue;
+    // No version validation: even if the source Code object mutated
+    // after this entry was prepared, the entry still executes the exact
+    // content its SourceIdentity was hashed from, which is exactly what
+    // an identity-keyed restore asks for.
+    if (PC->SourceIdentity == Identity) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return PC;
+    }
+  }
+  return nullptr;
+}
+
 metrics::PrepareCounters PrepareCache::counters() const {
   metrics::PrepareCounters C;
   C.Hits = Hits.load(std::memory_order_relaxed);

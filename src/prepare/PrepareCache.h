@@ -57,6 +57,20 @@ public:
   getOrPrepare(const vm::Code &Prog, EngineId Engine,
                const PrepareOptions &Opts = PrepareOptions());
 
+  /// Looks up a live entry by *content identity* instead of object
+  /// address: the restore path's key. A shipped snapshot names the
+  /// program it ran over by Code::identity(), and the restoring process
+  /// holds its own Code object at its own address — but if any session
+  /// here already prepared a program with that content, the translation
+  /// is reusable verbatim. The recorded SourceIdentity was hashed from
+  /// the exact content the entry's snapshot executes, so a match is
+  /// self-validating; no version check is needed or wanted (versions are
+  /// process-local). Returns nullptr on miss; the caller falls back to
+  /// getOrPrepare with its own Code object. Linear scan under the lock —
+  /// restores are rare next to runs.
+  std::shared_ptr<const PreparedCode>
+  findByIdentity(uint64_t Identity, EngineId Engine, bool Fused = false) const;
+
   /// Relaxed-read snapshot of the counters (see the class contract for
   /// what "snapshot" means under concurrent writers).
   metrics::PrepareCounters counters() const;
@@ -88,7 +102,8 @@ private:
 
   mutable std::mutex Mu; ///< guards Map only; counters are atomic
   std::unordered_map<Key, std::shared_ptr<const PreparedCode>, KeyHash> Map;
-  std::atomic<uint64_t> Hits{0};
+  /// mutable: const lookups (findByIdentity) tick it too.
+  mutable std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Invalidations{0};
   std::atomic<uint64_t> Translations{0};

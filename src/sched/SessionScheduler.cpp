@@ -93,6 +93,8 @@ metrics::Json sc::sched::snapshotToJson(const SchedSnapshot &S) {
     J.set("faults", metrics::Json::number(T.Faults));
     J.set("deadline_hits", metrics::Json::number(T.DeadlineHits));
     J.set("cancellations", metrics::Json::number(T.Cancellations));
+    J.set("crashes", metrics::Json::number(T.Crashes));
+    J.set("recoveries", metrics::Json::number(T.Recoveries));
     J.set("queue_depth", metrics::Json::number(T.QueueDepth));
     Ts.push(std::move(J));
   }
@@ -108,8 +110,12 @@ SessionScheduler::SessionScheduler(SchedConfig Config) : Cfg(Config) {
   SC_ASSERT(Cfg.Workers > 0, "a scheduler needs at least one worker");
   SC_ASSERT(Cfg.SliceSteps > 0, "slices must make progress");
   SC_ASSERT(Cfg.FifoDispatchSlices > 0, "a dispatch must run at least one slice");
+  SC_ASSERT((!Cfg.CrashEveryDispatches && !Cfg.CrashOneIn) ||
+                Cfg.CheckpointEverySlices > 0,
+            "crash injection needs checkpoints to recover from");
   if (!Cfg.Cache)
     Cfg.Cache = &prepare::globalPrepareCache();
+  CrashRng = Rng(Cfg.CrashSeed ? Cfg.CrashSeed : 1);
   Pool.reserve(Cfg.Workers);
   for (unsigned I = 0; I < Cfg.Workers; ++I)
     Pool.emplace_back([this] { workerLoop(); });
@@ -168,6 +174,7 @@ Job *SessionScheduler::createJob(TenantId T, const vm::Code &Prog,
   Pol.SliceSteps = Cfg.SliceSteps;
   Pol.FuelSteps = Spec.FuelSteps;
   Pol.ConfirmFaults = Spec.ConfirmFaults;
+  Pol.CheckpointEverySlices = Cfg.CheckpointEverySlices;
   // Pol.Deadline stays zero: the scheduler enforces deadlines between
   // bounded dispatches so the session never reads a wall clock.
   J->Sess = std::make_unique<session::VmSession>(std::move(PC), *J->Machine,
@@ -347,6 +354,33 @@ void SessionScheduler::finish(Job *J, TenantStats &St, session::StopKind Stop) {
   DoneCv.notify_all();
 }
 
+void SessionScheduler::recover(Job *J, TenantState &TS, TenantStats &St) {
+  St.Recoveries.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<uint8_t> &Ckpt = J->Sess->lastCheckpoint();
+  if (!Ckpt.empty()) {
+    // Roll the session — stacks, data space, output, fuel — and the
+    // job's reported aggregate back to the durable point. Re-executed
+    // slices are thereby reported exactly once: a recovered job's final
+    // result is field-for-field the uncrashed result.
+    snapshot::MachineState MS;
+    const snapshot::SnapshotError E = J->Sess->restoreFrom(Ckpt, &MS);
+    SC_ASSERT(E == snapshot::SnapshotError::None,
+              "a checkpoint this scheduler wrote failed to restore");
+    J->NextEntry = MS.Pc;
+    J->Aggregate.Outcome.Steps = MS.StepsRetired;
+    J->Aggregate.Slices = MS.SlicesRetired;
+  }
+  // else: the doomed dispatch died before its session ever reached a
+  // slice boundary (e.g. a quarantine rejection) — nothing executed,
+  // nothing to roll back; the job just goes around again.
+  J->State.store(JobState::Queued, std::memory_order_release);
+  if (Cfg.Policy == SchedPolicy::Fifo)
+    TS.Queue.pushFront(J);
+  else
+    TS.Queue.pushBack(J);
+  St.QueueDepth.fetch_add(1, std::memory_order_relaxed);
+}
+
 void SessionScheduler::noteLatency(uint64_t Ns) {
   unsigned B = Ns == 0 ? 0 : static_cast<unsigned>(std::bit_width(Ns)) - 1;
   if (B >= LatencyBuckets)
@@ -400,6 +434,16 @@ void SessionScheduler::workerLoop() {
       MaxSlices = Cfg.FifoDispatchSlices;
     }
 
+    // Fault injection decides the worker's fate before it runs, under
+    // the lock, so the doomed-dispatch sequence is a deterministic
+    // function of the dispatch order (and with Fifo + one worker, of
+    // the submission order alone).
+    bool Doomed = false;
+    if (Cfg.CrashEveryDispatches)
+      Doomed = ++CrashClock % Cfg.CrashEveryDispatches == 0;
+    else if (Cfg.CrashOneIn)
+      Doomed = CrashRng.below(Cfg.CrashOneIn) == 0;
+
     J->State.store(JobState::Running, std::memory_order_release);
     BusyWorkers.fetch_add(1, std::memory_order_relaxed);
     Lock.unlock();
@@ -413,12 +457,22 @@ void SessionScheduler::workerLoop() {
     BusyWorkers.fetch_sub(1, std::memory_order_relaxed);
 
     Lock.lock();
+    // The dispatch physically happened even when the worker then "dies":
+    // executed steps burned CPU, so traffic counters and the DRR debit
+    // are charged either way. Only the *effect on the job* is lost.
     St.Dispatches.fetch_add(1, std::memory_order_relaxed);
     St.Slices.fetch_add(R.Slices, std::memory_order_relaxed);
     St.Steps.fetch_add(R.Outcome.Steps, std::memory_order_relaxed);
     if (Cfg.Policy == SchedPolicy::Drr)
       TS.Deficit -= std::min(TS.Deficit, R.Outcome.Steps);
-    settle(J, TS, St, R);
+    if (Doomed) {
+      // The worker dies at the slice boundary that ended this dispatch:
+      // R is never settled, as if the crash had taken it.
+      St.Crashes.fetch_add(1, std::memory_order_relaxed);
+      recover(J, TS, St);
+    } else {
+      settle(J, TS, St, R);
+    }
     if (!TS.Queue.empty() && !TS.InRunRing) {
       RunRing.pushBack(static_cast<uint32_t>(TIdx));
       TS.InRunRing = true;
@@ -449,6 +503,8 @@ SchedSnapshot SessionScheduler::snapshot() const {
     C.Faults = St.Faults.load(std::memory_order_relaxed);
     C.DeadlineHits = St.DeadlineHits.load(std::memory_order_relaxed);
     C.Cancellations = St.Cancellations.load(std::memory_order_relaxed);
+    C.Crashes = St.Crashes.load(std::memory_order_relaxed);
+    C.Recoveries = St.Recoveries.load(std::memory_order_relaxed);
     C.QueueDepth = St.QueueDepth.load(std::memory_order_relaxed);
     S.Tenants.push_back(std::move(C));
   }

@@ -55,6 +55,7 @@
 #include "prepare/PrepareCache.h"
 #include "session/VmSession.h"
 #include "support/Assert.h"
+#include "support/Rng.h"
 
 #include <atomic>
 #include <chrono>
@@ -96,6 +97,24 @@ struct SchedConfig {
   /// Translation cache shared by every job; defaults to the process-wide
   /// cache. Must outlive the scheduler.
   prepare::PrepareCache *Cache = nullptr;
+  /// Durable checkpoint cadence handed to every session the scheduler
+  /// creates (SessionPolicy::CheckpointEverySlices). Zero keeps the
+  /// dispatch path checkpoint-free (and allocation-free).
+  uint64_t CheckpointEverySlices = 0;
+  /// Crash injection, cooperative flavor: every Nth bounded dispatch is
+  /// doomed — the worker completes the dispatch at an ordinary slice
+  /// boundary, then behaves as if it died there: the dispatch's entire
+  /// effect on the job is discarded and the job restarts from its last
+  /// checkpoint. Deterministic (a shared dispatch counter), so a Fifo
+  /// one-worker run with crashes is comparable field-for-field to an
+  /// uncrashed baseline. Zero disables. Requires checkpointing.
+  uint64_t CrashEveryDispatches = 0;
+  /// Crash injection, stress flavor: each dispatch is doomed with
+  /// probability 1/N from a seeded generator — the hard-kill storm the
+  /// TSan job runs, exercising recovery under multi-worker races. Zero
+  /// disables; ignored when CrashEveryDispatches is set.
+  uint64_t CrashOneIn = 0;
+  uint64_t CrashSeed = 0x5eed;
 };
 
 struct TenantConfig {
@@ -191,6 +210,8 @@ struct TenantCounters {
   uint64_t Faults = 0;      ///< jobs finished with StopKind::Fault
   uint64_t DeadlineHits = 0;   ///< jobs stopped by their deadline
   uint64_t Cancellations = 0;  ///< jobs stopped by cancel()
+  uint64_t Crashes = 0;        ///< dispatches killed by fault injection
+  uint64_t Recoveries = 0;     ///< jobs restarted from a checkpoint
   uint64_t QueueDepth = 0;     ///< live gauge at snapshot time
 };
 
@@ -305,7 +326,7 @@ private:
   struct TenantStats {
     std::atomic<uint64_t> Submitted{0}, Rejected{0}, Dispatches{0}, Slices{0},
         Steps{0}, Preemptions{0}, Completed{0}, Faults{0}, DeadlineHits{0},
-        Cancellations{0}, QueueDepth{0};
+        Cancellations{0}, Crashes{0}, Recoveries{0}, QueueDepth{0};
   };
 
   struct TenantState {
@@ -327,6 +348,10 @@ private:
   void settle(Job *J, TenantState &TS, TenantStats &St,
               const session::SessionResult &R);
   void finish(Job *J, TenantStats &St, session::StopKind Stop);
+  /// Crash recovery: discards the in-flight state of \p J (its doomed
+  /// dispatch's result is never settled), rolls the session and the
+  /// aggregate back to the last checkpoint, and requeues; Mu held.
+  void recover(Job *J, TenantState &TS, TenantStats &St);
   void noteLatency(uint64_t Ns);
 
   SchedConfig Cfg;
@@ -342,6 +367,8 @@ private:
   std::deque<std::unique_ptr<Job>> Jobs; // Mu (growth only in createJob)
   std::vector<std::thread> Pool;
   uint64_t NextSeq = 0;   // Mu
+  uint64_t CrashClock = 0; // Mu: dispatches since start (fault injection)
+  Rng CrashRng{1};         // Mu: hard-kill doom decisions
   uint64_t Pending = 0;   // Mu: admitted jobs not yet Done
   bool AdmissionOpen = true; // Mu
   bool Stopping = false;     // Mu

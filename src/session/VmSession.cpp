@@ -8,6 +8,7 @@
 #include "session/VmSession.h"
 
 #include "dispatch/EngineRegistry.h"
+#include "prepare/PrepareCache.h"
 #include "support/Assert.h"
 
 #include <algorithm>
@@ -84,15 +85,14 @@ Confirmation sc::session::confirmFault(const prepare::PreparedCode &PC,
   return Confirmation::Confirmed;
 }
 
-bool QuarantineRegistry::isQuarantined(const Code *Prog,
-                                       uint64_t Version) const {
+bool QuarantineRegistry::isQuarantined(uint64_t Identity) const {
   std::lock_guard<std::mutex> Lock(Mu);
-  return Set.count({Prog, Version}) != 0;
+  return Set.count(Identity) != 0;
 }
 
-void QuarantineRegistry::add(const Code *Prog, uint64_t Version) {
+void QuarantineRegistry::add(uint64_t Identity) {
   std::lock_guard<std::mutex> Lock(Mu);
-  Set.insert({Prog, Version});
+  Set.insert(Identity);
 }
 
 void QuarantineRegistry::clear() {
@@ -141,6 +141,103 @@ void VmSession::reset() {
   Ctx.DsHighWater = 0;
   Ctx.RsHighWater = 0;
   Ctx.Resume = false;
+  // A reset starts a fresh guest run: inherited progress and checkpoints
+  // describe a run that no longer exists. Buffers keep their capacity so
+  // a recycled session does not re-allocate.
+  ProgressSteps = 0;
+  ProgressSlices = 0;
+  SlicesSinceCheckpoint = 0;
+  HasCheckpoint = false;
+  RestoredPc = 0;
+  LastCheckpoint.clear();
+  Trace.Checkpoint.clear();
+  Trace.SliceBudgets.clear();
+}
+
+uint64_t VmSession::fuelRemaining() const {
+  if (Policy.FuelSteps == UINT64_MAX)
+    return UINT64_MAX;
+  return FuelUsed >= Policy.FuelSteps ? 0 : Policy.FuelSteps - FuelUsed;
+}
+
+std::vector<uint8_t> VmSession::checkpoint(uint32_t Pc) const {
+  snapshot::MachineState MS;
+  MS.Pc = Pc;
+  MS.FuelRemaining = fuelRemaining();
+  MS.StepsRetired = ProgressSteps;
+  MS.SlicesRetired = ProgressSlices;
+  return snapshot::serialize(Ctx, *Ctx.Machine, MS);
+}
+
+void VmSession::writeCheckpoint(uint32_t Pc) {
+  snapshot::MachineState MS;
+  MS.Pc = Pc;
+  MS.FuelRemaining = fuelRemaining();
+  MS.StepsRetired = ProgressSteps;
+  MS.SlicesRetired = ProgressSlices;
+  snapshot::serializeInto(LastCheckpoint, Ctx, *Ctx.Machine, MS);
+  HasCheckpoint = true;
+  SlicesSinceCheckpoint = 0;
+  ++Stats.Checkpoints;
+  if (Policy.RecordTrace) {
+    // The flight recorder starts over at every durable point: replay is
+    // "last checkpoint plus the schedule executed after it".
+    Trace.Checkpoint = LastCheckpoint;
+    Trace.SliceBudgets.clear();
+  }
+}
+
+snapshot::SnapshotError VmSession::restoreFrom(const uint8_t *Data, size_t N,
+                                               snapshot::MachineState *Out) {
+  snapshot::MachineState MS;
+  const snapshot::SnapshotError E =
+      snapshot::restore(Data, N, PC->program(), Ctx, *Ctx.Machine, MS);
+  if (E != snapshot::SnapshotError::None)
+    return E;
+  ++Stats.Restores;
+  // The snapshot's remaining fuel becomes this session's whole budget.
+  Policy.FuelSteps = MS.FuelRemaining;
+  FuelUsed = 0;
+  ProgressSteps = MS.StepsRetired;
+  ProgressSlices = MS.SlicesRetired;
+  RestoredPc = MS.Pc;
+  ConfirmedFaults = 0;
+  SlicesSinceCheckpoint = 0;
+  HasCheckpoint = true;
+  // The restored state is now the durable baseline (crash recovery calls
+  // this with Data == LastCheckpoint.data(): skip the self-copy).
+  if (Data != LastCheckpoint.data())
+    LastCheckpoint.assign(Data, Data + N);
+  if (Policy.RecordTrace) {
+    Trace.Checkpoint = LastCheckpoint;
+    Trace.SliceBudgets.clear();
+  }
+  if (Out)
+    *Out = MS;
+  return snapshot::SnapshotError::None;
+}
+
+RunOutcome VmSession::runSlice(uint32_t Pc) {
+  if (engine::isStaticEngine(PC->Engine)) {
+    const staticcache::SpecProgram *SP = PC->spec();
+    const bool Enterable = SP && Pc < SP->OrigToSpec.size() &&
+                           SP->OrigToSpec[Pc] != staticcache::InvalidSpec;
+    if (!Enterable) {
+      // Snapshots are engine-neutral, so a restored PC may come from a
+      // stream engine's stop and need not be a safe entry point of the
+      // specialized translation. Run this slice under the reference
+      // engine — its stops are resumable everywhere — and rejoin the
+      // specialized code at the next boundary that is a leader.
+      ++Stats.LeaderFallbacks;
+      engine::RunOptions Opts;
+      Opts.Entry = Pc;
+      Opts.MaxSteps = Ctx.MaxSteps;
+      Opts.Resume = Ctx.Resume;
+      return engine::runEngine(engine::referenceEngine(), PC->program(), Ctx,
+                               Opts);
+    }
+  }
+  return prepare::runPrepared(*PC, Ctx, Pc);
 }
 
 void VmSession::refuel(uint64_t Steps) {
@@ -161,7 +258,7 @@ SessionResult VmSession::run(uint32_t Entry) {
 SessionResult VmSession::run(uint32_t Entry, uint64_t MaxSlices) {
   SC_ASSERT(MaxSlices > 0, "a dispatch must run at least one slice");
   SessionResult R;
-  if (globalQuarantine().isQuarantined(PC->Source, PC->SourceVersion)) {
+  if (globalQuarantine().isQuarantined(PC->SourceIdentity)) {
     ++Stats.QuarantineRejections;
     R.Stop = StopKind::Quarantined;
     R.ResumePc = Entry;
@@ -175,9 +272,18 @@ SessionResult VmSession::run(uint32_t Entry, uint64_t MaxSlices) {
   bool SlicedStop = false; // at least one slice ended in StepLimit
   FaultInfo LastStop{};
   SliceSnapshot Before; // filled per slice only when ConfirmFaults is on
+  const bool WantCheckpoints =
+      Policy.CheckpointEverySlices > 0 || Policy.RecordTrace;
   for (;;) {
     // Supervision decisions happen only here, between slices, where the
-    // resume contract guarantees canonical machine state.
+    // resume contract guarantees canonical machine state. Checkpoints
+    // come first so every dispatch that reaches a boundary has a durable
+    // restart point, whatever stop follows.
+    if (WantCheckpoints &&
+        (!HasCheckpoint ||
+         (Policy.CheckpointEverySlices &&
+          SlicesSinceCheckpoint >= Policy.CheckpointEverySlices)))
+      writeCheckpoint(Pc);
     if (CancelFlag.load(std::memory_order_relaxed)) {
       ++Stats.Cancellations;
       R.Stop = StopKind::Cancelled;
@@ -204,10 +310,15 @@ SessionResult VmSession::run(uint32_t Entry, uint64_t MaxSlices) {
       Before = snapshot();
 
     Ctx.MaxSteps = std::min(Policy.SliceSteps, FuelLeft);
-    const RunOutcome O = prepare::runPrepared(*PC, Ctx, Pc);
+    if (Policy.RecordTrace)
+      Trace.SliceBudgets.push_back(Ctx.MaxSteps);
+    const RunOutcome O = runSlice(Pc);
     ++Stats.Slices;
     ++R.Slices;
+    ++SlicesSinceCheckpoint;
+    ++ProgressSlices;
     Stats.StepsExecuted += O.Steps;
+    ProgressSteps += O.Steps;
     if (Policy.FuelSteps != UINT64_MAX)
       FuelUsed += O.Steps; // static safe-point overshoot is charged too
     R.Outcome.Steps += O.Steps;
@@ -257,7 +368,7 @@ SessionResult VmSession::run(uint32_t Entry, uint64_t MaxSlices) {
       if (Policy.QuarantineAfter != 0 &&
           ConfirmedFaults >= Policy.QuarantineAfter &&
           R.Verdict == Confirmation::Confirmed) {
-        globalQuarantine().add(PC->Source, PC->SourceVersion);
+        globalQuarantine().add(PC->SourceIdentity);
         ++Stats.Quarantines;
         R.Quarantined = true;
       }
@@ -274,4 +385,38 @@ SessionResult VmSession::run(uint32_t Entry, uint64_t MaxSlices) {
   else
     R.Outcome.Fault.Pc = Pc;
   return R;
+}
+
+std::unique_ptr<VmSession> sc::session::restoreSession(
+    const uint8_t *Data, size_t N, const Code &Prog, prepare::EngineId Engine,
+    Vm &Machine, SessionPolicy Policy, prepare::PrepareCache &Cache,
+    snapshot::SnapshotError *Err) {
+  auto Fail = [&](snapshot::SnapshotError E) {
+    if (Err)
+      *Err = E;
+    return nullptr;
+  };
+  // Validate before preparing anything: a hostile buffer must be able to
+  // do nothing more than return an error code.
+  snapshot::SnapshotHeader H;
+  if (snapshot::SnapshotError E = snapshot::readHeader(Data, N, H);
+      E != snapshot::SnapshotError::None)
+    return Fail(E);
+  // The translation is keyed by content, not by this process's pointers:
+  // an artifact prepared from any Code with the snapshot's content will
+  // do, whichever object it was prepared from.
+  std::shared_ptr<const prepare::PreparedCode> PC =
+      Cache.findByIdentity(H.CodeIdentity, Engine);
+  if (!PC) {
+    if (Prog.identity() != H.CodeIdentity)
+      return Fail(snapshot::SnapshotError::CodeMismatch);
+    PC = Cache.getOrPrepare(Prog, Engine);
+  }
+  auto Sess = std::make_unique<VmSession>(std::move(PC), Machine, Policy);
+  if (snapshot::SnapshotError E = Sess->restoreFrom(Data, N);
+      E != snapshot::SnapshotError::None)
+    return Fail(E);
+  if (Err)
+    *Err = snapshot::SnapshotError::None;
+  return Sess;
 }

@@ -36,6 +36,7 @@
 
 #include "metrics/Counters.h"
 #include "prepare/Prepare.h"
+#include "snapshot/Snapshot.h"
 #include "vm/ExecContext.h"
 
 #include <atomic>
@@ -46,6 +47,10 @@
 #include <set>
 #include <string>
 #include <utility>
+
+namespace sc::prepare {
+class PrepareCache;
+} // namespace sc::prepare
 
 namespace sc::session {
 
@@ -97,6 +102,19 @@ struct SessionPolicy {
   /// switch replay of a static slice executes the unspecialized
   /// instruction count).
   uint64_t ReplayBudgetSteps = 0;
+  /// Write a durable checkpoint (snapshot::serialize of the full machine
+  /// state) every this many slices, plus once at the first slice boundary
+  /// of a run that has none yet — so a crash-recovered job always has a
+  /// checkpoint to restart from. Zero disables checkpointing; the default
+  /// slice loop then stays allocation-free (checkpointing reuses one
+  /// buffer, so a steady cadence stops allocating once sizes stabilize).
+  uint64_t CheckpointEverySlices = 0;
+  /// Record the slice-budget schedule since the last checkpoint into a
+  /// snapshot::ReplayTrace, making any stop time-travel replayable
+  /// (harness::replayTrace re-runs checkpoint + schedule under any
+  /// engine). Implies an entry checkpoint even when CheckpointEverySlices
+  /// is zero. Costs a checkpoint copy per checkpoint; off by default.
+  bool RecordTrace = false;
 };
 
 /// Everything a run() reports.
@@ -148,20 +166,25 @@ Confirmation confirmFault(const prepare::PreparedCode &PC,
                           uint64_t ReplayBudget);
 
 /// Process-wide registry of programs whose faults were confirmed often
-/// enough to stop running them. Keyed on (Code identity, version), like
-/// PrepareCache: a recycled address with a different version stamp is a
-/// different program. Thread-safe.
+/// enough to stop running them. Keyed on Code::identity() — the content
+/// hash — NOT on the object's address or version stamp: a quarantine
+/// names *what the program says*, so it must survive a checkpoint being
+/// restored over a recompiled Code in this or another process, and a
+/// recycled address must never inherit a dead program's quarantine.
+/// (Pointer+version keying, which this registry used before snapshots
+/// existed, got the aliasing half right and the restore half wrong.)
+/// Thread-safe.
 class QuarantineRegistry {
 public:
-  bool isQuarantined(const vm::Code *Prog, uint64_t Version) const;
-  void add(const vm::Code *Prog, uint64_t Version);
+  bool isQuarantined(uint64_t Identity) const;
+  void add(uint64_t Identity);
   /// Drops every entry (tests isolate themselves with this).
   void clear();
   size_t size() const;
 
 private:
   mutable std::mutex Mu;
-  std::set<std::pair<const vm::Code *, uint64_t>> Set;
+  std::set<uint64_t> Set;
 };
 
 /// The registry every session consults.
@@ -202,6 +225,39 @@ public:
   /// Grants \p Steps more fuel (saturating).
   void refuel(uint64_t Steps);
 
+  /// Serializes the session's current state into a fresh snapshot,
+  /// resumable at \p Pc (a resumable stop's SessionResult::ResumePc).
+  /// Carries the session's remaining fuel and retired step/slice tallies,
+  /// so a session restored from it reports exactly like this one would.
+  std::vector<uint8_t> checkpoint(uint32_t Pc) const;
+
+  /// The last policy-written checkpoint (empty until one is taken; see
+  /// SessionPolicy::CheckpointEverySlices). This is what crash recovery
+  /// restarts from: everything after it died with the worker.
+  const std::vector<uint8_t> &lastCheckpoint() const { return LastCheckpoint; }
+
+  /// Restores a snapshot into this session: stacks, data space, output,
+  /// fuel, and retired-progress accounting all roll back (or forward) to
+  /// the snapshot. The snapshot must be keyed on this session's program
+  /// content — snapshot::SnapshotError::CodeMismatch otherwise — but may
+  /// have been taken under any engine, in any process. On success the
+  /// buffer becomes this session's lastCheckpoint() and the caller
+  /// continues with run(restoredPc()). On error the session is untouched.
+  snapshot::SnapshotError restoreFrom(const uint8_t *Data, size_t N,
+                                      snapshot::MachineState *Out = nullptr);
+  snapshot::SnapshotError restoreFrom(const std::vector<uint8_t> &Snap,
+                                      snapshot::MachineState *Out = nullptr) {
+    return restoreFrom(Snap.data(), Snap.size(), Out);
+  }
+
+  /// Where the state installed by the last successful restoreFrom()
+  /// resumes. Meaningless before any restore.
+  uint32_t restoredPc() const { return RestoredPc; }
+
+  /// The flight recorder: last checkpoint plus the slice budgets issued
+  /// since (empty unless SessionPolicy::RecordTrace).
+  const snapshot::ReplayTrace &trace() const { return Trace; }
+
   const metrics::SessionCounters &counters() const { return Stats; }
   const SessionPolicy &policy() const { return Policy; }
   vm::ExecContext &context() { return Ctx; }
@@ -209,7 +265,10 @@ public:
 
 private:
   uint64_t replayBudget() const;
+  uint64_t fuelRemaining() const;
   SliceSnapshot snapshot() const;
+  void writeCheckpoint(uint32_t Pc);
+  vm::RunOutcome runSlice(uint32_t Pc);
 
   std::shared_ptr<const prepare::PreparedCode> PC;
   SessionPolicy Policy;
@@ -218,7 +277,35 @@ private:
   metrics::SessionCounters Stats;
   uint64_t FuelUsed = 0;
   unsigned ConfirmedFaults = 0;
+
+  /// Retired-progress accounting carried in checkpoints: guest steps and
+  /// slices completed by this job across its whole life, including
+  /// progress inherited through restoreFrom. A supervisor that restores
+  /// a crashed job reports these instead of double-counting re-executed
+  /// slices.
+  uint64_t ProgressSteps = 0;
+  uint64_t ProgressSlices = 0;
+
+  std::vector<uint8_t> LastCheckpoint; ///< buffer reused across checkpoints
+  uint64_t SlicesSinceCheckpoint = 0;
+  bool HasCheckpoint = false;
+  uint32_t RestoredPc = 0;
+  snapshot::ReplayTrace Trace;
 };
+
+/// Rebuilds a runnable session from a shipped snapshot, cross-process
+/// style: \p Prog is the restoring side's own Code object (content must
+/// match the snapshot's recorded identity), \p Engine is whatever flavor
+/// this side wants — snapshots are engine-neutral. The prepared artifact
+/// comes from \p Cache by content identity when any session here already
+/// prepared this program (PrepareCache::findByIdentity), falling back to
+/// a fresh getOrPrepare. Returns nullptr and sets \p Err on rejection.
+/// Continue with run(session->restoredPc()).
+std::unique_ptr<VmSession>
+restoreSession(const uint8_t *Data, size_t N, const vm::Code &Prog,
+               prepare::EngineId Engine, vm::Vm &Machine,
+               SessionPolicy Policy, prepare::PrepareCache &Cache,
+               snapshot::SnapshotError *Err = nullptr);
 
 } // namespace sc::session
 

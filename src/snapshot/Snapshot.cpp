@@ -1,0 +1,356 @@
+//===-- snapshot/Snapshot.cpp - Durable machine-state snapshots -----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+//
+// Format "sc-snap v1", all integers little-endian:
+//
+//   [  0..  4) magic "SCSN"
+//   [  4..  8) u32 format version (1)
+//   [  8.. 16) u64 total snapshot length in bytes (length prefix)
+//   [ 16.. 24) u64 Code::identity() of the executed program
+//   [ 24.. 32) u64 Code::version() (informational; restore keys on identity)
+//   [ 32.. 36) u32 PC
+//   [ 36.. 37) u8  Resume flag (0/1)
+//   [ 37.. 40) reserved, written zero
+//   [ 40.. 48) u64 fuel remaining (steps)
+//   [ 48.. 56) u64 steps retired before the snapshot
+//   [ 56.. 64) u64 slices retired before the snapshot
+//   [ 64.. 88) u32 x6: DsCapacity RsCapacity DsDepth RsDepth
+//                       DsHighWater RsHighWater
+//   [ 88.. 96) u64 HERE
+//   [ 96..104) u64 accessible limit (UINT64_MAX = uncapped)
+//   [104..112) u64 data-space allocation size
+//   [112..   ) four sections, each u64 length + payload:
+//                data-stack cells to the exact depth,
+//                return-stack cells to the exact depth,
+//                data-space prefix up to the last non-zero byte,
+//                output buffer
+//   [ last 8 ) u64 FNV-1a checksum over every preceding byte
+//
+//===----------------------------------------------------------------------===//
+
+#include "snapshot/Snapshot.h"
+
+#include "support/Assert.h"
+
+#include <cstring>
+
+using namespace sc;
+using namespace sc::snapshot;
+
+namespace {
+
+constexpr uint8_t Magic[4] = {'S', 'C', 'S', 'N'};
+constexpr uint32_t FormatVersion = 1;
+constexpr size_t HeaderBytes = 112;
+constexpr size_t ChecksumBytes = 8;
+// Header + four empty length-prefixed sections + checksum.
+constexpr size_t MinBytes = HeaderBytes + 4 * 8 + ChecksumBytes;
+
+//===----------------------------------------------------------------------===//
+// Little-endian writer
+//===----------------------------------------------------------------------===//
+
+void put32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+}
+
+void put64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+}
+
+void putBytes(std::vector<uint8_t> &Out, const void *Src, size_t N) {
+  const uint8_t *P = static_cast<const uint8_t *>(Src);
+  Out.insert(Out.end(), P, P + N);
+}
+
+void patch64(std::vector<uint8_t> &Out, size_t Off, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out[Off + I] = static_cast<uint8_t>(V >> (I * 8));
+}
+
+//===----------------------------------------------------------------------===//
+// Bounds-checked little-endian reader
+//===----------------------------------------------------------------------===//
+
+uint32_t get32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | static_cast<uint32_t>(P[1]) << 8 |
+         static_cast<uint32_t>(P[2]) << 16 | static_cast<uint32_t>(P[3]) << 24;
+}
+
+uint64_t get64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = V << 8 | P[I];
+  return V;
+}
+
+/// The trailing-zero-trimmed prefix of the data space: everything after it
+/// is zero by construction, so restore recreates the full arena from it.
+size_t dataPrefixLength(const vm::Vm &Machine) {
+  const uint8_t *P = Machine.memData();
+  size_t N = Machine.dataSpaceSize();
+  while (N > 0 && P[N - 1] == 0)
+    --N;
+  return N;
+}
+
+} // namespace
+
+const char *sc::snapshot::snapshotErrorName(SnapshotError E) {
+  switch (E) {
+  case SnapshotError::None:
+    return "ok";
+  case SnapshotError::Truncated:
+    return "truncated buffer";
+  case SnapshotError::BadMagic:
+    return "bad magic";
+  case SnapshotError::BadFormatVersion:
+    return "unsupported format version";
+  case SnapshotError::BadLength:
+    return "inconsistent length field";
+  case SnapshotError::BadChecksum:
+    return "checksum mismatch";
+  case SnapshotError::BadFieldValue:
+    return "inconsistent field value";
+  case SnapshotError::DepthExceedsCapacity:
+    return "stack depth exceeds capacity";
+  case SnapshotError::LimitExceeded:
+    return "state size exceeds restore limits";
+  case SnapshotError::CodeMismatch:
+    return "snapshot is for a different program";
+  }
+  return "unknown snapshot error";
+}
+
+uint64_t sc::snapshot::snapshotChecksum(const uint8_t *Data, size_t N) {
+  uint64_t H = 1469598103934665603ull;
+  for (size_t I = 0; I < N; ++I) {
+    H ^= Data[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+void sc::snapshot::resealChecksum(std::vector<uint8_t> &Snap) {
+  SC_ASSERT(Snap.size() >= MinBytes, "buffer too small to reseal");
+  patch64(Snap, Snap.size() - ChecksumBytes,
+          snapshotChecksum(Snap.data(), Snap.size() - ChecksumBytes));
+}
+
+void sc::snapshot::serializeInto(std::vector<uint8_t> &Out,
+                                 const vm::ExecContext &Ctx,
+                                 const vm::Vm &Machine,
+                                 const MachineState &MS) {
+  SC_ASSERT(Ctx.Prog, "serialize needs a bound program for the identity key");
+  SC_ASSERT(Ctx.DsDepth <= Ctx.DsCapacity && Ctx.RsDepth <= Ctx.RsCapacity,
+            "serialize at a non-canonical state");
+
+  const size_t Prefix = dataPrefixLength(Machine);
+  Out.clear();
+  Out.reserve(MinBytes + (Ctx.DsDepth + Ctx.RsDepth) * sizeof(vm::Cell) +
+              Prefix + Machine.Out.size());
+
+  putBytes(Out, Magic, sizeof(Magic));
+  put32(Out, FormatVersion);
+  const size_t TotalOff = Out.size();
+  put64(Out, 0); // total length, patched below
+  put64(Out, Ctx.Prog->identity());
+  put64(Out, Ctx.Prog->version());
+  put32(Out, MS.Pc);
+  Out.push_back(Ctx.Resume ? 1 : 0);
+  Out.push_back(0);
+  Out.push_back(0);
+  Out.push_back(0);
+  put64(Out, MS.FuelRemaining);
+  put64(Out, MS.StepsRetired);
+  put64(Out, MS.SlicesRetired);
+  put32(Out, Ctx.DsCapacity);
+  put32(Out, Ctx.RsCapacity);
+  put32(Out, Ctx.DsDepth);
+  put32(Out, Ctx.RsDepth);
+  put32(Out, Ctx.DsHighWater);
+  put32(Out, Ctx.RsHighWater);
+  put64(Out, static_cast<uint64_t>(Machine.here()));
+  put64(Out, static_cast<uint64_t>(Machine.accessibleLimit()));
+  put64(Out, Machine.dataSpaceSize());
+  SC_ASSERT(Out.size() == HeaderBytes, "snapshot header layout drifted");
+
+  put64(Out, Ctx.DsDepth * sizeof(vm::Cell));
+  putBytes(Out, Ctx.DS.data(), Ctx.DsDepth * sizeof(vm::Cell));
+  put64(Out, Ctx.RsDepth * sizeof(vm::Cell));
+  putBytes(Out, Ctx.RS.data(), Ctx.RsDepth * sizeof(vm::Cell));
+  put64(Out, Prefix);
+  putBytes(Out, Machine.memData(), Prefix);
+  put64(Out, Machine.Out.size());
+  putBytes(Out, Machine.Out.data(), Machine.Out.size());
+
+  patch64(Out, TotalOff, Out.size() + ChecksumBytes);
+  put64(Out, snapshotChecksum(Out.data(), Out.size()));
+}
+
+std::vector<uint8_t> sc::snapshot::serialize(const vm::ExecContext &Ctx,
+                                             const vm::Vm &Machine,
+                                             const MachineState &MS) {
+  std::vector<uint8_t> Out;
+  serializeInto(Out, Ctx, Machine, MS);
+  return Out;
+}
+
+std::vector<uint8_t> sc::snapshot::serialize(const vm::ExecContext &Ctx,
+                                             const vm::Vm &Machine) {
+  MachineState MS;
+  MS.FuelRemaining = Ctx.MaxSteps;
+  return serialize(Ctx, Machine, MS);
+}
+
+SnapshotError sc::snapshot::readHeader(const uint8_t *Data, size_t N,
+                                       SnapshotHeader &H) {
+  // Layout gates first, cheapest to most expensive; no field is trusted
+  // before the check that makes reading it safe.
+  if (N < sizeof(Magic))
+    return SnapshotError::Truncated;
+  if (std::memcmp(Data, Magic, sizeof(Magic)) != 0)
+    return SnapshotError::BadMagic;
+  if (N < 8)
+    return SnapshotError::Truncated;
+  const uint32_t Version = get32(Data + 4);
+  if (Version != FormatVersion)
+    return SnapshotError::BadFormatVersion;
+  if (N < MinBytes)
+    return SnapshotError::Truncated;
+  const uint64_t Total = get64(Data + 8);
+  if (Total != N)
+    return SnapshotError::BadLength;
+  const uint64_t Sum = get64(Data + N - ChecksumBytes);
+  if (Sum != snapshotChecksum(Data, N - ChecksumBytes))
+    return SnapshotError::BadChecksum;
+
+  SnapshotHeader R;
+  R.FormatVersion = Version;
+  R.TotalBytes = Total;
+  R.CodeIdentity = get64(Data + 16);
+  R.CodeVersion = get64(Data + 24);
+  R.MS.Pc = get32(Data + 32);
+  R.Resume = Data[36];
+  R.MS.FuelRemaining = get64(Data + 40);
+  R.MS.StepsRetired = get64(Data + 48);
+  R.MS.SlicesRetired = get64(Data + 56);
+  R.DsCapacity = get32(Data + 64);
+  R.RsCapacity = get32(Data + 68);
+  R.DsDepth = get32(Data + 72);
+  R.RsDepth = get32(Data + 76);
+  R.DsHighWater = get32(Data + 80);
+  R.RsHighWater = get32(Data + 84);
+  R.Here = get64(Data + 88);
+  R.AccessibleLimit = get64(Data + 96);
+  R.DataSpaceBytes = get64(Data + 104);
+
+  // Walk the sections. The buffer is sealed (length + checksum verified),
+  // so an overrun here means the lengths are inconsistent, not that the
+  // transport truncated: BadLength, never a wild read.
+  const size_t End = N - ChecksumBytes;
+  size_t Cursor = HeaderBytes;
+  uint64_t Sections[4];
+  for (uint64_t &S : Sections) {
+    if (End - Cursor < 8)
+      return SnapshotError::BadLength;
+    S = get64(Data + Cursor);
+    Cursor += 8;
+    if (S > End - Cursor)
+      return SnapshotError::BadLength;
+    Cursor += S;
+  }
+  if (Cursor != End)
+    return SnapshotError::BadLength;
+  R.DataPrefixBytes = Sections[2];
+  R.OutputBytes = Sections[3];
+
+  // Internal consistency.
+  if (R.Resume > 1)
+    return SnapshotError::BadFieldValue;
+  if (R.DsDepth > R.DsCapacity || R.RsDepth > R.RsCapacity)
+    return SnapshotError::DepthExceedsCapacity;
+  if (R.DsHighWater > R.DsCapacity || R.RsHighWater > R.RsCapacity)
+    return SnapshotError::BadFieldValue;
+  if (Sections[0] != uint64_t(R.DsDepth) * sizeof(vm::Cell) ||
+      Sections[1] != uint64_t(R.RsDepth) * sizeof(vm::Cell))
+    return SnapshotError::BadFieldValue;
+  if (R.DataPrefixBytes > R.DataSpaceBytes)
+    return SnapshotError::BadFieldValue;
+  const uint64_t HereCeiling =
+      R.DataSpaceBytes > vm::CellBytes ? R.DataSpaceBytes : vm::CellBytes;
+  if (R.Here < vm::CellBytes || R.Here > HereCeiling)
+    return SnapshotError::BadFieldValue;
+
+  H = R;
+  return SnapshotError::None;
+}
+
+SnapshotError sc::snapshot::restore(const uint8_t *Data, size_t N,
+                                    const vm::Code &Prog, vm::ExecContext &Ctx,
+                                    vm::Vm &Machine, MachineState &MS,
+                                    const RestoreLimits &Limits) {
+  SnapshotHeader H;
+  if (SnapshotError E = readHeader(Data, N, H); E != SnapshotError::None)
+    return E;
+
+  // Key check: the identity is a content hash, so it holds across
+  // processes, copies, and recompiles of the same source — exactly the
+  // cases a shipped checkpoint must survive — while any mutation of the
+  // program (which would also bump version()) moves it.
+  if (H.CodeIdentity != Prog.identity())
+    return SnapshotError::CodeMismatch;
+  if (H.MS.Pc >= Prog.size())
+    return SnapshotError::BadFieldValue;
+
+  // Allocation guards: nothing sized by the snapshot is allocated until
+  // the sizes have cleared the caller's limits.
+  if (H.DsCapacity > Limits.MaxStackCells ||
+      H.RsCapacity > Limits.MaxStackCells)
+    return SnapshotError::LimitExceeded;
+  if (H.DataSpaceBytes > Limits.MaxDataSpaceBytes)
+    return SnapshotError::LimitExceeded;
+  if (H.OutputBytes > Limits.MaxOutputBytes)
+    return SnapshotError::LimitExceeded;
+
+  const uint8_t *DsCells = Data + HeaderBytes + 8;
+  const uint8_t *RsCells = DsCells + H.DsDepth * sizeof(vm::Cell) + 8;
+  const uint8_t *DataPrefix = RsCells + H.RsDepth * sizeof(vm::Cell) + 8;
+  const uint8_t *Output = DataPrefix + H.DataPrefixBytes + 8;
+
+  Ctx.Prog = &Prog;
+  Ctx.Machine = &Machine;
+  Ctx.DsDepth = 0;
+  Ctx.RsDepth = 0;
+  Ctx.DsHighWater = 0;
+  Ctx.RsHighWater = 0;
+  Ctx.setStackCapacities(H.DsCapacity, H.RsCapacity);
+  std::fill(Ctx.DS.begin(), Ctx.DS.end(), 0);
+  std::fill(Ctx.RS.begin(), Ctx.RS.end(), 0);
+  if (H.DsDepth)
+    std::memcpy(Ctx.DS.data(), DsCells, H.DsDepth * sizeof(vm::Cell));
+  if (H.RsDepth)
+    std::memcpy(Ctx.RS.data(), RsCells, H.RsDepth * sizeof(vm::Cell));
+  Ctx.DsDepth = H.DsDepth;
+  Ctx.RsDepth = H.RsDepth;
+  Ctx.DsHighWater = H.DsHighWater;
+  Ctx.RsHighWater = H.RsHighWater;
+  Ctx.MaxSteps = H.MS.FuelRemaining;
+  Ctx.Resume = H.Resume != 0;
+
+  Machine.restoreDataSpace(H.DataSpaceBytes, DataPrefix, H.DataPrefixBytes,
+                           static_cast<vm::Cell>(H.Here),
+                           H.AccessibleLimit == UINT64_MAX
+                               ? static_cast<size_t>(-1)
+                               : static_cast<size_t>(H.AccessibleLimit));
+  Machine.Out.assign(reinterpret_cast<const char *>(Output), H.OutputBytes);
+
+  MS = H.MS;
+  return SnapshotError::None;
+}

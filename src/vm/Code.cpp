@@ -18,6 +18,35 @@ void Code::touch() {
   Version = NextVersion.fetch_add(1, std::memory_order_relaxed);
 }
 
+uint64_t Code::identity() const {
+  // FNV-1a 64. Each field is folded with an explicit width and the
+  // variable-length pieces (word names) are length-prefixed, so distinct
+  // programs cannot collide by re-chunking the same byte stream.
+  uint64_t H = 1469598103934665603ull;
+  auto FoldByte = [&H](uint8_t B) {
+    H ^= B;
+    H *= 1099511628211ull;
+  };
+  auto Fold64 = [&](uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      FoldByte(static_cast<uint8_t>(V >> (I * 8)));
+  };
+  Fold64(Insts.size());
+  for (const Inst &In : Insts) {
+    Fold64(static_cast<uint64_t>(In.Op));
+    Fold64(static_cast<uint64_t>(In.Operand));
+  }
+  Fold64(Words.size());
+  for (const Word &W : Words) {
+    Fold64(W.Name.size());
+    for (char C : W.Name)
+      FoldByte(static_cast<uint8_t>(C));
+    Fold64(W.Entry);
+    Fold64(W.End);
+  }
+  return H;
+}
+
 std::vector<bool> Code::computeLeaders() const {
   std::vector<bool> Leaders(Insts.size(), false);
   if (!Insts.empty())

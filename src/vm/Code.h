@@ -73,6 +73,18 @@ public:
   /// version stamp to a fresh process-unique value.
   void touch();
 
+  /// Content identity: a 64-bit FNV-1a hash over the instructions and the
+  /// word table. Unlike version(), which is a process-local mutation
+  /// stamp, the identity is a pure function of the program text: two Code
+  /// objects with equal content hash equal in any process, across copies
+  /// and recompiles. Snapshots and the quarantine registry key on it so
+  /// that restored state binds to *what the program says*, not to the
+  /// pointer or stamp of whichever object happens to hold it here.
+  /// Deliberately uncached (no mutable state), so concurrent readers of a
+  /// shared immutable Code need no synchronization; hot paths should use
+  /// a value precomputed at prepare time (PreparedCode::SourceIdentity).
+  uint64_t identity() const;
+
   uint32_t size() const { return static_cast<uint32_t>(Insts.size()); }
 
   /// Looks up a word by name; returns nullptr if absent. The most recently

@@ -19,6 +19,7 @@
 #include "support/Assert.h"
 #include "vm/Cell.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -124,6 +125,35 @@ public:
 
   /// Resets run-time state (output) but keeps compile-time allocations.
   void resetOutput() { Out.clear(); }
+
+  /// --- Snapshot support --------------------------------------------------
+
+  /// Raw data-space bytes, for serialization. Guest code never sees this;
+  /// the snapshot writer trims the trailing zero run so an almost-empty
+  /// 1 MiB arena costs a few hundred bytes on the wire.
+  const uint8_t *memData() const { return Mem.data(); }
+
+  /// The raw access cap, uncombined with the allocation size (contrast
+  /// accessibleSize()). size_t(-1) means uncapped; snapshots must round-
+  /// trip the distinction so a restored FaultInject run keeps its trap.
+  size_t accessibleLimit() const { return AccessibleLimit; }
+
+  /// Rebuilds the data space from a snapshot: \p Bytes of space with the
+  /// first \p N bytes copied from \p Prefix and the rest zeroed, HERE and
+  /// the access cap installed verbatim. Validation (prefix fits, HERE in
+  /// range) is the deserializer's job; this just installs checked values.
+  void restoreDataSpace(size_t Bytes, const uint8_t *Prefix, size_t N,
+                        Cell NewHere, size_t Limit) {
+    SC_ASSERT(N <= Bytes, "snapshot prefix exceeds data space");
+    if (Mem.size() == Bytes)
+      std::fill(Mem.begin() + N, Mem.end(), 0);
+    else
+      Mem.assign(Bytes, 0);
+    if (N)
+      std::memcpy(Mem.data(), Prefix, N);
+    Here = NewHere;
+    AccessibleLimit = Limit;
+  }
 };
 
 } // namespace sc::vm

@@ -285,3 +285,118 @@ TEST(SchedStress, DrainMidFlightRacesSubmitters) {
   S.wait(J);
   EXPECT_EQ(J->result().Stop, session::StopKind::Halted);
 }
+
+TEST(SchedStress, CrashRecoveryStorm) {
+  // Seeded hard-kill storm: each bounded dispatch is doomed with
+  // probability 1/3, discarding its whole effect and restarting the job
+  // from its last checkpoint — under four workers, so recovery races
+  // dispatch, settlement and the counter reader (TSan runs this).
+  // Whatever the interleaving, completion must be exactly-once: every
+  // job reaches Done with the same final state an uncrashed run
+  // produces, with nothing duplicated and nothing lost.
+  std::unique_ptr<forth::System> Compute = forth::loadOrDie(ComputeSrc);
+  std::unique_ptr<forth::System> Faulty = forth::loadOrDie(FaultSrc);
+
+  // The uncrashed reference: one supervised run of the compute program.
+  std::string RefOut;
+  {
+    vm::Vm M = Compute->Machine;
+    M.resetOutput();
+    session::VmSession Ref(
+        prepare::prepareCode(Compute->Prog, engine::EngineId::Switch), M);
+    EXPECT_EQ(Ref.run(Compute->entryOf("main")).Stop,
+              session::StopKind::Halted);
+    RefOut = M.Out;
+  }
+
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.SliceSteps = 64;
+  Cfg.Cache = &Cache;
+  Cfg.CheckpointEverySlices = 2;
+  Cfg.CrashOneIn = 3;
+  Cfg.CrashSeed = 0xdeadfa11;
+  SessionScheduler S(Cfg);
+
+  const std::vector<engine::EngineId> Engines = stressEngines();
+  constexpr unsigned NumTenants = 4;
+  constexpr unsigned JobsPerTenant = 4;
+  constexpr unsigned Rounds = 2;
+
+  std::vector<TenantId> Ts;
+  std::vector<Job *> Jobs;
+  std::vector<bool> IsFaulty;
+  for (unsigned TI = 0; TI < NumTenants; ++TI) {
+    TenantConfig TC;
+    TC.QueueCapacity = JobsPerTenant;
+    TC.OnFull = Backpressure::Wait;
+    Ts.push_back(S.addTenant("t" + std::to_string(TI), TC));
+    for (unsigned JI = 0; JI < JobsPerTenant; ++JI) {
+      const bool Fault = (TI + JI) % 4 == 0;
+      forth::System &Sys = Fault ? *Faulty : *Compute;
+      JobSpec Spec;
+      Spec.Entry = Sys.entryOf("main");
+      Jobs.push_back(
+          S.createJob(Ts[TI], Sys.Prog,
+                      Engines[(TI * JobsPerTenant + JI) % Engines.size()],
+                      Sys.Machine, Spec));
+      IsFaulty.push_back(Fault);
+    }
+  }
+
+  std::atomic<bool> Done{false};
+  std::thread Reader([&] {
+    while (!Done.load(std::memory_order_relaxed)) {
+      (void)snapshotToJson(S.snapshot());
+      std::this_thread::yield();
+    }
+  });
+
+  for (unsigned R = 0; R < Rounds; ++R) {
+    for (Job *J : Jobs) {
+      if (R > 0) {
+        J->machine().resetOutput(); // exactly-once: no leftover output
+        S.rearm(J);
+      }
+      while (S.submit(J) != SubmitResult::Admitted)
+        std::this_thread::yield();
+    }
+    for (Job *J : Jobs)
+      S.wait(J);
+
+    for (size_t I = 0; I < Jobs.size(); ++I) {
+      EXPECT_EQ(Jobs[I]->state(), JobState::Done);
+      if (IsFaulty[I]) {
+        EXPECT_EQ(Jobs[I]->result().Stop, session::StopKind::Fault)
+            << "job " << I;
+        EXPECT_EQ(Jobs[I]->result().Outcome.Status, vm::RunStatus::DivByZero)
+            << "job " << I;
+      } else {
+        EXPECT_EQ(Jobs[I]->result().Stop, session::StopKind::Halted)
+            << "job " << I;
+        // Recovery re-executed some slices, but the rolled-back output
+        // means the printed result appears exactly once.
+        EXPECT_EQ(Jobs[I]->machine().Out, RefOut) << "job " << I;
+      }
+    }
+  }
+  Done.store(true, std::memory_order_relaxed);
+  Reader.join();
+  S.drain();
+
+  uint64_t Crashes = 0, Recoveries = 0, Submitted = 0, Completed = 0;
+  for (const TenantCounters &T : S.snapshot().Tenants) {
+    Crashes += T.Crashes;
+    Recoveries += T.Recoveries;
+    Submitted += T.Submitted;
+    Completed += T.Completed;
+    EXPECT_EQ(T.QueueDepth, 0u);
+  }
+  // 64 admitted dispatches minimum at 1/3 doom probability: the odds of
+  // a crash-free storm are astronomically small.
+  EXPECT_GT(Crashes, 0u);
+  EXPECT_EQ(Crashes, Recoveries); // every murder was recovered from
+  EXPECT_EQ(Completed, Submitted);
+  EXPECT_EQ(Completed, uint64_t(NumTenants) * JobsPerTenant * Rounds);
+}

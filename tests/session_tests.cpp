@@ -376,8 +376,7 @@ TEST(VmSession, QuarantineAfterConfirmedFaults) {
   EXPECT_EQ(R2.Stop, StopKind::Fault);
   EXPECT_TRUE(R2.Quarantined);
   EXPECT_EQ(F.S->counters().Quarantines, 1u);
-  EXPECT_TRUE(
-      globalQuarantine().isQuarantined(F.PC->Source, F.PC->SourceVersion));
+  EXPECT_TRUE(globalQuarantine().isQuarantined(F.PC->SourceIdentity));
 
   // The same session refuses further runs...
   F.S->reset();
