@@ -8,8 +8,8 @@
 /// \file
 /// A command line Forth runner:
 ///
-///   forth_run [--engine E] [--word W] [--repeat N] [--prepare]
-///             [--trace] [--stats] file.fs
+///   forth_run [--engine E | --adaptive] [--word W] [--repeat N]
+///             [--prepare] [--trace] [--stats] file.fs
 ///
 /// E is any engine name (or alias) known to the EngineRegistry; run with
 /// no arguments for the current list. W defaults to "main". With --trace,
@@ -39,6 +39,17 @@
 /// at its recorded PC. A corrupt or mismatched snapshot is refused with a
 /// typed error. tools/snapshot_inspect dumps a snapshot's header.
 ///
+/// --adaptive replaces the fixed engine choice with a TierController:
+/// the run starts on the promotion ladder's cold tier and climbs to
+/// hotter engines as the program accumulates steps (--tier-threshold N
+/// sets the steps each rung costs). Mutually exclusive with --engine —
+/// adaptive tiering chooses the engine itself. Implies a supervised
+/// session (migration happens at slice boundaries); combined with
+/// --restore, the snapshot's retired-step count seeds the controller so
+/// the run resumes on the tier it had already earned. Combined with
+/// --workers, the scheduler's jobs share one background controller. The
+/// tier summary goes to stderr after the run.
+///
 /// --workers N runs the word through a SessionScheduler instead: each of
 /// --tenants T tenants (default 2) gets its own job (a machine copy plus
 /// a supervised session), the fleet is recycled --repeat times, and the
@@ -57,6 +68,7 @@
 #include "sched/SessionScheduler.h"
 #include "session/VmSession.h"
 #include "snapshot/Snapshot.h"
+#include "tier/TierController.h"
 #include "trace/Capture.h"
 #include "trace/Simulators.h"
 #include "vm/FaultDiag.h"
@@ -90,13 +102,18 @@ static int usage() {
   }
   std::fprintf(
       stderr,
-      "usage: forth_run [--engine E] [--word W] [--repeat N] [--prepare]\n"
+      "usage: forth_run [--engine E | --adaptive] [--word W] [--repeat N]\n"
+      "                 [--prepare] [--tier-threshold N]\n"
       "                 [--deadline MS] [--fuel N] [--slice N] [--fallback]\n"
       "                 [--checkpoint FILE] [--restore FILE]\n"
       "                 [--workers N] [--tenants N] [--trace] [--stats]\n"
       "                 file.fs\n"
       "  E: %s\n"
       "     (default: threaded)\n"
+      "  --adaptive    start cold and promote to hotter engines as the\n"
+      "                word gets hot (exclusive with --engine)\n"
+      "  --tier-threshold N  guest steps per promotion rung (implies\n"
+      "                      --adaptive)\n"
       "  --repeat N    run the word N times (default 1)\n"
       "  --prepare     translate once via the PrepareCache, then reuse\n"
       "  --deadline MS stop a runaway run after MS milliseconds\n"
@@ -126,6 +143,9 @@ int main(int Argc, char **Argv) {
   bool WantPrepare = false;
   bool UseSession = false;
   bool WantFallback = false;
+  bool Adaptive = false;
+  bool EngineExplicit = false;
+  unsigned long long TierThreshold = 0; // 0: TierPolicy default
   long Repeat = 1;
   long DeadlineMs = 0;
   long Workers = 0; // 0: no scheduler
@@ -136,9 +156,17 @@ int main(int Argc, char **Argv) {
   unsigned long long SliceSteps = 4096;
 
   for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--engine") && I + 1 < Argc)
+    if (!std::strcmp(Argv[I], "--engine") && I + 1 < Argc) {
       EngineName = Argv[++I];
-    else if (!std::strcmp(Argv[I], "--word") && I + 1 < Argc)
+      EngineExplicit = true;
+    } else if (!std::strcmp(Argv[I], "--adaptive")) {
+      Adaptive = true;
+      UseSession = true;
+    } else if (!std::strcmp(Argv[I], "--tier-threshold") && I + 1 < Argc) {
+      TierThreshold = std::strtoull(Argv[++I], nullptr, 10);
+      Adaptive = true;
+      UseSession = true;
+    } else if (!std::strcmp(Argv[I], "--word") && I + 1 < Argc)
       WordName = Argv[++I];
     else if (!std::strcmp(Argv[I], "--repeat") && I + 1 < Argc)
       Repeat = std::strtol(Argv[++I], nullptr, 10);
@@ -179,6 +207,16 @@ int main(int Argc, char **Argv) {
     return usage();
   if (FileName.empty())
     return usage();
+  if (Adaptive && EngineExplicit) {
+    // Reject instead of silently letting one flag win: an explicit
+    // engine and adaptive tiering contradict each other.
+    std::fprintf(stderr,
+                 "forth_run: --engine and --adaptive are mutually exclusive "
+                 "(adaptive tiering chooses the engine itself; drop one)\n");
+    return 2;
+  }
+  if (Adaptive && TierThreshold == 0)
+    TierThreshold = tier::TierPolicy().PromoteSteps;
 
   std::ifstream In(FileName);
   if (!In) {
@@ -225,12 +263,24 @@ int main(int Argc, char **Argv) {
   RunOutcome O;
   uint32_t Entry = Sys.entryOf(WordName);
 
+  std::unique_ptr<tier::TierController> Tier;
+  if (Adaptive) {
+    tier::TierPolicy TP;
+    TP.PromoteSteps = TierThreshold;
+    // Under a scheduler, re-preparation must stay off the dispatch path;
+    // the single-session path prepares inline at poll points instead
+    // (deterministic, and there is no dispatch path to protect).
+    TP.Background = Workers > 0;
+    Tier = std::make_unique<tier::TierController>(TP);
+  }
+
   // The scheduler path: the word becomes one job per tenant, and the
   // fleet is recycled --repeat times through a fixed worker pool.
   if (Workers > 0) {
     sched::SchedConfig SchedCfg;
     SchedCfg.Workers = static_cast<unsigned>(Workers);
     SchedCfg.SliceSteps = SliceSteps;
+    SchedCfg.Tier = Tier.get();
     sched::SessionScheduler Sched(SchedCfg);
     sched::JobSpec Spec;
     Spec.Entry = Entry;
@@ -283,6 +333,14 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned long long>(TC.Slices),
           static_cast<unsigned long long>(TC.Steps),
           static_cast<unsigned long long>(TC.Preemptions));
+    if (Tier) {
+      std::fputs(metrics::formatTierCounters(Tier->counters()).c_str(),
+                 stderr);
+      for (sched::Job *J : Jobs)
+        std::fprintf(stderr, "(   tenant %u finished on tier %u: %s )\n",
+                     J->tenant(), J->tier(),
+                     engine::engineName(J->session().prepared().Engine));
+    }
 
     std::fputs(Jobs[0]->machine().Out.c_str(), stdout);
     int Rc = 0;
@@ -304,6 +362,7 @@ int main(int Argc, char **Argv) {
   // PreparedCode in slices and owns its own ExecContext.
   std::unique_ptr<session::VmSession> Sess;
   session::SessionResult SessRes;
+  unsigned TierNow = 0;
   if (UseSession) {
     session::SessionPolicy Pol;
     Pol.SliceSteps = SliceSteps;
@@ -322,9 +381,23 @@ int main(int Argc, char **Argv) {
       // The snapshot carries the remaining budget; an explicit --fuel on
       // top grants that many steps more (a fuel-exhausted snapshot would
       // otherwise be unresumable from here).
+      prepare::EngineId RestoreEngine = PrepId;
+      if (Tier) {
+        // Resume on the tier the job had earned, not the cold rung: the
+        // header's retired-step count seeds the controller before the
+        // tier is chosen.
+        snapshot::SnapshotHeader H;
+        if (snapshot::readHeader(Bytes.data(), Bytes.size(), H) ==
+            snapshot::SnapshotError::None)
+          Tier->seedSteps(H.CodeIdentity, H.MS.StepsRetired);
+        // The restored PC is an unfused instruction index, so the fused
+        // top rung is out of reach until the next fresh entry.
+        RestoreEngine =
+            Tier->acquire(Sys.Prog, &TierNow, /*AllowFused=*/false)->Engine;
+      }
       snapshot::SnapshotError Err;
       Sess = session::restoreSession(Bytes.data(), Bytes.size(), Sys.Prog,
-                                     PrepId, Machine, Pol,
+                                     RestoreEngine, Machine, Pol,
                                      prepare::globalPrepareCache(), &Err);
       if (!Sess) {
         std::fprintf(stderr, "forth_run: cannot restore %s: %s\n",
@@ -335,8 +408,12 @@ int main(int Argc, char **Argv) {
         Sess->refuel(FuelSteps);
       Entry = Sess->restoredPc();
     } else {
-      auto PC = prepare::globalPrepareCache().getOrPrepare(Sys.Prog, PrepId);
-      Sess = std::make_unique<session::VmSession>(PC, Machine, Pol);
+      auto PC = Tier ? Tier->acquire(Sys.Prog, &TierNow)
+                     : prepare::globalPrepareCache().getOrPrepare(Sys.Prog,
+                                                                  PrepId);
+      if (Tier)
+        Entry = PC->entryOf(WordName);
+      Sess = std::make_unique<session::VmSession>(std::move(PC), Machine, Pol);
     }
     if (WantStats)
       Sess->context().Stats = &Stats;
@@ -349,9 +426,43 @@ int main(int Argc, char **Argv) {
     if (R)
       Machine.resetOutput(); // keep only the final run's output
     if (UseSession) {
-      if (R)
+      if (R) {
         Sess->reset();
-      SessRes = Sess->run(Entry);
+        if (Tier) {
+          // Fresh entry: adopt whatever tier the word has earned, the
+          // fused top rung included (the entry is re-resolved through
+          // the artifact's own word table).
+          unsigned NewTier;
+          auto Hot = Tier->acquire(Sys.Prog, &NewTier);
+          Sess->migrateTo(std::move(Hot));
+          TierNow = NewTier;
+          Entry = Sess->prepared().entryOf(WordName);
+        }
+      }
+      if (Tier) {
+        // Bounded dispatches with a migration poll between them: the
+        // session changes engines only at these slice boundaries.
+        uint64_t Steps = 0, Slices = 0;
+        for (;;) {
+          SessRes = Sess->run(Entry, 32);
+          Steps += SessRes.Outcome.Steps;
+          Slices += SessRes.Slices;
+          Tier->recordSteps(Sys.Prog, TierNow, SessRes.Outcome.Steps);
+          if (SessRes.Stop != session::StopKind::Preempted)
+            break;
+          Entry = SessRes.ResumePc;
+          unsigned NewTier;
+          if (auto Hot = Tier->pollMigration(Sys.Prog.identity(), TierNow,
+                                             &NewTier)) {
+            Sess->migrateTo(std::move(Hot));
+            TierNow = NewTier;
+          }
+        }
+        SessRes.Outcome.Steps = Steps;
+        SessRes.Slices = Slices;
+      } else {
+        SessRes = Sess->run(Entry);
+      }
       O = SessRes.Outcome;
       if (SessRes.Stop != session::StopKind::Halted)
         break;
@@ -394,6 +505,12 @@ int main(int Argc, char **Argv) {
   if (UseSession) {
     std::fputs(metrics::formatSessionCounters(Sess->counters()).c_str(),
                stderr);
+    if (Tier) {
+      std::fputs(metrics::formatTierCounters(Tier->counters()).c_str(),
+                 stderr);
+      std::fprintf(stderr, "( final tier %u: %s )\n", TierNow,
+                   engine::engineName(Sess->prepared().Engine));
+    }
     if (SessRes.Replayed)
       std::fprintf(stderr, "( fallback replay: %s )\n",
                    session::confirmationName(SessRes.Verdict));

@@ -65,6 +65,13 @@ if [ "$MODE" = bench-smoke ]; then
   echo "==== snapshot overhead contracts"
   SC_BENCH_SMOKE=1 "$BUILD"/bench/snapshot_overhead > /dev/null
   echo "snapshot contracts held (bit-identical round trip, typed rejection)"
+  # Adaptive tiering contracts: the adaptive config's output matches
+  # every fixed ladder engine byte-for-byte, the hot program settles on
+  # the top tier while cold churn stays on rung 0, and the steady-state
+  # round beats the best single fixed engine.
+  echo "==== adaptive tiering contracts"
+  SC_BENCH_SMOKE=1 "$BUILD"/bench/adaptive_tiering > /dev/null
+  echo "tiering contracts held (exact output, adaptive beats best fixed)"
   "$(dirname "$0")"/bench.sh --smoke --self-check "$BUILD"
 elif [ "$MODE" = sanitize ]; then
   if [ "$SAN_KINDS" = thread ]; then

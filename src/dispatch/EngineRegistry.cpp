@@ -21,6 +21,8 @@
 #include "staticcache/StaticSpec.h"
 #include "support/Assert.h"
 
+#include <algorithm>
+
 using namespace sc;
 using namespace sc::engine;
 using namespace sc::vm;
@@ -115,38 +117,51 @@ RunOutcome runStaticRow(const Code &Prog, ExecContext &Ctx,
       });
 }
 
-constexpr EngineCaps referenceCaps() {
+constexpr EngineCaps referenceCaps(uint8_t Rank) {
   EngineCaps C;
   C.Reference = true;
+  C.TierRank = Rank;
   return C;
 }
 
-constexpr EngineCaps cachingCaps() { return EngineCaps{}; }
+constexpr EngineCaps cachingCaps(uint8_t Rank) {
+  EngineCaps C;
+  C.TierRank = Rank;
+  return C;
+}
 
-constexpr EngineCaps staticCaps() {
+constexpr EngineCaps staticCaps(uint8_t Rank) {
   EngineCaps C;
   C.Static = true;
+  C.TierRank = Rank;
   return C;
 }
 
+// Tier ranks order the promotion ladder by prepare cost vs. steady-state
+// speed: the switch engine needs no stream at all (free cold start),
+// the threaded flavors pay one linear translation, the dynamic cache
+// adds register residency, and the static flavors pay a whole-program
+// specialization that only hot code amortizes. Call threading sits
+// between switch and direct threading (the paper's Fig. 3 ordering) and
+// drops out of reentrancy-requiring ladders via its capability flag.
 const EngineInfo Registry[NumEngineIds] = {
-    {EngineId::Switch, "switch", nullptr, referenceCaps(), runSwitchRow},
-    {EngineId::Threaded, "threaded", nullptr, referenceCaps(),
+    {EngineId::Switch, "switch", nullptr, referenceCaps(0), runSwitchRow},
+    {EngineId::Threaded, "threaded", nullptr, referenceCaps(2),
      runThreadedRow},
     {EngineId::CallThreaded, "call-threaded", nullptr,
      [] {
-       EngineCaps C = referenceCaps();
+       EngineCaps C = referenceCaps(1);
        C.Reentrant = false; // VM registers live in static storage
        return C;
      }(),
      runCallThreadedRow},
-    {EngineId::ThreadedTos, "threaded-tos", nullptr, referenceCaps(),
+    {EngineId::ThreadedTos, "threaded-tos", nullptr, referenceCaps(3),
      runThreadedTosRow},
-    {EngineId::Dynamic3, "dynamic3", nullptr, cachingCaps(), runDynamic3Row},
-    {EngineId::Model, "model", nullptr, cachingCaps(), runModelRow},
-    {EngineId::StaticGreedy, "static-greedy", "static", staticCaps(),
+    {EngineId::Dynamic3, "dynamic3", nullptr, cachingCaps(4), runDynamic3Row},
+    {EngineId::Model, "model", nullptr, cachingCaps(NoTierRank), runModelRow},
+    {EngineId::StaticGreedy, "static-greedy", "static", staticCaps(5),
      runStaticRow<false>},
-    {EngineId::StaticOptimal, "static-optimal", nullptr, staticCaps(),
+    {EngineId::StaticOptimal, "static-optimal", nullptr, staticCaps(6),
      runStaticRow<true>},
 };
 
@@ -177,6 +192,24 @@ vm::RunOutcome sc::engine::runEngine(EngineId E, const Code &Prog,
                                      ExecContext &Ctx,
                                      const RunOptions &Opts) {
   return engineInfo(E).Run(Prog, Ctx, Opts);
+}
+
+std::vector<EngineId> sc::engine::promotionLadder(bool RequireReentrant) {
+  std::vector<EngineId> Ladder;
+  for (const EngineInfo &Row : Registry) {
+    if (Row.Caps.TierRank == NoTierRank)
+      continue;
+    if (RequireReentrant && !Row.Caps.Reentrant)
+      continue;
+    Ladder.push_back(Row.Id);
+  }
+  std::sort(Ladder.begin(), Ladder.end(), [](EngineId A, EngineId B) {
+    return engineInfo(A).Caps.TierRank < engineInfo(B).Caps.TierRank;
+  });
+  SC_ASSERT(!Ladder.empty() &&
+                engineInfo(Ladder.front()).Caps.TierRank == 0,
+            "the ladder must start at the rank-0 cold engine");
+  return Ladder;
 }
 
 EngineId sc::engine::referenceEngine() {

@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace sc::prepare {
 struct PreparedCode;
@@ -58,6 +59,11 @@ enum class EngineId : uint8_t {
   StaticOptimal, ///< static cache, two-pass optimal codegen
 };
 inline constexpr unsigned NumEngineIds = 8;
+
+/// TierRank value excluding an engine from the adaptive promotion
+/// ladder (Model: a shadow-checked specification that allocates per run,
+/// never a performance tier).
+inline constexpr uint8_t NoTierRank = 0xff;
 
 /// What an engine can and cannot do; drives caller policy (comparison
 /// masking, reentrancy guards, fallback selection) without per-engine
@@ -80,6 +86,12 @@ struct EngineCaps {
   bool Reentrant = true;
   /// One of the paper's four reference dispatch techniques.
   bool Reference = false;
+  /// Position in the adaptive promotion ladder: rank 0 is the cold
+  /// start (prepare cost near zero), higher ranks are adopted as a code
+  /// object proves hot and its re-preparation cost amortizes. Ranks are
+  /// unique across the table; NoTierRank excludes the engine from
+  /// tiering entirely. Query promotionLadder(), not this field.
+  uint8_t TierRank = NoTierRank;
 };
 
 /// The per-engine knobs the normalized entry point folds together.
@@ -125,6 +137,14 @@ vm::RunOutcome runEngine(EngineId E, const vm::Code &Prog,
 /// The canonical reference engine every fallback/replay decision uses
 /// (the row flagged Reference with exactly-comparable step counts).
 EngineId referenceEngine();
+
+/// The capability-aware promotion ladder: every tier-ranked engine in
+/// ascending TierRank order — the spine the adaptive tier controller
+/// climbs (cold start at the front, hottest flavor at the back). With
+/// \p RequireReentrant, flavors that cannot run concurrently on
+/// distinct contexts (call threading's static VM registers) are
+/// dropped: a multi-worker scheduler must never promote into them.
+std::vector<EngineId> promotionLadder(bool RequireReentrant);
 
 /// True for the statically specialized flavors (engineInfo(E).Caps
 /// .Static, constexpr-friendly for array sizing and masks).

@@ -63,6 +63,8 @@ Json sc::metrics::prepareCountersToJson(const PrepareCounters &C) {
   Obj.set("misses", Json::number(C.Misses));
   Obj.set("invalidations", Json::number(C.Invalidations));
   Obj.set("translations", Json::number(C.Translations));
+  Obj.set("identity_hits", Json::number(C.IdentityHits));
+  Obj.set("identity_misses", Json::number(C.IdentityMisses));
   return Obj;
 }
 
@@ -82,6 +84,7 @@ Json sc::metrics::sessionCountersToJson(const SessionCounters &C) {
   Obj.set("checkpoints", Json::number(C.Checkpoints));
   Obj.set("restores", Json::number(C.Restores));
   Obj.set("leader_fallbacks", Json::number(C.LeaderFallbacks));
+  Obj.set("migrations", Json::number(C.Migrations));
   return Obj;
 }
 
@@ -112,7 +115,32 @@ std::string sc::metrics::formatSessionCounters(const SessionCounters &C) {
        static_cast<unsigned long long>(C.Checkpoints),
        static_cast<unsigned long long>(C.Restores),
        static_cast<unsigned long long>(C.LeaderFallbacks));
+  if (C.Migrations)
+    Line("migrations: %llu\n", static_cast<unsigned long long>(C.Migrations));
   return Out;
+}
+
+Json sc::metrics::tierCountersToJson(const TierCounters &C) {
+  Json Obj = Json::object();
+  Obj.set("promotions", Json::number(C.Promotions));
+  Obj.set("demotions", Json::number(C.Demotions));
+  Obj.set("prepare_requests", Json::number(C.PrepareRequests));
+  Obj.set("prepares", Json::number(C.Prepares));
+  Obj.set("prepare_ns", Json::number(C.PrepareNs));
+  return Obj;
+}
+
+std::string sc::metrics::formatTierCounters(const TierCounters &C) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "tier: %llu promotions, %llu demotions, "
+                "%llu/%llu prepares (%.3f ms)\n",
+                static_cast<unsigned long long>(C.Promotions),
+                static_cast<unsigned long long>(C.Demotions),
+                static_cast<unsigned long long>(C.Prepares),
+                static_cast<unsigned long long>(C.PrepareRequests),
+                static_cast<double>(C.PrepareNs) / 1e6);
+  return Buf;
 }
 
 Json sc::metrics::countersToJson(const Counters &C) {

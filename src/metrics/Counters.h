@@ -132,16 +132,25 @@ inline void noteTrap(Counters &C, vm::RunStatus S) {
 /// translations actually performed. Unlike Counters these are always
 /// maintained — they tick once per prepare/lookup, not per instruction.
 struct PrepareCounters {
-  uint64_t Hits = 0;          ///< cache lookups served without translating
-  uint64_t Misses = 0;        ///< lookups that had to prepare
+  uint64_t Hits = 0;          ///< getOrPrepare served without translating
+  uint64_t Misses = 0;        ///< getOrPrepare that had to prepare
   uint64_t Invalidations = 0; ///< entries dropped because Code::version moved
   uint64_t Translations = 0;  ///< prepared streams actually built
+  /// Content-identity lookups (findByIdentity, the restore/tier path)
+  /// are counted separately from the getOrPrepare pair above, so each
+  /// pair independently satisfies hits + misses == lookups once writers
+  /// quiesce. (They used to share Hits with no miss tick at all, which
+  /// made the aggregate unreconcilable under mixed lookups.)
+  uint64_t IdentityHits = 0;
+  uint64_t IdentityMisses = 0;
 
   PrepareCounters &operator+=(const PrepareCounters &O) {
     Hits += O.Hits;
     Misses += O.Misses;
     Invalidations += O.Invalidations;
     Translations += O.Translations;
+    IdentityHits += O.IdentityHits;
+    IdentityMisses += O.IdentityMisses;
     return *this;
   }
 };
@@ -171,6 +180,7 @@ struct SessionCounters {
   uint64_t LeaderFallbacks = 0; ///< slices routed to the reference engine
                                 ///< because a restored PC was not a safe
                                 ///< entry point of a static translation
+  uint64_t Migrations = 0; ///< migrateTo() engine swaps at slice boundaries
 
   SessionCounters &operator+=(const SessionCounters &O) {
     Slices += O.Slices;
@@ -187,6 +197,7 @@ struct SessionCounters {
     Checkpoints += O.Checkpoints;
     Restores += O.Restores;
     LeaderFallbacks += O.LeaderFallbacks;
+    Migrations += O.Migrations;
     return *this;
   }
 };
@@ -196,6 +207,32 @@ Json sessionCountersToJson(const SessionCounters &C);
 
 /// Human-readable multi-line rendering (forth_run session summary).
 std::string formatSessionCounters(const SessionCounters &C);
+
+/// Promotion-ladder traffic for one adaptive tier controller
+/// (src/tier). Always maintained, like PrepareCounters: one tick per
+/// tiering decision, far off the per-instruction hot paths.
+struct TierCounters {
+  uint64_t Promotions = 0; ///< hotter artifacts handed to a caller
+  uint64_t Demotions = 0;  ///< identities pinned cold (confirmed faults)
+  uint64_t PrepareRequests = 0; ///< re-preparations asked for
+  uint64_t Prepares = 0;        ///< re-preparations completed
+  uint64_t PrepareNs = 0;       ///< wall-clock ns spent re-preparing
+
+  TierCounters &operator+=(const TierCounters &O) {
+    Promotions += O.Promotions;
+    Demotions += O.Demotions;
+    PrepareRequests += O.PrepareRequests;
+    Prepares += O.Prepares;
+    PrepareNs += O.PrepareNs;
+    return *this;
+  }
+};
+
+/// Serializes \p C as a flat JSON object (promotions/demotions/...).
+Json tierCountersToJson(const TierCounters &C);
+
+/// Human-readable one-line rendering (forth_run --adaptive summary).
+std::string formatTierCounters(const TierCounters &C);
 
 /// Serializes \p C as a JSON object: total and per-opcode (mnemonic-keyed,
 /// nonzero only) dispatch counts, occupancy, cache events, reconcile

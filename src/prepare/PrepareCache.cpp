@@ -48,10 +48,11 @@ PrepareCache::findByIdentity(uint64_t Identity, EngineId Engine,
     // content its SourceIdentity was hashed from, which is exactly what
     // an identity-keyed restore asks for.
     if (PC->SourceIdentity == Identity) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
+      IdentityHits.fetch_add(1, std::memory_order_relaxed);
       return PC;
     }
   }
+  IdentityMisses.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
@@ -61,6 +62,8 @@ metrics::PrepareCounters PrepareCache::counters() const {
   C.Misses = Misses.load(std::memory_order_relaxed);
   C.Invalidations = Invalidations.load(std::memory_order_relaxed);
   C.Translations = Translations.load(std::memory_order_relaxed);
+  C.IdentityHits = IdentityHits.load(std::memory_order_relaxed);
+  C.IdentityMisses = IdentityMisses.load(std::memory_order_relaxed);
   return C;
 }
 

@@ -43,8 +43,15 @@ namespace sc::prepare {
 /// returns a value-consistent snapshot of each counter — but not a
 /// point-in-time-consistent snapshot across counters (a concurrent
 /// getOrPrepare may have ticked Misses and not yet Translations).
-/// Aggregate invariants like Hits + Misses == lookups only hold once the
-/// writers have quiesced. The PreparedCode artifacts handed out are
+/// Aggregate invariants only hold once the writers have quiesced, and
+/// then per lookup family: Hits + Misses == getOrPrepare calls, and
+/// IdentityHits + IdentityMisses == findByIdentity calls (identity
+/// lookups used to tick the shared Hits on success and nothing on
+/// miss, which made the aggregate unreconcilable under mixed lookups).
+/// A version-bump invalidation ticks Invalidations exactly once no
+/// matter how many threads race on the stale entry: the first
+/// getOrPrepare to take the mutex erases and re-prepares it, and the
+/// rest see the fresh entry. The PreparedCode artifacts handed out are
 /// immutable and safe to run from any thread (CallThreaded excepted; see
 /// PreparedCode).
 class PrepareCache {
@@ -102,11 +109,13 @@ private:
 
   mutable std::mutex Mu; ///< guards Map only; counters are atomic
   std::unordered_map<Key, std::shared_ptr<const PreparedCode>, KeyHash> Map;
-  /// mutable: const lookups (findByIdentity) tick it too.
-  mutable std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Invalidations{0};
   std::atomic<uint64_t> Translations{0};
+  /// mutable: const lookups (findByIdentity) tick these.
+  mutable std::atomic<uint64_t> IdentityHits{0};
+  mutable std::atomic<uint64_t> IdentityMisses{0};
 };
 
 /// The process-wide cache shared by every session.

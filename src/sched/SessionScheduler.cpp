@@ -9,6 +9,8 @@
 
 #include "dispatch/EngineRegistry.h"
 #include "support/Assert.h"
+#include "tier/TierController.h"
+#include "vm/Code.h"
 
 #include <algorithm>
 #include <bit>
@@ -61,13 +63,24 @@ double SchedSnapshot::latencyPercentileNs(double P) const {
     Total += C;
   if (Total == 0)
     return 0.0;
-  const double Target = P * static_cast<double>(Total);
+  // Rank of the sample holding the percentile, counted from 1. The
+  // floating target `Acc >= P * Total` used here before had an edge at
+  // the bottom: P == 0 (or small enough that the target rounded below
+  // one sample) returned bucket 0's upper bound even when bucket 0 was
+  // empty, because an accumulator of zero already satisfied `0 >= 0`.
+  // Clamping the rank into [1, Total] lands every P on a bucket that
+  // actually holds a sample, and keeps P == 1 from walking past the end.
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(P * static_cast<double>(Total)));
+  Rank = std::clamp<uint64_t>(Rank, 1, Total);
   uint64_t Acc = 0;
   for (unsigned I = 0; I < LatencyBuckets; ++I) {
     Acc += Latency[I];
-    if (static_cast<double>(Acc) >= Target)
+    if (Acc >= Rank)
       return std::ldexp(1.0, static_cast<int>(I) + 1);
   }
+  // Unreachable (Rank <= Total and the buckets sum to Total), but keep
+  // the top bucket's open-ended bound as a defensive answer.
   return std::ldexp(1.0, LatencyBuckets);
 }
 
@@ -95,6 +108,8 @@ metrics::Json sc::sched::snapshotToJson(const SchedSnapshot &S) {
     J.set("cancellations", metrics::Json::number(T.Cancellations));
     J.set("crashes", metrics::Json::number(T.Crashes));
     J.set("recoveries", metrics::Json::number(T.Recoveries));
+    J.set("tier_promotions", metrics::Json::number(T.TierPromotions));
+    J.set("tier_demotions", metrics::Json::number(T.TierDemotions));
     J.set("queue_depth", metrics::Json::number(T.QueueDepth));
     Ts.push(std::move(J));
   }
@@ -115,6 +130,9 @@ SessionScheduler::SessionScheduler(SchedConfig Config) : Cfg(Config) {
             "crash injection needs checkpoints to recover from");
   if (!Cfg.Cache)
     Cfg.Cache = &prepare::globalPrepareCache();
+  SC_ASSERT(!Cfg.Tier || Cfg.Tier->policy().Background,
+            "a scheduler's tier controller must re-prepare in the "
+            "background, never on the dispatch path");
   CrashRng = Rng(Cfg.CrashSeed ? Cfg.CrashSeed : 1);
   Pool.reserve(Cfg.Workers);
   for (unsigned I = 0; I < Cfg.Workers; ++I)
@@ -163,10 +181,18 @@ Job *SessionScheduler::createJob(TenantId T, const vm::Code &Prog,
                                  engine::EngineId E, const vm::Vm &ProtoMachine,
                                  JobSpec Spec) {
   // Shared cache: the first job for (Prog, E) prepares, every later one
-  // (any tenant, any thread) reuses the translation.
-  std::shared_ptr<const prepare::PreparedCode> PC =
-      Cfg.Cache->getOrPrepare(Prog, E);
+  // (any tenant, any thread) reuses the translation. Under adaptive
+  // tiering the controller picks the engine instead — the tier the
+  // program has earned so far, never fused (Spec.Entry and every resume
+  // PC are unfused instruction indices).
   std::unique_ptr<Job> J(new Job());
+  std::shared_ptr<const prepare::PreparedCode> PC;
+  if (Cfg.Tier) {
+    PC = Cfg.Tier->acquire(Prog, &J->TierIdx, /*AllowFused=*/false);
+    J->Prog = &Prog;
+  } else {
+    PC = Cfg.Cache->getOrPrepare(Prog, E);
+  }
   J->Tenant = T;
   J->Spec = Spec;
   J->Machine = std::make_unique<vm::Vm>(ProtoMachine);
@@ -230,6 +256,16 @@ void SessionScheduler::rearm(Job *J) {
   J->Sess->resetCancel();
   J->Aggregate = session::SessionResult{};
   J->NextEntry = J->Spec.Entry;
+  if (Cfg.Tier && J->Prog) {
+    // Fresh-entry adoption: a rearmed job restarts at Spec.Entry, so any
+    // tier its program earned while it was parked can be taken now.
+    unsigned NewTier;
+    if (auto Hot = Cfg.Tier->pollMigration(J->Sess->prepared().SourceIdentity,
+                                           J->TierIdx, &NewTier)) {
+      J->Sess->migrateTo(std::move(Hot));
+      J->TierIdx = NewTier;
+    }
+  }
   J->State.store(JobState::Idle, std::memory_order_release);
 }
 
@@ -322,6 +358,19 @@ void SessionScheduler::settle(Job *J, TenantState &TS, TenantStats &St,
   if (R.Stop == session::StopKind::Preempted) {
     St.Preemptions.fetch_add(1, std::memory_order_relaxed);
     J->NextEntry = R.ResumePc;
+    if (Cfg.Tier) {
+      // A preemption is a slice boundary with canonical resumable state:
+      // the one place a live job may change engines. Poll-only — a null
+      // result means the hotter translation is not ready yet, and the
+      // job just keeps running its current tier.
+      unsigned NewTier;
+      if (auto Hot = Cfg.Tier->pollMigration(J->Sess->prepared().SourceIdentity,
+                                             J->TierIdx, &NewTier)) {
+        J->Sess->migrateTo(std::move(Hot));
+        J->TierIdx = NewTier;
+        St.TierPromotions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     J->State.store(JobState::Queued, std::memory_order_release);
     if (Cfg.Policy == SchedPolicy::Fifo)
       TS.Queue.pushFront(J); // resumes at the head: run to completion
@@ -465,6 +514,19 @@ void SessionScheduler::workerLoop() {
     St.Steps.fetch_add(R.Outcome.Steps, std::memory_order_relaxed);
     if (Cfg.Policy == SchedPolicy::Drr)
       TS.Deficit -= std::min(TS.Deficit, R.Outcome.Steps);
+    if (Cfg.Tier && J->Prog) {
+      // Hotness reporting: cheap map update; any re-preparation it
+      // triggers runs on the controller's background worker.
+      Cfg.Tier->recordSteps(*J->Prog, J->TierIdx, R.Outcome.Steps);
+      if (R.Stop == session::StopKind::Fault && R.Replayed &&
+          R.Verdict == session::Confirmation::Confirmed && J->TierIdx > 0) {
+        // A confirmed fault on a promoted tier: pin the program cold so
+        // tiering stops churning it (quarantine handles repeat
+        // offenders process-wide).
+        Cfg.Tier->demote(J->Sess->prepared().SourceIdentity);
+        St.TierDemotions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     if (Doomed) {
       // The worker dies at the slice boundary that ended this dispatch:
       // R is never settled, as if the crash had taken it.
@@ -505,6 +567,8 @@ SchedSnapshot SessionScheduler::snapshot() const {
     C.Cancellations = St.Cancellations.load(std::memory_order_relaxed);
     C.Crashes = St.Crashes.load(std::memory_order_relaxed);
     C.Recoveries = St.Recoveries.load(std::memory_order_relaxed);
+    C.TierPromotions = St.TierPromotions.load(std::memory_order_relaxed);
+    C.TierDemotions = St.TierDemotions.load(std::memory_order_relaxed);
     C.QueueDepth = St.QueueDepth.load(std::memory_order_relaxed);
     S.Tenants.push_back(std::move(C));
   }

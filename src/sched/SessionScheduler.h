@@ -68,6 +68,10 @@
 #include <thread>
 #include <vector>
 
+namespace sc::tier {
+class TierController;
+} // namespace sc::tier
+
 namespace sc::sched {
 
 using TenantId = uint32_t;
@@ -97,6 +101,16 @@ struct SchedConfig {
   /// Translation cache shared by every job; defaults to the process-wide
   /// cache. Must outlive the scheduler.
   prepare::PrepareCache *Cache = nullptr;
+  /// Adaptive tiering: when set, createJob ignores its engine argument
+  /// and every job starts on the controller's cold tier, reports its
+  /// retired steps after each bounded dispatch, and is migrated to
+  /// hotter engines at slice boundaries as its program earns them. The
+  /// controller must be running in background mode (TierPolicy::
+  /// Background) so re-preparation happens off the dispatch path — the
+  /// scheduler only ever polls for finished translations under its
+  /// lock, never translates there. Confirmed faults on a promoted job
+  /// demote its program cold. Must outlive the scheduler.
+  tier::TierController *Tier = nullptr;
   /// Durable checkpoint cadence handed to every session the scheduler
   /// creates (SessionPolicy::CheckpointEverySlices). Zero keeps the
   /// dispatch path checkpoint-free (and allocation-free).
@@ -172,6 +186,9 @@ public:
   /// only safe while the job is Idle or Done.
   vm::Vm &machine() { return *Machine; }
   session::VmSession &session() { return *Sess; }
+  /// The job's current rung on the adaptive ladder (0 without a tier
+  /// controller). Only safe to read while the job is Idle or Done.
+  unsigned tier() const { return TierIdx; }
 
 private:
   friend class SessionScheduler;
@@ -179,6 +196,10 @@ private:
 
   TenantId Tenant = 0;
   JobSpec Spec;
+  /// The source program, kept for hotness reporting under adaptive
+  /// tiering (null without a controller). Must outlive the job.
+  const vm::Code *Prog = nullptr;
+  unsigned TierIdx = 0; ///< current rung; workers update under Mu
   std::unique_ptr<vm::Vm> Machine;
   std::unique_ptr<session::VmSession> Sess;
   std::atomic<JobState> State{JobState::Idle};
@@ -212,6 +233,9 @@ struct TenantCounters {
   uint64_t Cancellations = 0;  ///< jobs stopped by cancel()
   uint64_t Crashes = 0;        ///< dispatches killed by fault injection
   uint64_t Recoveries = 0;     ///< jobs restarted from a checkpoint
+  uint64_t TierPromotions = 0; ///< jobs migrated to a hotter engine
+  uint64_t TierDemotions = 0;  ///< programs pinned cold after a
+                               ///< confirmed fault on a promoted tier
   uint64_t QueueDepth = 0;     ///< live gauge at snapshot time
 };
 
@@ -326,7 +350,8 @@ private:
   struct TenantStats {
     std::atomic<uint64_t> Submitted{0}, Rejected{0}, Dispatches{0}, Slices{0},
         Steps{0}, Preemptions{0}, Completed{0}, Faults{0}, DeadlineHits{0},
-        Cancellations{0}, Crashes{0}, Recoveries{0}, QueueDepth{0};
+        Cancellations{0}, Crashes{0}, Recoveries{0}, TierPromotions{0},
+        TierDemotions{0}, QueueDepth{0};
   };
 
   struct TenantState {

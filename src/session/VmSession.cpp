@@ -247,6 +247,20 @@ void VmSession::refuel(uint64_t Steps) {
   Policy.FuelSteps += std::min(Steps, Room);
 }
 
+void VmSession::migrateTo(std::shared_ptr<const prepare::PreparedCode> NewPC) {
+  SC_ASSERT(NewPC != nullptr, "migration to a null artifact");
+  SC_ASSERT(NewPC->SourceIdentity == PC->SourceIdentity,
+            "migration must stay on the same program content");
+  if (NewPC == PC)
+    return;
+  PC = std::move(NewPC);
+  // Everything else in the context — stacks, resume flag, fuel, progress
+  // accounting, checkpoints — is engine-neutral canonical state; only
+  // the program pointer names the artifact being executed.
+  Ctx.Prog = &PC->program();
+  ++Stats.Migrations;
+}
+
 SessionResult VmSession::run(const std::string &Word) {
   return run(PC->entryOf(Word));
 }

@@ -225,6 +225,17 @@ public:
   /// Grants \p Steps more fuel (saturating).
   void refuel(uint64_t Steps);
 
+  /// Swaps the session onto another prepared artifact of the *same
+  /// program content* (SourceIdentity must match) — the adaptive tier
+  /// controller's engine-promotion hook. Legal only between runs or at a
+  /// resumable stop, where the TRAPS.md contract leaves canonical state
+  /// any engine can resume from; the next run(ResumePc) continues the
+  /// guest under the new engine. Callers must not hand a fused artifact
+  /// to a mid-run session: fusion remaps instruction indices, so a
+  /// resume PC from the unfused program is meaningless there (the
+  /// identity check cannot catch this — fusion preserves content).
+  void migrateTo(std::shared_ptr<const prepare::PreparedCode> NewPC);
+
   /// Serializes the session's current state into a fresh snapshot,
   /// resumable at \p Pc (a resumable stop's SessionResult::ResumePc).
   /// Carries the session's remaining fuel and retired step/slice tallies,

@@ -1,0 +1,250 @@
+//===-- tier/TierController.cpp - Adaptive engine promotion ---------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tier/TierController.h"
+
+#include "support/Assert.h"
+#include "vm/Code.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace sc;
+using namespace sc::tier;
+
+TierController::TierController(TierPolicy P, prepare::PrepareCache *C)
+    : Policy(P), Cache(C ? C : &prepare::globalPrepareCache()) {
+  SC_ASSERT(Policy.PromoteSteps > 0, "a zero threshold promotes on sight");
+  for (engine::EngineId E : engine::promotionLadder(Policy.RequireReentrant))
+    Ladder.push_back({E, false});
+  if (Policy.FuseTopTier)
+    Ladder.push_back({Ladder.back().Engine, true});
+  MaxUnfused = 0;
+  for (unsigned I = 0; I < Ladder.size(); ++I)
+    if (!Ladder[I].Fused)
+      MaxUnfused = I;
+  if (Policy.Background)
+    Worker = std::thread([this] { workerLoop(); });
+}
+
+TierController::~TierController() {
+  if (Worker.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stopping = true;
+    }
+    WorkCv.notify_all();
+    Worker.join();
+  }
+}
+
+unsigned TierController::tierForSteps(uint64_t Steps) const {
+  const uint64_t Rung = Steps / Policy.PromoteSteps;
+  return static_cast<unsigned>(std::min<uint64_t>(Rung, topTier()));
+}
+
+uint64_t TierController::identityOf(const vm::Code &Prog) {
+  auto [It, Inserted] = IdentityMemo.try_emplace(&Prog);
+  if (Inserted || It->second.first != Prog.version())
+    It->second = {Prog.version(), Prog.identity()};
+  return It->second.second;
+}
+
+unsigned TierController::desiredTier(uint64_t Identity) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Heat.find(Identity);
+  if (It == Heat.end() || It->second.Pinned)
+    return 0;
+  return tierForSteps(It->second.Steps);
+}
+
+void TierController::seedSteps(uint64_t Identity, uint64_t Steps) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  HeatEntry &E = Heat[Identity];
+  E.Steps += Steps;
+}
+
+std::shared_ptr<const prepare::PreparedCode>
+TierController::prepareTier(const vm::Code &Prog, unsigned Tier) {
+  SC_ASSERT(Tier < Ladder.size(), "rung off the ladder");
+  prepare::PrepareOptions Opts;
+  Opts.FuseSuperinstructions = Ladder[Tier].Fused;
+  const auto T0 = std::chrono::steady_clock::now();
+  auto PC = Cache->getOrPrepare(Prog, Ladder[Tier].Engine, Opts);
+  const auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Counts.Prepares;
+  Counts.PrepareNs += static_cast<uint64_t>(Ns);
+  return PC;
+}
+
+std::shared_ptr<const prepare::PreparedCode>
+TierController::acquire(const vm::Code &Prog, unsigned *TierOut,
+                        bool AllowFused) {
+  // Resolve the content identity without re-hashing the program: on a
+  // version this controller has not seen, prepare the free rung-0
+  // artifact first and reuse the identity the prepare pass computed.
+  // For genuinely cold code — the churn case acquire() exists for —
+  // that artifact is the one handed out anyway, so the adaptive setup
+  // path costs exactly what a fixed cold engine pays.
+  std::shared_ptr<const prepare::PreparedCode> Rung0;
+  bool Known = false;
+  uint64_t Identity = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = IdentityMemo.find(&Prog);
+    if (It != IdentityMemo.end() && It->second.first == Prog.version()) {
+      Known = true;
+      Identity = It->second.second;
+    }
+  }
+  if (!Known) {
+    Rung0 = prepareTier(Prog, 0);
+    Identity = Rung0->SourceIdentity;
+  }
+  unsigned Want = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    IdentityMemo[&Prog] = {Prog.version(), Identity};
+    HeatEntry &E = Heat[Identity];
+    E.Source = &Prog;
+    if (!E.Pinned)
+      Want = tierForSteps(E.Steps);
+    if (!AllowFused)
+      Want = std::min(Want, MaxUnfused);
+    if (Want > E.GrantedTier) {
+      ++Counts.Promotions;
+      E.GrantedTier = Want;
+    }
+  }
+  auto PC = Want == 0 && Rung0 ? std::move(Rung0) : prepareTier(Prog, Want);
+  if (TierOut)
+    *TierOut = Want;
+  return PC;
+}
+
+void TierController::recordSteps(const vm::Code &Prog, unsigned CurrentTier,
+                                 uint64_t Steps) {
+  bool Notify = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    HeatEntry &E = Heat[identityOf(Prog)];
+    E.Source = &Prog;
+    E.Steps += Steps;
+    if (E.Pinned)
+      return;
+    const unsigned Want = tierForSteps(E.Steps);
+    if (Want <= CurrentTier || Want <= E.RequestedTier)
+      return;
+    E.RequestedTier = Want;
+    ++Counts.PrepareRequests;
+    if (Policy.Background) {
+      // Prepare the hottest rung a live session can actually migrate
+      // onto. The fused top rung is only reachable through acquire() at
+      // a fresh entry, which prepares inline; translating it here would
+      // leave pollMigration with nothing to hand out.
+      Queue.push_back({&Prog, std::min(Want, MaxUnfused)});
+      Notify = true;
+    }
+    // Synchronous mode: the request is satisfied by the caller's next
+    // pollMigration (or acquire at a fresh entry), which prepares
+    // inline.
+  }
+  if (Notify)
+    WorkCv.notify_one();
+}
+
+std::shared_ptr<const prepare::PreparedCode>
+TierController::pollMigration(uint64_t Identity, unsigned CurrentTier,
+                              unsigned *TierOut) {
+  const vm::Code *Source = nullptr;
+  unsigned Want = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Heat.find(Identity);
+    if (It == Heat.end() || It->second.Pinned)
+      return nullptr;
+    // Never migrate a live resume PC onto a fused rung: fusion remaps
+    // instruction indices.
+    Want = std::min(tierForSteps(It->second.Steps), MaxUnfused);
+    if (Want <= CurrentTier)
+      return nullptr;
+    Source = It->second.Source;
+  }
+
+  std::shared_ptr<const prepare::PreparedCode> PC;
+  if (Policy.Background) {
+    // Hand out only what the worker already translated; a miss means
+    // "not ready yet, keep running the current tier" — the dispatch
+    // path never blocks behind a translation.
+    PC = Cache->findByIdentity(Identity, Ladder[Want].Engine,
+                               Ladder[Want].Fused);
+  } else if (Source) {
+    PC = prepareTier(*Source, Want);
+  }
+  if (!PC)
+    return nullptr;
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Heat.find(Identity);
+    if (It != Heat.end() && Want > It->second.GrantedTier)
+      It->second.GrantedTier = Want;
+    ++Counts.Promotions;
+  }
+  if (TierOut)
+    *TierOut = Want;
+  return PC;
+}
+
+void TierController::demote(uint64_t Identity) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  HeatEntry &E = Heat[Identity];
+  if (E.Pinned)
+    return;
+  E.Pinned = true;
+  ++Counts.Demotions;
+}
+
+bool TierController::isPinned(uint64_t Identity) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Heat.find(Identity);
+  return It != Heat.end() && It->second.Pinned;
+}
+
+void TierController::flush() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  DrainCv.wait(Lock, [&] { return Queue.empty() && InFlight == 0; });
+}
+
+metrics::TierCounters TierController::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counts;
+}
+
+void TierController::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    WorkCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+    if (Queue.empty()) {
+      SC_ASSERT(Stopping, "spurious worker wake with an empty queue");
+      return; // drained: flush() and the dtor both rely on this order
+    }
+    const PrepareJob J = Queue.front();
+    Queue.pop_front();
+    ++InFlight;
+    Lock.unlock();
+    // Translate outside the controller lock; the cache serializes
+    // concurrent prepares of the same key itself.
+    prepareTier(*J.Source, J.Tier);
+    Lock.lock();
+    --InFlight;
+    DrainCv.notify_all();
+  }
+}

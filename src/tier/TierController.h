@@ -1,0 +1,212 @@
+//===-- tier/TierController.h - Adaptive engine promotion ------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile-guided engine promotion per code object. The paper's trade-off
+/// is a ladder: the switch engine starts for free, the threaded flavors
+/// pay one linear translation, the dynamic cache adds register residency,
+/// and the static flavors pay a whole-program specialization that only
+/// hot code amortizes. A TierController walks that ladder for every code
+/// object independently: each starts on the cold tier, accumulates
+/// per-identity hotness reported by its runners, and past a configurable
+/// step threshold per rung is re-prepared for the next tier through the
+/// shared PrepareCache — so every session running the same program shares
+/// one translation per tier, and a promoted artifact is handed to live
+/// sessions at slice boundaries via VmSession::migrateTo (the TRAPS.md
+/// cross-engine resume contract makes the swap sound).
+///
+/// The ladder is derived from the engine registry's TierRank capability
+/// (EngineRegistry::promotionLadder), optionally topped with a
+/// superinstruction-fused flavor of the hottest engine. Fused artifacts
+/// execute remapped instruction indices, so they are never handed out as
+/// a mid-run migration — only acquire() at a fresh entry may return one,
+/// and the caller resolves entries through PreparedCode::entryOf.
+///
+/// Hotness is keyed on Code::identity() — the content hash snapshots and
+/// quarantine already key on — so heat survives the owning Code object
+/// being reloaded at another address, and a snapshot restore can seed the
+/// controller from the retired-step count its header carries instead of
+/// silently restarting cold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_TIER_TIERCONTROLLER_H
+#define SC_TIER_TIERCONTROLLER_H
+
+#include "dispatch/EngineRegistry.h"
+#include "prepare/PrepareCache.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace sc::tier {
+
+/// One rung of the promotion ladder: an engine flavor, optionally with
+/// superinstruction fusion (only ever the topmost rung).
+struct TierStep {
+  engine::EngineId Engine = engine::EngineId::Switch;
+  bool Fused = false;
+};
+
+/// Tiering policy knobs.
+struct TierPolicy {
+  /// Guest steps a code object must retire to earn each successive rung:
+  /// tier(steps) = steps / PromoteSteps, clamped to the ladder top. The
+  /// default promotes nothing before 64Ki steps — far beyond any one
+  /// translation's cost — and reaches the static top only for genuinely
+  /// hot code.
+  uint64_t PromoteSteps = 1ull << 16;
+  /// Exclude engines that cannot run concurrently on distinct contexts
+  /// (call threading's static VM registers). A multi-worker scheduler
+  /// must keep this on; single-session callers may widen the ladder.
+  bool RequireReentrant = true;
+  /// Top the ladder with a superinstruction-fused flavor of the hottest
+  /// engine. Reachable only through acquire() at fresh entries (fused
+  /// code is not mid-run migratable; see file comment).
+  bool FuseTopTier = true;
+  /// Re-prepare hotter tiers on a background thread instead of inline:
+  /// recordSteps enqueues, a worker translates through the shared cache,
+  /// and pollMigration hands the artifact out once it is ready. Keeps
+  /// translation cost off the dispatch path (schedulers want this on).
+  bool Background = false;
+};
+
+/// The per-code-object promotion state machine. Thread-safe: any number
+/// of runner threads may report hotness and poll for migrations
+/// concurrently.
+///
+/// Lifetime contract: the Code objects passed to acquire()/recordSteps()
+/// must stay alive until the controller is destroyed or flush()ed —
+/// background re-preparation dereferences them off-thread.
+class TierController {
+public:
+  explicit TierController(TierPolicy Policy = {},
+                          prepare::PrepareCache *Cache = nullptr);
+  ~TierController();
+
+  TierController(const TierController &) = delete;
+  TierController &operator=(const TierController &) = delete;
+
+  /// The promotion ladder, cold tier first. Never empty; rung 0 is the
+  /// registry's rank-0 engine.
+  const std::vector<TierStep> &ladder() const { return Ladder; }
+  /// Index of the hottest rung.
+  unsigned topTier() const { return static_cast<unsigned>(Ladder.size()) - 1; }
+  /// The hottest rung a live session may migrate onto mid-run (the last
+  /// unfused rung; equals topTier() unless the ladder is fusion-topped).
+  unsigned maxMigratableTier() const { return MaxUnfused; }
+
+  /// The tier this code object's accumulated heat earns right now
+  /// (0 when unknown or pinned).
+  unsigned desiredTier(uint64_t Identity) const;
+
+  /// Pre-credits \p Steps of heat to \p Identity — the restore path's
+  /// hook: a snapshot header records the steps its job already retired,
+  /// and crediting them here resumes the job on the tier it had earned
+  /// instead of resetting it cold.
+  void seedSteps(uint64_t Identity, uint64_t Steps);
+
+  /// Returns the artifact for \p Prog at its currently earned tier,
+  /// preparing synchronously through the shared cache if needed (this is
+  /// the setup path — dispatch-path re-preparation goes through
+  /// recordSteps/pollMigration). \p TierOut receives the rung index.
+  /// With \p AllowFused false the result is capped at
+  /// maxMigratableTier() — required when the caller will enter at an
+  /// unfused instruction index (e.g. a restored snapshot PC).
+  std::shared_ptr<const prepare::PreparedCode>
+  acquire(const vm::Code &Prog, unsigned *TierOut = nullptr,
+          bool AllowFused = true);
+
+  /// Reports \p Steps retired by a runner currently on \p CurrentTier.
+  /// Cheap (one map update under a mutex); never prepares inline. When
+  /// the new heat earns a hotter rung than both the runner's tier and
+  /// any earlier request, a re-preparation is requested — enqueued to
+  /// the background worker when TierPolicy::Background, otherwise left
+  /// for the next pollMigration to satisfy synchronously.
+  void recordSteps(const vm::Code &Prog, unsigned CurrentTier,
+                   uint64_t Steps);
+
+  /// Asks for a hotter artifact for a runner at a slice boundary.
+  /// Returns null when the earned tier is not above \p CurrentTier, when
+  /// the identity is pinned cold, or (background mode) while the hotter
+  /// translation is still being prepared. Never returns a fused rung:
+  /// the caller resumes mid-program, where fused indices are
+  /// meaningless. A non-null result is ready to install with
+  /// VmSession::migrateTo, and \p TierOut receives its rung.
+  std::shared_ptr<const prepare::PreparedCode>
+  pollMigration(uint64_t Identity, unsigned CurrentTier,
+                unsigned *TierOut = nullptr);
+
+  /// Pins \p Identity to the cold tier: desiredTier drops to 0 and no
+  /// promotion is ever offered again (the scheduler calls this when a
+  /// fault is confirmed on a promoted tier — the quarantine registry
+  /// handles repeat offenders; pinning stops the tier churn before
+  /// that).
+  void demote(uint64_t Identity);
+
+  /// True once demote() pinned this identity.
+  bool isPinned(uint64_t Identity) const;
+
+  /// Blocks until every queued background re-preparation has completed.
+  void flush();
+
+  metrics::TierCounters counters() const;
+  const TierPolicy &policy() const { return Policy; }
+
+private:
+  struct HeatEntry {
+    const vm::Code *Source = nullptr; ///< last reporter's Code object
+    uint64_t Steps = 0;               ///< accumulated retired guest steps
+    unsigned GrantedTier = 0;         ///< hottest rung handed out so far
+    unsigned RequestedTier = 0;       ///< hottest rung requested so far
+    bool Pinned = false;              ///< demoted: stay cold forever
+  };
+  struct PrepareJob {
+    const vm::Code *Source = nullptr;
+    unsigned Tier = 0;
+  };
+
+  unsigned tierForSteps(uint64_t Steps) const;
+  /// Code::identity() is deliberately uncached (a full content hash per
+  /// call), so the controller memoizes it per (object, version) — the
+  /// dispatch path reports heat every slice batch and must not re-hash
+  /// the program each time. Caller must hold Mu.
+  uint64_t identityOf(const vm::Code &Prog);
+  /// Prepares \p Prog for rung \p Tier through the shared cache, timing
+  /// the round-trip into the counters. Caller must NOT hold Mu.
+  std::shared_ptr<const prepare::PreparedCode>
+  prepareTier(const vm::Code &Prog, unsigned Tier);
+  void workerLoop();
+
+  const TierPolicy Policy;
+  prepare::PrepareCache *Cache; ///< never null after construction
+  std::vector<TierStep> Ladder;
+  unsigned MaxUnfused = 0;
+
+  mutable std::mutex Mu; ///< guards Heat, Queue, Counts, InFlight
+  std::unordered_map<uint64_t, HeatEntry> Heat;
+  /// identityOf's memo: Code object -> (version, identity).
+  std::unordered_map<const vm::Code *, std::pair<uint64_t, uint64_t>>
+      IdentityMemo;
+  std::deque<PrepareJob> Queue;
+  metrics::TierCounters Counts;
+  unsigned InFlight = 0; ///< background jobs popped but not finished
+  bool Stopping = false;
+  std::condition_variable WorkCv;  ///< queue became non-empty / stopping
+  std::condition_variable DrainCv; ///< a background job finished
+  std::thread Worker;              ///< joinable only when Background
+};
+
+} // namespace sc::tier
+
+#endif // SC_TIER_TIERCONTROLLER_H

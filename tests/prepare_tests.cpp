@@ -429,3 +429,100 @@ TEST(PrepareResources, LegacyWrappersPoolTheirScratch) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Cache counter accounting under concurrency and mixed lookup families
+//===----------------------------------------------------------------------===//
+
+TEST(PrepareCacheTest, IdentityLookupCounters) {
+  // Regression: identity lookups used to tick the shared Hits counter on
+  // success and nothing on a miss, so Hits + Misses stopped matching the
+  // getOrPrepare call count the moment a tier controller polled the
+  // cache. Each family now balances on its own.
+  auto Sys = forth::loadOrDie(": main 1 2 + . ;");
+  prepare::PrepareCache Cache;
+  auto PC = Cache.getOrPrepare(Sys->Prog, engine::EngineId::Threaded);
+  ASSERT_NE(PC, nullptr);
+  const uint64_t Id = PC->SourceIdentity;
+
+  EXPECT_NE(Cache.findByIdentity(Id, engine::EngineId::Threaded), nullptr);
+  // Wrong engine, wrong fusion flavor, unknown identity: all misses.
+  EXPECT_EQ(Cache.findByIdentity(Id, engine::EngineId::StaticOptimal),
+            nullptr);
+  EXPECT_EQ(Cache.findByIdentity(Id, engine::EngineId::Threaded,
+                                 /*Fused=*/true),
+            nullptr);
+  EXPECT_EQ(Cache.findByIdentity(Id + 1, engine::EngineId::Threaded),
+            nullptr);
+
+  const metrics::PrepareCounters C = Cache.counters();
+  EXPECT_EQ(C.IdentityHits, 1u);
+  EXPECT_EQ(C.IdentityMisses, 3u);
+  // The getOrPrepare family is untouched by identity traffic.
+  EXPECT_EQ(C.Hits, 0u);
+  EXPECT_EQ(C.Misses, 1u);
+  EXPECT_EQ(C.Translations, 1u);
+}
+
+TEST(PrepareCacheTest, ConcurrentMixedLookupCounters) {
+  // The adaptive tiering path hammers the cache from scheduler workers
+  // (getOrPrepare at promotion) and the controller (findByIdentity at
+  // poll) at once. The lock is held across the prepare, which makes the
+  // exactly-once properties structural even under a race: one miss and
+  // one translation per first lookup, one invalidation per version bump
+  // no matter how many threads observe the stale entry.
+  auto Sys = forth::loadOrDie(": main 10 0 do i . loop ;");
+  prepare::PrepareCache Cache;
+  constexpr unsigned Racers = 8;
+
+  // Phase 1: every thread races the very first lookup of one key.
+  std::vector<std::shared_ptr<const prepare::PreparedCode>> Got(Racers);
+  {
+    std::vector<std::thread> Ts;
+    for (unsigned I = 0; I < Racers; ++I)
+      Ts.emplace_back([&, I] {
+        Got[I] = Cache.getOrPrepare(Sys->Prog, engine::EngineId::Threaded);
+      });
+    for (std::thread &T : Ts)
+      T.join();
+  }
+  for (unsigned I = 1; I < Racers; ++I)
+    EXPECT_EQ(Got[I], Got[0]) << "racing first lookups must share one "
+                                 "translation";
+  {
+    const metrics::PrepareCounters C = Cache.counters();
+    EXPECT_EQ(C.Translations, 1u);
+    EXPECT_EQ(C.Misses, 1u);
+    EXPECT_EQ(C.Hits, Racers - 1);
+    EXPECT_EQ(C.IdentityHits + C.IdentityMisses, 0u);
+  }
+
+  // Phase 2: bump the version, then race re-preparation against
+  // identity polls of the superseded artifact.
+  const uint64_t OldId = Got[0]->SourceIdentity;
+  Sys->Prog.touch();
+  constexpr unsigned Preps = 4, Polls = 4;
+  {
+    std::vector<std::thread> Ts;
+    for (unsigned I = 0; I < Preps; ++I)
+      Ts.emplace_back([&] {
+        EXPECT_NE(Cache.getOrPrepare(Sys->Prog, engine::EngineId::Threaded),
+                  nullptr);
+      });
+    for (unsigned I = 0; I < Polls; ++I)
+      Ts.emplace_back([&] {
+        // May hit (stale entry still cached) or miss (already evicted):
+        // either way it must land in exactly one identity counter.
+        (void)Cache.findByIdentity(OldId, engine::EngineId::Threaded);
+      });
+    for (std::thread &T : Ts)
+      T.join();
+  }
+  const metrics::PrepareCounters C = Cache.counters();
+  EXPECT_EQ(C.Invalidations, 1u) << "a version bump invalidates exactly "
+                                    "once, however many threads see it";
+  EXPECT_EQ(C.Misses, 2u);
+  EXPECT_EQ(C.Translations, C.Misses);
+  EXPECT_EQ(C.Hits + C.Misses, Racers + Preps);
+  EXPECT_EQ(C.IdentityHits + C.IdentityMisses, Polls);
+}

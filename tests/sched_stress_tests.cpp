@@ -20,6 +20,7 @@
 #include "forth/Forth.h"
 #include "prepare/PrepareCache.h"
 #include "sched/SessionScheduler.h"
+#include "tier/TierController.h"
 
 #include <gtest/gtest.h>
 
@@ -399,4 +400,141 @@ TEST(SchedStress, CrashRecoveryStorm) {
   EXPECT_EQ(Crashes, Recoveries); // every murder was recovered from
   EXPECT_EQ(Completed, Submitted);
   EXPECT_EQ(Completed, uint64_t(NumTenants) * JobsPerTenant * Rounds);
+}
+
+TEST(SchedStress, TierPromotionStorm) {
+  // Adaptive tiering under everything at once: four workers promoting
+  // hot programs mid-run while cancellation, deadlines and seeded
+  // crash-injection recovery race the controller's background worker
+  // and the counter reader (TSan runs this). Faulting jobs start on a
+  // seeded-hot tier so a confirmed fault must demote; compute heat
+  // accumulates across rounds so promotions must happen; spinning jobs
+  // preempt every slice, hammering the migration poll.
+  std::unique_ptr<forth::System> Compute = forth::loadOrDie(ComputeSrc);
+  std::unique_ptr<forth::System> Faulty = forth::loadOrDie(FaultSrc);
+  std::unique_ptr<forth::System> Spin = forth::loadOrDie(SpinSrc);
+
+  prepare::PrepareCache Cache;
+  tier::TierPolicy TP;
+  TP.PromoteSteps = 256; // tiny: this storm is about churn, not policy
+  TP.Background = true;  // the scheduler asserts this
+  tier::TierController TC(TP, &Cache);
+  // The faulting program enters already promoted: its confirmed fault
+  // is then a deterministic demotion.
+  TC.seedSteps(Faulty->Prog.identity(), 1u << 20);
+
+  SchedConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.SliceSteps = 64;
+  Cfg.Cache = &Cache;
+  Cfg.Tier = &TC;
+  Cfg.CheckpointEverySlices = 2;
+  Cfg.CrashOneIn = 5;
+  Cfg.CrashSeed = 0x7e11aced;
+  SessionScheduler S(Cfg);
+
+  constexpr unsigned ComputeJobs = 4, FaultJobs = 3, CancelJobs = 4,
+                     DeadlineJobs = 3, Rounds = 3;
+  const TenantId Hot = S.addTenant("hot");
+  const TenantId Bad = S.addTenant("bad");
+  const TenantId Cut = S.addTenant("cut");
+  const TenantId Due = S.addTenant("due");
+
+  std::vector<Job *> Recycled; // compute + faulty: resubmitted per round
+  std::vector<bool> IsFaulty;
+  for (unsigned I = 0; I < ComputeJobs; ++I) {
+    JobSpec Spec;
+    Spec.Entry = Compute->entryOf("main");
+    Recycled.push_back(S.createJob(Hot, Compute->Prog,
+                                   engine::EngineId::Switch,
+                                   Compute->Machine, Spec));
+    IsFaulty.push_back(false);
+  }
+  for (unsigned I = 0; I < FaultJobs; ++I) {
+    JobSpec Spec;
+    Spec.Entry = Faulty->entryOf("main");
+    Spec.ConfirmFaults = true; // demotion requires a confirmed verdict
+    Recycled.push_back(S.createJob(Bad, Faulty->Prog,
+                                   engine::EngineId::Switch,
+                                   Faulty->Machine, Spec));
+    IsFaulty.push_back(true);
+  }
+  std::vector<Job *> Cancelled;
+  for (unsigned I = 0; I < CancelJobs; ++I) {
+    JobSpec Spec;
+    Spec.Entry = Spin->entryOf("main");
+    Cancelled.push_back(S.createJob(Cut, Spin->Prog,
+                                    engine::EngineId::Threaded,
+                                    Spin->Machine, Spec));
+    ASSERT_EQ(S.submit(Cancelled.back()), SubmitResult::Admitted);
+  }
+  std::vector<Job *> Expiring;
+  for (unsigned I = 0; I < DeadlineJobs; ++I) {
+    JobSpec Spec;
+    Spec.Entry = Spin->entryOf("main");
+    Spec.Deadline = std::chrono::milliseconds(1 + I * 2);
+    Expiring.push_back(S.createJob(Due, Spin->Prog,
+                                   engine::EngineId::Switch, Spin->Machine,
+                                   Spec));
+    ASSERT_EQ(S.submit(Expiring.back()), SubmitResult::Admitted);
+  }
+
+  std::atomic<bool> Done{false};
+  std::thread Reader([&] {
+    while (!Done.load(std::memory_order_relaxed)) {
+      (void)snapshotToJson(S.snapshot());
+      std::this_thread::yield();
+    }
+  });
+  std::thread Canceller([&] {
+    for (size_t I = 0; I < Cancelled.size(); ++I) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100 * (I + 1)));
+      Cancelled[I]->cancel();
+    }
+  });
+
+  for (unsigned R = 0; R < Rounds; ++R) {
+    // Let the background worker finish every queued translation first:
+    // the rearm path's fresh-entry adoption then promotes
+    // deterministically once the heat is there.
+    TC.flush();
+    for (Job *J : Recycled) {
+      if (R > 0) {
+        J->machine().resetOutput();
+        S.rearm(J);
+      }
+      while (S.submit(J) != SubmitResult::Admitted)
+        std::this_thread::yield();
+    }
+    for (Job *J : Recycled)
+      S.wait(J);
+    for (size_t I = 0; I < Recycled.size(); ++I)
+      EXPECT_EQ(Recycled[I]->result().Stop, IsFaulty[I]
+                                                ? session::StopKind::Fault
+                                                : session::StopKind::Halted)
+          << "job " << I << " round " << R;
+  }
+  Canceller.join();
+  Done.store(true, std::memory_order_relaxed);
+  Reader.join();
+  S.drain();
+
+  for (Job *J : Cancelled)
+    EXPECT_EQ(J->result().Stop, session::StopKind::Cancelled);
+  for (Job *J : Expiring)
+    EXPECT_EQ(J->result().Stop, session::StopKind::DeadlineExpired);
+
+  // The compute identity retired ComputeJobs * Rounds runs of heat:
+  // far past PromoteSteps, so the controller must have promoted, and
+  // the seeded-hot faulting program must have been pinned cold by its
+  // confirmed fault.
+  const metrics::TierCounters TCounts = TC.counters();
+  EXPECT_GT(TCounts.Promotions, 0u);
+  EXPECT_GT(TCounts.Demotions, 0u);
+  EXPECT_TRUE(TC.isPinned(Faulty->Prog.identity()));
+  uint64_t Demotions = 0;
+  for (const TenantCounters &T : S.snapshot().Tenants)
+    Demotions += T.TierDemotions;
+  EXPECT_GT(Demotions, 0u);
+  EXPECT_EQ(TC.desiredTier(Faulty->Prog.identity()), 0u);
 }

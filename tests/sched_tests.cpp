@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <thread>
@@ -463,4 +464,48 @@ TEST(Sched, SnapshotSerializesForTheMetricsPipeline) {
   ASSERT_NE(Steps, nullptr);
   EXPECT_EQ(static_cast<uint64_t>(Steps->asInt()),
             J->result().Outcome.Steps);
+}
+
+//===----------------------------------------------------------------------===//
+// Latency percentile edge cases (regressions for the histogram walk)
+//===----------------------------------------------------------------------===//
+
+// SchedSnapshot is a plain value type, so the percentile math is testable
+// without running a scheduler: populate the histogram directly.
+
+TEST(SchedLatency, EmptyHistogramReportsZero) {
+  sched::SchedSnapshot Snap;
+  for (double P : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_EQ(Snap.latencyPercentileNs(P), 0.0) << "P=" << P;
+}
+
+TEST(SchedLatency, SingleSampleOwnsEveryPercentile) {
+  // One sample in bucket 20 ([2^20, 2^21)): every percentile — including
+  // P=0 clamped to the first sample and tiny P whose rank rounds up to 1
+  // — must report that bucket's upper bound, never 0 or a neighbor.
+  sched::SchedSnapshot Snap;
+  Snap.Latency[20] = 1;
+  for (double P : {0.0, 0.001, 0.5, 0.99, 1.0})
+    EXPECT_EQ(Snap.latencyPercentileNs(P), std::ldexp(1.0, 21)) << "P=" << P;
+}
+
+TEST(SchedLatency, TopBucketDoesNotOverflow) {
+  // Bucket 31 covers everything past 2^31 ns; its reported bound is 2^32,
+  // which overflows a 32-bit shift — the regression this test pins.
+  sched::SchedSnapshot Snap;
+  Snap.Latency[31] = 3;
+  for (double P : {0.5, 1.0})
+    EXPECT_EQ(Snap.latencyPercentileNs(P), std::ldexp(1.0, 32)) << "P=" << P;
+}
+
+TEST(SchedLatency, RankWalksTheCumulativeCounts) {
+  // Two samples: bucket 3 and bucket 8. The median is the first sample
+  // (rank ceil(0.5*2)=1), p99 the second; P=0 clamps to rank 1.
+  sched::SchedSnapshot Snap;
+  Snap.Latency[3] = 1;
+  Snap.Latency[8] = 1;
+  EXPECT_EQ(Snap.latencyPercentileNs(0.0), std::ldexp(1.0, 4));
+  EXPECT_EQ(Snap.latencyPercentileNs(0.5), std::ldexp(1.0, 4));
+  EXPECT_EQ(Snap.latencyPercentileNs(0.99), std::ldexp(1.0, 9));
+  EXPECT_EQ(Snap.latencyPercentileNs(1.0), std::ldexp(1.0, 9));
 }

@@ -1,0 +1,318 @@
+//===-- tests/tier_tests.cpp - Adaptive tiering semantics -----------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TierController semantics and the migration soundness contract. The
+/// centerpiece is the differential: for every ordered pair of ladder
+/// engines and every slice boundary, a session run k slices under the
+/// first engine and migrated (VmSession::migrateTo) onto the second
+/// must be observationally identical to an uninterrupted run — output,
+/// final stop, fault state, and (for stream engines) step counts and
+/// stack watermarks. Around it: ladder derivation from the registry's
+/// TierRank capability, threshold arithmetic, promotion/demotion
+/// counters, fused-top gating, and snapshot heat seeding.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/EngineRegistry.h"
+#include "forth/Forth.h"
+#include "harness/FaultInject.h"
+#include "prepare/Prepare.h"
+#include "prepare/PrepareCache.h"
+#include "session/VmSession.h"
+#include "tier/TierController.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+/// Calls, branches, arithmetic, memory traffic and output in a few
+/// hundred steps — enough slice boundaries to migrate at every one.
+constexpr const char *ComputeSrc = R"(
+variable acc
+: sq dup * ;
+: step acc @ + acc ! ;
+: main
+  0 acc !
+  9 0 do i sq step loop
+  acc @ .
+  5 begin dup 0 > while dup step 1 - repeat drop
+  acc @ . ;
+)";
+
+/// Traps with DivByZero after some honest work.
+constexpr const char *FaultSrc = ": main 5 0 do i dup * . loop 7 0 / . ;";
+
+/// One supervised observation: run to the final stop in 16-step slices.
+struct Obs {
+  session::SessionResult R;
+  std::string Out;
+  unsigned DsHighWater = 0;
+  unsigned RsHighWater = 0;
+};
+
+Obs oneShot(forth::System &Sys, engine::EngineId E) {
+  vm::Vm M = Sys.Machine;
+  M.resetOutput();
+  session::SessionPolicy Pol;
+  Pol.SliceSteps = 16;
+  session::VmSession S(prepare::prepareCode(Sys.Prog, E), M, Pol);
+  Obs O;
+  O.R = S.run(Sys.entryOf("main"));
+  O.Out = M.Out;
+  O.DsHighWater = S.context().DsHighWater;
+  O.RsHighWater = S.context().RsHighWater;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Ladder derivation
+//===----------------------------------------------------------------------===//
+
+TEST(TierLadder, RegistryRanksFormTheLadder) {
+  const std::vector<engine::EngineId> Full =
+      engine::promotionLadder(/*RequireReentrant=*/false);
+  ASSERT_FALSE(Full.empty());
+  // Rung 0 is the free cold start; ranks ascend strictly.
+  EXPECT_EQ(engine::engineInfo(Full.front()).Caps.TierRank, 0u);
+  for (size_t I = 1; I < Full.size(); ++I)
+    EXPECT_LT(engine::engineInfo(Full[I - 1]).Caps.TierRank,
+              engine::engineInfo(Full[I]).Caps.TierRank);
+  // Unranked engines (the value-level model) never appear.
+  for (engine::EngineId E : Full)
+    EXPECT_NE(engine::engineInfo(E).Caps.TierRank, engine::NoTierRank);
+
+  // The reentrant ladder is the same minus non-reentrant flavors, and
+  // schedulers rely on that filtering.
+  const std::vector<engine::EngineId> Reentrant =
+      engine::promotionLadder(/*RequireReentrant=*/true);
+  EXPECT_LT(Reentrant.size(), Full.size());
+  for (engine::EngineId E : Reentrant)
+    EXPECT_TRUE(engine::engineInfo(E).Caps.Reentrant);
+}
+
+TEST(TierLadder, ControllerTopsTheLadderWithFusion) {
+  prepare::PrepareCache Cache;
+  tier::TierPolicy P;
+  P.FuseTopTier = true;
+  tier::TierController TC(P, &Cache);
+  const auto &L = TC.ladder();
+  ASSERT_GE(L.size(), 2u);
+  EXPECT_FALSE(L.front().Fused);
+  EXPECT_TRUE(L.back().Fused);
+  EXPECT_EQ(L.back().Engine, L[L.size() - 2].Engine);
+  EXPECT_EQ(TC.maxMigratableTier(), TC.topTier() - 1);
+
+  tier::TierPolicy Q;
+  Q.FuseTopTier = false;
+  tier::TierController Unfused(Q, &Cache);
+  EXPECT_EQ(Unfused.maxMigratableTier(), Unfused.topTier());
+}
+
+//===----------------------------------------------------------------------===//
+// Promotion state machine
+//===----------------------------------------------------------------------===//
+
+TEST(TierControllerTest, ThresholdsGrantsAndCounters) {
+  auto Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  tier::TierPolicy P;
+  P.PromoteSteps = 100;
+  P.FuseTopTier = false; // every rung migratable: simplest arithmetic
+  tier::TierController TC(P, &Cache);
+  const uint64_t Id = Sys->Prog.identity();
+
+  // Cold: rung 0, no promotion recorded.
+  unsigned T = ~0u;
+  auto PC = TC.acquire(Sys->Prog, &T);
+  EXPECT_EQ(T, 0u);
+  EXPECT_EQ(PC->Engine, TC.ladder().front().Engine);
+  EXPECT_EQ(TC.counters().Promotions, 0u);
+  EXPECT_EQ(TC.desiredTier(Id), 0u);
+
+  // Heat: one rung per PromoteSteps, clamped at the top.
+  TC.recordSteps(Sys->Prog, 0, 250);
+  EXPECT_EQ(TC.desiredTier(Id), 2u);
+  TC.recordSteps(Sys->Prog, 0, 100 * 1000);
+  EXPECT_EQ(TC.desiredTier(Id), TC.topTier());
+
+  // A runner at a slice boundary gets the hotter artifact (sync mode
+  // prepares inline) and the promotion is counted.
+  unsigned NewT = 0;
+  auto Hotter = TC.pollMigration(Id, /*CurrentTier=*/0, &NewT);
+  ASSERT_NE(Hotter, nullptr);
+  EXPECT_EQ(NewT, TC.topTier());
+  EXPECT_EQ(Hotter->Engine, TC.ladder().back().Engine);
+  EXPECT_EQ(Hotter->SourceIdentity, Id);
+  EXPECT_GE(TC.counters().Promotions, 1u);
+
+  // Already at the top: nothing more to offer.
+  EXPECT_EQ(TC.pollMigration(Id, TC.topTier()), nullptr);
+
+  // Demotion pins the identity cold, permanently.
+  TC.demote(Id);
+  EXPECT_TRUE(TC.isPinned(Id));
+  EXPECT_EQ(TC.desiredTier(Id), 0u);
+  EXPECT_EQ(TC.pollMigration(Id, 0), nullptr);
+  TC.recordSteps(Sys->Prog, 0, 100 * 1000);
+  EXPECT_EQ(TC.desiredTier(Id), 0u);
+  EXPECT_EQ(TC.counters().Demotions, 1u);
+
+  // An unknown identity is cold and never offered a migration.
+  EXPECT_EQ(TC.desiredTier(Id + 1), 0u);
+  EXPECT_EQ(TC.pollMigration(Id + 1, 0), nullptr);
+}
+
+TEST(TierControllerTest, FusedTopOnlyAtFreshEntries) {
+  auto Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  tier::TierPolicy P;
+  P.PromoteSteps = 10;
+  P.FuseTopTier = true;
+  tier::TierController TC(P, &Cache);
+  const uint64_t Id = Sys->Prog.identity();
+  TC.recordSteps(Sys->Prog, 0, 1000 * 1000); // earns the fused top
+
+  // Mid-run migration caps at the last unfused rung: fusion remaps
+  // instruction indices, so a live resume PC must never land on it.
+  unsigned T = 0;
+  auto Mid = TC.pollMigration(Id, 0, &T);
+  ASSERT_NE(Mid, nullptr);
+  EXPECT_EQ(T, TC.maxMigratableTier());
+
+  // A fresh entry may take the fused artifact — and must resolve its
+  // entry through the artifact, not the unfused word table.
+  auto Fresh = TC.acquire(Sys->Prog, &T, /*AllowFused=*/true);
+  EXPECT_EQ(T, TC.topTier());
+  // ... while a restore-style caller (AllowFused=false) is capped too.
+  auto Restored = TC.acquire(Sys->Prog, &T, /*AllowFused=*/false);
+  EXPECT_EQ(T, TC.maxMigratableTier());
+
+  // The fused artifact still produces the reference behavior.
+  Obs Ref = oneShot(*Sys, engine::EngineId::Switch);
+  vm::Vm M = Sys->Machine;
+  M.resetOutput();
+  session::VmSession S(Fresh, M);
+  EXPECT_EQ(S.run(Fresh->entryOf("main")).Stop, session::StopKind::Halted);
+  EXPECT_EQ(M.Out, Ref.Out);
+}
+
+TEST(TierControllerTest, SeededHeatResumesOnTheEarnedTier) {
+  // The restore path: a snapshot header's retired-step count seeds the
+  // controller so a resumed job does not restart cold.
+  auto Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  tier::TierPolicy P;
+  P.PromoteSteps = 1000;
+  P.FuseTopTier = true;
+  tier::TierController TC(P, &Cache);
+  TC.seedSteps(Sys->Prog.identity(), 3500);
+  unsigned T = 0;
+  // A restored PC is an unfused index: the earned tier must be capped
+  // at the last migratable rung even when the heat says "top".
+  TC.seedSteps(Sys->Prog.identity(), 1000 * 1000);
+  (void)TC.acquire(Sys->Prog, &T, /*AllowFused=*/false);
+  EXPECT_EQ(T, TC.maxMigratableTier());
+}
+
+//===----------------------------------------------------------------------===//
+// Migration differential: promoted == uninterrupted
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs \p Sys k slices under \p From, migrates the live session onto
+/// \p To, finishes, and checks the composite against the uninterrupted
+/// reference. Static flavors absorb stack manipulation, so step counts
+/// and watermarks are only compared between stream engines.
+void checkMigratedRun(forth::System &Sys, engine::EngineId From,
+                      engine::EngineId To, uint64_t Boundary,
+                      const Obs &Ref, bool &Exhausted) {
+  const std::string Where = std::string(engine::engineName(From)) + "->" +
+                            engine::engineName(To) + " @slice " +
+                            std::to_string(Boundary);
+  vm::Vm M = Sys.Machine;
+  M.resetOutput();
+  session::SessionPolicy Pol;
+  Pol.SliceSteps = 16;
+  session::VmSession S(prepare::prepareCode(Sys.Prog, From), M, Pol);
+  const session::SessionResult First = S.run(Sys.entryOf("main"), Boundary);
+  if (First.Stop != session::StopKind::Preempted) {
+    // The program finished before this boundary: no later boundary can
+    // preempt either, the sweep is exhausted.
+    Exhausted = true;
+    return;
+  }
+  S.migrateTo(prepare::prepareCode(Sys.Prog, To));
+  const session::SessionResult Rest = S.run(First.ResumePc);
+
+  EXPECT_EQ(Rest.Stop, Ref.R.Stop) << Where;
+  EXPECT_EQ(Rest.Outcome.Status, Ref.R.Outcome.Status) << Where;
+  EXPECT_EQ(M.Out, Ref.Out) << Where;
+  if (!engine::isStaticEngine(From) && !engine::isStaticEngine(To)) {
+    EXPECT_EQ(First.Outcome.Steps + Rest.Outcome.Steps, Ref.R.Outcome.Steps)
+        << Where;
+    EXPECT_EQ(S.context().DsHighWater, Ref.DsHighWater) << Where;
+    EXPECT_EQ(S.context().RsHighWater, Ref.RsHighWater) << Where;
+    if (Ref.R.Stop == session::StopKind::Fault) {
+      EXPECT_EQ(Rest.Outcome.Fault, Ref.R.Outcome.Fault) << Where;
+    }
+  }
+}
+
+void sweepAllPairs(const char *Src) {
+  auto Sys = forth::loadOrDie(Src);
+  const Obs Ref = oneShot(*Sys, engine::EngineId::Switch);
+  const std::vector<engine::EngineId> Ladder =
+      engine::promotionLadder(/*RequireReentrant=*/false);
+  for (engine::EngineId From : Ladder)
+    for (engine::EngineId To : Ladder) {
+      if (From == To)
+        continue;
+      bool Exhausted = false;
+      for (uint64_t B = 1; !Exhausted && B < 64; ++B)
+        checkMigratedRun(*Sys, From, To, B, Ref, Exhausted);
+      EXPECT_TRUE(Exhausted)
+          << engine::engineName(From) << "->" << engine::engineName(To)
+          << ": program outlived the boundary sweep";
+    }
+}
+
+} // namespace
+
+TEST(TierMigration, EveryPairEveryBoundaryHalting) { sweepAllPairs(ComputeSrc); }
+
+TEST(TierMigration, EveryPairEveryBoundaryFaulting) { sweepAllPairs(FaultSrc); }
+
+TEST(TierMigration, HarnessSliceSweepStaysClean) {
+  // The generic slice-boundary harness (mixed-engine rotations included)
+  // over the same program: the migration machinery builds on exactly
+  // this resume contract, so it must hold here too.
+  auto Sys = forth::loadOrDie(ComputeSrc);
+  harness::InjectReport R = harness::sweepSliceBoundaries(*Sys, "main");
+  EXPECT_GT(R.Points, 0u);
+  EXPECT_EQ(R.Mismatches, 0u) << R.FirstDivergence;
+}
+
+TEST(TierMigration, MigrateToSameArtifactIsANoOp) {
+  auto Sys = forth::loadOrDie(ComputeSrc);
+  auto PC = prepare::prepareCode(Sys->Prog, engine::EngineId::Threaded);
+  vm::Vm M = Sys->Machine;
+  session::VmSession S(PC, M);
+  const uint64_t Before = S.counters().Migrations;
+  S.migrateTo(PC);
+  EXPECT_EQ(S.counters().Migrations, Before);
+  EXPECT_EQ(&S.prepared(), PC.get());
+}
