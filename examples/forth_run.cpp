@@ -9,7 +9,7 @@
 /// A command line Forth runner:
 ///
 ///   forth_run [--engine E | --adaptive] [--word W] [--repeat N]
-///             [--prepare] [--trace] [--stats] file.fs
+///             [--prepare] [--trace] [--stats] [--disasm] file.fs
 ///
 /// E is any engine name (or alias) known to the EngineRegistry; run with
 /// no arguments for the current list. W defaults to "main". With --trace,
@@ -17,6 +17,12 @@
 /// --stats (in a -DSC_STATS=ON build), the engine execution counters -
 /// per-opcode dispatch counts, cache overflow/underflow totals,
 /// occupancy and reconcile traffic - are printed after the run.
+///
+/// --disasm skips execution and prints the register-IR translation next
+/// to the stack code it came from, one original instruction per line:
+/// dissolved stack manipulations, absorbed literals and deferred limit
+/// checks are all visible. The right column is the same rendering
+/// tests/regvm_tests asserts against.
 ///
 /// --repeat N runs the word N times; --prepare routes the runs through
 /// the PrepareCache (translate once, then look up) instead of the legacy
@@ -65,6 +71,7 @@
 #include "metrics/Counters.h"
 #include "prepare/Prepare.h"
 #include "prepare/PrepareCache.h"
+#include "regvm/RegVm.h"
 #include "sched/SessionScheduler.h"
 #include "session/VmSession.h"
 #include "snapshot/Snapshot.h"
@@ -107,7 +114,7 @@ static int usage() {
       "                 [--deadline MS] [--fuel N] [--slice N] [--fallback]\n"
       "                 [--checkpoint FILE] [--restore FILE]\n"
       "                 [--workers N] [--tenants N] [--trace] [--stats]\n"
-      "                 file.fs\n"
+      "                 [--disasm] file.fs\n"
       "  E: %s\n"
       "     (default: threaded)\n"
       "  --adaptive    start cold and promote to hotter engines as the\n"
@@ -128,6 +135,8 @@ static int usage() {
       "   a supervised session)\n"
       "  --workers N   run the word on a session scheduler with N workers\n"
       "  --tenants N   number of scheduler tenants (default 2)\n"
+      "  --disasm      print the stack code and its register-IR\n"
+      "                translation side by side instead of running\n"
       "  --stats needs a -DSC_STATS=ON build\n",
       Engines.c_str());
   return 2;
@@ -140,6 +149,7 @@ int main(int Argc, char **Argv) {
   std::string FileName;
   bool WantTrace = false;
   bool WantStats = false;
+  bool WantDisasm = false;
   bool WantPrepare = false;
   bool UseSession = false;
   bool WantFallback = false;
@@ -198,6 +208,8 @@ int main(int Argc, char **Argv) {
       WantTrace = true;
     else if (!std::strcmp(Argv[I], "--stats"))
       WantStats = true;
+    else if (!std::strcmp(Argv[I], "--disasm"))
+      WantDisasm = true;
     else if (Argv[I][0] == '-')
       return usage();
     else
@@ -242,6 +254,16 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "forth_run: word '%s' is not defined\n",
                  WordName.c_str());
     return 1;
+  }
+
+  if (WantDisasm) {
+    // No execution: translate for the register backend and show the
+    // stack program next to what survived of it.
+    const auto PC =
+        prepare::prepareCode(Sys.Prog, engine::EngineId::RegVm);
+    std::fputs(regvm::disasmSideBySide(Sys.Prog, *PC->reg()).c_str(),
+               stdout);
+    return 0;
   }
 
   Vm Machine = Sys.Machine; // run against a copy, like runIsolated

@@ -72,6 +72,14 @@ if [ "$MODE" = bench-smoke ]; then
   echo "==== adaptive tiering contracts"
   SC_BENCH_SMOKE=1 "$BUILD"/bench/adaptive_tiering > /dev/null
   echo "tiering contracts held (exact output, adaptive beats best fixed)"
+  # Register-backend contracts: every ladder engine reproduces the
+  # reference output on every workload, and the register backend retires
+  # at least 25% fewer dispatches per guest step than the reference on
+  # the manipulation-heavy loop (this is an SC_STATS build, so the
+  # dispatch counters are live).
+  echo "==== register-backend comparison contracts"
+  SC_BENCH_SMOKE=1 "$BUILD"/bench/regvm_comparison > /dev/null
+  echo "register-backend contracts held (exact output, >=25% fewer dispatches per step on manip code)"
   "$(dirname "$0")"/bench.sh --smoke --self-check "$BUILD"
 elif [ "$MODE" = sanitize ]; then
   if [ "$SAN_KINDS" = thread ]; then

@@ -17,6 +17,7 @@
 #include "dynamic/Dynamic3Engine.h"
 #include "dynamic/ModelInterpreter.h"
 #include "prepare/Prepare.h"
+#include "regvm/RegVm.h"
 #include "staticcache/StaticEngine.h"
 #include "staticcache/StaticSpec.h"
 #include "support/Assert.h"
@@ -117,6 +118,15 @@ RunOutcome runStaticRow(const Code &Prog, ExecContext &Ctx,
       });
 }
 
+RunOutcome runRegVmRow(const Code &Prog, ExecContext &Ctx,
+                       const RunOptions &Opts) {
+  return normalizedRun(EngineId::RegVm, Prog, Ctx, Opts,
+                       [](const Code &P, ExecContext &C, uint32_t E) {
+                         regvm::RegProgram RP = regvm::compileRegProgram(P);
+                         return regvm::runRegEngine(RP, C, E);
+                       });
+}
+
 constexpr EngineCaps referenceCaps(uint8_t Rank) {
   EngineCaps C;
   C.Reference = true;
@@ -163,6 +173,7 @@ const EngineInfo Registry[NumEngineIds] = {
      runStaticRow<false>},
     {EngineId::StaticOptimal, "static-optimal", nullptr, staticCaps(6),
      runStaticRow<true>},
+    {EngineId::RegVm, "regvm", nullptr, staticCaps(7), runRegVmRow},
 };
 
 } // namespace

@@ -57,8 +57,9 @@ enum class EngineId : uint8_t {
   Model,         ///< value-level dynamic-cache model with shadow checks
   StaticGreedy,  ///< static cache, greedy single-pass codegen (Section 5)
   StaticOptimal, ///< static cache, two-pass optimal codegen
+  RegVm,         ///< register-IR translation, stack dissolved per block
 };
-inline constexpr unsigned NumEngineIds = 8;
+inline constexpr unsigned NumEngineIds = 9;
 
 /// TierRank value excluding an engine from the adaptive promotion
 /// ladder (Model: a shadow-checked specification that allocates per run,
@@ -146,10 +147,13 @@ EngineId referenceEngine();
 /// dropped: a multi-worker scheduler must never promote into them.
 std::vector<EngineId> promotionLadder(bool RequireReentrant);
 
-/// True for the statically specialized flavors (engineInfo(E).Caps
-/// .Static, constexpr-friendly for array sizing and masks).
+/// True for the flavors that execute transformed code — the statically
+/// specialized caches and the register-IR backend — whose step counts
+/// and StepLimit stop points differential comparators mask
+/// (engineInfo(E).Caps.Static, constexpr-friendly for array sizing).
 inline constexpr bool isStaticEngine(EngineId E) {
-  return E == EngineId::StaticGreedy || E == EngineId::StaticOptimal;
+  return E == EngineId::StaticGreedy || E == EngineId::StaticOptimal ||
+         E == EngineId::RegVm;
 }
 
 } // namespace sc::engine

@@ -36,12 +36,10 @@ struct EngineRunner {
     return *Cache.getOrPrepare(Prog, E);
   }
 
-  /// True when original PC \p Pc is a basic-block leader of \p E's
-  /// specialized program, i.e. a legal static entry point.
+  /// True when original PC \p Pc is a legal entry point of \p E's
+  /// transformed program (static state-0 entries, regvm block leaders).
   bool canEnter(EngineId E, uint32_t Pc) {
-    const staticcache::SpecProgram &SP = *prepared(E).spec();
-    return Pc < SP.OrigToSpec.size() &&
-           SP.OrigToSpec[Pc] != staticcache::InvalidSpec;
+    return prepare::canEnterAt(prepared(E), Pc);
   }
 
   RunOutcome run(ExecContext &Ctx, EngineId E, uint32_t Entry) {

@@ -25,6 +25,18 @@ bool sc::metrics::parseNumericCell(const std::string &Text, double &Value) {
   return End == S + Text.size();
 }
 
+bool sc::metrics::derivedDispatchesPerStep(const Json &Values, double &Out) {
+  const Json *D = Values.find("dispatches");
+  const Json *S = Values.find("guest_steps");
+  if (!D || !S || !D->isNumber() || !S->isNumber())
+    return false;
+  const double Steps = S->asDouble();
+  if (Steps <= 0)
+    return false;
+  Out = D->asDouble() / Steps;
+  return true;
+}
+
 std::string CompareResult::render() const {
   std::string Out;
   for (int Pass = 0; Pass < 2; ++Pass)
@@ -109,6 +121,24 @@ public:
 
   void compareValues(const std::string &Where, const Json &Base,
                      const Json &Cur, bool Timing) {
+    // Dispatch-efficiency entries carry raw "dispatches"/"guest_steps"
+    // counts; the derived dispatches-per-guest-step ratio is asserted on
+    // top of the per-key comparison, so the per-step claim fails CI even
+    // when both raw counts move together (e.g. a resized workload).
+    double BaseRate = 0, CurRate = 0;
+    if (derivedDispatchesPerStep(Base, BaseRate) &&
+        derivedDispatchesPerStep(Cur, CurRate) && BaseRate != CurRate) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf), "%+.1f%% (%g -> %g)",
+                    (CurRate - BaseRate) / BaseRate * 100, BaseRate,
+                    CurRate);
+      if (CurRate > BaseRate)
+        issue(Where + "/dispatches_per_step(derived)",
+              std::string("worsened ") + Buf, true);
+      else
+        issue(Where + "/dispatches_per_step(derived)",
+              std::string("improved ") + Buf, false);
+    }
     for (const auto &M : Base.members()) {
       const Json *CV = Cur.find(M.first);
       const std::string Sub = Where + "/" + M.first;

@@ -63,6 +63,14 @@ CompareResult compareResults(const Json &Baseline, const Json &Current,
 /// True when \p Text spells a number; sets \p Value.
 bool parseNumericCell(const std::string &Text, double &Value);
 
+/// Derives dispatches-per-guest-step from an entry's values payload:
+/// benches that compare engine dispatch efficiency record the raw
+/// "dispatches" and "guest_steps" counts, and the comparator re-derives
+/// the ratio on both sides instead of trusting a precomputed one.
+/// Returns false when either count is missing, non-numeric, or the step
+/// count is zero.
+bool derivedDispatchesPerStep(const Json &Values, double &Out);
+
 } // namespace sc::metrics
 
 #endif // SC_METRICS_COMPARE_H

@@ -10,6 +10,7 @@
 #include "dispatch/Engines.h"
 #include "dynamic/Dynamic3Engine.h"
 #include "dynamic/ModelInterpreter.h"
+#include "regvm/RegVm.h"
 #include "staticcache/StaticEngine.h"
 #include "superinst/Superinst.h"
 #include "support/Assert.h"
@@ -75,6 +76,16 @@ const Cell *staticHandlerTable() {
   return Tab;
 }
 
+const Cell *regHandlerTable() {
+  static Cell Tab[regvm::NumRegOps];
+  static const bool Ready = [] {
+    regvm::regHandlerCells(Tab);
+    return true;
+  }();
+  (void)Ready;
+  return Tab;
+}
+
 } // namespace
 
 std::shared_ptr<const PreparedCode>
@@ -119,6 +130,14 @@ sc::prepare::prepareCode(const Code &Prog, EngineId Engine,
     PC->Spec = std::move(Spec);
     break;
   }
+  case EngineId::RegVm: {
+    auto Reg = std::make_shared<const regvm::RegProgram>(
+        regvm::compileRegProgram(Snap));
+    PC->Stream.resize(4 * Reg->Insts.size());
+    regvm::translateRegStream(*Reg, regHandlerTable(), PC->Stream.data());
+    PC->Reg = std::move(Reg);
+    break;
+  }
   }
 
   PC->PrepareNs = static_cast<uint64_t>(
@@ -161,7 +180,20 @@ vm::RunOutcome sc::prepare::runPrepared(const PreparedCode &PC,
   case EngineId::StaticOptimal:
     O = staticcache::runStaticPrepared(*PC.spec(), Ctx, Entry, PC.stream());
     break;
+  case EngineId::RegVm:
+    O = regvm::runRegPrepared(*PC.reg(), Ctx, Entry, PC.stream());
+    break;
   }
   Ctx.Prog = Saved;
   return O;
+}
+
+bool sc::prepare::canEnterAt(const PreparedCode &PC, uint32_t Pc) {
+  if (PC.Spec)
+    return Pc < PC.Spec->OrigToSpec.size() &&
+           PC.Spec->OrigToSpec[Pc] != staticcache::InvalidSpec;
+  if (PC.Reg)
+    return Pc < PC.Reg->OrigToReg.size() &&
+           PC.Reg->OrigToReg[Pc] != regvm::InvalidReg;
+  return true;
 }

@@ -25,6 +25,7 @@
 #define SC_PREPARE_PREPARE_H
 
 #include "dispatch/EngineRegistry.h"
+#include "regvm/RegVm.h"
 #include "staticcache/StaticSpec.h"
 #include "vm/ExecContext.h"
 
@@ -95,9 +96,13 @@ struct PreparedCode {
   /// The specialized program (static engines only).
   const staticcache::SpecProgram *spec() const { return Spec.get(); }
 
+  /// The register-IR program (EngineId::RegVm only).
+  const regvm::RegProgram *reg() const { return Reg.get(); }
+
   std::shared_ptr<const vm::Code> Snapshot;
   std::vector<vm::Cell> Stream;
   std::shared_ptr<const staticcache::SpecProgram> Spec;
+  std::shared_ptr<const regvm::RegProgram> Reg;
 };
 
 /// Translates \p Prog once for \p Engine. Counts one stream translation
@@ -112,6 +117,15 @@ prepareCode(const vm::Code &Prog, EngineId Engine,
 /// points Ctx.Prog at the snapshot and restores it before returning.
 vm::RunOutcome runPrepared(const PreparedCode &PC, vm::ExecContext &Ctx,
                            uint32_t Entry);
+
+/// True when \p PC's engine can legally start or resume at instruction
+/// index \p Pc of PC.program(). Stream engines enter anywhere; the
+/// transformed flavors only at positions their translation mapped — the
+/// static caches' state-0 entries (OrigToSpec) and regvm's basic-block
+/// leaders (OrigToReg). Callers choosing a resume engine (VmSession's
+/// slice loop, the harness's rotation sweeps) must consult this instead
+/// of poking at spec()/reg() directly.
+bool canEnterAt(const PreparedCode &PC, uint32_t Pc);
 
 } // namespace sc::prepare
 

@@ -1,0 +1,310 @@
+//===-- regvm/RegDisasm.cpp - Register-IR disassembler --------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regvm/RegVm.h"
+
+#include "support/Assert.h"
+#include "vm/Opcode.h"
+
+#include <sstream>
+
+using namespace sc;
+using namespace sc::regvm;
+using namespace sc::vm;
+
+namespace {
+
+const char *regOpName(uint16_t H) {
+  switch (H) {
+  case RvCheckU:
+    return "check.u";
+  case RvCheckO:
+    return "check.o";
+  case RvAdd:
+    return "add";
+  case RvSub:
+    return "sub";
+  case RvMul:
+    return "mul";
+  case RvDiv:
+    return "div";
+  case RvMod:
+    return "mod";
+  case RvAnd:
+    return "and";
+  case RvOr:
+    return "or";
+  case RvXor:
+    return "xor";
+  case RvLshift:
+    return "lshift";
+  case RvRshift:
+    return "rshift";
+  case RvMin:
+    return "min";
+  case RvMax:
+    return "max";
+  case RvEq:
+    return "eq";
+  case RvNe:
+    return "ne";
+  case RvLt:
+    return "lt";
+  case RvGt:
+    return "gt";
+  case RvLe:
+    return "le";
+  case RvGe:
+    return "ge";
+  case RvULt:
+    return "ult";
+  case RvNegate:
+    return "negate";
+  case RvInvert:
+    return "invert";
+  case RvAbs:
+    return "abs";
+  case RvOnePlus:
+    return "add1";
+  case RvOneMinus:
+    return "sub1";
+  case RvTwoStar:
+    return "shl1";
+  case RvTwoSlash:
+    return "shr1";
+  case RvCells:
+    return "cells";
+  case RvZeroEq:
+    return "eq0";
+  case RvZeroNe:
+    return "ne0";
+  case RvZeroLt:
+    return "lt0";
+  case RvZeroGt:
+    return "gt0";
+  case RvFetch:
+    return "load";
+  case RvCFetch:
+    return "load.b";
+  case RvStore:
+    return "store";
+  case RvCStore:
+    return "store.b";
+  case RvPlusStore:
+    return "store.add";
+  case RvEmit:
+    return "emit";
+  case RvDot:
+    return "dot";
+  case RvCr:
+    return "cr";
+  case RvSpace:
+    return "space";
+  case RvType:
+    return "type";
+  case RvToR:
+    return "rpush";
+  case RvRFrom:
+    return "rpop";
+  case RvRFetch:
+    return "rpeek";
+  case RvDoSetup:
+    return "do.setup";
+  case RvLoopI:
+    return "loop.i";
+  case RvLoopJ:
+    return "loop.j";
+  case RvUnloop:
+    return "unloop";
+  case RvBranch:
+    return "jump";
+  case RvQBranch:
+    return "jump.z";
+  case RvLoopBr:
+    return "loop.br";
+  case RvPlusLoopBr:
+    return "loop.br+";
+  case RvCall:
+    return "call";
+  case RvExit:
+    return "exit";
+  case RvHalt:
+    return "halt";
+  case RvSync:
+    return "sync";
+  default:
+    return "?";
+  }
+}
+
+/// Renders an operand-slot descriptor: rN (register), cK=V (constant),
+/// m[J] (architectural cell J below the entry TOS).
+std::string slotStr(const RegProgram &RP, Cell D) {
+  const uint64_t Idx = static_cast<UCell>(D) >> 2;
+  std::ostringstream S;
+  if (D & 2) {
+    S << "m[" << Idx << "]";
+  } else if (D & 1) {
+    S << "c" << Idx;
+    if (Idx < RP.ConstPool.size())
+      S << "=" << RP.ConstPool[Idx];
+  } else {
+    S << "r" << Idx;
+  }
+  return S.str();
+}
+
+/// Renders a flush plan: {pop d; slot slot ...}.
+std::string planStr(const RegProgram &RP, uint32_t Id) {
+  if (Id == NoFlush)
+    return "-";
+  SC_ASSERT(Id + 2 <= RP.FlushPool.size(), "bad flush plan id");
+  const Cell *P = RP.FlushPool.data() + Id;
+  const unsigned FD = static_cast<unsigned>(P[0]);
+  const unsigned FN = static_cast<unsigned>(P[1]);
+  std::ostringstream S;
+  S << "{pop " << FD << ";";
+  for (unsigned J = 0; J < FN; ++J)
+    S << " " << slotStr(RP, P[2 + J]);
+  S << "}";
+  return S.str();
+}
+
+/// One register instruction, without the trailing newline.
+std::string instStr(const RegProgram &RP, uint32_t I) {
+  const RegInst &In = RP.Insts[I];
+  std::ostringstream S;
+  S << regOpName(In.Handler);
+  switch (In.Handler) {
+  case RvCheckU:
+  case RvCheckO:
+    S << " " << In.W1;
+    break;
+  case RvNegate:
+  case RvInvert:
+  case RvAbs:
+  case RvOnePlus:
+  case RvOneMinus:
+  case RvTwoStar:
+  case RvTwoSlash:
+  case RvCells:
+  case RvZeroEq:
+  case RvZeroNe:
+  case RvZeroLt:
+  case RvZeroGt:
+    S << " r" << In.W1 << ", " << slotStr(RP, In.W2);
+    break;
+  case RvFetch:
+  case RvCFetch:
+    S << " r" << In.W1 << ", [" << slotStr(RP, In.W2) << "]";
+    break;
+  case RvStore:
+  case RvCStore:
+  case RvPlusStore:
+    S << " [" << slotStr(RP, In.W2) << "], " << slotStr(RP, In.W3);
+    break;
+  case RvEmit:
+  case RvDot:
+    S << " " << slotStr(RP, In.W2);
+    break;
+  case RvCr:
+  case RvSpace:
+  case RvUnloop:
+  case RvHalt:
+  case RvSync:
+    break;
+  case RvType:
+    S << " " << slotStr(RP, In.W2) << ", " << slotStr(RP, In.W3);
+    break;
+  case RvToR:
+    S << " " << slotStr(RP, In.W2);
+    break;
+  case RvRFrom:
+  case RvRFetch:
+  case RvLoopI:
+  case RvLoopJ:
+    S << " r" << In.W1;
+    break;
+  case RvDoSetup:
+    S << " " << slotStr(RP, In.W2) << ", " << slotStr(RP, In.W3);
+    break;
+  case RvBranch:
+  case RvLoopBr:
+    S << " @" << In.W1;
+    break;
+  case RvQBranch:
+  case RvPlusLoopBr:
+    S << " @" << In.W1 << ", " << slotStr(RP, In.W2);
+    break;
+  case RvCall:
+    S << " @" << In.W1 << ", ret=" << In.W2;
+    break;
+  case RvExit:
+    break;
+  default: // three-operand ALU
+    S << " r" << In.W1 << ", " << slotStr(RP, In.W2) << ", "
+      << slotStr(RP, In.W3);
+    break;
+  }
+  const uint32_t Pre = RP.PreFlush[I];
+  const uint32_t Post = RP.PostFlush[I];
+  if (Pre != NoFlush)
+    S << "  pre=" << planStr(RP, Pre);
+  if (Post != NoFlush)
+    S << "  post=" << planStr(RP, Post);
+  return S.str();
+}
+
+} // namespace
+
+std::string sc::regvm::disasmReg(const RegProgram &RP) {
+  std::ostringstream S;
+  S << "; regvm: " << RP.Insts.size() << " insts from " << RP.OrigInsts
+    << " (regs " << RP.MaxRegs << ", manips dissolved " << RP.ManipsDissolved
+    << ", lits absorbed " << RP.LitsAbsorbed << ", consts folded "
+    << RP.ConstsFolded << ", checks " << RP.ChecksEmitted << "+"
+    << RP.ChecksEliminated << " elided, syncs " << RP.SyncsEmitted << ")\n";
+  for (uint32_t I = 0; I < RP.Insts.size(); ++I) {
+    S << I << ":\t";
+    if (RP.EntryOrig[I] != InvalidReg)
+      S << "[entry pc " << RP.EntryOrig[I] << "] ";
+    S << instStr(RP, I) << "\n";
+  }
+  return S.str();
+}
+
+std::string sc::regvm::disasmSideBySide(const Code &Prog,
+                                        const RegProgram &RP) {
+  SC_ASSERT(RP.OrigInsts == Prog.size(), "program/translation mismatch");
+  std::ostringstream S;
+  S << "; stack code | register translation\n";
+  for (uint32_t Pc = 0; Pc < Prog.size(); ++Pc) {
+    const Inst &In = Prog.Insts[Pc];
+    std::ostringstream Left;
+    Left << Pc << ": " << mnemonic(In.Op);
+    if (opInfo(In.Op).HasOperand)
+      Left << " " << In.Operand;
+    std::string L = Left.str();
+    if (L.size() < 28)
+      L.resize(28, ' ');
+    // Register instructions derived from this pc (contiguous by
+    // construction: translation walks the program in order).
+    bool Any = false;
+    for (uint32_t I = 0; I < RP.Insts.size(); ++I) {
+      if (RP.RegToOrig[I] != Pc)
+        continue;
+      S << (Any ? std::string(28, ' ') : L) << " | ";
+      if (RP.EntryOrig[I] != InvalidReg)
+        S << "[entry] ";
+      S << I << ": " << instStr(RP, I) << "\n";
+      Any = true;
+    }
+    if (!Any)
+      S << L << " | (dissolved)\n";
+  }
+  return S.str();
+}

@@ -1,0 +1,821 @@
+//===-- regvm/RegTranslate.cpp - Stack-to-register translation ------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+//
+// The abstract-stack pass. Each basic block is walked with a symbolic
+// stack of slots (virtual register / folded constant / architectural
+// entry cell); operations pop and push slots instead of cells, so pure
+// stack manipulations reduce to slot shuffles and literals ride along as
+// constants until a real computation consumes them. Control transfers
+// reconcile: the symbolic state is rendered into a "flush plan" that
+// rewrites the architectural stack to what the stack machine would hold,
+// executed on the block's exit edges and at traps.
+//
+// Trap equivalence is the load-bearing property. Every stack-limit check
+// a dissolved or folded op would have performed is re-emitted as an
+// explicit check instruction *at that op's position* against the block's
+// entry depth (the physical stack pointer does not move inside a block),
+// eliminated only when a previous check in the same block established a
+// bound that covers it — which is exactly the condition under which the
+// check can never fire. Underflow checks bound the entry depth D0 from
+// below (D0 >= n - h), overflow checks from above (D0 + h + n <= cap);
+// both bounds are block invariants, so the per-block maxima MaxU/MaxO
+// justify the elimination. The same bounds prove the memory safety of
+// entry-cell reads (index < D0) and flush writes (final depth <= cap),
+// so the regvm engine needs no stack slack and never defers a trap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regvm/RegVm.h"
+
+#include "support/Assert.h"
+#include "vm/ArithOps.h"
+
+#include <map>
+#include <utility>
+
+using namespace sc;
+using namespace sc::regvm;
+using namespace sc::vm;
+
+namespace {
+
+/// RegOp for a two-operand arithmetic/logic opcode.
+RegOp binRegOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return RvAdd;
+  case Opcode::Sub:
+    return RvSub;
+  case Opcode::Mul:
+    return RvMul;
+  case Opcode::Div:
+    return RvDiv;
+  case Opcode::Mod:
+    return RvMod;
+  case Opcode::And:
+    return RvAnd;
+  case Opcode::Or:
+    return RvOr;
+  case Opcode::Xor:
+    return RvXor;
+  case Opcode::Lshift:
+    return RvLshift;
+  case Opcode::Rshift:
+    return RvRshift;
+  case Opcode::Min:
+    return RvMin;
+  case Opcode::Max:
+    return RvMax;
+  case Opcode::Eq:
+    return RvEq;
+  case Opcode::Ne:
+    return RvNe;
+  case Opcode::Lt:
+    return RvLt;
+  case Opcode::Gt:
+    return RvGt;
+  case Opcode::Le:
+    return RvLe;
+  case Opcode::Ge:
+    return RvGe;
+  case Opcode::ULt:
+    return RvULt;
+  default:
+    sc::unreachable("not a binary opcode");
+  }
+}
+
+/// RegOp for a one-operand arithmetic/logic opcode.
+RegOp unRegOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Negate:
+    return RvNegate;
+  case Opcode::Invert:
+    return RvInvert;
+  case Opcode::Abs:
+    return RvAbs;
+  case Opcode::OnePlus:
+    return RvOnePlus;
+  case Opcode::OneMinus:
+    return RvOneMinus;
+  case Opcode::TwoStar:
+    return RvTwoStar;
+  case Opcode::TwoSlash:
+    return RvTwoSlash;
+  case Opcode::Cells:
+    return RvCells;
+  case Opcode::ZeroEq:
+    return RvZeroEq;
+  case Opcode::ZeroNe:
+    return RvZeroNe;
+  case Opcode::ZeroLt:
+    return RvZeroLt;
+  case Opcode::ZeroGt:
+    return RvZeroGt;
+  default:
+    sc::unreachable("not a unary opcode");
+  }
+}
+
+Cell evalBinop(Opcode Op, Cell A, Cell B) {
+  switch (Op) {
+  case Opcode::Add:
+    return arithAdd(A, B);
+  case Opcode::Sub:
+    return arithSub(A, B);
+  case Opcode::Mul:
+    return arithMul(A, B);
+  case Opcode::Div:
+    return arithDiv(A, B);
+  case Opcode::Mod:
+    return arithMod(A, B);
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Lshift:
+    return arithLshift(A, B);
+  case Opcode::Rshift:
+    return arithRshift(A, B);
+  case Opcode::Min:
+    return A < B ? A : B;
+  case Opcode::Max:
+    return A > B ? A : B;
+  case Opcode::Eq:
+    return boolCell(A == B);
+  case Opcode::Ne:
+    return boolCell(A != B);
+  case Opcode::Lt:
+    return boolCell(A < B);
+  case Opcode::Gt:
+    return boolCell(A > B);
+  case Opcode::Le:
+    return boolCell(A <= B);
+  case Opcode::Ge:
+    return boolCell(A >= B);
+  case Opcode::ULt:
+    return arithULt(A, B);
+  default:
+    sc::unreachable("not a binary opcode");
+  }
+}
+
+Cell evalUnop(Opcode Op, Cell A) {
+  switch (Op) {
+  case Opcode::Negate:
+    return arithNegate(A);
+  case Opcode::Invert:
+    return ~A;
+  case Opcode::Abs:
+    return arithAbs(A);
+  case Opcode::OnePlus:
+    return arithOnePlus(A);
+  case Opcode::OneMinus:
+    return arithOneMinus(A);
+  case Opcode::TwoStar:
+    return arithTwoStar(A);
+  case Opcode::TwoSlash:
+    return A >> 1;
+  case Opcode::Cells:
+    return arithCells(A);
+  case Opcode::ZeroEq:
+    return boolCell(A == 0);
+  case Opcode::ZeroNe:
+    return boolCell(A != 0);
+  case Opcode::ZeroLt:
+    return boolCell(A < 0);
+  case Opcode::ZeroGt:
+    return boolCell(A > 0);
+  default:
+    sc::unreachable("not a unary opcode");
+  }
+}
+
+class Translator {
+public:
+  explicit Translator(const Code &P) : Prog(P) {}
+
+  RegProgram run() {
+    const uint32_t N = Prog.size();
+    RP.OrigInsts = N;
+    RP.OrigToReg.assign(N, InvalidReg);
+    const std::vector<bool> Leaders = Prog.computeLeaders();
+    bool Open = false;
+    for (uint32_t Pc = 0; Pc < N; ++Pc) {
+      if (Leaders[Pc]) {
+        if (Open)
+          syncInto(Pc); // fall-through join: reconcile before the leader
+        startBlock(Pc);
+        Open = true;
+      }
+      if (!Open)
+        continue; // unreachable tail of a malformed program: no translation
+      CurPc = Pc;
+      Open = translateInst(Prog.Insts[Pc]);
+    }
+    for (const auto &Fix : Fixups) {
+      SC_ASSERT(Fix.second < RP.OrigToReg.size() &&
+                    RP.OrigToReg[Fix.second] != InvalidReg,
+                "branch target is not a block leader");
+      RP.Insts[Fix.first].W1 = static_cast<Cell>(RP.OrigToReg[Fix.second]);
+    }
+    // Entry markers: the first leader mapped to an index wins, so a run of
+    // leaders that produced no instructions collapses onto one entry.
+    for (const auto &Mark : EntryMarks)
+      if (Mark.first < RP.EntryOrig.size() &&
+          RP.EntryOrig[Mark.first] == InvalidReg)
+        RP.EntryOrig[Mark.first] = Mark.second;
+    return std::move(RP);
+  }
+
+private:
+  /// One symbolic stack slot.
+  struct ASlot {
+    SlotTag K = SlotTag::Mem;
+    uint32_t Idx = 0; ///< register index or entry-cell depth (0 = entry TOS)
+    Cell C = 0;       ///< constant value when K == Const
+  };
+
+  const Code &Prog;
+  RegProgram RP;
+
+  std::map<std::vector<Cell>, uint32_t> PlanDedup;
+  std::map<Cell, uint32_t> ConstDedup;
+  /// (instruction index, original branch-target pc), resolved at the end.
+  std::vector<std::pair<uint32_t, uint32_t>> Fixups;
+  /// (instruction index, leader pc) recorded at block starts.
+  std::vector<std::pair<uint32_t, uint32_t>> EntryMarks;
+
+  // Block-local abstract state: E is the symbolic stack above the entry
+  // cells (back = TOS), Consumed the number of entry cells logically
+  // popped. The physical stack pointer is frozen mid-block, so entry cell
+  // k lives at Stack[Dsp - 1 - k] at run time.
+  std::vector<ASlot> E;
+  unsigned Consumed = 0;
+  unsigned NextReg = 0;
+  int MaxU = 0; ///< strongest underflow bound established in this block
+  int MaxO = 0; ///< strongest overflow bound established in this block
+  uint32_t CurPc = 0;
+  bool HavePre = false;
+  uint32_t PrePlanId = NoFlush;
+
+  uint32_t size() const { return static_cast<uint32_t>(RP.Insts.size()); }
+  int height() const {
+    return static_cast<int>(E.size()) - static_cast<int>(Consumed);
+  }
+
+  void startBlock(uint32_t Leader) {
+    E.clear();
+    Consumed = 0;
+    NextReg = 0;
+    MaxU = 0;
+    MaxO = 0;
+    RP.OrigToReg[Leader] = size();
+    EntryMarks.emplace_back(size(), Leader);
+  }
+
+  /// Called at the start of each (sub-)instruction: invalidates the
+  /// cached pre-state plan.
+  void beginOp() { HavePre = false; }
+
+  uint32_t internConst(Cell V) {
+    auto It = ConstDedup.find(V);
+    if (It != ConstDedup.end())
+      return It->second;
+    const uint32_t Id = static_cast<uint32_t>(RP.ConstPool.size());
+    RP.ConstPool.push_back(V);
+    ConstDedup.emplace(V, Id);
+    return Id;
+  }
+
+  Cell descOf(const ASlot &S) {
+    switch (S.K) {
+    case SlotTag::Reg:
+      return encodeSlot(SlotTag::Reg, S.Idx);
+    case SlotTag::Const:
+      return encodeSlot(SlotTag::Const, internConst(S.C));
+    case SlotTag::Mem:
+      return encodeSlot(SlotTag::Mem, S.Idx);
+    }
+    sc::unreachable("bad slot tag");
+  }
+
+  /// Renders the current abstract state as a flush plan (deduplicated);
+  /// the identity state needs no plan at all.
+  uint32_t planNow() {
+    const size_t N = E.size();
+    if (N == Consumed) {
+      bool Ident = true;
+      for (size_t J = 0; J < N && Ident; ++J)
+        Ident = E[J].K == SlotTag::Mem && E[J].Idx == N - 1 - J;
+      if (Ident)
+        return NoFlush;
+    }
+    std::vector<Cell> Key;
+    Key.reserve(N + 2);
+    Key.push_back(static_cast<Cell>(Consumed));
+    Key.push_back(static_cast<Cell>(N));
+    for (const ASlot &S : E)
+      Key.push_back(descOf(S));
+    auto It = PlanDedup.find(Key);
+    if (It != PlanDedup.end())
+      return It->second;
+    const uint32_t Id = static_cast<uint32_t>(RP.FlushPool.size());
+    RP.FlushPool.insert(RP.FlushPool.end(), Key.begin(), Key.end());
+    if (N > RP.MaxFlushSlots)
+      RP.MaxFlushSlots = static_cast<uint32_t>(N);
+    PlanDedup.emplace(std::move(Key), Id);
+    return Id;
+  }
+
+  /// Plan of the state before the current (sub-)instruction touched it.
+  uint32_t prePlan() {
+    if (!HavePre) {
+      PrePlanId = planNow();
+      HavePre = true;
+    }
+    return PrePlanId;
+  }
+
+  uint32_t emitI(RegOp H, Cell W1, Cell W2, Cell W3, uint32_t Pre,
+                 uint32_t Post) {
+    RegInst RI;
+    RI.Handler = static_cast<uint16_t>(H);
+    RI.W1 = W1;
+    RI.W2 = W2;
+    RI.W3 = W3;
+    RP.Insts.push_back(RI);
+    RP.RegToOrig.push_back(CurPc);
+    RP.PreFlush.push_back(Pre);
+    RP.PostFlush.push_back(Post);
+    RP.EntryOrig.push_back(InvalidReg);
+    return size() - 1;
+  }
+
+  // -- Checks ---------------------------------------------------------------
+
+  /// SC_NEED(n) at the current point: traps unless entry depth >= n - h.
+  void checkU(unsigned N) {
+    const int T = static_cast<int>(N) - height();
+    if (T <= 0 || T <= MaxU) {
+      ++RP.ChecksEliminated;
+      return;
+    }
+    emitI(RvCheckU, T, 0, 0, prePlan(), NoFlush);
+    MaxU = T;
+    ++RP.ChecksEmitted;
+  }
+
+  /// SC_ROOM(n) at the current point: traps unless entry depth + h + n
+  /// fits the capacity.
+  void checkO(unsigned N) {
+    const int T = height() + static_cast<int>(N);
+    if (T <= 0 || T <= MaxO) {
+      ++RP.ChecksEliminated;
+      return;
+    }
+    emitI(RvCheckO, T, 0, 0, prePlan(), NoFlush);
+    MaxO = T;
+    ++RP.ChecksEmitted;
+  }
+
+  // -- Abstract stack -------------------------------------------------------
+
+  ASlot popSlot() {
+    if (!E.empty()) {
+      ASlot S = E.back();
+      E.pop_back();
+      return S;
+    }
+    ASlot S;
+    S.K = SlotTag::Mem;
+    S.Idx = Consumed++;
+    return S;
+  }
+
+  void pushConst(Cell V) {
+    ASlot S;
+    S.K = SlotTag::Const;
+    S.C = V;
+    E.push_back(S);
+  }
+
+  uint32_t allocReg() {
+    const uint32_t R = NextReg++;
+    if (NextReg > RP.MaxRegs)
+      RP.MaxRegs = NextReg;
+    ++RP.RegsMaterialized;
+    return R;
+  }
+
+  void pushReg(uint32_t R) {
+    ASlot S;
+    S.K = SlotTag::Reg;
+    S.Idx = R;
+    E.push_back(S);
+  }
+
+  // -- Per-opcode translation (check order mirrors InstBodies.inc) ----------
+
+  void doLit(Cell V) {
+    checkO(1);
+    pushConst(V);
+    ++RP.LitsAbsorbed;
+  }
+
+  void doBinop(Opcode Op) {
+    checkU(2);
+    const ASlot B = popSlot();
+    const ASlot A = popSlot();
+    const bool DivLike = Op == Opcode::Div || Op == Opcode::Mod;
+    if (A.K == SlotTag::Const && B.K == SlotTag::Const &&
+        (!DivLike || B.C != 0)) {
+      pushConst(evalBinop(Op, A.C, B.C));
+      ++RP.ConstsFolded;
+      return;
+    }
+    // Div/Mod trap after consuming their operands (InstBodies.inc).
+    const uint32_t Post = DivLike ? planNow() : NoFlush;
+    const Cell DA = descOf(A);
+    const Cell DB = descOf(B);
+    const uint32_t R = allocReg();
+    emitI(binRegOp(Op), static_cast<Cell>(R), DA, DB, NoFlush, Post);
+    pushReg(R);
+  }
+
+  void doUnop(Opcode Op) {
+    checkU(1);
+    const ASlot A = popSlot();
+    if (A.K == SlotTag::Const) {
+      pushConst(evalUnop(Op, A.C));
+      ++RP.ConstsFolded;
+      return;
+    }
+    const Cell DA = descOf(A);
+    const uint32_t R = allocReg();
+    emitI(unRegOp(Op), static_cast<Cell>(R), DA, 0, NoFlush, NoFlush);
+    pushReg(R);
+  }
+
+  void doFetch(RegOp H) { // RvFetch / RvCFetch
+    checkU(1);
+    const ASlot Addr = popSlot();
+    const uint32_t Post = planNow(); // address consumed, result not pushed
+    const Cell DA = descOf(Addr);
+    const uint32_t R = allocReg();
+    emitI(H, static_cast<Cell>(R), DA, 0, NoFlush, Post);
+    pushReg(R);
+  }
+
+  void doStore(RegOp H) { // RvStore / RvCStore / RvPlusStore
+    checkU(2);
+    const ASlot Addr = popSlot();
+    const ASlot V = popSlot();
+    const uint32_t Post = planNow();
+    emitI(H, 0, descOf(Addr), descOf(V), NoFlush, Post);
+  }
+
+  void doManip(Opcode Op) {
+    switch (Op) {
+    case Opcode::Dup: {
+      checkU(1);
+      checkO(1);
+      const ASlot A = popSlot();
+      E.push_back(A);
+      E.push_back(A);
+      break;
+    }
+    case Opcode::Drop: {
+      checkU(1);
+      (void)popSlot();
+      break;
+    }
+    case Opcode::Swap: {
+      checkU(2);
+      const ASlot B = popSlot();
+      const ASlot A = popSlot();
+      E.push_back(B);
+      E.push_back(A);
+      break;
+    }
+    case Opcode::Over: {
+      checkU(2);
+      checkO(1);
+      const ASlot B = popSlot();
+      const ASlot A = popSlot();
+      E.push_back(A);
+      E.push_back(B);
+      E.push_back(A);
+      break;
+    }
+    case Opcode::Rot: {
+      checkU(3);
+      const ASlot C = popSlot();
+      const ASlot B = popSlot();
+      const ASlot A = popSlot();
+      E.push_back(B);
+      E.push_back(C);
+      E.push_back(A);
+      break;
+    }
+    case Opcode::Nip: {
+      checkU(2);
+      const ASlot B = popSlot();
+      (void)popSlot();
+      E.push_back(B);
+      break;
+    }
+    case Opcode::Tuck: {
+      checkU(2);
+      checkO(1);
+      const ASlot B = popSlot();
+      const ASlot A = popSlot();
+      E.push_back(B);
+      E.push_back(A);
+      E.push_back(B);
+      break;
+    }
+    case Opcode::TwoDup: {
+      checkU(2);
+      checkO(2);
+      const ASlot B = popSlot();
+      const ASlot A = popSlot();
+      E.push_back(A);
+      E.push_back(B);
+      E.push_back(A);
+      E.push_back(B);
+      break;
+    }
+    case Opcode::TwoDrop: {
+      checkU(2);
+      (void)popSlot();
+      (void)popSlot();
+      break;
+    }
+    default:
+      sc::unreachable("not a stack manipulation");
+    }
+    ++RP.ManipsDissolved;
+  }
+
+  /// Fall-through into leader \p L: spill the symbolic state so the next
+  /// block starts canonical. The spill instruction belongs to the edge
+  /// (it precedes the block entry index recorded by startBlock).
+  void syncInto(uint32_t L) {
+    CurPc = L;
+    beginOp();
+    const uint32_t Plan = planNow();
+    if (Plan == NoFlush)
+      return;
+    emitI(RvSync, 0, 0, 0, NoFlush, Plan);
+    ++RP.SyncsEmitted;
+  }
+
+  /// Translates one original instruction. Returns false when the
+  /// instruction ends the basic block.
+  bool translateInst(const Inst &I) {
+    beginOp();
+    switch (I.Op) {
+    case Opcode::Halt:
+      emitI(RvHalt, 0, 0, 0, NoFlush, planNow());
+      return false;
+    case Opcode::Nop:
+      return true;
+    case Opcode::Lit:
+      doLit(I.Operand);
+      return true;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Lshift:
+    case Opcode::Rshift:
+    case Opcode::Min:
+    case Opcode::Max:
+    case Opcode::Eq:
+    case Opcode::Ne:
+    case Opcode::Lt:
+    case Opcode::Gt:
+    case Opcode::Le:
+    case Opcode::Ge:
+    case Opcode::ULt:
+      doBinop(I.Op);
+      return true;
+    case Opcode::Negate:
+    case Opcode::Invert:
+    case Opcode::Abs:
+    case Opcode::OnePlus:
+    case Opcode::OneMinus:
+    case Opcode::TwoStar:
+    case Opcode::TwoSlash:
+    case Opcode::Cells:
+    case Opcode::ZeroEq:
+    case Opcode::ZeroNe:
+    case Opcode::ZeroLt:
+    case Opcode::ZeroGt:
+      doUnop(I.Op);
+      return true;
+    case Opcode::Dup:
+    case Opcode::Drop:
+    case Opcode::Swap:
+    case Opcode::Over:
+    case Opcode::Rot:
+    case Opcode::Nip:
+    case Opcode::Tuck:
+    case Opcode::TwoDup:
+    case Opcode::TwoDrop:
+      doManip(I.Op);
+      return true;
+    case Opcode::Fetch:
+      doFetch(RvFetch);
+      return true;
+    case Opcode::CFetch:
+      doFetch(RvCFetch);
+      return true;
+    case Opcode::Store:
+      doStore(RvStore);
+      return true;
+    case Opcode::CStore:
+      doStore(RvCStore);
+      return true;
+    case Opcode::PlusStore:
+      doStore(RvPlusStore);
+      return true;
+    case Opcode::ToR: {
+      checkU(1);
+      const uint32_t Pre = prePlan(); // RROOM trap fires before the pop
+      const ASlot A = popSlot();
+      emitI(RvToR, 0, descOf(A), 0, Pre, NoFlush);
+      return true;
+    }
+    case Opcode::RFrom: {
+      checkO(1);
+      const uint32_t Pre = prePlan();
+      const uint32_t R = allocReg();
+      emitI(RvRFrom, static_cast<Cell>(R), 0, 0, Pre, NoFlush);
+      pushReg(R);
+      return true;
+    }
+    case Opcode::RFetch: {
+      checkO(1);
+      const uint32_t Pre = prePlan();
+      const uint32_t R = allocReg();
+      emitI(RvRFetch, static_cast<Cell>(R), 0, 0, Pre, NoFlush);
+      pushReg(R);
+      return true;
+    }
+    case Opcode::DoSetup: {
+      checkU(2);
+      const uint32_t Pre = prePlan(); // RROOM fires before the pops
+      const ASlot Index = popSlot();
+      const ASlot Limit = popSlot();
+      emitI(RvDoSetup, 0, descOf(Limit), descOf(Index), Pre, NoFlush);
+      return true;
+    }
+    case Opcode::LoopI: {
+      checkO(1);
+      const uint32_t Pre = prePlan();
+      const uint32_t R = allocReg();
+      emitI(RvLoopI, static_cast<Cell>(R), 0, 0, Pre, NoFlush);
+      pushReg(R);
+      return true;
+    }
+    case Opcode::LoopJ: {
+      checkO(1);
+      const uint32_t Pre = prePlan();
+      const uint32_t R = allocReg();
+      emitI(RvLoopJ, static_cast<Cell>(R), 0, 0, Pre, NoFlush);
+      pushReg(R);
+      return true;
+    }
+    case Opcode::Unloop:
+      emitI(RvUnloop, 0, 0, 0, prePlan(), NoFlush);
+      return true;
+    case Opcode::Branch: {
+      const uint32_t Plan = planNow();
+      Fixups.emplace_back(emitI(RvBranch, 0, 0, 0, NoFlush, Plan),
+                          static_cast<uint32_t>(I.Operand));
+      return false;
+    }
+    case Opcode::QBranch: {
+      checkU(1);
+      const ASlot Flag = popSlot();
+      const uint32_t Plan = planNow(); // flag consumed on both edges
+      Fixups.emplace_back(emitI(RvQBranch, 0, descOf(Flag), 0, NoFlush, Plan),
+                          static_cast<uint32_t>(I.Operand));
+      return false;
+    }
+    case Opcode::LoopBr: {
+      const uint32_t Plan = planNow();
+      Fixups.emplace_back(emitI(RvLoopBr, 0, 0, 0, Plan, Plan),
+                          static_cast<uint32_t>(I.Operand));
+      return false;
+    }
+    case Opcode::PlusLoopBr: {
+      checkU(1);
+      const uint32_t Pre = prePlan(); // RNEED fires with the step on stack
+      const ASlot N = popSlot();
+      const uint32_t Plan = planNow();
+      Fixups.emplace_back(
+          emitI(RvPlusLoopBr, 0, descOf(N), 0, Pre, Plan),
+          static_cast<uint32_t>(I.Operand));
+      return false;
+    }
+    case Opcode::Call: {
+      // W2 carries the canonical return address (an original instruction
+      // index), exactly what the stream engines push.
+      const uint32_t Plan = planNow();
+      Fixups.emplace_back(emitI(RvCall, 0, static_cast<Cell>(CurPc + 1), 0,
+                                Plan, Plan),
+                          static_cast<uint32_t>(I.Operand));
+      return false;
+    }
+    case Opcode::Exit: {
+      const uint32_t Plan = planNow();
+      emitI(RvExit, 0, 0, 0, Plan, Plan);
+      return false;
+    }
+    case Opcode::Emit: {
+      checkU(1);
+      const ASlot A = popSlot();
+      emitI(RvEmit, 0, descOf(A), 0, NoFlush, NoFlush);
+      return true;
+    }
+    case Opcode::Dot: {
+      checkU(1);
+      const ASlot A = popSlot();
+      emitI(RvDot, 0, descOf(A), 0, NoFlush, NoFlush);
+      return true;
+    }
+    case Opcode::Cr:
+      emitI(RvCr, 0, 0, 0, NoFlush, NoFlush);
+      return true;
+    case Opcode::Space:
+      emitI(RvSpace, 0, 0, 0, NoFlush, NoFlush);
+      return true;
+    case Opcode::TypeOp: {
+      checkU(2);
+      const ASlot Len = popSlot();
+      const ASlot Addr = popSlot();
+      const uint32_t Post = planNow();
+      emitI(RvType, 0, descOf(Addr), descOf(Len), NoFlush, Post);
+      return true;
+    }
+    // Superinstructions decompose into lit + consumer, sharing the fused
+    // pc; InstBodies.inc writes their bodies the same way, so trap
+    // positions and trap-time stack contents match exactly.
+    case Opcode::LitAdd:
+      doLit(I.Operand);
+      beginOp();
+      doBinop(Opcode::Add);
+      return true;
+    case Opcode::LitSub:
+      doLit(I.Operand);
+      beginOp();
+      doBinop(Opcode::Sub);
+      return true;
+    case Opcode::LitLt:
+      doLit(I.Operand);
+      beginOp();
+      doBinop(Opcode::Lt);
+      return true;
+    case Opcode::LitEq:
+      doLit(I.Operand);
+      beginOp();
+      doBinop(Opcode::Eq);
+      return true;
+    case Opcode::LitFetch:
+      // The unfused body validates without pushing the address; fetching
+      // through a constant slot traps at the same depth (push then pop is
+      // net zero and purely symbolic here).
+      doLit(I.Operand);
+      --RP.LitsAbsorbed; // not a guest-visible literal; keep stats honest
+      beginOp();
+      doFetch(RvFetch);
+      return true;
+    case Opcode::LitStore:
+      doLit(I.Operand);
+      --RP.LitsAbsorbed;
+      beginOp();
+      doStore(RvStore);
+      return true;
+    }
+    sc::unreachable("unhandled opcode");
+  }
+};
+
+} // namespace
+
+RegProgram sc::regvm::compileRegProgram(const Code &Prog) {
+  return Translator(Prog).run();
+}

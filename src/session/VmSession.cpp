@@ -219,9 +219,7 @@ snapshot::SnapshotError VmSession::restoreFrom(const uint8_t *Data, size_t N,
 
 RunOutcome VmSession::runSlice(uint32_t Pc) {
   if (engine::isStaticEngine(PC->Engine)) {
-    const staticcache::SpecProgram *SP = PC->spec();
-    const bool Enterable = SP && Pc < SP->OrigToSpec.size() &&
-                           SP->OrigToSpec[Pc] != staticcache::InvalidSpec;
+    const bool Enterable = prepare::canEnterAt(*PC, Pc);
     if (!Enterable) {
       // Snapshots are engine-neutral, so a restored PC may come from a
       // stream engine's stop and need not be a safe entry point of the

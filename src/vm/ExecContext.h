@@ -86,10 +86,12 @@ struct ExecContext {
   /// Pooled scratch buffers, owned by the context so repeated runs through
   /// the legacy single-shot engine entry points reuse storage instead of
   /// heap-allocating per run. StreamScratch holds a translated threaded
-  /// stream; TosScratch holds the TOS engine's shadow stack buffer. Both
-  /// grow on demand and are never shrunk.
+  /// stream; TosScratch holds the TOS engine's shadow stack buffer;
+  /// RegScratch holds the register-VM's virtual register file plus flush
+  /// scratch. All grow on demand and are never shrunk.
   std::vector<Cell> StreamScratch;
   std::vector<Cell> TosScratch;
+  std::vector<Cell> RegScratch;
 
   ExecContext() = default;
   ExecContext(const Code &C, Vm &V) : Prog(&C), Machine(&V) {}

@@ -454,6 +454,48 @@ TEST(CompareTest, TableCellChangeIsARegression) {
       compareResults(DocWithCell("7"), DocWithCell("8")).regression());
 }
 
+TEST(CompareTest, DerivedDispatchesPerStepHelper) {
+  Json V = Json::object();
+  V.set("dispatches", Json::number(300.0));
+  V.set("guest_steps", Json::number(400.0));
+  double R = 0;
+  ASSERT_TRUE(derivedDispatchesPerStep(V, R));
+  EXPECT_DOUBLE_EQ(R, 0.75);
+  Json Missing = Json::object();
+  EXPECT_FALSE(derivedDispatchesPerStep(Missing, R));
+  V.set("guest_steps", Json::number(0.0));
+  EXPECT_FALSE(derivedDispatchesPerStep(V, R));
+}
+
+TEST(CompareTest, DerivedDispatchesPerStepIsAsserted) {
+  auto DocWithRate = [](double Dispatches, double Steps, EntryKind K) {
+    MetricsReporter Rep("demo");
+    Json V = Json::object();
+    V.set("dispatches", Json::number(Dispatches));
+    V.set("guest_steps", Json::number(Steps));
+    Rep.addValues("regvm_rate", K, std::move(V));
+    return Rep.document();
+  };
+  // Identical rates compare clean.
+  EXPECT_FALSE(compareResults(DocWithRate(300, 400, EntryKind::Exact),
+                              DocWithRate(300, 400, EntryKind::Exact))
+                   .regression());
+  // A worsened per-step rate is a regression with a derived-ratio issue,
+  // on top of whatever the raw keys report.
+  CompareResult Worse = compareResults(DocWithRate(300, 400, EntryKind::Exact),
+                                       DocWithRate(360, 400, EntryKind::Exact));
+  EXPECT_TRUE(Worse.regression());
+  EXPECT_NE(Worse.render().find("dispatches_per_step"), std::string::npos);
+  EXPECT_NE(Worse.render().find("worsened"), std::string::npos);
+  // Under a timing entry (raw counts within the drift threshold), an
+  // improved rate surfaces as a note, never a regression.
+  CompareResult Better =
+      compareResults(DocWithRate(300, 400, EntryKind::Timing),
+                     DocWithRate(240, 400, EntryKind::Timing));
+  EXPECT_FALSE(Better.regression());
+  EXPECT_NE(Better.render().find("improved"), std::string::npos);
+}
+
 TEST(CompareTest, CountersEntriesCompareExactly) {
   auto DocWithCounters = [](uint64_t Overflows) {
     Counters C;

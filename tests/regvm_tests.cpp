@@ -1,0 +1,318 @@
+//===-- tests/regvm_tests.cpp - Register-VM translation and engine --------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-VM backend (src/regvm): translator unit tests (manip
+/// dissolution, literal absorption, constant folding, check elimination,
+/// identity flush plans), join reconciliation on branchy and irreducible
+/// control flow, differential equivalence against the switch reference on
+/// every workload, mutation fuzz, the full slice-boundary and sliced-fault
+/// sweeps of the resume contract, and the SC_STATS dispatch-reduction
+/// claim the backend exists for.
+///
+//===----------------------------------------------------------------------===//
+
+#include "regvm/RegVm.h"
+
+#include "harness/FaultInject.h"
+#include "metrics/Counters.h"
+#include "prepare/Prepare.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::vm;
+
+namespace {
+
+regvm::RegProgram compileOf(const char *Src) {
+  auto Sys = forth::loadOrDie(Src);
+  return regvm::compileRegProgram(Sys->Prog);
+}
+
+/// Runs \p Word under \p E and the switch reference, requiring agreement
+/// (with the usual static masks: regvm step counts are register
+/// dispatches, not guest steps).
+void expectAgreesWithSwitch(const forth::System &Sys, const char *Word,
+                            const harness::RunLimits &Limits = {}) {
+  const uint32_t Entry = Sys.Prog.findWord(Word)->Entry;
+  const harness::EngineObservation Ref = harness::observeEngine(
+      Sys, Sys.Prog, Entry, engine::EngineId::Switch, Limits);
+  const harness::EngineObservation Got = harness::observeEngine(
+      Sys, Sys.Prog, Entry, engine::EngineId::RegVm, Limits);
+  EXPECT_EQ(harness::compareObservations(Ref, Got, engine::EngineId::RegVm),
+            "")
+      << harness::describeObservation(Got);
+}
+
+} // namespace
+
+// --- Translator unit tests -------------------------------------------------
+
+TEST(RegTranslate, DissolvesPureStackManipulation) {
+  // dup/over/swap/drop are renames of the abstract state: no handler
+  // runs for them, so no register instruction maps back to their PCs
+  // (deferred checks excepted — those keep the original trap PC).
+  auto Sys = forth::loadOrDie(": main 1 2 over swap drop dup * . ;");
+  regvm::RegProgram RP = regvm::compileRegProgram(Sys->Prog);
+  EXPECT_EQ(RP.ManipsDissolved, 4u);
+  for (size_t I = 0; I < RP.Insts.size(); ++I) {
+    const uint32_t Orig = RP.RegToOrig[I];
+    if (Orig >= Sys->Prog.size())
+      continue;
+    const Opcode Op = Sys->Prog.Insts[Orig].Op;
+    if (Op == Opcode::Dup || Op == Opcode::Swap || Op == Opcode::Over ||
+        Op == Opcode::Drop) {
+      EXPECT_TRUE(RP.Insts[I].Handler == regvm::RvCheckU ||
+                  RP.Insts[I].Handler == regvm::RvCheckO)
+          << "manip at pc " << Orig << " survived as handler "
+          << RP.Insts[I].Handler;
+    }
+  }
+}
+
+TEST(RegTranslate, AbsorbsLiteralsAndFoldsConstants) {
+  // 1 2 + is evaluated at translate time; 3 + consumes a folded constant
+  // operand. Neither literal dispatches at run time.
+  regvm::RegProgram RP = compileOf(": main 1 2 + 3 + . ;");
+  EXPECT_GE(RP.LitsAbsorbed, 3u);
+  EXPECT_GE(RP.ConstsFolded, 2u); // 1 2 + folds, then (3) 3 + folds again
+  // The whole expression collapsed: no runtime ALU instruction remains.
+  for (const regvm::RegInst &I : RP.Insts)
+    EXPECT_NE(I.Handler, static_cast<uint16_t>(regvm::RvAdd));
+}
+
+TEST(RegTranslate, EliminatesDominatedChecks) {
+  // The first `over` proves two entry cells exist; the second `over` and
+  // the `swap` need no new underflow check (the block-monotone bound
+  // covers them). A check that deepens the proof is still emitted, so
+  // emitted + eliminated accounts for every check the stack ops imply.
+  regvm::RegProgram RP =
+      compileOf(": w over over swap + + ; : main 1 2 w . . ;");
+  EXPECT_GT(RP.ChecksEliminated, 0u);
+  unsigned Emitted = 0;
+  for (const regvm::RegInst &I : RP.Insts)
+    if (I.Handler == regvm::RvCheckU || I.Handler == regvm::RvCheckO)
+      ++Emitted;
+  EXPECT_EQ(Emitted, RP.ChecksEmitted);
+}
+
+TEST(RegTranslate, IdentityStateSpillsNothing) {
+  // swap swap is the identity: the block ends with every abstract slot
+  // already architectural, so the Exit spill plan is NoFlush.
+  regvm::RegProgram RP = compileOf(": w swap swap ; : main 1 2 w . . ;");
+  bool SawExit = false;
+  for (size_t I = 0; I < RP.Insts.size(); ++I)
+    if (RP.Insts[I].Handler == regvm::RvExit &&
+        RP.PostFlush[I] == regvm::NoFlush)
+      SawExit = true;
+  EXPECT_TRUE(SawExit);
+  EXPECT_EQ(RP.ManipsDissolved, 2u);
+}
+
+TEST(RegTranslate, EntryPointsAreBlockLeadersOnly) {
+  auto Sys = forth::loadOrDie(": main 1 2 + 5 0 do 1 + loop . ;");
+  regvm::RegProgram RP = regvm::compileRegProgram(Sys->Prog);
+  const uint32_t Entry = Sys->Prog.findWord("main")->Entry;
+  ASSERT_LT(Entry, RP.OrigToReg.size());
+  EXPECT_NE(RP.OrigToReg[Entry], regvm::InvalidReg);
+  // The same answer through the engine-neutral prepare query.
+  auto PC = prepare::prepareCode(Sys->Prog, engine::EngineId::RegVm);
+  EXPECT_TRUE(prepare::canEnterAt(*PC, Entry));
+  // Mid-block positions are not enterable; at least one must exist in a
+  // straight-line prefix of several instructions.
+  bool SawNonLeader = false;
+  for (uint32_t Pc = Entry + 1; Pc < Entry + 3; ++Pc)
+    if (!prepare::canEnterAt(*PC, Pc))
+      SawNonLeader = true;
+  EXPECT_TRUE(SawNonLeader);
+  // Every reported entry round-trips through EntryOrig.
+  for (uint32_t Pc = 0; Pc < RP.OrigToReg.size(); ++Pc)
+    if (RP.OrigToReg[Pc] != regvm::InvalidReg) {
+      EXPECT_EQ(RP.EntryOrig[RP.OrigToReg[Pc]], Pc);
+    }
+}
+
+TEST(RegDisasm, RendersIrAndSideBySide) {
+  auto Sys = forth::loadOrDie(": main 1 2 swap - dup * . ;");
+  regvm::RegProgram RP = regvm::compileRegProgram(Sys->Prog);
+  const std::string Ir = regvm::disasmReg(RP);
+  EXPECT_NE(Ir.find("halt"), std::string::npos);
+  EXPECT_NE(Ir.find("entry"), std::string::npos);
+  const std::string Side = regvm::disasmSideBySide(Sys->Prog, RP);
+  // The left column spells the stack program, the right column marks
+  // dissolved manipulations.
+  EXPECT_NE(Side.find("swap"), std::string::npos);
+  EXPECT_NE(Side.find("(dissolved)"), std::string::npos);
+}
+
+// --- Join reconciliation ---------------------------------------------------
+
+TEST(RegVmJoins, IfElseJoinReconciles) {
+  auto Sys = forth::loadOrDie(
+      ": pick dup 3 > if dup + else dup * then ; "
+      ": main 0 10 0 do i pick + loop . ;");
+  expectAgreesWithSwitch(*Sys, "main");
+}
+
+TEST(RegVmJoins, NestedLoopsWithDeepBlockState) {
+  auto Sys = forth::loadOrDie(
+      ": main 0 6 0 do 5 0 do i j * i + swap over + swap drop + loop loop "
+      ". ;");
+  expectAgreesWithSwitch(*Sys, "main");
+}
+
+TEST(RegVmJoins, IrreducibleLoopEnteredMidBlock) {
+  // A hand-built loop with two entry points: the fall-through path runs
+  // the head (6), while the QBranch at 3 jumps straight into the body
+  // (7) — a retreating edge whose target does not dominate the loop.
+  // Join reconciliation must spill at both entries.
+  Code C;
+  C.emit(Opcode::Lit, 6);     // 1: counter
+  C.emit(Opcode::Lit, 0);     // 2: flag: take the irreducible edge
+  C.emit(Opcode::QBranch, 7); // 3: -> mid-loop
+  C.emit(Opcode::Lit, 1);     // 4: (not taken) counter bump
+  C.emit(Opcode::Add);        // 5:
+  C.emit(Opcode::OneMinus);   // 6: loop head <- back edge from 9
+  C.emit(Opcode::Dup);        // 7: body <- entered from 3 and from 6
+  C.emit(Opcode::QBranch, 10); // 8: exit when counter reached zero
+  C.emit(Opcode::Branch, 6);  // 9: back edge
+  C.emit(Opcode::Dot);        // 10: prints the remaining 0
+  const uint32_t End = C.emit(Opcode::Exit) + 1; // 11
+  C.Words.push_back({"w", 1, End});
+  ASSERT_TRUE(C.verify());
+
+  auto RunUnder = [&](engine::EngineId E) {
+    Vm M;
+    ExecContext Ctx(C, M);
+    auto PC = prepare::prepareCode(C, E);
+    const RunOutcome O = prepare::runPrepared(*PC, Ctx, 1);
+    return std::make_pair(O.Status, M.Out);
+  };
+  const auto Ref = RunUnder(engine::EngineId::Switch);
+  const auto Got = RunUnder(engine::EngineId::RegVm);
+  EXPECT_EQ(Ref.first, RunStatus::Halted);
+  EXPECT_EQ(Got.first, Ref.first);
+  EXPECT_EQ(Got.second, Ref.second);
+  EXPECT_NE(Ref.second.find("0"), std::string::npos);
+
+  // Both loop entries are canonical block leaders of the translation.
+  regvm::RegProgram RP = regvm::compileRegProgram(C);
+  EXPECT_NE(RP.OrigToReg[6], regvm::InvalidReg);
+  EXPECT_NE(RP.OrigToReg[7], regvm::InvalidReg);
+}
+
+// --- Differential equivalence ---------------------------------------------
+
+TEST(RegVmDifferential, WorkloadChecksums) {
+  size_t N = 0;
+  const workloads::WorkloadInfo *W = workloads::allWorkloads(N);
+  ASSERT_GT(N, 0u);
+  for (size_t I = 0; I < N; ++I) {
+    auto Sys = forth::loadOrDie(W[I].Source);
+    const uint32_t Entry = Sys->entryOf(W[I].Entry);
+    const harness::EngineObservation Got = harness::observeEngine(
+        *Sys, Sys->Prog, Entry, engine::EngineId::RegVm);
+    EXPECT_EQ(Got.Outcome.Status, RunStatus::Halted) << W[I].Name;
+    EXPECT_EQ(Got.Out, W[I].Expected) << W[I].Name;
+    const harness::EngineObservation Ref = harness::observeEngine(
+        *Sys, Sys->Prog, Entry, engine::EngineId::Switch);
+    EXPECT_EQ(
+        harness::compareObservations(Ref, Got, engine::EngineId::RegVm), "")
+        << W[I].Name;
+  }
+}
+
+TEST(RegVmDifferential, MutationFuzzAgainstAllEngines) {
+  // mutateAndCompare runs every registry engine — the regvm flavor
+  // included — against the switch reference on verified mutants, with
+  // full fault-state equality.
+  auto Sys = forth::loadOrDie(
+      "variable v : main 0 8 0 do i dup * over + swap drop v ! v @ loop "
+      ". ;");
+  const harness::InjectReport R =
+      harness::mutateAndCompare(*Sys, "main", /*Rounds=*/300, /*Seed=*/7);
+  EXPECT_TRUE(R.ok()) << R.FirstDivergence;
+  EXPECT_GT(R.Points, 0u);
+}
+
+// --- The resume contract ---------------------------------------------------
+
+TEST(RegVmSlicing, SliceBoundariesAtEveryLength) {
+  // sliced == one-shot for every engine at every slice length, plus
+  // mixed rotations (stream -> regvm resumes take the leader-fallback
+  // path when the stop PC is not a block leader).
+  auto Sys = forth::loadOrDie(
+      ": main 0 6 0 do i dup * swap over + swap drop loop . ;");
+  const harness::InjectReport R =
+      harness::sweepSliceBoundaries(*Sys, "main");
+  EXPECT_TRUE(R.ok()) << R.FirstDivergence;
+}
+
+TEST(RegVmSlicing, SlicedFaultsMatchOneShot) {
+  // A preempted-and-resumed run must trap exactly like an uninterrupted
+  // one: step-limit and capacity fault campaigns, sliced fine.
+  auto Sys = forth::loadOrDie(
+      ": main 1 2 3 4 9 0 do dup * swap 1 + swap loop + + + . ;");
+  for (uint64_t Slice : {1u, 2u, 3u, 5u}) {
+    const harness::InjectReport R =
+        harness::sweepSlicedFaults(*Sys, "main", {}, Slice);
+    EXPECT_TRUE(R.ok()) << "slice " << Slice << ": " << R.FirstDivergence;
+  }
+}
+
+TEST(RegVmSlicing, FaultPcsMapToOriginalInstructions) {
+  // A division by zero mid-loop: the reported PC must address the Div of
+  // the *stack* program, not a register-instruction index.
+  auto Sys = forth::loadOrDie(": main 5 0 do i 3 i - / loop ;");
+  const harness::EngineObservation Got = harness::observeEngine(
+      *Sys, Sys->Prog, Sys->entryOf("main"), engine::EngineId::RegVm);
+  ASSERT_EQ(Got.Outcome.Status, RunStatus::DivByZero);
+  EXPECT_EQ(Sys->Prog.Insts[Got.Outcome.Fault.Pc].Op, Opcode::Div);
+  const harness::EngineObservation Ref = harness::observeEngine(
+      *Sys, Sys->Prog, Sys->entryOf("main"), engine::EngineId::Switch);
+  EXPECT_EQ(
+      harness::compareObservations(Ref, Got, engine::EngineId::RegVm), "");
+}
+
+// --- The registry and the promotion ladder ---------------------------------
+
+TEST(RegVmRegistry, TopsThePromotionLadder) {
+  const std::vector<engine::EngineId> Ladder =
+      engine::promotionLadder(/*RequireReentrant=*/true);
+  ASSERT_FALSE(Ladder.empty());
+  EXPECT_EQ(Ladder.back(), engine::EngineId::RegVm);
+  EXPECT_TRUE(engine::isStaticEngine(engine::EngineId::RegVm));
+  EXPECT_TRUE(engine::engineInfo(engine::EngineId::RegVm).Caps.Reentrant);
+}
+
+// --- The point of the exercise (SC_STATS builds only) ----------------------
+
+TEST(RegVmStats, FewerDispatchesPerGuestStepOnManipHeavyCode) {
+  if (!metrics::statsEnabled())
+    GTEST_SKIP() << "needs -DSC_STATS=ON";
+  auto Sys = forth::loadOrDie(
+      ": main 0 2000 0 do i 1 + dup dup * swap drop over + swap drop "
+      "loop . ;");
+  auto CountDispatches = [&](engine::EngineId E) {
+    metrics::Counters C;
+    Vm M = Sys->Machine;
+    ExecContext Ctx(Sys->Prog, M);
+    Ctx.Stats = &C;
+    auto PC = prepare::prepareCode(Sys->Prog, E);
+    const RunOutcome O = prepare::runPrepared(*PC, Ctx, Sys->entryOf("main"));
+    EXPECT_EQ(O.Status, RunStatus::Halted);
+    return C.totalDispatch();
+  };
+  const uint64_t Ref = CountDispatches(engine::EngineId::Switch);
+  const uint64_t Reg = CountDispatches(engine::EngineId::RegVm);
+  ASSERT_GT(Ref, 0u);
+  // The acceptance bar: at least 25% fewer dispatches per guest step.
+  EXPECT_LE(Reg * 4, Ref * 3)
+      << "regvm " << Reg << " vs switch " << Ref << " dispatches";
+}

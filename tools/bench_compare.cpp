@@ -10,10 +10,15 @@
 ///
 /// Diffs two bench-result files (per-bench or merged roll-ups). "exact"
 /// and "counters" entries must match bit-for-bit; "timing" entries may
-/// drift within the relative threshold (default 0.25 = 25%). Exits 0
-/// when no regression was found, 1 on regressions, 2 on usage/IO errors.
-/// CI's perf-smoke job self-checks it against perturbed roll-ups; for
-/// local before/after comparisons see EXPERIMENTS.md.
+/// drift within the relative threshold (default 0.25 = 25%). Entries
+/// whose values carry raw "dispatches" and "guest_steps" counts (the
+/// regvm_comparison bench) additionally have the derived
+/// dispatches-per-guest-step ratio re-computed and asserted on both
+/// sides, so a worsened per-step rate fails the comparison even when
+/// both raw counts scale together. Exits 0 when no regression was
+/// found, 1 on regressions, 2 on usage/IO errors. CI's perf-smoke job
+/// self-checks it against perturbed roll-ups; for local before/after
+/// comparisons see EXPERIMENTS.md.
 ///
 //===----------------------------------------------------------------------===//
 
