@@ -14,6 +14,14 @@
 # smoke mode (SC_BENCH_SMOKE=1: reduced iterations) through
 # scripts/bench.sh, producing BENCH_results.json and running the
 # comparator self-check. This is what CI's perf-smoke job runs.
+#
+# --service-smoke builds only the loadgen tool in an existing (or fresh)
+# build dir and drives the execution service end to end: a clean local
+# run, a local run under transport chaos plus shard kills, and a real-
+# socket run under the same storm. loadgen self-asserts exactly-once
+# delivery and field-for-field result equality against unchaosed
+# reference runs, so any drop/duplicate/corruption that leaks through
+# fails the script. CI runs this in the release and TSan legs.
 set -euo pipefail
 
 MODE=full
@@ -30,6 +38,10 @@ case "${1:-}" in
   ;;
 --bench-smoke)
   MODE=bench-smoke
+  shift
+  ;;
+--service-smoke)
+  MODE=service-smoke
   shift
   ;;
 esac
@@ -81,6 +93,21 @@ if [ "$MODE" = bench-smoke ]; then
   SC_BENCH_SMOKE=1 "$BUILD"/bench/regvm_comparison > /dev/null
   echo "register-backend contracts held (exact output, >=25% fewer dispatches per step on manip code)"
   "$(dirname "$0")"/bench.sh --smoke --self-check "$BUILD"
+elif [ "$MODE" = service-smoke ]; then
+  BUILD="${1:-build}"
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD" --target loadgen
+  # Sized so the chaos runs see real shard kills and checkpoint
+  # recoveries while the whole mode stays under a couple of minutes.
+  echo "==== service smoke: clean local run"
+  "$BUILD"/tools/loadgen --jobs 1500 --clients 6 > /dev/null
+  echo "clean run held (exactly-once, field-for-field vs reference)"
+  echo "==== service smoke: local run under chaos + shard kills"
+  "$BUILD"/tools/loadgen --jobs 1500 --clients 6 --chaos > /dev/null
+  echo "chaos run held (retries masked drops, kills recovered)"
+  echo "==== service smoke: TCP run under chaos + shard kills"
+  "$BUILD"/tools/loadgen --jobs 600 --clients 4 --tcp --chaos > /dev/null
+  echo "socket chaos run held (torn frames rejected, results exact)"
 elif [ "$MODE" = sanitize ]; then
   if [ "$SAN_KINDS" = thread ]; then
     BUILD="${1:-build-tsan}"

@@ -155,7 +155,10 @@ SessionScheduler::~SessionScheduler() {
 }
 
 TenantId SessionScheduler::addTenant(std::string Name, TenantConfig Config) {
-  SC_ASSERT(Config.QueueCapacity > 0, "a tenant needs queue space");
+  // QueueCapacity == 0 is a legal degenerate: an admit-nothing tenant
+  // whose every submit is Rejected (see TenantConfig). The ring below
+  // still reserves worker headroom so requeues of in-flight jobs —
+  // impossible for such a tenant, but harmless — could never overflow.
   SC_ASSERT(Config.QuantumSteps > 0, "a DRR quantum must credit something");
   std::lock_guard<std::mutex> Lock(Mu);
   SC_ASSERT(!Stopping, "addTenant after shutdown");
@@ -227,7 +230,9 @@ SubmitResult SessionScheduler::submit(Job *J) {
       return SubmitResult::Closed;
     if (TS.Queue.size() < TS.Cfg.QueueCapacity)
       break;
-    if (TS.Cfg.OnFull == Backpressure::Reject) {
+    // A zero-capacity tenant rejects under Backpressure::Wait too:
+    // space can never free up, so waiting would deadlock the submitter.
+    if (TS.Cfg.OnFull == Backpressure::Reject || TS.Cfg.QueueCapacity == 0) {
       St.Rejected.fetch_add(1, std::memory_order_relaxed);
       return SubmitResult::Rejected;
     }
@@ -267,6 +272,46 @@ void SessionScheduler::rearm(Job *J) {
     }
   }
   J->State.store(JobState::Idle, std::memory_order_release);
+}
+
+void SessionScheduler::recycle(Job *J, const vm::Vm &ProtoMachine,
+                               JobSpec Spec) {
+  const JobState S = J->state();
+  SC_ASSERT(S == JobState::Done || S == JobState::Idle,
+            "recycle of a live job");
+  SC_ASSERT(!Cfg.Tier, "recycle is not tier-aware; use rearm");
+  // The session stays bound to its prepared program, so a recycled job
+  // serves the same (program, engine) pair — the service's free lists
+  // key on exactly that. Machine state is replaced wholesale: data
+  // space, accessibility limit, and accumulated output all become the
+  // proto's, and the fuel budget belongs to the new job alone.
+  *J->Machine = ProtoMachine;
+  J->Sess->reset();
+  J->Sess->resetCancel();
+  J->Sess->resetFuel(Spec.FuelSteps);
+  J->Spec = Spec;
+  J->Aggregate = session::SessionResult{};
+  J->NextEntry = Spec.Entry;
+  J->State.store(JobState::Idle, std::memory_order_release);
+}
+
+snapshot::SnapshotError SessionScheduler::adoptCheckpoint(Job *J,
+                                                          const uint8_t *Data,
+                                                          size_t N) {
+  SC_ASSERT(J->state() == JobState::Idle,
+            "adoptCheckpoint into a non-idle job");
+  snapshot::MachineState MS;
+  const snapshot::SnapshotError E = J->Sess->restoreFrom(Data, N, &MS);
+  if (E != snapshot::SnapshotError::None)
+    return E;
+  // Same accounting as recover(): the job resumes at the snapshot's PC
+  // and reports the snapshot's retired progress, so work re-executed
+  // after a shard rebuild is reported exactly once.
+  J->NextEntry = MS.Pc;
+  J->Aggregate = session::SessionResult{};
+  J->Aggregate.Outcome.Steps = MS.StepsRetired;
+  J->Aggregate.Slices = MS.SlicesRetired;
+  return snapshot::SnapshotError::None;
 }
 
 void SessionScheduler::wait(Job *J) {

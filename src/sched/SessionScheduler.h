@@ -135,7 +135,11 @@ struct TenantConfig {
   /// DRR quantum: guest steps credited when the tenant comes up for
   /// selection with an empty deficit. Larger quanta mean longer turns.
   uint64_t QuantumSteps = 4096;
-  /// Bounded admission: jobs that may sit queued at once.
+  /// Bounded admission: jobs that may sit queued at once. Zero is legal
+  /// and means "admit nothing": every submit is Rejected immediately,
+  /// under Backpressure::Wait too (waiting for space that can never
+  /// exist would block forever) — the fully-shedding tenant a service
+  /// uses to quarantine a noisy client without deregistering it.
   size_t QueueCapacity = 16;
   Backpressure OnFull = Backpressure::Reject;
 };
@@ -290,6 +294,26 @@ public:
   /// session counters persist (fuel already burned stays burned).
   /// Zero-alloc. Caller must ensure no worker still touches the job.
   void rearm(Job *J);
+
+  /// Recycles a Done (or Idle) job into a logically brand-new one over
+  /// the *same program and engine*: machine state replaced by a copy of
+  /// \p ProtoMachine, session progress/checkpoints cleared, fuel budget
+  /// reset to Spec.FuelSteps, spec replaced. The execution service's job
+  /// free list uses this to serve unbounded job streams from a bounded
+  /// job pool (createJob allocates a 1 MiB-class machine per call and
+  /// the scheduler never frees jobs). Not available under adaptive
+  /// tiering. Caller must ensure no worker still touches the job.
+  void recycle(Job *J, const vm::Vm &ProtoMachine, JobSpec Spec);
+
+  /// Restores a serialized sc-snap checkpoint into an Idle job: session
+  /// state, resume entry, and reported aggregate all roll to the
+  /// snapshot, exactly as crash recovery does for the scheduler's own
+  /// checkpoints. The service's shard-rebuild path pushes harvested
+  /// checkpoints from a killed shard's jobs into fresh jobs with this.
+  /// Returns the snapshot layer's verdict; on error the job is unchanged
+  /// and still Idle.
+  snapshot::SnapshotError adoptCheckpoint(Job *J, const uint8_t *Data,
+                                          size_t N);
 
   /// Blocks until \p J reaches Done. The job must have been submitted.
   void wait(Job *J);

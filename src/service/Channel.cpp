@@ -1,0 +1,286 @@
+//===-- service/Channel.cpp - Byte transports + chaos injection -----------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Channel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace sc;
+using namespace sc::service;
+
+//===----------------------------------------------------------------------===//
+// Local pair
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One direction of an in-process connection.
+struct Pipe {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<uint8_t> Bytes;
+  bool Closed = false;
+
+  bool push(const uint8_t *Data, size_t N) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (Closed)
+        return false;
+      Bytes.insert(Bytes.end(), Data, Data + N);
+    }
+    Cv.notify_all();
+    return true;
+  }
+
+  int64_t pull(uint8_t *Buf, size_t N, uint64_t TimeoutNs) {
+    std::unique_lock<std::mutex> L(Mu);
+    auto Ready = [&] { return !Bytes.empty() || Closed; };
+    if (TimeoutNs == 0)
+      Cv.wait(L, Ready);
+    else if (!Cv.wait_for(L, std::chrono::nanoseconds(TimeoutNs), Ready))
+      return -1;
+    if (Bytes.empty())
+      return 0; // closed and drained
+    const size_t Take = std::min(N, Bytes.size());
+    std::copy_n(Bytes.begin(), Take, Buf);
+    Bytes.erase(Bytes.begin(), Bytes.begin() + static_cast<ptrdiff_t>(Take));
+    return static_cast<int64_t>(Take);
+  }
+
+  void shut() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Closed = true;
+    }
+    Cv.notify_all();
+  }
+};
+
+struct PairState {
+  Pipe AtoB, BtoA;
+};
+
+class LocalChannel : public Channel {
+public:
+  LocalChannel(std::shared_ptr<PairState> S, bool IsA)
+      : State(std::move(S)), IsA(IsA) {}
+  ~LocalChannel() override { close(); }
+
+  bool send(const uint8_t *Data, size_t N) override {
+    return (IsA ? State->AtoB : State->BtoA).push(Data, N);
+  }
+  int64_t recv(uint8_t *Buf, size_t N, uint64_t TimeoutNs) override {
+    return (IsA ? State->BtoA : State->AtoB).pull(Buf, N, TimeoutNs);
+  }
+  void close() override {
+    // Either end closing kills both directions, like a dropped socket.
+    State->AtoB.shut();
+    State->BtoA.shut();
+  }
+
+private:
+  std::shared_ptr<PairState> State;
+  bool IsA;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+sc::service::makeLocalPair() {
+  auto State = std::make_shared<PairState>();
+  return {std::make_unique<LocalChannel>(State, true),
+          std::make_unique<LocalChannel>(State, false)};
+}
+
+//===----------------------------------------------------------------------===//
+// ChaosChannel
+//===----------------------------------------------------------------------===//
+
+ChaosConfig ChaosConfig::storm(uint64_t Seed) {
+  ChaosConfig C;
+  C.Seed = Seed;
+  C.DropPerMille = 120;
+  C.DupPerMille = 120;
+  C.TruncatePerMille = 25;
+  C.ReorderPerMille = 120;
+  C.DelayPerMille = 120;
+  C.DelayMaxNs = 100'000;
+  return C;
+}
+
+bool ChaosChannel::send(const uint8_t *Data, size_t N) {
+  uint64_t DelayNs = 0;
+  std::vector<uint8_t> Flush;
+  size_t SendLen = N;   // < N means torn write
+  unsigned Copies = 1;  // 0 = dropped, 2 = duplicated
+  bool Tear = false;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Cfg.DelayPerMille && ChaosRng.below(1000) < Cfg.DelayPerMille) {
+      DelayNs = ChaosRng.below(Cfg.DelayMaxNs + 1);
+      ++Counts.Delays;
+    }
+    if (Cfg.DropPerMille && ChaosRng.below(1000) < Cfg.DropPerMille) {
+      Copies = 0;
+      ++Counts.Drops;
+    } else if (Cfg.TruncatePerMille && N > 1 &&
+               ChaosRng.below(1000) < Cfg.TruncatePerMille) {
+      SendLen = 1 + static_cast<size_t>(ChaosRng.below(N - 1));
+      Tear = true;
+      ++Counts.Truncations;
+    } else if (Cfg.DupPerMille && ChaosRng.below(1000) < Cfg.DupPerMille) {
+      Copies = 2;
+      ++Counts.Dups;
+    } else if (Cfg.ReorderPerMille && Held.empty() &&
+               ChaosRng.below(1000) < Cfg.ReorderPerMille) {
+      // Hold this frame; it goes out after the next one.
+      Held.assign(Data, Data + N);
+      ++Counts.Reorders;
+      Copies = 0;
+      Tear = false;
+    }
+    if (Copies > 0 && !Held.empty() && !Tear) {
+      // A frame is queued behind this one: emit current then held.
+      Flush.swap(Held);
+    }
+  }
+
+  if (DelayNs)
+    std::this_thread::sleep_for(std::chrono::nanoseconds(DelayNs));
+  if (Tear) {
+    // Torn write: a prefix escapes, then the connection dies. The peer's
+    // FrameBuffer stalls (or poisons) and the endpoint must reconnect —
+    // exactly what a mid-frame TCP reset looks like.
+    Inner->send(Data, SendLen);
+    Inner->close();
+    return false;
+  }
+  bool Ok = true;
+  for (unsigned I = 0; I < Copies; ++I)
+    Ok = Inner->send(Data, N) && Ok;
+  if (!Flush.empty())
+    Ok = Inner->send(Flush.data(), Flush.size()) && Ok;
+  // A dropped frame reports success: the sender must discover the loss
+  // end to end (timeout + retry), not from the transport.
+  return Copies == 0 ? true : Ok;
+}
+
+int64_t ChaosChannel::recv(uint8_t *Buf, size_t N, uint64_t TimeoutNs) {
+  return Inner->recv(Buf, N, TimeoutNs);
+}
+
+void ChaosChannel::close() {
+  std::vector<uint8_t> Flush;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Flush.swap(Held);
+  }
+  if (!Flush.empty())
+    Inner->send(Flush.data(), Flush.size());
+  Inner->close();
+}
+
+ChaosChannel::Injected ChaosChannel::injected() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Counts;
+}
+
+//===----------------------------------------------------------------------===//
+// TCP
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class TcpChannel : public Channel {
+public:
+  explicit TcpChannel(int Fd) : Fd(Fd) {}
+  ~TcpChannel() override {
+    close();
+    // The fd is released only here, after every user of this object is
+    // gone — a concurrent recv() racing close() must never see the fd
+    // number recycled onto some other connection.
+    ::close(Fd);
+  }
+
+  bool send(const uint8_t *Data, size_t N) override {
+    size_t Off = 0;
+    while (Off < N) {
+      const ssize_t W =
+          ::send(Fd, Data + Off, N - Off, MSG_NOSIGNAL);
+      if (W <= 0) {
+        if (W < 0 && (errno == EINTR))
+          continue;
+        return false;
+      }
+      Off += static_cast<size_t>(W);
+    }
+    return true;
+  }
+
+  int64_t recv(uint8_t *Buf, size_t N, uint64_t TimeoutNs) override {
+    if (TimeoutNs) {
+      pollfd P{Fd, POLLIN, 0};
+      const int Ms = static_cast<int>(
+          std::min<uint64_t>((TimeoutNs + 999'999) / 1'000'000, 1u << 30));
+      const int R = ::poll(&P, 1, Ms);
+      if (R == 0)
+        return -1;
+      if (R < 0)
+        return 0;
+    }
+    const ssize_t R = ::recv(Fd, Buf, N, 0);
+    if (R < 0)
+      return errno == EINTR ? -1 : 0;
+    return static_cast<int64_t>(R);
+  }
+
+  void close() override {
+    // shutdown() unblocks a recv() parked in poll() and makes every
+    // later send/recv fail; the fd stays allocated until destruction.
+    if (!ClosedFlag.exchange(true))
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+
+private:
+  int Fd;
+  std::atomic<bool> ClosedFlag{false};
+};
+
+} // namespace
+
+std::unique_ptr<Channel> sc::service::wrapTcpFd(int Fd) {
+  const int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return std::make_unique<TcpChannel>(Fd);
+}
+
+std::unique_ptr<Channel> sc::service::connectTcp(uint16_t Port) {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return nullptr;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return nullptr;
+  }
+  return wrapTcpFd(Fd);
+}

@@ -1,0 +1,127 @@
+//===-- service/Channel.h - Byte transports + chaos injection --*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport abstraction under the execution service: an ordered,
+/// unreliable-at-the-edges byte stream. Three implementations:
+///
+///   - makeLocalPair(): two connected in-process endpoints (mutex +
+///     condvar byte queues) — what the tests and the in-process loadgen
+///     mode run over, so every protocol path is exercised without a
+///     kernel socket in the loop;
+///   - TcpChannel / connectTcp(): a real TCP connection (the server's
+///     accepted sockets use the same class);
+///   - ChaosChannel: wraps any channel and attacks the *send* side with
+///     seeded, per-mille frame drop, duplication, truncation (a torn
+///     write: a prefix goes out, then the connection dies — the only
+///     honest truncation on a stream transport), reordering (hold one
+///     frame back, emit it after the next), and bounded random delay.
+///
+/// ChaosChannel assumes one whole encoded frame per send() call, which
+/// is how ServiceClient, serveChannel, and ServiceServer all send.
+/// Wrapping both ends of a connection chaoses both requests and
+/// responses; the retry/idempotency machinery must mask all of it — the
+/// chaos differential tests assert exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SERVICE_CHANNEL_H
+#define SC_SERVICE_CHANNEL_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sc::service {
+
+/// An ordered byte stream with a close switch. Thread model: one sender
+/// thread and one receiver thread per endpoint (they may be different
+/// threads); close() is callable from any thread and unblocks a blocked
+/// recv().
+class Channel {
+public:
+  virtual ~Channel() = default;
+
+  /// Queues \p N bytes for the peer. False when the connection is gone.
+  virtual bool send(const uint8_t *Data, size_t N) = 0;
+  bool send(const std::vector<uint8_t> &Frame) {
+    return send(Frame.data(), Frame.size());
+  }
+
+  /// Blocks until bytes arrive, the peer closes, or \p TimeoutNs elapses
+  /// (0 = wait forever). Returns the byte count (> 0), 0 when the
+  /// connection is closed and drained, or -1 on timeout.
+  virtual int64_t recv(uint8_t *Buf, size_t N, uint64_t TimeoutNs) = 0;
+
+  /// Closes both directions; the peer's recv() drains then returns 0.
+  virtual void close() = 0;
+};
+
+/// Two connected in-process endpoints. Closing either closes both.
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> makeLocalPair();
+
+/// Per-mille fault rates for ChaosChannel. All zero = transparent.
+struct ChaosConfig {
+  uint64_t Seed = 1;          ///< all chaos decisions come from this
+  uint32_t DropPerMille = 0;     ///< frame silently discarded
+  uint32_t DupPerMille = 0;      ///< frame sent twice back to back
+  uint32_t TruncatePerMille = 0; ///< torn write: prefix sent, stream dies
+  uint32_t ReorderPerMille = 0;  ///< frame held, emitted after the next
+  uint32_t DelayPerMille = 0;    ///< bounded random sleep before sending
+  uint64_t DelayMaxNs = 200'000; ///< delay upper bound
+
+  bool enabled() const {
+    return DropPerMille || DupPerMille || TruncatePerMille ||
+           ReorderPerMille || DelayPerMille;
+  }
+  /// The storm preset the chaos tests use: every fault class on at once.
+  static ChaosConfig storm(uint64_t Seed);
+};
+
+/// Applies ChaosConfig to every send() of the wrapped channel; recv()
+/// and close() pass through (close first flushes a held reordered
+/// frame, so orderly shutdown never strands one). Thread-safe sends.
+class ChaosChannel : public Channel {
+public:
+  ChaosChannel(std::unique_ptr<Channel> Inner, ChaosConfig Config)
+      : Inner(std::move(Inner)), Cfg(Config), ChaosRng(Config.Seed) {}
+  ~ChaosChannel() override { close(); }
+
+  bool send(const uint8_t *Data, size_t N) override;
+  int64_t recv(uint8_t *Buf, size_t N, uint64_t TimeoutNs) override;
+  void close() override;
+
+  /// Faults injected so far, by class (drop, dup, truncate, reorder,
+  /// delay) — the chaos tests assert the storm actually stormed.
+  struct Injected {
+    uint64_t Drops = 0, Dups = 0, Truncations = 0, Reorders = 0, Delays = 0;
+  };
+  Injected injected() const;
+
+private:
+  std::unique_ptr<Channel> Inner;
+  ChaosConfig Cfg;
+  mutable std::mutex Mu;
+  Rng ChaosRng;
+  std::vector<uint8_t> Held; ///< reordered frame awaiting the next send
+  Injected Counts;
+};
+
+/// Connects to 127.0.0.1:\p Port. Null on failure.
+std::unique_ptr<Channel> connectTcp(uint16_t Port);
+
+/// A channel over a connected socket; takes ownership of \p Fd.
+std::unique_ptr<Channel> wrapTcpFd(int Fd);
+
+} // namespace sc::service
+
+#endif // SC_SERVICE_CHANNEL_H

@@ -1,0 +1,234 @@
+//===-- service/Client.cpp - Retrying service client ----------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace sc;
+using namespace sc::service;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+ServiceClient::ServiceClient(Connector Connect, RetryPolicy Policy)
+    : Connect(std::move(Connect)), Policy(Policy), Jitter(Policy.JitterSeed) {
+  // Ids only need to be unique within this client's reply stream, but a
+  // random start keeps two clients sharing a chaos transport from ever
+  // colliding in tests that splice streams together.
+  NextRequestId = Jitter.next() | 1;
+}
+
+ServiceClient::~ServiceClient() = default;
+
+bool ServiceClient::ensureConnected() {
+  if (Ch)
+    return true;
+  Ch = Connect();
+  if (!Ch)
+    return false;
+  FB.reset();
+  return true;
+}
+
+void ServiceClient::dropConnection() {
+  if (!Ch)
+    return;
+  Ch.reset();
+  FB.reset();
+  ++Stats.Reconnects;
+}
+
+int ServiceClient::awaitReply(uint64_t Id, Frame &Resp, uint64_t TimeoutNs) {
+  const uint64_t Start = nowNs();
+  uint8_t Buf[16384];
+  std::vector<uint8_t> Raw;
+  for (;;) {
+    ServiceError StreamErr;
+    while (FB.next(Raw, StreamErr)) {
+      Frame F;
+      if (decodeFrame(Raw, F) != ServiceError::None) {
+        // A sealed frame that fails validation: a reply corrupted in
+        // flight. Skip it — the length prefix was sane, so the stream
+        // itself is still in sync.
+        ++Stats.DecodeErrors;
+        continue;
+      }
+      if (F.RequestId != Id) {
+        // The answer to a duplicated or reordered earlier attempt.
+        // Delivering it would hand the caller a stale state snapshot
+        // (e.g. a Pending from before the job finished); drop it.
+        ++Stats.StaleReplies;
+        continue;
+      }
+      Resp = std::move(F);
+      return 1;
+    }
+    if (StreamErr != ServiceError::None)
+      return -1; // torn prefix: reconnect is the only resync
+    const uint64_t Elapsed = nowNs() - Start;
+    if (Elapsed >= TimeoutNs)
+      return 0;
+    const int64_t N = Ch->recv(Buf, sizeof(Buf), TimeoutNs - Elapsed);
+    if (N == 0)
+      return -1; // peer gone
+    if (N < 0)
+      return 0; // timed out waiting
+    FB.feed(Buf, static_cast<size_t>(N));
+  }
+}
+
+void ServiceClient::backoff(unsigned Attempt, uint64_t HintNs,
+                            uint64_t BudgetNs) {
+  const unsigned Shift = std::min(Attempt, 20u);
+  uint64_t Window =
+      std::min(Policy.MaxBackoffNs, Policy.InitialBackoffNs << Shift);
+  if (HintNs)
+    Window = std::min(std::max(HintNs, Policy.InitialBackoffNs),
+                      Policy.MaxBackoffNs);
+  // Equal-parts jitter: [Window/2, Window]. De-synchronizes a herd of
+  // clients that all got shed at the same instant.
+  uint64_t Sleep = Window / 2 + Jitter.below(Window / 2 + 1);
+  if (BudgetNs)
+    Sleep = std::min(Sleep, BudgetNs);
+  if (Sleep)
+    std::this_thread::sleep_for(std::chrono::nanoseconds(Sleep));
+}
+
+bool ServiceClient::call(const Frame &Req, Frame &Resp,
+                         uint64_t OpDeadlineNs) {
+  ++Stats.Calls;
+  const uint64_t Start = nowNs();
+  const auto Remaining = [&]() -> uint64_t {
+    if (!OpDeadlineNs)
+      return UINT64_MAX;
+    const uint64_t Elapsed = nowNs() - Start;
+    return Elapsed >= OpDeadlineNs ? 0 : OpDeadlineNs - Elapsed;
+  };
+  Frame Attempt = Req;
+  bool SawReject = false;
+  Frame LastReject;
+  for (unsigned A = 0; A < Policy.MaxAttempts; ++A) {
+    if (A)
+      ++Stats.Retries;
+    if (Remaining() == 0)
+      break;
+    if (!ensureConnected()) {
+      backoff(A, 0, Remaining());
+      continue;
+    }
+    Attempt.RequestId = NextRequestId++;
+    ++Stats.Attempts;
+    if (!Ch->send(encodeFrame(Attempt))) {
+      dropConnection();
+      backoff(A, 0, Remaining());
+      continue;
+    }
+    const uint64_t Timeout =
+        std::min(Policy.AttemptTimeoutNs, std::max<uint64_t>(Remaining(), 1));
+    const int R = awaitReply(Attempt.RequestId, Resp, Timeout);
+    if (R < 0) {
+      dropConnection();
+      backoff(A, 0, Remaining());
+      continue;
+    }
+    if (R == 0) {
+      // No reply in time. The request may or may not have been acted on
+      // — which is exactly why Submit carries an idempotency token.
+      ++Stats.Timeouts;
+      backoff(A, 0, Remaining());
+      continue;
+    }
+    if (Resp.Type == FrameType::Reject) {
+      ++Stats.Rejects;
+      SawReject = true;
+      LastReject = Resp;
+      backoff(A, Resp.RetryAfterNs, Remaining());
+      continue;
+    }
+    if (Resp.Type == FrameType::Error && isDecodeError(Resp.Err)) {
+      // The server could not decode our frame: it never acted, retry.
+      backoff(A, 0, Remaining());
+      continue;
+    }
+    return true;
+  }
+  ++Stats.Failures;
+  if (SawReject)
+    Resp = LastReject; // let the caller see shedding, not just silence
+  return false;
+}
+
+bool ServiceClient::submit(const std::string &Tenant, uint64_t Token,
+                           const std::string &Source, const std::string &Word,
+                           uint8_t Engine, Frame &Resp, uint64_t FuelSteps,
+                           uint64_t OpDeadlineNs) {
+  Frame Req;
+  Req.Type = FrameType::SubmitReq;
+  Req.Tenant = Tenant;
+  Req.Token = Token;
+  Req.Source = Source;
+  Req.Word = Word;
+  Req.Engine = Engine;
+  Req.FuelSteps = FuelSteps;
+  // Deadline propagation: the job inherits the client's patience, so
+  // the scheduler stops work whose requester has already walked away.
+  Req.DeadlineNs = OpDeadlineNs;
+  return call(Req, Resp, OpDeadlineNs);
+}
+
+bool ServiceClient::awaitResult(const std::string &Tenant, uint64_t Token,
+                                Frame &Resp, uint64_t OpDeadlineNs) {
+  const uint64_t Start = nowNs();
+  Frame Req;
+  Req.Type = FrameType::PollReq;
+  Req.Tenant = Tenant;
+  Req.Token = Token;
+  for (;;) {
+    uint64_t Budget = 0;
+    if (OpDeadlineNs) {
+      const uint64_t Elapsed = nowNs() - Start;
+      if (Elapsed >= OpDeadlineNs)
+        return false;
+      Budget = OpDeadlineNs - Elapsed;
+    }
+    if (!call(Req, Resp, Budget))
+      return false;
+    if (Resp.Type == FrameType::Result)
+      return true;
+    if (Resp.Type != FrameType::Pending)
+      return false; // a typed refusal; Resp says why
+    const uint64_t Sleep =
+        Policy.PollIntervalNs / 2 + Jitter.below(Policy.PollIntervalNs / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(Sleep));
+  }
+}
+
+bool ServiceClient::cancel(const std::string &Tenant, uint64_t Token,
+                           Frame &Resp) {
+  Frame Req;
+  Req.Type = FrameType::CancelReq;
+  Req.Tenant = Tenant;
+  Req.Token = Token;
+  return call(Req, Resp);
+}
+
+bool ServiceClient::stats(Frame &Resp) {
+  Frame Req;
+  Req.Type = FrameType::StatsReq;
+  return call(Req, Resp);
+}

@@ -1,0 +1,96 @@
+//===-- service/Server.cpp - TCP front door -------------------------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace sc;
+using namespace sc::service;
+
+ServiceServer::ServiceServer(ServiceFrontEnd &FE, uint16_t Port,
+                             ChaosConfig Chaos)
+    : FE(FE), Chaos(Chaos) {
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return;
+  const int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+          0 ||
+      ::listen(ListenFd, 64) != 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  Acceptor = std::thread([this] { acceptLoop(); });
+}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+void ServiceServer::acceptLoop() {
+  for (;;) {
+    const int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // listener closed by stop()
+    }
+    if (Stopping.load(std::memory_order_acquire)) {
+      ::close(Fd);
+      return;
+    }
+    auto C = std::make_unique<Conn>();
+    std::unique_ptr<Channel> Ch = wrapTcpFd(Fd);
+    if (Chaos.enabled()) {
+      // Each connection gets its own deterministic chaos stream, salted
+      // by connection order so two connections never mirror each other.
+      ChaosConfig CC = Chaos;
+      {
+        std::lock_guard<std::mutex> Lock(ConnMu);
+        CC.Seed = Chaos.Seed + 0x9e3779b97f4a7c15ULL * (Conns.size() + 1);
+      }
+      Ch = std::make_unique<ChaosChannel>(std::move(Ch), CC);
+    }
+    C->Ch = std::move(Ch);
+    Channel *Raw = C->Ch.get();
+    C->T = std::thread([this, Raw] { serveChannel(this->FE, *Raw); });
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Conns.push_back(std::move(C));
+  }
+}
+
+void ServiceServer::stop() {
+  if (Stopping.exchange(true, std::memory_order_acq_rel))
+    return;
+  if (ListenFd >= 0) {
+    // shutdown() kicks accept() out of its block; close() frees the fd.
+    ::shutdown(ListenFd, SHUT_RDWR);
+    ::close(ListenFd);
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  for (std::unique_ptr<Conn> &C : Conns)
+    C->Ch->close();
+  for (std::unique_ptr<Conn> &C : Conns)
+    if (C->T.joinable())
+      C->T.join();
+  Conns.clear();
+}

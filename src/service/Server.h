@@ -1,0 +1,77 @@
+//===-- service/Server.h - TCP front door ----------------------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution service's TCP front door: a listener on 127.0.0.1 (an
+/// ephemeral port by default — port() reports what the kernel picked)
+/// that runs serveChannel() on a thread per accepted connection. All
+/// protocol and policy live in ServiceFrontEnd; this file is only
+/// sockets and thread lifecycle.
+///
+/// An optional ChaosConfig wraps every *accepted* connection, attacking
+/// the server→client direction (response drop/duplication/truncation/
+/// reordering/delay) — the complement of a chaos-wrapped client, so a
+/// chaos test can corrupt both halves of every exchange.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SERVICE_SERVER_H
+#define SC_SERVICE_SERVER_H
+
+#include "service/Channel.h"
+#include "service/Service.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sc::service {
+
+class ServiceServer {
+public:
+  /// Binds and starts accepting. \p Port 0 = ephemeral. \p Chaos wraps
+  /// accepted connections (response-direction chaos); default none.
+  ServiceServer(ServiceFrontEnd &FE, uint16_t Port = 0,
+                ChaosConfig Chaos = {});
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer &) = delete;
+  ServiceServer &operator=(const ServiceServer &) = delete;
+
+  /// The bound port (the kernel's pick when constructed with 0);
+  /// 0 when binding failed.
+  uint16_t port() const { return BoundPort; }
+
+  /// Stops accepting, closes every live connection, joins all threads.
+  /// Idempotent; the destructor calls it. The front end is untouched —
+  /// shut it down separately.
+  void stop();
+
+private:
+  void acceptLoop();
+
+  ServiceFrontEnd &FE;
+  ChaosConfig Chaos;
+  uint16_t BoundPort = 0;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  std::thread Acceptor;
+
+  std::mutex ConnMu;
+  struct Conn {
+    std::unique_ptr<Channel> Ch;
+    std::thread T;
+  };
+  std::vector<std::unique_ptr<Conn>> Conns;
+};
+
+} // namespace sc::service
+
+#endif // SC_SERVICE_SERVER_H

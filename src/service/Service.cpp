@@ -1,0 +1,584 @@
+//===-- service/Service.cpp - Sharded execution front end -----------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "dispatch/EngineRegistry.h"
+#include "forth/Forth.h"
+#include "service/Channel.h"
+#include "support/Assert.h"
+#include "vm/Code.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace sc;
+using namespace sc::service;
+
+//===----------------------------------------------------------------------===//
+// Internal structures
+//===----------------------------------------------------------------------===//
+
+/// One compiled program, shared by every job submitted with the same
+/// source text. The System owns the Code and the proto machine (data
+/// space as the compiler left it) that every job copies.
+struct ServiceFrontEnd::Program {
+  std::unique_ptr<forth::System> Sys;
+  uint64_t Identity = 0; ///< Code content hash (free-list/rebuild key)
+};
+
+/// The service-side life of one (tenant, token): where the job lives,
+/// what it would take to rebuild it, and — once finished — its final
+/// Result frame. Records are never deleted (they ARE the idempotency
+/// memory); the sched::Job underneath is recycled the moment the result
+/// is harvested.
+struct ServiceFrontEnd::JobRecord {
+  std::string Tenant;
+  uint64_t Token = 0;
+  unsigned Shard = 0;
+  sched::Job *J = nullptr; ///< null once harvested
+  Program *Prog = nullptr;
+  uint8_t Engine = 0;
+  sched::JobSpec Spec; ///< for re-creation after a shard kill
+  bool CancelRequested = false;
+  bool DoneHarvested = false;
+  Frame Result; ///< valid once DoneHarvested
+};
+
+//===----------------------------------------------------------------------===//
+// Construction / teardown
+//===----------------------------------------------------------------------===//
+
+ServiceFrontEnd::ServiceFrontEnd(ServiceConfig Config) : Cfg(Config) {
+  SC_ASSERT(Cfg.Shards > 0, "a service needs at least one shard");
+  SC_ASSERT(Cfg.CheckpointEverySlices > 0,
+            "the service's kill/recover contract needs checkpoints");
+  SC_ASSERT(Cfg.TenantQueueCapacity >= Cfg.MaxInFlightPerTenant,
+            "shard rebuild must be able to re-admit every live job: "
+            "TenantQueueCapacity >= MaxInFlightPerTenant");
+  if (!Cfg.Cache)
+    Cfg.Cache = &prepare::globalPrepareCache();
+  Shards.resize(Cfg.Shards);
+  ShardDown.assign(Cfg.Shards, 0);
+  ShardLive.assign(Cfg.Shards, 0);
+  ShardTenants.resize(Cfg.Shards);
+  FreeJobs.resize(Cfg.Shards);
+  LiveRecs.resize(Cfg.Shards);
+  for (unsigned S = 0; S < Cfg.Shards; ++S)
+    buildShard(S);
+}
+
+ServiceFrontEnd::~ServiceFrontEnd() { shutdown(); }
+
+void ServiceFrontEnd::buildShard(unsigned S) {
+  sched::SchedConfig SC;
+  SC.Workers = Cfg.WorkersPerShard;
+  SC.SliceSteps = Cfg.SliceSteps;
+  SC.Policy = Cfg.Policy;
+  SC.Cache = Cfg.Cache;
+  SC.CheckpointEverySlices = Cfg.CheckpointEverySlices;
+  SC.CrashEveryDispatches = Cfg.CrashEveryDispatches;
+  SC.CrashOneIn = Cfg.CrashOneIn;
+  // Decorrelate the shards' doom draws so one seed does not crash every
+  // shard in lockstep.
+  SC.CrashSeed = Cfg.CrashSeed + 0x9e3779b97f4a7c15ULL * S;
+  Shards[S] = std::make_unique<sched::SessionScheduler>(SC);
+  ShardTenants[S].clear();
+  FreeJobs[S].clear();
+}
+
+unsigned ServiceFrontEnd::shardOf(const std::string &Tenant) const {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (const char C : Tenant) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return static_cast<unsigned>(H % Cfg.Shards);
+}
+
+sched::TenantId ServiceFrontEnd::shardTenant(unsigned S,
+                                             const std::string &Tenant) {
+  auto It = ShardTenants[S].find(Tenant);
+  if (It != ShardTenants[S].end())
+    return It->second;
+  sched::TenantConfig TC;
+  TC.QueueCapacity = Cfg.TenantQueueCapacity;
+  TC.OnFull = sched::Backpressure::Reject;
+  const sched::TenantId T = Shards[S]->addTenant(Tenant, TC);
+  ShardTenants[S].emplace(Tenant, T);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Frame builders
+//===----------------------------------------------------------------------===//
+
+Frame ServiceFrontEnd::errorFrame(const Frame &Req, ServiceError E,
+                                  std::string Detail) {
+  ++Stats.Errors;
+  Frame F;
+  F.Type = FrameType::Error;
+  F.RequestId = Req.RequestId;
+  F.Err = E;
+  F.Detail = std::move(Detail);
+  return F;
+}
+
+Frame ServiceFrontEnd::rejectFrame(const Frame &Req, RejectCode Code) {
+  switch (Code) {
+  case RejectCode::TenantBusy:
+    ++Stats.RejectedBusy;
+    break;
+  case RejectCode::ShardSaturated:
+    ++Stats.RejectedSaturated;
+    break;
+  case RejectCode::ShardDegraded:
+    ++Stats.RejectedDegraded;
+    break;
+  case RejectCode::AdmissionClosed:
+    ++Stats.RejectedClosed;
+    break;
+  }
+  Frame F;
+  F.Type = FrameType::Reject;
+  F.RequestId = Req.RequestId;
+  F.Code = Code;
+  F.RetryAfterNs = Cfg.RetryAfterNs;
+  return F;
+}
+
+Frame ServiceFrontEnd::resultFrame(const Frame &Req,
+                                   const JobRecord &R) const {
+  Frame F = R.Result;
+  F.RequestId = Req.RequestId;
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Harvest / job pool
+//===----------------------------------------------------------------------===//
+
+void ServiceFrontEnd::sweepShard(unsigned S) {
+  SC_ASSERT(!ShardDown[S], "sweep of a dying shard");
+  std::vector<JobRecord *> &Recs = LiveRecs[S];
+  for (size_t I = 0; I < Recs.size();) {
+    JobRecord *R = Recs[I];
+    if (R->J->state() != sched::JobState::Done) {
+      ++I;
+      continue;
+    }
+    const session::SessionResult &A = R->J->result();
+    R->Result.Type = FrameType::Result;
+    R->Result.Token = R->Token;
+    R->Result.Stop = static_cast<uint8_t>(A.Stop);
+    R->Result.Status = static_cast<uint8_t>(A.Outcome.Status);
+    R->Result.Steps = A.Outcome.Steps;
+    R->Result.Slices = A.Slices;
+    R->Result.Output = R->J->machine().Out;
+    R->DoneHarvested = true;
+    FreeJobs[S][FreeKey{R->Prog->Identity, R->Engine,
+                        ShardTenants[S].at(R->Tenant)}]
+        .push_back(R->J);
+    R->J = nullptr;
+    SC_ASSERT(InFlight[R->Tenant] > 0, "in-flight underflow");
+    --InFlight[R->Tenant];
+    SC_ASSERT(ShardLive[S] > 0, "shard-live underflow");
+    --ShardLive[S];
+    ++Stats.Completed;
+    Recs[I] = Recs.back();
+    Recs.pop_back();
+  }
+}
+
+ServiceFrontEnd::Program *
+ServiceFrontEnd::getProgram(const std::string &Source, std::string &Err) {
+  auto It = Programs.find(Source);
+  if (It != Programs.end())
+    return It->second.get();
+  auto Sys = std::make_unique<forth::System>();
+  if (!Sys->load(Source)) {
+    Err = Sys->error();
+    return nullptr;
+  }
+  auto P = std::make_unique<Program>();
+  P->Identity = Sys->Prog.identity();
+  P->Sys = std::move(Sys);
+  Program *Raw = P.get();
+  Programs.emplace(Source, std::move(P));
+  return Raw;
+}
+
+sched::Job *ServiceFrontEnd::obtainJob(unsigned S, Program &P,
+                                       engine::EngineId E, sched::TenantId T,
+                                       sched::JobSpec Spec) {
+  auto It = FreeJobs[S].find(
+      FreeKey{P.Identity, static_cast<uint8_t>(E), T});
+  if (It != FreeJobs[S].end() && !It->second.empty()) {
+    sched::Job *J = It->second.back();
+    It->second.pop_back();
+    Shards[S]->recycle(J, P.Sys->Machine, Spec);
+    ++Stats.JobsRecycled;
+    return J;
+  }
+  return Shards[S]->createJob(T, P.Sys->Prog, E, P.Sys->Machine, Spec);
+}
+
+//===----------------------------------------------------------------------===//
+// Request handlers
+//===----------------------------------------------------------------------===//
+
+Frame ServiceFrontEnd::handle(const Frame &Req) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  switch (Req.Type) {
+  case FrameType::SubmitReq:
+    return submitReq(Req);
+  case FrameType::PollReq:
+    return pollReq(Req);
+  case FrameType::CancelReq:
+    return cancelReq(Req);
+  case FrameType::StatsReq:
+    return statsReq(Req);
+  default:
+    // A well-formed frame of a response type is not a request; answer
+    // with a typed refusal instead of dropping the connection.
+    return errorFrame(Req, ServiceError::BadFrameType,
+                      std::string("not a request: ") +
+                          frameTypeName(Req.Type));
+  }
+}
+
+Frame ServiceFrontEnd::submitReq(const Frame &Req) {
+  const RecordKey Key{Req.Tenant, Req.Token};
+  const unsigned S = shardOf(Req.Tenant);
+
+  // Idempotency first: a duplicate attaches to the existing job no
+  // matter what state admission is in — a retry of an already-admitted
+  // job must never bounce off a cap its first copy already holds.
+  if (!ShardDown[S] && !ShuttingDown)
+    sweepShard(S);
+  auto RecIt = Records.find(Key);
+  if (RecIt != Records.end()) {
+    JobRecord &R = *RecIt->second;
+    ++Stats.Duplicates;
+    if (R.DoneHarvested)
+      return resultFrame(Req, R);
+    Frame F;
+    F.Type = FrameType::SubmitAck;
+    F.RequestId = Req.RequestId;
+    F.Token = Req.Token;
+    F.Duplicate = 1;
+    F.Shard = R.Shard;
+    return F;
+  }
+
+  if (ShuttingDown)
+    return rejectFrame(Req, RejectCode::AdmissionClosed);
+  if (ShardDown[S])
+    return rejectFrame(Req, RejectCode::ShardDegraded);
+  if (InFlight[Req.Tenant] >= Cfg.MaxInFlightPerTenant)
+    return rejectFrame(Req, RejectCode::TenantBusy);
+  if (ShardLive[S] >= Cfg.ShardHighWater)
+    return rejectFrame(Req, RejectCode::ShardDegraded);
+
+  if (Req.Engine >= engine::NumEngineIds)
+    return errorFrame(Req, ServiceError::BadEngine,
+                      "engine id out of range");
+  const auto E = static_cast<engine::EngineId>(Req.Engine);
+  if (!engine::engineInfo(E).Caps.Reentrant)
+    return errorFrame(Req, ServiceError::BadEngine,
+                      std::string(engine::engineName(E)) +
+                          " is not reentrant; a sharded service cannot "
+                          "serialize it process-wide");
+
+  std::string CompileErr;
+  Program *P = getProgram(Req.Source, CompileErr);
+  if (!P)
+    return errorFrame(Req, ServiceError::CompileFailed, CompileErr);
+  const vm::Word *W = P->Sys->Prog.findWord(Req.Word);
+  if (!W)
+    return errorFrame(Req, ServiceError::BadWord,
+                      "no such word: " + Req.Word);
+
+  sched::JobSpec Spec;
+  Spec.Entry = W->Entry;
+  Spec.FuelSteps = Req.FuelSteps;
+  Spec.Deadline = std::chrono::nanoseconds(Req.DeadlineNs);
+  const sched::TenantId T = shardTenant(S, Req.Tenant);
+  sched::Job *J = obtainJob(S, *P, E, T, Spec);
+
+  const sched::SubmitResult SR = Shards[S]->submit(J);
+  if (SR != sched::SubmitResult::Admitted) {
+    // The job never ran: park it for the next submission of this
+    // (program, engine, tenant) instead of leaking it.
+    FreeJobs[S][FreeKey{P->Identity, Req.Engine, T}].push_back(J);
+    return rejectFrame(Req, SR == sched::SubmitResult::Rejected
+                                ? RejectCode::ShardSaturated
+                                : RejectCode::AdmissionClosed);
+  }
+
+  auto Rec = std::make_unique<JobRecord>();
+  Rec->Tenant = Req.Tenant;
+  Rec->Token = Req.Token;
+  Rec->Shard = S;
+  Rec->J = J;
+  Rec->Prog = P;
+  Rec->Engine = Req.Engine;
+  Rec->Spec = Spec;
+  LiveRecs[S].push_back(Rec.get());
+  Records.emplace(Key, std::move(Rec));
+  ++InFlight[Req.Tenant];
+  ++ShardLive[S];
+  ++Stats.Submitted;
+
+  Frame F;
+  F.Type = FrameType::SubmitAck;
+  F.RequestId = Req.RequestId;
+  F.Token = Req.Token;
+  F.Duplicate = 0;
+  F.Shard = S;
+  return F;
+}
+
+Frame ServiceFrontEnd::pollReq(const Frame &Req) {
+  ++Stats.Polls;
+  auto It = Records.find(RecordKey{Req.Tenant, Req.Token});
+  if (It == Records.end())
+    return errorFrame(Req, ServiceError::UnknownJob,
+                      "no job for this tenant/token");
+  JobRecord &R = *It->second;
+  if (!R.DoneHarvested && !ShardDown[R.Shard])
+    sweepShard(R.Shard);
+  if (R.DoneHarvested)
+    return resultFrame(Req, R);
+  Frame F;
+  F.Type = FrameType::Pending;
+  F.RequestId = Req.RequestId;
+  F.Token = Req.Token;
+  // While the shard is being rebuilt the job is logically queued.
+  F.JobStateVal = R.J && !ShardDown[R.Shard]
+                      ? static_cast<uint8_t>(R.J->state())
+                      : static_cast<uint8_t>(sched::JobState::Queued);
+  return F;
+}
+
+Frame ServiceFrontEnd::cancelReq(const Frame &Req) {
+  ++Stats.Cancels;
+  auto It = Records.find(RecordKey{Req.Tenant, Req.Token});
+  if (It == Records.end())
+    return errorFrame(Req, ServiceError::UnknownJob,
+                      "no job for this tenant/token");
+  JobRecord &R = *It->second;
+  if (R.DoneHarvested)
+    return resultFrame(Req, R); // finished first; cancellation lost the race
+  R.CancelRequested = true;
+  if (R.J && !ShardDown[R.Shard])
+    R.J->cancel();
+  // else: the shard is mid-rebuild; killShard re-applies the flag to the
+  // revived job.
+  Frame F;
+  F.Type = FrameType::Pending;
+  F.RequestId = Req.RequestId;
+  F.Token = Req.Token;
+  F.JobStateVal = static_cast<uint8_t>(sched::JobState::Queued);
+  return F;
+}
+
+Frame ServiceFrontEnd::statsReq(const Frame &Req) {
+  Frame F;
+  F.Type = FrameType::StatsReply;
+  F.RequestId = Req.RequestId;
+  metrics::Json O = metrics::Json::object();
+  metrics::Json Svc = metrics::Json::object();
+  Svc.set("submitted", metrics::Json::number(Stats.Submitted));
+  Svc.set("duplicates", metrics::Json::number(Stats.Duplicates));
+  Svc.set("completed", metrics::Json::number(Stats.Completed));
+  Svc.set("polls", metrics::Json::number(Stats.Polls));
+  Svc.set("cancels", metrics::Json::number(Stats.Cancels));
+  Svc.set("rejected_busy", metrics::Json::number(Stats.RejectedBusy));
+  Svc.set("rejected_saturated",
+          metrics::Json::number(Stats.RejectedSaturated));
+  Svc.set("rejected_degraded",
+          metrics::Json::number(Stats.RejectedDegraded));
+  Svc.set("rejected_closed", metrics::Json::number(Stats.RejectedClosed));
+  Svc.set("errors", metrics::Json::number(Stats.Errors));
+  Svc.set("shard_kills", metrics::Json::number(Stats.ShardKills));
+  Svc.set("jobs_recovered", metrics::Json::number(Stats.JobsRecovered));
+  Svc.set("jobs_recycled", metrics::Json::number(Stats.JobsRecycled));
+  O.set("service", std::move(Svc));
+  metrics::Json Sh = metrics::Json::array();
+  for (unsigned S = 0; S < Cfg.Shards; ++S) {
+    metrics::Json J = sched::snapshotToJson(Shards[S]->snapshot());
+    J.set("down", metrics::Json::number(static_cast<uint64_t>(ShardDown[S])));
+    J.set("live_jobs", metrics::Json::number(ShardLive[S]));
+    Sh.push(std::move(J));
+  }
+  O.set("shards", std::move(Sh));
+  F.StatsJson = O.dump();
+  return F;
+}
+
+ServiceStats ServiceFrontEnd::statsSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+metrics::Json ServiceFrontEnd::statsJson() const {
+  // statsReq builds the document; reuse it through the public path.
+  Frame Req;
+  Req.Type = FrameType::StatsReq;
+  Frame F = const_cast<ServiceFrontEnd *>(this)->handle(Req);
+  metrics::Json O;
+  const bool Ok = metrics::Json::parse(F.StatsJson, O, nullptr);
+  SC_ASSERT(Ok, "the service's own stats document must parse");
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos: shard kill + rebuild
+//===----------------------------------------------------------------------===//
+
+void ServiceFrontEnd::killShard(unsigned S) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (ShuttingDown || S >= Shards.size() || ShardDown[S])
+      return;
+    ShardDown[S] = 1;
+    ++Stats.ShardKills;
+    // Kill: abandon every in-flight dispatch at its next slice boundary.
+    // Progress past the last durable checkpoint is lost — that is the
+    // point — and cancel is how a cooperative scheduler stops quickly.
+    for (JobRecord *R : LiveRecs[S])
+      R->J->cancel();
+  }
+
+  // Wait out the victims without holding the service lock: the other
+  // shards keep serving while this one dies.
+  Shards[S]->drain();
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  struct Revive {
+    JobRecord *R;
+    std::vector<uint8_t> Ckpt; ///< empty: restart from the beginning
+  };
+  std::vector<Revive> Revived;
+  for (JobRecord *R : LiveRecs[S]) {
+    const session::SessionResult &A = R->J->result();
+    if (A.Stop != session::StopKind::Cancelled || R->CancelRequested) {
+      // Finished (or was genuinely cancelled by its client) before the
+      // kill took effect: the result is real, keep it. The job itself
+      // dies with the shard — no free-listing into a dead scheduler.
+      R->Result.Type = FrameType::Result;
+      R->Result.Token = R->Token;
+      R->Result.Stop = static_cast<uint8_t>(A.Stop);
+      R->Result.Status = static_cast<uint8_t>(A.Outcome.Status);
+      R->Result.Steps = A.Outcome.Steps;
+      R->Result.Slices = A.Slices;
+      R->Result.Output = R->J->machine().Out;
+      R->DoneHarvested = true;
+      R->J = nullptr;
+      --InFlight[R->Tenant];
+      --ShardLive[S];
+      ++Stats.Completed;
+      continue;
+    }
+    Revived.push_back(Revive{R, R->J->session().lastCheckpoint()});
+    R->J = nullptr;
+  }
+  LiveRecs[S].clear();
+
+  // Restart: a brand-new scheduler (workers, queues, counters all
+  // fresh), then every surviving job re-created from its checkpoint.
+  buildShard(S);
+  for (Revive &V : Revived) {
+    JobRecord *R = V.R;
+    const sched::TenantId T = shardTenant(S, R->Tenant);
+    Program &P = *R->Prog;
+    sched::Job *J = Shards[S]->createJob(
+        T, P.Sys->Prog, static_cast<engine::EngineId>(R->Engine),
+        P.Sys->Machine, R->Spec);
+    if (!V.Ckpt.empty()) {
+      const snapshot::SnapshotError E =
+          Shards[S]->adoptCheckpoint(J, V.Ckpt.data(), V.Ckpt.size());
+      SC_ASSERT(E == snapshot::SnapshotError::None,
+                "a checkpoint the service harvested failed to restore");
+    }
+    const sched::SubmitResult SR = Shards[S]->submit(J);
+    SC_ASSERT(SR == sched::SubmitResult::Admitted,
+              "rebuild re-admission cannot bounce: queue capacity covers "
+              "the in-flight cap");
+    if (R->CancelRequested)
+      J->cancel();
+    R->J = J;
+    LiveRecs[S].push_back(R);
+    ++Stats.JobsRecovered;
+  }
+  ShardDown[S] = 0;
+}
+
+void ServiceFrontEnd::shutdown() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    if (ShuttingDown)
+      return;
+    // Let any in-progress killShard finish rebuilding before the gates
+    // close; its revived jobs are then drained like any others.
+    while (std::find(ShardDown.begin(), ShardDown.end(), 1) !=
+           ShardDown.end()) {
+      Lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Lock.lock();
+    }
+    ShuttingDown = true;
+    for (unsigned S = 0; S < Cfg.Shards; ++S)
+      for (JobRecord *R : LiveRecs[S])
+        R->J->cancel();
+  }
+  for (unsigned S = 0; S < Cfg.Shards; ++S)
+    Shards[S]->shutdown();
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Harvest the stragglers so post-shutdown polls still serve results.
+  for (unsigned S = 0; S < Cfg.Shards; ++S)
+    sweepShard(S);
+}
+
+//===----------------------------------------------------------------------===//
+// Connection loop
+//===----------------------------------------------------------------------===//
+
+void sc::service::serveChannel(ServiceFrontEnd &FE, Channel &Ch) {
+  FrameBuffer FB;
+  std::vector<uint8_t> Raw;
+  uint8_t Buf[16384];
+  for (;;) {
+    ServiceError StreamErr;
+    while (FB.next(Raw, StreamErr)) {
+      Frame Req;
+      Frame Resp;
+      const ServiceError DE = decodeFrame(Raw, Req);
+      if (DE != ServiceError::None) {
+        // A sealed-length frame that fails validation: the request never
+        // happened; tell the client with a typed Error naming whatever
+        // request id survived the corruption.
+        Resp.Type = FrameType::Error;
+        Resp.RequestId = peekRequestId(Raw.data(), Raw.size());
+        Resp.Err = DE;
+        Resp.Detail = serviceErrorName(DE);
+      } else {
+        Resp = FE.handle(Req);
+      }
+      if (!Ch.send(encodeFrame(Resp)))
+        return;
+    }
+    if (StreamErr != ServiceError::None)
+      return; // poisoned prefix: nothing to resync on, drop the link
+    const int64_t N = Ch.recv(Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      return;
+    FB.feed(Buf, static_cast<size_t>(N));
+  }
+}

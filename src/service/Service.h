@@ -1,0 +1,220 @@
+//===-- service/Service.h - Sharded execution front end --------*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The networked execution service's brain: ServiceFrontEnd maps the
+/// sc-wire request frames onto a fleet of SessionScheduler shards (one
+/// per core in production; configurable here) with tenant→shard
+/// hashing. The transport layer (Server.h) is a thin loop around
+/// handle(); everything stateful lives here, so the in-process tests
+/// and the TCP server exercise identical logic.
+///
+/// Contracts:
+///
+///   - Exactly-once: Submit is idempotent on (tenant, token). A
+///     duplicate — a client retry after a lost ack, or a transport-
+///     duplicated frame — attaches to the existing job (SubmitAck with
+///     Duplicate=1, or the final Result if it already finished) and
+///     never creates a second execution.
+///   - Overload protection: admission is refused *explicitly*, never
+///     queued unboundedly. Per-tenant in-flight caps (TenantBusy),
+///     per-tenant bounded scheduler queues (ShardSaturated), a
+///     per-shard live-job high water (ShardDegraded), and a
+///     drain/shutdown gate (AdmissionClosed) each produce a Reject
+///     frame with a retry-after hint. Shedding is shard-by-shard by
+///     construction: one saturated or down shard rejects only the
+///     tenants hashed onto it.
+///   - Crash recovery: killShard() kills a shard mid-job — in-flight
+///     dispatch progress beyond the last durable checkpoint is lost —
+///     and rebuilds it from scratch, re-creating every live job from
+///     its harvested sc-snap checkpoint (SessionScheduler::
+///     adoptCheckpoint). Re-executed slices are reported exactly once,
+///     so results after a kill are field-for-field what an unkilled run
+///     produces. Scheduler-internal crash injection (CrashOneIn)
+///     composes with this.
+///   - Bounded memory: finished jobs are recycled into per-shard free
+///     lists keyed on (program identity, engine); an unbounded job
+///     stream runs on a bounded job pool whose size tracks peak
+///     concurrency, not total jobs served.
+///
+/// Non-reentrant engine flavors (call threading's static VM registers)
+/// are refused with ServiceError::BadEngine: their dispatches would
+/// need process-wide serialization across shards, which is exactly the
+/// scalability collapse a sharded service exists to avoid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SERVICE_SERVICE_H
+#define SC_SERVICE_SERVICE_H
+
+#include "metrics/Json.h"
+#include "sched/SessionScheduler.h"
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sc::forth {
+class System;
+} // namespace sc::forth
+
+namespace sc::service {
+
+class Channel;
+
+struct ServiceConfig {
+  /// Scheduler shards. Production sizing is one per core; tests pin
+  /// small counts for determinism.
+  unsigned Shards = 2;
+  unsigned WorkersPerShard = 1;
+  uint64_t SliceSteps = 4096;
+  /// Durable checkpoint cadence per job (slices). Must be nonzero for
+  /// killShard()/crash injection to have anything to recover from.
+  uint64_t CheckpointEverySlices = 4;
+  /// Bounded admission queue per tenant per shard (Backpressure::
+  /// Reject). Must be >= MaxInFlightPerTenant so a shard rebuild can
+  /// always re-admit every live job it harvested.
+  size_t TenantQueueCapacity = 64;
+  /// Live (submitted, unfinished) jobs one tenant may hold at once
+  /// before Submit gets Reject{TenantBusy}.
+  uint64_t MaxInFlightPerTenant = 32;
+  /// Live jobs one shard may hold across all its tenants before Submit
+  /// gets Reject{ShardDegraded} — the graceful-degradation valve that
+  /// protects running jobs instead of collapsing the shard.
+  uint64_t ShardHighWater = 256;
+  /// Backoff hint carried in every Reject frame.
+  uint64_t RetryAfterNs = 2'000'000;
+  sched::SchedPolicy Policy = sched::SchedPolicy::Drr;
+  /// Pass-through scheduler crash injection (chaos tests).
+  uint64_t CrashEveryDispatches = 0;
+  uint64_t CrashOneIn = 0;
+  uint64_t CrashSeed = 0x5eed;
+  /// Shared translation cache; null = the process-wide cache.
+  prepare::PrepareCache *Cache = nullptr;
+};
+
+/// Control-plane counters, snapshotted under the service lock.
+struct ServiceStats {
+  uint64_t Submitted = 0;  ///< jobs admitted (first time, not duplicates)
+  uint64_t Duplicates = 0; ///< Submit frames that attached to a live or
+                           ///< finished job instead of creating one
+  uint64_t Completed = 0;  ///< results harvested from shards
+  uint64_t Polls = 0;
+  uint64_t Cancels = 0;
+  uint64_t RejectedBusy = 0;      ///< Reject{TenantBusy}
+  uint64_t RejectedSaturated = 0; ///< Reject{ShardSaturated}
+  uint64_t RejectedDegraded = 0;  ///< Reject{ShardDegraded} (incl. down)
+  uint64_t RejectedClosed = 0;    ///< Reject{AdmissionClosed}
+  uint64_t Errors = 0;            ///< Error frames returned
+  uint64_t ShardKills = 0;        ///< killShard() invocations
+  uint64_t JobsRecovered = 0;     ///< jobs rebuilt from checkpoints
+  uint64_t JobsRecycled = 0;      ///< free-list reuses (vs createJob)
+
+  uint64_t totalRejected() const {
+    return RejectedBusy + RejectedSaturated + RejectedDegraded +
+           RejectedClosed;
+  }
+};
+
+class ServiceFrontEnd {
+public:
+  explicit ServiceFrontEnd(ServiceConfig Config = {});
+  ~ServiceFrontEnd();
+
+  ServiceFrontEnd(const ServiceFrontEnd &) = delete;
+  ServiceFrontEnd &operator=(const ServiceFrontEnd &) = delete;
+
+  /// Answers one request frame. Thread-safe; this is the only entry the
+  /// transport loop calls. Unknown/response-typed requests get a typed
+  /// Error frame, never a crash. The response echoes Req.RequestId.
+  Frame handle(const Frame &Req);
+
+  /// The shard tenant \p Tenant hashes onto (FNV-1a, stable).
+  unsigned shardOf(const std::string &Tenant) const;
+
+  /// Chaos: kills shard \p S mid-job and rebuilds it. Every live job on
+  /// the shard loses its in-flight progress, is re-created on the fresh
+  /// scheduler, and resumes from its last durable checkpoint (from the
+  /// program start when none was written yet). Jobs that managed to
+  /// finish before the kill took effect keep their real results.
+  /// Submissions racing the kill see Reject{ShardDegraded}. Blocks
+  /// until the shard is serving again. No-op on an already-dying shard
+  /// or after shutdown().
+  void killShard(unsigned S);
+
+  /// Closes admission, cancels whatever still runs, drains every shard,
+  /// and harvests all results — polls keep working afterwards, submits
+  /// get Reject{AdmissionClosed}. Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceStats statsSnapshot() const;
+
+  /// The full dashboard: service counters plus one scheduler snapshot
+  /// per shard (sched::snapshotToJson), as carried by StatsReply.
+  metrics::Json statsJson() const;
+
+  const ServiceConfig &config() const { return Cfg; }
+
+private:
+  struct Program;
+  struct JobRecord;
+  using RecordKey = std::pair<std::string, uint64_t>;
+
+  Frame submitReq(const Frame &Req);
+  Frame pollReq(const Frame &Req);
+  Frame cancelReq(const Frame &Req);
+  Frame statsReq(const Frame &Req);
+
+  Frame errorFrame(const Frame &Req, ServiceError E, std::string Detail);
+  Frame rejectFrame(const Frame &Req, RejectCode Code);
+  Frame resultFrame(const Frame &Req, const JobRecord &R) const;
+
+  /// Compiles (or fetches) the program for \p Source; Mu held.
+  Program *getProgram(const std::string &Source, std::string &Err);
+  /// Harvests finished jobs on shard \p S into their records and the
+  /// free list; Mu held, shard must be up.
+  void sweepShard(unsigned S);
+  /// Takes a job for (program, engine, tenant) from shard \p S's free
+  /// list or creates one; Mu held.
+  sched::Job *obtainJob(unsigned S, Program &P, engine::EngineId E,
+                        sched::TenantId T, sched::JobSpec Spec);
+  sched::TenantId shardTenant(unsigned S, const std::string &Tenant);
+  void buildShard(unsigned S);
+
+  ServiceConfig Cfg;
+
+  mutable std::mutex Mu;
+  std::vector<std::unique_ptr<sched::SessionScheduler>> Shards;
+  std::vector<uint8_t> ShardDown; ///< 1 while killShard rebuilds it
+  std::vector<uint64_t> ShardLive;
+  /// Per shard: tenant name → scheduler tenant id.
+  std::vector<std::map<std::string, sched::TenantId>> ShardTenants;
+  /// Per shard: (program identity, engine, scheduler tenant) → idle
+  /// recycled jobs (a job's tenant binding is fixed at creation).
+  using FreeKey = std::tuple<uint64_t, uint8_t, sched::TenantId>;
+  std::vector<std::map<FreeKey, std::vector<sched::Job *>>> FreeJobs;
+  /// Per shard: records whose job is still live (sweep scans these).
+  std::vector<std::vector<JobRecord *>> LiveRecs;
+  std::map<std::string, std::unique_ptr<Program>> Programs; // by source
+  std::map<RecordKey, std::unique_ptr<JobRecord>> Records;
+  std::map<std::string, uint64_t> InFlight; // per tenant, across shards
+  ServiceStats Stats;
+  bool ShuttingDown = false;
+};
+
+/// Serves one connection: reassembles frames from \p Ch, answers each
+/// through \p FE, returns when the peer closes (or the stream poisons —
+/// a torn frame prefix is unrecoverable, the peer must reconnect).
+/// Decodable-but-invalid frames get typed Error responses inline.
+void serveChannel(ServiceFrontEnd &FE, Channel &Ch);
+
+} // namespace sc::service
+
+#endif // SC_SERVICE_SERVICE_H

@@ -245,6 +245,11 @@ void VmSession::refuel(uint64_t Steps) {
   Policy.FuelSteps += std::min(Steps, Room);
 }
 
+void VmSession::resetFuel(uint64_t Steps) {
+  Policy.FuelSteps = Steps;
+  FuelUsed = 0;
+}
+
 void VmSession::migrateTo(std::shared_ptr<const prepare::PreparedCode> NewPC) {
   SC_ASSERT(NewPC != nullptr, "migration to a null artifact");
   SC_ASSERT(NewPC->SourceIdentity == PC->SourceIdentity,

@@ -225,6 +225,13 @@ public:
   /// Grants \p Steps more fuel (saturating).
   void refuel(uint64_t Steps);
 
+  /// Replaces the fuel budget outright: the total becomes \p Steps and
+  /// the burned tally restarts at zero. For recycling a session into a
+  /// logically new job (the execution service's job free list), where
+  /// "fuel already burned stays burned" is exactly wrong — the new job
+  /// paid for its own budget. Only meaningful between runs.
+  void resetFuel(uint64_t Steps);
+
   /// Swaps the session onto another prepared artifact of the *same
   /// program content* (SourceIdentity must match) — the adaptive tier
   /// controller's engine-promotion hook. Legal only between runs or at a

@@ -20,6 +20,8 @@
 #include "forth/Forth.h"
 #include "prepare/PrepareCache.h"
 #include "sched/SessionScheduler.h"
+#include "service/Client.h"
+#include "service/Service.h"
 #include "tier/TierController.h"
 
 #include <gtest/gtest.h>
@@ -537,4 +539,112 @@ TEST(SchedStress, TierPromotionStorm) {
     Demotions += T.TierDemotions;
   EXPECT_GT(Demotions, 0u);
   EXPECT_EQ(TC.desiredTier(Faulty->Prog.identity()), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Service chaos storm (the TSan tier of the chaos differential)
+//===----------------------------------------------------------------------===//
+
+TEST(SchedStress, ServiceChaosStorm) {
+  // The whole service stack under every fault source at once: transport
+  // storm (drop/dup/truncate/reorder/delay on both directions of every
+  // connection), seeded scheduler crash injection, and a thread killing
+  // and rebuilding shards mid-job — with concurrent retrying clients.
+  // TSan supplies the race oracle; the assertions supply exactly-once:
+  // every job completes once, with the result a clean single-session
+  // run produces.
+  using namespace sc::service;
+
+  // Clean reference for the one program the storm runs.
+  std::string RefOut;
+  uint64_t RefSteps = 0;
+  ServiceConfig Cfg;
+  {
+    auto Sys = forth::loadOrDie(ComputeSrc);
+    prepare::PrepareCache Cache;
+    auto PC = Cache.getOrPrepare(Sys->Prog, engine::EngineId::Switch);
+    vm::Vm M = Sys->Machine;
+    session::SessionPolicy Pol;
+    Pol.SliceSteps = Cfg.SliceSteps;
+    session::VmSession Ref(PC, M, Pol);
+    const session::SessionResult R = Ref.run(Sys->entryOf("main"));
+    EXPECT_EQ(R.Stop, session::StopKind::Halted);
+    RefOut = M.Out;
+    RefSteps = R.Outcome.Steps;
+  }
+
+  Cfg.Shards = 2;
+  Cfg.WorkersPerShard = 2;
+  Cfg.CrashOneIn = 60;
+  Cfg.CrashSeed = 0x57072;
+  ServiceFrontEnd FE(Cfg);
+
+  std::mutex HostMu;
+  std::vector<std::thread> ServerThreads;
+  std::atomic<uint64_t> Conns{0};
+  const ChaosConfig Storm = ChaosConfig::storm(0x57072);
+  auto Connector = [&]() -> std::unique_ptr<Channel> {
+    auto [Cli, Srv] = makeLocalPair();
+    const uint64_t N = Conns.fetch_add(1) + 1;
+    ChaosConfig SC = Storm;
+    SC.Seed = Storm.Seed ^ (0x9e3779b97f4a7c15ULL * N);
+    auto S = std::make_unique<ChaosChannel>(std::move(Srv), SC);
+    ChaosConfig CC = Storm;
+    CC.Seed = Storm.Seed ^ (0xbf58476d1ce4e5b9ULL * N);
+    auto C = std::make_unique<ChaosChannel>(std::move(Cli), CC);
+    std::lock_guard<std::mutex> L(HostMu);
+    ServerThreads.emplace_back(
+        [&FE, Ch = std::move(S)]() mutable { serveChannel(FE, *Ch); });
+    return C;
+  };
+
+  constexpr uint64_t Jobs = 36;
+  constexpr unsigned ClientThreads = 3;
+  std::atomic<uint64_t> Done{0};
+  std::atomic<bool> StopKills{false};
+  std::thread Killer([&] {
+    for (unsigned K = 0; K < 4 && !StopKills.load(); ++K) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      FE.killShard(K % Cfg.Shards);
+    }
+  });
+
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < ClientThreads; ++W)
+    Workers.emplace_back([&, W] {
+      RetryPolicy Pol;
+      Pol.JitterSeed = 0x5701 + W;
+      Pol.MaxAttempts = 60;
+      Pol.AttemptTimeoutNs = 100'000'000;
+      ServiceClient Client(Connector, Pol);
+      const std::string Tenant = "storm-" + std::to_string(W);
+      for (uint64_t I = W; I < Jobs; I += ClientThreads) {
+        Frame Resp;
+        int Rounds = 0;
+        while (!Client.submit(Tenant, I + 1, ComputeSrc, "main", 0, Resp))
+          ASSERT_LT(++Rounds, 50) << "submit wedged";
+        ASSERT_NE(Resp.Type, FrameType::Error);
+        ASSERT_TRUE(
+            Client.awaitResult(Tenant, I + 1, Resp, 120'000'000'000ULL));
+        EXPECT_EQ(Resp.Stop,
+                  static_cast<uint8_t>(session::StopKind::Halted));
+        EXPECT_EQ(Resp.Steps, RefSteps) << I;
+        EXPECT_EQ(Resp.Output, RefOut) << I;
+        Done.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Workers)
+    T.join();
+  StopKills.store(true);
+  Killer.join();
+  FE.shutdown();
+
+  EXPECT_EQ(Done.load(), Jobs);
+  const ServiceStats Stats = FE.statsSnapshot();
+  EXPECT_EQ(Stats.Submitted, Jobs);
+  EXPECT_EQ(Stats.Completed, Jobs);
+
+  std::lock_guard<std::mutex> L(HostMu);
+  for (std::thread &T : ServerThreads)
+    T.join();
 }

@@ -375,6 +375,184 @@ TEST(Sched, WaitBackpressureBlocksUntilSpaceFrees) {
   EXPECT_EQ(C->result().Stop, session::StopKind::Halted);
 }
 
+TEST(Sched, ZeroCapacityQueueAlwaysRejects) {
+  // A zero-capacity tenant is the fully-shedding quarantine the service
+  // layer uses: every submit must bounce immediately — under Wait too,
+  // since blocking for space that can never exist would deadlock the
+  // submitter forever.
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  TenantConfig Zero;
+  Zero.QueueCapacity = 0;
+  Zero.OnFull = Backpressure::Reject;
+  const TenantId TR = S.addTenant("rejecting", Zero);
+  Zero.OnFull = Backpressure::Wait;
+  const TenantId TW = S.addTenant("waiting", Zero);
+  const TenantId TN = S.addTenant("normal");
+
+  JobSpec Spec;
+  Spec.Entry = Sys->entryOf("main");
+  Job *A = S.createJob(TR, Sys->Prog, engine::EngineId::Switch, Sys->Machine,
+                       Spec);
+  Job *B = S.createJob(TW, Sys->Prog, engine::EngineId::Switch, Sys->Machine,
+                       Spec);
+  Job *C = S.createJob(TN, Sys->Prog, engine::EngineId::Switch, Sys->Machine,
+                       Spec);
+
+  EXPECT_EQ(S.submit(A), SubmitResult::Rejected);
+  EXPECT_EQ(A->state(), JobState::Idle);
+  // The Wait-mode submit must return (Rejected), not block: this line
+  // hanging is the regression this test pins.
+  EXPECT_EQ(S.submit(B), SubmitResult::Rejected);
+  EXPECT_EQ(B->state(), JobState::Idle);
+  // Quarantining one tenant must not leak onto its neighbors.
+  ASSERT_EQ(S.submit(C), SubmitResult::Admitted);
+  S.wait(C);
+  EXPECT_EQ(C->result().Stop, session::StopKind::Halted);
+  const SchedSnapshot Snap = S.snapshot();
+  EXPECT_EQ(Snap.Tenants[0].Rejected, 1u);
+  EXPECT_EQ(Snap.Tenants[1].Rejected, 1u);
+  EXPECT_EQ(Snap.Tenants[2].Rejected, 0u);
+}
+
+TEST(Sched, ExactlyFullBoundaryAdmitsToCapacityThenSheds) {
+  // The off-by-one probe: with capacity C and the worker pinned, exactly
+  // C submits are admitted, the C+1st is shed, and freeing one slot
+  // re-admits exactly one more.
+  std::unique_ptr<forth::System> Spin = forth::loadOrDie(SpinSrc);
+  std::unique_ptr<forth::System> Quick = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.SliceSteps = 20'000'000; // pin the worker (see RejectBackpressure)
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  constexpr size_t Capacity = 3;
+  TenantConfig TC;
+  TC.QueueCapacity = Capacity;
+  TC.OnFull = Backpressure::Reject;
+  const TenantId T = S.addTenant("t", TC);
+
+  JobSpec SpinSpec;
+  SpinSpec.Entry = Spin->entryOf("main");
+  Job *Pin = S.createJob(T, Spin->Prog, engine::EngineId::Switch,
+                         Spin->Machine, SpinSpec);
+  ASSERT_EQ(S.submit(Pin), SubmitResult::Admitted);
+  while (Pin->state() != JobState::Running)
+    std::this_thread::yield();
+
+  JobSpec QuickSpec;
+  QuickSpec.Entry = Quick->entryOf("main");
+  std::vector<Job *> Queued;
+  for (size_t I = 0; I < Capacity; ++I) {
+    Job *J = S.createJob(T, Quick->Prog, engine::EngineId::Switch,
+                         Quick->Machine, QuickSpec);
+    ASSERT_EQ(S.submit(J), SubmitResult::Admitted) << "slot " << I;
+    Queued.push_back(J);
+  }
+  Job *Extra = S.createJob(T, Quick->Prog, engine::EngineId::Switch,
+                           Quick->Machine, QuickSpec);
+  EXPECT_EQ(S.submit(Extra), SubmitResult::Rejected);
+  EXPECT_EQ(Extra->state(), JobState::Idle);
+
+  // Unpin: the queued jobs drain, and the bounced one fits again.
+  Pin->cancel();
+  S.wait(Queued.front());
+  EXPECT_EQ(S.submit(Extra), SubmitResult::Admitted);
+  for (Job *J : Queued)
+    S.wait(J);
+  S.wait(Extra);
+  EXPECT_EQ(Extra->result().Stop, session::StopKind::Halted);
+  EXPECT_EQ(S.snapshot().Tenants[0].Rejected, 1u);
+}
+
+TEST(Sched, ExactlyFullWaitModeUnblocksOnTheFreedSlot) {
+  // Wait-mode twin of the boundary probe: the C+1st submit blocks, and
+  // the single freed slot is enough to wake it.
+  std::unique_ptr<forth::System> Spin = forth::loadOrDie(SpinSrc);
+  std::unique_ptr<forth::System> Quick = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.SliceSteps = 20'000'000;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  constexpr size_t Capacity = 2;
+  TenantConfig TC;
+  TC.QueueCapacity = Capacity;
+  TC.OnFull = Backpressure::Wait;
+  const TenantId T = S.addTenant("t", TC);
+
+  JobSpec SpinSpec;
+  SpinSpec.Entry = Spin->entryOf("main");
+  Job *Pin = S.createJob(T, Spin->Prog, engine::EngineId::Switch,
+                         Spin->Machine, SpinSpec);
+  ASSERT_EQ(S.submit(Pin), SubmitResult::Admitted);
+  while (Pin->state() != JobState::Running)
+    std::this_thread::yield();
+
+  JobSpec QuickSpec;
+  QuickSpec.Entry = Quick->entryOf("main");
+  std::vector<Job *> Queued;
+  for (size_t I = 0; I < Capacity; ++I) {
+    Job *J = S.createJob(T, Quick->Prog, engine::EngineId::Switch,
+                         Quick->Machine, QuickSpec);
+    ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+    Queued.push_back(J);
+  }
+  Job *Extra = S.createJob(T, Quick->Prog, engine::EngineId::Switch,
+                           Quick->Machine, QuickSpec);
+  SubmitResult ExtraResult = SubmitResult::Rejected;
+  std::thread Submitter([&] { ExtraResult = S.submit(Extra); });
+  // The submit must still be parked while the queue is exactly full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(Extra->state(), JobState::Idle);
+  Pin->cancel();
+  Submitter.join();
+  EXPECT_EQ(ExtraResult, SubmitResult::Admitted);
+  for (Job *J : Queued)
+    S.wait(J);
+  S.wait(Extra);
+  EXPECT_EQ(Extra->result().Stop, session::StopKind::Halted);
+}
+
+TEST(Sched, RecycleRunsAFreshJobOnAUsedSlot) {
+  // recycle() is the service's bounded-memory keystone: a Done job,
+  // handed a pristine machine and a fresh spec, must behave exactly like
+  // a newly created one — including paying its own fuel budget.
+  std::unique_ptr<forth::System> Sys = forth::loadOrDie(ComputeSrc);
+  prepare::PrepareCache Cache;
+  SchedConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.Cache = &Cache;
+  SessionScheduler S(Cfg);
+  const TenantId T = S.addTenant("t");
+  JobSpec Spec;
+  Spec.Entry = Sys->entryOf("main");
+  Job *J = S.createJob(T, Sys->Prog, engine::EngineId::Switch, Sys->Machine,
+                       Spec);
+  ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+  S.wait(J);
+  const session::SessionResult First = J->result();
+  const std::string FirstOut = J->machine().Out;
+  ASSERT_EQ(First.Stop, session::StopKind::Halted);
+
+  for (int Round = 0; Round < 3; ++Round) {
+    S.recycle(J, Sys->Machine, Spec);
+    EXPECT_EQ(J->state(), JobState::Idle);
+    ASSERT_EQ(S.submit(J), SubmitResult::Admitted);
+    S.wait(J);
+    EXPECT_EQ(J->result().Stop, First.Stop) << Round;
+    EXPECT_EQ(J->result().Outcome.Steps, First.Outcome.Steps) << Round;
+    EXPECT_EQ(J->result().Slices, First.Slices) << Round;
+    EXPECT_EQ(J->machine().Out, FirstOut) << Round;
+  }
+}
+
 TEST(Sched, DrainClosesAdmissionAndReopenRestoresIt) {
   std::unique_ptr<forth::System> Sys = forth::loadOrDie(ComputeSrc);
   prepare::PrepareCache Cache;

@@ -1,0 +1,879 @@
+//===-- tests/service_tests.cpp - Execution service contracts -------------===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The networked execution service, pinned layer by layer:
+///
+///   - sc-wire framing: encode/decode roundtrips for every frame type,
+///     typed rejection of every corruption class, and a mutation fuzz
+///     over every frame type (the fuzzSnapshots pattern): any mutant
+///     must draw a typed ServiceError or decode cleanly — never crash,
+///     and never pass validation with a stale seal;
+///   - FrameBuffer: reassembly from arbitrary fragmentation, and prefix
+///     poisoning on garbage;
+///   - ServiceFrontEnd: idempotent submit (exactly-once), typed request
+///     errors, per-tenant and per-shard overload shedding (429-style
+///     Rejects, shard by shard), cancellation, stats;
+///   - crash recovery: killShard mid-job resumes from checkpoints with
+///     exactly-once accounting;
+///   - the chaos differential: a run over storm-chaosed channels with
+///     scheduler crash injection and shard kills produces Result frames
+///     field-for-field equal to an unchaosed run;
+///   - ServiceClient: retries mask frame loss; the TCP server serves
+///     real sockets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "forth/Forth.h"
+#include "prepare/PrepareCache.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "service/Service.h"
+#include "session/VmSession.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace sc;
+using namespace sc::service;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// sc-wire framing
+//===----------------------------------------------------------------------===//
+
+/// One fully-populated frame per type, with distinctive field values so
+/// a cross-wired decode cannot pass by accident.
+Frame sampleFrame(FrameType T) {
+  Frame F;
+  F.Type = T;
+  F.RequestId = 0x1122334455667788ULL;
+  switch (T) {
+  case FrameType::SubmitReq:
+    F.Tenant = "tenant-7";
+    F.Token = 42;
+    F.DeadlineNs = 5'000'000'000ULL;
+    F.FuelSteps = 123456;
+    F.Engine = 3;
+    F.Source = ": main 1 2 + . ;";
+    F.Word = "main";
+    break;
+  case FrameType::PollReq:
+  case FrameType::CancelReq:
+    F.Tenant = "tenant-7";
+    F.Token = 42;
+    break;
+  case FrameType::StatsReq:
+    break;
+  case FrameType::SubmitAck:
+    F.Duplicate = 1;
+    F.Shard = 5;
+    break;
+  case FrameType::Reject:
+    F.Code = RejectCode::ShardDegraded;
+    F.RetryAfterNs = 2'000'000;
+    break;
+  case FrameType::Result:
+    F.Stop = 1;
+    F.Status = 2;
+    F.Steps = 999;
+    F.Slices = 7;
+    F.Output = "3 ";
+    break;
+  case FrameType::Pending:
+    F.JobStateVal = 2;
+    break;
+  case FrameType::Error:
+    F.Err = ServiceError::UnknownJob;
+    F.Detail = "no such job";
+    break;
+  case FrameType::StatsReply:
+    F.StatsJson = "{\"submitted\": 3}";
+    break;
+  }
+  return F;
+}
+
+const FrameType AllTypes[] = {
+    FrameType::SubmitReq, FrameType::PollReq, FrameType::CancelReq,
+    FrameType::StatsReq,  FrameType::SubmitAck, FrameType::Reject,
+    FrameType::Result,    FrameType::Pending,  FrameType::Error,
+    FrameType::StatsReply};
+
+void expectSameFrame(const Frame &A, const Frame &B) {
+  EXPECT_EQ(A.Type, B.Type);
+  EXPECT_EQ(A.RequestId, B.RequestId);
+  EXPECT_EQ(A.Tenant, B.Tenant);
+  EXPECT_EQ(A.Token, B.Token);
+  EXPECT_EQ(A.DeadlineNs, B.DeadlineNs);
+  EXPECT_EQ(A.FuelSteps, B.FuelSteps);
+  EXPECT_EQ(A.Engine, B.Engine);
+  EXPECT_EQ(A.Source, B.Source);
+  EXPECT_EQ(A.Word, B.Word);
+  EXPECT_EQ(A.Duplicate, B.Duplicate);
+  EXPECT_EQ(A.Shard, B.Shard);
+  EXPECT_EQ(A.Code, B.Code);
+  EXPECT_EQ(A.RetryAfterNs, B.RetryAfterNs);
+  EXPECT_EQ(A.Stop, B.Stop);
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.Steps, B.Steps);
+  EXPECT_EQ(A.Slices, B.Slices);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.JobStateVal, B.JobStateVal);
+  EXPECT_EQ(A.Err, B.Err);
+  EXPECT_EQ(A.Detail, B.Detail);
+  EXPECT_EQ(A.StatsJson, B.StatsJson);
+}
+
+TEST(Wire, RoundtripEveryFrameType) {
+  for (FrameType T : AllTypes) {
+    const Frame F = sampleFrame(T);
+    const std::vector<uint8_t> Bytes = encodeFrame(F);
+    Frame Back;
+    ASSERT_EQ(decodeFrame(Bytes, Back), ServiceError::None)
+        << frameTypeName(T);
+    expectSameFrame(F, Back);
+  }
+}
+
+TEST(Wire, TypedRejections) {
+  const std::vector<uint8_t> Good = encodeFrame(sampleFrame(FrameType::SubmitReq));
+  Frame Out;
+
+  // Too short for even the fixed prefix.
+  EXPECT_EQ(decodeFrame(Good.data(), 10, Out), ServiceError::Truncated);
+
+  // Wrong magic.
+  std::vector<uint8_t> M = Good;
+  M[0] ^= 0xff;
+  EXPECT_EQ(decodeFrame(M, Out), ServiceError::BadMagic);
+
+  // Unknown version.
+  std::vector<uint8_t> V = Good;
+  V[4] = 99;
+  EXPECT_EQ(decodeFrame(V, Out), ServiceError::BadVersion);
+
+  // Length prefix above the protocol cap.
+  std::vector<uint8_t> O = Good;
+  O[8] = 0xff;
+  O[9] = 0xff;
+  O[10] = 0xff;
+  O[11] = 0x7f;
+  EXPECT_EQ(decodeFrame(O, Out), ServiceError::Oversized);
+
+  // Length prefix larger than the buffer (a fragment).
+  std::vector<uint8_t> T = Good;
+  T[8] = static_cast<uint8_t>(Good.size() + 8);
+  EXPECT_EQ(decodeFrame(T, Out), ServiceError::Truncated);
+
+  // Flipped payload byte with a stale seal.
+  std::vector<uint8_t> C = Good;
+  C[30] ^= 1;
+  EXPECT_EQ(decodeFrame(C, Out), ServiceError::BadChecksum);
+
+  // Unknown frame type, properly resealed.
+  std::vector<uint8_t> F = Good;
+  F[12] = 77;
+  resealFrame(F);
+  EXPECT_EQ(decodeFrame(F, Out), ServiceError::BadFrameType);
+
+  // Nonzero reserved bytes, properly resealed.
+  std::vector<uint8_t> R = Good;
+  R[13] = 1;
+  resealFrame(R);
+  EXPECT_EQ(decodeFrame(R, Out), ServiceError::BadFieldValue);
+
+  // Out-of-range enum (SubmitAck.Duplicate = 2), properly resealed.
+  std::vector<uint8_t> E = encodeFrame(sampleFrame(FrameType::SubmitAck));
+  E[32] = 2; // Duplicate follows the u64 token in the payload
+  resealFrame(E);
+  EXPECT_EQ(decodeFrame(E, Out), ServiceError::BadFieldValue);
+
+  // An untouched frame still decodes (the mutations copied).
+  EXPECT_EQ(decodeFrame(Good, Out), ServiceError::None);
+}
+
+TEST(Wire, PeekRequestId) {
+  const Frame F = sampleFrame(FrameType::PollReq);
+  std::vector<uint8_t> Bytes = encodeFrame(F);
+  EXPECT_EQ(peekRequestId(Bytes.data(), Bytes.size()), F.RequestId);
+  // Corrupt payload: the id is still recoverable from the fixed prefix.
+  Bytes.back() ^= 0xff;
+  EXPECT_EQ(peekRequestId(Bytes.data(), Bytes.size()), F.RequestId);
+  EXPECT_EQ(peekRequestId(Bytes.data(), 8), 0u);
+}
+
+/// The fuzzSnapshots pattern over sc-wire: mutate every frame type many
+/// times — byte flips, truncations, junk extensions, zeroed spans — and
+/// require a typed error or a clean decode, never a crash. Unsealed
+/// mutants (any change under a now-stale checksum) must never decode.
+TEST(Wire, MutationFuzzEveryFrameType) {
+  Rng R(0xF0420ULL);
+  uint64_t Rejected = 0, Accepted = 0;
+  for (FrameType T : AllTypes) {
+    const std::vector<uint8_t> Orig = encodeFrame(sampleFrame(T));
+    for (int Round = 0; Round < 400; ++Round) {
+      std::vector<uint8_t> Mut = Orig;
+      const unsigned Kind = static_cast<unsigned>(R.below(4));
+      switch (Kind) {
+      case 0: // flip 1..4 bytes
+        for (uint64_t I = 0, N = 1 + R.below(4); I < N; ++I)
+          Mut[R.below(Mut.size())] ^=
+              static_cast<uint8_t>(1 + R.below(255));
+        break;
+      case 1: // truncate
+        Mut.resize(R.below(Mut.size()));
+        break;
+      case 2: // extend with junk
+        for (uint64_t I = 0, N = 1 + R.below(16); I < N; ++I)
+          Mut.push_back(static_cast<uint8_t>(R.below(256)));
+        break;
+      case 3: { // zero a span
+        const size_t At = R.below(Mut.size());
+        const size_t Len = 1 + R.below(Mut.size() - At);
+        std::fill(Mut.begin() + At, Mut.begin() + At + Len, 0);
+        break;
+      }
+      }
+      const bool Resealed = R.chance(1, 2);
+      if (Resealed && Mut.size() >= 32)
+        resealFrame(Mut);
+      Frame Out;
+      const ServiceError E = decodeFrame(Mut, Out);
+      if (E == ServiceError::None) {
+        // Only a resealed mutant (or an identity mutation) may pass; a
+        // stale seal passing validation would make the checksum theater.
+        EXPECT_TRUE(Resealed || Mut == Orig) << frameTypeName(T);
+        ++Accepted;
+      } else {
+        ++Rejected;
+      }
+    }
+  }
+  // The fuzz must actually exercise both sides of the contract.
+  EXPECT_GT(Rejected, 0u);
+  EXPECT_GT(Accepted, 0u);
+}
+
+TEST(Wire, FrameBufferReassemblesFragmentedStream) {
+  std::vector<uint8_t> Stream;
+  std::vector<Frame> Sent;
+  for (FrameType T :
+       {FrameType::SubmitReq, FrameType::Result, FrameType::StatsReply}) {
+    Sent.push_back(sampleFrame(T));
+    const std::vector<uint8_t> B = encodeFrame(Sent.back());
+    Stream.insert(Stream.end(), B.begin(), B.end());
+  }
+  // Feed a byte at a time: reassembly must not care about fragmentation.
+  FrameBuffer FB;
+  std::vector<Frame> Got;
+  for (uint8_t Byte : Stream) {
+    FB.feed(&Byte, 1);
+    std::vector<uint8_t> Raw;
+    ServiceError Err;
+    while (FB.next(Raw, Err)) {
+      Frame F;
+      ASSERT_EQ(decodeFrame(Raw, F), ServiceError::None);
+      Got.push_back(F);
+    }
+    ASSERT_EQ(Err, ServiceError::None);
+  }
+  ASSERT_EQ(Got.size(), Sent.size());
+  for (size_t I = 0; I < Sent.size(); ++I)
+    expectSameFrame(Sent[I], Got[I]);
+  EXPECT_EQ(FB.buffered(), 0u);
+}
+
+TEST(Wire, FrameBufferPoisonsOnGarbagePrefix) {
+  FrameBuffer FB;
+  const uint8_t Junk[FramePrefixBytes] = {'n', 'o', 'p', 'e'};
+  FB.feed(Junk, sizeof(Junk));
+  std::vector<uint8_t> Raw;
+  ServiceError Err;
+  EXPECT_FALSE(FB.next(Raw, Err));
+  EXPECT_EQ(Err, ServiceError::BadMagic);
+  // Poison sticks: even good bytes after it are untrusted.
+  const std::vector<uint8_t> Good = encodeFrame(sampleFrame(FrameType::PollReq));
+  FB.feed(Good);
+  EXPECT_FALSE(FB.next(Raw, Err));
+  EXPECT_EQ(Err, ServiceError::BadMagic);
+  // reset() is the reconnect: the stream is trustworthy again.
+  FB.reset();
+  FB.feed(Good);
+  EXPECT_TRUE(FB.next(Raw, Err));
+  EXPECT_EQ(Raw, Good);
+}
+
+//===----------------------------------------------------------------------===//
+// ServiceFrontEnd request handling
+//===----------------------------------------------------------------------===//
+
+constexpr const char *ComputeSrc =
+    R"(variable acc : main 0 acc ! 16 0 do i i * acc @ + acc ! loop acc @ . ;)";
+constexpr const char *SpinSrc = ": main begin 1 drop again ;";
+
+Frame submitFrame(const std::string &Tenant, uint64_t Token,
+                  const char *Source, uint64_t ReqId = 1) {
+  Frame F;
+  F.Type = FrameType::SubmitReq;
+  F.RequestId = ReqId;
+  F.Tenant = Tenant;
+  F.Token = Token;
+  F.Source = Source;
+  F.Word = "main";
+  return F;
+}
+
+Frame pollFrame(const std::string &Tenant, uint64_t Token,
+                uint64_t ReqId = 2) {
+  Frame F;
+  F.Type = FrameType::PollReq;
+  F.RequestId = ReqId;
+  F.Tenant = Tenant;
+  F.Token = Token;
+  return F;
+}
+
+/// Polls until Result (bounded), asserting on anything unexpected.
+Frame awaitResult(ServiceFrontEnd &FE, const std::string &Tenant,
+                  uint64_t Token) {
+  for (int Spin = 0; Spin < 100000; ++Spin) {
+    const Frame R = FE.handle(pollFrame(Tenant, Token));
+    if (R.Type == FrameType::Result)
+      return R;
+    EXPECT_EQ(R.Type, FrameType::Pending);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ADD_FAILURE() << "job " << Tenant << "/" << Token << " never finished";
+  return Frame{};
+}
+
+struct Reference {
+  uint8_t Stop, Status;
+  uint64_t Steps, Slices;
+  std::string Output;
+};
+
+Reference referenceRun(const char *Src, uint64_t SliceSteps) {
+  auto Sys = forth::loadOrDie(Src);
+  prepare::PrepareCache Cache;
+  auto PC = Cache.getOrPrepare(Sys->Prog, engine::EngineId{});
+  vm::Vm Machine = Sys->Machine;
+  session::SessionPolicy Pol;
+  Pol.SliceSteps = SliceSteps;
+  session::VmSession S(PC, Machine, Pol);
+  const session::SessionResult R = S.run(Sys->entryOf("main"));
+  return {static_cast<uint8_t>(R.Stop),
+          static_cast<uint8_t>(R.Outcome.Status), R.Outcome.Steps, R.Slices,
+          Machine.Out};
+}
+
+TEST(Service, SubmitRunsAndMatchesReference) {
+  ServiceConfig Cfg;
+  ServiceFrontEnd FE(Cfg);
+  const Frame Ack = FE.handle(submitFrame("alice", 1, ComputeSrc, 11));
+  ASSERT_EQ(Ack.Type, FrameType::SubmitAck);
+  EXPECT_EQ(Ack.RequestId, 11u);
+  EXPECT_EQ(Ack.Duplicate, 0u);
+  EXPECT_EQ(Ack.Shard, FE.shardOf("alice"));
+
+  const Frame R = awaitResult(FE, "alice", 1);
+  const Reference Ref = referenceRun(ComputeSrc, Cfg.SliceSteps);
+  EXPECT_EQ(R.Stop, Ref.Stop);
+  EXPECT_EQ(R.Status, Ref.Status);
+  EXPECT_EQ(R.Steps, Ref.Steps);
+  EXPECT_EQ(R.Slices, Ref.Slices);
+  EXPECT_EQ(R.Output, Ref.Output);
+  FE.shutdown();
+  EXPECT_EQ(FE.statsSnapshot().Completed, 1u);
+}
+
+TEST(Service, SubmitIsIdempotentOnTenantToken) {
+  ServiceFrontEnd FE;
+  ASSERT_EQ(FE.handle(submitFrame("a", 7, ComputeSrc)).Type,
+            FrameType::SubmitAck);
+  // A duplicate while live either attaches (SubmitAck{Duplicate=1}) or,
+  // if the job already finished, serves the final Result directly.
+  const Frame Dup = FE.handle(submitFrame("a", 7, ComputeSrc));
+  if (Dup.Type == FrameType::SubmitAck)
+    EXPECT_EQ(Dup.Duplicate, 1u);
+  else
+    EXPECT_EQ(Dup.Type, FrameType::Result);
+  const Frame R1 = awaitResult(FE, "a", 7);
+
+  // After completion every further duplicate serves the same Result.
+  const Frame Dup2 = FE.handle(submitFrame("a", 7, ComputeSrc, 99));
+  ASSERT_EQ(Dup2.Type, FrameType::Result);
+  EXPECT_EQ(Dup2.RequestId, 99u);
+  EXPECT_EQ(Dup2.Steps, R1.Steps);
+  EXPECT_EQ(Dup2.Output, R1.Output);
+
+  const ServiceStats S = FE.statsSnapshot();
+  EXPECT_EQ(S.Submitted, 1u);
+  EXPECT_EQ(S.Duplicates, 2u);
+  EXPECT_EQ(S.Completed, 1u);
+  FE.shutdown();
+}
+
+TEST(Service, TypedRequestErrors) {
+  ServiceFrontEnd FE;
+  // Poll/Cancel for a never-submitted token.
+  EXPECT_EQ(FE.handle(pollFrame("ghost", 1)).Err, ServiceError::UnknownJob);
+  Frame C = pollFrame("ghost", 1);
+  C.Type = FrameType::CancelReq;
+  EXPECT_EQ(FE.handle(C).Err, ServiceError::UnknownJob);
+
+  // A program that does not compile.
+  const Frame E1 = FE.handle(submitFrame("a", 1, ": main unknown-word ;"));
+  ASSERT_EQ(E1.Type, FrameType::Error);
+  EXPECT_EQ(E1.Err, ServiceError::CompileFailed);
+  EXPECT_FALSE(E1.Detail.empty());
+
+  // A missing entry word.
+  Frame BadWord = submitFrame("a", 2, ": other 1 . ;");
+  BadWord.Word = "main";
+  const Frame E2 = FE.handle(BadWord);
+  ASSERT_EQ(E2.Type, FrameType::Error);
+  EXPECT_EQ(E2.Err, ServiceError::BadWord);
+
+  // An engine id out of range.
+  Frame BadEng = submitFrame("a", 3, ComputeSrc);
+  BadEng.Engine = 250;
+  EXPECT_EQ(FE.handle(BadEng).Err, ServiceError::BadEngine);
+
+  // A response-typed frame is not a request.
+  Frame NotReq = sampleFrame(FrameType::Result);
+  EXPECT_EQ(FE.handle(NotReq).Err, ServiceError::BadFrameType);
+
+  // Failed submits must not count as admissions or leak in-flight slots.
+  EXPECT_EQ(FE.statsSnapshot().Submitted, 0u);
+  FE.shutdown();
+}
+
+TEST(Service, NonReentrantEngineRefused) {
+  int NonReentrant = -1;
+  for (unsigned E = 0; E < engine::NumEngineIds; ++E)
+    if (!engine::engineInfo(static_cast<engine::EngineId>(E)).Caps.Reentrant) {
+      NonReentrant = static_cast<int>(E);
+      break;
+    }
+  if (NonReentrant < 0)
+    GTEST_SKIP() << "every engine is reentrant in this build";
+  ServiceFrontEnd FE;
+  Frame F = submitFrame("a", 1, ComputeSrc);
+  F.Engine = static_cast<uint8_t>(NonReentrant);
+  const Frame R = FE.handle(F);
+  ASSERT_EQ(R.Type, FrameType::Error);
+  EXPECT_EQ(R.Err, ServiceError::BadEngine);
+  FE.shutdown();
+}
+
+TEST(Service, PerTenantInFlightCapSheds) {
+  ServiceConfig Cfg;
+  Cfg.Shards = 1;
+  Cfg.MaxInFlightPerTenant = 2;
+  ServiceFrontEnd FE(Cfg);
+  // Two spins fill the tenant's cap; the third must be shed with the
+  // 429-style Reject carrying the configured retry-after hint.
+  ASSERT_EQ(FE.handle(submitFrame("t", 1, SpinSrc)).Type,
+            FrameType::SubmitAck);
+  ASSERT_EQ(FE.handle(submitFrame("t", 2, SpinSrc)).Type,
+            FrameType::SubmitAck);
+  const Frame R = FE.handle(submitFrame("t", 3, SpinSrc));
+  ASSERT_EQ(R.Type, FrameType::Reject);
+  EXPECT_EQ(R.Code, RejectCode::TenantBusy);
+  EXPECT_EQ(R.RetryAfterNs, Cfg.RetryAfterNs);
+
+  // A different tenant is not affected by t's cap.
+  ASSERT_EQ(FE.handle(submitFrame("u", 1, ComputeSrc)).Type,
+            FrameType::SubmitAck);
+
+  // Cancel the spins; both must finish Cancelled, freeing the cap.
+  for (uint64_t Tok : {1, 2}) {
+    Frame C = pollFrame("t", Tok);
+    C.Type = FrameType::CancelReq;
+    FE.handle(C);
+  }
+  for (uint64_t Tok : {1, 2}) {
+    const Frame Done = awaitResult(FE, "t", Tok);
+    EXPECT_EQ(Done.Stop, static_cast<uint8_t>(session::StopKind::Cancelled));
+  }
+  EXPECT_EQ(FE.handle(submitFrame("t", 3, ComputeSrc)).Type,
+            FrameType::SubmitAck);
+  awaitResult(FE, "t", 3);
+  awaitResult(FE, "u", 1);
+  const ServiceStats S = FE.statsSnapshot();
+  EXPECT_EQ(S.RejectedBusy, 1u);
+  EXPECT_EQ(S.Cancels, 2u);
+  FE.shutdown();
+}
+
+TEST(Service, ShardHighWaterShedsPerShard) {
+  ServiceConfig Cfg;
+  Cfg.Shards = 2;
+  Cfg.MaxInFlightPerTenant = 100;
+  Cfg.TenantQueueCapacity = 100;
+  Cfg.ShardHighWater = 1;
+  ServiceFrontEnd FE(Cfg);
+  // Find two tenants on different shards.
+  std::string A = "a", B;
+  for (int I = 0; B.empty(); ++I) {
+    std::string T = "b" + std::to_string(I);
+    if (FE.shardOf(T) != FE.shardOf(A))
+      B = T;
+  }
+  ASSERT_EQ(FE.handle(submitFrame(A, 1, SpinSrc)).Type, FrameType::SubmitAck);
+  // A's shard is at its high water: more work there is shed...
+  const Frame R = FE.handle(submitFrame(A, 2, ComputeSrc));
+  ASSERT_EQ(R.Type, FrameType::Reject);
+  EXPECT_EQ(R.Code, RejectCode::ShardDegraded);
+  // ...but the sibling shard keeps admitting: degradation is per shard.
+  ASSERT_EQ(FE.handle(submitFrame(B, 1, ComputeSrc)).Type,
+            FrameType::SubmitAck);
+  awaitResult(FE, B, 1);
+
+  Frame C = pollFrame(A, 1);
+  C.Type = FrameType::CancelReq;
+  FE.handle(C);
+  awaitResult(FE, A, 1);
+  FE.shutdown();
+}
+
+TEST(Service, ShutdownClosesAdmissionButServesResults) {
+  ServiceFrontEnd FE;
+  ASSERT_EQ(FE.handle(submitFrame("a", 1, ComputeSrc)).Type,
+            FrameType::SubmitAck);
+  const Frame R1 = awaitResult(FE, "a", 1);
+  FE.shutdown();
+  // Admission is closed with a typed Reject...
+  const Frame R = FE.handle(submitFrame("a", 2, ComputeSrc));
+  ASSERT_EQ(R.Type, FrameType::Reject);
+  EXPECT_EQ(R.Code, RejectCode::AdmissionClosed);
+  // ...but completed results stay pollable (the client may still be
+  // retrying its poll through a flaky link).
+  const Frame Again = FE.handle(pollFrame("a", 1));
+  ASSERT_EQ(Again.Type, FrameType::Result);
+  EXPECT_EQ(Again.Output, R1.Output);
+  // Idempotent.
+  FE.shutdown();
+}
+
+TEST(Service, StatsReplyCarriesParsableJson) {
+  ServiceFrontEnd FE;
+  ASSERT_EQ(FE.handle(submitFrame("a", 1, ComputeSrc)).Type,
+            FrameType::SubmitAck);
+  awaitResult(FE, "a", 1);
+  Frame Req;
+  Req.Type = FrameType::StatsReq;
+  Req.RequestId = 5;
+  const Frame R = FE.handle(Req);
+  ASSERT_EQ(R.Type, FrameType::StatsReply);
+  metrics::Json Doc;
+  ASSERT_TRUE(metrics::Json::parse(R.StatsJson, Doc, nullptr)) << R.StatsJson;
+  // And the convenience accessor agrees with the wire form.
+  const metrics::Json Direct = FE.statsJson();
+  EXPECT_FALSE(Direct.dump().empty());
+  FE.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Crash recovery and the chaos differential
+//===----------------------------------------------------------------------===//
+
+TEST(Service, KillShardRecoversLiveJobsExactlyOnce) {
+  ServiceConfig Cfg;
+  Cfg.Shards = 1;
+  ServiceFrontEnd FE(Cfg);
+  const Reference Ref = referenceRun(ComputeSrc, Cfg.SliceSteps);
+  // A fleet of jobs, killed under them repeatedly while they run.
+  constexpr uint64_t Jobs = 24;
+  for (uint64_t I = 0; I < Jobs; ++I)
+    ASSERT_EQ(FE.handle(submitFrame("t", I + 1, ComputeSrc)).Type,
+              FrameType::SubmitAck);
+  FE.killShard(0);
+  FE.killShard(0);
+  for (uint64_t I = 0; I < Jobs; ++I) {
+    const Frame R = awaitResult(FE, "t", I + 1);
+    EXPECT_EQ(R.Stop, Ref.Stop) << I;
+    EXPECT_EQ(R.Status, Ref.Status) << I;
+    EXPECT_EQ(R.Steps, Ref.Steps) << I;
+    EXPECT_EQ(R.Slices, Ref.Slices) << I;
+    EXPECT_EQ(R.Output, Ref.Output) << I;
+  }
+  const ServiceStats S = FE.statsSnapshot();
+  EXPECT_EQ(S.Submitted, Jobs);
+  EXPECT_EQ(S.Completed, Jobs);
+  EXPECT_EQ(S.ShardKills, 2u);
+  FE.shutdown();
+}
+
+TEST(Service, CancelSurvivesShardKill) {
+  ServiceConfig Cfg;
+  Cfg.Shards = 1;
+  ServiceFrontEnd FE(Cfg);
+  ASSERT_EQ(FE.handle(submitFrame("t", 1, SpinSrc)).Type,
+            FrameType::SubmitAck);
+  Frame C = pollFrame("t", 1);
+  C.Type = FrameType::CancelReq;
+  FE.handle(C);
+  // The kill rebuilds the job from its checkpoint; the user's cancel
+  // must be re-applied to the revived job, or it would spin forever.
+  FE.killShard(0);
+  const Frame R = awaitResult(FE, "t", 1);
+  EXPECT_EQ(R.Stop, static_cast<uint8_t>(session::StopKind::Cancelled));
+  FE.shutdown();
+}
+
+/// Drives \p Jobs jobs per tenant through clients over chaos-wrapped
+/// local channels and returns every Result frame, keyed by token.
+std::map<uint64_t, Frame>
+chaosRun(ServiceConfig Cfg, ChaosConfig Chaos, uint64_t Kills, uint64_t Jobs,
+         unsigned ClientThreads) {
+  ServiceFrontEnd FE(Cfg);
+  std::vector<std::thread> ServerThreads;
+  std::mutex HostMu;
+  std::atomic<uint64_t> Conns{0};
+  auto Connector = [&]() -> std::unique_ptr<Channel> {
+    auto [Cli, Srv] = makeLocalPair();
+    std::unique_ptr<Channel> S = std::move(Srv), C = std::move(Cli);
+    const uint64_t N = Conns.fetch_add(1) + 1;
+    if (Chaos.enabled()) {
+      ChaosConfig SC = Chaos;
+      SC.Seed = Chaos.Seed ^ (0x9e3779b97f4a7c15ULL * N);
+      S = std::make_unique<ChaosChannel>(std::move(S), SC);
+      ChaosConfig CC = Chaos;
+      CC.Seed = Chaos.Seed ^ (0xbf58476d1ce4e5b9ULL * N);
+      C = std::make_unique<ChaosChannel>(std::move(C), CC);
+    }
+    std::lock_guard<std::mutex> L(HostMu);
+    ServerThreads.emplace_back(
+        [&FE, Ch = std::move(S)]() mutable { serveChannel(FE, *Ch); });
+    return C;
+  };
+
+  std::atomic<uint64_t> Done{0};
+  std::atomic<bool> Stop{false};
+  std::thread Killer;
+  if (Kills)
+    Killer = std::thread([&] {
+      for (uint64_t K = 0; K < Kills && !Stop.load(); ++K) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        FE.killShard(static_cast<unsigned>(K % Cfg.Shards));
+      }
+    });
+
+  std::mutex ResMu;
+  std::map<uint64_t, Frame> Results;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < ClientThreads; ++W)
+    Workers.emplace_back([&, W] {
+      RetryPolicy Pol;
+      Pol.JitterSeed = 0xc0ffee + W;
+      Pol.MaxAttempts = 40;
+      Pol.AttemptTimeoutNs = 100'000'000;
+      ServiceClient Client(Connector, Pol);
+      const std::string Tenant = "tenant-" + std::to_string(W % 3);
+      for (uint64_t I = W; I < Jobs; I += ClientThreads) {
+        const uint64_t Token = I + 1;
+        Frame Resp;
+        const uint64_t Start =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        while (!Client.submit(Tenant, Token, ComputeSrc, "main", 0, Resp)) {
+          const uint64_t Now =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+          ASSERT_LT(Now - Start, 120'000'000'000ULL) << "submit wedged";
+        }
+        ASSERT_NE(Resp.Type, FrameType::Error);
+        ASSERT_TRUE(
+            Client.awaitResult(Tenant, Token, Resp, 120'000'000'000ULL));
+        std::lock_guard<std::mutex> L(ResMu);
+        Results.emplace(Token, Resp);
+        Done.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Workers)
+    T.join();
+  Stop.store(true);
+  if (Killer.joinable())
+    Killer.join();
+  FE.shutdown();
+
+  const ServiceStats S = FE.statsSnapshot();
+  EXPECT_EQ(S.Submitted, Jobs);
+  EXPECT_EQ(S.Completed, Jobs);
+
+  {
+    std::lock_guard<std::mutex> L(HostMu);
+    // Workers are gone, so their channels are destroyed and every server
+    // loop has seen its stream close.
+    for (std::thread &T : ServerThreads)
+      T.join();
+  }
+  return Results;
+}
+
+/// The service contract's headline: a run under transport storm, crash
+/// injection, and shard kills is field-for-field equal to a clean run.
+TEST(Service, ChaosDifferentialFieldForField) {
+  constexpr uint64_t Jobs = 48;
+  ServiceConfig Clean;
+  const std::map<uint64_t, Frame> Baseline =
+      chaosRun(Clean, ChaosConfig{}, 0, Jobs, 3);
+  ASSERT_EQ(Baseline.size(), Jobs);
+
+  ServiceConfig Stormy;
+  Stormy.CrashOneIn = 120;
+  const std::map<uint64_t, Frame> Stormed =
+      chaosRun(Stormy, ChaosConfig::storm(0xD1CEULL), 4, Jobs, 3);
+  ASSERT_EQ(Stormed.size(), Jobs);
+
+  for (const auto &[Token, Ref] : Baseline) {
+    const Frame &Got = Stormed.at(Token);
+    EXPECT_EQ(Got.Stop, Ref.Stop) << Token;
+    EXPECT_EQ(Got.Status, Ref.Status) << Token;
+    EXPECT_EQ(Got.Steps, Ref.Steps) << Token;
+    EXPECT_EQ(Got.Slices, Ref.Slices) << Token;
+    EXPECT_EQ(Got.Output, Ref.Output) << Token;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Client retries and the TCP front door
+//===----------------------------------------------------------------------===//
+
+TEST(Client, RetriesMaskFrameLoss) {
+  ServiceFrontEnd FE;
+  std::vector<std::thread> ServerThreads;
+  std::mutex HostMu;
+  std::atomic<uint64_t> Conns{0};
+  ChaosConfig Lossy;
+  Lossy.Seed = 0x10551;
+  Lossy.DropPerMille = 250; // drops only: no reconnects needed
+  auto Connector = [&]() -> std::unique_ptr<Channel> {
+    auto [Cli, Srv] = makeLocalPair();
+    const uint64_t N = Conns.fetch_add(1) + 1;
+    ChaosConfig SC = Lossy;
+    SC.Seed = Lossy.Seed ^ (31 * N);
+    auto S = std::make_unique<ChaosChannel>(std::move(Srv), SC);
+    ChaosConfig CC = Lossy;
+    CC.Seed = Lossy.Seed ^ (77 * N);
+    auto C = std::make_unique<ChaosChannel>(std::move(Cli), CC);
+    std::lock_guard<std::mutex> L(HostMu);
+    ServerThreads.emplace_back(
+        [&FE, Ch = std::move(S)]() mutable { serveChannel(FE, *Ch); });
+    return C;
+  };
+  {
+    RetryPolicy Pol;
+    Pol.MaxAttempts = 30;
+    Pol.AttemptTimeoutNs = 50'000'000;
+    ServiceClient Client(Connector, Pol);
+    for (uint64_t I = 0; I < 20; ++I) {
+      Frame Resp;
+      ASSERT_TRUE(Client.submit("t", I + 1, ComputeSrc, "main", 0, Resp));
+      ASSERT_TRUE(Client.awaitResult("t", I + 1, Resp, 60'000'000'000ULL));
+      EXPECT_EQ(Resp.Type, FrameType::Result);
+    }
+    // A 25%-loss channel cannot serve 40+ calls without retrying.
+    EXPECT_GT(Client.clientStats().Retries, 0u);
+  }
+  FE.shutdown();
+  std::lock_guard<std::mutex> L(HostMu);
+  for (std::thread &T : ServerThreads)
+    T.join();
+}
+
+TEST(Server, ServesRealSockets) {
+  ServiceFrontEnd FE;
+  ServiceServer Srv(FE, 0);
+  ASSERT_NE(Srv.port(), 0) << "could not bind a loopback listener";
+  const uint16_t Port = Srv.port();
+  ServiceClient Client([Port] { return connectTcp(Port); });
+  Frame Resp;
+  ASSERT_TRUE(Client.submit("tcp-tenant", 1, ComputeSrc, "main", 0, Resp));
+  EXPECT_EQ(Resp.Type, FrameType::SubmitAck);
+  ASSERT_TRUE(Client.awaitResult("tcp-tenant", 1, Resp, 60'000'000'000ULL));
+  const Reference Ref = referenceRun(ComputeSrc, FE.config().SliceSteps);
+  EXPECT_EQ(Resp.Steps, Ref.Steps);
+  EXPECT_EQ(Resp.Output, Ref.Output);
+  ASSERT_TRUE(Client.stats(Resp));
+  ASSERT_EQ(Resp.Type, FrameType::StatsReply);
+  metrics::Json Doc;
+  EXPECT_TRUE(metrics::Json::parse(Resp.StatsJson, Doc, nullptr));
+  Srv.stop();
+  FE.shutdown();
+}
+
+/// A server fed raw garbage must answer with typed Error frames and
+/// poison-or-survive, never crash — the transport-level complement of
+/// the decode fuzz.
+TEST(Server, HostileBytesGetTypedErrors) {
+  ServiceFrontEnd FE;
+  ServiceServer Srv(FE, 0);
+  ASSERT_NE(Srv.port(), 0);
+  // A sealed-but-invalid frame first: decodable prefix, typed answer.
+  {
+    auto Ch = connectTcp(Srv.port());
+    ASSERT_NE(Ch, nullptr);
+    std::vector<uint8_t> Bad = encodeFrame(sampleFrame(FrameType::SubmitReq));
+    Bad[12 + 12] ^= 0x55; // corrupt payload, stale seal
+    ASSERT_TRUE(Ch->send(Bad));
+    FrameBuffer FB;
+    uint8_t Buf[4096];
+    Frame Err;
+    bool GotReply = false;
+    for (int Spin = 0; Spin < 100 && !GotReply; ++Spin) {
+      const int64_t N = Ch->recv(Buf, sizeof(Buf), 1'000'000'000ULL);
+      ASSERT_GT(N, 0);
+      FB.feed(Buf, static_cast<size_t>(N));
+      std::vector<uint8_t> Raw;
+      ServiceError SE;
+      while (FB.next(Raw, SE)) {
+        ASSERT_EQ(decodeFrame(Raw, Err), ServiceError::None);
+        GotReply = true;
+      }
+    }
+    ASSERT_TRUE(GotReply);
+    EXPECT_EQ(Err.Type, FrameType::Error);
+    EXPECT_EQ(Err.Err, ServiceError::BadChecksum);
+  }
+  // Pure garbage: the server poisons the stream and hangs up; the
+  // service must still be alive for the next well-behaved client.
+  {
+    auto Ch = connectTcp(Srv.port());
+    ASSERT_NE(Ch, nullptr);
+    const uint8_t Junk[64] = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_TRUE(Ch->send(Junk, sizeof(Junk)));
+    uint8_t Buf[256];
+    // Drain whatever Error frame precedes the hangup; expect EOF soon.
+    for (int Spin = 0; Spin < 100; ++Spin) {
+      const int64_t N = Ch->recv(Buf, sizeof(Buf), 1'000'000'000ULL);
+      if (N <= 0)
+        break;
+    }
+  }
+  ServiceClient Client([&Srv] { return connectTcp(Srv.port()); });
+  Frame Resp;
+  ASSERT_TRUE(Client.submit("survivor", 1, ComputeSrc, "main", 0, Resp));
+  ASSERT_TRUE(Client.awaitResult("survivor", 1, Resp, 60'000'000'000ULL));
+  Srv.stop();
+  FE.shutdown();
+}
+
+} // namespace

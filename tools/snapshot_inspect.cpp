@@ -14,11 +14,19 @@
 /// file is reported with its typed rejection and exit code 1 — this tool
 /// is safe to point at arbitrary bytes.
 ///
+/// --json switches to a machine-readable document on stdout (src/metrics
+/// JSON, one object per file), so service operations tooling can parse
+/// checkpoint state instead of scraping the human format. Errors are
+/// reported in-band: {"file":..., "error": "<typed reason>"} with exit
+/// code 1, never a half-written object.
+///
 //===----------------------------------------------------------------------===//
 
+#include "metrics/Json.h"
 #include "snapshot/Snapshot.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -26,30 +34,9 @@
 
 using namespace sc;
 
-int main(int Argc, char **Argv) {
-  if (Argc != 2) {
-    std::fprintf(stderr, "usage: snapshot_inspect file.snap\n");
-    return 2;
-  }
-  const std::string FileName = Argv[1];
-  std::ifstream In(FileName, std::ios::binary);
-  if (!In) {
-    std::fprintf(stderr, "snapshot_inspect: cannot open %s\n",
-                 FileName.c_str());
-    return 1;
-  }
-  const std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
-                                   std::istreambuf_iterator<char>());
+namespace {
 
-  snapshot::SnapshotHeader H;
-  const snapshot::SnapshotError Err =
-      snapshot::readHeader(Bytes.data(), Bytes.size(), H);
-  if (Err != snapshot::SnapshotError::None) {
-    std::fprintf(stderr, "snapshot_inspect: %s: %s\n", FileName.c_str(),
-                 snapshot::snapshotErrorName(Err));
-    return 1;
-  }
-
+int inspectHuman(const std::string &FileName, const snapshot::SnapshotHeader &H) {
   std::printf("%s: sc-snap v%u, %llu bytes\n", FileName.c_str(),
               H.FormatVersion, static_cast<unsigned long long>(H.TotalBytes));
   std::printf("  program identity  %016llx (version %llu)\n",
@@ -81,4 +68,107 @@ int main(int Argc, char **Argv) {
   std::printf("  output            %llu bytes\n",
               static_cast<unsigned long long>(H.OutputBytes));
   return 0;
+}
+
+char HexBuf[17];
+
+const char *hex64(uint64_t V) {
+  std::snprintf(HexBuf, sizeof(HexBuf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return HexBuf;
+}
+
+int inspectJson(const std::string &FileName, const snapshot::SnapshotHeader &H) {
+  metrics::Json O = metrics::Json::object();
+  O.set("file", metrics::Json::string(FileName));
+  O.set("format_version",
+        metrics::Json::number(static_cast<uint64_t>(H.FormatVersion)));
+  O.set("total_bytes", metrics::Json::number(H.TotalBytes));
+  // The identity is a 64-bit hash; emit it as the hex string every other
+  // report uses so consumers never lose bits to double conversion.
+  O.set("code_identity", metrics::Json::string(hex64(H.CodeIdentity)));
+  O.set("code_version", metrics::Json::number(H.CodeVersion));
+  O.set("pc", metrics::Json::number(static_cast<uint64_t>(H.MS.Pc)));
+  O.set("resume", metrics::Json::number(static_cast<uint64_t>(H.Resume)));
+  O.set("fuel_unlimited", metrics::Json::number(static_cast<uint64_t>(
+                              H.MS.FuelRemaining == UINT64_MAX)));
+  if (H.MS.FuelRemaining != UINT64_MAX)
+    O.set("fuel_remaining", metrics::Json::number(H.MS.FuelRemaining));
+  O.set("steps_retired", metrics::Json::number(H.MS.StepsRetired));
+  O.set("slices_retired", metrics::Json::number(H.MS.SlicesRetired));
+  metrics::Json Ds = metrics::Json::object();
+  Ds.set("depth", metrics::Json::number(static_cast<uint64_t>(H.DsDepth)));
+  Ds.set("capacity",
+         metrics::Json::number(static_cast<uint64_t>(H.DsCapacity)));
+  Ds.set("high_water",
+         metrics::Json::number(static_cast<uint64_t>(H.DsHighWater)));
+  O.set("data_stack", std::move(Ds));
+  metrics::Json Rs = metrics::Json::object();
+  Rs.set("depth", metrics::Json::number(static_cast<uint64_t>(H.RsDepth)));
+  Rs.set("capacity",
+         metrics::Json::number(static_cast<uint64_t>(H.RsCapacity)));
+  Rs.set("high_water",
+         metrics::Json::number(static_cast<uint64_t>(H.RsHighWater)));
+  O.set("return_stack", std::move(Rs));
+  O.set("data_space_bytes", metrics::Json::number(H.DataSpaceBytes));
+  O.set("data_prefix_bytes", metrics::Json::number(H.DataPrefixBytes));
+  O.set("here", metrics::Json::number(H.Here));
+  O.set("access_uncapped", metrics::Json::number(static_cast<uint64_t>(
+                               H.AccessibleLimit == UINT64_MAX)));
+  if (H.AccessibleLimit != UINT64_MAX)
+    O.set("access_limit_bytes", metrics::Json::number(H.AccessibleLimit));
+  O.set("output_bytes", metrics::Json::number(H.OutputBytes));
+  std::printf("%s\n", O.dump().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool JsonMode = false;
+  std::string FileName;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      JsonMode = true;
+    else if (FileName.empty())
+      FileName = Argv[I];
+    else
+      FileName.clear(), I = Argc; // two positionals: usage error
+  }
+  if (FileName.empty()) {
+    std::fprintf(stderr, "usage: snapshot_inspect [--json] file.snap\n");
+    return 2;
+  }
+  std::ifstream In(FileName, std::ios::binary);
+  if (!In) {
+    if (JsonMode) {
+      metrics::Json O = metrics::Json::object();
+      O.set("file", metrics::Json::string(FileName));
+      O.set("error", metrics::Json::string("cannot open"));
+      std::printf("%s\n", O.dump().c_str());
+    } else {
+      std::fprintf(stderr, "snapshot_inspect: cannot open %s\n",
+                   FileName.c_str());
+    }
+    return 1;
+  }
+  const std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                                   std::istreambuf_iterator<char>());
+
+  snapshot::SnapshotHeader H;
+  const snapshot::SnapshotError Err =
+      snapshot::readHeader(Bytes.data(), Bytes.size(), H);
+  if (Err != snapshot::SnapshotError::None) {
+    if (JsonMode) {
+      metrics::Json O = metrics::Json::object();
+      O.set("file", metrics::Json::string(FileName));
+      O.set("error", metrics::Json::string(snapshot::snapshotErrorName(Err)));
+      std::printf("%s\n", O.dump().c_str());
+    } else {
+      std::fprintf(stderr, "snapshot_inspect: %s: %s\n", FileName.c_str(),
+                   snapshot::snapshotErrorName(Err));
+    }
+    return 1;
+  }
+  return JsonMode ? inspectJson(FileName, H) : inspectHuman(FileName, H);
 }
