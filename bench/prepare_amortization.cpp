@@ -121,7 +121,7 @@ int main(int argc, char **argv) {
           RunOutcome O = engine::runEngine(E, P.Sys->Prog, Ctx, Opts);
           if (O.Status != RunStatus::Halted) {
             std::fprintf(stderr, "FAIL: %s cold run faulted on %s\n",
-                         prepare::engineIdName(E), P.Name.c_str());
+                         engine::engineName(E), P.Name.c_str());
             ++Failures;
           }
         }
@@ -141,7 +141,7 @@ int main(int argc, char **argv) {
           RunOutcome O = prepare::runPrepared(*PC, Ctx, P.Entry);
           if (O.Status != RunStatus::Halted) {
             std::fprintf(stderr, "FAIL: %s warm run faulted on %s\n",
-                         prepare::engineIdName(E), P.Name.c_str());
+                         engine::engineName(E), P.Name.c_str());
             ++Failures;
           }
         }
@@ -157,7 +157,7 @@ int main(int argc, char **argv) {
         std::fprintf(stderr,
                      "FAIL: %s warm loop performed %llu translations on %s "
                      "(want 0)\n",
-                     prepare::engineIdName(E),
+                     engine::engineName(E),
                      static_cast<unsigned long long>(WarmTrans),
                      P.Name.c_str());
         ++Failures;
@@ -166,7 +166,7 @@ int main(int argc, char **argv) {
         std::fprintf(stderr,
                      "FAIL: %s cache on %s: translations=%llu misses=%llu "
                      "(want exactly 1 each)\n",
-                     prepare::engineIdName(E), P.Name.c_str(),
+                     engine::engineName(E), P.Name.c_str(),
                      static_cast<unsigned long long>(C.Translations),
                      static_cast<unsigned long long>(C.Misses));
         ++Failures;
@@ -180,7 +180,7 @@ int main(int argc, char **argv) {
         std::fprintf(stderr,
                      "FAIL: %s cold loop performed %llu translations on %s "
                      "(want %llu)\n",
-                     prepare::engineIdName(E),
+                     engine::engineName(E),
                      static_cast<unsigned long long>(ColdTrans),
                      P.Name.c_str(),
                      static_cast<unsigned long long>(WantColdTrans));
@@ -200,14 +200,14 @@ int main(int argc, char **argv) {
                     : "-";
 
       auto Row = T.row();
-      Row.cell(std::string("  ") + prepare::engineIdName(E))
+      Row.cell(std::string("  ") + engine::engineName(E))
           .num(ColdNs, 1)
           .num(WarmNs, 1)
           .num(WarmNs > 0 ? ColdNs / WarmNs : 0.0, 2)
           .num(PrepNs, 0)
           .cell(Breakeven);
 
-      const std::string Base = P.Name + "_" + prepare::engineIdName(E);
+      const std::string Base = P.Name + "_" + engine::engineName(E);
       metrics::Json TimingV = metrics::Json::object();
       TimingV.set("cold_ns_per_run", metrics::Json::number(ColdNs));
       TimingV.set("warm_ns_per_run", metrics::Json::number(WarmNs));

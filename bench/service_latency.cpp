@@ -184,7 +184,7 @@ PhaseResult runPhase(const char *Name, ServiceConfig Cfg, uint64_t Jobs,
       auto Drain = [&] {
         for (size_t P = 0; P < Pending.size(); ++P) {
           Frame Resp;
-          if (!Client.awaitResult(Tenant, Pending[P] + 1, Resp,
+          if (!Client.awaitResult(JobTicket{Tenant, Pending[P] + 1}, Resp,
                                   120'000'000'000ULL))
             die(std::string(Name) + ": job never produced a result");
           const Reference &Ref = Refs[Pending[P] % NumVariants];
@@ -206,7 +206,7 @@ PhaseResult runPhase(const char *Name, ServiceConfig Cfg, uint64_t Jobs,
         Frame Resp;
         // Submit until admitted; Rejects consume client retry budget,
         // so a full call() failure just means "ask again".
-        while (!Client.submit(Tenant, I + 1,
+        while (!Client.submit(JobTicket{Tenant, I + 1},
                               VariantSrcs[I % NumVariants], "main", 0, Resp))
           if (nowNs() - Start > 60'000'000'000ULL)
             die(std::string(Name) + ": submit wedged for 60s");

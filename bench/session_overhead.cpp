@@ -122,7 +122,7 @@ int main(int argc, char **argv) {
         RunOutcome O = prepare::runPrepared(*PC, OneCtx, Entry);
         if (O.Status != RunStatus::Halted) {
           std::fprintf(stderr, "FAIL: %s one-shot faulted on %s\n",
-                       prepare::engineIdName(E), W[WI].Name);
+                       engine::engineName(E), W[WI].Name);
           ++Failures;
         }
       };
@@ -151,7 +151,7 @@ int main(int argc, char **argv) {
           session::SessionResult R = S.run(Entry);
           if (R.Stop != session::StopKind::Halted) {
             std::fprintf(stderr, "FAIL: %s sessioned run stopped (%s) on %s\n",
-                         prepare::engineIdName(E), stopKindName(R.Stop),
+                         engine::engineName(E), stopKindName(R.Stop),
                          W[WI].Name);
             ++Failures;
           }
@@ -168,7 +168,7 @@ int main(int argc, char **argv) {
           std::fprintf(stderr,
                        "FAIL: %s sessioned run diverged on %s at slice %llu "
                        "(steps %llu vs %llu)\n",
-                       prepare::engineIdName(E), W[WI].Name,
+                       engine::engineName(E), W[WI].Name,
                        static_cast<unsigned long long>(Slice),
                        static_cast<unsigned long long>(R.Outcome.Steps),
                        static_cast<unsigned long long>(OneShot.Steps));
@@ -181,7 +181,7 @@ int main(int argc, char **argv) {
           std::fprintf(stderr,
                        "FAIL: %s made %llu slices on %s at slice %llu "
                        "(want %s%llu)\n",
-                       prepare::engineIdName(E),
+                       engine::engineName(E),
                        static_cast<unsigned long long>(R.Slices), W[WI].Name,
                        static_cast<unsigned long long>(Slice),
                        engine::isStaticEngine(E) ? "<= " : "",
@@ -200,7 +200,7 @@ int main(int argc, char **argv) {
           std::fprintf(stderr,
                        "FAIL: %s slice loop performed %llu allocations on %s "
                        "at slice %llu (want 0)\n",
-                       prepare::engineIdName(E),
+                       engine::engineName(E),
                        static_cast<unsigned long long>(Allocs), W[WI].Name,
                        static_cast<unsigned long long>(Slice));
           ++Failures;
@@ -216,12 +216,12 @@ int main(int argc, char **argv) {
         std::fprintf(stderr,
                      "FAIL: %s sessioned run is %.1fx one-shot on %s at the "
                      "default slice (bound 10x)\n",
-                     prepare::engineIdName(E), Ratio, W[WI].Name);
+                     engine::engineName(E), Ratio, W[WI].Name);
         ++Failures;
       }
 
       auto Row = T.row();
-      Row.cell(std::string("  ") + prepare::engineIdName(E))
+      Row.cell(std::string("  ") + engine::engineName(E))
           .num(static_cast<double>(OneShot.Steps), 0)
           .num(Base.MinNs, 0)
           .num(SessNs[0], 0)
@@ -231,7 +231,7 @@ int main(int argc, char **argv) {
           .num(static_cast<double>(SlicesAtSmallest), 0);
 
       const std::string BaseKey =
-          std::string(W[WI].Name) + "_" + prepare::engineIdName(E);
+          std::string(W[WI].Name) + "_" + engine::engineName(E);
       metrics::Json TimingV = metrics::Json::object();
       TimingV.set("oneshot_ns", metrics::Json::number(Base.MinNs));
       TimingV.set("session_ns_slice64", metrics::Json::number(SessNs[0]));

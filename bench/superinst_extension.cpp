@@ -55,25 +55,31 @@ int main(int argc, char **argv) {
     uint32_t E0 = Sys->entryOf("main");
     uint32_t E1 = C.Combined.findWord("main")->Entry;
 
+    engine::RunOptions Opt0;
+    Opt0.Entry = E0;
+    engine::RunOptions Opt1;
+    Opt1.Entry = E1;
     Vm V0 = Sys->Machine;
     ExecContext X0(Sys->Prog, V0);
-    RunOutcome O0 = dispatch::runThreadedEngine(X0, E0);
+    RunOutcome O0 =
+        engine::runEngine(engine::EngineId::Threaded, Sys->Prog, X0, Opt0);
     Vm V1 = Sys->Machine;
     ExecContext X1(C.Combined, V1);
-    RunOutcome O1 = dispatch::runThreadedEngine(X1, E1);
+    RunOutcome O1 =
+        engine::runEngine(engine::EngineId::Threaded, C.Combined, X1, Opt1);
 
     metrics::TimingStats TBase = metrics::timeRuns(
         [&] {
           Vm V = Sys->Machine;
           ExecContext X(Sys->Prog, V);
-          dispatch::runThreadedEngine(X, E0);
+          engine::runEngine(engine::EngineId::Threaded, Sys->Prog, X, Opt0);
         },
         Reps);
     metrics::TimingStats TSuper = metrics::timeRuns(
         [&] {
           Vm V = Sys->Machine;
           ExecContext X(C.Combined, V);
-          dispatch::runThreadedEngine(X, E1);
+          engine::runEngine(engine::EngineId::Threaded, C.Combined, X, Opt1);
         },
         Reps);
     staticcache::SpecProgram SP = staticcache::compileStatic(C.Combined);

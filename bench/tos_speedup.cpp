@@ -57,7 +57,10 @@ void runWorkload(benchmark::State &State, size_t Idx,
     Copy = Sys.Machine;
     ExecContext Ctx(Sys.Prog, Copy);
     State.ResumeTiming();
-    RunOutcome O = dispatch::runEngine(K, Ctx, Entry);
+    engine::RunOptions Opts;
+    Opts.Entry = Entry;
+    RunOutcome O =
+        engine::runEngine(dispatch::engineIdOf(K), Sys.Prog, Ctx, Opts);
     benchmark::DoNotOptimize(O.Steps);
     Insts += O.Steps;
   }

@@ -40,7 +40,7 @@ int main() {
                  dispatch::EngineKind::ThreadedTos}) {
     forth::RunReport R = Sys->runIsolated("main", K);
     std::printf("%-14s -> %s (%llu instructions): %s",
-                dispatch::engineName(K), runStatusName(R.Outcome.Status),
+                engine::engineName(dispatch::engineIdOf(K)), runStatusName(R.Outcome.Status),
                 static_cast<unsigned long long>(R.Outcome.Steps),
                 R.Output.c_str());
   }

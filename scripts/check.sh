@@ -92,6 +92,14 @@ if [ "$MODE" = bench-smoke ]; then
   echo "==== register-backend comparison contracts"
   SC_BENCH_SMOKE=1 "$BUILD"/bench/regvm_comparison > /dev/null
   echo "register-backend contracts held (exact output, >=25% fewer dispatches per step on manip code)"
+  # Rebalancing contracts: every migrated result is field-for-field the
+  # unmigrated run's, admission/completion is exactly-once in both
+  # phases, and rebalancing-on sheds strictly less of the skewed burst
+  # load than rebalancing-off (the shed-rate win is structural: half of
+  # every burst has nowhere to go when live jobs cannot move).
+  echo "==== cross-shard rebalancing contracts"
+  SC_BENCH_SMOKE=1 "$BUILD"/bench/service_rebalance > /dev/null
+  echo "rebalancing contracts held (exactly-once across moves, lower shed rate than static placement)"
   "$(dirname "$0")"/bench.sh --smoke --self-check "$BUILD"
 elif [ "$MODE" = service-smoke ]; then
   BUILD="${1:-build}"
@@ -108,6 +116,15 @@ elif [ "$MODE" = service-smoke ]; then
   echo "==== service smoke: TCP run under chaos + shard kills"
   "$BUILD"/tools/loadgen --jobs 600 --clients 4 --tcp --chaos > /dev/null
   echo "socket chaos run held (torn frames rejected, results exact)"
+  echo "==== service smoke: skewed load with cross-shard rebalancing"
+  "$BUILD"/tools/loadgen --jobs 900 --migrate > /dev/null
+  echo "rebalanced run held (rebalancer fired, exactly-once across moves)"
+  echo "==== service smoke: live cross-process migration to a peer"
+  "$BUILD"/tools/loadgen --jobs 900 --peer > /dev/null
+  echo "peer run held (migration ledger balanced, results exact)"
+  echo "==== service smoke: cross-process migration under chaos + kills"
+  "$BUILD"/tools/loadgen --jobs 400 --clients 3 --peer --chaos > /dev/null
+  echo "chaos migration held (torn commits resolved exactly once)"
 elif [ "$MODE" = sanitize ]; then
   if [ "$SAN_KINDS" = thread ]; then
     BUILD="${1:-build-tsan}"

@@ -14,6 +14,7 @@
 #include "dispatch/EngineRegistry.h"
 
 #include "dispatch/Engines.h"
+#include "dispatch/EnginesInternal.h"
 #include "dynamic/Dynamic3Engine.h"
 #include "dynamic/ModelInterpreter.h"
 #include "prepare/Prepare.h"

@@ -44,58 +44,23 @@ enum class EngineKind {
   ThreadedTos,
 };
 
-/// Human-readable engine name.
-/// \deprecated Thin wrapper over the registry; use engine::engineName.
-inline const char *engineName(EngineKind K) {
-  return engine::engineName(static_cast<engine::EngineId>(K));
+/// The registry id a reference-engine kind maps to (the enum values
+/// coincide by construction; this spells the contract out).
+inline engine::EngineId engineIdOf(EngineKind K) {
+  return static_cast<engine::EngineId>(K);
 }
 
-/// \name Single-shot entry points
-/// \deprecated Thin wrappers kept for one PR: they translate into
-/// ExecContext scratch on every call and read the step budget and
-/// resume flag out of the context. New code goes through
-/// engine::runEngine, whose RunOptions folds those knobs (and the
-/// prepared-stream handle) explicitly.
-/// @{
-
-/// Switch dispatch (Fig. 2): one big switch in a loop; virtual machine
-/// registers live in locals.
-vm::RunOutcome runSwitchEngine(vm::ExecContext &Ctx, uint32_t Entry);
-
-/// Direct threading (Fig. 8): instructions are label addresses, dispatch
-/// is "goto *ip++". Requires GNU C labels-as-values.
-vm::RunOutcome runThreadedEngine(vm::ExecContext &Ctx, uint32_t Entry);
-
-/// Direct call threading (Fig. 3): every primitive is a function, the VM
-/// registers live in static storage (this is exactly why the paper finds
-/// the technique slow). Not reentrant; single-threaded use only.
-vm::RunOutcome runCallThreadedEngine(vm::ExecContext &Ctx, uint32_t Entry);
-
-/// Direct threading with the top of stack cached in a register (Fig. 12).
-vm::RunOutcome runThreadedTosEngine(vm::ExecContext &Ctx, uint32_t Entry);
-
-/// Runs the engine selected by \p K.
-/// \deprecated Thin wrapper over the registry's normalized entry point;
-/// forwards the context's step budget and resume flag so callers that
-/// set those fields directly keep their behavior.
-inline vm::RunOutcome runEngine(EngineKind K, vm::ExecContext &Ctx,
-                                uint32_t Entry) {
-  engine::RunOptions Opts;
-  Opts.Entry = Entry;
-  Opts.MaxSteps = Ctx.MaxSteps;
-  Opts.Resume = Ctx.Resume;
-  return engine::runEngine(static_cast<engine::EngineId>(K), *Ctx.Prog, Ctx,
-                           Opts);
-}
-
-/// @}
+// The single-shot entry points (runSwitchEngine & co.) moved to
+// EnginesInternal.h: they are the implementations the registry wraps,
+// not API. All external dispatching — including by EngineKind — goes
+// through engine::runEngine / engine::engineName with engineIdOf(K).
 
 /// \name Two-phase (prepare once, run many) entry points
 ///
 /// A prepared stream is the engine's [dispatch, operand] two-cell form
 /// with static branch/call operands pre-resolved to threaded offsets
-/// (vm::translateStream). The single-shot entry points above are now thin
-/// wrappers that translate into ExecContext::StreamScratch and run; the
+/// (vm::translateStream). The single-shot entry points (EnginesInternal.h)
+/// are thin wrappers that translate into ExecContext::StreamScratch and run; the
 /// prepare subsystem (src/prepare) translates once per (Code, engine) and
 /// reuses the stream across runs and contexts. The handler exporters fill
 /// \p Out with one dispatch cell per opcode — label addresses for the

@@ -1,0 +1,51 @@
+//===-- dispatch/EnginesInternal.h - Single-shot entry points --*- C++ -*-===//
+//
+// Part of the stackcache project: a reproduction of "Stack Caching for
+// Interpreters" (M. A. Ertl, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The raw single-shot entry points of the four reference engines:
+/// translate into ExecContext scratch, run once, read the step budget and
+/// resume flag out of the context. These are the *implementations* the
+/// engine registry's rows wrap — in-tree plumbing, not API. Everything
+/// outside the VM core goes through engine::runEngine (EngineRegistry.h),
+/// whose RunOptions carries those knobs explicitly and which can reuse a
+/// prepared translation. The in-tree callers that belong here:
+///
+///   * EngineRegistry.cpp — the registry rows for the reference engines;
+///   * the engine .cpp files — their own definitions;
+///   * forth/Compiler.cpp — the compile-time interpreter runs snippets
+///     on the switch engine before any registry exists;
+///   * prepare/Prepare.cpp — runPrepared's switch-engine row (the switch
+///     engine dispatches straight off Code, there is no stream to run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_DISPATCH_ENGINESINTERNAL_H
+#define SC_DISPATCH_ENGINESINTERNAL_H
+
+#include "vm/ExecContext.h"
+
+namespace sc::dispatch {
+
+/// Switch dispatch (Fig. 2): one big switch in a loop; virtual machine
+/// registers live in locals.
+vm::RunOutcome runSwitchEngine(vm::ExecContext &Ctx, uint32_t Entry);
+
+/// Direct threading (Fig. 8): instructions are label addresses, dispatch
+/// is "goto *ip++". Requires GNU C labels-as-values.
+vm::RunOutcome runThreadedEngine(vm::ExecContext &Ctx, uint32_t Entry);
+
+/// Direct call threading (Fig. 3): every primitive is a function, the VM
+/// registers live in static storage (this is exactly why the paper finds
+/// the technique slow). Not reentrant; single-threaded use only.
+vm::RunOutcome runCallThreadedEngine(vm::ExecContext &Ctx, uint32_t Entry);
+
+/// Direct threading with the top of stack cached in a register (Fig. 12).
+vm::RunOutcome runThreadedTosEngine(vm::ExecContext &Ctx, uint32_t Entry);
+
+} // namespace sc::dispatch
+
+#endif // SC_DISPATCH_ENGINESINTERNAL_H

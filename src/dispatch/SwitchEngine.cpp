@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dispatch/Engines.h"
+#include "dispatch/EnginesInternal.h"
 #include "dispatch/SwitchEngineImpl.h"
 
 using namespace sc;

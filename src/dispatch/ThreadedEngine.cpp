@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dispatch/Engines.h"
+#include "dispatch/EnginesInternal.h"
 
 #include "metrics/Counters.h"
 #include "support/Assert.h"

@@ -30,8 +30,11 @@ RunReport System::runIsolated(const std::string &Name,
   Copy.resetOutput();
   ExecContext Ctx(Prog, Copy);
   Ctx.MaxSteps = MaxSteps;
+  engine::RunOptions Opts;
+  Opts.Entry = W->Entry;
+  Opts.MaxSteps = MaxSteps;
   RunReport R;
-  R.Outcome = dispatch::runEngine(K, Ctx, W->Entry);
+  R.Outcome = engine::runEngine(dispatch::engineIdOf(K), Prog, Ctx, Opts);
   R.Output = Copy.Out;
   R.DS.assign(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
   return R;
@@ -43,7 +46,10 @@ RunOutcome System::runInPlace(const std::string &Name, dispatch::EngineKind K,
   SC_ASSERT(W, "word not found");
   ExecContext Ctx(Prog, Machine);
   Ctx.MaxSteps = MaxSteps;
-  return dispatch::runEngine(K, Ctx, W->Entry);
+  engine::RunOptions Opts;
+  Opts.Entry = W->Entry;
+  Opts.MaxSteps = MaxSteps;
+  return engine::runEngine(dispatch::engineIdOf(K), Prog, Ctx, Opts);
 }
 
 std::unique_ptr<System> sc::forth::loadOrDie(std::string_view Src) {

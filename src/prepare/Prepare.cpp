@@ -8,6 +8,7 @@
 #include "prepare/Prepare.h"
 
 #include "dispatch/Engines.h"
+#include "dispatch/EnginesInternal.h"
 #include "dynamic/Dynamic3Engine.h"
 #include "dynamic/ModelInterpreter.h"
 #include "regvm/RegVm.h"

@@ -46,9 +46,6 @@ using EngineId = engine::EngineId;
 inline constexpr unsigned NumEngineIds = engine::NumEngineIds;
 
 /// Human-readable engine-flavor name.
-/// \deprecated Alias for engine::engineName, kept for one PR.
-inline const char *engineIdName(EngineId E) { return engine::engineName(E); }
-
 /// Knobs for the prepare pass.
 struct PrepareOptions {
   /// Run superinstruction fusion (src/superinst) over the program before

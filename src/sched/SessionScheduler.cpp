@@ -311,6 +311,23 @@ snapshot::SnapshotError SessionScheduler::adoptCheckpoint(Job *J,
   J->Aggregate = session::SessionResult{};
   J->Aggregate.Outcome.Steps = MS.StepsRetired;
   J->Aggregate.Slices = MS.SlicesRetired;
+  if (Cfg.Tier && MS.HeatSteps) {
+    // The v2 sidecar carries the heat the program had earned wherever
+    // the snapshot was taken. Credit only the shortfall: a re-adoption
+    // on the same controller (or a controller that already knows this
+    // identity) must not double-count.
+    const uint64_t Identity = J->Sess->prepared().SourceIdentity;
+    const uint64_t Known = Cfg.Tier->heatSteps(Identity);
+    if (MS.HeatSteps > Known)
+      Cfg.Tier->seedSteps(Identity, MS.HeatSteps - Known);
+    // Take the earned tier right now if its translation is ready; the
+    // job is idle, so any rung (up to the migratable cap) is enterable.
+    unsigned NewTier;
+    if (auto Hot = Cfg.Tier->pollMigration(Identity, J->TierIdx, &NewTier)) {
+      J->Sess->migrateTo(std::move(Hot));
+      J->TierIdx = NewTier;
+    }
+  }
   return snapshot::SnapshotError::None;
 }
 
@@ -563,6 +580,10 @@ void SessionScheduler::workerLoop() {
       // Hotness reporting: cheap map update; any re-preparation it
       // triggers runs on the controller's background worker.
       Cfg.Tier->recordSteps(*J->Prog, J->TierIdx, R.Outcome.Steps);
+      // Stamp the session's tier sidecar so the next checkpoint carries
+      // the earned heat and rung — a migrating adopter seeds from them.
+      J->Sess->noteTierState(
+          Cfg.Tier->heatSteps(J->Sess->prepared().SourceIdentity), J->TierIdx);
       if (R.Stop == session::StopKind::Fault && R.Replayed &&
           R.Verdict == session::Confirmation::Confirmed && J->TierIdx > 0) {
         // A confirmed fault on a promoted tier: pin the program cold so

@@ -7,6 +7,8 @@
 
 #include "service/Client.h"
 
+#include "service/Service.h"
+
 #include <algorithm>
 #include <chrono>
 #include <thread>
@@ -173,14 +175,13 @@ bool ServiceClient::call(const Frame &Req, Frame &Resp,
   return false;
 }
 
-bool ServiceClient::submit(const std::string &Tenant, uint64_t Token,
-                           const std::string &Source, const std::string &Word,
-                           uint8_t Engine, Frame &Resp, uint64_t FuelSteps,
+bool ServiceClient::submit(const JobTicket &T, const std::string &Source,
+                           const std::string &Word, uint8_t Engine,
+                           Frame &Resp, uint64_t FuelSteps,
                            uint64_t OpDeadlineNs) {
   Frame Req;
   Req.Type = FrameType::SubmitReq;
-  Req.Tenant = Tenant;
-  Req.Token = Token;
+  Req.setTicket(T);
   Req.Source = Source;
   Req.Word = Word;
   Req.Engine = Engine;
@@ -191,13 +192,12 @@ bool ServiceClient::submit(const std::string &Tenant, uint64_t Token,
   return call(Req, Resp, OpDeadlineNs);
 }
 
-bool ServiceClient::awaitResult(const std::string &Tenant, uint64_t Token,
-                                Frame &Resp, uint64_t OpDeadlineNs) {
+bool ServiceClient::awaitResult(const JobTicket &T, Frame &Resp,
+                                uint64_t OpDeadlineNs) {
   const uint64_t Start = nowNs();
   Frame Req;
   Req.Type = FrameType::PollReq;
-  Req.Tenant = Tenant;
-  Req.Token = Token;
+  Req.setTicket(T);
   for (;;) {
     uint64_t Budget = 0;
     if (OpDeadlineNs) {
@@ -218,12 +218,10 @@ bool ServiceClient::awaitResult(const std::string &Tenant, uint64_t Token,
   }
 }
 
-bool ServiceClient::cancel(const std::string &Tenant, uint64_t Token,
-                           Frame &Resp) {
+bool ServiceClient::cancel(const JobTicket &T, Frame &Resp) {
   Frame Req;
   Req.Type = FrameType::CancelReq;
-  Req.Tenant = Tenant;
-  Req.Token = Token;
+  Req.setTicket(T);
   return call(Req, Resp);
 }
 
@@ -231,4 +229,94 @@ bool ServiceClient::stats(Frame &Resp) {
   Frame Req;
   Req.Type = FrameType::StatsReq;
   return call(Req, Resp);
+}
+
+//===----------------------------------------------------------------------===//
+// Migration driver
+//===----------------------------------------------------------------------===//
+
+bool ServiceClient::offerMigration(const Frame &Offer, Frame &Resp,
+                                   uint64_t OpDeadlineNs) {
+  Frame Req = Offer;
+  Req.Type = FrameType::MigrateOffer;
+  if (!call(Req, Resp, OpDeadlineNs))
+    return false;
+  return Resp.Type == FrameType::MigrateAccept && Resp.Accepted == 1;
+}
+
+bool ServiceClient::commitMigration(const JobTicket &T, Frame &Resp,
+                                    uint64_t OpDeadlineNs) {
+  const uint64_t Start = nowNs();
+  Frame Req;
+  Req.Type = FrameType::MigrateCommit;
+  Req.setTicket(T);
+  // MigrateCommit is idempotent on the ticket: the first one activates,
+  // every later one polls. So this loop is awaitResult with commit
+  // frames — re-sending never double-runs the job.
+  for (;;) {
+    uint64_t Budget = 0;
+    if (OpDeadlineNs) {
+      const uint64_t Elapsed = nowNs() - Start;
+      if (Elapsed >= OpDeadlineNs)
+        return false;
+      Budget = OpDeadlineNs - Elapsed;
+    }
+    if (!call(Req, Resp, Budget))
+      return false;
+    if (Resp.Type == FrameType::Result)
+      return true;
+    if (Resp.Type != FrameType::Pending)
+      return false; // Error or Reject; Resp says why
+    const uint64_t Sleep =
+        Policy.PollIntervalNs / 2 + Jitter.below(Policy.PollIntervalNs / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(Sleep));
+  }
+}
+
+MigrateOutcome sc::service::migrateJob(ServiceFrontEnd &Source,
+                                       ServiceClient &Peer, const JobTicket &T,
+                                       uint64_t OpDeadlineNs) {
+  Frame Offer;
+  if (!Source.extractForMigration(T, Offer))
+    return MigrateOutcome::RanLocally;
+
+  // The job is now escrowed on the source: nothing runs anywhere until
+  // either the peer's commit activates it or abandonMigration re-admits
+  // it locally. Abandon is safe up to (and including) a definitively
+  // refused commit, because an inert adoption never executes.
+  const auto Abandon = [&]() -> MigrateOutcome {
+    for (int Tries = 0; Tries < 1000; ++Tries) {
+      if (Source.abandonMigration(T))
+        return MigrateOutcome::Abandoned;
+      // Home shard mid-kill (or shutdown racing us): wait it out.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return MigrateOutcome::Torn;
+  };
+
+  Frame Resp;
+  if (!Peer.offerMigration(Offer, Resp, OpDeadlineNs)) {
+    // Refused, errored, or silent. Even if the offer actually landed and
+    // only the accept was lost, the adoption is inert — no commit will
+    // ever come from anyone but us — so abandoning is safe.
+    return Abandon();
+  }
+
+  Frame Result;
+  if (Peer.commitMigration(T, Result, OpDeadlineNs)) {
+    Source.completeMigration(T, Result);
+    return MigrateOutcome::Completed;
+  }
+  // A definitive refusal means the peer provably did not activate the
+  // job: UnknownMigration (offer lost), Shutdown (gates closed before
+  // activation), or a Reject (admission bounced it). All safe to
+  // abandon. Anything else — transport silence after commits started
+  // flowing — is ambiguous: the job may be running remotely, so the only
+  // safe move is to leave it escrowed and let the caller retry.
+  if ((Result.Type == FrameType::Error &&
+       (Result.Err == ServiceError::UnknownMigration ||
+        Result.Err == ServiceError::Shutdown)) ||
+      Result.Type == FrameType::Reject)
+    return Abandon();
+  return MigrateOutcome::Torn;
 }

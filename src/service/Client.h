@@ -25,9 +25,14 @@
 ///     budget in the frame so the server stops jobs whose client has
 ///     already given up.
 ///
-/// Retrying a Submit is safe by construction: the (tenant, token) key
-/// makes the server attach duplicates to the original job, so "at least
-/// once" transport delivery composes into exactly-once execution.
+/// Retrying a Submit is safe by construction: the JobTicket key makes
+/// the server attach duplicates to the original job, so "at least once"
+/// transport delivery composes into exactly-once execution.
+///
+/// migrateJob() drives a live cross-process migration end to end:
+/// extract from the source front end, MigrateOffer/MigrateCommit against
+/// the peer, and exactly one of completeMigration / abandonMigration so
+/// the job finishes exactly once no matter where the handshake tears.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -92,18 +97,50 @@ public:
   /// Submit sugar. Forwards the remaining operation deadline (when one
   /// is set) in the frame's DeadlineNs, propagating the client's
   /// patience to the scheduler's per-job deadline enforcement.
-  bool submit(const std::string &Tenant, uint64_t Token,
-              const std::string &Source, const std::string &Word,
-              uint8_t Engine, Frame &Resp, uint64_t FuelSteps = UINT64_MAX,
-              uint64_t OpDeadlineNs = 0);
+  bool submit(const JobTicket &T, const std::string &Source,
+              const std::string &Word, uint8_t Engine, Frame &Resp,
+              uint64_t FuelSteps = UINT64_MAX, uint64_t OpDeadlineNs = 0);
 
   /// Polls until Result (true), a non-retryable Error (false, Resp is
   /// the Error), or the deadline/budget runs dry (false).
-  bool awaitResult(const std::string &Tenant, uint64_t Token, Frame &Resp,
+  bool awaitResult(const JobTicket &T, Frame &Resp,
                    uint64_t OpDeadlineNs = 0);
 
-  bool cancel(const std::string &Tenant, uint64_t Token, Frame &Resp);
+  bool cancel(const JobTicket &T, Frame &Resp);
   bool stats(Frame &Resp);
+
+  /// \deprecated One-PR raw-pair aliases of the JobTicket surface (the
+  /// PR 9 spellings). Deleted next PR.
+  [[deprecated("use the JobTicket overload")]] bool
+  submit(const std::string &Tenant, uint64_t Token, const std::string &Source,
+         const std::string &Word, uint8_t Engine, Frame &Resp,
+         uint64_t FuelSteps = UINT64_MAX, uint64_t OpDeadlineNs = 0) {
+    return submit(JobTicket(Tenant, Token), Source, Word, Engine, Resp,
+                  FuelSteps, OpDeadlineNs);
+  }
+  [[deprecated("use the JobTicket overload")]] bool
+  awaitResult(const std::string &Tenant, uint64_t Token, Frame &Resp,
+              uint64_t OpDeadlineNs = 0) {
+    return awaitResult(JobTicket(Tenant, Token), Resp, OpDeadlineNs);
+  }
+  [[deprecated("use the JobTicket overload")]] bool
+  cancel(const std::string &Tenant, uint64_t Token, Frame &Resp) {
+    return cancel(JobTicket(Tenant, Token), Resp);
+  }
+
+  /// Sends a prepared MigrateOffer frame (from ServiceFrontEnd::
+  /// extractForMigration). True only when the peer adopted the job
+  /// (MigrateAccept with Accepted=1); \p Resp holds the reply either
+  /// way, so a refusal's retry hint or typed error is inspectable.
+  bool offerMigration(const Frame &Offer, Frame &Resp,
+                      uint64_t OpDeadlineNs = 0);
+
+  /// Activates the adopted job and polls the idempotent MigrateCommit
+  /// until the peer hands back the final Result (true). False on a
+  /// typed refusal (Resp is the Error/Reject — UnknownMigration means
+  /// the offer was lost and abandoning is safe) or a spent deadline.
+  bool commitMigration(const JobTicket &T, Frame &Resp,
+                       uint64_t OpDeadlineNs = 0);
 
   const ClientStats &clientStats() const { return Stats; }
   const RetryPolicy &policy() const { return Policy; }
@@ -124,6 +161,30 @@ private:
   uint64_t NextRequestId;
   ClientStats Stats;
 };
+
+class ServiceFrontEnd;
+
+/// How a migrateJob() drive ended. Every outcome leaves the job with
+/// exactly one owner; only Torn leaves it parked on the source (escrowed
+/// checkpoint, polls answer Pending) for a later retry.
+enum class MigrateOutcome {
+  Completed,  ///< peer ran it; result landed via completeMigration
+  RanLocally, ///< not extractable (job finished or was cancelled first);
+              ///< it completes on the source like any other job
+  Abandoned,  ///< peer refused or lost the offer; re-adopted locally
+  Torn,       ///< no definitive answer within the deadline; the job
+              ///< stays escrowed — retry migrateJob or abandon later
+};
+
+/// Drives one job's live migration: extract it from \p Source at its
+/// next slice boundary, offer + commit it to the peer behind \p Peer,
+/// then resolve the source record (completeMigration on success,
+/// abandonMigration whenever that is provably safe). Abandon only ever
+/// happens before a commit could have activated the job remotely, so no
+/// tear can execute the job twice. \p OpDeadlineNs (0 = none) bounds
+/// each peer call, not the whole drive.
+MigrateOutcome migrateJob(ServiceFrontEnd &Source, ServiceClient &Peer,
+                          const JobTicket &T, uint64_t OpDeadlineNs = 0);
 
 } // namespace sc::service
 

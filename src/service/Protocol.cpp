@@ -17,9 +17,17 @@ using namespace sc::service;
 namespace {
 
 constexpr uint8_t Magic[4] = {'S', 'C', 'W', '1'};
-constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t FormatVersionV1 = 1;
+constexpr uint32_t FormatVersionV2 = 2;
 constexpr size_t ChecksumBytes = 8;
 constexpr size_t MinFrameBytes = FramePrefixBytes + ChecksumBytes;
+
+/// Per-frame version negotiation: the PR 9 types stay byte-identical v1
+/// frames (a v1-only peer keeps working until it meets a migration
+/// frame), the migration family is v2-only.
+uint32_t versionFor(FrameType T) {
+  return isMigrateFrame(T) ? FormatVersionV2 : FormatVersionV1;
+}
 
 //===----------------------------------------------------------------------===//
 // Little-endian writer (same conventions as src/snapshot)
@@ -39,6 +47,12 @@ void putStr(std::vector<uint8_t> &Out, const std::string &S) {
   SC_ASSERT(S.size() <= MaxStringBytes, "string exceeds the protocol cap");
   put32(Out, static_cast<uint32_t>(S.size()));
   Out.insert(Out.end(), S.begin(), S.end());
+}
+
+void putBlob(std::vector<uint8_t> &Out, const std::vector<uint8_t> &B) {
+  SC_ASSERT(B.size() <= MaxStringBytes, "blob exceeds the protocol cap");
+  put32(Out, static_cast<uint32_t>(B.size()));
+  Out.insert(Out.end(), B.begin(), B.end());
 }
 
 uint32_t get32(const uint8_t *P) {
@@ -102,6 +116,20 @@ struct Reader {
     P += N;
     return S;
   }
+  std::vector<uint8_t> blob() {
+    const uint32_t N = u32();
+    if (Err != ServiceError::None)
+      return {};
+    if (N > MaxStringBytes) {
+      Err = ServiceError::Oversized;
+      return {};
+    }
+    if (!need(N))
+      return {};
+    std::vector<uint8_t> B(P, P + N);
+    P += N;
+    return B;
+  }
   bool done() const { return Err == ServiceError::None && P == End; }
 };
 
@@ -137,6 +165,14 @@ const char *sc::service::serviceErrorName(ServiceError E) {
     return "engine not servable";
   case ServiceError::Shutdown:
     return "service shutting down";
+  case ServiceError::BadSnapshot:
+    return "snapshot failed to validate";
+  case ServiceError::MigrateRefused:
+    return "migration refused";
+  case ServiceError::UnknownMigration:
+    return "unknown migration ticket";
+  case ServiceError::BadConfig:
+    return "invalid service configuration";
   }
   sc::unreachable("bad service error");
 }
@@ -179,6 +215,12 @@ const char *sc::service::frameTypeName(FrameType T) {
     return "error";
   case FrameType::StatsReply:
     return "stats-reply";
+  case FrameType::MigrateOffer:
+    return "migrate-offer";
+  case FrameType::MigrateAccept:
+    return "migrate-accept";
+  case FrameType::MigrateCommit:
+    return "migrate-commit";
   }
   sc::unreachable("bad frame type");
 }
@@ -209,9 +251,10 @@ uint64_t sc::service::frameChecksum(const uint8_t *Data, size_t N) {
 std::vector<uint8_t> sc::service::encodeFrame(const Frame &F) {
   std::vector<uint8_t> Out;
   Out.reserve(64 + F.Tenant.size() + F.Source.size() + F.Word.size() +
-              F.Output.size() + F.Detail.size() + F.StatsJson.size());
+              F.Output.size() + F.Detail.size() + F.StatsJson.size() +
+              F.Snapshot.size());
   Out.insert(Out.end(), Magic, Magic + 4);
-  put32(Out, FormatVersion);
+  put32(Out, versionFor(F.Type));
   put32(Out, 0); // length prefix, patched below
   Out.push_back(static_cast<uint8_t>(F.Type));
   Out.push_back(0);
@@ -264,6 +307,27 @@ std::vector<uint8_t> sc::service::encodeFrame(const Frame &F) {
   case FrameType::StatsReply:
     putStr(Out, F.StatsJson);
     break;
+  case FrameType::MigrateOffer:
+    putStr(Out, F.Tenant);
+    put64(Out, F.Token);
+    put64(Out, F.DeadlineNs);
+    put64(Out, F.FuelSteps);
+    Out.push_back(F.Engine);
+    putStr(Out, F.Source);
+    putStr(Out, F.Word);
+    put64(Out, F.HeatSteps);
+    put32(Out, F.TierRung);
+    putBlob(Out, F.Snapshot);
+    break;
+  case FrameType::MigrateAccept:
+    put64(Out, F.Token);
+    Out.push_back(F.Accepted);
+    put64(Out, F.RetryAfterNs);
+    break;
+  case FrameType::MigrateCommit:
+    putStr(Out, F.Tenant);
+    put64(Out, F.Token);
+    break;
   }
 
   const uint32_t Total = static_cast<uint32_t>(Out.size() + ChecksumBytes);
@@ -280,7 +344,8 @@ ServiceError sc::service::decodeFrame(const uint8_t *Data, size_t N,
     return ServiceError::Truncated;
   if (std::memcmp(Data, Magic, 4) != 0)
     return ServiceError::BadMagic;
-  if (get32(Data + 4) != FormatVersion)
+  const uint32_t Version = get32(Data + 4);
+  if (Version != FormatVersionV1 && Version != FormatVersionV2)
     return ServiceError::BadVersion;
   const uint32_t Total = get32(Data + 8);
   if (Total > MaxFrameBytes)
@@ -294,8 +359,14 @@ ServiceError sc::service::decodeFrame(const uint8_t *Data, size_t N,
 
   const uint8_t TypeByte = Data[12];
   if (TypeByte < static_cast<uint8_t>(FrameType::SubmitReq) ||
-      TypeByte > static_cast<uint8_t>(FrameType::StatsReply))
+      TypeByte > static_cast<uint8_t>(FrameType::MigrateCommit))
     return ServiceError::BadFrameType;
+  // Version negotiation: a migration frame stamped v1 is a peer speaking
+  // a protocol it does not have — reject it the same way a v1 build
+  // rejects the unknown version, so both sides see BadVersion.
+  if (isMigrateFrame(static_cast<FrameType>(TypeByte)) &&
+      Version < FormatVersionV2)
+    return ServiceError::BadVersion;
 
   Frame F;
   F.Type = static_cast<FrameType>(TypeByte);
@@ -359,13 +430,41 @@ ServiceError sc::service::decodeFrame(const uint8_t *Data, size_t N,
     const uint8_t E = R.u8();
     F.Detail = R.str();
     if (R.Err == ServiceError::None &&
-        E > static_cast<uint8_t>(ServiceError::Shutdown))
+        E > static_cast<uint8_t>(ServiceError::BadConfig))
       R.Err = ServiceError::BadFieldValue;
     F.Err = static_cast<ServiceError>(E);
     break;
   }
   case FrameType::StatsReply:
     F.StatsJson = R.str();
+    break;
+  case FrameType::MigrateOffer:
+    F.Tenant = R.str();
+    F.Token = R.u64();
+    F.DeadlineNs = R.u64();
+    F.FuelSteps = R.u64();
+    F.Engine = R.u8();
+    F.Source = R.str();
+    F.Word = R.str();
+    F.HeatSteps = R.u64();
+    F.TierRung = R.u32();
+    F.Snapshot = R.blob();
+    // The rung indexes a promotion ladder (at most one rung per engine);
+    // anything bigger is a corrupted or hostile field, not a ladder any
+    // build of this project ever had.
+    if (R.Err == ServiceError::None && F.TierRung > 31)
+      R.Err = ServiceError::BadFieldValue;
+    break;
+  case FrameType::MigrateAccept:
+    F.Token = R.u64();
+    F.Accepted = R.u8();
+    F.RetryAfterNs = R.u64();
+    if (R.Err == ServiceError::None && F.Accepted > 1)
+      R.Err = ServiceError::BadFieldValue;
+    break;
+  case FrameType::MigrateCommit:
+    F.Tenant = R.str();
+    F.Token = R.u64();
     break;
   }
 
@@ -418,7 +517,8 @@ bool FrameBuffer::next(std::vector<uint8_t> &Out, ServiceError &Err) {
     Err = Poison = ServiceError::BadMagic;
     return false;
   }
-  if (get32(P + 4) != FormatVersion) {
+  const uint32_t Version = get32(P + 4);
+  if (Version != FormatVersionV1 && Version != FormatVersionV2) {
     Err = Poison = ServiceError::BadVersion;
     return false;
   }

@@ -6,12 +6,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The "sc-wire v1" binary protocol of the networked execution service:
+/// The "sc-wire" binary protocol of the networked execution service:
 /// length-prefixed, checksummed, versioned frames, in the same hardened
 /// style as the sc-snap snapshot format (src/snapshot). Every frame is
 ///
 ///   [ 0.. 4) magic "SCW1"
-///   [ 4.. 8) u32 format version (1)
+///   [ 4.. 8) u32 format version (1 for the PR 9 frame types, 2 for the
+///            migration family — see below)
 ///   [ 8..12) u32 total frame length in bytes (length prefix)
 ///   [12..13) u8  frame type
 ///   [13..16) reserved, written zero
@@ -29,19 +30,31 @@
 ///
 /// Request/response pairs (docs/SERVICE.md has the full contract):
 ///
-///   Submit -> SubmitAck | Reject | Result | Error
-///   Poll   -> Result | Pending | Error
-///   Cancel -> Pending | Result | Error
-///   Stats  -> StatsReply
+///   Submit        -> SubmitAck | Reject | Result | Error
+///   Poll          -> Result | Pending | Error
+///   Cancel        -> Pending | Result | Error
+///   Stats         -> StatsReply
+///   MigrateOffer  -> MigrateAccept | Error          (v2)
+///   MigrateCommit -> Pending | Result | Reject | Error  (v2)
 ///
-/// Submit is idempotent on (tenant, token): a retried or duplicated
-/// Submit frame attaches to the existing job instead of creating a
-/// second one — the exactly-once keystone.
+/// Submit is idempotent on a JobTicket (tenant, token): a retried or
+/// duplicated Submit frame attaches to the existing job instead of
+/// creating a second one — the exactly-once keystone. The migration
+/// family inherits the same discipline: a re-sent MigrateOffer for a
+/// known ticket re-accepts it, and MigrateCommit is idempotent — the
+/// first commit activates the adopted job, every retry polls it, and a
+/// commit after completion returns the identical cached Result. Version
+/// negotiation is per frame: both sides keep speaking the v1 types in
+/// byte-identical v1 frames (a v1-only peer is unaffected until it sees
+/// a migration frame, which it rejects as BadVersion), and the v2 types
+/// must carry version 2 — a migration frame stamped v1 is BadVersion.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SC_SERVICE_PROTOCOL_H
 #define SC_SERVICE_PROTOCOL_H
+
+#include "service/JobTicket.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -74,6 +87,14 @@ enum class ServiceError : uint8_t {
                   ///< whose dispatches cannot run concurrently across
                   ///< shards is refused, not serialized process-wide)
   Shutdown,       ///< the service is shutting down
+  BadSnapshot,      ///< a MigrateOffer's snapshot bytes failed to validate
+  MigrateRefused,   ///< the adopter refuses this ticket outright (e.g. it
+                    ///< already owns a live job with the same ticket)
+  UnknownMigration, ///< MigrateCommit for a ticket never offered here —
+                    ///< the offer was lost; the source may safely abandon
+                    ///< and resume the job locally (nothing was executed)
+  BadConfig,        ///< the front end was built over an invalid
+                    ///< ServiceConfig and refuses all requests
 };
 
 const char *serviceErrorName(ServiceError E);
@@ -93,9 +114,23 @@ enum class FrameType : uint8_t {
   Pending = 8,   ///< poll answer: not done yet
   Error = 9,     ///< typed refusal (ServiceError + detail)
   StatsReply = 10, ///< service counters as a JSON document
+  // --- protocol v2: live migration (frames below carry version 2) ------
+  MigrateOffer = 11,  ///< ship a job: ticket, program, snapshot, heat
+  MigrateAccept = 12, ///< offer answer: adopted (inert until commit) or
+                      ///< refused-for-capacity with a retry hint
+  MigrateCommit = 13, ///< activate the adopted job; idempotent on the
+                      ///< ticket (replies Pending until done, then the
+                      ///< cached Result forever)
 };
 
 const char *frameTypeName(FrameType T);
+
+/// True for the frame types introduced by protocol v2; these are encoded
+/// with format version 2 and rejected as BadVersion when stamped v1.
+inline bool isMigrateFrame(FrameType T) {
+  return T == FrameType::MigrateOffer || T == FrameType::MigrateAccept ||
+         T == FrameType::MigrateCommit;
+}
 
 /// Why a Submit was shed. Carried in a Reject frame together with a
 /// retry-after hint — the 429 of the protocol.
@@ -158,6 +193,24 @@ struct Frame {
 
   // StatsReply
   std::string StatsJson;
+
+  // MigrateOffer (also reuses Tenant/Token/DeadlineNs/FuelSteps/Engine/
+  // Source/Word from SubmitReq — an offer is a submit plus state)
+  std::vector<uint8_t> Snapshot; ///< sc-snap bytes; empty = never ran,
+                                 ///< the adopter starts the job fresh
+  uint64_t HeatSteps = 0;        ///< tier heat earned at the source
+  uint32_t TierRung = 0;         ///< ladder rung the job ran on
+
+  // MigrateAccept
+  uint8_t Accepted = 0; ///< 1 = adopted (inert until commit), 0 = refused
+                        ///< for capacity; RetryAfterNs hints the backoff
+
+  /// The job identity of any job-addressed frame (Tenant/Token fields).
+  JobTicket ticket() const { return JobTicket(Tenant, Token); }
+  void setTicket(const JobTicket &T) {
+    Tenant = T.Tenant;
+    Token = T.Token;
+  }
 };
 
 /// Serializes \p F into a sealed wire frame (length prefix and checksum

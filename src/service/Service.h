@@ -98,7 +98,41 @@ struct ServiceConfig {
   uint64_t CrashSeed = 0x5eed;
   /// Shared translation cache; null = the process-wide cache.
   prepare::PrepareCache *Cache = nullptr;
+
+  /// Live cross-shard rebalancing: when a shard's live-job count crosses
+  /// RebalanceHighWater while another shard idles, up to RebalanceBatch
+  /// of the hot shard's jobs are drained at their next slice boundary
+  /// and re-admitted on the coldest shard via the checkpoint +
+  /// adoptCheckpoint path (exactly-once; results are field-for-field the
+  /// unmigrated run's). Off by default: moving jobs costs a cancel +
+  /// restore round trip, which only pays off under skew.
+  bool Rebalance = false;
+  /// Live jobs at which a shard counts as hot; 0 derives a default of
+  /// max(4, ShardHighWater / 4).
+  uint64_t RebalanceHighWater = 0;
+  /// Minimum hot-minus-cold live-job gap before a move is worth it.
+  uint64_t RebalanceMinGap = 4;
+  /// Jobs marked for migration per rebalance pass.
+  uint64_t RebalanceBatch = 4;
 };
+
+/// Typed rejection for an invalid ServiceConfig. A hostile or buggy
+/// config must not be able to abort a server process: the front end
+/// reports one of these (constructor result state + every request
+/// answered with Error{BadConfig}) instead of tripping an assert.
+enum class ServiceConfigError : uint8_t {
+  None = 0,
+  NoShards,             ///< Shards == 0
+  NoCheckpointCadence,  ///< CheckpointEverySlices == 0: the kill/recover
+                        ///< and migration contracts need checkpoints
+  QueueBelowInFlightCap, ///< TenantQueueCapacity < MaxInFlightPerTenant:
+                         ///< a shard rebuild could not re-admit its jobs
+};
+
+const char *serviceConfigErrorName(ServiceConfigError E);
+
+/// Validates \p Cfg without constructing anything.
+ServiceConfigError validateServiceConfig(const ServiceConfig &Cfg);
 
 /// Control-plane counters, snapshotted under the service lock.
 struct ServiceStats {
@@ -116,6 +150,10 @@ struct ServiceStats {
   uint64_t ShardKills = 0;        ///< killShard() invocations
   uint64_t JobsRecovered = 0;     ///< jobs rebuilt from checkpoints
   uint64_t JobsRecycled = 0;      ///< free-list reuses (vs createJob)
+  uint64_t Rebalanced = 0;        ///< cross-shard live-migration moves
+  uint64_t MigratedOut = 0;       ///< jobs extracted for a peer process
+  uint64_t MigratedIn = 0;        ///< adopted jobs activated by commit
+  uint64_t MigrationsAbandoned = 0; ///< extracted jobs re-adopted locally
 
   uint64_t totalRejected() const {
     return RejectedBusy + RejectedSaturated + RejectedDegraded +
@@ -154,6 +192,44 @@ public:
   /// get Reject{AdmissionClosed}. Idempotent; the destructor calls it.
   void shutdown();
 
+  /// \name Cross-process migration, source side
+  /// The driver (Client.h's migrateJob) runs extract → MigrateOffer →
+  /// MigrateCommit against the peer, then completeMigration with the
+  /// peer's Result — or abandonMigration if the peer never adopted.
+  /// @{
+
+  /// Drains job \p T at its next slice boundary and packages it as a
+  /// MigrateOffer frame (program text, sc-snap checkpoint, tier heat).
+  /// Blocks until the job settles. On success the job no longer runs
+  /// here — the record stays, answering polls with Pending, until
+  /// completeMigration or abandonMigration resolves it. Returns false
+  /// (and keeps the job running locally) if the ticket is unknown, the
+  /// job finished or was client-cancelled first, it is already migrated,
+  /// or the service is shutting down.
+  bool extractForMigration(const JobTicket &T, Frame &Offer);
+
+  /// Lands the peer's final \p Result on the extracted job \p T: the
+  /// record completes exactly as if it had run locally (polls return the
+  /// result, Completed ticks once). The source must call exactly one of
+  /// completeMigration / abandonMigration per successful extract, and
+  /// only completeMigration after a successful commit — committing and
+  /// also resuming locally would execute the job twice.
+  void completeMigration(const JobTicket &T, const Frame &Result);
+
+  /// Aborts a torn migration: re-admits the extracted job \p T on its
+  /// home shard from the escrowed checkpoint. Safe whenever the peer
+  /// answered UnknownMigration (the offer was lost; nothing executed
+  /// remotely). Returns false if the shard is mid-kill (retry) or the
+  /// ticket is not in the extracted state.
+  bool abandonMigration(const JobTicket &T);
+
+  /// @}
+
+  /// The constructor's config validation result. Anything but None means
+  /// the front end built no shards and answers every request with
+  /// Error{BadConfig}.
+  ServiceConfigError configError() const { return ConfigErr; }
+
   ServiceStats statsSnapshot() const;
 
   /// The full dashboard: service counters plus one scheduler snapshot
@@ -165,12 +241,14 @@ public:
 private:
   struct Program;
   struct JobRecord;
-  using RecordKey = std::pair<std::string, uint64_t>;
+  struct Adoption;
 
   Frame submitReq(const Frame &Req);
   Frame pollReq(const Frame &Req);
   Frame cancelReq(const Frame &Req);
   Frame statsReq(const Frame &Req);
+  Frame migrateOfferReq(const Frame &Req);
+  Frame migrateCommitReq(const Frame &Req);
 
   Frame errorFrame(const Frame &Req, ServiceError E, std::string Detail);
   Frame rejectFrame(const Frame &Req, RejectCode Code);
@@ -179,7 +257,8 @@ private:
   /// Compiles (or fetches) the program for \p Source; Mu held.
   Program *getProgram(const std::string &Source, std::string &Err);
   /// Harvests finished jobs on shard \p S into their records and the
-  /// free list; Mu held, shard must be up.
+  /// free list, and executes pending cross-shard moves; Mu held, shard
+  /// must be up.
   void sweepShard(unsigned S);
   /// Takes a job for (program, engine, tenant) from shard \p S's free
   /// list or creates one; Mu held.
@@ -188,12 +267,32 @@ private:
   sched::TenantId shardTenant(unsigned S, const std::string &Tenant);
   void buildShard(unsigned S);
 
+  /// Marks up to RebalanceBatch jobs on the hottest shard for migration
+  /// to the coldest (cancel now; the move happens in sweepShard when
+  /// each victim settles at its slice boundary). Mu held; no-op unless
+  /// Cfg.Rebalance and the hot/cold gap justifies a move.
+  void maybeRebalance();
+  /// Re-admits record \p R (whose job has settled and been released) on
+  /// shard \p To from checkpoint \p Ckpt (empty = fresh start). Mu held;
+  /// the target shard must be up and accepting. Updates shard
+  /// bookkeeping but no counters.
+  void placeRecord(JobRecord &R, unsigned To,
+                   const std::vector<uint8_t> &Ckpt);
+  /// Activates the inert adoption \p A (Mu held): admits the job as if
+  /// submitted here, restoring its snapshot. Returns the reply frame.
+  Frame activateAdoption(const Frame &Req, Adoption &A);
+
   ServiceConfig Cfg;
+  ServiceConfigError ConfigErr = ServiceConfigError::None;
 
   mutable std::mutex Mu;
   std::vector<std::unique_ptr<sched::SessionScheduler>> Shards;
   std::vector<uint8_t> ShardDown; ///< 1 while killShard rebuilds it
   std::vector<uint64_t> ShardLive;
+  /// Per shard: jobs that migrated onto / off this shard (both the
+  /// cross-shard rebalancer and cross-process adoption/extraction).
+  std::vector<uint64_t> ShardMigrationsIn;
+  std::vector<uint64_t> ShardMigrationsOut;
   /// Per shard: tenant name → scheduler tenant id.
   std::vector<std::map<std::string, sched::TenantId>> ShardTenants;
   /// Per shard: (program identity, engine, scheduler tenant) → idle
@@ -203,7 +302,10 @@ private:
   /// Per shard: records whose job is still live (sweep scans these).
   std::vector<std::vector<JobRecord *>> LiveRecs;
   std::map<std::string, std::unique_ptr<Program>> Programs; // by source
-  std::map<RecordKey, std::unique_ptr<JobRecord>> Records;
+  std::map<JobTicket, std::unique_ptr<JobRecord>> Records;
+  /// Jobs offered to us by a peer, keyed by ticket: inert after
+  /// MigrateOffer, activated (admitted into Records) by MigrateCommit.
+  std::map<JobTicket, std::unique_ptr<Adoption>> Adoptions;
   std::map<std::string, uint64_t> InFlight; // per tenant, across shards
   ServiceStats Stats;
   bool ShuttingDown = false;

@@ -146,6 +146,8 @@ void VmSession::reset() {
   // a recycled session does not re-allocate.
   ProgressSteps = 0;
   ProgressSlices = 0;
+  TierHeatSteps = 0;
+  TierRungIdx = 0;
   SlicesSinceCheckpoint = 0;
   HasCheckpoint = false;
   RestoredPc = 0;
@@ -166,6 +168,11 @@ std::vector<uint8_t> VmSession::checkpoint(uint32_t Pc) const {
   MS.FuelRemaining = fuelRemaining();
   MS.StepsRetired = ProgressSteps;
   MS.SlicesRetired = ProgressSlices;
+  // Heat can never be below the job's own retired steps; the max covers
+  // callers that run without a tier controller (noteTierState never
+  // called) so a restore still seeds a sensible heat.
+  MS.HeatSteps = std::max(TierHeatSteps, ProgressSteps);
+  MS.TierRung = TierRungIdx;
   return snapshot::serialize(Ctx, *Ctx.Machine, MS);
 }
 
@@ -175,6 +182,8 @@ void VmSession::writeCheckpoint(uint32_t Pc) {
   MS.FuelRemaining = fuelRemaining();
   MS.StepsRetired = ProgressSteps;
   MS.SlicesRetired = ProgressSlices;
+  MS.HeatSteps = std::max(TierHeatSteps, ProgressSteps);
+  MS.TierRung = TierRungIdx;
   snapshot::serializeInto(LastCheckpoint, Ctx, *Ctx.Machine, MS);
   HasCheckpoint = true;
   SlicesSinceCheckpoint = 0;
@@ -200,6 +209,8 @@ snapshot::SnapshotError VmSession::restoreFrom(const uint8_t *Data, size_t N,
   FuelUsed = 0;
   ProgressSteps = MS.StepsRetired;
   ProgressSlices = MS.SlicesRetired;
+  TierHeatSteps = MS.HeatSteps;
+  TierRungIdx = MS.TierRung;
   RestoredPc = MS.Pc;
   ConfirmedFaults = 0;
   SlicesSinceCheckpoint = 0;

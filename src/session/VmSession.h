@@ -272,6 +272,19 @@ public:
   /// resumes. Meaningless before any restore.
   uint32_t restoredPc() const { return RestoredPc; }
 
+  /// Records the tier the session is currently running on so checkpoints
+  /// carry it (the sc-snap v2 sidecar): \p HeatSteps is the controller's
+  /// accumulated heat for this program's identity, \p Rung the ladder
+  /// index. Callers without a tier controller never call this; the
+  /// sidecar then carries the session's own retired steps as heat.
+  void noteTierState(uint64_t HeatSteps, uint32_t Rung) {
+    TierHeatSteps = HeatSteps;
+    TierRungIdx = Rung;
+  }
+  /// Sidecar values as restored / last noted (zero when cold).
+  uint64_t tierHeatSteps() const { return TierHeatSteps; }
+  uint32_t tierRung() const { return TierRungIdx; }
+
   /// The flight recorder: last checkpoint plus the slice budgets issued
   /// since (empty unless SessionPolicy::RecordTrace).
   const snapshot::ReplayTrace &trace() const { return Trace; }
@@ -303,6 +316,10 @@ private:
   /// slices.
   uint64_t ProgressSteps = 0;
   uint64_t ProgressSlices = 0;
+
+  /// Tier sidecar carried into checkpoints (see noteTierState).
+  uint64_t TierHeatSteps = 0;
+  uint32_t TierRungIdx = 0;
 
   std::vector<uint8_t> LastCheckpoint; ///< buffer reused across checkpoints
   uint64_t SlicesSinceCheckpoint = 0;

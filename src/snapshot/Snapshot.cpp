@@ -5,10 +5,10 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Format "sc-snap v1", all integers little-endian:
+// Format "sc-snap v2", all integers little-endian:
 //
 //   [  0..  4) magic "SCSN"
-//   [  4..  8) u32 format version (1)
+//   [  4..  8) u32 format version (2; v1 still restores)
 //   [  8.. 16) u64 total snapshot length in bytes (length prefix)
 //   [ 16.. 24) u64 Code::identity() of the executed program
 //   [ 24.. 32) u64 Code::version() (informational; restore keys on identity)
@@ -23,12 +23,19 @@
 //   [ 88.. 96) u64 HERE
 //   [ 96..104) u64 accessible limit (UINT64_MAX = uncapped)
 //   [104..112) u64 data-space allocation size
-//   [112..   ) four sections, each u64 length + payload:
+//   v2 only (the tier sidecar; v1 headers end at 112):
+//   [112..120) u64 tier heat (TierController steps earned by the identity)
+//   [120..124) u32 tier rung (promotion-ladder index the job ran on)
+//   [124..128) reserved, written zero
+//   [hdr..   ) four sections, each u64 length + payload:
 //                data-stack cells to the exact depth,
 //                return-stack cells to the exact depth,
 //                data-space prefix up to the last non-zero byte,
 //                output buffer
 //   [ last 8 ) u64 FNV-1a checksum over every preceding byte
+//
+// serialize always writes v2. readHeader/restore accept v1 buffers (from
+// pre-migration builds) and report a zero sidecar for them.
 //
 //===----------------------------------------------------------------------===//
 
@@ -44,11 +51,19 @@ using namespace sc::snapshot;
 namespace {
 
 constexpr uint8_t Magic[4] = {'S', 'C', 'S', 'N'};
-constexpr uint32_t FormatVersion = 1;
-constexpr size_t HeaderBytes = 112;
+constexpr uint32_t FormatVersion = 2;
+constexpr uint32_t MinFormatVersion = 1;
+constexpr size_t HeaderBytesV1 = 112;
+constexpr size_t HeaderBytesV2 = 128;
 constexpr size_t ChecksumBytes = 8;
-// Header + four empty length-prefixed sections + checksum.
-constexpr size_t MinBytes = HeaderBytes + 4 * 8 + ChecksumBytes;
+// Smallest speakable buffer: a v1 header + four empty length-prefixed
+// sections + checksum. Per-version minima are re-checked after the
+// version field parses.
+constexpr size_t MinBytes = HeaderBytesV1 + 4 * 8 + ChecksumBytes;
+
+size_t headerBytesFor(uint32_t Version) {
+  return Version >= 2 ? HeaderBytesV2 : HeaderBytesV1;
+}
 
 //===----------------------------------------------------------------------===//
 // Little-endian writer
@@ -179,7 +194,10 @@ void sc::snapshot::serializeInto(std::vector<uint8_t> &Out,
   put64(Out, static_cast<uint64_t>(Machine.here()));
   put64(Out, static_cast<uint64_t>(Machine.accessibleLimit()));
   put64(Out, Machine.dataSpaceSize());
-  SC_ASSERT(Out.size() == HeaderBytes, "snapshot header layout drifted");
+  put64(Out, MS.HeatSteps);
+  put32(Out, MS.TierRung);
+  put32(Out, 0); // reserved
+  SC_ASSERT(Out.size() == HeaderBytesV2, "snapshot header layout drifted");
 
   put64(Out, Ctx.DsDepth * sizeof(vm::Cell));
   putBytes(Out, Ctx.DS.data(), Ctx.DsDepth * sizeof(vm::Cell));
@@ -220,9 +238,9 @@ SnapshotError sc::snapshot::readHeader(const uint8_t *Data, size_t N,
   if (N < 8)
     return SnapshotError::Truncated;
   const uint32_t Version = get32(Data + 4);
-  if (Version != FormatVersion)
+  if (Version < MinFormatVersion || Version > FormatVersion)
     return SnapshotError::BadFormatVersion;
-  if (N < MinBytes)
+  if (N < headerBytesFor(Version) + 4 * 8 + ChecksumBytes)
     return SnapshotError::Truncated;
   const uint64_t Total = get64(Data + 8);
   if (Total != N)
@@ -250,12 +268,16 @@ SnapshotError sc::snapshot::readHeader(const uint8_t *Data, size_t N,
   R.Here = get64(Data + 88);
   R.AccessibleLimit = get64(Data + 96);
   R.DataSpaceBytes = get64(Data + 104);
+  if (Version >= 2) {
+    R.MS.HeatSteps = get64(Data + 112);
+    R.MS.TierRung = get32(Data + 120);
+  }
 
   // Walk the sections. The buffer is sealed (length + checksum verified),
   // so an overrun here means the lengths are inconsistent, not that the
   // transport truncated: BadLength, never a wild read.
   const size_t End = N - ChecksumBytes;
-  size_t Cursor = HeaderBytes;
+  size_t Cursor = headerBytesFor(Version);
   uint64_t Sections[4];
   for (uint64_t &S : Sections) {
     if (End - Cursor < 8)
@@ -319,7 +341,7 @@ SnapshotError sc::snapshot::restore(const uint8_t *Data, size_t N,
   if (H.OutputBytes > Limits.MaxOutputBytes)
     return SnapshotError::LimitExceeded;
 
-  const uint8_t *DsCells = Data + HeaderBytes + 8;
+  const uint8_t *DsCells = Data + headerBytesFor(H.FormatVersion) + 8;
   const uint8_t *RsCells = DsCells + H.DsDepth * sizeof(vm::Cell) + 8;
   const uint8_t *DataPrefix = RsCells + H.RsDepth * sizeof(vm::Cell) + 8;
   const uint8_t *Output = DataPrefix + H.DataPrefixBytes + 8;

@@ -79,6 +79,15 @@ struct MachineState {
   uint64_t FuelRemaining = UINT64_MAX; ///< steps the job may still execute
   uint64_t StepsRetired = 0;           ///< steps completed before the snapshot
   uint64_t SlicesRetired = 0;          ///< slices completed before the snapshot
+  /// Tier sidecar (sc-snap v2). HeatSteps is the TierController heat the
+  /// program's identity had earned when the snapshot was taken — it can
+  /// exceed StepsRetired because heat accumulates across jobs of the same
+  /// code. TierRung is the promotion-ladder rung the job was running on.
+  /// A migrating adopter seeds its own controller from these so the job
+  /// resumes on its earned tier instead of resetting cold. v1 snapshots
+  /// restore with both zero.
+  uint64_t HeatSteps = 0;
+  uint32_t TierRung = 0;
 };
 
 /// Decoded fixed-size header, for inspection tools. readHeader() fills it

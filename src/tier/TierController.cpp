@@ -68,6 +68,12 @@ void TierController::seedSteps(uint64_t Identity, uint64_t Steps) {
   E.Steps += Steps;
 }
 
+uint64_t TierController::heatSteps(uint64_t Identity) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Heat.find(Identity);
+  return It == Heat.end() ? 0 : It->second.Steps;
+}
+
 std::shared_ptr<const prepare::PreparedCode>
 TierController::prepareTier(const vm::Code &Prog, unsigned Tier) {
   SC_ASSERT(Tier < Ladder.size(), "rung off the ladder");

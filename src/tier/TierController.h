@@ -116,6 +116,11 @@ public:
   /// instead of resetting it cold.
   void seedSteps(uint64_t Identity, uint64_t Steps);
 
+  /// The accumulated heat for \p Identity (zero if never seen). The
+  /// migration path reads this to stamp a checkpoint's tier sidecar so
+  /// the adopting process can seed its own controller.
+  uint64_t heatSteps(uint64_t Identity) const;
+
   /// Returns the artifact for \p Prog at its currently earned tier,
   /// preparing synchronously through the shared cache if needed (this is
   /// the setup path — dispatch-path re-preparation goes through

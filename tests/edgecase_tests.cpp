@@ -42,8 +42,8 @@ void checkEverywhere(const char *Src) {
                  dispatch::EngineKind::ThreadedTos}) {
     auto R = Sys->runIsolated("main", K);
     EXPECT_EQ(R.Outcome.Status, Ref.Outcome.Status)
-        << dispatch::engineName(K);
-    EXPECT_EQ(R.DS, Ref.DS) << dispatch::engineName(K);
+        << engine::engineName(dispatch::engineIdOf(K));
+    EXPECT_EQ(R.DS, Ref.DS) << engine::engineName(dispatch::engineIdOf(K));
   }
   {
     Vm Copy = Sys->Machine;
@@ -130,7 +130,7 @@ TEST(EdgeCases, RStackOverflowTrapsEverywhere) {
                  dispatch::EngineKind::ThreadedTos}) {
     auto R = Sys->runIsolated("main", K);
     EXPECT_EQ(R.Outcome.Status, RunStatus::RStackOverflow)
-        << dispatch::engineName(K);
+        << engine::engineName(dispatch::engineIdOf(K));
   }
   {
     Vm Copy = Sys->Machine;

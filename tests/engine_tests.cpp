@@ -40,11 +40,11 @@ void checkAllEnginesAgree(const char *Src, const char *Name = "main",
   for (EngineKind K : AllEngines) {
     RunReport R = Sys->runIsolated(Name, K, MaxSteps);
     EXPECT_EQ(R.Outcome.Status, Ref.Outcome.Status)
-        << sc::dispatch::engineName(K);
+        << sc::engine::engineName(sc::dispatch::engineIdOf(K));
     EXPECT_EQ(R.Outcome.Steps, Ref.Outcome.Steps)
-        << sc::dispatch::engineName(K);
-    EXPECT_EQ(R.DS, Ref.DS) << sc::dispatch::engineName(K);
-    EXPECT_EQ(R.Output, Ref.Output) << sc::dispatch::engineName(K);
+        << sc::engine::engineName(sc::dispatch::engineIdOf(K));
+    EXPECT_EQ(R.DS, Ref.DS) << sc::engine::engineName(sc::dispatch::engineIdOf(K));
+    EXPECT_EQ(R.Output, Ref.Output) << sc::engine::engineName(sc::dispatch::engineIdOf(K));
   }
 }
 
@@ -53,7 +53,7 @@ class AllEnginesTest : public ::testing::TestWithParam<EngineKind> {};
 INSTANTIATE_TEST_SUITE_P(
     Engines, AllEnginesTest, ::testing::ValuesIn(AllEngines),
     [](const ::testing::TestParamInfo<EngineKind> &Info) {
-      std::string N = sc::dispatch::engineName(Info.param);
+      std::string N = sc::engine::engineName(sc::dispatch::engineIdOf(Info.param));
       for (char &C : N)
         if (C == '-')
           C = '_';
@@ -125,8 +125,10 @@ TEST_P(AllEnginesTest, SeededArgumentsSurvive) {
   ExecContext Ctx(Sys->Prog, Copy);
   Ctx.push(30);
   Ctx.push(12);
-  RunOutcome O =
-      sc::dispatch::runEngine(GetParam(), Ctx, Sys->entryOf("addtwo"));
+  sc::engine::RunOptions Opts;
+  Opts.Entry = Sys->entryOf("addtwo");
+  RunOutcome O = sc::engine::runEngine(sc::dispatch::engineIdOf(GetParam()),
+                                       Sys->Prog, Ctx, Opts);
   EXPECT_EQ(O.Status, RunStatus::Halted);
   ASSERT_EQ(Ctx.DsDepth, 1u);
   EXPECT_EQ(Ctx.DS[0], 42);

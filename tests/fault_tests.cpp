@@ -41,7 +41,9 @@ struct RefRun {
     Machine.resetOutput();
     Ctx.Prog = &Sys->Prog;
     Ctx.Machine = &Machine;
-    Outcome = dispatch::runSwitchEngine(Ctx, Sys->entryOf(Word));
+    engine::RunOptions Opts;
+    Opts.Entry = Sys->entryOf(Word);
+    Outcome = engine::runEngine(engine::EngineId::Switch, Sys->Prog, Ctx, Opts);
   }
 };
 

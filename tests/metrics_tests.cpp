@@ -349,9 +349,10 @@ TEST(CountersTest, EngineRunsRespectTheStatsGate) {
   vm::ExecContext Ctx(Sys->Prog, Copy);
   Counters C;
   Ctx.Stats = &C;
+  engine::RunOptions Opts;
+  Opts.Entry = Sys->entryOf("main");
   vm::RunOutcome O =
-      dispatch::runEngine(dispatch::EngineKind::Switch, Ctx,
-                          Sys->entryOf("main"));
+      engine::runEngine(engine::EngineId::Switch, Sys->Prog, Ctx, Opts);
   ASSERT_EQ(O.Status, vm::RunStatus::Halted);
 
   if (!statsEnabled()) {

@@ -113,7 +113,7 @@ harness::EngineObservation observePrepared(const forth::System &Sys,
 void expectIdentical(const harness::EngineObservation &Legacy,
                      const harness::EngineObservation &Prepared,
                      prepare::EngineId E, const std::string &What) {
-  const char *Name = prepare::engineIdName(E);
+  const char *Name = engine::engineName(E);
   EXPECT_EQ(Legacy.Outcome.Status, Prepared.Outcome.Status)
       << Name << ": " << What;
   EXPECT_EQ(Legacy.Outcome.Steps, Prepared.Outcome.Steps)
@@ -147,7 +147,7 @@ TEST(PrepareEquality, AllEnginesAllWorkloads) {
           observePrepared(*Sys, *PC, Entry, {});
       expectIdentical(Legacy, Prepared, E, W[I].Name);
       EXPECT_EQ(Prepared.Out, W[I].Expected)
-          << prepare::engineIdName(E) << " on " << W[I].Name;
+          << engine::engineName(E) << " on " << W[I].Name;
     }
   }
 }
@@ -379,9 +379,9 @@ TEST(PrepareResources, WarmPreparedRunsDoNotAllocateOrTranslate) {
     for (int I = 0; I < 5; ++I)
       prepare::runPrepared(*PC, Ctx, Entry);
     EXPECT_EQ(allocCount() - Allocs0, 0u)
-        << prepare::engineIdName(E) << ": warm prepared runs allocated";
+        << engine::engineName(E) << ": warm prepared runs allocated";
     EXPECT_EQ(vm::streamTranslations() - Trans0, 0u)
-        << prepare::engineIdName(E) << ": warm prepared runs re-translated";
+        << engine::engineName(E) << ": warm prepared runs re-translated";
   }
 }
 
@@ -399,18 +399,11 @@ TEST(PrepareResources, LegacyWrappersPoolTheirScratch) {
     Vm Copy = Sys->Machine;
     ExecContext Ctx(Sys->Prog, Copy);
     auto RunOnce = [&] {
-      switch (L) {
-      case harness::EngineId::Switch:
-        return dispatch::runSwitchEngine(Ctx, Entry);
-      case harness::EngineId::Threaded:
-        return dispatch::runThreadedEngine(Ctx, Entry);
-      case harness::EngineId::CallThreaded:
-        return dispatch::runCallThreadedEngine(Ctx, Entry);
-      case harness::EngineId::ThreadedTos:
-        return dispatch::runThreadedTosEngine(Ctx, Entry);
-      default:
-        return dynamic::runDynamic3Engine(Ctx, Entry);
-      }
+      // Null Prepared handle = the legacy single-shot path: translate on
+      // the fly, into the context's pooled scratch.
+      engine::RunOptions Opts;
+      Opts.Entry = Entry;
+      return engine::runEngine(L, Sys->Prog, Ctx, Opts);
     };
     ASSERT_EQ(RunOnce().Status, RunStatus::Halted);
 
@@ -419,10 +412,10 @@ TEST(PrepareResources, LegacyWrappersPoolTheirScratch) {
     for (int I = 0; I < 5; ++I)
       RunOnce();
     EXPECT_EQ(allocCount() - Allocs0, 0u)
-        << prepare::engineIdName(E) << ": warm legacy runs allocated";
+        << engine::engineName(E) << ": warm legacy runs allocated";
     if (L != harness::EngineId::Switch) {
       EXPECT_EQ(vm::streamTranslations() - Trans0, 5u)
-          << prepare::engineIdName(E)
+          << engine::engineName(E)
           << ": legacy wrapper should translate once per run";
     }
   }

@@ -9,11 +9,13 @@
 /// The EngineRegistry contract: the table is complete and internally
 /// consistent, name lookup round-trips, the capability flags match what
 /// the engines actually are, and the normalized entry point is
-/// observationally equivalent across its legacy and prepared paths and
-/// against the deprecated free-function forwarders. The last test greps
-/// the source tree to keep the registry the ONLY place that spells an
-/// engine name: any hand-maintained engine list elsewhere would need a
-/// quoted name literal and fails the scan.
+/// observationally equivalent across its legacy and prepared paths. The
+/// grep tests scan the source tree to keep the registry the ONLY place
+/// that spells an engine name (any hand-maintained engine list elsewhere
+/// would need a quoted name literal and fails the scan) and to reject
+/// reintroduction of the deleted deprecated forwarders
+/// (dispatch::engineName / dispatch::runEngine / prepare::engineIdName)
+/// and of the pre-JobTicket raw-pair spelling.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +26,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -143,24 +146,18 @@ TEST(Registry, LegacyAndPreparedPathsAgree) {
   }
 }
 
-TEST(Registry, DeprecatedForwardersAgreeWithTheTable) {
-  std::unique_ptr<forth::System> Sys = forth::loadOrDie(ProgramSrc);
-  for (dispatch::EngineKind K :
-       {dispatch::EngineKind::Switch, dispatch::EngineKind::Threaded,
-        dispatch::EngineKind::CallThreaded,
-        dispatch::EngineKind::ThreadedTos}) {
-    const engine::EngineId Id = static_cast<engine::EngineId>(K);
-    EXPECT_STREQ(dispatch::engineName(K), engine::engineName(Id));
-
-    Vm Machine = Sys->Machine;
-    ExecContext Ctx(Sys->Prog, Machine);
-    const RunOutcome Old =
-        dispatch::runEngine(K, Ctx, Sys->entryOf("main"));
-    const RunObservation New = runOnce(*Sys, Id, nullptr);
-    EXPECT_EQ(Old.Status, New.Outcome.Status);
-    EXPECT_EQ(Old.Steps, New.Outcome.Steps);
-    EXPECT_EQ(Machine.Out, New.Out);
-  }
+TEST(Registry, EngineKindRowsCoincideWithTheTable) {
+  // The reference-subset enum maps onto the first four registry rows by
+  // construction; engineIdOf spells the contract, this pins it.
+  using dispatch::EngineKind;
+  EXPECT_EQ(dispatch::engineIdOf(EngineKind::Switch),
+            engine::EngineId::Switch);
+  EXPECT_EQ(dispatch::engineIdOf(EngineKind::Threaded),
+            engine::EngineId::Threaded);
+  EXPECT_EQ(dispatch::engineIdOf(EngineKind::CallThreaded),
+            engine::EngineId::CallThreaded);
+  EXPECT_EQ(dispatch::engineIdOf(EngineKind::ThreadedTos),
+            engine::EngineId::ThreadedTos);
 }
 
 TEST(Registry, RunOptionsStepLimitAndResume) {
@@ -244,6 +241,61 @@ TEST(Registry, NoEngineNameLiteralsOutsideTheRegistry) {
         EXPECT_EQ(Text.find(B), std::string::npos)
             << P << " spells engine-name literal " << B
             << "; query the registry instead";
+    }
+  }
+  EXPECT_GT(Scanned, 50u) << "scan missed the tree";
+#endif
+}
+
+TEST(Registry, DeprecatedForwardersStayDeleted) {
+#ifndef SC_SOURCE_DIR
+  GTEST_SKIP() << "SC_SOURCE_DIR not defined";
+#else
+  namespace fs = std::filesystem;
+  const fs::path Root(SC_SOURCE_DIR);
+  ASSERT_TRUE(fs::exists(Root / "src")) << "bad SC_SOURCE_DIR " << Root;
+
+  // The registry forwarders removed in the JobTicket PR, plus the
+  // pre-JobTicket raw-pair alias, must not creep back in. Each banned
+  // spelling may name files where it is still legitimate (the alias's
+  // own one-PR home).
+  struct BannedSpelling {
+    const char *Literal;
+    std::vector<std::string> AllowedFiles; ///< filename-only exemptions
+  };
+  const BannedSpelling Banned[] = {
+      {"dispatch::engineName(", {}},
+      {"dispatch::runEngine(", {}},
+      {"prepare::engineIdName(", {}},
+      {"TenantTokenPair", {"JobTicket.h"}},
+  };
+
+  unsigned Scanned = 0;
+  for (const char *Dir : {"src", "bench", "examples", "tools", "tests"}) {
+    for (const fs::directory_entry &Entry :
+         fs::recursive_directory_iterator(Root / Dir)) {
+      if (!Entry.is_regular_file())
+        continue;
+      const fs::path &P = Entry.path();
+      const std::string Ext = P.extension().string();
+      if (Ext != ".cpp" && Ext != ".h" && Ext != ".inc")
+        continue;
+      const std::string File = P.filename().string();
+      if (File == "registry_tests.cpp")
+        continue; // this file spells the banned literals by necessity
+      ++Scanned;
+      std::ifstream In(P);
+      ASSERT_TRUE(In.good()) << P;
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      const std::string Text = Buf.str();
+      for (const BannedSpelling &B : Banned) {
+        if (std::find(B.AllowedFiles.begin(), B.AllowedFiles.end(), File) !=
+            B.AllowedFiles.end())
+          continue;
+        EXPECT_EQ(Text.find(B.Literal), std::string::npos)
+            << P << " reintroduces deprecated spelling " << B.Literal;
+      }
     }
   }
   EXPECT_GT(Scanned, 50u) << "scan missed the tree";

@@ -38,21 +38,26 @@ struct EngineUnderTest {
   RunOutcome (*Run)(ExecContext &, uint32_t, const staticcache::SpecProgram &);
 };
 
+RunOutcome runViaRegistry(engine::EngineId Id, ExecContext &Ctx, uint32_t E) {
+  engine::RunOptions Opts;
+  Opts.Entry = E;
+  return engine::runEngine(Id, *Ctx.Prog, Ctx, Opts);
+}
 RunOutcome runSwitchE(ExecContext &Ctx, uint32_t E,
                       const staticcache::SpecProgram &) {
-  return dispatch::runSwitchEngine(Ctx, E);
+  return runViaRegistry(engine::EngineId::Switch, Ctx, E);
 }
 RunOutcome runThreadedE(ExecContext &Ctx, uint32_t E,
                         const staticcache::SpecProgram &) {
-  return dispatch::runThreadedEngine(Ctx, E);
+  return runViaRegistry(engine::EngineId::Threaded, Ctx, E);
 }
 RunOutcome runCallThreadedE(ExecContext &Ctx, uint32_t E,
                             const staticcache::SpecProgram &) {
-  return dispatch::runCallThreadedEngine(Ctx, E);
+  return runViaRegistry(engine::EngineId::CallThreaded, Ctx, E);
 }
 RunOutcome runTosE(ExecContext &Ctx, uint32_t E,
                    const staticcache::SpecProgram &) {
-  return dispatch::runThreadedTosEngine(Ctx, E);
+  return runViaRegistry(engine::EngineId::ThreadedTos, Ctx, E);
 }
 RunOutcome runDynamic3E(ExecContext &Ctx, uint32_t E,
                         const staticcache::SpecProgram &) {

@@ -619,13 +619,13 @@ TEST(SchedStress, ServiceChaosStorm) {
       ServiceClient Client(Connector, Pol);
       const std::string Tenant = "storm-" + std::to_string(W);
       for (uint64_t I = W; I < Jobs; I += ClientThreads) {
+        const JobTicket Ticket{Tenant, I + 1};
         Frame Resp;
         int Rounds = 0;
-        while (!Client.submit(Tenant, I + 1, ComputeSrc, "main", 0, Resp))
+        while (!Client.submit(Ticket, ComputeSrc, "main", 0, Resp))
           ASSERT_LT(++Rounds, 50) << "submit wedged";
         ASSERT_NE(Resp.Type, FrameType::Error);
-        ASSERT_TRUE(
-            Client.awaitResult(Tenant, I + 1, Resp, 120'000'000'000ULL));
+        ASSERT_TRUE(Client.awaitResult(Ticket, Resp, 120'000'000'000ULL));
         EXPECT_EQ(Resp.Stop,
                   static_cast<uint8_t>(session::StopKind::Halted));
         EXPECT_EQ(Resp.Steps, RefSteps) << I;
@@ -647,4 +647,132 @@ TEST(SchedStress, ServiceChaosStorm) {
   std::lock_guard<std::mutex> L(HostMu);
   for (std::thread &T : ServerThreads)
     T.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Migration storm (the TSan tier of live migration)
+//===----------------------------------------------------------------------===//
+
+TEST(SchedStress, MigrationStorm) {
+  // Live migration with every mover running at once: the cross-shard
+  // rebalancer marking victims, a canceller racing it, shards dying and
+  // rebuilding under BOTH processes, and migrator threads extracting
+  // jobs mid-flight and adopting them on a second front end. TSan is
+  // the race oracle; the assertions are conservation — every submitted
+  // job reaches exactly one Result at the source, and the migration
+  // counters balance.
+  using namespace sc::service;
+
+  ServiceConfig Cfg;
+  Cfg.Shards = 2;
+  Cfg.WorkersPerShard = 2;
+  Cfg.SliceSteps = 64;
+  Cfg.CheckpointEverySlices = 1;
+  Cfg.MaxInFlightPerTenant = 64;
+  Cfg.TenantQueueCapacity = 64;
+  Cfg.Rebalance = true;
+  Cfg.RebalanceHighWater = 2;
+  Cfg.RebalanceMinGap = 1;
+  Cfg.RebalanceBatch = 4;
+  ServiceFrontEnd Src(Cfg), Dst(Cfg);
+
+  constexpr uint64_t Jobs = 32;
+  const std::string Tenant = "storm"; // one tenant: maximum shard skew
+  constexpr const char *LongSrc =
+      R"(variable acc : main 0 acc ! 600 0 do i acc @ + acc ! loop acc @ . ;)";
+
+  auto Req = [&](FrameType T, uint64_t Token) {
+    Frame F;
+    F.Type = T;
+    F.RequestId = Token;
+    F.Tenant = Tenant;
+    F.Token = Token;
+    return F;
+  };
+
+  for (uint64_t I = 0; I < Jobs; ++I) {
+    Frame F = Req(FrameType::SubmitReq, I + 1);
+    F.Source = LongSrc;
+    F.Word = "main";
+    int Rounds = 0;
+    while (Src.handle(F).Type != FrameType::SubmitAck) {
+      ASSERT_LT(++Rounds, 100000) << "submit wedged";
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  std::atomic<bool> Stop{false};
+  std::thread Killer([&] {
+    for (int K = 0; K < 6 && !Stop.load(); ++K) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      Src.killShard(K % Cfg.Shards);
+      Dst.killShard((K + 1) % Cfg.Shards);
+    }
+  });
+  std::thread Canceller([&] {
+    for (uint64_t I = 0; I < Jobs && !Stop.load(); I += 5) {
+      Src.handle(Req(FrameType::CancelReq, I + 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // FE-level migration drivers on disjoint token sets.
+  std::vector<std::thread> Migrators;
+  for (unsigned W = 0; W < 2; ++W)
+    Migrators.emplace_back([&, W] {
+      for (uint64_t I = W; I < Jobs; I += 2) {
+        const JobTicket T{Tenant, I + 1};
+        Frame Offer;
+        if (!Src.extractForMigration(T, Offer))
+          continue; // finished, cancelled, or shut down first
+        auto Abandon = [&] {
+          while (!Src.abandonMigration(T))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        };
+        const Frame A = Dst.handle(Offer);
+        if (A.Type != FrameType::MigrateAccept || A.Accepted != 1) {
+          Abandon();
+          continue;
+        }
+        for (;;) {
+          const Frame C = Dst.handle(Req(FrameType::MigrateCommit, I + 1));
+          if (C.Type == FrameType::Result) {
+            Src.completeMigration(T, C);
+            break;
+          }
+          if (C.Type != FrameType::Pending) {
+            Abandon(); // definitive refusal: re-admit locally
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  for (std::thread &T : Migrators)
+    T.join();
+  Stop.store(true);
+  Canceller.join();
+  Killer.join();
+
+  // Every ticket settles to exactly one Result at the source.
+  for (uint64_t I = 0; I < Jobs; ++I) {
+    Frame R;
+    for (int Spin = 0;; ++Spin) {
+      R = Src.handle(Req(FrameType::PollReq, I + 1));
+      if (R.Type == FrameType::Result)
+        break;
+      ASSERT_EQ(R.Type, FrameType::Pending) << I;
+      ASSERT_LT(Spin, 100000) << "job " << I + 1 << " wedged";
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  Dst.shutdown();
+  Src.shutdown();
+
+  const ServiceStats SS = Src.statsSnapshot();
+  const ServiceStats DS = Dst.statsSnapshot();
+  EXPECT_EQ(SS.Submitted, Jobs);
+  EXPECT_EQ(SS.Completed, Jobs);
+  EXPECT_EQ(SS.MigratedOut,
+            DS.MigratedIn + SS.MigrationsAbandoned);
 }

@@ -29,6 +29,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "forth/Forth.h"
+#include "harness/FaultInject.h"
 #include "prepare/PrepareCache.h"
 #include "service/Client.h"
 #include "service/Server.h"
@@ -102,15 +103,37 @@ Frame sampleFrame(FrameType T) {
   case FrameType::StatsReply:
     F.StatsJson = "{\"submitted\": 3}";
     break;
+  case FrameType::MigrateOffer:
+    F.Tenant = "tenant-7";
+    F.Token = 42;
+    F.DeadlineNs = 5'000'000'000ULL;
+    F.FuelSteps = 123456;
+    F.Engine = 3;
+    F.Source = ": main 1 2 + . ;";
+    F.Word = "main";
+    F.HeatSteps = 0xfeedbeef;
+    F.TierRung = 2;
+    F.Snapshot = {0x5c, 0x73, 0x6e, 0x61, 0x01, 0x00, 0xff, 0x7f};
+    break;
+  case FrameType::MigrateAccept:
+    F.Token = 42;
+    F.Accepted = 1;
+    F.RetryAfterNs = 3'000'000;
+    break;
+  case FrameType::MigrateCommit:
+    F.Tenant = "tenant-7";
+    F.Token = 42;
+    break;
   }
   return F;
 }
 
 const FrameType AllTypes[] = {
-    FrameType::SubmitReq, FrameType::PollReq, FrameType::CancelReq,
-    FrameType::StatsReq,  FrameType::SubmitAck, FrameType::Reject,
-    FrameType::Result,    FrameType::Pending,  FrameType::Error,
-    FrameType::StatsReply};
+    FrameType::SubmitReq,    FrameType::PollReq,       FrameType::CancelReq,
+    FrameType::StatsReq,     FrameType::SubmitAck,     FrameType::Reject,
+    FrameType::Result,       FrameType::Pending,       FrameType::Error,
+    FrameType::StatsReply,   FrameType::MigrateOffer,  FrameType::MigrateAccept,
+    FrameType::MigrateCommit};
 
 void expectSameFrame(const Frame &A, const Frame &B) {
   EXPECT_EQ(A.Type, B.Type);
@@ -135,6 +158,10 @@ void expectSameFrame(const Frame &A, const Frame &B) {
   EXPECT_EQ(A.Err, B.Err);
   EXPECT_EQ(A.Detail, B.Detail);
   EXPECT_EQ(A.StatsJson, B.StatsJson);
+  EXPECT_EQ(A.Snapshot, B.Snapshot);
+  EXPECT_EQ(A.HeatSteps, B.HeatSteps);
+  EXPECT_EQ(A.TierRung, B.TierRung);
+  EXPECT_EQ(A.Accepted, B.Accepted);
 }
 
 TEST(Wire, RoundtripEveryFrameType) {
@@ -203,6 +230,48 @@ TEST(Wire, TypedRejections) {
 
   // An untouched frame still decodes (the mutations copied).
   EXPECT_EQ(decodeFrame(Good, Out), ServiceError::None);
+}
+
+/// Per-frame version negotiation: the migration family is the protocol's
+/// v2 extension; everything that existed before still goes out
+/// byte-identical v1, and a migration frame stamped v1 is a peer
+/// speaking a protocol it does not have.
+TEST(Wire, MigrateFrameVersioning) {
+  Frame Out;
+  // Legacy frames stay v1 on the wire; migrate frames carry v2.
+  for (FrameType T : AllTypes) {
+    const std::vector<uint8_t> B = encodeFrame(sampleFrame(T));
+    const uint32_t Version = static_cast<uint32_t>(B[4]) |
+                             (static_cast<uint32_t>(B[5]) << 8) |
+                             (static_cast<uint32_t>(B[6]) << 16) |
+                             (static_cast<uint32_t>(B[7]) << 24);
+    EXPECT_EQ(Version, isMigrateFrame(T) ? 2u : 1u) << frameTypeName(T);
+  }
+
+  // A migrate frame downgraded to v1 (and properly resealed, so this is
+  // not a checksum rejection) draws BadVersion.
+  for (FrameType T : {FrameType::MigrateOffer, FrameType::MigrateAccept,
+                      FrameType::MigrateCommit}) {
+    std::vector<uint8_t> B = encodeFrame(sampleFrame(T));
+    B[4] = 1;
+    resealFrame(B);
+    EXPECT_EQ(decodeFrame(B, Out), ServiceError::BadVersion)
+        << frameTypeName(T);
+  }
+
+  // A legacy frame stamped v2 still decodes: v2 only *adds* frame types.
+  std::vector<uint8_t> Up = encodeFrame(sampleFrame(FrameType::PollReq));
+  Up[4] = 2;
+  resealFrame(Up);
+  EXPECT_EQ(decodeFrame(Up, Out), ServiceError::None);
+
+  // Hostile field values inside a well-sealed migrate frame are typed.
+  Frame Rung = sampleFrame(FrameType::MigrateOffer);
+  Rung.TierRung = 32; // no ladder this project ever had is that tall
+  EXPECT_EQ(decodeFrame(encodeFrame(Rung), Out), ServiceError::BadFieldValue);
+  Frame Acc = sampleFrame(FrameType::MigrateAccept);
+  Acc.Accepted = 2; // not a boolean
+  EXPECT_EQ(decodeFrame(encodeFrame(Acc), Out), ServiceError::BadFieldValue);
 }
 
 TEST(Wire, PeekRequestId) {
@@ -325,7 +394,8 @@ constexpr const char *ComputeSrc =
 constexpr const char *SpinSrc = ": main begin 1 drop again ;";
 
 Frame submitFrame(const std::string &Tenant, uint64_t Token,
-                  const char *Source, uint64_t ReqId = 1) {
+                  const char *Source, uint64_t ReqId = 1,
+                  uint8_t Engine = 0) {
   Frame F;
   F.Type = FrameType::SubmitReq;
   F.RequestId = ReqId;
@@ -333,6 +403,7 @@ Frame submitFrame(const std::string &Tenant, uint64_t Token,
   F.Token = Token;
   F.Source = Source;
   F.Word = "main";
+  F.Engine = Engine;
   return F;
 }
 
@@ -636,11 +707,15 @@ TEST(Service, CancelSurvivesShardKill) {
   FE.shutdown();
 }
 
-/// Drives \p Jobs jobs per tenant through clients over chaos-wrapped
-/// local channels and returns every Result frame, keyed by token.
+/// Drives \p Jobs jobs through clients over chaos-wrapped local
+/// channels and returns every Result frame, keyed by token. Tenants
+/// cycle through \p TenantCount names; 1 concentrates the whole load on
+/// one shard (the skew the rebalancer exists for). \p StatsOut, when
+/// set, receives the post-shutdown service counters.
 std::map<uint64_t, Frame>
 chaosRun(ServiceConfig Cfg, ChaosConfig Chaos, uint64_t Kills, uint64_t Jobs,
-         unsigned ClientThreads) {
+         unsigned ClientThreads, unsigned TenantCount = 3,
+         ServiceStats *StatsOut = nullptr, bool Pipeline = false) {
   ServiceFrontEnd FE(Cfg);
   std::vector<std::thread> ServerThreads;
   std::mutex HostMu;
@@ -684,15 +759,16 @@ chaosRun(ServiceConfig Cfg, ChaosConfig Chaos, uint64_t Kills, uint64_t Jobs,
       Pol.MaxAttempts = 40;
       Pol.AttemptTimeoutNs = 100'000'000;
       ServiceClient Client(Connector, Pol);
-      const std::string Tenant = "tenant-" + std::to_string(W % 3);
-      for (uint64_t I = W; I < Jobs; I += ClientThreads) {
-        const uint64_t Token = I + 1;
+      const std::string Tenant =
+          "tenant-" + std::to_string(W % TenantCount);
+      auto SubmitOne = [&](uint64_t Token) {
+        const JobTicket Ticket{Tenant, Token};
         Frame Resp;
         const uint64_t Start =
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now().time_since_epoch())
                 .count();
-        while (!Client.submit(Tenant, Token, ComputeSrc, "main", 0, Resp)) {
+        while (!Client.submit(Ticket, ComputeSrc, "main", 0, Resp)) {
           const uint64_t Now =
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now().time_since_epoch())
@@ -700,11 +776,27 @@ chaosRun(ServiceConfig Cfg, ChaosConfig Chaos, uint64_t Kills, uint64_t Jobs,
           ASSERT_LT(Now - Start, 120'000'000'000ULL) << "submit wedged";
         }
         ASSERT_NE(Resp.Type, FrameType::Error);
-        ASSERT_TRUE(
-            Client.awaitResult(Tenant, Token, Resp, 120'000'000'000ULL));
+      };
+      auto AwaitOne = [&](uint64_t Token) {
+        const JobTicket Ticket{Tenant, Token};
+        Frame Resp;
+        ASSERT_TRUE(Client.awaitResult(Ticket, Resp, 120'000'000'000ULL));
         std::lock_guard<std::mutex> L(ResMu);
         Results.emplace(Token, Resp);
         Done.fetch_add(1);
+      };
+      if (Pipeline) {
+        // Submit everything first: the backlog is the skew that makes
+        // the rebalancer fire, and is impossible with one-at-a-time.
+        for (uint64_t I = W; I < Jobs; I += ClientThreads)
+          SubmitOne(I + 1);
+        for (uint64_t I = W; I < Jobs; I += ClientThreads)
+          AwaitOne(I + 1);
+      } else {
+        for (uint64_t I = W; I < Jobs; I += ClientThreads) {
+          SubmitOne(I + 1);
+          AwaitOne(I + 1);
+        }
       }
     });
   for (std::thread &T : Workers)
@@ -717,6 +809,8 @@ chaosRun(ServiceConfig Cfg, ChaosConfig Chaos, uint64_t Kills, uint64_t Jobs,
   const ServiceStats S = FE.statsSnapshot();
   EXPECT_EQ(S.Submitted, Jobs);
   EXPECT_EQ(S.Completed, Jobs);
+  if (StatsOut)
+    *StatsOut = S;
 
   {
     std::lock_guard<std::mutex> L(HostMu);
@@ -785,9 +879,10 @@ TEST(Client, RetriesMaskFrameLoss) {
     Pol.AttemptTimeoutNs = 50'000'000;
     ServiceClient Client(Connector, Pol);
     for (uint64_t I = 0; I < 20; ++I) {
+      const JobTicket T{"t", I + 1};
       Frame Resp;
-      ASSERT_TRUE(Client.submit("t", I + 1, ComputeSrc, "main", 0, Resp));
-      ASSERT_TRUE(Client.awaitResult("t", I + 1, Resp, 60'000'000'000ULL));
+      ASSERT_TRUE(Client.submit(T, ComputeSrc, "main", 0, Resp));
+      ASSERT_TRUE(Client.awaitResult(T, Resp, 60'000'000'000ULL));
       EXPECT_EQ(Resp.Type, FrameType::Result);
     }
     // A 25%-loss channel cannot serve 40+ calls without retrying.
@@ -805,10 +900,11 @@ TEST(Server, ServesRealSockets) {
   ASSERT_NE(Srv.port(), 0) << "could not bind a loopback listener";
   const uint16_t Port = Srv.port();
   ServiceClient Client([Port] { return connectTcp(Port); });
+  const JobTicket T{"tcp-tenant", 1};
   Frame Resp;
-  ASSERT_TRUE(Client.submit("tcp-tenant", 1, ComputeSrc, "main", 0, Resp));
+  ASSERT_TRUE(Client.submit(T, ComputeSrc, "main", 0, Resp));
   EXPECT_EQ(Resp.Type, FrameType::SubmitAck);
-  ASSERT_TRUE(Client.awaitResult("tcp-tenant", 1, Resp, 60'000'000'000ULL));
+  ASSERT_TRUE(Client.awaitResult(T, Resp, 60'000'000'000ULL));
   const Reference Ref = referenceRun(ComputeSrc, FE.config().SliceSteps);
   EXPECT_EQ(Resp.Steps, Ref.Steps);
   EXPECT_EQ(Resp.Output, Ref.Output);
@@ -869,11 +965,627 @@ TEST(Server, HostileBytesGetTypedErrors) {
     }
   }
   ServiceClient Client([&Srv] { return connectTcp(Srv.port()); });
+  const JobTicket T{"survivor", 1};
   Frame Resp;
-  ASSERT_TRUE(Client.submit("survivor", 1, ComputeSrc, "main", 0, Resp));
-  ASSERT_TRUE(Client.awaitResult("survivor", 1, Resp, 60'000'000'000ULL));
+  ASSERT_TRUE(Client.submit(T, ComputeSrc, "main", 0, Resp));
+  ASSERT_TRUE(Client.awaitResult(T, Resp, 60'000'000'000ULL));
   Srv.stop();
   FE.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Live migration: cross-shard rebalancing and cross-process adoption
+//===----------------------------------------------------------------------===//
+
+/// Long enough (a few thousand guest steps) that an extraction issued
+/// right after submit reliably catches the job queued or mid-flight.
+constexpr const char *MigrateSrc =
+    R"(variable acc : main 0 acc ! 600 0 do i acc @ + acc ! loop acc @ . ;)";
+
+Frame commitFrame(const JobTicket &T, uint64_t ReqId = 9) {
+  Frame F;
+  F.Type = FrameType::MigrateCommit;
+  F.RequestId = ReqId;
+  F.setTicket(T);
+  return F;
+}
+
+/// A ServiceClient wired to \p Host over in-process channels (optionally
+/// chaos-wrapped), plus the server threads serving them. Destroy after
+/// the last use of Client; the destructor closes the client side and
+/// joins the server loops.
+struct LocalPeer {
+  ServiceFrontEnd &Host;
+  ChaosConfig Chaos;
+  std::mutex Mu;
+  std::vector<std::thread> Servers;
+  std::atomic<uint64_t> Conns{0};
+  std::unique_ptr<ServiceClient> Client;
+
+  explicit LocalPeer(ServiceFrontEnd &FE, ChaosConfig CC = {},
+                     RetryPolicy Pol = {})
+      : Host(FE), Chaos(CC) {
+    Client =
+        std::make_unique<ServiceClient>([this] { return connect(); }, Pol);
+  }
+  std::unique_ptr<Channel> connect() {
+    auto [Cli, Srv] = makeLocalPair();
+    std::unique_ptr<Channel> S = std::move(Srv), C = std::move(Cli);
+    const uint64_t N = Conns.fetch_add(1) + 1;
+    if (Chaos.enabled()) {
+      ChaosConfig SC = Chaos;
+      SC.Seed = Chaos.Seed ^ (0x9e3779b97f4a7c15ULL * N);
+      S = std::make_unique<ChaosChannel>(std::move(S), SC);
+      ChaosConfig CC = Chaos;
+      CC.Seed = Chaos.Seed ^ (0xbf58476d1ce4e5b9ULL * N);
+      C = std::make_unique<ChaosChannel>(std::move(C), CC);
+    }
+    std::lock_guard<std::mutex> L(Mu);
+    Servers.emplace_back(
+        [this, Ch = std::move(S)]() mutable { serveChannel(Host, *Ch); });
+    return C;
+  }
+  ~LocalPeer() {
+    Client.reset(); // hang up so every server loop sees EOF
+    std::lock_guard<std::mutex> L(Mu);
+    for (std::thread &T : Servers)
+      T.join();
+  }
+};
+
+void expectSameResult(const Frame &Got, const Frame &Ref,
+                      const std::string &Tag) {
+  EXPECT_EQ(Got.Stop, Ref.Stop) << Tag;
+  EXPECT_EQ(Got.Status, Ref.Status) << Tag;
+  EXPECT_EQ(Got.Steps, Ref.Steps) << Tag;
+  EXPECT_EQ(Got.Slices, Ref.Slices) << Tag;
+  EXPECT_EQ(Got.Output, Ref.Output) << Tag;
+}
+
+/// A commit that went silent after the offer was accepted leaves the job
+/// escrowed (MigrateOutcome::Torn). The resolution protocol: keep
+/// re-committing (idempotent) until the peer serves the Result or a
+/// definitive refusal, then complete or abandon — never both.
+void resolveTorn(ServiceFrontEnd &Source, ServiceClient &Peer,
+                 const JobTicket &T, bool &Completed) {
+  for (;;) {
+    Frame Result;
+    if (Peer.commitMigration(T, Result, 30'000'000'000ULL)) {
+      Source.completeMigration(T, Result);
+      Completed = true;
+      return;
+    }
+    if ((Result.Type == FrameType::Error &&
+         (Result.Err == ServiceError::UnknownMigration ||
+          Result.Err == ServiceError::Shutdown)) ||
+        Result.Type == FrameType::Reject) {
+      while (!Source.abandonMigration(T))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Completed = false;
+      return;
+    }
+    // Transport silence again; the commit stays retryable forever.
+  }
+}
+
+/// The tentpole differential: for every reentrant registry engine and a
+/// sweep of slice-boundary placements, a job extracted mid-flight,
+/// shipped over sc-wire, adopted by a second front end, and completed
+/// there is field-for-field the job that never moved.
+TEST(Migration, MigratedEqualsOneShotEveryEngineEveryBoundary) {
+  // Foundation (the harness's slice sweep): sliced == one-shot for this
+  // program, so any divergence below is migration's fault.
+  {
+    auto Sys = forth::loadOrDie(MigrateSrc);
+    const harness::InjectReport R =
+        harness::sweepSliceBoundaries(*Sys, "main", {}, 8);
+    EXPECT_TRUE(R.ok()) << R.FirstDivergence;
+  }
+
+  std::vector<engine::EngineId> Engines;
+  for (unsigned E = 0; E < engine::NumEngineIds; ++E)
+    if (engine::engineInfo(static_cast<engine::EngineId>(E)).Caps.Reentrant)
+      Engines.push_back(static_cast<engine::EngineId>(E));
+  ASSERT_FALSE(Engines.empty());
+
+  unsigned Migrated = 0, Total = 0;
+  for (uint64_t SliceSteps : {37ULL, 211ULL}) {
+    ServiceConfig Cfg;
+    Cfg.Shards = 1;
+    Cfg.SliceSteps = SliceSteps;
+    Cfg.CheckpointEverySlices = 1;
+    for (engine::EngineId E : Engines) {
+      const auto Eng = static_cast<uint8_t>(E);
+      const std::string Tag = std::string(engine::engineName(E)) + "/slice" +
+                              std::to_string(SliceSteps);
+      // The job that never moves.
+      ServiceFrontEnd Ref(Cfg);
+      ASSERT_EQ(Ref.handle(submitFrame("mig", 1, MigrateSrc, 1, Eng)).Type,
+                FrameType::SubmitAck)
+          << Tag;
+      const Frame R0 = awaitResult(Ref, "mig", 1);
+      Ref.shutdown();
+
+      // The same job, extracted and adopted across "processes".
+      ServiceFrontEnd Src(Cfg), Dst(Cfg);
+      {
+        LocalPeer Peer(Dst);
+        ASSERT_EQ(Src.handle(submitFrame("mig", 1, MigrateSrc, 1, Eng)).Type,
+                  FrameType::SubmitAck)
+            << Tag;
+        const JobTicket T{"mig", 1};
+        const MigrateOutcome O = migrateJob(Src, *Peer.Client, T);
+        EXPECT_NE(O, MigrateOutcome::Torn) << Tag;
+        ++Total;
+        Migrated += O == MigrateOutcome::Completed;
+        const Frame R1 = awaitResult(Src, "mig", 1);
+        expectSameResult(R1, R0, Tag);
+        if (O == MigrateOutcome::Completed) {
+          EXPECT_EQ(Src.statsSnapshot().MigratedOut, 1u) << Tag;
+          EXPECT_EQ(Dst.statsSnapshot().MigratedIn, 1u) << Tag;
+        }
+      }
+      Dst.shutdown();
+      Src.shutdown();
+      EXPECT_EQ(Src.statsSnapshot().Completed, 1u) << Tag;
+    }
+  }
+  // The matrix must actually migrate, not just fall back to RanLocally.
+  EXPECT_GT(Migrated * 2, Total) << Migrated << "/" << Total;
+}
+
+/// MigrateCommit's idempotency matrix, frame by frame at the front-end
+/// level: duplicate commits poll; post-completion commits serve the
+/// cached Result; a commit for a never-offered ticket is typed
+/// UnknownMigration; a duplicate offer re-accepts.
+TEST(Migration, TornCommitRetryAndAbandonMatrix) {
+  ServiceConfig Cfg;
+  Cfg.Shards = 1;
+  Cfg.SliceSteps = 64;
+  Cfg.CheckpointEverySlices = 1;
+
+  // The unmigrated reference.
+  ServiceFrontEnd Ref(Cfg);
+  ASSERT_EQ(Ref.handle(submitFrame("t", 1, MigrateSrc)).Type,
+            FrameType::SubmitAck);
+  const Frame R0 = awaitResult(Ref, "t", 1);
+  Ref.shutdown();
+
+  ServiceFrontEnd Src(Cfg), Dst(Cfg);
+  const JobTicket T{"t", 1};
+  ASSERT_EQ(Src.handle(submitFrame("t", 1, MigrateSrc)).Type,
+            FrameType::SubmitAck);
+
+  Frame Offer;
+  ASSERT_TRUE(Src.extractForMigration(T, Offer));
+  EXPECT_EQ(Offer.Type, FrameType::MigrateOffer);
+  EXPECT_EQ(Offer.Source, std::string(MigrateSrc));
+
+  // While escrowed the source still answers polls — with Pending.
+  EXPECT_EQ(Src.handle(pollFrame("t", 1)).Type, FrameType::Pending);
+
+  // Offer, then a duplicate offer (the accept was "lost"): re-accepted.
+  Frame A1 = Dst.handle(Offer);
+  ASSERT_EQ(A1.Type, FrameType::MigrateAccept);
+  EXPECT_EQ(A1.Accepted, 1u);
+  Frame A2 = Dst.handle(Offer);
+  ASSERT_EQ(A2.Type, FrameType::MigrateAccept);
+  EXPECT_EQ(A2.Accepted, 1u);
+
+  // First commit activates; repeated commits are polls. Drive to Result.
+  Frame C = Dst.handle(commitFrame(T));
+  ASSERT_TRUE(C.Type == FrameType::Pending || C.Type == FrameType::Result)
+      << frameTypeName(C.Type);
+  for (int Spin = 0; C.Type != FrameType::Result && Spin < 100000; ++Spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    C = Dst.handle(commitFrame(T));
+    ASSERT_TRUE(C.Type == FrameType::Pending || C.Type == FrameType::Result)
+        << frameTypeName(C.Type);
+  }
+  ASSERT_EQ(C.Type, FrameType::Result);
+  expectSameResult(C, R0, "adopted");
+
+  // A re-offer of the activated adoption still just re-accepts.
+  Frame A3 = Dst.handle(Offer);
+  ASSERT_EQ(A3.Type, FrameType::MigrateAccept);
+  EXPECT_EQ(A3.Accepted, 1u);
+
+  // Commit-after-completion: the cached Result, forever.
+  const Frame C2 = Dst.handle(commitFrame(T, 77));
+  ASSERT_EQ(C2.Type, FrameType::Result);
+  EXPECT_EQ(C2.RequestId, 77u);
+  expectSameResult(C2, C, "cached");
+
+  // Land the result at the source: polls serve it, Completed ticks once.
+  Src.completeMigration(T, C);
+  const Frame R1 = Src.handle(pollFrame("t", 1));
+  ASSERT_EQ(R1.Type, FrameType::Result);
+  expectSameResult(R1, R0, "completed");
+
+  // A commit for a ticket never offered here: typed, safe to abandon.
+  const Frame U = Dst.handle(commitFrame(JobTicket{"ghost", 9}));
+  ASSERT_EQ(U.Type, FrameType::Error);
+  EXPECT_EQ(U.Err, ServiceError::UnknownMigration);
+
+  // The abandon path: extract, never offer, re-admit locally.
+  ASSERT_EQ(Src.handle(submitFrame("t", 2, MigrateSrc)).Type,
+            FrameType::SubmitAck);
+  const JobTicket T2{"t", 2};
+  Frame Offer2;
+  ASSERT_TRUE(Src.extractForMigration(T2, Offer2));
+  EXPECT_FALSE(Src.abandonMigration(JobTicket{"t", 99})); // not escrowed
+  ASSERT_TRUE(Src.abandonMigration(T2));
+  EXPECT_FALSE(Src.abandonMigration(T2)); // once
+  const Frame R2 = awaitResult(Src, "t", 2);
+  expectSameResult(R2, R0, "abandoned");
+
+  const ServiceStats SS = Src.statsSnapshot();
+  EXPECT_EQ(SS.MigratedOut, 2u);
+  EXPECT_EQ(SS.MigrationsAbandoned, 1u);
+  EXPECT_EQ(SS.Completed, 2u);
+  EXPECT_EQ(Dst.statsSnapshot().MigratedIn, 1u);
+  Dst.shutdown();
+  Src.shutdown();
+}
+
+/// A commit whose activation is definitively refused (admission bounced
+/// it) must erase the parked adoption, so a delayed duplicate commit
+/// cannot activate the job after the source already resumed it locally —
+/// the double-execution hole in a torn migration.
+TEST(Migration, RejectedActivationErasesTheAdoption) {
+  ServiceConfig Cfg;
+  Cfg.Shards = 1;
+  Cfg.SliceSteps = 64;
+  Cfg.CheckpointEverySlices = 1;
+  ServiceFrontEnd Src(Cfg);
+
+  ServiceConfig PeerCfg = Cfg;
+  PeerCfg.MaxInFlightPerTenant = 1;
+  ServiceFrontEnd Dst(PeerCfg);
+
+  const JobTicket T{"t", 7};
+  ASSERT_EQ(Src.handle(submitFrame("t", 7, MigrateSrc)).Type,
+            FrameType::SubmitAck);
+  Frame Offer;
+  ASSERT_TRUE(Src.extractForMigration(T, Offer));
+  Frame A = Dst.handle(Offer);
+  ASSERT_EQ(A.Type, FrameType::MigrateAccept);
+  ASSERT_EQ(A.Accepted, 1u);
+
+  // Between offer and commit the peer's tenant fills up.
+  ASSERT_EQ(Dst.handle(submitFrame("t", 1, SpinSrc)).Type,
+            FrameType::SubmitAck);
+
+  const Frame C1 = Dst.handle(commitFrame(T));
+  ASSERT_EQ(C1.Type, FrameType::Reject);
+  EXPECT_EQ(C1.Code, RejectCode::TenantBusy);
+
+  // The delayed duplicate finds nothing to activate.
+  const Frame C2 = Dst.handle(commitFrame(T));
+  ASSERT_EQ(C2.Type, FrameType::Error);
+  EXPECT_EQ(C2.Err, ServiceError::UnknownMigration);
+
+  // The source reads the refusal, abandons, and the job completes
+  // exactly once, locally.
+  ASSERT_TRUE(Src.abandonMigration(T));
+  ServiceConfig RefCfg = Cfg;
+  ServiceFrontEnd Ref(RefCfg);
+  ASSERT_EQ(Ref.handle(submitFrame("t", 7, MigrateSrc)).Type,
+            FrameType::SubmitAck);
+  expectSameResult(awaitResult(Src, "t", 7), awaitResult(Ref, "t", 7),
+                   "after refused commit");
+  Ref.shutdown();
+  EXPECT_EQ(Dst.statsSnapshot().MigratedIn, 0u);
+
+  // Clean up the peer's spin job.
+  Frame Cancel = pollFrame("t", 1);
+  Cancel.Type = FrameType::CancelReq;
+  Dst.handle(Cancel);
+  awaitResult(Dst, "t", 1);
+  Dst.shutdown();
+  Src.shutdown();
+}
+
+/// Every hostile offer draws a typed error at OFFER time — a commit must
+/// never discover the offer was garbage after the source stopped running
+/// the job.
+TEST(Migration, HostileOffersGetTypedErrors) {
+  ServiceConfig Cfg;
+  Cfg.Shards = 1;
+  ServiceFrontEnd FE(Cfg);
+
+  Frame Good = sampleFrame(FrameType::MigrateOffer);
+  Good.Source = MigrateSrc;
+  Good.Word = "main";
+  Good.Engine = 0;
+  Good.Snapshot.clear();
+
+  // Engine id out of range / non-reentrant.
+  Frame BadEng = Good;
+  BadEng.Engine = 250;
+  EXPECT_EQ(FE.handle(BadEng).Err, ServiceError::BadEngine);
+  for (unsigned E = 0; E < engine::NumEngineIds; ++E)
+    if (!engine::engineInfo(static_cast<engine::EngineId>(E))
+             .Caps.Reentrant) {
+      Frame NonRe = Good;
+      NonRe.Engine = static_cast<uint8_t>(E);
+      EXPECT_EQ(FE.handle(NonRe).Err, ServiceError::BadEngine);
+    }
+
+  // A program that does not compile; a missing word.
+  Frame NoCompile = Good;
+  NoCompile.Source = ": main unknown-word ;";
+  EXPECT_EQ(FE.handle(NoCompile).Err, ServiceError::CompileFailed);
+  Frame NoWord = Good;
+  NoWord.Word = "nope";
+  EXPECT_EQ(FE.handle(NoWord).Err, ServiceError::BadWord);
+
+  // Snapshot garbage, and a valid-looking snapshot for another program.
+  Frame BadSnap = Good;
+  BadSnap.Snapshot = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+  EXPECT_EQ(FE.handle(BadSnap).Err, ServiceError::BadSnapshot);
+
+  // A ticket the service already owns can never be adopted.
+  ASSERT_EQ(FE.handle(submitFrame("owned", 3, ComputeSrc)).Type,
+            FrameType::SubmitAck);
+  awaitResult(FE, "owned", 3);
+  Frame Owned = Good;
+  Owned.Tenant = "owned";
+  Owned.Token = 3;
+  EXPECT_EQ(FE.handle(Owned).Err, ServiceError::MigrateRefused);
+
+  // Capacity refusal is soft: Accepted=0 plus a backoff hint, because
+  // the source can retry the offer elsewhere.
+  ServiceConfig Tiny = Cfg;
+  Tiny.MaxInFlightPerTenant = 1;
+  ServiceFrontEnd Small(Tiny);
+  ASSERT_EQ(Small.handle(submitFrame("tenant-7", 1, SpinSrc)).Type,
+            FrameType::SubmitAck);
+  const Frame Busy = Small.handle(Good);
+  ASSERT_EQ(Busy.Type, FrameType::MigrateAccept);
+  EXPECT_EQ(Busy.Accepted, 0u);
+  EXPECT_EQ(Busy.RetryAfterNs, Tiny.RetryAfterNs);
+  Frame Cancel = pollFrame("tenant-7", 1);
+  Cancel.Type = FrameType::CancelReq;
+  Small.handle(Cancel);
+  awaitResult(Small, "tenant-7", 1);
+  Small.shutdown();
+  FE.shutdown();
+}
+
+/// The cross-shard rebalancer: a single hot tenant piles every job onto
+/// one shard; with rebalancing on, queued jobs drain onto the idle shard
+/// at their slice boundaries — and every result is still field-for-field
+/// the unbalanced run's (exactly-once across the move).
+TEST(Service, RebalancerDrainsHotShardExactlyOnce) {
+  ServiceConfig Cfg;
+  Cfg.Shards = 2;
+  Cfg.SliceSteps = 64;
+  Cfg.CheckpointEverySlices = 1;
+  Cfg.MaxInFlightPerTenant = 64;
+  Cfg.TenantQueueCapacity = 64;
+
+  constexpr uint64_t Jobs = 16;
+
+  // Reference: same config, rebalancing off.
+  ServiceConfig Off = Cfg;
+  ServiceFrontEnd Ref(Off);
+  for (uint64_t I = 0; I < Jobs; ++I)
+    ASSERT_EQ(Ref.handle(submitFrame("hot", I + 1, MigrateSrc)).Type,
+              FrameType::SubmitAck);
+  std::map<uint64_t, Frame> Baseline;
+  for (uint64_t I = 0; I < Jobs; ++I)
+    Baseline.emplace(I + 1, awaitResult(Ref, "hot", I + 1));
+  Ref.shutdown();
+  EXPECT_EQ(Ref.statsSnapshot().Rebalanced, 0u);
+
+  ServiceConfig On = Cfg;
+  On.Rebalance = true;
+  On.RebalanceHighWater = 2;
+  On.RebalanceMinGap = 1;
+  On.RebalanceBatch = 8;
+  ServiceFrontEnd FE(On);
+  for (uint64_t I = 0; I < Jobs; ++I)
+    ASSERT_EQ(FE.handle(submitFrame("hot", I + 1, MigrateSrc)).Type,
+              FrameType::SubmitAck);
+  for (uint64_t I = 0; I < Jobs; ++I)
+    expectSameResult(awaitResult(FE, "hot", I + 1), Baseline.at(I + 1),
+                     "job " + std::to_string(I + 1));
+  FE.shutdown();
+
+  const ServiceStats S = FE.statsSnapshot();
+  EXPECT_EQ(S.Submitted, Jobs);
+  EXPECT_EQ(S.Completed, Jobs);
+  EXPECT_GT(S.Rebalanced, 0u);
+
+  // The per-shard dashboard books every move exactly once on each side.
+  const metrics::Json Doc = FE.statsJson();
+  const metrics::Json *Shards = Doc.find("shards");
+  ASSERT_NE(Shards, nullptr);
+  ASSERT_EQ(Shards->size(), 2u);
+  uint64_t In = 0, Out = 0;
+  for (size_t I = 0; I < Shards->size(); ++I) {
+    const metrics::Json *MI = Shards->at(I).find("migrations_in");
+    const metrics::Json *MO = Shards->at(I).find("migrations_out");
+    ASSERT_NE(MI, nullptr);
+    ASSERT_NE(MO, nullptr);
+    In += static_cast<uint64_t>(MI->asInt());
+    Out += static_cast<uint64_t>(MO->asInt());
+  }
+  EXPECT_EQ(In, S.Rebalanced);
+  EXPECT_EQ(Out, S.Rebalanced);
+  const metrics::Json *Svc = Doc.find("service");
+  ASSERT_NE(Svc, nullptr);
+  ASSERT_NE(Svc->find("rebalanced"), nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(Svc->find("rebalanced")->asInt()),
+            S.Rebalanced);
+}
+
+/// The chaos differential extended across the rebalancer: a skewed load
+/// under transport storm, crash injection, shard kills AND live
+/// cross-shard migration produces Result frames field-for-field equal to
+/// a clean, rebalancing-off run.
+TEST(Service, ChaosRebalanceDifferential) {
+  constexpr uint64_t Jobs = 48;
+  ServiceConfig Clean;
+  Clean.Shards = 3;
+  Clean.SliceSteps = 64;
+  Clean.CheckpointEverySlices = 1;
+  const std::map<uint64_t, Frame> Baseline =
+      chaosRun(Clean, ChaosConfig{}, 0, Jobs, 3, 1, nullptr,
+               /*Pipeline=*/true);
+  ASSERT_EQ(Baseline.size(), Jobs);
+
+  ServiceConfig Stormy = Clean;
+  Stormy.CrashOneIn = 120;
+  Stormy.Rebalance = true;
+  Stormy.RebalanceHighWater = 4;
+  Stormy.RebalanceMinGap = 2;
+  Stormy.RebalanceBatch = 4;
+  ServiceStats Stats;
+  const std::map<uint64_t, Frame> Stormed =
+      chaosRun(Stormy, ChaosConfig::storm(0xBA1A4CEULL), 4, Jobs, 3, 1,
+               &Stats, /*Pipeline=*/true);
+  ASSERT_EQ(Stormed.size(), Jobs);
+  EXPECT_GT(Stats.Rebalanced, 0u);
+
+  for (const auto &[Token, Ref] : Baseline)
+    expectSameResult(Stormed.at(Token), Ref, std::to_string(Token));
+}
+
+/// Cross-process migration under chaos: jobs extracted from a crashing
+/// source and adopted by a peer over storm-chaosed channels — with
+/// shards killed under BOTH processes mid-migration — still complete
+/// exactly once, field-for-field equal to a clean run.
+TEST(Migration, CrossProcessChaosDifferential) {
+  constexpr uint64_t Jobs = 24;
+  ServiceConfig Cfg;
+  Cfg.Shards = 2;
+  Cfg.SliceSteps = 64;
+  Cfg.CheckpointEverySlices = 1;
+  Cfg.MaxInFlightPerTenant = 64;
+  Cfg.TenantQueueCapacity = 64;
+
+  // Clean unmigrated baseline.
+  std::map<uint64_t, Frame> Baseline;
+  {
+    ServiceFrontEnd Ref(Cfg);
+    for (uint64_t I = 0; I < Jobs; ++I)
+      ASSERT_EQ(Ref.handle(submitFrame("mig", I + 1, MigrateSrc)).Type,
+                FrameType::SubmitAck);
+    for (uint64_t I = 0; I < Jobs; ++I)
+      Baseline.emplace(I + 1, awaitResult(Ref, "mig", I + 1));
+    Ref.shutdown();
+  }
+
+  ServiceConfig SrcCfg = Cfg;
+  SrcCfg.CrashOneIn = 150;
+  ServiceFrontEnd Src(SrcCfg), Dst(Cfg);
+  uint64_t Completed = 0;
+  {
+    RetryPolicy Pol;
+    Pol.MaxAttempts = 40;
+    Pol.AttemptTimeoutNs = 100'000'000;
+    LocalPeer Peer(Dst, ChaosConfig::storm(0x51DE0ULL), Pol);
+
+    for (uint64_t I = 0; I < Jobs; ++I)
+      ASSERT_EQ(Src.handle(submitFrame("mig", I + 1, MigrateSrc)).Type,
+                FrameType::SubmitAck);
+
+    std::atomic<bool> Stop{false};
+    std::thread Killer([&] {
+      for (int K = 0; K < 4 && !Stop.load(); ++K) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        Src.killShard(K % Cfg.Shards);
+        Dst.killShard((K + 1) % Cfg.Shards);
+      }
+    });
+
+    std::mutex CountMu;
+    std::vector<std::thread> Migrators;
+    for (unsigned W = 0; W < 2; ++W)
+      Migrators.emplace_back([&, W] {
+        for (uint64_t I = W; I < Jobs; I += 2) {
+          const JobTicket T{"mig", I + 1};
+          MigrateOutcome O = migrateJob(Src, *Peer.Client, T);
+          bool DidComplete = O == MigrateOutcome::Completed;
+          if (O == MigrateOutcome::Torn)
+            resolveTorn(Src, *Peer.Client, T, DidComplete);
+          std::lock_guard<std::mutex> L(CountMu);
+          Completed += DidComplete;
+        }
+      });
+    for (std::thread &T : Migrators)
+      T.join();
+    Stop.store(true);
+    Killer.join();
+
+    std::map<uint64_t, Frame> Results;
+    for (uint64_t I = 0; I < Jobs; ++I)
+      Results.emplace(I + 1, awaitResult(Src, "mig", I + 1));
+    for (const auto &[Token, Ref] : Baseline)
+      expectSameResult(Results.at(Token), Ref, std::to_string(Token));
+  }
+  Dst.shutdown();
+  Src.shutdown();
+
+  const ServiceStats SS = Src.statsSnapshot();
+  const ServiceStats DS = Dst.statsSnapshot();
+  EXPECT_EQ(SS.Completed, Jobs);
+  EXPECT_EQ(SS.MigratedOut, Completed + SS.MigrationsAbandoned);
+  EXPECT_EQ(DS.MigratedIn, Completed);
+  // The storm must not have degraded the test into all-local runs.
+  EXPECT_GT(SS.MigratedOut, 0u);
+}
+
+/// A hostile or buggy config must not be able to abort a server: the
+/// front end builds nothing, reports the typed reason, and answers every
+/// request with Error{BadConfig}.
+TEST(Service, HostileConfigGetsTypedErrorNotAbort) {
+  struct Case {
+    ServiceConfig Cfg;
+    ServiceConfigError Want;
+  };
+  std::vector<Case> Cases;
+  {
+    Case C;
+    C.Cfg.Shards = 0;
+    C.Want = ServiceConfigError::NoShards;
+    Cases.push_back(C);
+  }
+  {
+    Case C;
+    C.Cfg.CheckpointEverySlices = 0;
+    C.Want = ServiceConfigError::NoCheckpointCadence;
+    Cases.push_back(C);
+  }
+  {
+    Case C;
+    C.Cfg.TenantQueueCapacity = 4;
+    C.Cfg.MaxInFlightPerTenant = 32;
+    C.Want = ServiceConfigError::QueueBelowInFlightCap;
+    Cases.push_back(C);
+  }
+
+  EXPECT_EQ(validateServiceConfig(ServiceConfig{}), ServiceConfigError::None);
+  for (const Case &C : Cases) {
+    EXPECT_EQ(validateServiceConfig(C.Cfg), C.Want);
+    ServiceFrontEnd FE(C.Cfg);
+    EXPECT_EQ(FE.configError(), C.Want);
+    const Frame E = FE.handle(submitFrame("t", 1, ComputeSrc));
+    ASSERT_EQ(E.Type, FrameType::Error) << serviceConfigErrorName(C.Want);
+    EXPECT_EQ(E.Err, ServiceError::BadConfig);
+    EXPECT_NE(E.Detail.find(serviceConfigErrorName(C.Want)),
+              std::string::npos)
+        << E.Detail;
+    // Stats and shutdown must not trip over the missing shards either.
+    const metrics::Json Doc = FE.statsJson();
+    ASSERT_TRUE(Doc.has("config_error"));
+    EXPECT_EQ(Doc.find("config_error")->asString(),
+              serviceConfigErrorName(C.Want));
+    FE.killShard(0); // no-op, not a crash
+    FE.shutdown();
+  }
 }
 
 } // namespace

@@ -184,16 +184,16 @@ TEST(VmSession, RunsToCompletionInSlices) {
     P.SliceSteps = 7;
     SessionFixture F(SliceProgramSrc, E, P);
     SessionResult R = F.S->run("main");
-    EXPECT_EQ(R.Stop, StopKind::Halted) << prepare::engineIdName(E);
-    EXPECT_EQ(F.Machine.Out, Ref.Output) << prepare::engineIdName(E);
+    EXPECT_EQ(R.Stop, StopKind::Halted) << engine::engineName(E);
+    EXPECT_EQ(F.Machine.Out, Ref.Output) << engine::engineName(E);
     if (!isStaticFlavor(E)) {
       EXPECT_EQ(R.Outcome.Steps, Ref.Outcome.Steps)
-          << prepare::engineIdName(E);
+          << engine::engineName(E);
       // Every slice but the last stops on the step limit, so the count
       // is exactly ceil(steps / slice).
       EXPECT_EQ(R.Slices, (Ref.Outcome.Steps + P.SliceSteps - 1) /
                               P.SliceSteps)
-          << prepare::engineIdName(E);
+          << engine::engineName(E);
     }
     EXPECT_EQ(F.S->counters().StepsExecuted, R.Outcome.Steps);
     EXPECT_EQ(F.S->counters().Slices, R.Slices);
@@ -296,12 +296,12 @@ TEST(VmSession, ConfirmsRealFault) {
     P.ConfirmFaults = true;
     SessionFixture F(FaultProgramSrc, E, P);
     SessionResult R = F.S->run("main");
-    EXPECT_EQ(R.Stop, StopKind::Fault) << prepare::engineIdName(E);
+    EXPECT_EQ(R.Stop, StopKind::Fault) << engine::engineName(E);
     EXPECT_EQ(R.Outcome.Status, RunStatus::DivByZero)
-        << prepare::engineIdName(E);
+        << engine::engineName(E);
     EXPECT_TRUE(R.Replayed);
     EXPECT_EQ(R.Verdict, Confirmation::Confirmed)
-        << prepare::engineIdName(E) << ": "
+        << engine::engineName(E) << ": "
         << confirmationName(R.Verdict);
     EXPECT_EQ(F.S->counters().FallbackReplays, 1u);
     EXPECT_EQ(F.S->counters().FaultsConfirmed, 1u);

@@ -129,6 +129,9 @@ constexpr size_t OffDsCapacity = 64;
 constexpr size_t OffDsDepth = 72;
 constexpr size_t OffHere = 88;
 constexpr size_t OffDataSpace = 104;
+// v2 tier sidecar (see snapshot/Snapshot.cpp).
+constexpr size_t OffHeatSteps = 112;
+constexpr size_t OffTierRung = 120;
 
 } // namespace
 
@@ -145,7 +148,7 @@ TEST(SnapshotFormat, RoundTripBitIdentity) {
 
   SnapshotHeader H;
   ASSERT_EQ(readHeader(Snap.data(), Snap.size(), H), SnapshotError::None);
-  EXPECT_EQ(H.FormatVersion, 1u);
+  EXPECT_EQ(H.FormatVersion, 2u); // the v2 writer (tier sidecar)
   EXPECT_EQ(H.TotalBytes, Snap.size());
   EXPECT_EQ(H.CodeIdentity, F.Sys->Prog.identity());
   EXPECT_EQ(H.CodeVersion, F.Sys->Prog.version());
@@ -276,6 +279,48 @@ TEST(SnapshotFormat, SealedCorruptionReachesTypedValidators) {
   // None of the rejected restores may have touched the outputs.
   EXPECT_EQ(M2.dataSpaceSize(), 0u);
   EXPECT_EQ(C2.DsDepth, 0u);
+}
+
+TEST(SnapshotFormat, TierSidecarRoundTripsAndV1ReadsAsZero) {
+  SessionFixture F(SliceProgramSrc, prepare::EngineId::Switch,
+                   SessionPolicy{.SliceSteps = 8});
+  const std::vector<uint8_t> Snap = cutCheckpoint(F, 8, 2);
+  SnapshotHeader H;
+  ASSERT_EQ(readHeader(Snap.data(), Snap.size(), H), SnapshotError::None);
+  EXPECT_EQ(H.FormatVersion, 2u);
+
+  // A nonzero sidecar survives the sealed buffer bit-exactly.
+  std::vector<uint8_t> Hot = Snap;
+  put64(Hot, OffHeatSteps, 0x1122334455667788ULL);
+  put32(Hot, OffTierRung, 5);
+  resealChecksum(Hot);
+  ASSERT_EQ(readHeader(Hot.data(), Hot.size(), H), SnapshotError::None);
+  EXPECT_EQ(H.MS.HeatSteps, 0x1122334455667788ULL);
+  EXPECT_EQ(H.MS.TierRung, 5u);
+
+  // Hand-downgrade to sc-snap v1 — strip the 16 sidecar bytes, patch
+  // version and total length, reseal. A pre-migration buffer must still
+  // parse, with the sidecar reading as zero...
+  std::vector<uint8_t> V1 = Hot;
+  V1.erase(V1.begin() + 112, V1.begin() + 128);
+  put32(V1, OffVersion, 1);
+  put64(V1, OffTotal, V1.size());
+  resealChecksum(V1);
+  ASSERT_EQ(readHeader(V1.data(), V1.size(), H), SnapshotError::None);
+  EXPECT_EQ(H.FormatVersion, 1u);
+  EXPECT_EQ(H.MS.HeatSteps, 0u);
+  EXPECT_EQ(H.MS.TierRung, 0u);
+
+  // ...and still restore and run to the same completion as the v2 one.
+  auto RunFrom = [&](const std::vector<uint8_t> &Bytes) {
+    Vm M(0);
+    VmSession S(F.PC, M, {});
+    EXPECT_EQ(S.restoreFrom(Bytes, nullptr), SnapshotError::None);
+    SessionResult R = S.run(S.restoredPc());
+    EXPECT_EQ(R.Stop, StopKind::Halted);
+    return M.Out;
+  };
+  EXPECT_EQ(RunFrom(V1), RunFrom(Snap));
 }
 
 TEST(SnapshotFormat, CodeMismatchAcrossPrograms) {

@@ -42,13 +42,16 @@ void checkCombined(const char *Src, bool ExpectFusion = true) {
     ExecContext Ctx(R.Combined, Copy);
     const Word *W = R.Combined.findWord("main");
     ASSERT_NE(W, nullptr);
-    RunOutcome O = dispatch::runEngine(K, Ctx, W->Entry);
-    EXPECT_EQ(O.Status, Ref.Outcome.Status) << dispatch::engineName(K);
+    engine::RunOptions Opts;
+    Opts.Entry = W->Entry;
+    RunOutcome O =
+        engine::runEngine(dispatch::engineIdOf(K), R.Combined, Ctx, Opts);
+    EXPECT_EQ(O.Status, Ref.Outcome.Status) << engine::engineName(dispatch::engineIdOf(K));
     std::vector<Cell> DS(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
-    EXPECT_EQ(DS, Ref.DS) << dispatch::engineName(K);
-    EXPECT_EQ(Copy.Out, Ref.Output) << dispatch::engineName(K);
+    EXPECT_EQ(DS, Ref.DS) << engine::engineName(dispatch::engineIdOf(K));
+    EXPECT_EQ(Copy.Out, Ref.Output) << engine::engineName(dispatch::engineIdOf(K));
     if (ExpectFusion) {
-      EXPECT_LT(O.Steps, Ref.Outcome.Steps) << dispatch::engineName(K);
+      EXPECT_LT(O.Steps, Ref.Outcome.Steps) << engine::engineName(dispatch::engineIdOf(K));
     }
   }
 }
@@ -90,8 +93,10 @@ TEST(Superinst, DoesNotFuseAcrossBranchTargets) {
   auto Ref = Sys->runIsolated("main", dispatch::EngineKind::Switch);
   Vm Copy = Sys->Machine;
   ExecContext Ctx(R.Combined, Copy);
-  RunOutcome O = dispatch::runSwitchEngine(
-      Ctx, R.Combined.findWord("main")->Entry);
+  engine::RunOptions Opts;
+  Opts.Entry = R.Combined.findWord("main")->Entry;
+  RunOutcome O =
+      engine::runEngine(engine::EngineId::Switch, R.Combined, Ctx, Opts);
   EXPECT_EQ(O.Status, Ref.Outcome.Status);
   std::vector<Cell> DS(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
   EXPECT_EQ(DS, Ref.DS);
@@ -114,8 +119,10 @@ TEST(Superinst, WorkloadChecksums) {
     Vm Copy = Sys->Machine;
     Copy.resetOutput();
     ExecContext Ctx(R.Combined, Copy);
-    RunOutcome O = dispatch::runThreadedEngine(
-        Ctx, R.Combined.findWord("main")->Entry);
+    engine::RunOptions Opts;
+    Opts.Entry = R.Combined.findWord("main")->Entry;
+    RunOutcome O =
+        engine::runEngine(engine::EngineId::Threaded, R.Combined, Ctx, Opts);
     EXPECT_EQ(O.Status, RunStatus::Halted) << W[I].Name;
     EXPECT_EQ(Copy.Out, W[I].Expected) << W[I].Name;
   }
@@ -171,8 +178,10 @@ TEST(Superinst, RandomProgramsAgree) {
     auto Ref = Sys->runIsolated("main", dispatch::EngineKind::Switch);
     Vm Copy = Sys->Machine;
     ExecContext Ctx(C.Combined, Copy);
-    RunOutcome O = dispatch::runSwitchEngine(
-        Ctx, C.Combined.findWord("main")->Entry);
+    engine::RunOptions Opts;
+    Opts.Entry = C.Combined.findWord("main")->Entry;
+    RunOutcome O =
+        engine::runEngine(engine::EngineId::Switch, C.Combined, Ctx, Opts);
     EXPECT_EQ(O.Status, Ref.Outcome.Status);
     std::vector<Cell> DS(Ctx.DS.begin(), Ctx.DS.begin() + Ctx.DsDepth);
     EXPECT_EQ(DS, Ref.DS);

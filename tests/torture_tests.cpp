@@ -129,9 +129,9 @@ TEST(Torture, AllEnginesPassEveryAssertion) {
                  dispatch::EngineKind::ThreadedTos}) {
     auto R = Sys->runIsolated("main", K);
     ASSERT_EQ(R.Outcome.Status, RunStatus::Halted)
-        << dispatch::engineName(K);
-    ASSERT_EQ(R.DS.size(), 1u) << dispatch::engineName(K);
-    EXPECT_EQ(R.DS[0], 0) << dispatch::engineName(K)
+        << engine::engineName(dispatch::engineIdOf(K));
+    ASSERT_EQ(R.DS.size(), 1u) << engine::engineName(dispatch::engineIdOf(K));
+    EXPECT_EQ(R.DS[0], 0) << engine::engineName(dispatch::engineIdOf(K))
                           << ": guest assertions failed";
   }
   {

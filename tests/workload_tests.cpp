@@ -64,9 +64,9 @@ TEST_P(WorkloadTest, AllEnginesAgree) {
   for (EngineKind K : Engines) {
     auto R = Sys->runIsolated(GetParam()->Entry, K);
     EXPECT_EQ(R.Outcome.Status, Ref.Outcome.Status)
-        << dispatch::engineName(K);
-    EXPECT_EQ(R.Outcome.Steps, Ref.Outcome.Steps) << dispatch::engineName(K);
-    EXPECT_EQ(R.Output, Ref.Output) << dispatch::engineName(K);
+        << engine::engineName(dispatch::engineIdOf(K));
+    EXPECT_EQ(R.Outcome.Steps, Ref.Outcome.Steps) << engine::engineName(dispatch::engineIdOf(K));
+    EXPECT_EQ(R.Output, Ref.Output) << engine::engineName(dispatch::engineIdOf(K));
   }
 }
 

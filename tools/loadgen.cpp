@@ -108,10 +108,19 @@ struct Options {
   unsigned Clients = 4;
   unsigned Shards = 2;
   unsigned WorkersPerShard = 1;
+  /// Jobs each client keeps in flight before draining results. > 1
+  /// builds the backlog the rebalancer and the migrators feed on.
+  unsigned Burst = 1;
   uint8_t Engine = 0;
   uint64_t Seed = 0x10adULL;
   bool Tcp = false;
   bool Chaos = false;
+  /// Skew the whole load onto one tenant (one shard) and turn the
+  /// cross-shard rebalancer on; the run fails unless it fired.
+  bool Migrate = false;
+  /// Host a second front end and drive live cross-process migration
+  /// against it while the load runs.
+  bool Peer = false;
   uint64_t MaxKills = 6;
 };
 
@@ -119,8 +128,9 @@ struct Options {
   std::fprintf(
       stderr,
       "usage: loadgen [--jobs N] [--tenants T] [--clients C] [--shards S]\n"
-      "               [--workers W] [--engine E] [--seed X] [--kills K]\n"
-      "               [--tcp] [--chaos] [--json <path>]\n");
+      "               [--workers W] [--burst B] [--engine E] [--seed X]\n"
+      "               [--kills K] [--tcp] [--chaos] [--migrate] [--peer]\n"
+      "               [--json <path>]\n");
   std::exit(2);
 }
 
@@ -212,23 +222,57 @@ void runWorker(const Options &Opt, ServiceClient::Connector Connect,
     Pol.AttemptTimeoutNs = 100'000'000;
   }
   ServiceClient Client(std::move(Connect), Pol);
+  struct InFlightJob {
+    uint64_t Index;
+    uint64_t Start;
+  };
+  std::vector<InFlightJob> Pending;
+  auto Drain = [&]() -> bool {
+    for (const InFlightJob &P : Pending) {
+      const JobTicket Ticket{"tenant-" + std::to_string(P.Index % Opt.Tenants),
+                             P.Index + 1};
+      Frame Resp;
+      if (!Client.awaitResult(Ticket, Resp, 120'000'000'000ULL)) {
+        fail("job %llu: no result within 120s", P.Index, 0);
+        return false;
+      }
+      const Reference &Ref = Refs[P.Index % NumVariants];
+      if (Resp.Stop != Ref.Stop)
+        fail("job %llu: stop %llu differs from reference", P.Index, Resp.Stop);
+      if (Resp.Status != Ref.Status)
+        fail("job %llu: status %llu differs from reference", P.Index,
+             Resp.Status);
+      if (Resp.Steps != Ref.Steps)
+        fail("job %llu: steps %llu differ from reference", P.Index,
+             Resp.Steps);
+      if (Resp.Slices != Ref.Slices)
+        fail("job %llu: slices %llu differ from reference", P.Index,
+             Resp.Slices);
+      if (Resp.Output != Ref.Output)
+        fail("job %llu: output differs from reference (%llu bytes)", P.Index,
+             Resp.Output.size());
+      Out.LatenciesNs.push_back(nowNs() - P.Start);
+      JobsDone.fetch_add(1);
+    }
+    Pending.clear();
+    return true;
+  };
   for (;;) {
     const uint64_t I = NextJob.fetch_add(1);
     if (I >= Opt.Jobs || Failed.load())
       break;
-    const std::string Tenant = "tenant-" + std::to_string(I % Opt.Tenants);
-    const uint64_t Token = I + 1;
+    const JobTicket Ticket{"tenant-" + std::to_string(I % Opt.Tenants),
+                           I + 1};
     const unsigned V = static_cast<unsigned>(I % NumVariants);
     const uint64_t Start = nowNs();
 
     // Admission loop: a Reject is the service telling us to come back,
-    // not a failure — the idempotency token makes blind re-submission
+    // not a failure — the idempotency ticket makes blind re-submission
     // safe. Give up only after a wall-clock bound (something is wedged).
     Frame Resp;
     bool Admitted = false;
     while (!Admitted && !Failed.load()) {
-      if (Client.submit(Tenant, Token, VariantSrcs[V], "main", Opt.Engine,
-                        Resp))
+      if (Client.submit(Ticket, VariantSrcs[V], "main", Opt.Engine, Resp))
         Admitted = true;
       else if (nowNs() - Start > 60'000'000'000ULL) {
         fail("job %llu: submit wedged for 60s", I, 0);
@@ -242,28 +286,12 @@ void runWorker(const Options &Opt, ServiceClient::Connector Connect,
            static_cast<uint64_t>(Resp.Err));
       return;
     }
-
-    if (!Client.awaitResult(Tenant, Token, Resp, 120'000'000'000ULL)) {
-      fail("job %llu: no result within 120s", I, 0);
+    Pending.push_back({I, Start});
+    if (Pending.size() >= Opt.Burst && !Drain())
       return;
-    }
-    const uint64_t End = nowNs();
-
-    const Reference &Ref = Refs[V];
-    if (Resp.Stop != Ref.Stop)
-      fail("job %llu: stop %llu differs from reference", I, Resp.Stop);
-    if (Resp.Status != Ref.Status)
-      fail("job %llu: status %llu differs from reference", I, Resp.Status);
-    if (Resp.Steps != Ref.Steps)
-      fail("job %llu: steps %llu differ from reference", I, Resp.Steps);
-    if (Resp.Slices != Ref.Slices)
-      fail("job %llu: slices %llu differ from reference", I, Resp.Slices);
-    if (Resp.Output != Ref.Output)
-      fail("job %llu: output differs from reference (%llu bytes)", I,
-           Resp.Output.size());
-    Out.LatenciesNs.push_back(End - Start);
-    JobsDone.fetch_add(1);
   }
+  if (!Drain())
+    return;
   Out.Stats = Client.clientStats();
 }
 
@@ -291,6 +319,8 @@ int main(int Argc, char **Argv) {
       Opt.Shards = static_cast<unsigned>(parseNum(Val()));
     else if (!std::strcmp(A, "--workers"))
       Opt.WorkersPerShard = static_cast<unsigned>(parseNum(Val()));
+    else if (!std::strcmp(A, "--burst"))
+      Opt.Burst = static_cast<unsigned>(parseNum(Val()));
     else if (!std::strcmp(A, "--engine"))
       Opt.Engine = static_cast<uint8_t>(parseNum(Val()));
     else if (!std::strcmp(A, "--seed"))
@@ -301,10 +331,20 @@ int main(int Argc, char **Argv) {
       Opt.Tcp = true;
     else if (!std::strcmp(A, "--chaos"))
       Opt.Chaos = true;
+    else if (!std::strcmp(A, "--migrate"))
+      Opt.Migrate = true;
+    else if (!std::strcmp(A, "--peer"))
+      Opt.Peer = true;
     else
       usage();
   }
   if (!Opt.Jobs || !Opt.Tenants || !Opt.Clients || !Opt.Shards)
+    usage();
+  if (Opt.Migrate)
+    Opt.Tenants = 1; // the skew the rebalancer exists for
+  if ((Opt.Migrate || Opt.Peer) && Opt.Burst < 8)
+    Opt.Burst = 8; // a backlog, so jobs are catchable in flight
+  if (!Opt.Burst)
     usage();
 
   ServiceConfig Cfg;
@@ -314,7 +354,26 @@ int main(int Argc, char **Argv) {
     Cfg.CrashOneIn = 150;
     Cfg.CrashSeed = Opt.Seed;
   }
+  if (Opt.Migrate || Opt.Peer) {
+    // Room for the whole burst of the one hot tenant.
+    Cfg.MaxInFlightPerTenant =
+        std::max<uint64_t>(Cfg.MaxInFlightPerTenant,
+                           uint64_t{Opt.Clients} * Opt.Burst);
+    Cfg.TenantQueueCapacity =
+        std::max<uint64_t>(Cfg.TenantQueueCapacity,
+                           2 * Cfg.MaxInFlightPerTenant);
+  }
+  if (Opt.Migrate) {
+    Cfg.Rebalance = true;
+    Cfg.RebalanceHighWater = 2;
+    Cfg.RebalanceMinGap = 1;
+    Cfg.RebalanceBatch = 8;
+  }
   ServiceFrontEnd FE(Cfg);
+
+  // --peer: a second, independent front end adopting live jobs.
+  std::unique_ptr<ServiceFrontEnd> PeerFE;
+  std::unique_ptr<LocalHost> PeerHost;
 
   std::vector<Reference> Refs;
   for (unsigned V = 0; V < NumVariants; ++V)
@@ -324,6 +383,11 @@ int main(int Argc, char **Argv) {
 
   const ChaosConfig Chaos =
       Opt.Chaos ? ChaosConfig::storm(Opt.Seed) : ChaosConfig{};
+
+  if (Opt.Peer) {
+    PeerFE = std::make_unique<ServiceFrontEnd>(Cfg);
+    PeerHost = std::make_unique<LocalHost>(*PeerFE, Chaos);
+  }
 
   // Transport: both modes expose only a Connector to the workers.
   std::unique_ptr<LocalHost> Host;
@@ -365,6 +429,51 @@ int main(int Argc, char **Argv) {
     });
 
   std::atomic<uint64_t> NextJob{0};
+
+  // --peer: migrator threads chase the submitters through the token
+  // space and live-migrate whatever they can catch in flight. A job the
+  // migrator misses (already finished) is MigrateOutcome::RanLocally —
+  // correct either way; the ledger check below wants some catches.
+  std::vector<std::thread> Migrators;
+  if (Opt.Peer)
+    for (unsigned M = 0; M < 2; ++M)
+      Migrators.emplace_back([&Opt, &FE, &PeerHost, &NextJob, M] {
+        RetryPolicy Pol;
+        Pol.JitterSeed = Opt.Seed ^ (0x7f4a7c159e3779b9ULL * (M + 1));
+        if (Opt.Chaos) {
+          Pol.MaxAttempts = 40;
+          Pol.AttemptTimeoutNs = 100'000'000;
+        }
+        ServiceClient PeerClient([&PeerHost] { return PeerHost->connect(); },
+                                 Pol);
+        for (uint64_t I = M; I < Opt.Jobs; I += 2) {
+          if (Failed.load())
+            return;
+          while (NextJob.load() <= I && !Failed.load())
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          const JobTicket T{"tenant-" + std::to_string(I % Opt.Tenants),
+                            I + 1};
+          MigrateOutcome O = migrateJob(FE, PeerClient, T);
+          // A torn migration stays escrowed; keep committing until the
+          // peer serves the result or refuses definitively, then
+          // complete or abandon — never both, never neither.
+          while (O == MigrateOutcome::Torn && !Failed.load()) {
+            Frame Result;
+            if (PeerClient.commitMigration(T, Result, 30'000'000'000ULL)) {
+              FE.completeMigration(T, Result);
+              O = MigrateOutcome::Completed;
+            } else if ((Result.Type == FrameType::Error &&
+                        (Result.Err == ServiceError::UnknownMigration ||
+                         Result.Err == ServiceError::Shutdown)) ||
+                       Result.Type == FrameType::Reject) {
+              while (!FE.abandonMigration(T))
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+              O = MigrateOutcome::Abandoned;
+            }
+          }
+        }
+      });
+
   std::vector<WorkerOut> Outs(Opt.Clients);
   std::vector<std::thread> Workers;
   const uint64_t WallStart = nowNs();
@@ -374,6 +483,8 @@ int main(int Argc, char **Argv) {
   for (std::thread &T : Workers)
     T.join();
   const uint64_t WallNs = nowNs() - WallStart;
+  for (std::thread &T : Migrators)
+    T.join();
   if (Killer.joinable())
     Killer.join();
 
@@ -381,6 +492,9 @@ int main(int Argc, char **Argv) {
   if (Server)
     Server->stop();
   Host.reset(); // drops nothing itself; joins server loops (clients gone)
+  if (PeerFE)
+    PeerFE->shutdown();
+  PeerHost.reset(); // migrator clients are gone; joins peer server loops
 
   if (Failed.load()) {
     std::fprintf(stderr, "loadgen: FAILED\n");
@@ -394,6 +508,23 @@ int main(int Argc, char **Argv) {
     fail("admitted %llu jobs, expected %llu", S.Submitted, Opt.Jobs);
   if (S.Completed != Opt.Jobs)
     fail("completed %llu jobs, expected %llu", S.Completed, Opt.Jobs);
+  if (Opt.Migrate && !S.Rebalanced)
+    fail("--migrate: the rebalancer never fired (%llu moves)", S.Rebalanced,
+         0);
+  ServiceStats PS;
+  if (PeerFE) {
+    PS = PeerFE->statsSnapshot();
+    // Every extraction resolved exactly one way: adopted by the peer or
+    // abandoned back home. An unbalanced ledger is a lost (or doubled)
+    // job.
+    if (S.MigratedOut != PS.MigratedIn + S.MigrationsAbandoned)
+      fail("--peer: migration ledger unbalanced: %llu out != %llu in"
+           " + abandoned",
+           S.MigratedOut, PS.MigratedIn + S.MigrationsAbandoned);
+    if (!PS.MigratedIn)
+      fail("--peer: the peer adopted no jobs (%llu offered)", S.MigratedOut,
+           0);
+  }
   if (Failed.load())
     return 1;
 
@@ -449,6 +580,12 @@ int main(int Argc, char **Argv) {
               " rejects honored, %" PRIu64 " stale replies dropped\n",
               CS.Attempts, CS.Retries, CS.Reconnects, CS.Timeouts, CS.Rejects,
               CS.StaleReplies);
+  if (Opt.Migrate || Opt.Peer)
+    std::printf("  migration   %" PRIu64 " rebalanced across shards, %" PRIu64
+                " migrated out, %" PRIu64 " adopted by peer, %" PRIu64
+                " abandoned\n",
+                S.Rebalanced, S.MigratedOut, PS.MigratedIn,
+                S.MigrationsAbandoned);
 
   if (Reporter.enabled()) {
     metrics::Json Conf = metrics::Json::object();
@@ -492,6 +629,17 @@ int main(int Argc, char **Argv) {
     Cli.set("stale_replies", metrics::Json::number(CS.StaleReplies));
     Cli.set("decode_errors", metrics::Json::number(CS.DecodeErrors));
     Reporter.addValues("client", metrics::EntryKind::Info, std::move(Cli));
+
+    if (Opt.Migrate || Opt.Peer) {
+      metrics::Json Mig = metrics::Json::object();
+      Mig.set("rebalanced", metrics::Json::number(S.Rebalanced));
+      Mig.set("migrated_out", metrics::Json::number(S.MigratedOut));
+      Mig.set("peer_migrated_in", metrics::Json::number(PS.MigratedIn));
+      Mig.set("migrations_abandoned",
+              metrics::Json::number(S.MigrationsAbandoned));
+      Reporter.addValues("migration", metrics::EntryKind::Info,
+                         std::move(Mig));
+    }
     if (!Reporter.write())
       return 1;
   }
